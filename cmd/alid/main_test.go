@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "pts.csv")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestReadCSVUnlabeled(t *testing.T) {
+	p := writeTemp(t, "1.0,2.0\n3.5,-4.25\n\n0,0\n")
+	pts, labels, err := readCSV(p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 || labels != nil {
+		t.Fatalf("pts=%d labels=%v", len(pts), labels)
+	}
+	if pts[1][1] != -4.25 {
+		t.Fatalf("pts[1] = %v", pts[1])
+	}
+}
+
+func TestReadCSVLabeled(t *testing.T) {
+	p := writeTemp(t, "1,2,0\n3,4,-1\n5,6,7\n")
+	pts, labels, err := readCSV(p, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 || len(pts[0]) != 2 {
+		t.Fatalf("pts = %v", pts)
+	}
+	want := []int{0, -1, 7}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("labels = %v", labels)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, _, err := readCSV(writeTemp(t, "1,notanumber\n"), false); err == nil {
+		t.Error("bad value accepted")
+	}
+	if _, _, err := readCSV(writeTemp(t, "1,2,xx\n"), true); err == nil {
+		t.Error("bad label accepted")
+	}
+	if _, _, err := readCSV(writeTemp(t, "\n\n"), false); err == nil {
+		t.Error("empty file accepted")
+	}
+	if _, _, err := readCSV(filepath.Join(t.TempDir(), "missing.csv"), false); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestHead(t *testing.T) {
+	a := []int{1, 2, 3}
+	if got := head(a, 2); len(got) != 2 {
+		t.Fatalf("head = %v", got)
+	}
+	if got := head(a, 5); len(got) != 3 {
+		t.Fatalf("head = %v", got)
+	}
+}

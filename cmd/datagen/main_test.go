@@ -1,0 +1,83 @@
+package main
+
+import "testing"
+
+func TestGenerateKinds(t *testing.T) {
+	cases := []struct {
+		kind, regime string
+		n            int
+	}{
+		{"mixture", "omega", 500},
+		{"mixture", "eta", 500},
+		{"mixture", "cap", 500},
+		{"sift", "", 300},
+	}
+	for _, c := range cases {
+		ds, err := generate(c.kind, c.regime, c.n, 1)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", c.kind, c.regime, err)
+		}
+		if ds.N() != c.n {
+			t.Errorf("%s/%s: N = %d, want %d", c.kind, c.regime, ds.N(), c.n)
+		}
+	}
+}
+
+func TestGenerateNARTAndNDI(t *testing.T) {
+	nart, err := generate("nart", "", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nart.N() != 5301 || nart.NumClusters != 13 {
+		t.Errorf("nart: n=%d clusters=%d", nart.N(), nart.NumClusters)
+	}
+	sub, err := generate("subndi", "", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumClusters != 6 {
+		t.Errorf("subndi clusters = %d", sub.NumClusters)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := generate("bogus", "", 100, 1); err == nil {
+		t.Error("bogus kind accepted")
+	}
+	if _, err := generate("mixture", "bogus", 100, 1); err == nil {
+		t.Error("bogus regime accepted")
+	}
+}
+
+func TestGenerateDeterministicBySeed(t *testing.T) {
+	a, err := generate("sift", "", 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := generate("sift", "", 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Points {
+		for j := range a.Points[i] {
+			if a.Points[i][j] != b.Points[i][j] {
+				t.Fatal("not deterministic")
+			}
+		}
+	}
+	c, err := generate("sift", "", 200, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Points {
+		for j := range a.Points[i] {
+			if a.Points[i][j] != c.Points[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical data")
+	}
+}

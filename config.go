@@ -1,0 +1,185 @@
+package alid
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"alid/internal/affinity"
+	"alid/internal/core"
+	"alid/internal/lsh"
+	"alid/internal/vec"
+)
+
+// Config holds every user-facing knob of ALID. The zero value is not usable;
+// start from DefaultConfig or AutoConfig.
+type Config struct {
+	// KernelScale is k in the Laplacian kernel a_ij = exp(-k·‖vi−vj‖_p).
+	// Larger k sharpens the affinity graph; clusters must have typical
+	// intra-cluster affinity above DensityThreshold to be detected.
+	KernelScale float64
+	// NormOrder is p (p ≥ 1); the paper's experiments use p = 2.
+	NormOrder float64
+
+	// LSHProjections (µ), LSHTables (l) and LSHSegment (r) configure the
+	// p-stable LSH index used by CIVS. The paper's Fig. 6 setting is
+	// µ=40, l=50; smaller values trade recall for speed.
+	LSHProjections int
+	LSHTables      int
+	LSHSegment     float64
+
+	// Delta is δ, the per-iteration cap on CIVS candidates (paper: 800).
+	Delta int
+	// MaxOuter is C, the ALID iteration cap (paper: 10).
+	MaxOuter int
+	// MaxLID is T, the LID iteration budget per inner solve.
+	MaxLID int
+	// Tolerance declares a subgraph immune when no payoff exceeds it.
+	Tolerance float64
+	// FirstRadius is the ROI radius of the first iteration (paper: 0.4 on
+	// normalized features); ≤ 0 means unbounded (δ-nearest only).
+	FirstRadius float64
+	// DensityThreshold keeps clusters with π(x) at or above it (paper: 0.75).
+	DensityThreshold float64
+	// MinClusterSize drops smaller supports.
+	MinClusterSize int
+	// Seed drives LSH construction.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's defaults with a unit kernel. Most callers
+// should use AutoConfig, which tunes KernelScale and LSHSegment to the data.
+func DefaultConfig() Config {
+	return Config{
+		KernelScale:      1,
+		NormOrder:        2,
+		LSHProjections:   12,
+		LSHTables:        8,
+		LSHSegment:       1,
+		Delta:            800,
+		MaxOuter:         10,
+		MaxLID:           2000,
+		Tolerance:        1e-7,
+		DensityThreshold: 0.75,
+		MinClusterSize:   2,
+		Seed:             1,
+	}
+}
+
+// AutoConfig tunes DefaultConfig to the dataset without using any labels: it
+// estimates the cluster scale as the median 10th-nearest-neighbor distance
+// over a sample (the typical pair distance inside a tight group, not the
+// much smaller 1-NN distance) and sets the kernel so such pairs get affinity
+// ≈ 0.9 and the LSH segment so they collide with high probability.
+func AutoConfig(points [][]float64) (Config, error) {
+	cfg := DefaultConfig()
+	if len(points) < 2 {
+		return cfg, fmt.Errorf("alid: need at least 2 points to auto-configure, got %d", len(points))
+	}
+	rng := rand.New(rand.NewSource(1))
+	sample := len(points)
+	if sample > 200 {
+		sample = 200
+	}
+	idx := rng.Perm(len(points))[:sample]
+	q := 10
+	if q >= len(points) {
+		q = len(points) - 1
+	}
+	// Each sampled point's q-NN distance is measured against the FULL
+	// dataset (O(sample·n·d)), not within the sample: subsampling both sides
+	// would dilute small clusters below q members and blend their scale into
+	// the noise mode.
+	var qDists []float64
+	dists := make([]float64, 0, len(points)-1)
+	for _, i := range idx {
+		dists = dists[:0]
+		for j := range points {
+			if i != j {
+				dists = append(dists, vec.L2(points[i], points[j]))
+			}
+		}
+		sort.Float64s(dists)
+		if d := dists[q-1]; d > 0 {
+			qDists = append(qDists, d)
+		}
+	}
+	if len(qDists) == 0 {
+		// All sampled points identical: any positive scale works.
+		cfg.KernelScale = 1
+		cfg.LSHSegment = 1
+		return cfg, nil
+	}
+	sort.Float64s(qDists)
+	scale := clusterScale(qDists)
+	cfg.KernelScale = -math.Log(0.9) / scale
+	cfg.LSHSegment = 8 * scale
+	return cfg, nil
+}
+
+// clusterScale picks the cluster-mode scale from sorted 10th-NN distances.
+// In noisy data the distribution is bimodal — cluster members sit at the
+// cluster scale, background points at the much larger noise scale — and the
+// kernel must resolve the SMALLER mode: tuning to the noise mode makes
+// background points look mutually affine and fabricates giant noise
+// clusters. The split is found as the largest multiplicative gap between
+// consecutive sorted values; without a clear gap (clean, unimodal data) the
+// lower quartile is a safe stand-in.
+func clusterScale(sorted []float64) float64 {
+	n := len(sorted)
+	lo, hi := n/20, (3*n)/4
+	bestRatio, bestIdx := 1.5, -1
+	for i := lo; i < hi && i+1 < n; i++ {
+		if sorted[i] <= 0 {
+			continue
+		}
+		if r := sorted[i+1] / sorted[i]; r > bestRatio {
+			bestRatio, bestIdx = r, i
+		}
+	}
+	if bestIdx >= 0 {
+		return sorted[bestIdx/2+1] // median of the lower mode
+	}
+	return sorted[n/4]
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if !(c.KernelScale > 0) {
+		return fmt.Errorf("alid: KernelScale must be positive, got %v", c.KernelScale)
+	}
+	if !(c.NormOrder >= 1) {
+		return fmt.Errorf("alid: NormOrder must be ≥ 1, got %v", c.NormOrder)
+	}
+	if c.LSHProjections <= 0 || c.LSHTables <= 0 || !(c.LSHSegment > 0) {
+		return fmt.Errorf("alid: invalid LSH parameters µ=%d l=%d r=%v", c.LSHProjections, c.LSHTables, c.LSHSegment)
+	}
+	if c.Delta <= 0 || c.MaxOuter <= 0 || c.MaxLID <= 0 {
+		return fmt.Errorf("alid: Delta, MaxOuter and MaxLID must be positive")
+	}
+	if !(c.Tolerance > 0) {
+		return fmt.Errorf("alid: Tolerance must be positive, got %v", c.Tolerance)
+	}
+	return nil
+}
+
+// toCore converts the public configuration to the internal one.
+func (c Config) toCore() core.Config {
+	return core.Config{
+		Kernel: affinity.Kernel{K: c.KernelScale, P: c.NormOrder},
+		LSH: lsh.Config{
+			Projections: c.LSHProjections,
+			Tables:      c.LSHTables,
+			R:           c.LSHSegment,
+			Seed:        c.Seed,
+		},
+		Delta:            c.Delta,
+		MaxOuter:         c.MaxOuter,
+		MaxLID:           c.MaxLID,
+		Tol:              c.Tolerance,
+		FirstRadius:      c.FirstRadius,
+		DensityThreshold: c.DensityThreshold,
+		MinClusterSize:   c.MinClusterSize,
+	}
+}

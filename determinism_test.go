@@ -1,0 +1,86 @@
+package alid
+
+import (
+	"context"
+	"testing"
+
+	"alid/internal/testutil"
+)
+
+// Detection must be fully deterministic for a fixed configuration: same
+// clusters, same weights, same order. Downstream users rely on this for
+// reproducible pipelines.
+func TestDetectAllDeterministic(t *testing.T) {
+	pts, _ := testutil.Blobs(5, [][]float64{{0, 0}, {14, 14}}, 30, 0.3, 30, 0, 14)
+	cfg, err := AutoConfig(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []Cluster {
+		det, err := NewDetector(pts, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cls, err := det.DetectAll(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cls
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("cluster counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Density != b[i].Density || a[i].Size() != b[i].Size() {
+			t.Fatalf("cluster %d differs", i)
+		}
+		for j := range a[i].Members {
+			if a[i].Members[j] != b[i].Members[j] || a[i].Weights[j] != b[i].Weights[j] {
+				t.Fatalf("cluster %d member %d differs", i, j)
+			}
+		}
+	}
+}
+
+// AutoConfig must be deterministic too (it samples with a fixed seed).
+func TestAutoConfigDeterministic(t *testing.T) {
+	pts, _ := testutil.Blobs(7, [][]float64{{0, 0}}, 40, 0.4, 40, 0, 10)
+	a, err := AutoConfig(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AutoConfig(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("AutoConfig not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+// DetectParallel must produce identical cluster sets regardless of executor
+// count (verified again at the public-API level).
+func TestDetectParallelExecutorInvariance(t *testing.T) {
+	pts, _ := testutil.Blobs(9, [][]float64{{0, 0}, {14, 14}}, 25, 0.3, 25, 0, 14)
+	cfg, err := AutoConfig(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := DetectParallel(context.Background(), pts, cfg, ParallelOptions{Executors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := DetectParallel(context.Background(), pts, cfg, ParallelOptions{Executors: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Clusters) != len(r3.Clusters) {
+		t.Fatalf("cluster counts differ: %d vs %d", len(r1.Clusters), len(r3.Clusters))
+	}
+	for i := range r1.Assign {
+		if (r1.Assign[i] == -1) != (r3.Assign[i] == -1) {
+			t.Fatalf("assignment differs at %d", i)
+		}
+	}
+}

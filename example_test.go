@@ -1,0 +1,106 @@
+package alid_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"alid"
+)
+
+// buildDemoPoints makes two tight groups of near-duplicate vectors plus
+// scattered noise, the data shape dominant-cluster detection targets.
+func buildDemoPoints() [][]float64 {
+	rng := rand.New(rand.NewSource(1))
+	var pts [][]float64
+	for g := 0; g < 2; g++ {
+		base := make([]float64, 8)
+		for j := range base {
+			base[j] = float64(g*40) + rng.Float64()*10
+		}
+		for i := 0; i < 25; i++ {
+			p := make([]float64, 8)
+			for j := range p {
+				p[j] = base[j] + rng.NormFloat64()*0.05
+			}
+			pts = append(pts, p)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		p := make([]float64, 8)
+		for j := range p {
+			p[j] = rng.Float64() * 50
+		}
+		pts = append(pts, p)
+	}
+	return pts
+}
+
+func Example() {
+	points := buildDemoPoints()
+
+	cfg, err := alid.AutoConfig(points)
+	if err != nil {
+		panic(err)
+	}
+	det, err := alid.NewDetector(points, cfg)
+	if err != nil {
+		panic(err)
+	}
+	clusters, err := det.DetectAll(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("clusters: %d\n", len(clusters))
+	for _, c := range clusters {
+		fmt.Printf("size=%d density>0.8=%v\n", c.Size(), c.Density > 0.8)
+	}
+	// Output:
+	// clusters: 2
+	// size=25 density>0.8=true
+	// size=25 density>0.8=true
+}
+
+func ExampleLabels() {
+	clusters := []alid.Cluster{
+		{Members: []int{0, 1, 2}, Density: 0.9},
+		{Members: []int{4}, Density: 0.8},
+	}
+	fmt.Println(alid.Labels(6, clusters))
+	// Output: [0 0 0 -1 1 -1]
+}
+
+func ExampleDetectParallel() {
+	points := buildDemoPoints()
+	cfg, err := alid.AutoConfig(points)
+	if err != nil {
+		panic(err)
+	}
+	res, err := alid.DetectParallel(context.Background(), points, cfg,
+		alid.ParallelOptions{Executors: 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("clusters: %d, every point labeled: %v\n",
+		len(res.Clusters), len(res.Assign) == len(points))
+	// Output: clusters: 2, every point labeled: true
+}
+
+func ExampleDetector_DetectFrom() {
+	points := buildDemoPoints()
+	cfg, err := alid.AutoConfig(points)
+	if err != nil {
+		panic(err)
+	}
+	det, err := alid.NewDetector(points, cfg)
+	if err != nil {
+		panic(err)
+	}
+	// Which cluster does point 0 belong to?
+	cl, err := det.DetectFrom(context.Background(), 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("point 0 sits in a cluster of %d near-duplicates\n", cl.Size())
+	// Output: point 0 sits in a cluster of 25 near-duplicates
+}

@@ -1,0 +1,105 @@
+// Near-duplicate image grouping — the paper's NDI scenario (Section 5).
+//
+// Images are represented by GIST-style global texture descriptors. Groups of
+// near-duplicates (crops, re-encodes, small edits of the same picture) form
+// tight clusters; unrelated images are background noise. This example also
+// shows the query-style API: DetectFrom finds the duplicate group of one
+// specific image without clustering the whole collection.
+//
+// Run with:
+//
+//	go run ./examples/neardupimages
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"alid"
+)
+
+const (
+	gistDim   = 96
+	numGroups = 5
+	perGroup  = 25
+	numNoise  = 700
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+
+	var descriptors [][]float64
+	var truth []int
+	for g := 0; g < numGroups; g++ {
+		base := randomDescriptor(rng)
+		for i := 0; i < perGroup; i++ {
+			descriptors = append(descriptors, jitter(rng, base, 0.02))
+			truth = append(truth, g)
+		}
+	}
+	for i := 0; i < numNoise; i++ {
+		descriptors = append(descriptors, randomDescriptor(rng))
+		truth = append(truth, -1)
+	}
+
+	cfg, err := alid.AutoConfig(descriptors)
+	if err != nil {
+		log.Fatal(err)
+	}
+	det, err := alid.NewDetector(descriptors, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Batch mode: find every near-duplicate group in the collection.
+	groups, err := det.DetectAll(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collection: %d images, %d hidden duplicate groups, %d distinct images\n",
+		len(descriptors), numGroups, numNoise)
+	fmt.Printf("found %d duplicate groups:\n", len(groups))
+	for i, g := range groups {
+		fmt.Printf("  group %d: %2d images, similarity %.3f\n", i, g.Size(), g.Density)
+	}
+
+	// Query mode: "show me the duplicates of image 3".
+	query := 3
+	dup, err := det.DetectFrom(ctx, query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	correct := 0
+	for _, m := range dup.Members {
+		if truth[m] == truth[query] {
+			correct++
+		}
+	}
+	fmt.Printf("duplicates of image %d: %d found, %d truly from its group of %d\n",
+		query, dup.Size(), correct, perGroup)
+}
+
+func randomDescriptor(rng *rand.Rand) []float64 {
+	d := make([]float64, gistDim)
+	for i := range d {
+		d[i] = rng.Float64()
+	}
+	return d
+}
+
+func jitter(rng *rand.Rand, base []float64, eps float64) []float64 {
+	out := make([]float64, len(base))
+	for i, v := range base {
+		out[i] = v + rng.NormFloat64()*eps
+		if out[i] < 0 {
+			out[i] = 0
+		}
+		if out[i] > 1 {
+			out[i] = 1
+		}
+	}
+	return out
+}

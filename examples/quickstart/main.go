@@ -1,0 +1,97 @@
+// Quickstart: detect dominant clusters in a noisy embedding space.
+//
+// Three groups of near-duplicate feature vectors (think: embeddings of the
+// same news story, crops of the same image, SIFTs of the same patch) are
+// buried in background noise. ALID finds the groups — without being told how
+// many there are — and leaves the noise unassigned. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"alid"
+)
+
+const (
+	dim      = 16  // embedding dimension
+	perGroup = 60  // near-duplicates per hidden group
+	numNoise = 200 // unrelated background vectors
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+
+	// Three hidden groups of near-duplicate vectors...
+	var points [][]float64
+	var truth []int
+	for g := 0; g < 3; g++ {
+		base := make([]float64, dim)
+		for j := range base {
+			base[j] = rng.Float64() * 10
+		}
+		for i := 0; i < perGroup; i++ {
+			p := make([]float64, dim)
+			for j := range p {
+				p[j] = base[j] + rng.NormFloat64()*0.05
+			}
+			points = append(points, p)
+			truth = append(truth, g)
+		}
+	}
+	// ...plus uniform background noise.
+	for i := 0; i < numNoise; i++ {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = rng.Float64() * 10
+		}
+		points = append(points, p)
+		truth = append(truth, -1)
+	}
+
+	// Auto-tune the kernel scale and LSH parameters to the data, then detect.
+	cfg, err := alid.AutoConfig(points)
+	if err != nil {
+		log.Fatal(err)
+	}
+	det, err := alid.NewDetector(points, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clusters, err := det.DetectAll(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("found %d dominant clusters among %d points (%d hidden groups, %d noise)\n",
+		len(clusters), len(points), 3, numNoise)
+	for i, cl := range clusters {
+		pure := 0
+		for _, m := range cl.Members {
+			if truth[m] == truth[cl.Members[0]] {
+				pure++
+			}
+		}
+		fmt.Printf("  cluster %d: %3d members, density %.3f, purity %d/%d\n",
+			i, cl.Size(), cl.Density, pure, cl.Size())
+	}
+
+	// Per-point labels: -1 marks points ALID refused to cluster (noise).
+	labels := alid.Labels(len(points), clusters)
+	noiseKept := 0
+	for i, l := range labels {
+		if truth[i] == -1 && l != -1 {
+			noiseKept++
+		}
+	}
+	fmt.Printf("background vectors misfiled into clusters: %d of %d\n", noiseKept, numNoise)
+
+	st := det.Stats()
+	full := int64(len(points)) * int64(len(points))
+	fmt.Printf("computed %d of %d possible affinities (%.1f%%)\n",
+		st.AffinityComputed, full, 100*float64(st.AffinityComputed)/float64(full))
+}

@@ -1,0 +1,323 @@
+// Package affinity implements the affinity-graph substrate of the paper
+// (Section 3, Eq. 1): the Laplacian-kernel affinity
+//
+//	a_ij = exp(-k · ‖v_i − v_j‖_p)   for i ≠ j,   a_ii = 0,
+//
+// together with the three materializations the evaluated methods need:
+//
+//   - Oracle: lazy, instrumented entry/column computation (what ALID uses —
+//     only the submatrix A_{βα} is ever realized);
+//   - Dense: the full n×n matrix (what IID, DS and dense AP use);
+//   - Sparse: a CSR matrix holding only near-neighbor entries (what SEA and
+//     the sparsified variants in the Fig. 6 experiments use).
+//
+// The Oracle counts every kernel evaluation so experiments can report the
+// computed/stored entry counts that drive the paper's complexity claims.
+package affinity
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"alid/internal/vec"
+)
+
+// Kernel holds the Laplacian-kernel parameters of Eq. 1.
+type Kernel struct {
+	// K is the positive scaling factor k of Eq. 1.
+	K float64
+	// P selects the Lp norm (p ≥ 1) used for distances.
+	P float64
+}
+
+// DefaultKernel returns the kernel used throughout the paper's experiments:
+// Euclidean distance (p = 2) with unit scale.
+func DefaultKernel() Kernel { return Kernel{K: 1, P: 2} }
+
+// Validate reports whether the kernel parameters are usable.
+func (k Kernel) Validate() error {
+	if !(k.K > 0) {
+		return fmt.Errorf("affinity: scaling factor k must be positive, got %v", k.K)
+	}
+	if !(k.P >= 1) {
+		return fmt.Errorf("affinity: norm order p must be ≥ 1, got %v", k.P)
+	}
+	return nil
+}
+
+// Distance returns ‖a−b‖_p under the kernel's norm.
+func (k Kernel) Distance(a, b []float64) float64 { return vec.Lp(a, b, k.P) }
+
+// Affinity returns exp(-k·‖a−b‖_p). Note this is the off-diagonal value; the
+// diagonal of an affinity matrix is defined to be zero (Eq. 1) and is handled
+// by the matrix constructors, not here.
+func (k Kernel) Affinity(a, b []float64) float64 {
+	return math.Exp(-k.K * k.Distance(a, b))
+}
+
+// AffinityFromDistance converts a precomputed distance to an affinity.
+func (k Kernel) AffinityFromDistance(d float64) float64 {
+	return math.Exp(-k.K * d)
+}
+
+// Oracle provides on-demand affinity computation over a fixed dataset and
+// counts how many kernel evaluations were performed. It is safe for
+// concurrent use; the counter is atomic and the dataset is read-only.
+type Oracle struct {
+	Pts    [][]float64
+	Kernel Kernel
+
+	computed atomic.Int64
+}
+
+// NewOracle validates the kernel and wraps the dataset. The points are not
+// copied; callers must not mutate them afterwards.
+func NewOracle(pts [][]float64, k Kernel) (*Oracle, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("affinity: empty dataset")
+	}
+	d := len(pts[0])
+	for i, p := range pts {
+		if len(p) != d {
+			return nil, fmt.Errorf("affinity: point %d has dimension %d, want %d", i, len(p), d)
+		}
+	}
+	return &Oracle{Pts: pts, Kernel: k}, nil
+}
+
+// N returns the dataset size.
+func (o *Oracle) N() int { return len(o.Pts) }
+
+// At returns a_ij per Eq. 1 (zero on the diagonal) and counts the evaluation.
+func (o *Oracle) At(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	o.computed.Add(1)
+	return o.Kernel.Affinity(o.Pts[i], o.Pts[j])
+}
+
+// Column fills dst[r] = a_{rows[r], j} for the given global column j.
+// dst must have len(rows). This is the A_{βi} column of Fig. 3.
+func (o *Oracle) Column(j int, rows []int, dst []float64) {
+	if len(dst) != len(rows) {
+		panic(fmt.Sprintf("affinity: dst length %d != rows length %d", len(dst), len(rows)))
+	}
+	vj := o.Pts[j]
+	n := int64(0)
+	for r, row := range rows {
+		if row == j {
+			dst[r] = 0
+			continue
+		}
+		dst[r] = o.Kernel.Affinity(o.Pts[row], vj)
+		n++
+	}
+	o.computed.Add(n)
+}
+
+// Computed returns the total number of kernel evaluations so far.
+func (o *Oracle) Computed() int64 { return o.computed.Load() }
+
+// ResetComputed zeroes the evaluation counter and returns the previous value.
+func (o *Oracle) ResetComputed() int64 { return o.computed.Swap(0) }
+
+// Dense is a fully materialized n×n affinity matrix with zero diagonal.
+type Dense struct {
+	N    int
+	Data []float64 // row-major, len N*N
+}
+
+// NewDense materializes the full matrix from the oracle: O(n²) time and
+// space, exactly the cost the paper's baselines pay.
+func NewDense(o *Oracle) *Dense {
+	n := o.N()
+	d := &Dense{N: n, Data: make([]float64, n*n)}
+	for i := 0; i < n; i++ {
+		row := d.Data[i*n : (i+1)*n]
+		for j := i + 1; j < n; j++ {
+			a := o.At(i, j)
+			row[j] = a
+			d.Data[j*n+i] = a
+		}
+	}
+	return d
+}
+
+// At returns a_ij.
+func (d *Dense) At(i, j int) float64 { return d.Data[i*d.N+j] }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (d *Dense) Row(i int) []float64 { return d.Data[i*d.N : (i+1)*d.N] }
+
+// MulVec computes dst = A·x. dst and x must have length N and not alias.
+func (d *Dense) MulVec(dst, x []float64) {
+	n := d.N
+	for i := 0; i < n; i++ {
+		row := d.Data[i*n : (i+1)*n]
+		var s float64
+		for j, a := range row {
+			s += a * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// Quad returns xᵀA x, the graph density π(x) of Eq. 2 for subgraph x.
+func (d *Dense) Quad(x []float64) float64 {
+	n := d.N
+	var total float64
+	for i := 0; i < n; i++ {
+		if x[i] == 0 {
+			continue
+		}
+		row := d.Data[i*n : (i+1)*n]
+		var s float64
+		for j, a := range row {
+			s += a * x[j]
+		}
+		total += x[i] * s
+	}
+	return total
+}
+
+// DenseFromSparse expands a sparse matrix into dense storage with zeros at
+// the pruned positions. The Fig. 6 sparsity experiments use this to feed the
+// sparsified graph to dense-matrix methods (IID) without recomputing kernels.
+func DenseFromSparse(s *Sparse) *Dense {
+	d := &Dense{N: s.N, Data: make([]float64, s.N*s.N)}
+	for i := 0; i < s.N; i++ {
+		cols, vals := s.Row(i)
+		row := d.Data[i*s.N : (i+1)*s.N]
+		for t, j := range cols {
+			row[j] = vals[t]
+		}
+	}
+	return d
+}
+
+// Sparse is a CSR matrix holding only the retained (near-neighbor) affinity
+// entries. It is always stored symmetrized with a zero diagonal.
+type Sparse struct {
+	N      int
+	RowPtr []int32
+	Col    []int32
+	Val    []float64
+}
+
+// NewSparse builds a symmetric CSR matrix from per-row neighbor lists. The
+// lists need not be symmetric; an edge present in either direction is kept in
+// both. Self-loops are dropped (a_ii = 0 per Eq. 1).
+func NewSparse(o *Oracle, neighbors [][]int) *Sparse {
+	n := o.N()
+	if len(neighbors) != n {
+		panic(fmt.Sprintf("affinity: %d neighbor lists for %d points", len(neighbors), n))
+	}
+	// Symmetrize the adjacency structure first.
+	adj := make([]map[int32]struct{}, n)
+	for i := range adj {
+		adj[i] = make(map[int32]struct{}, len(neighbors[i]))
+	}
+	for i, list := range neighbors {
+		for _, j := range list {
+			if j == i || j < 0 || j >= n {
+				continue
+			}
+			adj[i][int32(j)] = struct{}{}
+			adj[j][int32(i)] = struct{}{}
+		}
+	}
+	s := &Sparse{N: n, RowPtr: make([]int32, n+1)}
+	total := 0
+	for i := range adj {
+		total += len(adj[i])
+	}
+	s.Col = make([]int32, 0, total)
+	s.Val = make([]float64, 0, total)
+	for i := 0; i < n; i++ {
+		cols := make([]int32, 0, len(adj[i]))
+		for j := range adj[i] {
+			cols = append(cols, j)
+		}
+		sortInt32(cols)
+		for _, j := range cols {
+			s.Col = append(s.Col, j)
+			s.Val = append(s.Val, o.At(i, int(j)))
+		}
+		s.RowPtr[i+1] = int32(len(s.Col))
+	}
+	return s
+}
+
+// NNZ returns the number of stored (nonzero-position) entries.
+func (s *Sparse) NNZ() int { return len(s.Col) }
+
+// SparseDegree returns the fraction of the full n×n matrix that is NOT
+// stored, the "sparse degree" metric of Section 5.1.
+func (s *Sparse) SparseDegree() float64 {
+	n := float64(s.N)
+	return 1 - float64(s.NNZ())/(n*n)
+}
+
+// Row returns the column indices and values of row i (aliases storage).
+func (s *Sparse) Row(i int) ([]int32, []float64) {
+	lo, hi := s.RowPtr[i], s.RowPtr[i+1]
+	return s.Col[lo:hi], s.Val[lo:hi]
+}
+
+// At returns a_ij, zero when the entry is not stored. O(log deg) via binary
+// search over the sorted row.
+func (s *Sparse) At(i, j int) float64 {
+	cols, vals := s.Row(i)
+	lo, hi := 0, len(cols)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cols[mid] < int32(j) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(cols) && cols[lo] == int32(j) {
+		return vals[lo]
+	}
+	return 0
+}
+
+// MulVec computes dst = A·x using only stored entries.
+func (s *Sparse) MulVec(dst, x []float64) {
+	for i := 0; i < s.N; i++ {
+		cols, vals := s.Row(i)
+		var sum float64
+		for t, j := range cols {
+			sum += vals[t] * x[j]
+		}
+		dst[i] = sum
+	}
+}
+
+// Quad returns xᵀAx over stored entries.
+func (s *Sparse) Quad(x []float64) float64 {
+	var total float64
+	for i := 0; i < s.N; i++ {
+		if x[i] == 0 {
+			continue
+		}
+		cols, vals := s.Row(i)
+		var sum float64
+		for t, j := range cols {
+			sum += vals[t] * x[j]
+		}
+		total += x[i] * sum
+	}
+	return total
+}
+
+func sortInt32(a []int32) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}

@@ -1,0 +1,80 @@
+package affinity
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchOracle(b *testing.B, n, dim int) *Oracle {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = rng.NormFloat64()
+		}
+		pts[i] = p
+	}
+	o, err := NewOracle(pts, Kernel{K: 0.5, P: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return o
+}
+
+// BenchmarkColumn measures the lazy column computation at the heart of LID —
+// the only affinity work ALID ever does.
+func BenchmarkColumn(b *testing.B) {
+	o := benchOracle(b, 1000, 100)
+	rows := make([]int, 500)
+	for i := range rows {
+		rows[i] = i * 2
+	}
+	dst := make([]float64, len(rows))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Column(i%1000, rows, dst)
+	}
+}
+
+// BenchmarkNewDense measures the full-matrix materialization the baselines
+// pay (here n=1000: 10⁶ kernel evaluations).
+func BenchmarkNewDense(b *testing.B) {
+	o := benchOracle(b, 1000, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewDense(o)
+	}
+}
+
+// BenchmarkDenseMulVec measures one replicator-dynamics sweep's core cost.
+func BenchmarkDenseMulVec(b *testing.B) {
+	o := benchOracle(b, 1000, 100)
+	m := NewDense(o)
+	x := make([]float64, m.N)
+	for i := range x {
+		x[i] = 1 / float64(m.N)
+	}
+	dst := make([]float64, m.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVec(dst, x)
+	}
+}
+
+// BenchmarkSparseMulVec measures the SEA sweep cost on a 20-NN graph.
+func BenchmarkSparseMulVec(b *testing.B) {
+	o := benchOracle(b, 1000, 100)
+	lists := KNNNeighborLists(o.Pts, o.Kernel, 20)
+	sp := NewSparse(o, lists)
+	x := make([]float64, sp.N)
+	for i := range x {
+		x[i] = 1 / float64(sp.N)
+	}
+	dst := make([]float64, sp.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.MulVec(dst, x)
+	}
+}

@@ -1,0 +1,63 @@
+package affinity
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// KNNNeighborLists computes each point's k exact nearest neighbors under the
+// kernel's norm — the ENN sparsification path of Section 5.1 (Chen et al.),
+// which the paper contrasts with the cheaper LSH/ANN path. O(n²·d) time,
+// parallelized across cores; intended for the sparsity experiments, not for
+// large n.
+func KNNNeighborLists(pts [][]float64, k Kernel, neighbors int) [][]int {
+	n := len(pts)
+	if neighbors > n-1 {
+		neighbors = n - 1
+	}
+	out := make([][]int, n)
+	if neighbors <= 0 {
+		return out
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			type dj struct {
+				d float64
+				j int
+			}
+			ds := make([]dj, 0, n-1)
+			for i := lo; i < hi; i++ {
+				ds = ds[:0]
+				for j := 0; j < n; j++ {
+					if j != i {
+						ds = append(ds, dj{k.Distance(pts[i], pts[j]), j})
+					}
+				}
+				sort.Slice(ds, func(a, b int) bool { return ds[a].d < ds[b].d })
+				lst := make([]int, neighbors)
+				for t := 0; t < neighbors; t++ {
+					lst[t] = ds[t].j
+				}
+				out[i] = lst
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,95 @@
+package affinity
+
+import (
+	"math/rand"
+	"testing"
+
+	"alid/internal/vec"
+)
+
+func TestKNNNeighborListsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	pts := make([][]float64, 50)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64() * 10, rng.Float64() * 10}
+	}
+	kern := DefaultKernel()
+	lists := KNNNeighborLists(pts, kern, 5)
+	for i, list := range lists {
+		if len(list) != 5 {
+			t.Fatalf("point %d has %d neighbors", i, len(list))
+		}
+		// Verify against brute force: the max distance in the list must not
+		// exceed the 5th smallest distance overall.
+		var all []float64
+		for j := range pts {
+			if j != i {
+				all = append(all, vec.L2(pts[i], pts[j]))
+			}
+		}
+		kth := kthSmallest(all, 5)
+		for _, j := range list {
+			if d := vec.L2(pts[i], pts[j]); d > kth+1e-12 {
+				t.Fatalf("point %d: neighbor %d at %v beyond 5-NN radius %v", i, j, d, kth)
+			}
+			if j == i {
+				t.Fatalf("point %d lists itself", i)
+			}
+		}
+	}
+}
+
+func TestKNNNeighborListsClamped(t *testing.T) {
+	pts := [][]float64{{0, 0}, {1, 1}, {2, 2}}
+	lists := KNNNeighborLists(pts, DefaultKernel(), 10)
+	for i, l := range lists {
+		if len(l) != 2 {
+			t.Fatalf("point %d: %d neighbors, want 2", i, len(l))
+		}
+	}
+	empty := KNNNeighborLists(pts, DefaultKernel(), 0)
+	for _, l := range empty {
+		if len(l) != 0 {
+			t.Fatal("k=0 should give empty lists")
+		}
+	}
+}
+
+func TestKNNFeedsSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	pts := make([][]float64, 30)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64(), rng.Float64()}
+	}
+	o, err := NewOracle(pts, DefaultKernel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := NewSparse(o, KNNNeighborLists(pts, o.Kernel, 4))
+	if sp.NNZ() == 0 {
+		t.Fatal("empty sparse matrix from kNN lists")
+	}
+	// Symmetric with zero diagonal, as always.
+	for i := 0; i < sp.N; i++ {
+		cols, vals := sp.Row(i)
+		for t2, j := range cols {
+			if sp.At(int(j), i) != vals[t2] {
+				t.Fatal("asymmetric")
+			}
+		}
+	}
+}
+
+func kthSmallest(a []float64, k int) float64 {
+	b := append([]float64(nil), a...)
+	for i := 0; i < k; i++ {
+		min := i
+		for j := i + 1; j < len(b); j++ {
+			if b[j] < b[min] {
+				min = j
+			}
+		}
+		b[i], b[min] = b[min], b[i]
+	}
+	return b[k-1]
+}

@@ -1,0 +1,185 @@
+package ap
+
+import (
+	"context"
+	"testing"
+
+	"alid/internal/affinity"
+	"alid/internal/baselines"
+	"alid/internal/testutil"
+)
+
+func denseSim(t *testing.T, pts [][]float64, k affinity.Kernel) (*affinity.Oracle, *affinity.Dense) {
+	t.Helper()
+	o, err := affinity.NewOracle(pts, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o, affinity.NewDense(o)
+}
+
+func fullSparse(o *affinity.Oracle) *affinity.Sparse {
+	n := o.N()
+	nbrs := make([][]int, n)
+	for i := range nbrs {
+		for j := 0; j < n; j++ {
+			if j != i {
+				nbrs[i] = append(nbrs[i], j)
+			}
+		}
+	}
+	return affinity.NewSparse(o, nbrs)
+}
+
+func TestDenseSeparatedBlobs(t *testing.T) {
+	pts, labels := testutil.Blobs(3, [][]float64{{0, 0}, {10, 0}, {0, 10}}, 15, 0.3, 0, 0, 1)
+	_, sim := denseSim(t, pts, affinity.Kernel{K: 0.5, P: 2})
+	clusters, exemplars, err := SolveDense(context.Background(), sim, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exemplars) < 3 {
+		t.Fatalf("exemplars = %d, want ≥ 3", len(exemplars))
+	}
+	// Every cluster pure; all blobs covered.
+	covered := map[int]bool{}
+	total := 0
+	for _, cl := range clusters {
+		p, lbl := testutil.Purity(cl.Members, labels)
+		if p < 0.99 {
+			t.Fatalf("impure AP cluster: %v", p)
+		}
+		covered[lbl] = true
+		total += cl.Size()
+	}
+	if total != len(pts) {
+		t.Fatalf("AP assigned %d of %d points", total, len(pts))
+	}
+	for b := 0; b < 3; b++ {
+		if !covered[b] {
+			t.Fatalf("blob %d not covered", b)
+		}
+	}
+}
+
+func TestDenseDensityFiltersNoise(t *testing.T) {
+	pts, labels := testutil.Blobs(7, [][]float64{{0, 0}, {10, 10}}, 15, 0.3, 15, 0, 10)
+	_, sim := denseSim(t, pts, affinity.Kernel{K: 0.5, P: 2})
+	clusters, _, err := SolveDense(context.Background(), sim, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := baselines.FilterClusters(clusters, 0.6, 2)
+	for _, cl := range kept {
+		_, lbl := testutil.Purity(cl.Members, labels)
+		if lbl == -1 {
+			t.Fatalf("noise cluster passed density filter: density=%v", cl.Density)
+		}
+	}
+	if len(kept) < 2 {
+		t.Fatalf("kept %d clusters, want ≥ 2", len(kept))
+	}
+}
+
+func TestSparseMatchesDenseOnFullGraph(t *testing.T) {
+	pts, labels := testutil.Blobs(5, [][]float64{{0, 0}, {8, 8}}, 10, 0.3, 0, 0, 1)
+	o, sim := denseSim(t, pts, affinity.Kernel{K: 0.5, P: 2})
+	sp := fullSparse(o)
+	dc, _, err := SolveDense(context.Background(), sim, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, _, err := SolveSparse(context.Background(), sp, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same blob structure recovered by both (purity per cluster).
+	for _, set := range [][]*baselines.Cluster{dc, sc} {
+		covered := map[int]bool{}
+		for _, cl := range set {
+			p, lbl := testutil.Purity(cl.Members, labels)
+			if p < 0.99 {
+				t.Fatalf("impure cluster: purity=%v", p)
+			}
+			covered[lbl] = true
+		}
+		if !covered[0] || !covered[1] {
+			t.Fatalf("blobs not covered: %v", covered)
+		}
+	}
+}
+
+func TestSparseIsolatedPointsBecomeSingletons(t *testing.T) {
+	pts := [][]float64{{0, 0}, {0.1, 0}, {0.05, 0.1}, {500, 500}}
+	o, err := affinity.NewOracle(pts, affinity.Kernel{K: 1, P: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the triangle is connected; point 3 has no edges.
+	sp := affinity.NewSparse(o, [][]int{{1, 2}, {0, 2}, {0, 1}, {}})
+	clusters, _, err := SolveSparse(context.Background(), sp, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	assignedTotal := 0
+	for _, cl := range clusters {
+		assignedTotal += cl.Size()
+		if cl.Size() == 1 && cl.Members[0] == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("isolated point did not become a singleton cluster")
+	}
+	if assignedTotal != 4 {
+		t.Fatalf("assigned %d of 4 points", assignedTotal)
+	}
+}
+
+func TestPreferenceControlsClusterCount(t *testing.T) {
+	pts, _ := testutil.Blobs(11, [][]float64{{0, 0}, {6, 6}}, 12, 0.4, 0, 0, 1)
+	_, sim := denseSim(t, pts, affinity.Kernel{K: 0.5, P: 2})
+	lowCfg := DefaultConfig()
+	lowCfg.Preference = -5 // strongly discourage exemplars
+	lowCfg.PreferenceSet = true
+	highCfg := DefaultConfig()
+	highCfg.Preference = 0.99 // nearly every point an exemplar
+	highCfg.PreferenceSet = true
+	_, exLow, err := SolveDense(context.Background(), sim, lowCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, exHigh, err := SolveDense(context.Background(), sim, highCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(len(exHigh) > len(exLow)) {
+		t.Fatalf("preference had no effect: low=%d high=%d", len(exLow), len(exHigh))
+	}
+}
+
+func TestContextCancel(t *testing.T) {
+	pts, _ := testutil.Blobs(13, [][]float64{{0, 0}}, 20, 0.3, 0, 0, 1)
+	_, sim := denseSim(t, pts, affinity.Kernel{K: 0.5, P: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := SolveDense(ctx, sim, DefaultConfig()); err == nil {
+		t.Fatal("cancelled context should abort dense AP")
+	}
+	o, _ := affinity.NewOracle(pts, affinity.Kernel{K: 0.5, P: 2})
+	if _, _, err := SolveSparse(ctx, fullSparse(o), DefaultConfig()); err == nil {
+		t.Fatal("cancelled context should abort sparse AP")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Damping != 0.9 || c.MaxIter != 300 || c.ConvIter != 30 {
+		t.Fatalf("withDefaults gave %+v", c)
+	}
+	c2 := Config{Damping: 0.7, MaxIter: 50, ConvIter: 5}.withDefaults()
+	if c2.Damping != 0.7 || c2.MaxIter != 50 || c2.ConvIter != 5 {
+		t.Fatalf("explicit values clobbered: %+v", c2)
+	}
+}

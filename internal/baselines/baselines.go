@@ -1,0 +1,92 @@
+// Package baselines holds the shared contract for the compared methods of
+// Section 5: every affinity-based baseline (IID, DS, SEA, AP) and
+// partitioning baseline (KM, SC-FL, SC-NYS, MS) produces clusters in the same
+// shape so the experiment harness can score them uniformly.
+package baselines
+
+import "sort"
+
+// Cluster is a detected cluster: members, optional simplex weights, and the
+// subgraph density π(x) where the method defines one (partitioning methods
+// report 0).
+type Cluster struct {
+	Members []int
+	Weights []float64
+	Density float64
+}
+
+// Size returns the number of members.
+func (c *Cluster) Size() int { return len(c.Members) }
+
+// Labels flattens clusters into a per-point assignment (-1 = unassigned).
+// Overlapping memberships resolve to the densest cluster.
+func Labels(n int, clusters []*Cluster) []int {
+	label := make([]int, n)
+	best := make([]float64, n)
+	for i := range label {
+		label[i] = -1
+		best[i] = -1
+	}
+	for ci, cl := range clusters {
+		for _, m := range cl.Members {
+			if label[m] == -1 || cl.Density > best[m] {
+				label[m] = ci
+				best[m] = cl.Density
+			}
+		}
+	}
+	return label
+}
+
+// FilterClusters keeps clusters with density ≥ minDensity and at least
+// minSize members, sorted by decreasing density — the paper's cluster
+// selection rule (π(x) ≥ 0.75).
+func FilterClusters(clusters []*Cluster, minDensity float64, minSize int) []*Cluster {
+	var out []*Cluster
+	for _, c := range clusters {
+		if c.Density >= minDensity && c.Size() >= minSize {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Density > out[j].Density })
+	return out
+}
+
+// PeelState tracks which vertices remain during the peeling scheme shared by
+// DS, IID and ALID (Section 4.4).
+type PeelState struct {
+	Active    []bool
+	Remaining int
+}
+
+// NewPeelState marks all n vertices active.
+func NewPeelState(n int) *PeelState {
+	a := make([]bool, n)
+	for i := range a {
+		a[i] = true
+	}
+	return &PeelState{Active: a, Remaining: n}
+}
+
+// Peel removes the given members; it returns how many were newly removed.
+func (p *PeelState) Peel(members []int) int {
+	removed := 0
+	for _, m := range members {
+		if p.Active[m] {
+			p.Active[m] = false
+			p.Remaining--
+			removed++
+		}
+	}
+	return removed
+}
+
+// NextActive returns the smallest active index at or after from, or -1.
+func (p *PeelState) NextActive(from int) int {
+	for i := from; i < len(p.Active); i++ {
+		if p.Active[i] {
+			return i
+		}
+	}
+	return -1
+}

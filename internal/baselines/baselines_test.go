@@ -1,0 +1,68 @@
+package baselines
+
+import "testing"
+
+func TestLabelsOverlapResolution(t *testing.T) {
+	clusters := []*Cluster{
+		{Members: []int{0, 1}, Density: 0.5},
+		{Members: []int{1, 2}, Density: 0.9},
+	}
+	lbl := Labels(4, clusters)
+	want := []int{0, 1, 1, -1}
+	for i := range want {
+		if lbl[i] != want[i] {
+			t.Fatalf("Labels = %v, want %v", lbl, want)
+		}
+	}
+}
+
+func TestFilterClusters(t *testing.T) {
+	clusters := []*Cluster{
+		{Members: []int{0, 1}, Density: 0.9},
+		{Members: []int{2}, Density: 0.95},      // too small
+		{Members: []int{3, 4, 5}, Density: 0.5}, // too sparse
+		{Members: []int{6, 7}, Density: 0.99},
+	}
+	out := FilterClusters(clusters, 0.75, 2)
+	if len(out) != 2 {
+		t.Fatalf("kept %d clusters, want 2", len(out))
+	}
+	if out[0].Density != 0.99 || out[1].Density != 0.9 {
+		t.Fatalf("not sorted by density: %v %v", out[0].Density, out[1].Density)
+	}
+}
+
+func TestPeelState(t *testing.T) {
+	p := NewPeelState(5)
+	if p.Remaining != 5 {
+		t.Fatalf("Remaining = %d", p.Remaining)
+	}
+	if got := p.Peel([]int{1, 3}); got != 2 {
+		t.Fatalf("Peel = %d", got)
+	}
+	if got := p.Peel([]int{1}); got != 0 {
+		t.Fatalf("re-peel = %d", got)
+	}
+	if p.Remaining != 3 {
+		t.Fatalf("Remaining = %d", p.Remaining)
+	}
+	if p.NextActive(0) != 0 {
+		t.Fatal("NextActive(0)")
+	}
+	if p.NextActive(1) != 2 {
+		t.Fatal("NextActive(1)")
+	}
+	p.Peel([]int{0, 2, 4})
+	if p.NextActive(0) != -1 {
+		t.Fatal("NextActive after all peeled")
+	}
+}
+
+func TestLabelsEmpty(t *testing.T) {
+	lbl := Labels(3, nil)
+	for _, l := range lbl {
+		if l != -1 {
+			t.Fatal("empty clusters should label everything -1")
+		}
+	}
+}

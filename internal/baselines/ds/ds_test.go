@@ -1,0 +1,121 @@
+package ds
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"alid/internal/affinity"
+	"alid/internal/testutil"
+)
+
+func oracleFor(t *testing.T, pts [][]float64, k affinity.Kernel) *affinity.Oracle {
+	t.Helper()
+	o, err := affinity.NewOracle(pts, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func allActive(n int) []bool {
+	a := make([]bool, n)
+	for i := range a {
+		a[i] = true
+	}
+	return a
+}
+
+func TestReplicatorFindsMaxClique(t *testing.T) {
+	pts, _ := testutil.Cliques(6, 3)
+	s := New(oracleFor(t, pts, affinity.Kernel{K: 5, P: 2}), DefaultConfig())
+	cl, err := s.DetectOne(context.Background(), allActive(len(pts)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cl.Density-(1-1.0/6)) > 1e-4 {
+		t.Fatalf("density = %v, want %v", cl.Density, 1-1.0/6)
+	}
+	if cl.Size() != 6 {
+		t.Fatalf("size = %d, want 6", cl.Size())
+	}
+	// Clique weights uniform.
+	for _, w := range cl.Weights {
+		if math.Abs(w-1.0/6) > 1e-3 {
+			t.Fatalf("weights not uniform: %v", cl.Weights)
+		}
+	}
+}
+
+func TestDetectAllCliques(t *testing.T) {
+	pts, labels := testutil.Cliques(6, 5)
+	s := New(oracleFor(t, pts, affinity.Kernel{K: 5, P: 2}), DefaultConfig())
+	clusters, err := s.DetectAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %d, want 2", len(clusters))
+	}
+	for _, cl := range clusters {
+		p, _ := testutil.Purity(cl.Members, labels)
+		if p != 1 {
+			t.Fatalf("impure cluster")
+		}
+	}
+}
+
+func TestBlobs(t *testing.T) {
+	pts, labels := testutil.Blobs(11, [][]float64{{0, 0}, {12, 12}}, 20, 0.3, 8, 0, 12)
+	s := New(oracleFor(t, pts, affinity.Kernel{K: 0.3, P: 2}), DefaultConfig())
+	clusters, err := s.DetectAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := map[int]bool{}
+	for _, cl := range clusters {
+		p, lbl := testutil.Purity(cl.Members, labels)
+		if lbl == -1 {
+			t.Fatalf("noise cluster above threshold: density %v", cl.Density)
+		}
+		if p < 0.9 {
+			t.Fatalf("impure: %v", p)
+		}
+		covered[lbl] = true
+	}
+	if !covered[0] || !covered[1] {
+		t.Fatalf("blobs not covered")
+	}
+}
+
+func TestIsolatedPointsProgress(t *testing.T) {
+	// Points so far apart that all affinities ≈ 0: peeling must still
+	// terminate (via the singleton fallback).
+	pts := [][]float64{{0, 0}, {1e6, 0}, {0, 1e6}}
+	s := New(oracleFor(t, pts, affinity.Kernel{K: 5, P: 2}), DefaultConfig())
+	clusters, err := s.DetectAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 0 {
+		t.Fatalf("isolated points formed clusters: %d", len(clusters))
+	}
+}
+
+func TestNoActive(t *testing.T) {
+	pts, _ := testutil.Cliques(3)
+	s := New(oracleFor(t, pts, affinity.Kernel{K: 5, P: 2}), DefaultConfig())
+	if _, err := s.DetectOne(context.Background(), make([]bool, len(pts))); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestContextCancel(t *testing.T) {
+	pts, _ := testutil.Blobs(5, [][]float64{{0, 0}}, 50, 0.5, 0, 0, 1)
+	s := New(oracleFor(t, pts, affinity.Kernel{K: 1, P: 2}), DefaultConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.DetectOne(ctx, allActive(len(pts))); err == nil {
+		t.Fatal("cancelled context should abort")
+	}
+}

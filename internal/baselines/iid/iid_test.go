@@ -1,0 +1,148 @@
+package iid
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"alid/internal/affinity"
+	"alid/internal/testutil"
+)
+
+func oracleFor(t *testing.T, pts [][]float64, k affinity.Kernel) *affinity.Oracle {
+	t.Helper()
+	o, err := affinity.NewOracle(pts, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func allActive(n int) []bool {
+	a := make([]bool, n)
+	for i := range a {
+		a[i] = true
+	}
+	return a
+}
+
+func TestMotzkinStraus(t *testing.T) {
+	pts, _ := testutil.Cliques(5, 3)
+	s := New(oracleFor(t, pts, affinity.Kernel{K: 5, P: 2}), DefaultConfig())
+	cl, err := s.DetectOne(context.Background(), allActive(len(pts)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Largest clique size 5 → density 1 − 1/5 = 0.8.
+	if math.Abs(cl.Density-0.8) > 1e-6 {
+		t.Fatalf("density = %v, want 0.8", cl.Density)
+	}
+	if cl.Size() != 5 {
+		t.Fatalf("size = %d, want 5", cl.Size())
+	}
+	for _, m := range cl.Members {
+		if m >= 5 {
+			t.Fatalf("member %d not in 5-clique", m)
+		}
+	}
+}
+
+func TestDetectAllPeelsCliques(t *testing.T) {
+	pts, labels := testutil.Cliques(5, 4, 3)
+	s := New(oracleFor(t, pts, affinity.Kernel{K: 5, P: 2}), DefaultConfig())
+	clusters, err := s.DetectAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Densities 0.8, 0.75, 0.667: threshold 0.75 keeps the two largest.
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %d, want 2", len(clusters))
+	}
+	for _, cl := range clusters {
+		p, _ := testutil.Purity(cl.Members, labels)
+		if p != 1 {
+			t.Fatalf("impure clique cluster: purity %v", p)
+		}
+	}
+}
+
+func TestBlobsPureClusters(t *testing.T) {
+	pts, labels := testutil.Blobs(3, [][]float64{{0, 0}, {12, 12}}, 25, 0.3, 10, 0, 12)
+	cfg := DefaultConfig()
+	s := New(oracleFor(t, pts, affinity.Kernel{K: 0.3, P: 2}), cfg)
+	clusters, err := s.DetectAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) < 2 {
+		t.Fatalf("clusters = %d, want ≥ 2", len(clusters))
+	}
+	covered := map[int]bool{}
+	for _, cl := range clusters {
+		p, lbl := testutil.Purity(cl.Members, labels)
+		if p < 0.9 || lbl == -1 {
+			t.Fatalf("bad cluster: purity=%v majority=%d", p, lbl)
+		}
+		covered[lbl] = true
+	}
+	if !covered[0] || !covered[1] {
+		t.Fatalf("blobs not covered: %v", covered)
+	}
+}
+
+func TestDetectOneNoActive(t *testing.T) {
+	pts, _ := testutil.Cliques(3)
+	s := New(oracleFor(t, pts, affinity.Kernel{K: 5, P: 2}), DefaultConfig())
+	if _, err := s.DetectOne(context.Background(), make([]bool, len(pts))); err == nil {
+		t.Fatal("expected error with no active vertices")
+	}
+}
+
+func TestContextCancel(t *testing.T) {
+	pts, _ := testutil.Blobs(5, [][]float64{{0, 0}}, 60, 0.5, 0, 0, 1)
+	s := New(oracleFor(t, pts, affinity.Kernel{K: 1, P: 2}), DefaultConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.DetectOne(ctx, allActive(len(pts))); err == nil {
+		t.Fatal("cancelled context should abort")
+	}
+}
+
+func TestNewFromDenseSharesMatrix(t *testing.T) {
+	pts, _ := testutil.Cliques(4, 2)
+	o := oracleFor(t, pts, affinity.Kernel{K: 5, P: 2})
+	m := affinity.NewDense(o)
+	s := NewFromDense(m, Config{})
+	cl, err := s.DetectOne(context.Background(), allActive(len(pts)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cl.Density-0.75) > 1e-6 {
+		t.Fatalf("density = %v, want 0.75", cl.Density)
+	}
+}
+
+// IID and the localized LID must land on the same optimum when LID's local
+// range is the whole graph — the defining relationship of the paper.
+func TestAgreesWithGlobalOptimumStructure(t *testing.T) {
+	pts, _ := testutil.Blobs(7, [][]float64{{0, 0}, {9, 9}}, 15, 0.3, 5, 0, 9)
+	o := oracleFor(t, pts, affinity.Kernel{K: 0.4, P: 2})
+	s := New(o, DefaultConfig())
+	cl, err := s.DetectOne(context.Background(), allActive(len(pts)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify KKT: no vertex payoff exceeds density.
+	g := make([]float64, len(pts))
+	x := make([]float64, len(pts))
+	for i, m := range cl.Members {
+		x[m] = cl.Weights[i]
+	}
+	dm := affinity.NewDense(o)
+	dm.MulVec(g, x)
+	for i := range pts {
+		if g[i]-cl.Density > 1e-5 {
+			t.Fatalf("vertex %d infective at convergence: %v > %v", i, g[i], cl.Density)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package iid
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"alid/internal/affinity"
+	"alid/internal/testutil"
+)
+
+func fullSparseOf(t *testing.T, pts [][]float64, k affinity.Kernel) *affinity.Sparse {
+	t.Helper()
+	o := oracleFor(t, pts, k)
+	nbrs := make([][]int, len(pts))
+	for i := range nbrs {
+		for j := range pts {
+			if j != i {
+				nbrs[i] = append(nbrs[i], j)
+			}
+		}
+	}
+	return affinity.NewSparse(o, nbrs)
+}
+
+// On a full sparse matrix the sparse solver must agree with the dense one.
+func TestSparseMatchesDenseOnFullGraph(t *testing.T) {
+	pts, _ := testutil.Blobs(3, [][]float64{{0, 0}, {10, 10}}, 15, 0.3, 8, 0, 10)
+	kern := affinity.Kernel{K: 0.3, P: 2}
+	dense := New(oracleFor(t, pts, kern), DefaultConfig())
+	sparse := NewFromSparse(fullSparseOf(t, pts, kern), DefaultConfig())
+
+	active := allActive(len(pts))
+	dc, err := dense.DetectOne(context.Background(), active)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := sparse.DetectOne(context.Background(), active)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dc.Density-sc.Density) > 1e-6 {
+		t.Fatalf("densities diverge: dense %v vs sparse %v", dc.Density, sc.Density)
+	}
+	if len(dc.Members) != len(sc.Members) {
+		t.Fatalf("support sizes diverge: %d vs %d", len(dc.Members), len(sc.Members))
+	}
+	for i := range dc.Members {
+		if dc.Members[i] != sc.Members[i] {
+			t.Fatalf("members diverge at %d", i)
+		}
+	}
+}
+
+func TestSparseMotzkinStraus(t *testing.T) {
+	pts, _ := testutil.Cliques(5, 3)
+	sp := fullSparseOf(t, pts, affinity.Kernel{K: 5, P: 2})
+	s := NewFromSparse(sp, DefaultConfig())
+	cl, err := s.DetectOne(context.Background(), allActive(len(pts)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cl.Density-0.8) > 1e-6 {
+		t.Fatalf("density = %v, want 0.8", cl.Density)
+	}
+}
+
+func TestSparseDetectAllPeels(t *testing.T) {
+	pts, labels := testutil.Cliques(5, 4)
+	sp := fullSparseOf(t, pts, affinity.Kernel{K: 5, P: 2})
+	s := NewFromSparse(sp, DefaultConfig())
+	clusters, err := s.DetectAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %d, want 2", len(clusters))
+	}
+	for _, cl := range clusters {
+		if p, _ := testutil.Purity(cl.Members, labels); p != 1 {
+			t.Fatal("impure cluster")
+		}
+	}
+}
+
+func TestSparseNoActive(t *testing.T) {
+	pts, _ := testutil.Cliques(3)
+	sp := fullSparseOf(t, pts, affinity.Kernel{K: 5, P: 2})
+	s := NewFromSparse(sp, DefaultConfig())
+	if _, err := s.DetectOne(context.Background(), make([]bool, len(pts))); err == nil {
+		t.Fatal("expected error with no active vertices")
+	}
+}
+
+func TestSparseContextCancel(t *testing.T) {
+	pts, _ := testutil.Blobs(5, [][]float64{{0, 0}}, 40, 0.5, 0, 0, 1)
+	sp := fullSparseOf(t, pts, affinity.Kernel{K: 1, P: 2})
+	s := NewFromSparse(sp, DefaultConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.DetectOne(ctx, allActive(len(pts))); err == nil {
+		t.Fatal("cancelled context should abort")
+	}
+}

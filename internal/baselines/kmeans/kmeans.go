@@ -1,0 +1,189 @@
+// Package kmeans implements the k-means baseline (Lloyd 1982) with
+// k-means++ seeding, the canonical partitioning method whose noise
+// sensitivity the Fig. 11 experiments demonstrate: every point — including
+// background noise — is forced into one of K clusters.
+package kmeans
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"alid/internal/baselines"
+	"alid/internal/vec"
+)
+
+// Config controls Lloyd iterations.
+type Config struct {
+	// K is the number of clusters (the paper sets true clusters + 1,
+	// counting noise as an extra cluster, following Liu et al.).
+	K int
+	// MaxIter bounds Lloyd sweeps.
+	MaxIter int
+	// Tol stops when no assignment changes.
+	Tol float64
+	// Seed drives k-means++ initialization.
+	Seed int64
+	// Restarts keeps the best of this many runs (by within-cluster SSE).
+	Restarts int
+}
+
+// DefaultConfig returns a standard setup for the given K.
+func DefaultConfig(k int) Config {
+	return Config{K: k, MaxIter: 100, Seed: 1, Restarts: 3}
+}
+
+// Result is a completed clustering.
+type Result struct {
+	// Assign maps each point to a cluster in [0, K).
+	Assign []int
+	// Centers holds the final centroids.
+	Centers [][]float64
+	// SSE is the within-cluster sum of squared distances.
+	SSE float64
+	// Iterations actually used by the best restart.
+	Iterations int
+}
+
+// Run clusters the points. An error is returned for invalid K.
+func Run(ctx context.Context, pts [][]float64, cfg Config) (*Result, error) {
+	if cfg.K <= 0 || cfg.K > len(pts) {
+		return nil, fmt.Errorf("kmeans: K=%d invalid for %d points", cfg.K, len(pts))
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 100
+	}
+	if cfg.Restarts <= 0 {
+		cfg.Restarts = 1
+	}
+	var best *Result
+	for rs := 0; rs < cfg.Restarts; rs++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(rs)*9973))
+		res := runOnce(ctx, pts, cfg, rng)
+		if res == nil {
+			return nil, ctx.Err()
+		}
+		if best == nil || res.SSE < best.SSE {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+func runOnce(ctx context.Context, pts [][]float64, cfg Config, rng *rand.Rand) *Result {
+	centers := seedPlusPlus(pts, cfg.K, rng)
+	assign := make([]int, len(pts))
+	for i := range assign {
+		assign[i] = -1
+	}
+	iters := 0
+	for it := 0; it < cfg.MaxIter; it++ {
+		if ctx.Err() != nil {
+			return nil
+		}
+		iters = it + 1
+		changed := 0
+		for i, p := range pts {
+			c := nearest(centers, p)
+			if c != assign[i] {
+				assign[i] = c
+				changed++
+			}
+		}
+		// Recompute centroids; empty clusters get re-seeded at the farthest
+		// point from its center.
+		counts := make([]int, cfg.K)
+		sums := make([][]float64, cfg.K)
+		for c := range sums {
+			sums[c] = make([]float64, len(pts[0]))
+		}
+		for i, p := range pts {
+			counts[assign[i]]++
+			vec.Axpy(sums[assign[i]], 1, p)
+		}
+		for c := range centers {
+			if counts[c] == 0 {
+				centers[c] = vec.Clone(pts[rng.Intn(len(pts))])
+				continue
+			}
+			vec.Scale(sums[c], 1/float64(counts[c]))
+			centers[c] = sums[c]
+		}
+		if changed == 0 {
+			break
+		}
+	}
+	var sse float64
+	for i, p := range pts {
+		sse += vec.SquaredL2(p, centers[assign[i]])
+	}
+	return &Result{Assign: assign, Centers: centers, SSE: sse, Iterations: iters}
+}
+
+// seedPlusPlus is the k-means++ D² seeding of Arthur & Vassilvitskii.
+func seedPlusPlus(pts [][]float64, k int, rng *rand.Rand) [][]float64 {
+	centers := make([][]float64, 0, k)
+	centers = append(centers, vec.Clone(pts[rng.Intn(len(pts))]))
+	d2 := make([]float64, len(pts))
+	for i, p := range pts {
+		d2[i] = vec.SquaredL2(p, centers[0])
+	}
+	for len(centers) < k {
+		var total float64
+		for _, d := range d2 {
+			total += d
+		}
+		var next int
+		if total <= 0 {
+			next = rng.Intn(len(pts))
+		} else {
+			r := rng.Float64() * total
+			var acc float64
+			for i, d := range d2 {
+				acc += d
+				if acc >= r {
+					next = i
+					break
+				}
+			}
+		}
+		c := vec.Clone(pts[next])
+		centers = append(centers, c)
+		for i, p := range pts {
+			if nd := vec.SquaredL2(p, c); nd < d2[i] {
+				d2[i] = nd
+			}
+		}
+	}
+	return centers
+}
+
+func nearest(centers [][]float64, p []float64) int {
+	best, bestD := 0, math.Inf(1)
+	for c, ctr := range centers {
+		if d := vec.SquaredL2(p, ctr); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// Clusters converts a Result into the shared cluster shape (density 0:
+// partitioning methods define no subgraph density).
+func (r *Result) Clusters() []*baselines.Cluster {
+	groups := make(map[int][]int)
+	for i, c := range r.Assign {
+		groups[c] = append(groups[c], i)
+	}
+	out := make([]*baselines.Cluster, 0, len(groups))
+	for c := 0; c < len(r.Centers); c++ {
+		if members, ok := groups[c]; ok {
+			out = append(out, &baselines.Cluster{Members: members})
+		}
+	}
+	return out
+}

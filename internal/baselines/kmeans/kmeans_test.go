@@ -1,0 +1,111 @@
+package kmeans
+
+import (
+	"context"
+	"testing"
+
+	"alid/internal/testutil"
+)
+
+func TestPerfectBlobs(t *testing.T) {
+	pts, labels := testutil.Blobs(3, [][]float64{{0, 0}, {20, 0}, {0, 20}}, 30, 0.5, 0, 0, 1)
+	res, err := Run(context.Background(), pts, DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every cluster must be pure on well-separated blobs.
+	for _, cl := range res.Clusters() {
+		p, _ := testutil.Purity(cl.Members, labels)
+		if p != 1 {
+			t.Fatalf("impure k-means cluster: %v", p)
+		}
+	}
+	if len(res.Clusters()) != 3 {
+		t.Fatalf("clusters = %d", len(res.Clusters()))
+	}
+}
+
+func TestInvalidK(t *testing.T) {
+	pts, _ := testutil.Blobs(5, [][]float64{{0, 0}}, 5, 0.5, 0, 0, 1)
+	if _, err := Run(context.Background(), pts, DefaultConfig(0)); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := Run(context.Background(), pts, DefaultConfig(6)); err == nil {
+		t.Error("K>n accepted")
+	}
+}
+
+func TestSSEDecreasesWithK(t *testing.T) {
+	pts, _ := testutil.Blobs(7, [][]float64{{0, 0}, {10, 0}, {0, 10}, {10, 10}}, 20, 1.0, 0, 0, 1)
+	var prev float64
+	for i, k := range []int{1, 2, 4} {
+		res, err := Run(context.Background(), pts, DefaultConfig(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && res.SSE > prev {
+			t.Fatalf("SSE increased from K: %v -> %v", prev, res.SSE)
+		}
+		prev = res.SSE
+	}
+}
+
+func TestAssignmentsComplete(t *testing.T) {
+	pts, _ := testutil.Blobs(9, [][]float64{{0, 0}, {5, 5}}, 25, 0.8, 10, 0, 5)
+	res, err := Run(context.Background(), pts, DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assign) != len(pts) {
+		t.Fatalf("assign length %d", len(res.Assign))
+	}
+	for i, a := range res.Assign {
+		if a < 0 || a >= 3 {
+			t.Fatalf("point %d assigned to %d", i, a)
+		}
+	}
+	total := 0
+	for _, cl := range res.Clusters() {
+		total += cl.Size()
+	}
+	if total != len(pts) {
+		t.Fatalf("clusters cover %d of %d (partitioning must cover all)", total, len(pts))
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	pts, _ := testutil.Blobs(11, [][]float64{{0, 0}, {8, 8}}, 20, 0.6, 0, 0, 1)
+	a, err := Run(context.Background(), pts, DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), pts, DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("nondeterministic with fixed seed")
+		}
+	}
+}
+
+func TestKEqualsN(t *testing.T) {
+	pts, _ := testutil.Blobs(13, [][]float64{{0, 0}}, 4, 1.0, 0, 0, 1)
+	res, err := Run(context.Background(), pts, DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SSE > 1e-9 {
+		t.Fatalf("K=n should give zero SSE, got %v", res.SSE)
+	}
+}
+
+func TestContextCancel(t *testing.T) {
+	pts, _ := testutil.Blobs(17, [][]float64{{0, 0}}, 50, 1.0, 0, 0, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, pts, DefaultConfig(3)); err == nil {
+		t.Fatal("cancelled context should abort")
+	}
+}

@@ -1,0 +1,97 @@
+package meanshift
+
+import (
+	"context"
+	"testing"
+
+	"alid/internal/testutil"
+	"alid/internal/vec"
+)
+
+func TestTwoBlobsTwoModes(t *testing.T) {
+	pts, labels := testutil.Blobs(3, [][]float64{{0, 0}, {10, 10}}, 20, 0.4, 0, 0, 1)
+	res, err := Run(context.Background(), pts, DefaultConfig(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters := res.Clusters()
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %d, want 2", len(clusters))
+	}
+	for _, cl := range clusters {
+		p, _ := testutil.Purity(cl.Members, labels)
+		if p != 1 {
+			t.Fatalf("impure mean-shift cluster")
+		}
+	}
+	// Modes near the true centers.
+	foundOrigin, foundFar := false, false
+	for _, m := range res.Modes {
+		if vec.L2(m, []float64{0, 0}) < 1 {
+			foundOrigin = true
+		}
+		if vec.L2(m, []float64{10, 10}) < 1 {
+			foundFar = true
+		}
+	}
+	if !foundOrigin || !foundFar {
+		t.Fatalf("modes off-center: %v", res.Modes)
+	}
+}
+
+func TestBandwidthValidation(t *testing.T) {
+	pts, _ := testutil.Blobs(5, [][]float64{{0, 0}}, 5, 0.5, 0, 0, 1)
+	if _, err := Run(context.Background(), pts, Config{Bandwidth: 0}); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	if _, err := Run(context.Background(), pts, Config{Bandwidth: -1}); err == nil {
+		t.Error("negative bandwidth accepted")
+	}
+}
+
+func TestOversmoothingMergesBlobs(t *testing.T) {
+	// A bandwidth comparable to the blob separation merges everything into
+	// one mode — the failure mode Section 2 attributes to mean shift.
+	pts, _ := testutil.Blobs(7, [][]float64{{0, 0}, {4, 4}}, 15, 0.4, 0, 0, 1)
+	res, err := Run(context.Background(), pts, DefaultConfig(6.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Clusters()); got != 1 {
+		t.Fatalf("expected a single over-smoothed cluster, got %d", got)
+	}
+}
+
+func TestTinyModesAreNoise(t *testing.T) {
+	pts, _ := testutil.Blobs(9, [][]float64{{0, 0}}, 20, 0.3, 1, 40, 50)
+	cfg := DefaultConfig(1.0)
+	cfg.MinClusterSize = 3
+	res, err := Run(context.Background(), pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The far single noise point converges alone → labeled -1.
+	noiseIdx := len(pts) - 1
+	if res.Assign[noiseIdx] != -1 {
+		t.Fatalf("isolated noise point assigned to %d", res.Assign[noiseIdx])
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	res, err := Run(context.Background(), nil, DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assign) != 0 {
+		t.Fatal("non-empty result for empty input")
+	}
+}
+
+func TestContextCancel(t *testing.T) {
+	pts, _ := testutil.Blobs(11, [][]float64{{0, 0}}, 64, 0.5, 0, 0, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, pts, DefaultConfig(1)); err == nil {
+		t.Fatal("cancelled context should abort")
+	}
+}

@@ -1,0 +1,285 @@
+// Package sea implements the Shrink-and-Expansion Algorithm baseline of Liu,
+// Latecki & Yan (TPAMI 2013): dominant-set extraction where replicator
+// dynamics is confined to a small evolving subgraph B of a SPARSE affinity
+// graph. Each round shrinks B to the RD support and expands it with adjacent
+// vertices whose payoff beats the current density; time and space are linear
+// in the number of retained graph edges, so SEA's scalability tracks the
+// sparsity of the input graph (Section 2 of the ALID paper).
+package sea
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"alid/internal/affinity"
+	"alid/internal/baselines"
+)
+
+// Config controls SEA.
+type Config struct {
+	// MaxRounds bounds shrink/expansion rounds per cluster.
+	MaxRounds int
+	// MaxRD bounds replicator sweeps per shrink phase.
+	MaxRD int
+	// Tol is the RD convergence threshold (L1 change).
+	Tol float64
+	// SupportCut is the weight below which a vertex is shrunk away.
+	SupportCut float64
+	// MaxExpand caps how many vertices one expansion may add.
+	MaxExpand int
+	// DensityThreshold and MinClusterSize select reported clusters.
+	DensityThreshold float64
+	MinClusterSize   int
+}
+
+// DefaultConfig mirrors the reference implementation's settings.
+func DefaultConfig() Config {
+	return Config{
+		MaxRounds: 30, MaxRD: 500, Tol: 1e-9, SupportCut: 1e-5,
+		MaxExpand: 500, DensityThreshold: 0.75, MinClusterSize: 2,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = d.MaxRounds
+	}
+	if c.MaxRD <= 0 {
+		c.MaxRD = d.MaxRD
+	}
+	if c.Tol <= 0 {
+		c.Tol = d.Tol
+	}
+	if c.SupportCut <= 0 {
+		c.SupportCut = d.SupportCut
+	}
+	if c.MaxExpand <= 0 {
+		c.MaxExpand = d.MaxExpand
+	}
+	if c.MinClusterSize <= 0 {
+		c.MinClusterSize = d.MinClusterSize
+	}
+	return c
+}
+
+// Solver runs SEA over a sparse affinity matrix.
+type Solver struct {
+	cfg Config
+	a   *affinity.Sparse
+}
+
+// New wraps a sparse affinity graph.
+func New(a *affinity.Sparse, cfg Config) *Solver {
+	return &Solver{cfg: cfg.withDefaults(), a: a}
+}
+
+// local is the evolving subgraph B with weights.
+type local struct {
+	ids []int       // global ids, stable order
+	pos map[int]int // global -> local
+	x   []float64   // weights, Σ = 1
+}
+
+func (l *local) add(id int, w float64) {
+	l.pos[id] = len(l.ids)
+	l.ids = append(l.ids, id)
+	l.x = append(l.x, w)
+}
+
+// DetectOne grows a dominant set from the seed using shrink/expansion.
+func (s *Solver) DetectOne(ctx context.Context, seed int, active []bool) (*baselines.Cluster, error) {
+	if seed < 0 || seed >= s.a.N {
+		return nil, fmt.Errorf("sea: seed %d out of range", seed)
+	}
+	if active != nil && !active[seed] {
+		return nil, fmt.Errorf("sea: seed %d not active", seed)
+	}
+	B := &local{pos: make(map[int]int)}
+	B.add(seed, 1)
+	cols, _ := s.a.Row(seed)
+	for _, j := range cols {
+		if active == nil || active[j] {
+			B.add(int(j), 1)
+		}
+	}
+	norm(B.x)
+
+	var pi float64
+	for round := 0; round < s.cfg.MaxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Shrink: RD on the induced subgraph until convergence, then drop
+		// near-zero vertices.
+		pi = s.replicator(B)
+		kept := &local{pos: make(map[int]int)}
+		for li, id := range B.ids {
+			if B.x[li] > s.cfg.SupportCut {
+				kept.add(id, B.x[li])
+			}
+		}
+		if len(kept.ids) == 0 {
+			kept.add(seed, 1)
+		}
+		norm(kept.x)
+		B = kept
+
+		// Expansion: adjacent vertices with π(s_j, x) > π(x).
+		type cand struct {
+			id     int
+			payoff float64
+		}
+		gain := make(map[int]float64)
+		for li, id := range B.ids {
+			cols, vals := s.a.Row(id)
+			for t, j := range cols {
+				jj := int(j)
+				if _, in := B.pos[jj]; in {
+					continue
+				}
+				if active != nil && !active[jj] {
+					continue
+				}
+				gain[jj] += vals[t] * B.x[li]
+			}
+		}
+		var cands []cand
+		for id, gj := range gain {
+			if gj > pi {
+				cands = append(cands, cand{id, gj})
+			}
+		}
+		if len(cands) == 0 {
+			break // no infective neighbor: local optimum reached
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].payoff > cands[j].payoff })
+		if len(cands) > s.cfg.MaxExpand {
+			cands = cands[:s.cfg.MaxExpand]
+		}
+		// New vertices share 10% of the mass, proportional to payoff excess;
+		// the next shrink phase rebalances.
+		var excess float64
+		for _, c := range cands {
+			excess += c.payoff - pi
+		}
+		const gamma = 0.1
+		for li := range B.x {
+			B.x[li] *= 1 - gamma
+		}
+		for _, c := range cands {
+			B.add(c.id, gamma*(c.payoff-pi)/excess)
+		}
+	}
+	pi = s.replicator(B)
+	var members []int
+	var weights []float64
+	for li, id := range B.ids {
+		if B.x[li] > s.cfg.SupportCut {
+			members = append(members, id)
+			weights = append(weights, B.x[li])
+		}
+	}
+	if len(members) == 0 {
+		members, weights = []int{seed}, []float64{1}
+		pi = 0
+	}
+	sortMembers(members, weights)
+	return &baselines.Cluster{Members: members, Weights: weights, Density: pi}, nil
+}
+
+// replicator runs RD on the induced subgraph until convergence and returns
+// the final density.
+func (s *Solver) replicator(B *local) float64 {
+	n := len(B.ids)
+	g := make([]float64, n)
+	var pi float64
+	for iter := 0; iter < s.cfg.MaxRD; iter++ {
+		for i := range g {
+			g[i] = 0
+		}
+		for li, id := range B.ids {
+			if B.x[li] == 0 {
+				continue
+			}
+			cols, vals := s.a.Row(id)
+			for t, j := range cols {
+				if lj, in := B.pos[int(j)]; in {
+					g[lj] += vals[t] * B.x[li]
+				}
+			}
+		}
+		pi = 0
+		for li := range B.ids {
+			pi += B.x[li] * g[li]
+		}
+		if pi <= 0 {
+			return 0
+		}
+		var change float64
+		inv := 1 / pi
+		for li := range B.x {
+			if B.x[li] == 0 {
+				continue
+			}
+			nx := B.x[li] * g[li] * inv
+			change += math.Abs(nx - B.x[li])
+			B.x[li] = nx
+		}
+		if change < s.cfg.Tol {
+			break
+		}
+	}
+	return pi
+}
+
+// DetectAll peels SEA clusters seeded at every not-yet-consumed vertex and
+// returns those passing the density threshold, densest first.
+func (s *Solver) DetectAll(ctx context.Context) ([]*baselines.Cluster, error) {
+	peel := baselines.NewPeelState(s.a.N)
+	var all []*baselines.Cluster
+	for seed := 0; seed < s.a.N; seed++ {
+		if !peel.Active[seed] {
+			continue
+		}
+		cl, err := s.DetectOne(ctx, seed, peel.Active)
+		if err != nil {
+			return nil, err
+		}
+		peel.Peel(cl.Members)
+		peel.Peel([]int{seed})
+		all = append(all, cl)
+	}
+	return baselines.FilterClusters(all, s.cfg.DensityThreshold, s.cfg.MinClusterSize), nil
+}
+
+func norm(x []float64) {
+	var sum float64
+	for _, v := range x {
+		sum += v
+	}
+	if sum <= 0 {
+		return
+	}
+	for i := range x {
+		x[i] /= sum
+	}
+}
+
+func sortMembers(members []int, weights []float64) {
+	idx := make([]int, len(members))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return members[idx[a]] < members[idx[b]] })
+	m2 := make([]int, len(members))
+	w2 := make([]float64, len(weights))
+	for i, p := range idx {
+		m2[i] = members[p]
+		w2[i] = weights[p]
+	}
+	copy(members, m2)
+	copy(weights, w2)
+}

@@ -1,0 +1,222 @@
+package sea
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"alid/internal/affinity"
+	"alid/internal/testutil"
+)
+
+// fullSparse builds a sparse matrix that actually contains every edge —
+// isolating SEA's dynamics from sparsification effects.
+func fullSparse(t *testing.T, pts [][]float64, k affinity.Kernel) *affinity.Sparse {
+	t.Helper()
+	o, err := affinity.NewOracle(pts, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nbrs := make([][]int, len(pts))
+	for i := range nbrs {
+		for j := range pts {
+			if j != i {
+				nbrs[i] = append(nbrs[i], j)
+			}
+		}
+	}
+	return affinity.NewSparse(o, nbrs)
+}
+
+// knnSparse keeps only each point's k nearest neighbors.
+func knnSparse(t *testing.T, pts [][]float64, kern affinity.Kernel, k int) *affinity.Sparse {
+	t.Helper()
+	o, err := affinity.NewOracle(pts, kern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nbrs := make([][]int, len(pts))
+	for i := range pts {
+		type dj struct {
+			d float64
+			j int
+		}
+		var ds []dj
+		for j := range pts {
+			if j != i {
+				ds = append(ds, dj{kern.Distance(pts[i], pts[j]), j})
+			}
+		}
+		for a := 0; a < k && a < len(ds); a++ {
+			best := a
+			for b := a + 1; b < len(ds); b++ {
+				if ds[b].d < ds[best].d {
+					best = b
+				}
+			}
+			ds[a], ds[best] = ds[best], ds[a]
+			nbrs[i] = append(nbrs[i], ds[a].j)
+		}
+	}
+	return affinity.NewSparse(o, nbrs)
+}
+
+func TestCliqueDetection(t *testing.T) {
+	pts, _ := testutil.Cliques(5, 3)
+	sp := fullSparse(t, pts, affinity.Kernel{K: 5, P: 2})
+	s := New(sp, DefaultConfig())
+	cl, err := s.DetectOne(context.Background(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Size() != 5 {
+		t.Fatalf("size = %d, want 5", cl.Size())
+	}
+	if math.Abs(cl.Density-0.8) > 1e-4 {
+		t.Fatalf("density = %v, want 0.8", cl.Density)
+	}
+}
+
+func TestSeedInSecondClique(t *testing.T) {
+	// On a 2-NN graph the cliques are disconnected components, so a seed in
+	// the 3-clique must stay there (expansion cannot jump missing edges).
+	pts, _ := testutil.Cliques(5, 3)
+	sp := knnSparse(t, pts, affinity.Kernel{K: 5, P: 2}, 2)
+	s := New(sp, DefaultConfig())
+	cl, err := s.DetectOne(context.Background(), 6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range cl.Members {
+		if m < 5 {
+			t.Fatalf("expansion jumped to the other clique: members %v", cl.Members)
+		}
+	}
+	if math.Abs(cl.Density-(1-1.0/3)) > 1e-4 {
+		t.Fatalf("density = %v, want %v", cl.Density, 1-1.0/3)
+	}
+}
+
+func TestFullGraphSeedAnywhereFindsGlobalOptimum(t *testing.T) {
+	// With every edge present, B already spans the graph and SEA reduces to
+	// global RD: even a seed in the small clique lands on the 5-clique.
+	pts, _ := testutil.Cliques(5, 3)
+	sp := fullSparse(t, pts, affinity.Kernel{K: 5, P: 2})
+	s := New(sp, DefaultConfig())
+	cl, err := s.DetectOne(context.Background(), 6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cl.Density-0.8) > 1e-4 {
+		t.Fatalf("density = %v, want 0.8", cl.Density)
+	}
+}
+
+func TestExpansionMigratesFringeSeedToCore(t *testing.T) {
+	// A tight 12-point core plus 5 fringe points 1.5 away. On a 6-NN graph a
+	// fringe seed's initial neighborhood holds only part of the core, so
+	// reaching a core-dominated support requires the expansion phase.
+	var pts [][]float64
+	rngvals := []float64{0.01, -0.02, 0.03, -0.01, 0.02, 0.0, 0.015, -0.025, 0.005, -0.015, 0.025, -0.005}
+	for i := 0; i < 12; i++ {
+		pts = append(pts, []float64{rngvals[i], rngvals[(i+5)%12]})
+	}
+	// Fringe points on a radius-1.5 circle: mutually farther apart (≈1.76)
+	// than they are from the core, so they cannot form their own cluster.
+	for i := 0; i < 5; i++ {
+		ang := 2 * math.Pi * float64(i) / 5
+		pts = append(pts, []float64{1.5 * math.Cos(ang), 1.5 * math.Sin(ang)})
+	}
+	sp := knnSparse(t, pts, affinity.Kernel{K: 1, P: 2}, 6)
+	s := New(sp, DefaultConfig())
+	fringeSeed := 12
+	cl, err := s.DetectOne(context.Background(), fringeSeed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := 0
+	for _, m := range cl.Members {
+		if m < 12 {
+			core++
+		}
+	}
+	if core < 5 {
+		t.Fatalf("fringe seed did not migrate to core: members %v", cl.Members)
+	}
+}
+
+func TestDetectAllBlobs(t *testing.T) {
+	pts, labels := testutil.Blobs(7, [][]float64{{0, 0}, {12, 12}}, 20, 0.3, 10, 0, 12)
+	sp := knnSparse(t, pts, affinity.Kernel{K: 0.3, P: 2}, 8)
+	s := New(sp, DefaultConfig())
+	clusters, err := s.DetectAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := map[int]bool{}
+	for _, cl := range clusters {
+		p, lbl := testutil.Purity(cl.Members, labels)
+		if p < 0.85 {
+			t.Fatalf("impure cluster: %v", p)
+		}
+		covered[lbl] = true
+	}
+	if !covered[0] || !covered[1] {
+		t.Fatalf("blobs not covered: %v", covered)
+	}
+}
+
+func TestSeedValidation(t *testing.T) {
+	pts, _ := testutil.Cliques(3)
+	sp := fullSparse(t, pts, affinity.Kernel{K: 5, P: 2})
+	s := New(sp, DefaultConfig())
+	if _, err := s.DetectOne(context.Background(), -1, nil); err == nil {
+		t.Error("negative seed accepted")
+	}
+	if _, err := s.DetectOne(context.Background(), 99, nil); err == nil {
+		t.Error("out-of-range seed accepted")
+	}
+	active := make([]bool, len(pts))
+	if _, err := s.DetectOne(context.Background(), 0, active); err == nil {
+		t.Error("inactive seed accepted")
+	}
+}
+
+func TestMembersSorted(t *testing.T) {
+	pts, _ := testutil.Blobs(9, [][]float64{{0, 0}}, 15, 0.3, 0, 0, 1)
+	sp := fullSparse(t, pts, affinity.Kernel{K: 0.3, P: 2})
+	s := New(sp, DefaultConfig())
+	cl, err := s.DetectOne(context.Background(), 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(cl.Members); i++ {
+		if cl.Members[i] <= cl.Members[i-1] {
+			t.Fatal("members not sorted")
+		}
+	}
+}
+
+func TestContextCancel(t *testing.T) {
+	pts, _ := testutil.Blobs(5, [][]float64{{0, 0}}, 30, 0.5, 0, 0, 1)
+	sp := fullSparse(t, pts, affinity.Kernel{K: 1, P: 2})
+	s := New(sp, DefaultConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.DetectOne(ctx, 0, nil); err == nil {
+		t.Fatal("cancelled context should abort")
+	}
+}
+
+func TestIsolatedSeedSingleton(t *testing.T) {
+	pts := [][]float64{{0, 0}, {1e6, 0}}
+	sp := fullSparse(t, pts, affinity.Kernel{K: 5, P: 2})
+	s := New(sp, DefaultConfig())
+	cl, err := s.DetectOne(context.Background(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Density > 1e-6 {
+		t.Fatalf("isolated point density = %v", cl.Density)
+	}
+}

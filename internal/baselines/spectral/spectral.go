@@ -1,0 +1,192 @@
+// Package spectral implements the two spectral-clustering baselines of the
+// noise-resistance experiments (Appendix C): SC-FL, normalized spectral
+// clustering on the full affinity matrix (Ng, Jordan & Weiss, NIPS 2002), and
+// SC-NYS, its Nyström-approximated variant (Fowlkes et al., TPAMI 2004).
+//
+// Both embed the points into the top-K eigenvectors of the normalized
+// affinity D^{-1/2} W D^{-1/2}, row-normalize, and run k-means in the
+// embedding.
+package spectral
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"alid/internal/affinity"
+	"alid/internal/baselines"
+	"alid/internal/baselines/kmeans"
+	"alid/internal/linalg"
+	"alid/internal/vec"
+)
+
+// Config controls both variants.
+type Config struct {
+	// K is the number of clusters (paper: true clusters + 1 for noise).
+	K int
+	// PowerIters is the subspace-iteration budget for SC-FL.
+	PowerIters int
+	// Landmarks is the Nyström sample size for SC-NYS.
+	Landmarks int
+	// Seed drives sampling and k-means.
+	Seed int64
+}
+
+// DefaultConfig returns a workable setup for the given K.
+func DefaultConfig(k int) Config {
+	return Config{K: k, PowerIters: 60, Landmarks: 100, Seed: 1}
+}
+
+// Full runs SC-FL: normalized cut embedding from the full affinity matrix.
+// O(n²) space for W plus O(K·n²) per subspace sweep.
+func Full(ctx context.Context, o *affinity.Oracle, cfg Config) (*kmeans.Result, error) {
+	n := o.N()
+	if cfg.K <= 0 || cfg.K > n {
+		return nil, fmt.Errorf("spectral: K=%d invalid for n=%d", cfg.K, n)
+	}
+	if cfg.PowerIters <= 0 {
+		cfg.PowerIters = 60
+	}
+	w := affinity.NewDense(o)
+	// D^{-1/2}
+	dinv := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var deg float64
+		for _, v := range w.Row(i) {
+			deg += v
+		}
+		if deg <= 0 {
+			deg = 1e-12
+		}
+		dinv[i] = 1 / math.Sqrt(deg)
+	}
+	mul := func(dst, x []float64) {
+		// dst = D^{-1/2} W D^{-1/2} x
+		tmp := make([]float64, n)
+		for i := range tmp {
+			tmp[i] = dinv[i] * x[i]
+		}
+		w.MulVec(dst, tmp)
+		for i := range dst {
+			dst[i] *= dinv[i]
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	_, vecs, err := linalg.SubspaceIteration(mul, n, cfg.K, cfg.PowerIters, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	emb := embedRows(vecs, n)
+	return kmeans.Run(ctx, emb, kmeans.Config{K: cfg.K, MaxIter: 100, Seed: cfg.Seed, Restarts: 3})
+}
+
+// Nystrom runs SC-NYS: sample m landmark points, eigendecompose their m×m
+// normalized affinity block with Jacobi, and extend the eigenvectors to all
+// points via the n×m cross-affinity block. O(n·m) space.
+func Nystrom(ctx context.Context, o *affinity.Oracle, cfg Config) (*kmeans.Result, error) {
+	n := o.N()
+	if cfg.K <= 0 || cfg.K > n {
+		return nil, fmt.Errorf("spectral: K=%d invalid for n=%d", cfg.K, n)
+	}
+	m := cfg.Landmarks
+	if m <= cfg.K {
+		m = cfg.K * 4
+	}
+	if m > n {
+		m = n
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	landmarks := rng.Perm(n)[:m]
+
+	// Cross-affinity C (n×m) and landmark block Wmm.
+	c := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		if i%128 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		row := make([]float64, m)
+		o.Column(i, landmarks, row) // affinities between i and landmarks
+		c[i] = row
+	}
+	// Approximate degrees: d ≈ (n/m)·C·1 keeps the normalization scale.
+	scale := float64(n) / float64(m)
+	dinv := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var deg float64
+		for _, v := range c[i] {
+			deg += v
+		}
+		deg *= scale
+		if deg <= 0 {
+			deg = 1e-12
+		}
+		dinv[i] = 1 / math.Sqrt(deg)
+	}
+	wmm := linalg.NewSym(m)
+	for a := 0; a < m; a++ {
+		for b := a; b < m; b++ {
+			v := c[landmarks[a]][b] * dinv[landmarks[a]] * dinv[landmarks[b]]
+			wmm.Set(a, b, v)
+		}
+	}
+	vals, evecs, err := linalg.Jacobi(wmm, 64, 1e-12)
+	if err != nil {
+		return nil, err
+	}
+	k := cfg.K
+	// Extension: u_i = D^{-1/2}C·v / λ for each top eigenpair.
+	emb := make([][]float64, n)
+	for i := range emb {
+		emb[i] = make([]float64, k)
+	}
+	for t := 0; t < k && t < len(vals); t++ {
+		lam := vals[t]
+		if math.Abs(lam) < 1e-12 {
+			continue
+		}
+		ev := evecs[t]
+		for i := 0; i < n; i++ {
+			var dot float64
+			for b := 0; b < m; b++ {
+				dot += c[i][b] * dinv[landmarks[b]] * ev[b]
+			}
+			emb[i][t] = dinv[i] * dot / lam
+		}
+	}
+	rowNormalize(emb)
+	return kmeans.Run(ctx, emb, kmeans.Config{K: cfg.K, MaxIter: 100, Seed: cfg.Seed, Restarts: 3})
+}
+
+// embedRows turns K eigenvectors (rows over n entries) into n embedding rows
+// of dimension K, row-normalized per Ng–Jordan–Weiss.
+func embedRows(vecs [][]float64, n int) [][]float64 {
+	k := len(vecs)
+	emb := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, k)
+		for t := 0; t < k; t++ {
+			row[t] = vecs[t][i]
+		}
+		emb[i] = row
+	}
+	rowNormalize(emb)
+	return emb
+}
+
+func rowNormalize(emb [][]float64) {
+	for _, row := range emb {
+		if vec.Norm2(row) > 0 {
+			vec.NormalizeL2(row)
+		}
+	}
+}
+
+// Clusters converts a k-means result into the shared cluster shape.
+func Clusters(r *kmeans.Result) []*baselines.Cluster {
+	return r.Clusters()
+}

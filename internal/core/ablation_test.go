@@ -1,0 +1,145 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"alid/internal/lsh"
+)
+
+// Failure injection: an LSH configuration so selective that CIVS retrieves
+// nothing. Detection must still terminate (every seed converges to a
+// singleton or tiny local subgraph) instead of hanging or erroring.
+func TestDetectionSurvivesBlindLSH(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts, _ := blobs(rng, [][]float64{{0, 0}, {10, 10}}, 20, 0.3, 10)
+	cfg := testConfig()
+	cfg.LSH = lsh.Config{Projections: 64, Tables: 1, R: 1e-6, Seed: 1} // nothing collides
+	det, err := NewDetector(pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters, err := det.DetectAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With no retrieval there is no way to grow past the seed.
+	if len(clusters) != 0 {
+		t.Fatalf("blind LSH produced %d clusters", len(clusters))
+	}
+}
+
+// The single-query ablation (Fig. 4(a)) must still converge and produce
+// valid clusters — the paper's claim is reduced coverage, not breakage.
+func TestSingleQueryCIVSAblation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts, labels := blobs(rng, [][]float64{{0, 0}, {12, 12}}, 30, 0.3, 20)
+	cfg := testConfig()
+	cfg.SingleQueryCIVS = true
+	det, err := NewDetector(pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters, err := det.DetectAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cl := range clusters {
+		lbl := labels[cl.Members[0]]
+		for _, m := range cl.Members {
+			if labels[m] != lbl {
+				t.Fatalf("single-query ablation produced impure cluster")
+			}
+		}
+	}
+}
+
+// The fixed-ROI ablation must also converge; it trades early-iteration
+// candidate volume for the θ(c) schedule.
+func TestFixedROIGrowthAblation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts, _ := blobs(rng, [][]float64{{0, 0}, {12, 12}}, 30, 0.3, 20)
+	cfg := testConfig()
+	cfg.FixedROIGrowth = true
+	det, err := NewDetector(pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters, err := det.DetectAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) == 0 {
+		t.Fatal("fixed-ROI ablation detected nothing")
+	}
+}
+
+// A tiny δ must bound the growth per iteration but never break detection.
+func TestTinyDeltaStillDetects(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts, _ := blobs(rng, [][]float64{{0, 0}}, 40, 0.3, 10)
+	cfg := testConfig()
+	cfg.Delta = 5
+	det, err := NewDetector(pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := det.DetectFrom(context.Background(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Size() < 5 {
+		t.Fatalf("δ=5 cluster size = %d", cl.Size())
+	}
+}
+
+// FirstRadius smaller than any pairwise distance blocks the first CIVS round
+// completely; the ROI of later iterations must not resurrect it (paper
+// initializes c=1 specially). Everything collapses to singletons.
+func TestPathologicalFirstRadius(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts, _ := blobs(rng, [][]float64{{0, 0}}, 15, 0.3, 0)
+	cfg := testConfig()
+	cfg.FirstRadius = 1e-12
+	det, err := NewDetector(pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := det.DetectFrom(context.Background(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Size() != 1 {
+		t.Fatalf("first-radius block should leave a singleton, got %d", cl.Size())
+	}
+}
+
+// All points identical: distances are zero, affinities are 1, the ROI is a
+// point, and the whole set is one clique — a classic numerical edge case.
+func TestAllIdenticalPoints(t *testing.T) {
+	pts := make([][]float64, 12)
+	for i := range pts {
+		pts[i] = []float64{3, 4}
+	}
+	cfg := testConfig()
+	det, err := NewDetector(pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters, err := det.DetectAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 1 {
+		t.Fatalf("identical points gave %d clusters", len(clusters))
+	}
+	if clusters[0].Size() != 12 {
+		t.Fatalf("clique size = %d, want 12", clusters[0].Size())
+	}
+	// Clique of identical points: π = (m-1)/m.
+	want := 11.0 / 12
+	if d := clusters[0].Density; d < want-1e-6 || d > want+1e-6 {
+		t.Fatalf("density = %v, want %v", d, want)
+	}
+}

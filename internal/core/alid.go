@@ -1,0 +1,365 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"alid/internal/affinity"
+	"alid/internal/lid"
+	"alid/internal/lsh"
+)
+
+// Config collects every knob of Algorithm 2. Zero values are replaced by the
+// paper's defaults where one exists.
+type Config struct {
+	// Kernel is the affinity kernel of Eq. 1.
+	Kernel affinity.Kernel
+	// LSH configures the CIVS index.
+	LSH lsh.Config
+	// Delta is δ, the maximum number of candidate vertices CIVS may return
+	// per outer iteration. The paper fixes δ = 800.
+	Delta int
+	// MaxOuter is C, the maximum number of ALID iterations (paper: 10).
+	MaxOuter int
+	// MaxLID is T, the LID iteration budget per inner solve.
+	MaxLID int
+	// Tol is the payoff tolerance that declares a subgraph immune.
+	Tol float64
+	// FirstRadius is the ROI radius for the first iteration, where
+	// A_{βα}x_α = 0 makes Eq. 15 unusable. The paper uses 0.4 on normalized
+	// features; non-positive means unbounded (δ-nearest only).
+	FirstRadius float64
+	// DensityThreshold selects which peeled subgraphs count as dominant
+	// clusters (paper: π(x) ≥ 0.75).
+	DensityThreshold float64
+	// MinClusterSize drops smaller supports from the reported clusters (they
+	// are still peeled). Defaults to 2: a singleton has π = 0 and can never
+	// pass a positive density threshold anyway.
+	MinClusterSize int
+
+	// SingleQueryCIVS is an ablation switch: query LSH only from the
+	// heaviest support point instead of all of them, reproducing the
+	// single-LSR failure mode of Fig. 4(a).
+	SingleQueryCIVS bool
+	// FixedROIGrowth is an ablation switch: use R = R_out from the first
+	// iteration instead of the θ(c) logistic schedule of Eq. 16.
+	FixedROIGrowth bool
+}
+
+// DefaultConfig returns the paper's experiment configuration.
+func DefaultConfig() Config {
+	return Config{
+		Kernel:           affinity.DefaultKernel(),
+		LSH:              lsh.DefaultConfig(),
+		Delta:            800,
+		MaxOuter:         10,
+		MaxLID:           2000,
+		Tol:              lid.DefaultTolerance,
+		FirstRadius:      0, // unbounded; paper's 0.4 assumes normalized features
+		DensityThreshold: 0.75,
+		MinClusterSize:   2,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Kernel == (affinity.Kernel{}) {
+		c.Kernel = d.Kernel
+	}
+	if c.LSH == (lsh.Config{}) {
+		c.LSH = d.LSH
+	}
+	if c.Delta <= 0 {
+		c.Delta = d.Delta
+	}
+	if c.MaxOuter <= 0 {
+		c.MaxOuter = d.MaxOuter
+	}
+	if c.MaxLID <= 0 {
+		c.MaxLID = d.MaxLID
+	}
+	if c.Tol <= 0 {
+		c.Tol = d.Tol
+	}
+	if c.MinClusterSize <= 0 {
+		c.MinClusterSize = d.MinClusterSize
+	}
+	return c
+}
+
+// Cluster is one detected dominant cluster: the support of a (approximately)
+// global dense subgraph together with its probabilistic memberships and
+// density π(x).
+type Cluster struct {
+	// Members are the global indices with positive weight, ascending.
+	Members []int
+	// Weights are the simplex weights parallel to Members.
+	Weights []float64
+	// Density is π(x) of the converged subgraph.
+	Density float64
+	// Seed is the initial vertex Algorithm 2 started from.
+	Seed int
+	// OuterIterations is the number of ALID iterations c used.
+	OuterIterations int
+	// LIDIterations is the total number of LID steps across all solves.
+	LIDIterations int
+	// PeakEntries is the largest cached A_{βα} submatrix, in entries.
+	PeakEntries int
+}
+
+// Size returns the number of member vertices.
+func (c *Cluster) Size() int { return len(c.Members) }
+
+// Detector runs ALID over a fixed dataset. It is NOT safe for concurrent use;
+// PALID creates one Detector per executor.
+type Detector struct {
+	cfg    Config
+	oracle *affinity.Oracle
+	index  *lsh.Index
+
+	// scratch for CIVS candidate deduplication
+	mark []uint32
+	gen  uint32
+
+	// instrumentation
+	peakEntries int
+}
+
+// NewDetector validates the configuration, wraps the dataset and builds the
+// LSH index (O(n·d·µ·l), the only global pass ALID makes over the data).
+func NewDetector(pts [][]float64, cfg Config) (*Detector, error) {
+	cfg = cfg.withDefaults()
+	o, err := affinity.NewOracle(pts, cfg.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := lsh.Build(pts, cfg.LSH)
+	if err != nil {
+		return nil, err
+	}
+	return &Detector{
+		cfg:    cfg,
+		oracle: o,
+		index:  idx,
+		mark:   make([]uint32, len(pts)),
+	}, nil
+}
+
+// NewDetectorWithIndex reuses a prebuilt LSH index (PALID executors share
+// one). The index must have been built over the same points.
+func NewDetectorWithIndex(pts [][]float64, cfg Config, idx *lsh.Index) (*Detector, error) {
+	cfg = cfg.withDefaults()
+	o, err := affinity.NewOracle(pts, cfg.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	if idx.N() != len(pts) {
+		return nil, fmt.Errorf("core: index over %d points, dataset has %d", idx.N(), len(pts))
+	}
+	return &Detector{cfg: cfg, oracle: o, index: idx, mark: make([]uint32, len(pts))}, nil
+}
+
+// Oracle exposes the instrumented affinity oracle (for experiments).
+func (d *Detector) Oracle() *affinity.Oracle { return d.oracle }
+
+// Index exposes the LSH index (PALID samples seeds from its buckets).
+func (d *Detector) Index() *lsh.Index { return d.index }
+
+// Config returns the effective (defaulted) configuration.
+func (d *Detector) Config() Config { return d.cfg }
+
+// PeakEntries returns the largest cached submatrix observed across all
+// DetectFrom calls — the measured counterpart of the O(a*(a*+δ)) space bound.
+func (d *Detector) PeakEntries() int { return d.peakEntries }
+
+// DetectFrom runs Algorithm 2 from the given seed vertex. active, when
+// non-nil, restricts the search to unpeeled vertices (active[i] == true);
+// the seed itself must be active.
+func (d *Detector) DetectFrom(ctx context.Context, seed int, active []bool) (*Cluster, error) {
+	if active != nil && !active[seed] {
+		return nil, fmt.Errorf("core: seed %d is not active", seed)
+	}
+	st, err := lid.NewState(d.oracle, seed)
+	if err != nil {
+		return nil, err
+	}
+	lidIters := 0
+	outer := 0
+	for c := 1; c <= d.cfg.MaxOuter; c++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		outer = c
+		// Step 1: local dense subgraph within β.
+		lidIters += st.Solve(d.cfg.MaxLID, d.cfg.Tol)
+
+		// Step 2: ROI from x̂.
+		sup, w := st.SupportWeights()
+		roi := EstimateROI(d.oracle.Pts, sup, w, st.Density(), d.cfg.Kernel, c)
+		if d.cfg.FixedROIGrowth {
+			roi.R = roi.Rout
+		}
+		if c == 1 && d.cfg.FirstRadius > 0 {
+			roi.R = d.cfg.FirstRadius
+		}
+
+		// Step 3: CIVS retrieval of candidate infective vertices.
+		psi := d.civs(st, sup, roi, active)
+		if len(psi) == 0 {
+			break // nothing new inside the ROI: x̂ is globally immune
+		}
+		// If every retrieved candidate is non-infective, x̂ is a global dense
+		// subgraph up to the LSH approximation (Theorem 1).
+		if st.Immune(psi, d.cfg.Tol) {
+			break
+		}
+		st.Extend(psi)
+	}
+	// Final inner solve in case the loop exited by the iteration cap right
+	// after an Extend.
+	lidIters += st.Solve(d.cfg.MaxLID, d.cfg.Tol)
+
+	members, weights := st.SupportWeights()
+	orderMembers(members, weights)
+	if st.PeakEntries() > d.peakEntries {
+		d.peakEntries = st.PeakEntries()
+	}
+	return &Cluster{
+		Members:         members,
+		Weights:         weights,
+		Density:         st.Density(),
+		Seed:            seed,
+		OuterIterations: outer,
+		LIDIterations:   lidIters,
+		PeakEntries:     st.PeakEntries(),
+	}, nil
+}
+
+// civs implements Step 3: multi-query LSH retrieval from every support point
+// (Fig. 4(b)), filtered to the ROI, capped at the δ vertices nearest to D.
+func (d *Detector) civs(st *lid.State, support []int, roi ROI, active []bool) []int {
+	d.gen++
+	if d.gen == 0 { // uint32 wrap: reset scratch
+		for i := range d.mark {
+			d.mark[i] = 0
+		}
+		d.gen = 1
+	}
+	queries := support
+	if d.cfg.SingleQueryCIVS && len(support) > 1 {
+		// Ablation: a single locality-sensitive region (Fig. 4(a)). Use the
+		// heaviest support point as the lone query.
+		best, bestW := support[0], -1.0
+		for _, id := range support {
+			if w := st.Weight(id); w > bestW {
+				best, bestW = id, w
+			}
+		}
+		queries = []int{best}
+	}
+	var raw []int32
+	for _, id := range queries {
+		raw = d.index.CandidatesByIDInto(id, raw, d.mark, d.gen)
+	}
+	type cand struct {
+		id   int32
+		dist float64
+	}
+	cands := make([]cand, 0, len(raw))
+	for _, id := range raw {
+		if active != nil && !active[id] {
+			continue
+		}
+		if st.Contains(int(id)) {
+			continue // already in the local range
+		}
+		dist := d.cfg.Kernel.Distance(d.oracle.Pts[id], roi.D)
+		if !math.IsInf(roi.R, 1) && dist > roi.R {
+			continue
+		}
+		cands = append(cands, cand{id, dist})
+	}
+	// Keep the δ candidates nearest to the ball center.
+	if len(cands) > d.cfg.Delta {
+		sort.Slice(cands, func(i, j int) bool { return cands[i].dist < cands[j].dist })
+		cands = cands[:d.cfg.Delta]
+	}
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = int(c.id)
+	}
+	return out
+}
+
+// DetectAll runs the peeling scheme of Section 4.4: detect a cluster, peel
+// its support off, and reiterate on the remaining vertices until everything
+// is peeled. Subgraphs passing the density threshold and minimum size are
+// returned, ordered by decreasing density.
+func (d *Detector) DetectAll(ctx context.Context) ([]*Cluster, error) {
+	n := d.oracle.N()
+	active := make([]bool, n)
+	for i := range active {
+		active[i] = true
+	}
+	var clusters []*Cluster
+	for seed := 0; seed < n; seed++ {
+		if !active[seed] {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return clusters, err
+		}
+		cl, err := d.DetectFrom(ctx, seed, active)
+		if err != nil {
+			return clusters, err
+		}
+		for _, m := range cl.Members {
+			active[m] = false
+		}
+		active[seed] = false // defensive: seed is always consumed
+		if cl.Density >= d.cfg.DensityThreshold && cl.Size() >= d.cfg.MinClusterSize {
+			clusters = append(clusters, cl)
+		}
+	}
+	sort.Slice(clusters, func(i, j int) bool { return clusters[i].Density > clusters[j].Density })
+	return clusters, nil
+}
+
+// Labels converts a cluster list to a per-point assignment: label[i] is the
+// index into clusters of the cluster containing i, or -1 for noise. When
+// clusters overlap (PALID), the densest wins, matching Algorithm 3's reducer.
+func Labels(n int, clusters []*Cluster) []int {
+	label := make([]int, n)
+	best := make([]float64, n)
+	for i := range label {
+		label[i] = -1
+		best[i] = math.Inf(-1)
+	}
+	for ci, cl := range clusters {
+		for _, m := range cl.Members {
+			if cl.Density > best[m] {
+				best[m] = cl.Density
+				label[m] = ci
+			}
+		}
+	}
+	return label
+}
+
+func orderMembers(members []int, weights []float64) {
+	idx := make([]int, len(members))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return members[idx[a]] < members[idx[b]] })
+	m2 := make([]int, len(members))
+	w2 := make([]float64, len(weights))
+	for i, p := range idx {
+		m2[i] = members[p]
+		w2[i] = weights[p]
+	}
+	copy(members, m2)
+	copy(weights, w2)
+}

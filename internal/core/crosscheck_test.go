@@ -1,0 +1,88 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"alid/internal/affinity"
+	"alid/internal/baselines/iid"
+)
+
+// ALID is an approximation of IID: on data where LSH recall is essentially
+// perfect, the two must find the same dominant clusters — same densities,
+// overwhelmingly the same members. This is the central correctness claim of
+// the paper (ALID trades none of IID's quality for its scalability).
+func TestALIDMatchesIIDOnWellSeparatedData(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	pts, _ := blobs(rng, [][]float64{{0, 0}, {14, 0}, {0, 14}}, 30, 0.3, 15)
+
+	cfg := testConfig()
+	det, err := NewDetector(pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alidClusters, err := det.DetectAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o, err := affinity.NewOracle(pts, cfg.Kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iidCfg := iid.DefaultConfig()
+	iidCfg.DensityThreshold = cfg.DensityThreshold
+	iidClusters, err := iid.New(o, iidCfg).DetectAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alidClusters) == 0 || len(iidClusters) == 0 {
+		t.Fatalf("no clusters: alid=%d iid=%d", len(alidClusters), len(iidClusters))
+	}
+
+	// The top (densest) clusters must coincide.
+	a, b := alidClusters[0], iidClusters[0]
+	if math.Abs(a.Density-b.Density) > 0.02 {
+		t.Errorf("top densities diverge: ALID %v vs IID %v", a.Density, b.Density)
+	}
+	overlap := memberOverlap(a.Members, b.Members)
+	if overlap < 0.8 {
+		t.Errorf("top cluster member overlap = %.2f, want ≥ 0.8", overlap)
+	}
+	// Every dense IID cluster has an ALID counterpart with close density.
+	for _, ic := range iidClusters {
+		best := 0.0
+		for _, ac := range alidClusters {
+			if o := memberOverlap(ic.Members, ac.Members); o > best {
+				best = o
+			}
+		}
+		if best < 0.6 {
+			t.Errorf("IID cluster (size %d, π=%.3f) unmatched by ALID (best overlap %.2f)",
+				ic.Size(), ic.Density, best)
+		}
+	}
+}
+
+func memberOverlap(a, b []int) float64 {
+	in := make(map[int]bool, len(a))
+	for _, m := range a {
+		in[m] = true
+	}
+	both := 0
+	for _, m := range b {
+		if in[m] {
+			both++
+		}
+	}
+	smaller := len(a)
+	if len(b) < smaller {
+		smaller = len(b)
+	}
+	if smaller == 0 {
+		return 0
+	}
+	return float64(both) / float64(smaller)
+}

@@ -1,0 +1,58 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV ensures the CSV parser never panics and that everything it
+// accepts round-trips losslessly through WriteCSV.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("1,2,0\n3,4,-1\n")
+	f.Add("0.5,-0.25,7\n")
+	f.Add("")
+	f.Add("nan,inf,0\n")
+	f.Add("1,2\n1,2,3\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := d.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted dataset failed to serialize: %v", err)
+		}
+		d2, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round-trip re-parse failed: %v", err)
+		}
+		if d2.N() != d.N() {
+			t.Fatalf("round-trip size changed: %d -> %d", d.N(), d2.N())
+		}
+	})
+}
+
+// FuzzReadBinary ensures arbitrary bytes never panic the binary reader.
+func FuzzReadBinary(f *testing.F) {
+	d, err := Mixture(MixtureConfig{N: 50, Dim: 4, Clusters: 5, Regime: RegimeCap, P: 25, Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteBinary(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, input []byte) {
+		got, err := ReadBinary(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		if got.N() == 0 {
+			t.Fatal("accepted binary produced empty dataset")
+		}
+	})
+}

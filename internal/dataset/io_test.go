@@ -1,0 +1,128 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func roundTripDataset(t *testing.T) *Dataset {
+	t.Helper()
+	cfg := DefaultMixtureConfig(200, RegimeCap)
+	cfg.Dim = 6
+	cfg.Clusters = 4
+	cfg.P = 80
+	d, err := Mixture(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := roundTripDataset(t)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != d.N() {
+		t.Fatalf("N = %d, want %d", got.N(), d.N())
+	}
+	for i := range d.Points {
+		if got.Labels[i] != d.Labels[i] {
+			t.Fatalf("label %d mismatch", i)
+		}
+		for j := range d.Points[i] {
+			// CSV uses %g with 8 significant digits.
+			if math.Abs(got.Points[i][j]-d.Points[i][j]) > 1e-4*math.Abs(d.Points[i][j])+1e-9 {
+				t.Fatalf("point %d,%d: %v vs %v", i, j, got.Points[i][j], d.Points[i][j])
+			}
+		}
+	}
+	if got.NumClusters != d.NumClusters {
+		t.Fatalf("clusters = %d, want %d", got.NumClusters, d.NumClusters)
+	}
+	if got.SuggestedK <= 0 {
+		t.Fatal("scales not re-tuned on load")
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                 // empty
+		"1.0\n",            // no label column
+		"1.0,2.0,xx\n",     // bad label
+		"zz,2.0,1\n",       // bad value
+		"1,2,0\n1,2,3,0\n", // ragged
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted: %q", i, c)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	d := roundTripDataset(t)
+	var buf bytes.Buffer
+	if err := d.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != d.N() || got.NumClusters != d.NumClusters {
+		t.Fatalf("N=%d clusters=%d", got.N(), got.NumClusters)
+	}
+	for i := range d.Points {
+		if got.Labels[i] != d.Labels[i] {
+			t.Fatalf("label %d mismatch", i)
+		}
+		for j := range d.Points[i] {
+			// float32 storage: relative error up to ~1e-7.
+			want := d.Points[i][j]
+			if math.Abs(got.Points[i][j]-want) > 1e-5*math.Abs(want)+1e-6 {
+				t.Fatalf("point %d,%d: %v vs %v", i, j, got.Points[i][j], want)
+			}
+		}
+	}
+}
+
+func TestBinaryErrors(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Error("empty binary accepted")
+	}
+	if _, err := ReadBinary(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated body.
+	d := roundTripDataset(t)
+	var buf bytes.Buffer
+	if err := d.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated binary accepted")
+	}
+}
+
+func TestBinarySmallerThanCSV(t *testing.T) {
+	d := roundTripDataset(t)
+	var csvBuf, binBuf bytes.Buffer
+	if err := d.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteBinary(&binBuf); err != nil {
+		t.Fatal(err)
+	}
+	if binBuf.Len() >= csvBuf.Len() {
+		t.Errorf("binary %d B not smaller than CSV %d B", binBuf.Len(), csvBuf.Len())
+	}
+}

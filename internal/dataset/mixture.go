@@ -1,0 +1,165 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Regime selects how the per-cluster ground-truth size a* scales with the
+// total dataset size n, the three typical cases of Table 1.
+type Regime int
+
+const (
+	// RegimeOmega: a* = ω·n/20 — clean source, positives in constant
+	// proportion of the data (ω = 1 means no noise at all).
+	RegimeOmega Regime = iota
+	// RegimeEta: a* = n^η/20 — noisy source where noise grows faster than
+	// the positives.
+	RegimeEta
+	// RegimeCap: a* = P/20 — size-limited dominant clusters (Dunbar-style
+	// constant bound).
+	RegimeCap
+)
+
+func (r Regime) String() string {
+	switch r {
+	case RegimeOmega:
+		return "omega"
+	case RegimeEta:
+		return "eta"
+	case RegimeCap:
+		return "cap"
+	}
+	return fmt.Sprintf("Regime(%d)", int(r))
+}
+
+// MixtureConfig parameterizes the Section 5.2 synthetic generator.
+type MixtureConfig struct {
+	// N is the total number of points.
+	N int
+	// Dim is the feature dimension (paper: 100).
+	Dim int
+	// Clusters is the number of Gaussian components (paper: 20).
+	Clusters int
+	// Regime selects the a* scaling law.
+	Regime Regime
+	// Omega is ω for RegimeOmega (paper: 1.0).
+	Omega float64
+	// Eta is η for RegimeEta (paper: 0.9).
+	Eta float64
+	// P is the per-dataset cap for RegimeCap (paper: P = 1000, so each of
+	// the 20 clusters holds P/20 = 50 points).
+	P int
+	// OverlapPairs forces this many cluster-mean pairs close together to
+	// simulate the paper's partially overlapping clusters.
+	OverlapPairs int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultMixtureConfig mirrors the paper's setup.
+func DefaultMixtureConfig(n int, regime Regime) MixtureConfig {
+	return MixtureConfig{
+		N:            n,
+		Dim:          100,
+		Clusters:     20,
+		Regime:       regime,
+		Omega:        1.0,
+		Eta:          0.9,
+		P:            1000,
+		OverlapPairs: 3,
+		Seed:         1,
+	}
+}
+
+// ClusterSize returns a*, the per-cluster ground-truth size implied by the
+// configuration (Section 5.2: a* = ωn/20, n^η/20 or P/20).
+func (c MixtureConfig) ClusterSize() int {
+	var a float64
+	switch c.Regime {
+	case RegimeOmega:
+		a = c.Omega * float64(c.N) / float64(c.Clusters)
+	case RegimeEta:
+		a = math.Pow(float64(c.N), c.Eta) / float64(c.Clusters)
+	case RegimeCap:
+		a = float64(c.P) / float64(c.Clusters)
+	}
+	size := int(a)
+	if size < 2 {
+		size = 2
+	}
+	if size*c.Clusters > c.N {
+		size = c.N / c.Clusters
+	}
+	return size
+}
+
+// Mixture generates the synthetic Gaussian-mixture-plus-uniform-noise data of
+// Section 5.2.
+func Mixture(cfg MixtureConfig) (*Dataset, error) {
+	if cfg.N < cfg.Clusters*2 {
+		return nil, fmt.Errorf("dataset: N=%d too small for %d clusters", cfg.N, cfg.Clusters)
+	}
+	if cfg.Dim <= 0 || cfg.Clusters <= 0 {
+		return nil, fmt.Errorf("dataset: invalid mixture config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	aStar := cfg.ClusterSize()
+	nNoise := cfg.N - aStar*cfg.Clusters
+
+	// Cluster means spread over [0, side]^dim with a few pairs forced close
+	// ("partially overlapped ... mean vectors close to each other").
+	side := 100.0
+	means := make([][]float64, cfg.Clusters)
+	for c := range means {
+		m := make([]float64, cfg.Dim)
+		for j := range m {
+			m[j] = rng.Float64() * side
+		}
+		means[c] = m
+	}
+	for p := 0; p < cfg.OverlapPairs && 2*p+1 < cfg.Clusters; p++ {
+		a, b := means[2*p], means[2*p+1]
+		for j := range b {
+			b[j] = a[j] + rng.NormFloat64()*3
+		}
+	}
+	// Diagonal covariances with elements in [0, 10] (i.e. per-axis variance).
+	stds := make([][]float64, cfg.Clusters)
+	for c := range stds {
+		s := make([]float64, cfg.Dim)
+		for j := range s {
+			s[j] = math.Sqrt(rng.Float64() * 10)
+		}
+		stds[c] = s
+	}
+
+	ds := &Dataset{
+		Name:        fmt.Sprintf("mixture-%s-n%d", cfg.Regime, cfg.N),
+		Points:      make([][]float64, 0, cfg.N),
+		Labels:      make([]int, 0, cfg.N),
+		NumClusters: cfg.Clusters,
+	}
+	for c := 0; c < cfg.Clusters; c++ {
+		for i := 0; i < aStar; i++ {
+			p := make([]float64, cfg.Dim)
+			for j := range p {
+				p[j] = means[c][j] + rng.NormFloat64()*stds[c][j]
+			}
+			ds.Points = append(ds.Points, p)
+			ds.Labels = append(ds.Labels, c)
+		}
+	}
+	// Uniform background noise over an enlarged bounding box of the clusters.
+	for i := 0; i < nNoise; i++ {
+		p := make([]float64, cfg.Dim)
+		for j := range p {
+			p[j] = -10 + rng.Float64()*(side+20)
+		}
+		ds.Points = append(ds.Points, p)
+		ds.Labels = append(ds.Labels, -1)
+	}
+	ds.tuneScales(cfg.Seed + 77)
+	return ds, nil
+}

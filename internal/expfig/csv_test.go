@@ -1,0 +1,35 @@
+package expfig
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSeriesWriteCSV(t *testing.T) {
+	s := Series{
+		{Figure: "fig7a", Method: "ALID", X: 1000, AVGF: 0.95,
+			Runtime: 120 * time.Millisecond, MemoryBytes: 4096, SparseDegree: 0.99,
+			Note: "speedup=2.0"},
+		{Figure: "fig7a", Method: "IID", X: 1000, AVGF: 0.97,
+			Runtime: time.Second, MemoryBytes: 1 << 20},
+	}
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "figure,method,x,") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "fig7a,ALID,1000,0.95,0.12,4096,0.99") {
+		t.Fatalf("row = %q", lines[1])
+	}
+	if !strings.Contains(lines[1], `"speedup=2.0"`) {
+		t.Fatalf("note not quoted: %q", lines[1])
+	}
+}

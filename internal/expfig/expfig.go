@@ -1,0 +1,185 @@
+// Package expfig is the benchmark harness that regenerates every table and
+// figure of the paper's evaluation (Section 5 and Appendix C). Each FigXX
+// function runs the relevant methods over the relevant workload sweep and
+// returns one Point per (method, x) pair — AVG-F, runtime and memory — which
+// the cmd/experiments binary prints in the same rows/series the paper plots.
+//
+// Scale note: the harness defaults to reduced dataset sizes so a full
+// regeneration finishes in minutes on one machine; the --scale flag of
+// cmd/experiments restores paper-scale sizes. Shapes (who wins, growth
+// orders, crossovers), not absolute numbers, are the reproduction target.
+package expfig
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"alid/internal/dataset"
+	"alid/internal/eval"
+)
+
+// Point is one measurement in a series.
+type Point struct {
+	// Figure identifies the paper artifact (e.g. "fig6a").
+	Figure string
+	// Method is the algorithm name (ALID, IID, SEA, AP, ...).
+	Method string
+	// X is the sweep variable: LSH segment r, dataset size n, noise degree,
+	// or executor count depending on the figure.
+	X float64
+	// AVGF is the detection quality (NaN when ground truth is absent).
+	AVGF float64
+	// Runtime is the wall-clock time of the full detection, including
+	// affinity/index construction, matching the paper's accounting.
+	Runtime time.Duration
+	// MemoryBytes is the affinity-storage accounting (matrix entries held,
+	// plus hash-table overhead for LSH-based methods).
+	MemoryBytes int64
+	// SparseDegree is the fraction of the n×n matrix never materialized.
+	SparseDegree float64
+	// Note carries figure-specific extras (e.g. speedup ratio).
+	Note string
+}
+
+// Series is an ordered collection of measurements.
+type Series []Point
+
+// Filter returns the sub-series of one method, ordered by X.
+func (s Series) Filter(method string) Series {
+	var out Series
+	for _, p := range s {
+		if p.Method == method {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].X < out[j].X })
+	return out
+}
+
+// Methods returns the distinct method names in first-seen order.
+func (s Series) Methods() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, p := range s {
+		if !seen[p.Method] {
+			seen[p.Method] = true
+			out = append(out, p.Method)
+		}
+	}
+	return out
+}
+
+// LogLogSlope fits log(y) = a + slope·log(x) by least squares over the
+// series' (X, pick(point)) pairs, the growth-order estimator the paper reads
+// off its double-logarithmic plots (Table 1 verification).
+func (s Series) LogLogSlope(pick func(Point) float64) float64 {
+	var xs, ys []float64
+	for _, p := range s {
+		y := pick(p)
+		if p.X > 0 && y > 0 {
+			xs = append(xs, math.Log(p.X))
+			ys = append(ys, math.Log(y))
+		}
+	}
+	n := float64(len(xs))
+	if n < 2 {
+		return math.NaN()
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return math.NaN()
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// PrintTable renders a series grouped by X with one column per method,
+// showing the selected metric.
+func PrintTable(w io.Writer, title string, s Series, metric string) {
+	fmt.Fprintf(w, "\n== %s (%s) ==\n", title, metric)
+	methods := s.Methods()
+	xs := map[float64]bool{}
+	for _, p := range s {
+		xs[p.X] = true
+	}
+	var xsList []float64
+	for x := range xs {
+		xsList = append(xsList, x)
+	}
+	sort.Float64s(xsList)
+	fmt.Fprintf(w, "%12s", "x")
+	for _, m := range methods {
+		fmt.Fprintf(w, "%14s", m)
+	}
+	fmt.Fprintln(w)
+	for _, x := range xsList {
+		fmt.Fprintf(w, "%12.4g", x)
+		for _, m := range methods {
+			val := math.NaN()
+			for _, p := range s {
+				if p.Method == m && p.X == x {
+					switch metric {
+					case "avgf":
+						val = p.AVGF
+					case "runtime_s":
+						val = p.Runtime.Seconds()
+					case "memory_mb":
+						val = float64(p.MemoryBytes) / (1 << 20)
+					case "sparse_degree":
+						val = p.SparseDegree
+					}
+				}
+			}
+			if math.IsNaN(val) {
+				fmt.Fprintf(w, "%14s", "-")
+			} else {
+				fmt.Fprintf(w, "%14.4g", val)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteCSV emits the series as machine-readable rows
+// (figure,method,x,avgf,runtime_s,memory_bytes,sparse_degree,note) for
+// external plotting.
+func (s Series) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "figure,method,x,avgf,runtime_s,memory_bytes,sparse_degree,note"); err != nil {
+		return err
+	}
+	for _, p := range s {
+		if _, err := fmt.Fprintf(w, "%s,%s,%g,%g,%g,%d,%g,%q\n",
+			p.Figure, p.Method, p.X, p.AVGF, p.Runtime.Seconds(), p.MemoryBytes, p.SparseDegree, p.Note); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scoreClusters converts per-point predicted labels into the AVG-F metric.
+func scoreClusters(truth, pred []int) float64 {
+	r, err := eval.Score(truth, pred)
+	if err != nil {
+		return math.NaN()
+	}
+	return r.AVGF
+}
+
+// checkCtx propagates cancellation between long harness stages.
+func checkCtx(ctx context.Context) error { return ctx.Err() }
+
+// dsDescriptor summarizes a dataset for log lines.
+func dsDescriptor(ds *dataset.Dataset) string {
+	return fmt.Sprintf("%s: n=%d clusters=%d noise=%d k=%.3g r=%.3g",
+		ds.Name, ds.N(), ds.NumClusters, ds.NoiseCount(), ds.SuggestedK, ds.SuggestedLSHR)
+}

@@ -1,0 +1,205 @@
+package expfig
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tiny returns options that shrink every workload to smoke-test size.
+func tiny() Options { return Options{Scale: 0.12} }
+
+func TestSeriesFilterAndMethods(t *testing.T) {
+	s := Series{
+		{Method: "A", X: 2}, {Method: "B", X: 1}, {Method: "A", X: 1},
+	}
+	if got := s.Methods(); len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Fatalf("Methods = %v", got)
+	}
+	f := s.Filter("A")
+	if len(f) != 2 || f[0].X != 1 || f[1].X != 2 {
+		t.Fatalf("Filter = %v", f)
+	}
+}
+
+func TestLogLogSlope(t *testing.T) {
+	// y = 3x² → slope 2 exactly in log-log space.
+	var s Series
+	for _, x := range []float64{10, 100, 1000} {
+		s = append(s, Point{X: x, Runtime: time.Duration(3 * x * x * float64(time.Second))})
+	}
+	slope := s.LogLogSlope(func(p Point) float64 { return p.Runtime.Seconds() })
+	if math.Abs(slope-2) > 1e-9 {
+		t.Fatalf("slope = %v, want 2", slope)
+	}
+	// Degenerate series → NaN.
+	if !math.IsNaN(Series{}.LogLogSlope(func(p Point) float64 { return 1 })) {
+		t.Fatal("empty series should give NaN")
+	}
+}
+
+func TestPrintTable(t *testing.T) {
+	s := Series{
+		{Method: "ALID", X: 1, AVGF: 0.9},
+		{Method: "IID", X: 1, AVGF: 0.8},
+		{Method: "ALID", X: 2, AVGF: 0.85},
+	}
+	var buf bytes.Buffer
+	PrintTable(&buf, "test", s, "avgf")
+	out := buf.String()
+	if !strings.Contains(out, "ALID") || !strings.Contains(out, "IID") {
+		t.Fatalf("table missing methods:\n%s", out)
+	}
+	if !strings.Contains(out, "0.9") {
+		t.Fatalf("table missing value:\n%s", out)
+	}
+	// Missing (IID, x=2) prints a dash.
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing cell not dashed:\n%s", out)
+	}
+}
+
+func TestFig6Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s, err := Fig6(context.Background(), "nart", tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Methods()) < 4 {
+		t.Fatalf("fig6 methods = %v", s.Methods())
+	}
+	// Sparse degree must decrease (denser matrix) as r grows for the
+	// sparsified baselines.
+	iid := s.Filter("IID")
+	if len(iid) < 2 {
+		t.Fatal("IID series too short")
+	}
+	if !(iid[len(iid)-1].SparseDegree < iid[0].SparseDegree) {
+		t.Errorf("sparse degree did not fall with r: %v -> %v",
+			iid[0].SparseDegree, iid[len(iid)-1].SparseDegree)
+	}
+	// ALID stays extremely sparse at every r.
+	for _, p := range s.Filter("ALID") {
+		if p.SparseDegree < 0.5 {
+			t.Errorf("ALID sparse degree %v at x=%v; pruning failed", p.SparseDegree, p.X)
+		}
+	}
+}
+
+func TestFig7CapRegimeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s, err := Fig7(context.Background(), "cap", tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	alid := s.Filter("ALID")
+	if len(alid) < 3 {
+		t.Fatalf("ALID series = %d points", len(alid))
+	}
+	// ALID memory must be far below the n² of the dense baselines at the
+	// largest common n.
+	iid := s.Filter("IID")
+	if len(iid) > 0 {
+		last := iid[len(iid)-1]
+		var alidAt *Point
+		for i := range alid {
+			if alid[i].X == last.X {
+				alidAt = &alid[i]
+			}
+		}
+		if alidAt != nil && alidAt.MemoryBytes >= last.MemoryBytes {
+			t.Errorf("ALID memory %d ≥ IID memory %d at n=%v", alidAt.MemoryBytes, last.MemoryBytes, last.X)
+		}
+	}
+}
+
+func TestFig10Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s, err := Fig10(context.Background(), tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) < 4 {
+		t.Fatalf("fig10 rows = %d", len(s))
+	}
+	for _, p := range s {
+		if !strings.Contains(p.Note, "noise_filtered") {
+			t.Errorf("%s row missing noise stats: %q", p.Method, p.Note)
+		}
+	}
+}
+
+func TestTable2Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s, err := Table2(context.Background(), tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 4 {
+		t.Fatalf("table2 rows = %d, want 4", len(s))
+	}
+	for _, p := range s {
+		if !strings.Contains(p.Note, "speedup=") {
+			t.Fatalf("row missing speedup: %+v", p)
+		}
+	}
+}
+
+func TestAblateSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s, err := Ablate(context.Background(), tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 5 {
+		t.Fatalf("ablate rows = %d, want 5", len(s))
+	}
+	var full, tinyDelta *Point
+	for i := range s {
+		switch s[i].Method {
+		case "ALID":
+			full = &s[i]
+		case "ALID-delta25":
+			tinyDelta = &s[i]
+		}
+	}
+	if full == nil || tinyDelta == nil {
+		t.Fatal("missing variants")
+	}
+	if math.IsNaN(full.AVGF) {
+		t.Fatal("full ALID has no score")
+	}
+}
+
+func TestFig11VariantValidation(t *testing.T) {
+	if _, err := Fig11(context.Background(), "bogus", tiny()); err == nil {
+		t.Fatal("bogus variant accepted")
+	}
+	if _, err := Fig6(context.Background(), "bogus", tiny()); err == nil {
+		t.Fatal("bogus variant accepted")
+	}
+	if _, err := Fig7(context.Background(), "bogus", tiny()); err == nil {
+		t.Fatal("bogus workload accepted")
+	}
+}
+
+func TestContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Fig7(ctx, "cap", tiny()); err == nil {
+		t.Fatal("cancelled context should abort Fig7")
+	}
+}

@@ -1,0 +1,560 @@
+package expfig
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"alid/internal/affinity"
+	"alid/internal/core"
+	"alid/internal/dataset"
+	"alid/internal/eval"
+	"alid/internal/lsh"
+)
+
+// Options scales the harness workloads. Scale 1 is the fast default used by
+// the benchmark suite; larger values approach the paper's dataset sizes.
+type Options struct {
+	// Scale multiplies dataset sizes (1 = quick, ~8 = paper-scale where
+	// single-machine time permits).
+	Scale float64
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+func (o Options) scale() float64 {
+	if o.Scale <= 0 {
+		return 1
+	}
+	return o.Scale
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, format+"\n", args...)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 6 — sparsity influence analysis (Section 5.1)
+// ---------------------------------------------------------------------------
+
+// Fig6 sweeps the LSH segment length r and reports AVG-F, runtime and sparse
+// degree for the sparsified baselines (AP, SEA, IID) and for ALID, on the
+// NART-like ("nart") or Sub-NDI-like ("subndi") workload. It covers panels
+// (a)+(c) or (b)+(d) depending on the variant.
+func Fig6(ctx context.Context, variant string, opts Options) (Series, error) {
+	sc := opts.scale()
+	var d *dataset.Dataset
+	var err error
+	switch variant {
+	case "nart":
+		cfg := dataset.DefaultNARTConfig()
+		cfg.N = int(1200 * sc)
+		cfg.EventDocs = int(260 * sc)
+		cfg.Dim = 200
+		d, err = dataset.NARTLike(cfg)
+	case "subndi":
+		cfg := dataset.SubNDIConfig()
+		cfg.Positives = int(400 * sc)
+		cfg.Noise = int(800 * sc)
+		cfg.Dim = 128
+		d, err = dataset.NDILike(cfg)
+	default:
+		return nil, fmt.Errorf("expfig: unknown Fig6 variant %q", variant)
+	}
+	if err != nil {
+		return nil, err
+	}
+	opts.logf("fig6 %s %s", variant, dsDescriptor(d))
+	fig := "fig6a"
+	if variant == "subndi" {
+		fig = "fig6b"
+	}
+	var series Series
+	// Sweep r as multiples of the tuned segment length (the paper sweeps the
+	// absolute r of its normalized features; the fractions cover the same
+	// sparse-degree range).
+	for _, frac := range []float64{0.1, 0.25, 0.5, 1.0, 2.0} {
+		if err := checkCtx(ctx); err != nil {
+			return series, err
+		}
+		r := frac * d.SuggestedLSHR
+		lshCfg := lsh.Config{Projections: 16, Tables: 20, R: r, Seed: 1}
+		buildStart := time.Now()
+		_, sp, err := sparsify(d, lshCfg, 0)
+		if err != nil {
+			return series, err
+		}
+		buildTime := time.Since(buildStart)
+		opts.logf("  r=%.3g sparse_degree=%.4f nnz=%d", r, sp.SparseDegree(), sp.NNZ())
+
+		if run, err := runIIDSparsified(ctx, d, sp, buildTime); err == nil {
+			series = append(series, point(fig, "IID", frac, d, run))
+		} else if ctx.Err() != nil {
+			return series, err
+		}
+		if run, err := runSEA(ctx, d, sp, buildTime); err == nil {
+			series = append(series, point(fig, "SEA", frac, d, run))
+		} else if ctx.Err() != nil {
+			return series, err
+		}
+		if run, err := runAPSparse(ctx, d, sp, buildTime); err == nil {
+			series = append(series, point(fig, "AP", frac, d, run))
+		} else if ctx.Err() != nil {
+			return series, err
+		}
+		acfg := coreConfigFor(d, lshCfg)
+		if run, err := runALID(ctx, d, acfg); err == nil {
+			series = append(series, point(fig, "ALID", frac, d, run))
+		} else if ctx.Err() != nil {
+			return series, err
+		}
+	}
+	return series, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 7 — scalability analysis on the three synthetic regimes + NDI
+// ---------------------------------------------------------------------------
+
+// Fig7 sweeps the dataset size for one workload: "omega", "eta", "cap" (the
+// Table 1 regimes, panels a/e/i, b/f/j, c/g/k) or "ndi" (panels d/h/l).
+// Full-matrix baselines stop at their feasibility caps, exactly as the
+// paper's runs stop at the 12 GB RAM limit.
+func Fig7(ctx context.Context, workload string, opts Options) (Series, error) {
+	sc := opts.scale()
+	sizes := []int{int(1000 * sc), int(2000 * sc), int(4000 * sc), int(8000 * sc)}
+	apCap := int(1200 * sc)
+	denseCap := int(4000 * sc)
+	fig := map[string]string{"omega": "fig7a", "eta": "fig7b", "cap": "fig7c", "ndi": "fig7d"}[workload]
+	if fig == "" {
+		return nil, fmt.Errorf("expfig: unknown Fig7 workload %q", workload)
+	}
+	var series Series
+	for _, n := range sizes {
+		if err := checkCtx(ctx); err != nil {
+			return series, err
+		}
+		var d *dataset.Dataset
+		var err error
+		switch workload {
+		case "omega":
+			d, err = dataset.Mixture(dataset.DefaultMixtureConfig(n, dataset.RegimeOmega))
+		case "eta":
+			d, err = dataset.Mixture(dataset.DefaultMixtureConfig(n, dataset.RegimeEta))
+		case "cap":
+			d, err = dataset.Mixture(dataset.DefaultMixtureConfig(n, dataset.RegimeCap))
+		case "ndi":
+			cfg := dataset.DefaultNDIConfig()
+			cfg.Positives = n / 9
+			cfg.Noise = n - cfg.Positives
+			// ~20 clusters as in the synthetic regimes, but never more than
+			// the positives can fill (tiny smoke-test scales).
+			cfg.Clusters = 20
+			if cfg.Positives < 2*cfg.Clusters {
+				cfg.Clusters = maxInt(1, cfg.Positives/2)
+			}
+			d, err = dataset.NDILike(cfg)
+		}
+		if err != nil {
+			return series, err
+		}
+		opts.logf("fig7 %s %s", workload, dsDescriptor(d))
+
+		acfg := coreConfigFor(d, lsh.Config{})
+		if run, err := runALID(ctx, d, acfg); err == nil {
+			series = append(series, point(fig, "ALID", float64(n), d, run))
+		} else if ctx.Err() != nil {
+			return series, err
+		}
+		if n <= denseCap {
+			if run, err := runIIDDense(ctx, d); err == nil {
+				series = append(series, point(fig, "IID", float64(n), d, run))
+			} else if ctx.Err() != nil {
+				return series, err
+			}
+		}
+		if n <= denseCap {
+			lshCfg := lsh.Config{Projections: 10, Tables: 10, R: d.SuggestedLSHR, Seed: 1}
+			buildStart := time.Now()
+			_, sp, err := sparsify(d, lshCfg, 256)
+			if err != nil {
+				return series, err
+			}
+			buildTime := time.Since(buildStart)
+			if run, err := runSEA(ctx, d, sp, buildTime); err == nil {
+				series = append(series, point(fig, "SEA", float64(n), d, run))
+			} else if ctx.Err() != nil {
+				return series, err
+			}
+			if n <= apCap {
+				if run, err := runAPSparse(ctx, d, sp, buildTime); err == nil {
+					series = append(series, point(fig, "AP", float64(n), d, run))
+				} else if ctx.Err() != nil {
+					return series, err
+				}
+			}
+		}
+	}
+	return series, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 9 — scalability on SIFT-like descriptors
+// ---------------------------------------------------------------------------
+
+// Fig9 sweeps SIFT-like subsets, reproducing the single-machine memory and
+// runtime comparison on SIFT-50M subsets.
+func Fig9(ctx context.Context, opts Options) (Series, error) {
+	sc := opts.scale()
+	sizes := []int{int(2000 * sc), int(5000 * sc), int(10000 * sc)}
+	denseCap := int(4000 * sc)
+	var series Series
+	for _, n := range sizes {
+		if err := checkCtx(ctx); err != nil {
+			return series, err
+		}
+		d, err := dataset.SIFTLike(dataset.DefaultSIFTConfig(n))
+		if err != nil {
+			return series, err
+		}
+		opts.logf("fig9 %s", dsDescriptor(d))
+		acfg := coreConfigFor(d, lsh.Config{})
+		if run, err := runALID(ctx, d, acfg); err == nil {
+			series = append(series, point("fig9", "ALID", float64(n), d, run))
+		} else if ctx.Err() != nil {
+			return series, err
+		}
+		if n <= denseCap {
+			if run, err := runIIDDense(ctx, d); err == nil {
+				series = append(series, point("fig9", "IID", float64(n), d, run))
+			} else if ctx.Err() != nil {
+				return series, err
+			}
+			lshCfg := lsh.Config{Projections: 10, Tables: 10, R: d.SuggestedLSHR, Seed: 1}
+			buildStart := time.Now()
+			_, sp, err := sparsify(d, lshCfg, 256)
+			if err != nil {
+				return series, err
+			}
+			buildTime := time.Since(buildStart)
+			if run, err := runSEA(ctx, d, sp, buildTime); err == nil {
+				series = append(series, point("fig9", "SEA", float64(n), d, run))
+			} else if ctx.Err() != nil {
+				return series, err
+			}
+			if n <= int(1200*sc) {
+				if run, err := runAPSparse(ctx, d, sp, buildTime); err == nil {
+					series = append(series, point("fig9", "AP", float64(n), d, run))
+				} else if ctx.Err() != nil {
+					return series, err
+				}
+			}
+		}
+	}
+	return series, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 10 — qualitative noise filtering on visual words, quantified
+// ---------------------------------------------------------------------------
+
+// Fig10 plants visual-word clusters among noisy SIFT-like descriptors and
+// reports, per method, the fraction of cluster descriptors detected (the
+// paper's green points) and the fraction of noise filtered out (red points
+// removed). X encodes nothing and is fixed at the dataset size.
+func Fig10(ctx context.Context, opts Options) (Series, error) {
+	sc := opts.scale()
+	d, err := dataset.SIFTLike(dataset.DefaultSIFTConfig(int(4000 * sc)))
+	if err != nil {
+		return nil, err
+	}
+	opts.logf("fig10 %s", dsDescriptor(d))
+	var series Series
+	record := func(method string, run methodRun, err error) error {
+		if err != nil {
+			return err
+		}
+		res, err := eval.Score(d.Labels, run.pred)
+		if err != nil {
+			return err
+		}
+		series = append(series, Point{
+			Figure: "fig10", Method: method, X: float64(d.N()),
+			AVGF: res.AVGF, Runtime: run.runtime, MemoryBytes: run.memoryBytes,
+			Note: fmt.Sprintf("positives_detected=%.3f noise_filtered=%.3f", res.PositiveCovered, res.NoiseFiltered),
+		})
+		return nil
+	}
+	acfg := coreConfigFor(d, lsh.Config{})
+	run, err := runALID(ctx, d, acfg)
+	if err := record("ALID", run, err); err != nil {
+		return series, err
+	}
+	prun, err := runPALID(ctx, d, acfg, 4)
+	if err := record("PALID", prun, err); err != nil {
+		return series, err
+	}
+	irun, err := runIIDDense(ctx, d)
+	if err := record("IID", irun, err); err != nil {
+		return series, err
+	}
+	lshCfg := lsh.Config{Projections: 10, Tables: 10, R: d.SuggestedLSHR, Seed: 1}
+	buildStart := time.Now()
+	_, sp, err := sparsify(d, lshCfg, 256)
+	if err != nil {
+		return series, err
+	}
+	buildTime := time.Since(buildStart)
+	srun, err := runSEA(ctx, d, sp, buildTime)
+	if err := record("SEA", srun, err); err != nil {
+		return series, err
+	}
+	aprun, err := runAPSparse(ctx, d, sp, buildTime)
+	if err := record("AP", aprun, err); err != nil {
+		return series, err
+	}
+	return series, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 11 — noise resistance analysis (Appendix C)
+// ---------------------------------------------------------------------------
+
+// Fig11 sweeps the noise degree and compares the affinity-based methods
+// against the partitioning-based ones on the NART-like ("nart") or
+// Sub-NDI-like ("subndi") workload.
+func Fig11(ctx context.Context, variant string, opts Options) (Series, error) {
+	sc := opts.scale()
+	var base *dataset.Dataset
+	var err error
+	switch variant {
+	case "nart":
+		cfg := dataset.DefaultNARTConfig()
+		cfg.N = int(200 * sc) // ground truth only; noise injected per degree
+		cfg.EventDocs = cfg.N
+		cfg.Events = 13
+		cfg.Dim = 150
+		base, err = dataset.NARTLike(cfg)
+	case "subndi":
+		cfg := dataset.SubNDIConfig()
+		cfg.Positives = int(200 * sc)
+		cfg.Noise = 0
+		cfg.Dim = 128
+		base, err = dataset.NDILike(cfg)
+	default:
+		return nil, fmt.Errorf("expfig: unknown Fig11 variant %q", variant)
+	}
+	if err != nil {
+		return nil, err
+	}
+	fig := "fig11a"
+	if variant == "subndi" {
+		fig = "fig11b"
+	}
+	var series Series
+	for _, nd := range []float64{0, 1, 2, 4, 6} {
+		if err := checkCtx(ctx); err != nil {
+			return series, err
+		}
+		d := base.WithNoise(nd, 7)
+		opts.logf("fig11 %s nd=%.1f %s", variant, nd, dsDescriptor(d))
+		type namedRun struct {
+			name string
+			fn   func() (methodRun, error)
+		}
+		acfg := coreConfigFor(d, lsh.Config{})
+		runs := []namedRun{
+			{"ALID", func() (methodRun, error) { return runALID(ctx, d, acfg) }},
+			{"IID", func() (methodRun, error) { return runIIDDense(ctx, d) }},
+			{"AP", func() (methodRun, error) { return runAPDense(ctx, d) }},
+			{"SEA", func() (methodRun, error) {
+				// Full graph per Appendix C ("use a full affinity matrix").
+				start := time.Now()
+				sp, err := fullSparseMatrix(d)
+				if err != nil {
+					return methodRun{}, err
+				}
+				return runSEA(ctx, d, sp, time.Since(start))
+			}},
+			{"KM", func() (methodRun, error) { return runKMeans(ctx, d) }},
+			{"SC-FL", func() (methodRun, error) { return runSCFL(ctx, d) }},
+			{"SC-NYS", func() (methodRun, error) { return runSCNYS(ctx, d) }},
+			{"MS", func() (methodRun, error) { return runMeanShift(ctx, d) }},
+		}
+		for _, nr := range runs {
+			run, err := nr.fn()
+			if err != nil {
+				if ctx.Err() != nil {
+					return series, err
+				}
+				opts.logf("  %s failed: %v", nr.name, err)
+				continue
+			}
+			series = append(series, point(fig, nr.name, nd, d, run))
+		}
+	}
+	return series, nil
+}
+
+// fullSparseMatrix keeps every edge (the full-affinity-matrix configuration
+// of the Appendix C experiments), stored in CSR form for SEA.
+func fullSparseMatrix(d *dataset.Dataset) (*affinity.Sparse, error) {
+	o, err := affinity.NewOracle(d.Points, affinity.Kernel{K: d.SuggestedK, P: 2})
+	if err != nil {
+		return nil, err
+	}
+	nbrs := make([][]int, d.N())
+	for i := range nbrs {
+		lst := make([]int, 0, d.N()-1)
+		for j := 0; j < d.N(); j++ {
+			if j != i {
+				lst = append(lst, j)
+			}
+		}
+		nbrs[i] = lst
+	}
+	return affinity.NewSparse(o, nbrs), nil
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 — PALID speedup
+// ---------------------------------------------------------------------------
+
+// Table2 measures PALID runtime and speedup ratio at 1, 2, 4 and 8 executors
+// on the SIFT-like workload.
+func Table2(ctx context.Context, opts Options) (Series, error) {
+	sc := opts.scale()
+	d, err := dataset.SIFTLike(dataset.DefaultSIFTConfig(int(8000 * sc)))
+	if err != nil {
+		return nil, err
+	}
+	opts.logf("table2 %s", dsDescriptor(d))
+	cfg := coreConfigFor(d, lsh.Config{})
+	var series Series
+	var base time.Duration
+	for _, ex := range []int{1, 2, 4, 8} {
+		if err := checkCtx(ctx); err != nil {
+			return series, err
+		}
+		run, err := runPALID(ctx, d, cfg, ex)
+		if err != nil {
+			return series, err
+		}
+		if ex == 1 {
+			base = run.runtime
+		}
+		speedup := float64(base) / float64(run.runtime)
+		p := point("tab2", fmt.Sprintf("PALID-%dExec", ex), float64(ex), d, run)
+		p.Note = fmt.Sprintf("speedup=%.2f", speedup)
+		series = append(series, p)
+		opts.logf("  executors=%d runtime=%v speedup=%.2f", ex, run.runtime, speedup)
+	}
+	return series, nil
+}
+
+// ---------------------------------------------------------------------------
+// Table 1 — growth orders, verified from the Fig. 7 sweeps
+// ---------------------------------------------------------------------------
+
+// Table1Row is a measured-vs-theory growth order.
+type Table1Row struct {
+	Regime     string
+	TimeSlope  float64
+	TheoryTime float64
+	MemSlope   float64
+	TheoryMem  float64
+}
+
+// Table1 fits log-log slopes of ALID's runtime and memory from the Fig. 7
+// sweeps and pairs them with the orders Table 1 of the paper predicts
+// (ω: n², η=0.9: n^1.9 time / n^1.8 space, cap: n / constant).
+func Table1(ctx context.Context, opts Options) ([]Table1Row, Series, error) {
+	var rows []Table1Row
+	var all Series
+	theory := map[string][2]float64{
+		// {time slope, memory slope} for the affinity-matrix term
+		"omega": {2, 2},
+		"eta":   {1.9, 1.8},
+		"cap":   {1, 0},
+	}
+	for _, regime := range []string{"omega", "eta", "cap"} {
+		s, err := Fig7(ctx, regime, opts)
+		if err != nil {
+			return rows, all, err
+		}
+		all = append(all, s...)
+		alid := s.Filter("ALID")
+		th := theory[regime]
+		rows = append(rows, Table1Row{
+			Regime:     regime,
+			TimeSlope:  alid.LogLogSlope(func(p Point) float64 { return p.Runtime.Seconds() }),
+			TheoryTime: th[0],
+			MemSlope:   alid.LogLogSlope(func(p Point) float64 { return float64(p.MemoryBytes) }),
+			TheoryMem:  th[1],
+		})
+	}
+	return rows, all, nil
+}
+
+// ---------------------------------------------------------------------------
+// Ablations — design choices called out in DESIGN.md
+// ---------------------------------------------------------------------------
+
+// Ablate compares full ALID against its ablated variants (single-query CIVS,
+// fixed ROI growth, small δ) on a capped-regime mixture.
+func Ablate(ctx context.Context, opts Options) (Series, error) {
+	sc := opts.scale()
+	d, err := dataset.Mixture(dataset.DefaultMixtureConfig(int(3000*sc), dataset.RegimeCap))
+	if err != nil {
+		return nil, err
+	}
+	opts.logf("ablate %s", dsDescriptor(d))
+	var series Series
+	variants := []struct {
+		name   string
+		mutate func(c *core.Config)
+	}{
+		{"ALID", func(c *core.Config) {}},
+		{"ALID-singleLSR", func(c *core.Config) { c.SingleQueryCIVS = true }},
+		{"ALID-fixedROI", func(c *core.Config) { c.FixedROIGrowth = true }},
+		{"ALID-delta100", func(c *core.Config) { c.Delta = 100 }},
+		{"ALID-delta25", func(c *core.Config) { c.Delta = 25 }},
+	}
+	for _, v := range variants {
+		if err := checkCtx(ctx); err != nil {
+			return series, err
+		}
+		cfg := coreConfigFor(d, lsh.Config{})
+		v.mutate(&cfg)
+		run, err := runALID(ctx, d, cfg)
+		if err != nil {
+			return series, err
+		}
+		series = append(series, point("ablate", v.name, float64(d.N()), d, run))
+		opts.logf("  %s avgf=%.3f runtime=%v mem=%dB", v.name, series[len(series)-1].AVGF, run.runtime, run.memoryBytes)
+	}
+	return series, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// point assembles a Point with the AVG-F computed against ground truth.
+func point(fig, method string, x float64, d *dataset.Dataset, run methodRun) Point {
+	avgf := math.NaN()
+	if run.pred != nil {
+		avgf = scoreClusters(d.Labels, run.pred)
+	}
+	return Point{
+		Figure: fig, Method: method, X: x, AVGF: avgf,
+		Runtime: run.runtime, MemoryBytes: run.memoryBytes, SparseDegree: run.sparseDegree,
+	}
+}

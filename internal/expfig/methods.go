@@ -1,0 +1,270 @@
+package expfig
+
+import (
+	"context"
+	"time"
+
+	"alid/internal/affinity"
+	"alid/internal/baselines"
+	"alid/internal/baselines/ap"
+	"alid/internal/baselines/ds"
+	"alid/internal/baselines/iid"
+	"alid/internal/baselines/kmeans"
+	"alid/internal/baselines/meanshift"
+	"alid/internal/baselines/sea"
+	"alid/internal/baselines/spectral"
+	"alid/internal/core"
+	"alid/internal/dataset"
+	"alid/internal/lsh"
+	"alid/internal/palid"
+)
+
+// methodRun is the uniform result of running one method on one dataset.
+type methodRun struct {
+	pred         []int
+	runtime      time.Duration
+	memoryBytes  int64
+	sparseDegree float64
+}
+
+// coreConfigFor derives an ALID configuration from a dataset's tuned scales.
+func coreConfigFor(d *dataset.Dataset, lshCfg lsh.Config) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Kernel = affinity.Kernel{K: d.SuggestedK, P: 2}
+	if lshCfg == (lsh.Config{}) {
+		lshCfg = lsh.Config{Projections: 10, Tables: 10, R: d.SuggestedLSHR, Seed: 1}
+	}
+	cfg.LSH = lshCfg
+	cfg.DensityThreshold = 0.75
+	return cfg
+}
+
+// lshMemory approximates the index footprint the paper attributes to LSH:
+// O(n·l) inverted-list entries (8 B keys) plus O(n·l) bucket slots (4 B ids).
+func lshMemory(n int, cfg lsh.Config) int64 {
+	return int64(n) * int64(cfg.Tables) * 12
+}
+
+// runALID runs the full peeling detection and accounts memory as the peak
+// local submatrix plus the LSH index.
+func runALID(ctx context.Context, d *dataset.Dataset, cfg core.Config) (methodRun, error) {
+	start := time.Now()
+	det, err := core.NewDetector(d.Points, cfg)
+	if err != nil {
+		return methodRun{}, err
+	}
+	clusters, err := det.DetectAll(ctx)
+	if err != nil {
+		return methodRun{}, err
+	}
+	elapsed := time.Since(start)
+	n := int64(d.N())
+	computed := det.Oracle().Computed()
+	return methodRun{
+		pred:         core.Labels(d.N(), clusters),
+		runtime:      elapsed,
+		memoryBytes:  int64(det.PeakEntries())*8 + lshMemory(d.N(), cfg.LSH),
+		sparseDegree: 1 - float64(computed)/float64(n*n),
+	}, nil
+}
+
+// runPALID runs the parallel variant with the given executor count.
+func runPALID(ctx context.Context, d *dataset.Dataset, cfg core.Config, executors int) (methodRun, error) {
+	start := time.Now()
+	res, err := palid.Detect(ctx, d.Points, cfg, palid.DefaultOptions(executors))
+	if err != nil {
+		return methodRun{}, err
+	}
+	return methodRun{
+		pred:        res.Assign,
+		runtime:     time.Since(start),
+		memoryBytes: lshMemory(d.N(), cfg.LSH),
+	}, nil
+}
+
+// sparsify builds the LSH-sparsified affinity matrix shared by the Fig. 6
+// baselines (the "only affinities between nearest neighbors" path of §5.1).
+func sparsify(d *dataset.Dataset, lshCfg lsh.Config, capPerPoint int) (*affinity.Oracle, *affinity.Sparse, error) {
+	o, err := affinity.NewOracle(d.Points, affinity.Kernel{K: d.SuggestedK, P: 2})
+	if err != nil {
+		return nil, nil, err
+	}
+	idx, err := lsh.Build(d.Points, lshCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	sp := affinity.NewSparse(o, idx.NeighborLists(capPerPoint))
+	return o, sp, nil
+}
+
+// runIIDDense materializes the full matrix, the paper's IID cost model.
+func runIIDDense(ctx context.Context, d *dataset.Dataset) (methodRun, error) {
+	start := time.Now()
+	o, err := affinity.NewOracle(d.Points, affinity.Kernel{K: d.SuggestedK, P: 2})
+	if err != nil {
+		return methodRun{}, err
+	}
+	solver := iid.New(o, iid.DefaultConfig())
+	clusters, err := solver.DetectAll(ctx)
+	if err != nil {
+		return methodRun{}, err
+	}
+	n := int64(d.N())
+	return methodRun{
+		pred:        baselines.Labels(d.N(), clusters),
+		runtime:     time.Since(start),
+		memoryBytes: n * n * 8,
+	}, nil
+}
+
+// runIIDSparsified runs IID directly on an LSH-sparsified CSR matrix
+// (Fig. 6), never expanding to dense storage.
+func runIIDSparsified(ctx context.Context, d *dataset.Dataset, sp *affinity.Sparse, buildTime time.Duration) (methodRun, error) {
+	start := time.Now()
+	solver := iid.NewFromSparse(sp, iid.DefaultConfig())
+	clusters, err := solver.DetectAll(ctx)
+	if err != nil {
+		return methodRun{}, err
+	}
+	return methodRun{
+		pred:         baselines.Labels(d.N(), clusters),
+		runtime:      buildTime + time.Since(start),
+		memoryBytes:  int64(sp.NNZ()) * 8,
+		sparseDegree: sp.SparseDegree(),
+	}, nil
+}
+
+// runDSDense runs Dominant Sets (replicator dynamics) on the full matrix.
+func runDSDense(ctx context.Context, d *dataset.Dataset) (methodRun, error) {
+	start := time.Now()
+	o, err := affinity.NewOracle(d.Points, affinity.Kernel{K: d.SuggestedK, P: 2})
+	if err != nil {
+		return methodRun{}, err
+	}
+	solver := ds.New(o, ds.DefaultConfig())
+	clusters, err := solver.DetectAll(ctx)
+	if err != nil {
+		return methodRun{}, err
+	}
+	n := int64(d.N())
+	return methodRun{
+		pred:        baselines.Labels(d.N(), clusters),
+		runtime:     time.Since(start),
+		memoryBytes: n * n * 8,
+	}, nil
+}
+
+// runSEA runs SEA on a sparsified graph.
+func runSEA(ctx context.Context, d *dataset.Dataset, sp *affinity.Sparse, buildTime time.Duration) (methodRun, error) {
+	start := time.Now()
+	solver := sea.New(sp, sea.DefaultConfig())
+	clusters, err := solver.DetectAll(ctx)
+	if err != nil {
+		return methodRun{}, err
+	}
+	return methodRun{
+		pred:         baselines.Labels(d.N(), clusters),
+		runtime:      buildTime + time.Since(start),
+		memoryBytes:  int64(sp.NNZ()) * 8,
+		sparseDegree: sp.SparseDegree(),
+	}, nil
+}
+
+// runAPSparse runs sparse affinity propagation. AP's exemplar clusters are
+// selected by the same π ≥ 0.75 rule the paper applies to the peeling
+// methods (§4.4) — Fig. 10(f) shows AP filtering noise SIFTs, which is only
+// possible with a dominant-cluster selection step on top of raw AP.
+func runAPSparse(ctx context.Context, d *dataset.Dataset, sp *affinity.Sparse, buildTime time.Duration) (methodRun, error) {
+	start := time.Now()
+	clusters, _, err := ap.SolveSparse(ctx, sp, ap.DefaultConfig())
+	if err != nil {
+		return methodRun{}, err
+	}
+	kept := baselines.FilterClusters(clusters, 0.75, 2)
+	return methodRun{
+		pred:         baselines.Labels(d.N(), kept),
+		runtime:      buildTime + time.Since(start),
+		memoryBytes:  int64(sp.NNZ()) * 8 * 3, // s, r, a message stores
+		sparseDegree: sp.SparseDegree(),
+	}, nil
+}
+
+// runAPDense runs dense affinity propagation (cluster selection as in
+// runAPSparse).
+func runAPDense(ctx context.Context, d *dataset.Dataset) (methodRun, error) {
+	start := time.Now()
+	o, err := affinity.NewOracle(d.Points, affinity.Kernel{K: d.SuggestedK, P: 2})
+	if err != nil {
+		return methodRun{}, err
+	}
+	sim := affinity.NewDense(o)
+	clusters, _, err := ap.SolveDense(ctx, sim, ap.DefaultConfig())
+	if err != nil {
+		return methodRun{}, err
+	}
+	kept := baselines.FilterClusters(clusters, 0.75, 2)
+	n := int64(d.N())
+	return methodRun{
+		pred:        baselines.Labels(d.N(), kept),
+		runtime:     time.Since(start),
+		memoryBytes: n * n * 8 * 3,
+	}, nil
+}
+
+// runKMeans runs k-means with K = true clusters + 1 (noise as an extra
+// cluster, the convention the paper borrows from Liu et al.).
+func runKMeans(ctx context.Context, d *dataset.Dataset) (methodRun, error) {
+	start := time.Now()
+	res, err := kmeans.Run(ctx, d.Points, kmeans.DefaultConfig(d.NumClusters+1))
+	if err != nil {
+		return methodRun{}, err
+	}
+	return methodRun{pred: res.Assign, runtime: time.Since(start)}, nil
+}
+
+// runSCFL runs full spectral clustering with K = true clusters + 1.
+func runSCFL(ctx context.Context, d *dataset.Dataset) (methodRun, error) {
+	start := time.Now()
+	o, err := affinity.NewOracle(d.Points, affinity.Kernel{K: d.SuggestedK, P: 2})
+	if err != nil {
+		return methodRun{}, err
+	}
+	res, err := spectral.Full(ctx, o, spectral.DefaultConfig(d.NumClusters+1))
+	if err != nil {
+		return methodRun{}, err
+	}
+	n := int64(d.N())
+	return methodRun{pred: res.Assign, runtime: time.Since(start), memoryBytes: n * n * 8}, nil
+}
+
+// runSCNYS runs Nyström spectral clustering with K = true clusters + 1.
+func runSCNYS(ctx context.Context, d *dataset.Dataset) (methodRun, error) {
+	start := time.Now()
+	o, err := affinity.NewOracle(d.Points, affinity.Kernel{K: d.SuggestedK, P: 2})
+	if err != nil {
+		return methodRun{}, err
+	}
+	cfg := spectral.DefaultConfig(d.NumClusters + 1)
+	res, err := spectral.Nystrom(ctx, o, cfg)
+	if err != nil {
+		return methodRun{}, err
+	}
+	return methodRun{pred: res.Assign, runtime: time.Since(start),
+		memoryBytes: int64(d.N()) * int64(cfg.Landmarks) * 8}, nil
+}
+
+// runMeanShift runs mean shift with the bandwidth tied to the tuned kernel
+// scale (h chosen so the Gaussian kernel matches the cluster scale).
+func runMeanShift(ctx context.Context, d *dataset.Dataset) (methodRun, error) {
+	start := time.Now()
+	h := 1.0
+	if d.SuggestedK > 0 {
+		// SuggestedK = -ln(0.85)/medIntra ⇒ medIntra = -ln(0.85)/SuggestedK.
+		h = 0.1625 / d.SuggestedK * 1.5
+	}
+	res, err := meanshift.Run(ctx, d.Points, meanshift.DefaultConfig(h))
+	if err != nil {
+		return methodRun{}, err
+	}
+	return methodRun{pred: res.Assign, runtime: time.Since(start)}, nil
+}

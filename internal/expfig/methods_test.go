@@ -1,0 +1,147 @@
+package expfig
+
+import (
+	"context"
+	"testing"
+
+	"alid/internal/dataset"
+	"alid/internal/eval"
+	"alid/internal/lsh"
+)
+
+func smallMixture(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	cfg := dataset.DefaultMixtureConfig(400, dataset.RegimeCap)
+	cfg.Clusters = 4
+	cfg.P = 200 // 50 per cluster, 200 noise
+	d, err := dataset.Mixture(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func scoreRun(t *testing.T, d *dataset.Dataset, run methodRun) eval.Result {
+	t.Helper()
+	res, err := eval.Score(d.Labels, run.pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunALIDOnMixture(t *testing.T) {
+	d := smallMixture(t)
+	run, err := runALID(context.Background(), d, coreConfigFor(d, lsh.Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := scoreRun(t, d, run)
+	if res.AVGF < 0.8 {
+		t.Fatalf("ALID AVG-F = %v", res.AVGF)
+	}
+	if run.memoryBytes <= 0 || run.runtime <= 0 {
+		t.Fatal("missing accounting")
+	}
+	if run.sparseDegree < 0.5 {
+		t.Fatalf("sparse degree = %v, pruning failed", run.sparseDegree)
+	}
+}
+
+func TestRunKMeansOnMixture(t *testing.T) {
+	d := smallMixture(t)
+	run, err := runKMeans(context.Background(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := scoreRun(t, d, run)
+	// k-means assigns noise into clusters, capping quality — but the clean
+	// clusters are well separated, so it should still find structure.
+	if res.AVGF < 0.3 {
+		t.Fatalf("KM AVG-F = %v", res.AVGF)
+	}
+}
+
+func TestRunSpectralOnMixture(t *testing.T) {
+	d := smallMixture(t)
+	full, err := runSCFL(context.Background(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := scoreRun(t, d, full); r.AVGF < 0.3 {
+		t.Fatalf("SC-FL AVG-F = %v", r.AVGF)
+	}
+	nys, err := runSCNYS(context.Background(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := scoreRun(t, d, nys); r.AVGF < 0.2 {
+		t.Fatalf("SC-NYS AVG-F = %v", r.AVGF)
+	}
+}
+
+func TestRunMeanShiftOnMixture(t *testing.T) {
+	d := smallMixture(t)
+	run, err := runMeanShift(context.Background(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.pred) != d.N() {
+		t.Fatal("missing predictions")
+	}
+}
+
+func TestRunDSDenseOnMixture(t *testing.T) {
+	d := smallMixture(t)
+	run, err := runDSDense(context.Background(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := scoreRun(t, d, run)
+	if res.AVGF < 0.7 {
+		t.Fatalf("DS AVG-F = %v", res.AVGF)
+	}
+	n := int64(d.N())
+	if run.memoryBytes != n*n*8 {
+		t.Fatalf("DS memory accounting = %d", run.memoryBytes)
+	}
+}
+
+func TestRunAPDenseOnTopicData(t *testing.T) {
+	// AP is evaluated on the NART-like workload: with uniform-box noise (the
+	// mixture generator) AP spreads noise across exemplars and the π ≥ 0.75
+	// selection rejects everything, while topical noise forms its own
+	// diffuse exemplars that the rule drops cleanly — the paper's setting.
+	cfg := dataset.DefaultNARTConfig()
+	cfg.N = 500
+	cfg.EventDocs = 150
+	cfg.Events = 5
+	cfg.Dim = 100
+	d, err := dataset.NARTLike(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := runAPDense(context.Background(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := scoreRun(t, d, run)
+	if res.AVGF < 0.6 {
+		t.Fatalf("AP AVG-F = %v", res.AVGF)
+	}
+	if res.NoiseFiltered < 0.8 {
+		t.Fatalf("AP noise filtered = %v", res.NoiseFiltered)
+	}
+}
+
+func TestRunPALIDOnMixture(t *testing.T) {
+	d := smallMixture(t)
+	run, err := runPALID(context.Background(), d, coreConfigFor(d, lsh.Config{}), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := scoreRun(t, d, run)
+	if res.AVGF < 0.7 {
+		t.Fatalf("PALID AVG-F = %v", res.AVGF)
+	}
+}

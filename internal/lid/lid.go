@@ -1,0 +1,363 @@
+// Package lid implements Localized Infection Immunization Dynamics, Step 1 of
+// ALID (Section 4.1, Algorithm 1 of the paper).
+//
+// LID runs the infection-immunization game restricted to a local range β of
+// the global affinity graph, maintaining the invariant pair
+//
+//	[ x , g = A_{βα}·x_α ]
+//
+// where α = supp(x). Each iteration selects the vertex with the strongest
+// payoff deviation (Eq. 6/8), computes the optimal invasion share (Eq. 9) and
+// updates both x (Eq. 13) and g (Eq. 14) in O(|β|) time. Only the columns
+// A_{βi} that are actually touched are ever computed (the green parts of
+// Fig. 3), which is what removes the O(n²) affinity-matrix cost.
+package lid
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"alid/internal/affinity"
+	"alid/internal/simplex"
+)
+
+// DefaultTolerance is the payoff-deviation threshold below which the local
+// subgraph is declared immune against every vertex in β (γ_β(x) = ∅ up to
+// numerics, Theorem 1).
+const DefaultTolerance = 1e-7
+
+// State is the LID working state over a dynamically grown local range.
+type State struct {
+	oracle *affinity.Oracle
+
+	beta []int       // global indices of the local range, order fixed
+	pos  map[int]int // global index -> position in beta
+
+	x []float64 // vertex weights over beta positions (a point of Δ^|β|)
+	g []float64 // g[r] = Σ_{i∈α} a_{beta[r],beta[i]}·x[i]
+
+	cols map[int][]float64 // global column index -> column over beta rows
+
+	peakEntries int // high-water mark of cached submatrix entries
+	iterations  int // total LID iterations performed
+}
+
+// NewState starts Algorithm 2's initialization: β = α = {seed}, x = s_seed,
+// A_{βα}x_α = a_ss = 0.
+func NewState(o *affinity.Oracle, seed int) (*State, error) {
+	if seed < 0 || seed >= o.N() {
+		return nil, fmt.Errorf("lid: seed %d out of range [0,%d)", seed, o.N())
+	}
+	s := &State{
+		oracle: o,
+		beta:   []int{seed},
+		pos:    map[int]int{seed: 0},
+		x:      []float64{1},
+		g:      []float64{0},
+		cols:   map[int][]float64{seed: {0}},
+	}
+	s.trackPeak()
+	return s, nil
+}
+
+// Beta returns the local range as global indices (aliases internal storage).
+func (s *State) Beta() []int { return s.beta }
+
+// Contains reports whether the global index is already in the local range β.
+func (s *State) Contains(global int) bool {
+	_, ok := s.pos[global]
+	return ok
+}
+
+// Weight returns the current weight of a global index (0 if outside β).
+func (s *State) Weight(global int) float64 {
+	p, ok := s.pos[global]
+	if !ok {
+		return 0
+	}
+	return s.x[p]
+}
+
+// Len returns b = |β|.
+func (s *State) Len() int { return len(s.beta) }
+
+// Iterations returns the total number of LID iterations performed so far.
+func (s *State) Iterations() int { return s.iterations }
+
+// PeakEntries returns the high-water mark of cached A_{βα} entries, the
+// quantity bounded by a*(a*+δ) in Section 4.5.
+func (s *State) PeakEntries() int { return s.peakEntries }
+
+// Density returns π(x) = Σ_{i∈α} x_i·g_i (Eq. 2 restricted to β).
+func (s *State) Density() float64 {
+	var pi float64
+	for i, xi := range s.x {
+		if xi > 0 {
+			pi += xi * s.g[i]
+		}
+	}
+	return pi
+}
+
+// Support returns the global indices with positive weight.
+func (s *State) Support() []int {
+	var out []int
+	for i, xi := range s.x {
+		if xi > simplex.WeightEps {
+			out = append(out, s.beta[i])
+		}
+	}
+	return out
+}
+
+// SupportWeights returns parallel slices of global indices and their weights,
+// the (members, memberships) pair that defines the detected subgraph.
+func (s *State) SupportWeights() ([]int, []float64) {
+	var idx []int
+	var w []float64
+	for i, xi := range s.x {
+		if xi > simplex.WeightEps {
+			idx = append(idx, s.beta[i])
+			w = append(w, xi)
+		}
+	}
+	return idx, w
+}
+
+// Payoff returns π(s_j − x, x) = g_j − π(x) for the local position p.
+func (s *State) payoff(p int, pi float64) float64 { return s.g[p] - pi }
+
+// PayoffOf returns π(s_j − x, x) for a global index already in β, and false
+// if the index is not in the local range.
+func (s *State) PayoffOf(global int) (float64, bool) {
+	p, ok := s.pos[global]
+	if !ok {
+		return 0, false
+	}
+	return s.payoff(p, s.Density()), true
+}
+
+// column returns the affinity column A_{β,global}, computing and caching it
+// on first use (the dashed green column of Fig. 3).
+func (s *State) column(global int) []float64 {
+	if c, ok := s.cols[global]; ok {
+		return c
+	}
+	c := make([]float64, len(s.beta))
+	s.oracle.Column(global, s.beta, c)
+	s.cols[global] = c
+	s.trackPeak()
+	return c
+}
+
+// Step performs one LID iteration (Algorithm 1). It returns false when x is
+// already immune against every vertex in β up to tol, i.e. γ_β(x) = ∅.
+func (s *State) Step(tol float64) bool {
+	pi := s.Density()
+
+	// Vertex selection, Eq. 6: argmax |π(s_i − x, x)| over C1 ∪ C2.
+	best, bestAbs := -1, tol
+	bestR := 0.0
+	for p := range s.beta {
+		r := s.payoff(p, pi)
+		switch {
+		case r > 0: // C1: infective vertex
+			if r > bestAbs {
+				best, bestAbs, bestR = p, r, r
+			}
+		case r < 0 && s.x[p] > simplex.WeightEps: // C2: weak member vertex
+			if -r > bestAbs {
+				best, bestAbs, bestR = p, -r, r
+			}
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	s.iterations++
+
+	col := s.column(s.beta[best])
+	// π(s_i − x) = a_ii − 2g_i + π(x) with a_ii = 0 (Eq. 11).
+	piDiff := -2*s.g[best] + pi
+
+	if bestR > 0 {
+		// Infection with y = s_i.
+		eps := simplex.InvasionShare(bestR, piDiff)
+		simplex.InvadeVertex(s.x, best, eps)
+		// Eq. 14: g ← g + ε(A_{βi} − g).
+		for r := range s.g {
+			s.g[r] += eps * (col[r] - s.g[r])
+		}
+	} else {
+		// Immunization with the co-vertex y = s_i(x) (Eq. 7/12).
+		mu := simplex.CoVertexFactor(s.x[best])
+		num := mu * bestR       // π(s_i(x) − x, x) > 0
+		den := mu * mu * piDiff // π(s_i(x) − x)
+		eps := simplex.InvasionShare(num, den)
+		simplex.InvadeCoVertex(s.x, best, eps)
+		f := eps * mu
+		for r := range s.g {
+			s.g[r] += f * (col[r] - s.g[r])
+		}
+	}
+	// Keep x numerically on the simplex; dust below WeightEps is removed so
+	// the support (and hence peeling and the ROI) stays exact.
+	simplex.Clamp(s.x)
+	return true
+}
+
+// Solve iterates Step until convergence or maxIter iterations, returning the
+// number of iterations executed. This is the "repeat Algorithm 1 until
+// γ_β(x) = ∅ or t > T" loop of Section 4.1.
+func (s *State) Solve(maxIter int, tol float64) int {
+	if tol <= 0 {
+		tol = DefaultTolerance
+	}
+	n := 0
+	for n < maxIter && s.Step(tol) {
+		n++
+	}
+	return n
+}
+
+// Extend grows the local range with new global indices (the CIVS update
+// β ← α ∪ ψ of Eq. 17): cached support columns gain rows for the new
+// vertices, x gains zero weights, and g gains the rows (A_{ψα}x̂_α).
+// Indices already in β are ignored. Columns cached for vertices that have
+// left the support are dropped, keeping the cache within the a*(a*+δ) space
+// bound of Section 4.5.
+func (s *State) Extend(newGlobal []int) int {
+	var fresh []int
+	for _, gidx := range newGlobal {
+		if _, ok := s.pos[gidx]; !ok {
+			fresh = append(fresh, gidx)
+		}
+	}
+	if len(fresh) == 0 {
+		s.dropNonSupportColumns()
+		return 0
+	}
+	oldLen := len(s.beta)
+	for _, gidx := range fresh {
+		s.pos[gidx] = len(s.beta)
+		s.beta = append(s.beta, gidx)
+		s.x = append(s.x, 0)
+		s.g = append(s.g, 0)
+	}
+	s.dropNonSupportColumns()
+	// Extend the retained (support) columns with the new rows and accumulate
+	// the new g entries: g_j = Σ_{i∈α} a_{j,i}·x_i for j ∈ ψ. Columns are
+	// processed in sorted order: map-order iteration would make the
+	// floating-point accumulation order (and hence tie-breaking in later
+	// vertex selections) run-dependent.
+	colIdxs := make([]int, 0, len(s.cols))
+	for colIdx := range s.cols {
+		colIdxs = append(colIdxs, colIdx)
+	}
+	sort.Ints(colIdxs)
+	tail := make([]float64, len(fresh))
+	for _, colIdx := range colIdxs {
+		col := s.cols[colIdx]
+		s.oracle.Column(colIdx, s.beta[oldLen:], tail)
+		col = append(col, tail...)
+		s.cols[colIdx] = col
+		xi := s.x[s.pos[colIdx]]
+		if xi > 0 {
+			for r := range tail {
+				s.g[oldLen+r] += xi * tail[r]
+			}
+		}
+	}
+	s.trackPeak()
+	return len(fresh)
+}
+
+// dropNonSupportColumns releases cached columns for vertices outside the
+// current support. Support columns must be kept: they are exactly A_{βα}.
+func (s *State) dropNonSupportColumns() {
+	for colIdx := range s.cols {
+		if s.x[s.pos[colIdx]] <= simplex.WeightEps {
+			delete(s.cols, colIdx)
+		}
+	}
+}
+
+// CachedEntries returns the current number of cached submatrix entries.
+func (s *State) CachedEntries() int {
+	n := 0
+	for _, c := range s.cols {
+		n += len(c)
+	}
+	return n
+}
+
+func (s *State) trackPeak() {
+	if n := s.CachedEntries(); n > s.peakEntries {
+		s.peakEntries = n
+	}
+}
+
+// Immune reports whether x is immune (payoff ≤ tol) against every vertex of
+// the given global index set. Indices outside β are evaluated directly from
+// the oracle in O(|α|) each without growing the cache: π(s_j, x) = Σ a_ji x_i.
+func (s *State) Immune(candidates []int, tol float64) bool {
+	pi := s.Density()
+	sup, w := s.SupportWeights()
+	for _, gidx := range candidates {
+		if p, ok := s.pos[gidx]; ok {
+			if s.payoff(p, pi) > tol {
+				return false
+			}
+			continue
+		}
+		var gj float64
+		for t, i := range sup {
+			gj += w[t] * s.oracle.At(gidx, i)
+		}
+		if gj-pi > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Sanity verifies internal invariants (x on simplex, g consistent with the
+// cached columns). It is O(|β|·|α|) and intended for tests and debugging.
+func (s *State) Sanity() error {
+	if !simplex.IsMember(s.x, 1e-6) {
+		return fmt.Errorf("lid: x off simplex (sum=%v)", sum(s.x))
+	}
+	for p, gidx := range s.beta {
+		if s.pos[gidx] != p {
+			return fmt.Errorf("lid: pos map inconsistent at %d", p)
+		}
+	}
+	// Recompute g from scratch and compare.
+	want := make([]float64, len(s.beta))
+	for p, xi := range s.x {
+		if xi <= 0 {
+			continue
+		}
+		for r, rg := range s.beta {
+			if r == p {
+				continue
+			}
+			want[r] += xi * s.oracle.Kernel.Affinity(s.oracle.Pts[rg], s.oracle.Pts[s.beta[p]])
+		}
+	}
+	for r := range want {
+		if math.Abs(want[r]-s.g[r]) > 1e-6 {
+			return fmt.Errorf("lid: g[%d] = %v, want %v", r, s.g[r], want[r])
+		}
+	}
+	return nil
+}
+
+func sum(a []float64) float64 {
+	var s float64
+	for _, v := range a {
+		s += v
+	}
+	return s
+}

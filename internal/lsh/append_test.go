@@ -1,0 +1,95 @@
+package lsh
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAppendAssignsSequentialIDs(t *testing.T) {
+	pts, _ := twoBlobs(40, 3)
+	idx, err := Build(pts[:30], Config{Projections: 6, Tables: 4, R: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := idx.Append(pts[30:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 30 || idx.N() != 40 {
+		t.Fatalf("first=%d N=%d", first, idx.N())
+	}
+}
+
+func TestAppendMatchesFullBuild(t *testing.T) {
+	pts, _ := twoBlobs(60, 5)
+	cfg := Config{Projections: 6, Tables: 6, R: 4, Seed: 9}
+	full, err := Build(pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incr, err := Build(pts[:20], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := incr.Append(pts[20:40]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := incr.Append(pts[40:]); err != nil {
+		t.Fatal(err)
+	}
+	// Candidate sets must be identical: hashing is deterministic given the
+	// seed, so incremental construction may not change any bucket content.
+	for id := 0; id < 60; id += 7 {
+		a := toSet(full.CandidatesByID(id))
+		b := toSet(incr.CandidatesByID(id))
+		if len(a) != len(b) {
+			t.Fatalf("id %d: full=%d incr=%d", id, len(a), len(b))
+		}
+		for k := range a {
+			if _, ok := b[k]; !ok {
+				t.Fatalf("id %d: candidate %d missing after append", id, k)
+			}
+		}
+	}
+}
+
+func TestAppendDimensionMismatch(t *testing.T) {
+	pts, _ := twoBlobs(10, 7)
+	idx, err := Build(pts, Config{Projections: 4, Tables: 2, R: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.Append([][]float64{{1, 2, 3}}); err == nil {
+		t.Fatal("wrong dimension accepted")
+	}
+}
+
+func TestAppendedPointsRetrievable(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var pts [][]float64
+	for i := 0; i < 30; i++ {
+		pts = append(pts, []float64{rng.NormFloat64() * 0.3, rng.NormFloat64() * 0.3})
+	}
+	idx, err := Build(pts, Config{Projections: 6, Tables: 8, R: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append a point co-located with the blob: it must be retrievable from
+	// existing points and vice versa.
+	if _, err := idx.Append([][]float64{{0, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	newID := int32(30)
+	found := false
+	for _, c := range idx.CandidatesByID(0) {
+		if c == newID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("appended point not found from old point")
+	}
+	if len(idx.CandidatesByID(int(newID))) == 0 {
+		t.Fatal("appended point retrieves nothing")
+	}
+}

@@ -1,0 +1,59 @@
+package lsh
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchPoints(n, dim int) [][]float64 {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = rng.NormFloat64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// BenchmarkBuild measures index construction, the O(n·d·µ·l) global pass.
+func BenchmarkBuild(b *testing.B) {
+	pts := benchPoints(2000, 64)
+	cfg := Config{Projections: 10, Tables: 10, R: 2, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(pts, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCandidatesByID measures the inverted-list lookup CIVS issues per
+// support point.
+func BenchmarkCandidatesByID(b *testing.B) {
+	pts := benchPoints(2000, 64)
+	idx, err := Build(pts, Config{Projections: 10, Tables: 10, R: 2, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.CandidatesByID(i % 2000)
+	}
+}
+
+// BenchmarkQueryVector measures a from-scratch vector query (hashing +
+// bucket lookups).
+func BenchmarkQueryVector(b *testing.B) {
+	pts := benchPoints(2000, 64)
+	idx, err := Build(pts, Config{Projections: 10, Tables: 10, R: 2, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Query(pts[i%2000])
+	}
+}

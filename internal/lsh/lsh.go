@@ -1,0 +1,297 @@
+// Package lsh implements the p-stable Locality Sensitive Hashing index of
+// Datar et al. (SoCG 2004) that ALID's CIVS step (Section 4.3) and the
+// sparsified baselines (Section 5.1) are built on.
+//
+// Each of l tables hashes a point v with µ concatenated projections
+//
+//	h_t(v) = ⌊(a_t·v + b_t) / r⌋,   a_t ~ N(0,1)^d,  b_t ~ U[0,r),
+//
+// and the µ-tuple is folded into a single 64-bit bucket key. The segment
+// length r is the sparsity knob swept in the Fig. 6 experiments. The index
+// keeps an inverted list (point → bucket key per table) so that querying by
+// data-item index never rehashes, matching the paper's "check the inverted
+// list ... and do not store the hash keys" design.
+package lsh
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Config holds the LSH parameters. The paper's Fig. 6 setup is 40 projections
+// per hash value and 50 hash tables; those are expensive defaults meant for
+// small n, so DefaultConfig uses a lighter setting and the experiment harness
+// overrides it per figure.
+type Config struct {
+	// Projections is µ, the number of concatenated hash functions per table.
+	Projections int
+	// Tables is l, the number of hash tables.
+	Tables int
+	// R is the segment length r of the p-stable hash.
+	R float64
+	// Seed makes index construction deterministic.
+	Seed int64
+}
+
+// DefaultConfig returns a moderate setting usable across the synthetic
+// datasets: µ=12, l=8.
+func DefaultConfig() Config { return Config{Projections: 12, Tables: 8, R: 1.0, Seed: 1} }
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Projections <= 0 {
+		return fmt.Errorf("lsh: Projections must be positive, got %d", c.Projections)
+	}
+	if c.Tables <= 0 {
+		return fmt.Errorf("lsh: Tables must be positive, got %d", c.Tables)
+	}
+	if !(c.R > 0) {
+		return fmt.Errorf("lsh: segment length R must be positive, got %v", c.R)
+	}
+	return nil
+}
+
+type table struct {
+	// projections, row-major: Projections × dim
+	proj []float64
+	// offsets b_t ∈ [0, R)
+	off []float64
+	// buckets maps folded key -> member point ids
+	buckets map[uint64][]int32
+	// keys[i] is the bucket key of point i (the inverted list)
+	keys []uint64
+}
+
+// Index is an immutable LSH index over a dataset. Safe for concurrent reads.
+type Index struct {
+	cfg    Config
+	dim    int
+	n      int
+	tables []table
+}
+
+// Build hashes all points into cfg.Tables tables. O(n·d·µ·l) time.
+func Build(pts [][]float64, cfg Config) (*Index, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("lsh: empty dataset")
+	}
+	dim := len(pts[0])
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	idx := &Index{cfg: cfg, dim: dim, n: len(pts), tables: make([]table, cfg.Tables)}
+	sig := make([]int64, cfg.Projections)
+	for t := range idx.tables {
+		tb := &idx.tables[t]
+		tb.proj = make([]float64, cfg.Projections*dim)
+		for i := range tb.proj {
+			tb.proj[i] = rng.NormFloat64()
+		}
+		tb.off = make([]float64, cfg.Projections)
+		for i := range tb.off {
+			tb.off[i] = rng.Float64() * cfg.R
+		}
+		tb.buckets = make(map[uint64][]int32)
+		tb.keys = make([]uint64, len(pts))
+		for i, p := range pts {
+			if len(p) != dim {
+				return nil, fmt.Errorf("lsh: point %d has dimension %d, want %d", i, len(p), dim)
+			}
+			tb.signature(p, cfg.R, sig)
+			key := fold(sig)
+			tb.keys[i] = key
+			tb.buckets[key] = append(tb.buckets[key], int32(i))
+		}
+	}
+	return idx, nil
+}
+
+func (tb *table) signature(v []float64, r float64, sig []int64) {
+	dim := len(v)
+	for h := range sig {
+		row := tb.proj[h*dim : (h+1)*dim]
+		var dot float64
+		for j, pv := range row {
+			dot += pv * v[j]
+		}
+		sig[h] = int64(math.Floor((dot + tb.off[h]) / r))
+	}
+}
+
+// fold hashes a signature tuple with FNV-1a.
+func fold(sig []int64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for _, s := range sig {
+		u := uint64(s)
+		for b := 0; b < 8; b++ {
+			h ^= u & 0xff
+			h *= prime64
+			u >>= 8
+		}
+	}
+	return h
+}
+
+// N returns the number of indexed points.
+func (i *Index) N() int { return i.n }
+
+// Append hashes additional points into the existing tables, assigning them
+// the next ids (N(), N()+1, ...). It returns the id of the first appended
+// point. Unlike the read path, Append is NOT safe for concurrent use; the
+// streaming extension serializes batch commits around it.
+func (i *Index) Append(pts [][]float64) (int, error) {
+	first := i.n
+	sig := make([]int64, i.cfg.Projections)
+	for off, p := range pts {
+		if len(p) != i.dim {
+			return first, fmt.Errorf("lsh: appended point %d has dimension %d, want %d", off, len(p), i.dim)
+		}
+	}
+	for t := range i.tables {
+		tb := &i.tables[t]
+		for off, p := range pts {
+			tb.signature(p, i.cfg.R, sig)
+			key := fold(sig)
+			tb.keys = append(tb.keys, key)
+			tb.buckets[key] = append(tb.buckets[key], int32(first+off))
+		}
+	}
+	i.n += len(pts)
+	return first, nil
+}
+
+// Config returns the index parameters.
+func (i *Index) Config() Config { return i.cfg }
+
+// Query returns the ids of all points sharing a bucket with v in any table,
+// deduplicated, excluding nothing. The result ordering is unspecified.
+func (i *Index) Query(v []float64) []int32 {
+	if len(v) != i.dim {
+		panic(fmt.Sprintf("lsh: query dimension %d, want %d", len(v), i.dim))
+	}
+	seen := make(map[int32]struct{})
+	sig := make([]int64, i.cfg.Projections)
+	var out []int32
+	for t := range i.tables {
+		tb := &i.tables[t]
+		tb.signature(v, i.cfg.R, sig)
+		for _, id := range tb.buckets[fold(sig)] {
+			if _, ok := seen[id]; !ok {
+				seen[id] = struct{}{}
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// CandidatesByID returns the ids co-bucketed with point id in any table,
+// excluding id itself, using the stored inverted list (no rehashing).
+func (i *Index) CandidatesByID(id int) []int32 {
+	seen := make(map[int32]struct{})
+	var out []int32
+	for t := range i.tables {
+		tb := &i.tables[t]
+		for _, j := range tb.buckets[tb.keys[id]] {
+			if int(j) == id {
+				continue
+			}
+			if _, ok := seen[j]; !ok {
+				seen[j] = struct{}{}
+				out = append(out, j)
+			}
+		}
+	}
+	return out
+}
+
+// CandidatesByIDInto appends candidates for id to dst, using mark (a caller
+// scratch slice of length N, zeroed) with marker value gen for deduplication.
+// It is the allocation-light variant CIVS uses in its inner loop.
+func (i *Index) CandidatesByIDInto(id int, dst []int32, mark []uint32, gen uint32) []int32 {
+	for t := range i.tables {
+		tb := &i.tables[t]
+		for _, j := range tb.buckets[tb.keys[id]] {
+			if int(j) == id || mark[j] == gen {
+				continue
+			}
+			mark[j] = gen
+			dst = append(dst, j)
+		}
+	}
+	return dst
+}
+
+// NeighborLists returns, for every point, its co-bucketed points capped at
+// maxPerPoint (0 = unlimited). This is the sparsification path of Section 5.1
+// used to feed the ENN/ANN-sparsified baselines.
+func (i *Index) NeighborLists(maxPerPoint int) [][]int {
+	out := make([][]int, i.n)
+	for id := 0; id < i.n; id++ {
+		c := i.CandidatesByID(id)
+		if maxPerPoint > 0 && len(c) > maxPerPoint {
+			c = c[:maxPerPoint]
+		}
+		lst := make([]int, len(c))
+		for k, v := range c {
+			lst[k] = int(v)
+		}
+		out[id] = lst
+	}
+	return out
+}
+
+// Buckets returns every bucket (across all tables) with more than minSize
+// members, in a deterministic order (by table, then bucket key). PALID
+// samples its initial vertices from these (Section 4.6) and relies on the
+// ordering for run-to-run reproducibility.
+func (i *Index) Buckets(minSize int) [][]int32 {
+	var out [][]int32
+	for t := range i.tables {
+		keys := make([]uint64, 0, len(i.tables[t].buckets))
+		for k, members := range i.tables[t].buckets {
+			if len(members) > minSize {
+				keys = append(keys, k)
+			}
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		for _, k := range keys {
+			out = append(out, i.tables[t].buckets[k])
+		}
+	}
+	return out
+}
+
+// Stats summarizes the index for diagnostics.
+type Stats struct {
+	Tables         int
+	Buckets        int
+	MaxBucketSize  int
+	MeanBucketSize float64
+}
+
+// Stats computes bucket statistics across all tables.
+func (i *Index) Stats() Stats {
+	s := Stats{Tables: len(i.tables)}
+	total := 0
+	for t := range i.tables {
+		for _, members := range i.tables[t].buckets {
+			s.Buckets++
+			total += len(members)
+			if len(members) > s.MaxBucketSize {
+				s.MaxBucketSize = len(members)
+			}
+		}
+	}
+	if s.Buckets > 0 {
+		s.MeanBucketSize = float64(total) / float64(s.Buckets)
+	}
+	return s
+}

@@ -1,0 +1,163 @@
+// Package mapreduce is a small in-process MapReduce engine standing in for
+// the Apache Spark deployment of Section 4.6/5.3. Jobs run their map tasks on
+// a fixed pool of executor goroutines (the paper's "executors", each of which
+// took one CPU core), shuffle emitted key/value pairs in memory, and reduce
+// each key group. The engine is generic so PALID's (point → [label, density])
+// messages are typed end to end.
+package mapreduce
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Config sizes the executor pool.
+type Config struct {
+	// Executors is the number of concurrent map (and reduce) workers.
+	Executors int
+}
+
+// Stats reports what a job did, for the Table 2 speedup accounting.
+type Stats struct {
+	MapTasks   int
+	Emitted    int
+	ReduceKeys int
+	MapTime    time.Duration
+	ReduceTime time.Duration
+}
+
+type pair[K comparable, V any] struct {
+	k K
+	v V
+}
+
+// Run executes a full map-shuffle-reduce cycle over the task list.
+// mapFn receives the executor id (0-based) so callers can keep per-executor
+// state such as scratch buffers; it must only use emit for output. reduceFn
+// folds each key group into a result. The first error cancels the job.
+func Run[T any, K comparable, V any, R any](
+	ctx context.Context,
+	cfg Config,
+	tasks []T,
+	mapFn func(ctx context.Context, executor int, task T, emit func(K, V)) error,
+	reduceFn func(ctx context.Context, key K, values []V) (R, error),
+) (map[K]R, Stats, error) {
+	var stats Stats
+	if cfg.Executors <= 0 {
+		return nil, stats, fmt.Errorf("mapreduce: Executors must be positive, got %d", cfg.Executors)
+	}
+	stats.MapTasks = len(tasks)
+
+	// --- Map phase ---
+	mapStart := time.Now()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	taskCh := make(chan T)
+	locals := make([][]pair[K, V], cfg.Executors)
+	errCh := make(chan error, cfg.Executors)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Executors; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			emit := func(k K, v V) {
+				locals[worker] = append(locals[worker], pair[K, V]{k, v})
+			}
+			for task := range taskCh {
+				if err := ctx.Err(); err != nil {
+					errCh <- err
+					return
+				}
+				if err := mapFn(ctx, worker, task, emit); err != nil {
+					errCh <- err
+					cancel()
+					return
+				}
+			}
+		}(w)
+	}
+feed:
+	for _, t := range tasks {
+		select {
+		case taskCh <- t:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(taskCh)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, stats, err
+	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
+	stats.MapTime = time.Since(mapStart)
+
+	// --- Shuffle ---
+	groups := make(map[K][]V)
+	for _, local := range locals {
+		stats.Emitted += len(local)
+		for _, p := range local {
+			groups[p.k] = append(groups[p.k], p.v)
+		}
+	}
+	stats.ReduceKeys = len(groups)
+
+	// --- Reduce phase ---
+	reduceStart := time.Now()
+	keys := make([]K, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	out := make(map[K]R, len(groups))
+	var mu sync.Mutex
+	keyCh := make(chan K)
+	rErrCh := make(chan error, cfg.Executors)
+	var rwg sync.WaitGroup
+	for w := 0; w < cfg.Executors; w++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			for k := range keyCh {
+				if err := ctx.Err(); err != nil {
+					rErrCh <- err
+					return
+				}
+				r, err := reduceFn(ctx, k, groups[k])
+				if err != nil {
+					rErrCh <- err
+					cancel()
+					return
+				}
+				mu.Lock()
+				out[k] = r
+				mu.Unlock()
+			}
+		}()
+	}
+feedKeys:
+	for _, k := range keys {
+		select {
+		case keyCh <- k:
+		case <-ctx.Done():
+			break feedKeys
+		}
+	}
+	close(keyCh)
+	rwg.Wait()
+	select {
+	case err := <-rErrCh:
+		return nil, stats, err
+	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
+	stats.ReduceTime = time.Since(reduceStart)
+	return out, stats, nil
+}

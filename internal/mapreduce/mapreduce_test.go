@@ -1,0 +1,174 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWordCountStyleJob(t *testing.T) {
+	tasks := []string{"a b a", "b c", "a"}
+	out, stats, err := Run(context.Background(), Config{Executors: 3}, tasks,
+		func(_ context.Context, _ int, task string, emit func(string, int)) error {
+			word := ""
+			for _, r := range task + " " {
+				if r == ' ' {
+					if word != "" {
+						emit(word, 1)
+						word = ""
+					}
+					continue
+				}
+				word += string(r)
+			}
+			return nil
+		},
+		func(_ context.Context, _ string, values []int) (int, error) {
+			sum := 0
+			for _, v := range values {
+				sum += v
+			}
+			return sum, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"a": 3, "b": 2, "c": 1}
+	if len(out) != len(want) {
+		t.Fatalf("out = %v", out)
+	}
+	for k, v := range want {
+		if out[k] != v {
+			t.Fatalf("out[%q] = %d, want %d", k, out[k], v)
+		}
+	}
+	if stats.MapTasks != 3 || stats.Emitted != 6 || stats.ReduceKeys != 3 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestExecutorIDsDistinct(t *testing.T) {
+	tasks := make([]int, 64)
+	var used [4]atomic.Int64
+	_, _, err := Run(context.Background(), Config{Executors: 4}, tasks,
+		func(_ context.Context, worker int, _ int, emit func(int, int)) error {
+			if worker < 0 || worker >= 4 {
+				t.Errorf("worker id %d out of range", worker)
+			}
+			used[worker].Add(1)
+			emit(0, worker)
+			return nil
+		},
+		func(_ context.Context, _ int, values []int) (int, error) { return len(values), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(0)
+	for i := range used {
+		total += used[i].Load()
+	}
+	if total != 64 {
+		t.Fatalf("tasks processed = %d", total)
+	}
+}
+
+func TestMapErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	tasks := make([]int, 100)
+	_, _, err := Run(context.Background(), Config{Executors: 2}, tasks,
+		func(_ context.Context, _ int, task int, _ func(int, int)) error {
+			return boom
+		},
+		func(_ context.Context, _ int, values []int) (int, error) { return 0, nil })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestReduceErrorPropagates(t *testing.T) {
+	boom := errors.New("reduce-boom")
+	_, _, err := Run(context.Background(), Config{Executors: 2}, []int{1, 2, 3},
+		func(_ context.Context, _ int, task int, emit func(int, int)) error {
+			emit(task%2, task)
+			return nil
+		},
+		func(_ context.Context, key int, _ []int) (int, error) {
+			if key == 1 {
+				return 0, boom
+			}
+			return 0, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want reduce-boom", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := Run(ctx, Config{Executors: 2}, []int{1, 2, 3},
+		func(ctx context.Context, _ int, task int, emit func(int, int)) error {
+			emit(task, task)
+			return nil
+		},
+		func(_ context.Context, key int, _ []int) (int, error) { return key, nil })
+	if err == nil {
+		t.Fatal("cancelled context should fail the job")
+	}
+}
+
+func TestInvalidExecutors(t *testing.T) {
+	_, _, err := Run(context.Background(), Config{Executors: 0}, []int{1},
+		func(_ context.Context, _ int, _ int, _ func(int, int)) error { return nil },
+		func(_ context.Context, _ int, _ []int) (int, error) { return 0, nil })
+	if err == nil {
+		t.Fatal("zero executors accepted")
+	}
+}
+
+func TestEmptyTaskList(t *testing.T) {
+	out, stats, err := Run(context.Background(), Config{Executors: 2}, nil,
+		func(_ context.Context, _ int, _ int, _ func(int, int)) error { return nil },
+		func(_ context.Context, _ int, _ []int) (int, error) { return 0, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 || stats.MapTasks != 0 {
+		t.Fatalf("out=%v stats=%+v", out, stats)
+	}
+}
+
+func TestDeterministicResultAcrossExecutorCounts(t *testing.T) {
+	tasks := make([]int, 200)
+	for i := range tasks {
+		tasks[i] = i
+	}
+	runWith := func(ex int) map[int]int {
+		out, _, err := Run(context.Background(), Config{Executors: ex}, tasks,
+			func(_ context.Context, _ int, task int, emit func(int, int)) error {
+				emit(task%7, task)
+				return nil
+			},
+			func(_ context.Context, _ int, values []int) (int, error) {
+				sum := 0
+				for _, v := range values {
+					sum += v
+				}
+				return sum, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := runWith(1), runWith(8)
+	if len(a) != len(b) {
+		t.Fatal("different key counts")
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("key %d: %d vs %d", k, v, b[k])
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Package palid implements PALID, the parallel ALID of Section 4.6
+// (Algorithm 3), on top of the in-process MapReduce engine:
+//
+//   - the task list holds initial vertex indices sampled uniformly (20%) from
+//     every LSH bucket with more than 5 members — large buckets betray the
+//     dominant clusters;
+//   - each map task runs Algorithm 2 independently (no peeling) and emits
+//     (data item h, [cluster label L, density D]) for every member;
+//   - the reducer assigns each data item to its maximum-density cluster,
+//     resolving overlaps exactly as Fig. 5 illustrates.
+//
+// One core.Detector is kept per executor; the dataset, kernel oracle and LSH
+// index are shared read-only, standing in for the paper's MongoDB store.
+package palid
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"alid/internal/core"
+	"alid/internal/lsh"
+	"alid/internal/mapreduce"
+)
+
+// Options controls the parallel run.
+type Options struct {
+	// Executors is the worker count (paper: 1–8).
+	Executors int
+	// SampleRate is the per-bucket seed sampling rate (paper: 0.2).
+	SampleRate float64
+	// MinBucketSize: buckets must exceed this size to contribute seeds
+	// (paper: 5).
+	MinBucketSize int
+	// Seed drives the sampling.
+	Seed int64
+}
+
+// DefaultOptions mirrors the paper's PALID setup.
+func DefaultOptions(executors int) Options {
+	return Options{Executors: executors, SampleRate: 0.2, MinBucketSize: 5, Seed: 1}
+}
+
+// Result is a completed PALID run.
+type Result struct {
+	// Clusters passing the density threshold, densest first. Members are the
+	// points the reducer assigned to the cluster.
+	Clusters []*core.Cluster
+	// Assign maps each point to an index into Clusters, or -1.
+	Assign []int
+	// Seeds is the number of map tasks (sampled initial vertices).
+	Seeds int
+	// Stats carries engine-level accounting.
+	Stats mapreduce.Stats
+}
+
+type labelDensity struct {
+	label   int // cluster label = seed vertex of the detecting map task
+	density float64
+}
+
+// Detect runs PALID over the dataset.
+func Detect(ctx context.Context, pts [][]float64, cfg core.Config, opts Options) (*Result, error) {
+	if opts.Executors <= 0 {
+		return nil, fmt.Errorf("palid: Executors must be positive, got %d", opts.Executors)
+	}
+	if opts.SampleRate <= 0 || opts.SampleRate > 1 {
+		opts.SampleRate = 0.2
+	}
+	if opts.MinBucketSize <= 0 {
+		opts.MinBucketSize = 5
+	}
+	// Shared substrate: one LSH index, one detector per executor.
+	first, err := core.NewDetector(pts, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg = first.Config()
+	index := first.Index()
+	detectors := make([]*core.Detector, opts.Executors)
+	detectors[0] = first
+	for w := 1; w < opts.Executors; w++ {
+		d, err := core.NewDetectorWithIndex(pts, cfg, index)
+		if err != nil {
+			return nil, err
+		}
+		detectors[w] = d
+	}
+
+	seeds := sampleSeeds(index, opts)
+	// Cluster metadata collected on the mapper side (label -> cluster).
+	var mu sync.Mutex
+	bySeed := make(map[int]*core.Cluster, len(seeds))
+
+	mapFn := func(ctx context.Context, executor int, seed int, emit func(int, labelDensity)) error {
+		cl, err := detectors[executor].DetectFrom(ctx, seed, nil)
+		if err != nil {
+			return err
+		}
+		if cl.Density < cfg.DensityThreshold || cl.Size() < cfg.MinClusterSize {
+			return nil // not a dominant cluster; emit nothing
+		}
+		mu.Lock()
+		bySeed[seed] = cl
+		mu.Unlock()
+		for _, h := range cl.Members {
+			emit(h, labelDensity{label: seed, density: cl.Density})
+		}
+		return nil
+	}
+	reduceFn := func(_ context.Context, _ int, values []labelDensity) (labelDensity, error) {
+		best := values[0]
+		for _, v := range values[1:] {
+			if v.density > best.density || (v.density == best.density && v.label < best.label) {
+				best = v
+			}
+		}
+		return best, nil
+	}
+	assignments, stats, err := mapreduce.Run(ctx, mapreduce.Config{Executors: opts.Executors}, seeds, mapFn, reduceFn)
+	if err != nil {
+		return nil, err
+	}
+
+	// Suppress duplicate detections: many seeds of one dominant cluster
+	// converge to near-identical supports, and letting each compete in the
+	// reducer would shatter the cluster into per-label fragments. Greedily
+	// keep the densest representative and drop any later detection whose
+	// support is mostly (>50%) already claimed; partially overlapping
+	// clusters (the Fig. 5 v4 case) stay separate and are still resolved
+	// point-wise by the reducer's max-density rule.
+	kept := dedupeDetections(bySeed)
+	keptCover := make(map[int][]labelDensity)
+	for seed, cl := range bySeed {
+		if !kept[seed] {
+			continue
+		}
+		for _, h := range cl.Members {
+			keptCover[h] = append(keptCover[h], labelDensity{label: seed, density: cl.Density})
+		}
+	}
+	for h, ld := range assignments {
+		if kept[ld.label] {
+			continue
+		}
+		best := labelDensity{label: -1}
+		for _, cand := range keptCover[h] {
+			if best.label == -1 || cand.density > best.density ||
+				(cand.density == best.density && cand.label < best.label) {
+				best = cand
+			}
+		}
+		if best.label == -1 {
+			delete(assignments, h)
+		} else {
+			assignments[h] = best
+		}
+	}
+
+	// Assemble final clusters from the reducer's point→label decisions.
+	members := make(map[int][]int)
+	for h, ld := range assignments {
+		members[ld.label] = append(members[ld.label], h)
+	}
+	labels := make([]int, 0, len(members))
+	for l := range members {
+		labels = append(labels, l)
+	}
+	sort.Ints(labels)
+	res := &Result{Assign: make([]int, len(pts)), Seeds: len(seeds), Stats: stats}
+	for i := range res.Assign {
+		res.Assign[i] = -1
+	}
+	for _, l := range labels {
+		ms := members[l]
+		if len(ms) < cfg.MinClusterSize {
+			continue
+		}
+		sort.Ints(ms)
+		src := bySeed[l]
+		cl := &core.Cluster{
+			Members:         ms,
+			Density:         src.Density,
+			Seed:            l,
+			OuterIterations: src.OuterIterations,
+			LIDIterations:   src.LIDIterations,
+			PeakEntries:     src.PeakEntries,
+		}
+		res.Clusters = append(res.Clusters, cl)
+	}
+	sort.Slice(res.Clusters, func(i, j int) bool { return res.Clusters[i].Density > res.Clusters[j].Density })
+	for ci, cl := range res.Clusters {
+		for _, m := range cl.Members {
+			res.Assign[m] = ci
+		}
+	}
+	return res, nil
+}
+
+// dedupeDetections keeps, densest first, every detection whose support is
+// not already mostly claimed by a kept detection. Returns the kept seeds.
+func dedupeDetections(bySeed map[int]*core.Cluster) map[int]bool {
+	order := make([]int, 0, len(bySeed))
+	for s := range bySeed {
+		order = append(order, s)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := bySeed[order[i]], bySeed[order[j]]
+		if a.Density != b.Density {
+			return a.Density > b.Density
+		}
+		return order[i] < order[j]
+	})
+	claimed := make(map[int]bool)
+	kept := make(map[int]bool, len(order))
+	for _, s := range order {
+		cl := bySeed[s]
+		overlap := 0
+		for _, m := range cl.Members {
+			if claimed[m] {
+				overlap++
+			}
+		}
+		if float64(overlap) > 0.5*float64(len(cl.Members)) {
+			continue
+		}
+		kept[s] = true
+		for _, m := range cl.Members {
+			claimed[m] = true
+		}
+	}
+	return kept
+}
+
+// sampleSeeds draws the PALID task list: SampleRate of the points appearing
+// in LSH buckets larger than MinBucketSize (Section 4.6: large buckets betray
+// the dominant clusters). Sampling the union rather than every bucket
+// independently keeps the task list at ~SampleRate·|candidates| even with
+// many tables — per-bucket sampling would re-draw the same cluster from
+// every one of its l buckets and blow the task list up to nearly all of it.
+func sampleSeeds(index *lsh.Index, opts Options) []int {
+	candSet := make(map[int32]bool)
+	var cands []int32
+	for _, bucket := range index.Buckets(opts.MinBucketSize) {
+		for _, id := range bucket {
+			if !candSet[id] {
+				candSet[id] = true
+				cands = append(cands, id)
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	want := int(opts.SampleRate * float64(len(cands)))
+	if want < 1 && len(cands) > 0 {
+		want = 1
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	perm := rng.Perm(len(cands))[:want]
+	seeds := make([]int, 0, want)
+	for _, p := range perm {
+		seeds = append(seeds, int(cands[p]))
+	}
+	sort.Ints(seeds)
+	return seeds
+}

@@ -1,0 +1,228 @@
+// Package stream implements an online extension of ALID — the future-work
+// direction named in the paper's conclusion ("extend ALID towards the online
+// version to efficiently process streaming data sources").
+//
+// Points arrive one at a time and are committed in batches. On each commit:
+//
+//  1. the new points are hashed into the existing LSH index (no rebuild);
+//  2. every maintained cluster is checked for infective new points — by
+//     Theorem 1 a cluster stays a global dense subgraph unless some vertex
+//     has π(s_j, x) > π(x), so clean clusters are left untouched;
+//  3. dirty clusters are re-converged by re-running Algorithm 2 from their
+//     densest member;
+//  4. unassigned points (old noise and new arrivals) are probed as seeds for
+//     newly formed clusters.
+//
+// The amortized per-batch cost is the cost of re-running ALID on the touched
+// neighborhoods only, preserving the locality that makes offline ALID scale.
+package stream
+
+import (
+	"context"
+	"fmt"
+
+	"alid/internal/core"
+	"alid/internal/lsh"
+)
+
+// Config controls the online clusterer.
+type Config struct {
+	// Core is the ALID configuration applied to every (re-)detection.
+	Core core.Config
+	// BatchSize is the number of buffered points per commit.
+	BatchSize int
+}
+
+// Clusterer maintains dominant clusters over an append-only stream.
+type Clusterer struct {
+	cfg    Config
+	pts    [][]float64
+	buffer [][]float64
+	index  *lsh.Index
+
+	clusters []*core.Cluster
+	assigned []int // point -> cluster ordinal, -1 noise
+
+	commits int
+}
+
+// New creates an online clusterer seeded with an optional initial batch.
+func New(initial [][]float64, cfg Config) (*Clusterer, error) {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 256
+	}
+	c := &Clusterer{cfg: cfg}
+	if len(initial) > 0 {
+		c.buffer = append(c.buffer, initial...)
+	}
+	return c, nil
+}
+
+// N returns the number of committed points.
+func (c *Clusterer) N() int { return len(c.pts) }
+
+// Pending returns the number of buffered, uncommitted points.
+func (c *Clusterer) Pending() int { return len(c.buffer) }
+
+// Commits returns how many batch commits have run.
+func (c *Clusterer) Commits() int { return c.commits }
+
+// Clusters returns the currently maintained dominant clusters.
+func (c *Clusterer) Clusters() []*core.Cluster { return c.clusters }
+
+// Labels returns the current per-point assignment (-1 = noise/unassigned).
+func (c *Clusterer) Labels() []int {
+	out := make([]int, len(c.assigned))
+	copy(out, c.assigned)
+	return out
+}
+
+// Add buffers a point and commits automatically when the batch is full.
+func (c *Clusterer) Add(ctx context.Context, p []float64) error {
+	c.buffer = append(c.buffer, p)
+	if len(c.buffer) >= c.cfg.BatchSize {
+		return c.Commit(ctx)
+	}
+	return nil
+}
+
+// Commit integrates all buffered points into the maintained clustering.
+func (c *Clusterer) Commit(ctx context.Context) error {
+	if len(c.buffer) == 0 {
+		return nil
+	}
+	firstNew := len(c.pts)
+	c.pts = append(c.pts, c.buffer...)
+	newCount := len(c.buffer)
+	c.buffer = c.buffer[:0]
+	for i := 0; i < newCount; i++ {
+		c.assigned = append(c.assigned, -1)
+	}
+	c.commits++
+
+	// (Re)build or extend the LSH index.
+	if c.index == nil {
+		idx, err := lsh.Build(c.pts, c.cfg.Core.LSH)
+		if err != nil {
+			return err
+		}
+		c.index = idx
+	} else {
+		if _, err := c.index.Append(c.pts[firstNew:]); err != nil {
+			return err
+		}
+	}
+	det, err := core.NewDetectorWithIndex(c.pts, c.cfg.Core, c.index)
+	if err != nil {
+		return err
+	}
+	cfg := det.Config()
+
+	// Step 2: find clusters made dirty by infective new points.
+	kern := cfg.Kernel
+	dirty := make([]bool, len(c.clusters))
+	for ci, cl := range c.clusters {
+		for j := firstNew; j < len(c.pts); j++ {
+			var gj float64
+			for t, m := range cl.Members {
+				gj += cl.Weights[t] * kern.Affinity(c.pts[j], c.pts[m])
+			}
+			if gj-cl.Density > cfg.Tol {
+				dirty[ci] = true
+				break
+			}
+		}
+	}
+
+	// Step 3: re-converge dirty clusters from their densest member.
+	for ci, cl := range c.clusters {
+		if !dirty[ci] {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		seed := heaviestMember(cl)
+		for _, m := range cl.Members {
+			c.assigned[m] = -1
+		}
+		fresh, err := det.DetectFrom(ctx, seed, c.availability(ci))
+		if err != nil {
+			return err
+		}
+		c.clusters[ci] = fresh
+		for _, m := range fresh.Members {
+			c.assigned[m] = ci
+		}
+	}
+
+	// Step 4: probe unassigned new points as seeds for new clusters.
+	for j := firstNew; j < len(c.pts); j++ {
+		if c.assigned[j] != -1 {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		cl, err := det.DetectFrom(ctx, j, c.availability(-1))
+		if err != nil {
+			return err
+		}
+		if cl.Density < cfg.DensityThreshold || cl.Size() < cfg.MinClusterSize {
+			continue
+		}
+		ci := len(c.clusters)
+		c.clusters = append(c.clusters, cl)
+		for _, m := range cl.Members {
+			c.assigned[m] = ci
+		}
+	}
+	// Drop clusters that decayed below the threshold after re-convergence.
+	c.compact(cfg.DensityThreshold, cfg.MinClusterSize)
+	return nil
+}
+
+// availability returns the active mask: points unassigned or belonging to
+// cluster self (so a re-converging cluster can keep its own members).
+func (c *Clusterer) availability(self int) []bool {
+	active := make([]bool, len(c.pts))
+	for i, a := range c.assigned {
+		active[i] = a == -1 || a == self
+	}
+	return active
+}
+
+func (c *Clusterer) compact(minDensity float64, minSize int) {
+	var kept []*core.Cluster
+	remap := make(map[int]int)
+	for ci, cl := range c.clusters {
+		if cl.Density >= minDensity && cl.Size() >= minSize {
+			remap[ci] = len(kept)
+			kept = append(kept, cl)
+		}
+	}
+	for i, a := range c.assigned {
+		if a == -1 {
+			continue
+		}
+		if ni, ok := remap[a]; ok {
+			c.assigned[i] = ni
+		} else {
+			c.assigned[i] = -1
+		}
+	}
+	c.clusters = kept
+}
+
+func heaviestMember(cl *core.Cluster) int {
+	best, bestW := -1, -1.0
+	for i, m := range cl.Members {
+		if cl.Weights[i] > bestW {
+			best, bestW = m, cl.Weights[i]
+		}
+	}
+	if best < 0 {
+		panic(fmt.Sprintf("stream: cluster with no members: %+v", cl))
+	}
+	return best
+}

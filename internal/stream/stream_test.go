@@ -1,0 +1,213 @@
+package stream
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"alid/internal/affinity"
+	"alid/internal/core"
+	"alid/internal/lsh"
+	"alid/internal/testutil"
+)
+
+func streamConfig() Config {
+	c := core.DefaultConfig()
+	c.Kernel = affinity.Kernel{K: 0.3, P: 2}
+	c.LSH = lsh.Config{Projections: 6, Tables: 10, R: 4, Seed: 1}
+	c.Delta = 200
+	c.DensityThreshold = 0.75
+	return Config{Core: c, BatchSize: 50}
+}
+
+func TestInitialBatchDetectsClusters(t *testing.T) {
+	pts, labels := testutil.Blobs(3, [][]float64{{0, 0}, {15, 15}}, 30, 0.3, 20, 0, 15)
+	c, err := New(pts, streamConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Clusters()) < 2 {
+		t.Fatalf("clusters = %d, want ≥ 2", len(c.Clusters()))
+	}
+	covered := map[int]bool{}
+	for _, cl := range c.Clusters() {
+		p, lbl := testutil.Purity(cl.Members, labels)
+		if p < 0.9 || lbl == -1 {
+			t.Fatalf("bad streaming cluster: purity=%v label=%d", p, lbl)
+		}
+		covered[lbl] = true
+	}
+	if !covered[0] || !covered[1] {
+		t.Fatal("blobs not covered")
+	}
+}
+
+func TestIncrementalGrowthAbsorbsNewMembers(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	initial, _ := testutil.Blobs(7, [][]float64{{0, 0}}, 25, 0.3, 0, 0, 1)
+	c, err := New(initial, streamConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := c.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	assignedBefore := countAssigned(c.Labels())
+
+	// Stream 15 more points of the same blob.
+	for i := 0; i < 15; i++ {
+		p := []float64{rng.NormFloat64() * 0.3, rng.NormFloat64() * 0.3}
+		if err := c.Add(ctx, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// All points belong to the same blob; every maintained cluster must be
+	// blob material (peeling may split core/fringe, as offline ALID does)
+	// and coverage must grow as arrivals are absorbed.
+	assignedAfter := countAssigned(c.Labels())
+	if assignedAfter <= assignedBefore {
+		t.Fatalf("no absorption: assigned %d -> %d", assignedBefore, assignedAfter)
+	}
+	if len(c.Clusters()) == 0 {
+		t.Fatal("cluster lost")
+	}
+}
+
+func countAssigned(labels []int) int {
+	n := 0
+	for _, l := range labels {
+		if l >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func TestNewClusterEmergesFromStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	initial, _ := testutil.Blobs(11, [][]float64{{0, 0}}, 25, 0.3, 10, 0, 5)
+	cfg := streamConfig()
+	c, err := New(initial, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := c.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	before := len(c.Clusters())
+
+	// A brand-new blob arrives far away.
+	for i := 0; i < 25; i++ {
+		p := []float64{20 + rng.NormFloat64()*0.3, 20 + rng.NormFloat64()*0.3}
+		if err := c.Add(ctx, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Clusters()); got != before+1 {
+		t.Fatalf("clusters = %d, want %d", got, before+1)
+	}
+}
+
+func TestNoiseDoesNotDisturbClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	initial, _ := testutil.Blobs(17, [][]float64{{0, 0}}, 30, 0.3, 0, 0, 1)
+	c, err := New(initial, streamConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := c.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	clustersBefore := len(c.Clusters())
+	densityBefore := c.Clusters()[0].Density
+
+	// Pure uniform noise far from the blob.
+	for i := 0; i < 30; i++ {
+		p := []float64{30 + rng.Float64()*60, 30 + rng.Float64()*60}
+		if err := c.Add(ctx, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Clusters()); got != clustersBefore {
+		t.Fatalf("noise changed cluster count: %d -> %d", clustersBefore, got)
+	}
+	if got := c.Clusters()[0].Density; got < densityBefore-0.05 {
+		t.Fatalf("noise degraded density: %v -> %v", densityBefore, got)
+	}
+	// Noise points remain unassigned.
+	lbl := c.Labels()
+	for i := 30; i < len(lbl); i++ {
+		if lbl[i] != -1 {
+			t.Fatalf("noise point %d assigned to %d", i, lbl[i])
+		}
+	}
+}
+
+func TestAddAutoCommits(t *testing.T) {
+	cfg := streamConfig()
+	cfg.BatchSize = 10
+	c, err := New(nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	ctx := context.Background()
+	for i := 0; i < 25; i++ {
+		if err := c.Add(ctx, []float64{rng.NormFloat64() * 0.3, rng.NormFloat64() * 0.3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Commits() != 2 {
+		t.Fatalf("commits = %d, want 2", c.Commits())
+	}
+	if c.N() != 20 || c.Pending() != 5 {
+		t.Fatalf("N=%d pending=%d", c.N(), c.Pending())
+	}
+}
+
+func TestEmptyCommitNoOp(t *testing.T) {
+	c, err := New(nil, streamConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if c.Commits() != 0 {
+		t.Fatal("empty commit counted")
+	}
+}
+
+func TestLabelsConsistentWithClusters(t *testing.T) {
+	pts, _ := testutil.Blobs(23, [][]float64{{0, 0}, {12, 12}}, 20, 0.3, 10, 0, 12)
+	c, err := New(pts, streamConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	lbl := c.Labels()
+	for ci, cl := range c.Clusters() {
+		for _, m := range cl.Members {
+			if lbl[m] != ci {
+				t.Fatalf("label mismatch at %d: %d vs %d", m, lbl[m], ci)
+			}
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package vec provides the small dense-vector kernels every other module in
+// this repository is built on: Lp distances, norms, scaled accumulation and
+// weighted centroids. All functions operate on []float64 without allocating
+// unless the documentation says otherwise.
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// L2 returns the Euclidean distance between a and b.
+// It panics if the lengths differ (programming error, not input error).
+func L2(a, b []float64) float64 {
+	return math.Sqrt(SquaredL2(a, b))
+}
+
+// SquaredL2 returns the squared Euclidean distance between a and b.
+func SquaredL2(a, b []float64) float64 {
+	checkLen(a, b)
+	var s float64
+	for i, av := range a {
+		d := av - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// L1 returns the Manhattan distance between a and b.
+func L1(a, b []float64) float64 {
+	checkLen(a, b)
+	var s float64
+	for i, av := range a {
+		s += math.Abs(av - b[i])
+	}
+	return s
+}
+
+// Lp returns the Lp distance ‖a−b‖_p for p ≥ 1. p = 1 and p = 2 dispatch to
+// the specialized kernels.
+func Lp(a, b []float64, p float64) float64 {
+	switch p {
+	case 1:
+		return L1(a, b)
+	case 2:
+		return L2(a, b)
+	}
+	checkLen(a, b)
+	var s float64
+	for i, av := range a {
+		s += math.Pow(math.Abs(av-b[i]), p)
+	}
+	return math.Pow(s, 1/p)
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	checkLen(a, b)
+	var s float64
+	for i, av := range a {
+		s += av * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of a.
+func Norm2(a []float64) float64 {
+	var s float64
+	for _, av := range a {
+		s += av * av
+	}
+	return math.Sqrt(s)
+}
+
+// Norm1 returns the L1 norm of a.
+func Norm1(a []float64) float64 {
+	var s float64
+	for _, av := range a {
+		s += math.Abs(av)
+	}
+	return s
+}
+
+// Scale multiplies every element of a by c in place.
+func Scale(a []float64, c float64) {
+	for i := range a {
+		a[i] *= c
+	}
+}
+
+// Axpy computes y ← y + c·x in place.
+func Axpy(y []float64, c float64, x []float64) {
+	checkLen(y, x)
+	for i := range y {
+		y[i] += c * x[i]
+	}
+}
+
+// Add returns a new vector a + b.
+func Add(a, b []float64) []float64 {
+	checkLen(a, b)
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// Sub returns a new vector a − b.
+func Sub(a, b []float64) []float64 {
+	checkLen(a, b)
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// Clone returns a copy of a.
+func Clone(a []float64) []float64 {
+	out := make([]float64, len(a))
+	copy(out, a)
+	return out
+}
+
+// Zero sets every element of a to 0.
+func Zero(a []float64) {
+	for i := range a {
+		a[i] = 0
+	}
+}
+
+// NormalizeL2 scales a in place to unit Euclidean norm. Zero vectors are left
+// unchanged.
+func NormalizeL2(a []float64) {
+	n := Norm2(a)
+	if n > 0 {
+		Scale(a, 1/n)
+	}
+}
+
+// NormalizeL1 scales a in place so its absolute values sum to 1. Zero vectors
+// are left unchanged.
+func NormalizeL1(a []float64) {
+	n := Norm1(a)
+	if n > 0 {
+		Scale(a, 1/n)
+	}
+}
+
+// WeightedCentroid returns Σ w[i]·pts[idx[i]] for the given index set. This is
+// the ROI ball center D = Σ x̂_i·v_i of the paper (Eq. 15). The weights are
+// used as given; callers wanting a mean must pass normalized weights.
+func WeightedCentroid(pts [][]float64, idx []int, w []float64) []float64 {
+	if len(idx) != len(w) {
+		panic(fmt.Sprintf("vec: index/weight length mismatch %d vs %d", len(idx), len(w)))
+	}
+	if len(idx) == 0 {
+		return nil
+	}
+	out := make([]float64, len(pts[idx[0]]))
+	for j, id := range idx {
+		Axpy(out, w[j], pts[id])
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of the selected points.
+func Mean(pts [][]float64, idx []int) []float64 {
+	if len(idx) == 0 {
+		return nil
+	}
+	out := make([]float64, len(pts[idx[0]]))
+	for _, id := range idx {
+		Axpy(out, 1, pts[id])
+	}
+	Scale(out, 1/float64(len(idx)))
+	return out
+}
+
+// ArgMax returns the index of the largest element of a, or -1 for empty input.
+func ArgMax(a []float64) int {
+	if len(a) == 0 {
+		return -1
+	}
+	best := 0
+	for i, v := range a {
+		if v > a[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ArgMin returns the index of the smallest element of a, or -1 for empty input.
+func ArgMin(a []float64) int {
+	if len(a) == 0 {
+		return -1
+	}
+	best := 0
+	for i, v := range a {
+		if v < a[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Sum returns the sum of the elements of a.
+func Sum(a []float64) float64 {
+	var s float64
+	for _, v := range a {
+		s += v
+	}
+	return s
+}
+
+func checkLen(a, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: dimension mismatch %d vs %d", len(a), len(b)))
+	}
+}

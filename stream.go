@@ -1,0 +1,73 @@
+package alid
+
+import (
+	"context"
+	"fmt"
+
+	"alid/internal/stream"
+)
+
+// StreamOptions controls the online clusterer.
+type StreamOptions struct {
+	// BatchSize is the number of buffered points committed at once
+	// (default 256). Larger batches amortize index updates; smaller batches
+	// reduce detection latency.
+	BatchSize int
+}
+
+// StreamClusterer maintains dominant clusters over an append-only stream of
+// points — the online extension of ALID named as future work in the paper's
+// conclusion. Points are buffered and integrated in batches: existing
+// clusters are re-converged only when a new point is infective against them
+// (Theorem 1 guarantees untouched clusters remain globally dense), and
+// unabsorbed arrivals seed new detections.
+//
+// A StreamClusterer is not safe for concurrent use.
+type StreamClusterer struct {
+	inner *stream.Clusterer
+}
+
+// NewStreamClusterer creates an online clusterer. The configuration plays
+// the same role as in NewDetector; initial points, if any, are committed on
+// the first Commit (or automatically once BatchSize is reached).
+func NewStreamClusterer(initial [][]float64, cfg Config, opts StreamOptions) (*StreamClusterer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	inner, err := stream.New(initial, stream.Config{Core: cfg.toCore(), BatchSize: opts.BatchSize})
+	if err != nil {
+		return nil, err
+	}
+	return &StreamClusterer{inner: inner}, nil
+}
+
+// Add buffers one point, committing automatically when the batch fills.
+func (s *StreamClusterer) Add(ctx context.Context, p []float64) error {
+	if len(p) == 0 {
+		return fmt.Errorf("alid: empty point")
+	}
+	return s.inner.Add(ctx, p)
+}
+
+// Commit integrates all buffered points immediately.
+func (s *StreamClusterer) Commit(ctx context.Context) error { return s.inner.Commit(ctx) }
+
+// N returns the number of committed points.
+func (s *StreamClusterer) N() int { return s.inner.N() }
+
+// Pending returns the number of buffered, uncommitted points.
+func (s *StreamClusterer) Pending() int { return s.inner.Pending() }
+
+// Clusters returns the currently maintained dominant clusters.
+func (s *StreamClusterer) Clusters() []Cluster {
+	inner := s.inner.Clusters()
+	out := make([]Cluster, len(inner))
+	for i, c := range inner {
+		out[i] = fromCore(c)
+	}
+	return out
+}
+
+// Labels returns the current per-point assignment (-1 = noise/unassigned),
+// indexed by commit order.
+func (s *StreamClusterer) Labels() []int { return s.inner.Labels() }

@@ -1,0 +1,87 @@
+package alid
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"alid/internal/testutil"
+)
+
+func TestStreamClustererEndToEnd(t *testing.T) {
+	pts, _ := testutil.Blobs(3, [][]float64{{0, 0}, {12, 12}}, 30, 0.3, 20, 0, 12)
+	cfg, err := AutoConfig(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewStreamClusterer(pts, cfg, StreamOptions{BatchSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := sc.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if sc.N() != len(pts) || sc.Pending() != 0 {
+		t.Fatalf("N=%d pending=%d", sc.N(), sc.Pending())
+	}
+	if len(sc.Clusters()) < 2 {
+		t.Fatalf("clusters = %d, want ≥ 2", len(sc.Clusters()))
+	}
+	lbl := sc.Labels()
+	if len(lbl) != len(pts) {
+		t.Fatalf("labels = %d", len(lbl))
+	}
+
+	// Stream a new far-away blob; it must surface as a new cluster.
+	rng := rand.New(rand.NewSource(9))
+	before := len(sc.Clusters())
+	for i := 0; i < 30; i++ {
+		p := []float64{25 + rng.NormFloat64()*0.3, -10 + rng.NormFloat64()*0.3}
+		if err := sc.Add(ctx, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sc.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sc.Clusters()); got <= before {
+		t.Fatalf("new blob not detected: clusters %d -> %d", before, got)
+	}
+}
+
+func TestStreamClustererValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.KernelScale = 0
+	if _, err := NewStreamClusterer(nil, bad, StreamOptions{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	cfg := DefaultConfig()
+	sc, err := NewStreamClusterer(nil, cfg, StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Add(context.Background(), nil); err == nil {
+		t.Fatal("empty point accepted")
+	}
+}
+
+func TestStreamClustererAutoCommit(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.KernelScale = 0.5
+	cfg.LSHSegment = 4
+	sc, err := NewStreamClusterer(nil, cfg, StreamOptions{BatchSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		if err := sc.Add(ctx, []float64{rng.NormFloat64() * 0.2, rng.NormFloat64() * 0.2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sc.N() != 16 || sc.Pending() != 4 {
+		t.Fatalf("N=%d pending=%d, want 16/4", sc.N(), sc.Pending())
+	}
+}
