@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"alid/internal/core"
+	"alid/internal/matrix"
 )
 
 // Cluster is a detected dominant cluster.
@@ -54,9 +55,10 @@ type Detector struct {
 	config Config
 }
 
-// NewDetector validates cfg, indexes the points with LSH and returns a
-// ready detector. The points are captured by reference and must not be
-// mutated while the detector is in use.
+// NewDetector validates cfg, indexes the points with LSH and returns a ready
+// detector. The points are flattened ONCE into a contiguous row-major matrix
+// at this boundary (every internal layer operates on the flat layout) and
+// may be reused by the caller afterwards.
 func NewDetector(points [][]float64, cfg Config) (*Detector, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -69,6 +71,25 @@ func NewDetector(points [][]float64, cfg Config) (*Detector, error) {
 		return nil, err
 	}
 	return &Detector{inner: inner, n: len(points), config: cfg}, nil
+}
+
+// NewDetectorFlat is NewDetector for data already in flat row-major form:
+// data holds n points of dimension d contiguously (point i is
+// data[i*d:(i+1)*d]). The slice is captured by reference — zero copies — and
+// must not be mutated while the detector is in use.
+func NewDetectorFlat(data []float64, n, d int, cfg Config) (*Detector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m, err := matrix.FromFlat(data, n, d)
+	if err != nil {
+		return nil, fmt.Errorf("alid: %w", err)
+	}
+	inner, err := core.NewDetectorMatrix(m, cfg.toCore())
+	if err != nil {
+		return nil, err
+	}
+	return &Detector{inner: inner, n: n, config: cfg}, nil
 }
 
 // Config returns the configuration the detector was built with.

@@ -1,0 +1,124 @@
+package alid
+
+import (
+	"context"
+	"testing"
+
+	"alid/internal/testutil"
+)
+
+// PR 1 invariant: points are flattened once at the public API boundary, and
+// the flat-matrix path is behaviorally identical to the [][]float64 path.
+// These crosschecks run both entry points over the same fixed synthetic
+// dataset and demand bit-identical clusters — members, weights, densities —
+// for DetectAll and DetectParallel.
+
+func crossPoints(t testing.TB) ([][]float64, []float64, int, int) {
+	pts, _ := testutil.Blobs(3, [][]float64{{0, 0}, {12, 0}, {0, 12}}, 40, 0.3, 40, 0, 12)
+	n, d := len(pts), len(pts[0])
+	flat := make([]float64, 0, n*d)
+	for _, p := range pts {
+		flat = append(flat, p...)
+	}
+	return pts, flat, n, d
+}
+
+func sameClusters(t *testing.T, a, b []Cluster, label string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: cluster counts differ: %d vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Density != b[i].Density {
+			t.Fatalf("%s: cluster %d density %v vs %v", label, i, a[i].Density, b[i].Density)
+		}
+		if len(a[i].Members) != len(b[i].Members) {
+			t.Fatalf("%s: cluster %d sizes %d vs %d", label, i, len(a[i].Members), len(b[i].Members))
+		}
+		for j := range a[i].Members {
+			if a[i].Members[j] != b[i].Members[j] {
+				t.Fatalf("%s: cluster %d member %d: %d vs %d", label, i, j, a[i].Members[j], b[i].Members[j])
+			}
+		}
+		// PALID's reducer reassigns members without per-member weights, so
+		// weight slices may be empty; when present they must match exactly.
+		if len(a[i].Weights) != len(b[i].Weights) {
+			t.Fatalf("%s: cluster %d weight lengths %d vs %d", label, i, len(a[i].Weights), len(b[i].Weights))
+		}
+		for j := range a[i].Weights {
+			if a[i].Weights[j] != b[i].Weights[j] {
+				t.Fatalf("%s: cluster %d weight %d: %v vs %v", label, i, j, a[i].Weights[j], b[i].Weights[j])
+			}
+		}
+	}
+}
+
+func TestFlatMatrixCrosscheckDetectAll(t *testing.T) {
+	pts, flat, n, d := crossPoints(t)
+	cfg, err := AutoConfig(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rowDet, err := NewDetector(pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowClusters, err := rowDet.DetectAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flatDet, err := NewDetectorFlat(flat, n, d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatClusters, err := flatDet.DetectAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(rowClusters) == 0 {
+		t.Fatal("no clusters detected — crosscheck is vacuous")
+	}
+	sameClusters(t, rowClusters, flatClusters, "DetectAll")
+
+	// The instrumentation must agree too: both paths do identical work.
+	if rs, fs := rowDet.Stats(), flatDet.Stats(); rs != fs {
+		t.Fatalf("stats differ: rows %+v vs flat %+v", rs, fs)
+	}
+}
+
+func TestFlatMatrixCrosscheckDetectParallel(t *testing.T) {
+	pts, flat, n, d := crossPoints(t)
+	cfg, err := AutoConfig(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := ParallelOptions{Executors: 2}
+
+	rowRes, err := DetectParallel(context.Background(), pts, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatRes, err := DetectParallelFlat(context.Background(), flat, n, d, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(rowRes.Clusters) == 0 {
+		t.Fatal("no clusters detected — crosscheck is vacuous")
+	}
+	sameClusters(t, rowRes.Clusters, flatRes.Clusters, "DetectParallel")
+	if rowRes.Seeds != flatRes.Seeds {
+		t.Fatalf("seed counts differ: %d vs %d", rowRes.Seeds, flatRes.Seeds)
+	}
+	if len(rowRes.Assign) != len(flatRes.Assign) {
+		t.Fatalf("assignment lengths differ: %d vs %d", len(rowRes.Assign), len(flatRes.Assign))
+	}
+	for i := range rowRes.Assign {
+		if rowRes.Assign[i] != flatRes.Assign[i] {
+			t.Fatalf("assignment differs at point %d: %d vs %d", i, rowRes.Assign[i], flatRes.Assign[i])
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module alid
+
+go 1.24

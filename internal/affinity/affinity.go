@@ -13,14 +13,22 @@
 //
 // The Oracle counts every kernel evaluation so experiments can report the
 // computed/stored entry counts that drive the paper's complexity claims.
+//
+// The dataset is held as a contiguous row-major matrix.Matrix: for the
+// Euclidean kernel (p = 2, the paper's setting) every distance is evaluated
+// as one fused dot product over contiguous rows via the precomputed-norms
+// identity ‖a−b‖² = ‖a‖² + ‖b‖² − 2·a·b.
 package affinity
 
 import (
 	"fmt"
 	"math"
-	"sort"
+	"runtime"
+	"slices"
+	"sync"
 	"sync/atomic"
 
+	"alid/internal/matrix"
 	"alid/internal/vec"
 )
 
@@ -66,14 +74,14 @@ func (k Kernel) AffinityFromDistance(d float64) float64 {
 // counts how many kernel evaluations were performed. It is safe for
 // concurrent use; the counter is atomic and the dataset is read-only.
 type Oracle struct {
-	Pts    [][]float64
+	Mat    *matrix.Matrix
 	Kernel Kernel
 
 	computed atomic.Int64
 }
 
-// NewOracle validates the kernel and wraps the dataset. The points are not
-// copied; callers must not mutate them afterwards.
+// NewOracle validates the kernel and flattens the dataset into a Matrix.
+// The rows are copied once; callers may reuse them afterwards.
 func NewOracle(pts [][]float64, k Kernel) (*Oracle, error) {
 	if err := k.Validate(); err != nil {
 		return nil, err
@@ -81,17 +89,39 @@ func NewOracle(pts [][]float64, k Kernel) (*Oracle, error) {
 	if len(pts) == 0 {
 		return nil, fmt.Errorf("affinity: empty dataset")
 	}
-	d := len(pts[0])
-	for i, p := range pts {
-		if len(p) != d {
-			return nil, fmt.Errorf("affinity: point %d has dimension %d, want %d", i, len(p), d)
-		}
+	m, err := matrix.FromRows(pts)
+	if err != nil {
+		return nil, fmt.Errorf("affinity: %w", err)
 	}
-	return &Oracle{Pts: pts, Kernel: k}, nil
+	return &Oracle{Mat: m, Kernel: k}, nil
+}
+
+// NewOracleMatrix validates the kernel and wraps an existing flat dataset
+// without copying. The matrix must not be mutated while the oracle is in use.
+func NewOracleMatrix(m *matrix.Matrix, k Kernel) (*Oracle, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	if m == nil || m.N == 0 {
+		return nil, fmt.Errorf("affinity: empty dataset")
+	}
+	return &Oracle{Mat: m, Kernel: k}, nil
 }
 
 // N returns the dataset size.
-func (o *Oracle) N() int { return len(o.Pts) }
+func (o *Oracle) N() int { return o.Mat.N }
+
+// Point returns data point i (aliases the matrix storage; read-only).
+func (o *Oracle) Point(i int) []float64 { return o.Mat.Row(i) }
+
+// affinityPair evaluates exp(-k·‖v_i−v_j‖_p) on matrix rows, using the fused
+// norms+dot distance for p = 2.
+func (o *Oracle) affinityPair(i, j int) float64 {
+	if o.Kernel.P == 2 {
+		return math.Exp(-o.Kernel.K * math.Sqrt(o.Mat.PairDistSq(i, j)))
+	}
+	return o.Kernel.Affinity(o.Mat.Row(i), o.Mat.Row(j))
+}
 
 // At returns a_ij per Eq. 1 (zero on the diagonal) and counts the evaluation.
 func (o *Oracle) At(i, j int) float64 {
@@ -99,24 +129,76 @@ func (o *Oracle) At(i, j int) float64 {
 		return 0
 	}
 	o.computed.Add(1)
-	return o.Kernel.Affinity(o.Pts[i], o.Pts[j])
+	return o.affinityPair(i, j)
 }
 
 // Column fills dst[r] = a_{rows[r], j} for the given global column j.
-// dst must have len(rows). This is the A_{βi} column of Fig. 3.
+// dst must have len(rows). This is the A_{βi} column of Fig. 3, computed as
+// one fused pass over contiguous rows; it performs no allocation.
 func (o *Oracle) Column(j int, rows []int, dst []float64) {
 	if len(dst) != len(rows) {
 		panic(fmt.Sprintf("affinity: dst length %d != rows length %d", len(dst), len(rows)))
 	}
-	vj := o.Pts[j]
+	vj := o.Mat.Row(j)
+	k := o.Kernel.K
 	n := int64(0)
-	for r, row := range rows {
-		if row == j {
-			dst[r] = 0
-			continue
+	if o.Kernel.P == 2 {
+		nj := o.Mat.NormSq(j)
+		norms := o.Mat.NormsSq()
+		data := o.Mat.Data
+		dim := o.Mat.D
+		vj = data[j*dim : j*dim+dim]
+		// Two passes: first the fused squared distances (pure dot-product
+		// throughput — the out-of-order core overlaps consecutive rows), then
+		// the exp/sqrt transform. One mixed loop is ~25% slower because the
+		// math.Exp call serializes each iteration. The distance pass handles
+		// two rows per Dot2 step so each block of vj loads is reused; Dot2's
+		// per-row lane order matches vec.Dot exactly and the cancellation
+		// fallback mirrors Matrix.PairDistSq, keeping Column bit-identical to
+		// per-pair At evaluation.
+		r := 0
+		for ; r+2 <= len(rows); r += 2 {
+			row0, row1 := rows[r], rows[r+1]
+			va := data[row0*dim : row0*dim+dim]
+			vb := data[row1*dim : row1*dim+dim]
+			dotA, dotB := vec.Dot2(vj, va, vb)
+			d0 := norms[row0] + nj - 2*dotA
+			if d0 < matrix.CancelGuard*(norms[row0]+nj) {
+				d0 = vec.SquaredL2(va, vj)
+			}
+			d1 := norms[row1] + nj - 2*dotB
+			if d1 < matrix.CancelGuard*(norms[row1]+nj) {
+				d1 = vec.SquaredL2(vb, vj)
+			}
+			dst[r] = d0
+			dst[r+1] = d1
 		}
-		dst[r] = o.Kernel.Affinity(o.Pts[row], vj)
-		n++
+		for ; r < len(rows); r++ {
+			row := rows[r]
+			va := data[row*dim : row*dim+dim]
+			d0 := norms[row] + nj - 2*vec.Dot(va, vj)
+			if d0 < matrix.CancelGuard*(norms[row]+nj) {
+				d0 = vec.SquaredL2(va, vj)
+			}
+			dst[r] = d0
+		}
+		for r, row := range rows {
+			if row == j {
+				dst[r] = 0
+				continue
+			}
+			dst[r] = math.Exp(-k * math.Sqrt(dst[r]))
+			n++
+		}
+	} else {
+		for r, row := range rows {
+			if row == j {
+				dst[r] = 0
+				continue
+			}
+			dst[r] = math.Exp(-k * vec.Lp(o.Mat.Row(row), vj, o.Kernel.P))
+			n++
+		}
 	}
 	o.computed.Add(n)
 }
@@ -134,18 +216,50 @@ type Dense struct {
 }
 
 // NewDense materializes the full matrix from the oracle: O(n²) time and
-// space, exactly the cost the paper's baselines pay.
+// space, exactly the cost the paper's baselines pay. Row blocks are computed
+// in parallel across GOMAXPROCS goroutines; every entry is written exactly
+// once, so the result is identical to the sequential fill.
 func NewDense(o *Oracle) *Dense {
 	n := o.N()
 	d := &Dense{N: n, Data: make([]float64, n*n)}
-	for i := 0; i < n; i++ {
-		row := d.Data[i*n : (i+1)*n]
-		for j := i + 1; j < n; j++ {
-			a := o.At(i, j)
-			row[j] = a
-			d.Data[j*n+i] = a
-		}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := atomic.Int64{}
+	const block = 32
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var evals int64
+			for {
+				lo := int(next.Add(block)) - block
+				if lo >= n {
+					break
+				}
+				hi := lo + block
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					row := d.Data[i*n : (i+1)*n]
+					for j := i + 1; j < n; j++ {
+						a := o.affinityPair(i, j)
+						row[j] = a
+						d.Data[j*n+i] = a
+						evals++
+					}
+				}
+			}
+			o.computed.Add(evals)
+		}()
+	}
+	wg.Wait()
 	return d
 }
 
@@ -159,12 +273,7 @@ func (d *Dense) Row(i int) []float64 { return d.Data[i*d.N : (i+1)*d.N] }
 func (d *Dense) MulVec(dst, x []float64) {
 	n := d.N
 	for i := 0; i < n; i++ {
-		row := d.Data[i*n : (i+1)*n]
-		var s float64
-		for j, a := range row {
-			s += a * x[j]
-		}
-		dst[i] = s
+		dst[i] = vec.Dot(d.Data[i*n:(i+1)*n], x)
 	}
 }
 
@@ -176,12 +285,7 @@ func (d *Dense) Quad(x []float64) float64 {
 		if x[i] == 0 {
 			continue
 		}
-		row := d.Data[i*n : (i+1)*n]
-		var s float64
-		for j, a := range row {
-			s += a * x[j]
-		}
-		total += x[i] * s
+		total += x[i] * vec.Dot(d.Data[i*n:(i+1)*n], x)
 	}
 	return total
 }
@@ -213,43 +317,48 @@ type Sparse struct {
 // NewSparse builds a symmetric CSR matrix from per-row neighbor lists. The
 // lists need not be symmetric; an edge present in either direction is kept in
 // both. Self-loops are dropped (a_ii = 0 per Eq. 1).
+//
+// The build symmetrizes via a flat packed edge list sorted and deduplicated
+// in place — one allocation of 2·Σ|list| int64s — instead of the seed's
+// map-of-sets, whose per-row maps dominated allocation churn for the Fig. 6
+// sparsified baselines.
 func NewSparse(o *Oracle, neighbors [][]int) *Sparse {
 	n := o.N()
 	if len(neighbors) != n {
 		panic(fmt.Sprintf("affinity: %d neighbor lists for %d points", len(neighbors), n))
 	}
-	// Symmetrize the adjacency structure first.
-	adj := make([]map[int32]struct{}, n)
-	for i := range adj {
-		adj[i] = make(map[int32]struct{}, len(neighbors[i]))
+	total := 0
+	for _, list := range neighbors {
+		total += len(list)
 	}
+	// Pack each directed edge as i<<32|j; both directions are emitted so a
+	// sort + dedup yields the symmetrized adjacency in CSR order.
+	edges := make([]int64, 0, 2*total)
 	for i, list := range neighbors {
 		for _, j := range list {
 			if j == i || j < 0 || j >= n {
 				continue
 			}
-			adj[i][int32(j)] = struct{}{}
-			adj[j][int32(i)] = struct{}{}
+			edges = append(edges, int64(i)<<32|int64(j))
+			edges = append(edges, int64(j)<<32|int64(i))
 		}
 	}
-	s := &Sparse{N: n, RowPtr: make([]int32, n+1)}
-	total := 0
-	for i := range adj {
-		total += len(adj[i])
+	slices.Sort(edges)
+	edges = slices.Compact(edges)
+	s := &Sparse{
+		N:      n,
+		RowPtr: make([]int32, n+1),
+		Col:    make([]int32, len(edges)),
+		Val:    make([]float64, len(edges)),
 	}
-	s.Col = make([]int32, 0, total)
-	s.Val = make([]float64, 0, total)
+	for t, e := range edges {
+		i, j := int(e>>32), int(int32(e))
+		s.Col[t] = int32(j)
+		s.Val[t] = o.At(i, j)
+		s.RowPtr[i+1]++
+	}
 	for i := 0; i < n; i++ {
-		cols := make([]int32, 0, len(adj[i]))
-		for j := range adj[i] {
-			cols = append(cols, j)
-		}
-		sortInt32(cols)
-		for _, j := range cols {
-			s.Col = append(s.Col, j)
-			s.Val = append(s.Val, o.At(i, int(j)))
-		}
-		s.RowPtr[i+1] = int32(len(s.Col))
+		s.RowPtr[i+1] += s.RowPtr[i]
 	}
 	return s
 }
@@ -316,8 +425,4 @@ func (s *Sparse) Quad(x []float64) float64 {
 		total += x[i] * sum
 	}
 	return total
-}
-
-func sortInt32(a []int32) {
-	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
 }

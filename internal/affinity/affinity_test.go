@@ -98,7 +98,7 @@ func TestOracleColumn(t *testing.T) {
 	dst := make([]float64, 3)
 	o.Column(1, rows, dst)
 	for r, row := range rows {
-		want := o.Kernel.Affinity(o.Pts[row], o.Pts[1])
+		want := o.Kernel.Affinity(o.Point(row), o.Point(1))
 		if row == 1 {
 			want = 0
 		}

@@ -1,0 +1,112 @@
+package affinity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Oracle.Column is the innermost affinity operation of LID; it must stay
+// allocation-free on the steady path (PR 1 regression guard).
+func TestColumnAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := make([][]float64, 200)
+	for i := range pts {
+		p := make([]float64, 24)
+		for j := range p {
+			p[j] = rng.NormFloat64()
+		}
+		pts[i] = p
+	}
+	for _, kern := range []Kernel{{K: 0.5, P: 2}, {K: 0.5, P: 1}} {
+		o, err := NewOracle(pts, kern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := make([]int, 100)
+		for i := range rows {
+			rows[i] = i * 2
+		}
+		dst := make([]float64, len(rows))
+		allocs := testing.AllocsPerRun(50, func() {
+			o.Column(7, rows, dst)
+		})
+		if allocs != 0 {
+			t.Fatalf("p=%v: Column allocates %v per run, want 0", kern.P, allocs)
+		}
+	}
+}
+
+// The fused-identity column must agree with per-pair At evaluation — At and
+// Column share the same p=2 kernel (lane order and cancellation fallback
+// included), so the match is exact, even on far-offset data where the
+// fallback triggers.
+func TestColumnMatchesAt(t *testing.T) {
+	for _, offset := range []float64{0, 1e6} {
+		rng := rand.New(rand.NewSource(11))
+		pts := make([][]float64, 60)
+		for i := range pts {
+			p := make([]float64, 9)
+			for j := range p {
+				p[j] = offset + rng.NormFloat64()*3
+			}
+			pts[i] = p
+		}
+		for _, kern := range []Kernel{{K: 1.3, P: 2}, {K: 0.8, P: 1}, {K: 1, P: 3}} {
+			o, err := NewOracle(pts, kern)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows := []int{0, 17, 5, 5, 59, 31}
+			dst := make([]float64, len(rows))
+			for j := 0; j < len(pts); j += 13 {
+				o.Column(j, rows, dst)
+				for r, row := range rows {
+					if want := o.At(row, j); dst[r] != want {
+						t.Fatalf("offset %v p=%v: Column[%d] (row %d, col %d) = %v, At = %v",
+							offset, kern.P, r, row, j, dst[r], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The fused norms+dot distance inside the oracle must agree with the direct
+// [][]float64 kernel evaluation of the seed implementation — tightly for
+// centered data, and within the CancelGuard accuracy bound for data offset
+// far from the origin (where the raw identity would return garbage).
+func TestFusedAffinityMatchesDirect(t *testing.T) {
+	for _, offset := range []float64{0, 1e6} {
+		rng := rand.New(rand.NewSource(13))
+		pts := make([][]float64, 40)
+		for i := range pts {
+			p := make([]float64, 12)
+			for j := range p {
+				p[j] = offset + rng.NormFloat64()*2
+			}
+			pts[i] = p
+		}
+		kern := Kernel{K: 0.9, P: 2}
+		o, err := NewOracle(pts, kern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tol := 1e-12
+		if offset != 0 {
+			tol = 1e-6
+		}
+		for i := range pts {
+			for j := range pts {
+				if i == j {
+					continue
+				}
+				direct := kern.Affinity(pts[i], pts[j])
+				fused := o.At(i, j)
+				if math.Abs(fused-direct) > tol {
+					t.Fatalf("offset %v: At(%d,%d) = %v, direct kernel = %v", offset, i, j, fused, direct)
+				}
+			}
+		}
+	}
+}

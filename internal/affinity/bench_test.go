@@ -66,7 +66,7 @@ func BenchmarkDenseMulVec(b *testing.B) {
 // BenchmarkSparseMulVec measures the SEA sweep cost on a 20-NN graph.
 func BenchmarkSparseMulVec(b *testing.B) {
 	o := benchOracle(b, 1000, 100)
-	lists := KNNNeighborLists(o.Pts, o.Kernel, 20)
+	lists := KNNNeighborLists(o.Mat, o.Kernel, 20)
 	sp := NewSparse(o, lists)
 	x := make([]float64, sp.N)
 	for i := range x {

@@ -4,15 +4,19 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+
+	"alid/internal/matrix"
+	"alid/internal/vec"
 )
 
 // KNNNeighborLists computes each point's k exact nearest neighbors under the
 // kernel's norm — the ENN sparsification path of Section 5.1 (Chen et al.),
 // which the paper contrasts with the cheaper LSH/ANN path. O(n²·d) time,
 // parallelized across cores; intended for the sparsity experiments, not for
-// large n.
-func KNNNeighborLists(pts [][]float64, k Kernel, neighbors int) [][]int {
-	n := len(pts)
+// large n. For p = 2 the inner scan ranks by fused squared distance (the
+// ordering is identical, the square root is skipped).
+func KNNNeighborLists(m *matrix.Matrix, k Kernel, neighbors int) [][]int {
+	n := m.N
 	if neighbors > n-1 {
 		neighbors = n - 1
 	}
@@ -41,13 +45,24 @@ func KNNNeighborLists(pts [][]float64, k Kernel, neighbors int) [][]int {
 				d float64
 				j int
 			}
+			euclid := k.P == 2
+			norms := m.NormsSq()
 			ds := make([]dj, 0, n-1)
 			for i := lo; i < hi; i++ {
 				ds = ds[:0]
+				vi := m.Row(i)
+				ni := norms[i]
 				for j := 0; j < n; j++ {
-					if j != i {
-						ds = append(ds, dj{k.Distance(pts[i], pts[j]), j})
+					if j == i {
+						continue
 					}
+					var d float64
+					if euclid {
+						d = m.DistSq(j, vi, ni)
+					} else {
+						d = vec.Lp(vi, m.Row(j), k.P)
+					}
+					ds = append(ds, dj{d, j})
 				}
 				sort.Slice(ds, func(a, b int) bool { return ds[a].d < ds[b].d })
 				lst := make([]int, neighbors)

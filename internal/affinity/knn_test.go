@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"alid/internal/matrix"
 	"alid/internal/vec"
 )
 
@@ -14,7 +15,11 @@ func TestKNNNeighborListsExact(t *testing.T) {
 		pts[i] = []float64{rng.Float64() * 10, rng.Float64() * 10}
 	}
 	kern := DefaultKernel()
-	lists := KNNNeighborLists(pts, kern, 5)
+	m, err := matrix.FromRows(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lists := KNNNeighborLists(m, kern, 5)
 	for i, list := range lists {
 		if len(list) != 5 {
 			t.Fatalf("point %d has %d neighbors", i, len(list))
@@ -41,13 +46,17 @@ func TestKNNNeighborListsExact(t *testing.T) {
 
 func TestKNNNeighborListsClamped(t *testing.T) {
 	pts := [][]float64{{0, 0}, {1, 1}, {2, 2}}
-	lists := KNNNeighborLists(pts, DefaultKernel(), 10)
+	m, err := matrix.FromRows(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lists := KNNNeighborLists(m, DefaultKernel(), 10)
 	for i, l := range lists {
 		if len(l) != 2 {
 			t.Fatalf("point %d: %d neighbors, want 2", i, len(l))
 		}
 	}
-	empty := KNNNeighborLists(pts, DefaultKernel(), 0)
+	empty := KNNNeighborLists(m, DefaultKernel(), 0)
 	for _, l := range empty {
 		if len(l) != 0 {
 			t.Fatal("k=0 should give empty lists")
@@ -65,7 +74,7 @@ func TestKNNFeedsSparse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sp := NewSparse(o, KNNNeighborLists(pts, o.Kernel, 4))
+	sp := NewSparse(o, KNNNeighborLists(o.Mat, o.Kernel, 4))
 	if sp.NNZ() == 0 {
 		t.Fatal("empty sparse matrix from kNN lists")
 	}

@@ -9,6 +9,8 @@ import (
 	"alid/internal/affinity"
 	"alid/internal/lid"
 	"alid/internal/lsh"
+	"alid/internal/matrix"
+	"alid/internal/vec"
 )
 
 // Config collects every knob of Algorithm 2. Zero values are replaced by the
@@ -119,23 +121,40 @@ type Detector struct {
 	oracle *affinity.Oracle
 	index  *lsh.Index
 
-	// scratch for CIVS candidate deduplication
+	// scratch for CIVS candidate deduplication and selection (steady-state
+	// CIVS calls allocate only the returned ψ slice)
 	mark []uint32
 	gen  uint32
+	raw  []int32
+	cand []civsCand
 
 	// instrumentation
 	peakEntries int
 }
 
-// NewDetector validates the configuration, wraps the dataset and builds the
-// LSH index (O(n·d·µ·l), the only global pass ALID makes over the data).
+// NewDetector flattens the dataset once (the [][]float64 → matrix.Matrix
+// conversion at the API boundary) and delegates to NewDetectorMatrix.
 func NewDetector(pts [][]float64, cfg Config) (*Detector, error) {
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("core: empty dataset")
+	}
+	m, err := matrix.FromRows(pts)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return NewDetectorMatrix(m, cfg)
+}
+
+// NewDetectorMatrix validates the configuration, wraps the flat dataset and
+// builds the LSH index (O(n·d·µ·l), the only global pass ALID makes over the
+// data). The matrix is captured by reference and must not be mutated.
+func NewDetectorMatrix(m *matrix.Matrix, cfg Config) (*Detector, error) {
 	cfg = cfg.withDefaults()
-	o, err := affinity.NewOracle(pts, cfg.Kernel)
+	o, err := affinity.NewOracleMatrix(m, cfg.Kernel)
 	if err != nil {
 		return nil, err
 	}
-	idx, err := lsh.Build(pts, cfg.LSH)
+	idx, err := lsh.BuildMatrix(m, cfg.LSH)
 	if err != nil {
 		return nil, err
 	}
@@ -143,22 +162,31 @@ func NewDetector(pts [][]float64, cfg Config) (*Detector, error) {
 		cfg:    cfg,
 		oracle: o,
 		index:  idx,
-		mark:   make([]uint32, len(pts)),
+		mark:   make([]uint32, m.N),
 	}, nil
 }
 
-// NewDetectorWithIndex reuses a prebuilt LSH index (PALID executors share
-// one). The index must have been built over the same points.
+// NewDetectorWithIndex flattens the dataset and reuses a prebuilt LSH index.
 func NewDetectorWithIndex(pts [][]float64, cfg Config, idx *lsh.Index) (*Detector, error) {
+	m, err := matrix.FromRows(pts)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return NewDetectorMatrixWithIndex(m, cfg, idx)
+}
+
+// NewDetectorMatrixWithIndex reuses a prebuilt LSH index (PALID executors
+// share one). The index must have been built over the same points.
+func NewDetectorMatrixWithIndex(m *matrix.Matrix, cfg Config, idx *lsh.Index) (*Detector, error) {
 	cfg = cfg.withDefaults()
-	o, err := affinity.NewOracle(pts, cfg.Kernel)
+	o, err := affinity.NewOracleMatrix(m, cfg.Kernel)
 	if err != nil {
 		return nil, err
 	}
-	if idx.N() != len(pts) {
-		return nil, fmt.Errorf("core: index over %d points, dataset has %d", idx.N(), len(pts))
+	if idx.N() != m.N {
+		return nil, fmt.Errorf("core: index over %d points, dataset has %d", idx.N(), m.N)
 	}
-	return &Detector{cfg: cfg, oracle: o, index: idx, mark: make([]uint32, len(pts))}, nil
+	return &Detector{cfg: cfg, oracle: o, index: idx, mark: make([]uint32, m.N)}, nil
 }
 
 // Oracle exposes the instrumented affinity oracle (for experiments).
@@ -197,7 +225,7 @@ func (d *Detector) DetectFrom(ctx context.Context, seed int, active []bool) (*Cl
 
 		// Step 2: ROI from x̂.
 		sup, w := st.SupportWeights()
-		roi := EstimateROI(d.oracle.Pts, sup, w, st.Density(), d.cfg.Kernel, c)
+		roi := EstimateROI(d.oracle.Mat, sup, w, st.Density(), d.cfg.Kernel, c)
 		if d.cfg.FixedROIGrowth {
 			roi.R = roi.Rout
 		}
@@ -237,8 +265,19 @@ func (d *Detector) DetectFrom(ctx context.Context, seed int, active []bool) (*Cl
 	}, nil
 }
 
+// civsCand is a CIVS candidate with its distance to the ROI ball center
+// (squared distance for p = 2 — the ranking is identical and the per-
+// candidate square root is skipped).
+type civsCand struct {
+	id   int32
+	dist float64
+}
+
 // civs implements Step 3: multi-query LSH retrieval from every support point
 // (Fig. 4(b)), filtered to the ROI, capped at the δ vertices nearest to D.
+// For p = 2 candidates are filtered by comparing fused squared distances
+// against R², and the δ-nearest cap uses an O(len) partial selection instead
+// of a full sort.
 func (d *Detector) civs(st *lid.State, support []int, roi ROI, active []bool) []int {
 	d.gen++
 	if d.gen == 0 { // uint32 wrap: reset scratch
@@ -259,15 +298,21 @@ func (d *Detector) civs(st *lid.State, support []int, roi ROI, active []bool) []
 		}
 		queries = []int{best}
 	}
-	var raw []int32
+	raw := d.raw[:0]
 	for _, id := range queries {
 		raw = d.index.CandidatesByIDInto(id, raw, d.mark, d.gen)
 	}
-	type cand struct {
-		id   int32
-		dist float64
+	d.raw = raw
+
+	m := d.oracle.Mat
+	euclid := d.cfg.Kernel.P == 2
+	bounded := !math.IsInf(roi.R, 1)
+	var centerNormSq, r2 float64
+	if euclid {
+		centerNormSq = vec.Dot(roi.D, roi.D)
+		r2 = roi.R * roi.R
 	}
-	cands := make([]cand, 0, len(raw))
+	cands := d.cand[:0]
 	for _, id := range raw {
 		if active != nil && !active[id] {
 			continue
@@ -275,22 +320,83 @@ func (d *Detector) civs(st *lid.State, support []int, roi ROI, active []bool) []
 		if st.Contains(int(id)) {
 			continue // already in the local range
 		}
-		dist := d.cfg.Kernel.Distance(d.oracle.Pts[id], roi.D)
-		if !math.IsInf(roi.R, 1) && dist > roi.R {
-			continue
+		var dist float64
+		if euclid {
+			dist = m.DistSq(int(id), roi.D, centerNormSq)
+			if bounded && dist > r2 {
+				continue
+			}
+		} else {
+			dist = d.cfg.Kernel.Distance(m.Row(int(id)), roi.D)
+			if bounded && dist > roi.R {
+				continue
+			}
 		}
-		cands = append(cands, cand{id, dist})
+		cands = append(cands, civsCand{id, dist})
 	}
-	// Keep the δ candidates nearest to the ball center.
+	d.cand = cands
+	// Keep the δ candidates nearest to the ball center: O(len) quickselect
+	// partition, then order just the kept δ (ties broken by id, so the
+	// result is deterministic whatever the partition order).
 	if len(cands) > d.cfg.Delta {
-		sort.Slice(cands, func(i, j int) bool { return cands[i].dist < cands[j].dist })
+		selectNearest(cands, d.cfg.Delta)
 		cands = cands[:d.cfg.Delta]
+		sort.Slice(cands, func(i, j int) bool { return candLess(cands[i], cands[j]) })
 	}
 	out := make([]int, len(cands))
 	for i, c := range cands {
 		out[i] = int(c.id)
 	}
 	return out
+}
+
+func candLess(a, b civsCand) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	return a.id < b.id
+}
+
+// selectNearest partially orders c so that c[:k] holds the k smallest
+// elements under candLess: iterative quickselect with median-of-three
+// pivoting, O(len(c)) expected time, no allocation.
+func selectNearest(c []civsCand, k int) {
+	lo, hi := 0, len(c)-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		// Median-of-three: sort c[lo], c[mid], c[hi] in place.
+		if candLess(c[mid], c[lo]) {
+			c[mid], c[lo] = c[lo], c[mid]
+		}
+		if candLess(c[hi], c[mid]) {
+			c[hi], c[mid] = c[mid], c[hi]
+			if candLess(c[mid], c[lo]) {
+				c[mid], c[lo] = c[lo], c[mid]
+			}
+		}
+		if hi-lo < 3 {
+			return
+		}
+		pivot := c[mid]
+		// Lomuto partition over c[lo+1:hi] with the pivot parked at mid.
+		c[mid], c[hi-1] = c[hi-1], c[mid]
+		p := lo + 1
+		for i := lo + 1; i < hi-1; i++ {
+			if candLess(c[i], pivot) {
+				c[i], c[p] = c[p], c[i]
+				p++
+			}
+		}
+		c[hi-1], c[p] = c[p], c[hi-1]
+		switch {
+		case p == k || p == k-1:
+			return
+		case p < k:
+			lo = p + 1
+		default:
+			hi = p - 1
+		}
+	}
 }
 
 // DetectAll runs the peeling scheme of Section 4.4: detect a cluster, peel

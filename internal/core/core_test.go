@@ -9,6 +9,7 @@ import (
 	"alid/internal/affinity"
 	"alid/internal/lid"
 	"alid/internal/lsh"
+	"alid/internal/matrix"
 )
 
 // blobs generates nPerBlob points around each of the given centers with the
@@ -110,7 +111,7 @@ func TestROIProposition1(t *testing.T) {
 	st.Solve(5000, 1e-10)
 	sup, w := st.SupportWeights()
 	pi := st.Density()
-	roi := EstimateROI(pts, sup, w, pi, kern, 5)
+	roi := EstimateROI(o.Mat, sup, w, pi, kern, 5)
 	if !(roi.Rin <= roi.Rout) {
 		t.Fatalf("Rin %v > Rout %v", roi.Rin, roi.Rout)
 	}
@@ -149,7 +150,11 @@ func TestROIProposition1(t *testing.T) {
 func TestROIDegenerate(t *testing.T) {
 	pts := [][]float64{{0, 0}, {1, 1}}
 	k := affinity.DefaultKernel()
-	roi := EstimateROI(pts, []int{0}, []float64{1}, 0, k, 1)
+	m, err := matrix.FromRows(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roi := EstimateROI(m, []int{0}, []float64{1}, 0, k, 1)
 	if !math.IsInf(roi.R, 1) {
 		t.Fatalf("degenerate ROI should be unbounded, got %v", roi.R)
 	}

@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"alid/internal/affinity"
+	"alid/internal/matrix"
 	"alid/internal/vec"
 )
 
@@ -41,8 +42,8 @@ func thetaGrowth(c int) float64 {
 // ball — every vertex with positive affinity is infective against a
 // zero-density subgraph — so R is +Inf and the caller's δ-nearest cap is the
 // only limit, mirroring the paper's treatment of the first iteration.
-func EstimateROI(pts [][]float64, support []int, weights []float64, pi float64, k affinity.Kernel, c int) ROI {
-	d := vec.WeightedCentroid(pts, support, weights)
+func EstimateROI(m *matrix.Matrix, support []int, weights []float64, pi float64, k affinity.Kernel, c int) ROI {
+	d := m.WeightedCentroid(support, weights)
 	roi := ROI{D: d}
 	if pi <= 0 || len(support) < 2 {
 		roi.Rin = math.Inf(1)
@@ -50,9 +51,19 @@ func EstimateROI(pts [][]float64, support []int, weights []float64, pi float64, 
 		roi.R = math.Inf(1)
 		return roi
 	}
+	euclid := k.P == 2
+	var centerNormSq float64
+	if euclid {
+		centerNormSq = vec.Dot(d, d)
+	}
 	var lambdaIn, lambdaOut float64
 	for t, i := range support {
-		dist := k.Distance(pts[i], d)
+		var dist float64
+		if euclid {
+			dist = math.Sqrt(m.DistSq(i, d, centerNormSq))
+		} else {
+			dist = k.Distance(m.Row(i), d)
+		}
 		lambdaIn += weights[t] * math.Exp(-k.K*dist)
 		lambdaOut += weights[t] * math.Exp(k.K*dist)
 	}

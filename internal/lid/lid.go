@@ -343,7 +343,7 @@ func (s *State) Sanity() error {
 			if r == p {
 				continue
 			}
-			want[r] += xi * s.oracle.Kernel.Affinity(s.oracle.Pts[rg], s.oracle.Pts[s.beta[p]])
+			want[r] += xi * s.oracle.Kernel.Affinity(s.oracle.Point(rg), s.oracle.Point(s.beta[p]))
 		}
 	}
 	for r := range want {

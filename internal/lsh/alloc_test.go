@@ -1,0 +1,28 @@
+package lsh
+
+import "testing"
+
+// CandidatesByIDInto is called once per support point per CIVS iteration;
+// with a warmed dst buffer the steady path must not allocate.
+func TestCandidatesByIDIntoAllocFree(t *testing.T) {
+	pts, _ := twoBlobs(300, 41)
+	idx, err := Build(pts, Config{Projections: 6, Tables: 6, R: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mark := make([]uint32, len(pts))
+	// Warm the buffer to steady-state capacity.
+	var buf []int32
+	gen := uint32(0)
+	for id := 0; id < 20; id++ {
+		gen++
+		buf = idx.CandidatesByIDInto(id, buf[:0], mark, gen)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		gen++
+		buf = idx.CandidatesByIDInto(int(gen)%20, buf[:0], mark, gen)
+	})
+	if allocs != 0 {
+		t.Fatalf("CandidatesByIDInto allocates %v per run, want 0", allocs)
+	}
+}

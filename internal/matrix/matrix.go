@@ -1,0 +1,188 @@
+// Package matrix provides the contiguous row-major dataset representation
+// every hot path in this repository operates on.
+//
+// The seed implementation passed [][]float64 everywhere, paying a pointer
+// dereference (and usually a cache miss) per point touched. Matrix stores all
+// n·d coordinates in one flat slice, so kernel evaluation, LSH hashing and
+// ROI filtering stream over contiguous memory, and it precomputes the squared
+// L2 norm of every row so Euclidean distances can be evaluated with a single
+// fused dot product via the identity
+//
+//	‖a−b‖² = ‖a‖² + ‖b‖² − 2·a·b.
+//
+// Invariant (established by PR 1): points are flattened ONCE at the public
+// API boundary (alid.NewDetector and friends); all internal layers take a
+// *Matrix and never re-materialize [][]float64.
+package matrix
+
+import (
+	"fmt"
+
+	"alid/internal/vec"
+)
+
+// Matrix is an n×d row-major dataset with cached per-row squared L2 norms.
+// Data is exposed for read-only iteration by hot loops; mutate rows only
+// through methods that keep the norm cache consistent.
+type Matrix struct {
+	// Data holds the coordinates row-major: row i is Data[i*D : (i+1)*D].
+	Data []float64
+	// N is the number of rows (points).
+	N int
+	// D is the dimensionality.
+	D int
+
+	norms []float64 // norms[i] = ‖row i‖², maintained by constructors/appends
+}
+
+// New returns a zeroed n×d matrix.
+func New(n, d int) *Matrix {
+	if n < 0 || d <= 0 {
+		panic(fmt.Sprintf("matrix: invalid shape %d×%d", n, d))
+	}
+	return &Matrix{Data: make([]float64, n*d), N: n, D: d, norms: make([]float64, n)}
+}
+
+// FromRows flattens a [][]float64 dataset into a new Matrix, validating that
+// every row has the same dimensionality. This is the single conversion point
+// at the public API boundary; the input rows are copied and never retained.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("matrix: empty dataset")
+	}
+	d := len(rows[0])
+	if d == 0 {
+		return nil, fmt.Errorf("matrix: zero-dimensional points")
+	}
+	m := &Matrix{
+		Data:  make([]float64, len(rows)*d),
+		N:     len(rows),
+		D:     d,
+		norms: make([]float64, len(rows)),
+	}
+	for i, r := range rows {
+		if len(r) != d {
+			return nil, fmt.Errorf("matrix: point %d has dimension %d, want %d", i, len(r), d)
+		}
+		copy(m.Data[i*d:(i+1)*d], r)
+		m.norms[i] = vec.Dot(r, r)
+	}
+	return m, nil
+}
+
+// FromFlat wraps an existing row-major slice (taking ownership) and computes
+// the norm cache. len(data) must equal n*d.
+func FromFlat(data []float64, n, d int) (*Matrix, error) {
+	if n <= 0 || d <= 0 {
+		return nil, fmt.Errorf("matrix: invalid shape %d×%d", n, d)
+	}
+	if len(data) != n*d {
+		return nil, fmt.Errorf("matrix: flat data has %d values, want %d×%d = %d", len(data), n, d, n*d)
+	}
+	m := &Matrix{Data: data, N: n, D: d, norms: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		row := data[i*d : (i+1)*d]
+		m.norms[i] = vec.Dot(row, row)
+	}
+	return m, nil
+}
+
+// Row returns row i as a slice aliasing the matrix storage. Callers must not
+// mutate it (the norm cache would go stale).
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.D : (i+1)*m.D : (i+1)*m.D] }
+
+// NormSq returns the cached squared L2 norm ‖row i‖².
+func (m *Matrix) NormSq(i int) float64 { return m.norms[i] }
+
+// NormsSq returns the full norm cache (aliases internal storage; read-only).
+func (m *Matrix) NormsSq() []float64 { return m.norms }
+
+// AppendRows appends points (each of dimension D), extending the norm cache.
+// It returns the index of the first appended row.
+func (m *Matrix) AppendRows(rows [][]float64) (int, error) {
+	first := m.N
+	for i, r := range rows {
+		if len(r) != m.D {
+			return first, fmt.Errorf("matrix: appended point %d has dimension %d, want %d", i, len(r), m.D)
+		}
+	}
+	for _, r := range rows {
+		m.Data = append(m.Data, r...)
+		m.norms = append(m.norms, vec.Dot(r, r))
+	}
+	m.N += len(rows)
+	return first, nil
+}
+
+// CancelGuard is the relative threshold below which a fused-identity squared
+// distance is considered cancellation-dominated and is recomputed with the
+// exact difference form. The identity's absolute error is on the order of
+// ulp(‖a‖²+‖b‖²); for datasets offset far from the origin the true squared
+// distance can sit entirely below that noise floor, so any fused result
+// smaller than CancelGuard·(‖a‖²+‖b‖²) is untrustworthy. The fallback is
+// only paid for near-duplicate or far-offset pairs.
+const CancelGuard = 1e-9
+
+// DistSq returns ‖row i − q‖² for an external query point q with precomputed
+// squared norm qNormSq, using the fused norms+dot identity with an exact
+// fallback for cancellation-dominated results (see CancelGuard).
+func (m *Matrix) DistSq(i int, q []float64, qNormSq float64) float64 {
+	s := m.norms[i] + qNormSq - 2*vec.Dot(m.Row(i), q)
+	if s < CancelGuard*(m.norms[i]+qNormSq) {
+		return vec.SquaredL2(m.Row(i), q)
+	}
+	return s
+}
+
+// PairDistSq returns ‖row i − row j‖² via the norms identity, with the same
+// exact fallback as DistSq.
+func (m *Matrix) PairDistSq(i, j int) float64 {
+	s := m.norms[i] + m.norms[j] - 2*vec.Dot(m.Row(i), m.Row(j))
+	if s < CancelGuard*(m.norms[i]+m.norms[j]) {
+		return vec.SquaredL2(m.Row(i), m.Row(j))
+	}
+	return s
+}
+
+// DistSqRows fills dst[r] = ‖row rows[r] − q‖² for an external query q with
+// precomputed squared norm qNormSq: one batched pass of fused distance rows
+// (exact fallback per entry, see CancelGuard). dst must have len(rows).
+// It performs no allocation.
+func (m *Matrix) DistSqRows(rows []int, q []float64, qNormSq float64, dst []float64) {
+	if len(dst) != len(rows) {
+		panic(fmt.Sprintf("matrix: dst length %d != rows length %d", len(dst), len(rows)))
+	}
+	for r, i := range rows {
+		s := m.norms[i] + qNormSq - 2*vec.Dot(m.Row(i), q)
+		if s < CancelGuard*(m.norms[i]+qNormSq) {
+			s = vec.SquaredL2(m.Row(i), q)
+		}
+		dst[r] = s
+	}
+}
+
+// WeightedCentroid returns Σ w[t]·row(idx[t]) — the ROI ball center D of the
+// paper (Eq. 15). Weights are used as given.
+func (m *Matrix) WeightedCentroid(idx []int, w []float64) []float64 {
+	if len(idx) != len(w) {
+		panic(fmt.Sprintf("matrix: index/weight length mismatch %d vs %d", len(idx), len(w)))
+	}
+	if len(idx) == 0 {
+		return nil
+	}
+	out := make([]float64, m.D)
+	for t, id := range idx {
+		vec.Axpy(out, w[t], m.Row(id))
+	}
+	return out
+}
+
+// Rows materializes the matrix back into [][]float64 (each row freshly
+// allocated). Intended for tests and boundary interop, not hot paths.
+func (m *Matrix) Rows() [][]float64 {
+	out := make([][]float64, m.N)
+	for i := range out {
+		out[i] = append([]float64(nil), m.Row(i)...)
+	}
+	return out
+}

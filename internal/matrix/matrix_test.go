@@ -1,0 +1,250 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"alid/internal/vec"
+)
+
+func randRows(rng *rand.Rand, n, d int) [][]float64 {
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, d)
+		for j := range rows[i] {
+			rows[i][j] = rng.NormFloat64()
+		}
+	}
+	return rows
+}
+
+func TestFromRowsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rows := randRows(rng, 7, 5)
+	m, err := FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N != 7 || m.D != 5 {
+		t.Fatalf("shape %d×%d, want 7×5", m.N, m.D)
+	}
+	for i, r := range rows {
+		got := m.Row(i)
+		for j := range r {
+			if got[j] != r[j] {
+				t.Fatalf("row %d differs at %d", i, j)
+			}
+		}
+		if want := vec.Dot(r, r); m.NormSq(i) != want {
+			t.Fatalf("norm %d = %v, want %v", i, m.NormSq(i), want)
+		}
+	}
+	back := m.Rows()
+	for i := range rows {
+		for j := range rows[i] {
+			if back[i][j] != rows[i][j] {
+				t.Fatal("Rows() round trip failed")
+			}
+		}
+	}
+}
+
+func TestFromRowsErrors(t *testing.T) {
+	if _, err := FromRows(nil); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged dataset accepted")
+	}
+	if _, err := FromRows([][]float64{{}}); err == nil {
+		t.Error("zero-dimensional dataset accepted")
+	}
+}
+
+func TestFromFlat(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6}
+	m, err := FromFlat(data, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Row(1)[0] != 3 || m.Row(2)[1] != 6 {
+		t.Fatal("row slicing wrong")
+	}
+	if m.NormSq(0) != 5 {
+		t.Fatalf("norm = %v, want 5", m.NormSq(0))
+	}
+	if _, err := FromFlat(data, 4, 2); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	if _, err := FromFlat(data, 0, 2); err == nil {
+		t.Error("zero rows accepted")
+	}
+}
+
+func TestAppendRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 0}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := m.AppendRows([][]float64{{3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 2 || m.N != 3 {
+		t.Fatalf("first=%d N=%d", first, m.N)
+	}
+	if m.NormSq(2) != 25 {
+		t.Fatalf("appended norm = %v, want 25", m.NormSq(2))
+	}
+	if _, err := m.AppendRows([][]float64{{1, 2, 3}}); err == nil {
+		t.Error("wrong dimension accepted")
+	}
+}
+
+// The fused norms+dot distance must agree with the direct squared difference
+// to floating-point cancellation accuracy.
+func TestDistSqMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rows := randRows(rng, 20, 17)
+	m, err := FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			want := vec.SquaredL2(rows[i], rows[j])
+			got := m.PairDistSq(i, j)
+			if math.Abs(got-want) > 1e-10*(1+want) {
+				t.Fatalf("PairDistSq(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+		q := rows[(i+1)%m.N]
+		got := m.DistSq(i, q, vec.Dot(q, q))
+		want := vec.SquaredL2(rows[i], q)
+		if math.Abs(got-want) > 1e-10*(1+want) {
+			t.Fatalf("DistSq(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// Datasets offset far from the origin defeat the raw norms identity: the
+// true squared distance drops below ulp(‖a‖²+‖b‖²) and the subtraction
+// returns pure rounding noise. The CancelGuard fallback must hand these
+// pairs to the exact difference form.
+func TestDistSqFarFromOrigin(t *testing.T) {
+	const base = 1e6
+	rows := [][]float64{
+		{base, base, base},
+		{base + 1e-3, base, base},
+		{base, base + 2, base},
+	}
+	m, err := FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		for j := range rows {
+			want := vec.SquaredL2(rows[i], rows[j])
+			got := m.PairDistSq(i, j)
+			if math.Abs(got-want) > 1e-6*(1+want) {
+				t.Fatalf("PairDistSq(%d,%d) = %v, want %v (cancellation)", i, j, got, want)
+			}
+		}
+	}
+	// The tiny-but-nonzero pair must not collapse to zero.
+	if d := m.PairDistSq(0, 1); d <= 0 {
+		t.Fatalf("distinct far-offset points collapsed to distance %v", d)
+	}
+	q := []float64{base + 0.5, base, base}
+	for i := range rows {
+		want := vec.SquaredL2(rows[i], q)
+		got := m.DistSq(i, q, vec.Dot(q, q))
+		if math.Abs(got-want) > 1e-6*(1+want) {
+			t.Fatalf("DistSq(%d) = %v, want %v (cancellation)", i, got, want)
+		}
+	}
+	dst := make([]float64, len(rows))
+	m.DistSqRows([]int{0, 1, 2}, q, vec.Dot(q, q), dst)
+	for i := range rows {
+		if want := vec.SquaredL2(rows[i], q); math.Abs(dst[i]-want) > 1e-6*(1+want) {
+			t.Fatalf("DistSqRows[%d] = %v, want %v (cancellation)", i, dst[i], want)
+		}
+	}
+}
+
+func TestDistSqNonNegative(t *testing.T) {
+	// Identical points: the identity cancels to ~0 and must clamp at 0.
+	m, err := FromRows([][]float64{{0.1, 0.2, 0.3}, {0.1, 0.2, 0.3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := m.PairDistSq(0, 1); d < 0 {
+		t.Fatalf("negative distance %v", d)
+	}
+	q := []float64{0.1, 0.2, 0.3}
+	if d := m.DistSq(0, q, vec.Dot(q, q)); d < 0 {
+		t.Fatalf("negative distance %v", d)
+	}
+}
+
+func TestDistSqRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rows := randRows(rng, 30, 8)
+	m, err := FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := make([]float64, 8)
+	for j := range q {
+		q[j] = rng.NormFloat64()
+	}
+	ids := []int{0, 5, 29, 5, 12}
+	dst := make([]float64, len(ids))
+	m.DistSqRows(ids, q, vec.Dot(q, q), dst)
+	for t2, id := range ids {
+		if want := m.DistSq(id, q, vec.Dot(q, q)); dst[t2] != want {
+			t.Fatalf("DistSqRows[%d] = %v, want %v", t2, dst[t2], want)
+		}
+	}
+}
+
+func TestWeightedCentroid(t *testing.T) {
+	m, err := FromRows([][]float64{{0, 0}, {2, 0}, {0, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.WeightedCentroid([]int{1, 2}, []float64{0.5, 0.5})
+	if c[0] != 1 || c[1] != 2 {
+		t.Fatalf("centroid = %v, want [1 2]", c)
+	}
+	if m.WeightedCentroid(nil, nil) != nil {
+		t.Fatal("empty index set should give nil")
+	}
+}
+
+// The batched fused distance kernel must not allocate: it sits inside CIVS's
+// per-iteration loop.
+func TestDistSqRowsAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m, err := FromRows(randRows(rng, 100, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := make([]float64, 32)
+	for j := range q {
+		q[j] = rng.NormFloat64()
+	}
+	qn := vec.Dot(q, q)
+	ids := make([]int, 50)
+	for i := range ids {
+		ids[i] = i * 2
+	}
+	dst := make([]float64, len(ids))
+	allocs := testing.AllocsPerRun(100, func() {
+		m.DistSqRows(ids, q, qn, dst)
+	})
+	if allocs != 0 {
+		t.Fatalf("DistSqRows allocates %v per run, want 0", allocs)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"alid/internal/core"
 	"alid/internal/lsh"
 	"alid/internal/mapreduce"
+	"alid/internal/matrix"
 )
 
 // Options controls the parallel run.
@@ -61,8 +62,17 @@ type labelDensity struct {
 	density float64
 }
 
-// Detect runs PALID over the dataset.
+// Detect flattens the dataset once and runs PALID over it.
 func Detect(ctx context.Context, pts [][]float64, cfg core.Config, opts Options) (*Result, error) {
+	m, err := matrix.FromRows(pts)
+	if err != nil {
+		return nil, fmt.Errorf("palid: %w", err)
+	}
+	return DetectMatrix(ctx, m, cfg, opts)
+}
+
+// DetectMatrix runs PALID over a flat dataset.
+func DetectMatrix(ctx context.Context, m *matrix.Matrix, cfg core.Config, opts Options) (*Result, error) {
 	if opts.Executors <= 0 {
 		return nil, fmt.Errorf("palid: Executors must be positive, got %d", opts.Executors)
 	}
@@ -73,7 +83,7 @@ func Detect(ctx context.Context, pts [][]float64, cfg core.Config, opts Options)
 		opts.MinBucketSize = 5
 	}
 	// Shared substrate: one LSH index, one detector per executor.
-	first, err := core.NewDetector(pts, cfg)
+	first, err := core.NewDetectorMatrix(m, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -82,7 +92,7 @@ func Detect(ctx context.Context, pts [][]float64, cfg core.Config, opts Options)
 	detectors := make([]*core.Detector, opts.Executors)
 	detectors[0] = first
 	for w := 1; w < opts.Executors; w++ {
-		d, err := core.NewDetectorWithIndex(pts, cfg, index)
+		d, err := core.NewDetectorMatrixWithIndex(m, cfg, index)
 		if err != nil {
 			return nil, err
 		}
@@ -169,7 +179,7 @@ func Detect(ctx context.Context, pts [][]float64, cfg core.Config, opts Options)
 		labels = append(labels, l)
 	}
 	sort.Ints(labels)
-	res := &Result{Assign: make([]int, len(pts)), Seeds: len(seeds), Stats: stats}
+	res := &Result{Assign: make([]int, m.N), Seeds: len(seeds), Stats: stats}
 	for i := range res.Assign {
 		res.Assign[i] = -1
 	}

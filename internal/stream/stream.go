@@ -20,9 +20,12 @@ package stream
 import (
 	"context"
 	"fmt"
+	"math"
 
+	"alid/internal/affinity"
 	"alid/internal/core"
 	"alid/internal/lsh"
+	"alid/internal/matrix"
 )
 
 // Config controls the online clusterer.
@@ -33,10 +36,12 @@ type Config struct {
 	BatchSize int
 }
 
-// Clusterer maintains dominant clusters over an append-only stream.
+// Clusterer maintains dominant clusters over an append-only stream. Committed
+// points live in a contiguous matrix.Matrix that grows in place; only the
+// uncommitted buffer is row-sliced.
 type Clusterer struct {
 	cfg    Config
-	pts    [][]float64
+	mat    *matrix.Matrix
 	buffer [][]float64
 	index  *lsh.Index
 
@@ -59,7 +64,12 @@ func New(initial [][]float64, cfg Config) (*Clusterer, error) {
 }
 
 // N returns the number of committed points.
-func (c *Clusterer) N() int { return len(c.pts) }
+func (c *Clusterer) N() int {
+	if c.mat == nil {
+		return 0
+	}
+	return c.mat.N
+}
 
 // Pending returns the number of buffered, uncommitted points.
 func (c *Clusterer) Pending() int { return len(c.buffer) }
@@ -91,8 +101,24 @@ func (c *Clusterer) Commit(ctx context.Context) error {
 	if len(c.buffer) == 0 {
 		return nil
 	}
-	firstNew := len(c.pts)
-	c.pts = append(c.pts, c.buffer...)
+	var firstNew int
+	if c.mat == nil {
+		m, err := matrix.FromRows(c.buffer)
+		if err != nil {
+			return fmt.Errorf("stream: %w", err)
+		}
+		c.mat = m
+	} else {
+		first, err := c.mat.AppendRows(c.buffer)
+		if err != nil {
+			return fmt.Errorf("stream: %w", err)
+		}
+		firstNew = first
+	}
+	// The buffer is consumed the moment the rows land in the matrix: clearing
+	// it (and extending the assignment vector) before any fallible index or
+	// detector work keeps Commit retry-safe — a failed commit must never
+	// re-append the same points.
 	newCount := len(c.buffer)
 	c.buffer = c.buffer[:0]
 	for i := 0; i < newCount; i++ {
@@ -100,19 +126,24 @@ func (c *Clusterer) Commit(ctx context.Context) error {
 	}
 	c.commits++
 
-	// (Re)build or extend the LSH index.
+	// (Re)build or extend the LSH index from the committed matrix rows.
 	if c.index == nil {
-		idx, err := lsh.Build(c.pts, c.cfg.Core.LSH)
+		idx, err := lsh.BuildMatrix(c.mat, c.cfg.Core.LSH)
 		if err != nil {
 			return err
 		}
 		c.index = idx
 	} else {
-		if _, err := c.index.Append(c.pts[firstNew:]); err != nil {
+		newRows := make([][]float64, newCount)
+		for i := range newRows {
+			newRows[i] = c.mat.Row(firstNew + i)
+		}
+		if _, err := c.index.Append(newRows); err != nil {
 			return err
 		}
 	}
-	det, err := core.NewDetectorWithIndex(c.pts, c.cfg.Core, c.index)
+
+	det, err := core.NewDetectorMatrixWithIndex(c.mat, c.cfg.Core, c.index)
 	if err != nil {
 		return err
 	}
@@ -122,10 +153,10 @@ func (c *Clusterer) Commit(ctx context.Context) error {
 	kern := cfg.Kernel
 	dirty := make([]bool, len(c.clusters))
 	for ci, cl := range c.clusters {
-		for j := firstNew; j < len(c.pts); j++ {
+		for j := firstNew; j < c.mat.N; j++ {
 			var gj float64
 			for t, m := range cl.Members {
-				gj += cl.Weights[t] * kern.Affinity(c.pts[j], c.pts[m])
+				gj += cl.Weights[t] * c.affinity(kern, j, m)
 			}
 			if gj-cl.Density > cfg.Tol {
 				dirty[ci] = true
@@ -157,7 +188,7 @@ func (c *Clusterer) Commit(ctx context.Context) error {
 	}
 
 	// Step 4: probe unassigned new points as seeds for new clusters.
-	for j := firstNew; j < len(c.pts); j++ {
+	for j := firstNew; j < c.mat.N; j++ {
 		if c.assigned[j] != -1 {
 			continue
 		}
@@ -182,10 +213,19 @@ func (c *Clusterer) Commit(ctx context.Context) error {
 	return nil
 }
 
+// affinity evaluates a_jm over committed points, using the fused squared
+// distance for the Euclidean kernel.
+func (c *Clusterer) affinity(kern affinity.Kernel, j, m int) float64 {
+	if kern.P == 2 {
+		return math.Exp(-kern.K * math.Sqrt(c.mat.PairDistSq(j, m)))
+	}
+	return kern.Affinity(c.mat.Row(j), c.mat.Row(m))
+}
+
 // availability returns the active mask: points unassigned or belonging to
 // cluster self (so a re-converging cluster can keep its own members).
 func (c *Clusterer) availability(self int) []bool {
-	active := make([]bool, len(c.pts))
+	active := make([]bool, c.mat.N)
 	for i, a := range c.assigned {
 		active[i] = a == -1 || a == self
 	}

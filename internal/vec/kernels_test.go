@@ -1,0 +1,67 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The unrolled kernels must agree with naive sequential evaluation to
+// summation-reordering accuracy, across lengths that exercise every tail.
+func TestUnrolledKernelsMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 33, 100} {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		var dot, sq float64
+		for i := range a {
+			dot += a[i] * b[i]
+			d := a[i] - b[i]
+			sq += d * d
+		}
+		if got := Dot(a, b); math.Abs(got-dot) > 1e-12*(1+math.Abs(dot)) {
+			t.Fatalf("n=%d: Dot = %v, want %v", n, got, dot)
+		}
+		if got := SquaredL2(a, b); math.Abs(got-sq) > 1e-12*(1+sq) {
+			t.Fatalf("n=%d: SquaredL2 = %v, want %v", n, got, sq)
+		}
+		na, nb := Dot(a, a), Dot(b, b)
+		if got := SquaredL2NormDot(na, nb, Dot(a, b)); math.Abs(got-sq) > 1e-9*(1+sq) {
+			t.Fatalf("n=%d: SquaredL2NormDot = %v, want %v", n, got, sq)
+		}
+	}
+}
+
+func TestSquaredL2NormDotClamps(t *testing.T) {
+	a := []float64{0.1, 0.2, 0.3}
+	n := Dot(a, a)
+	if got := SquaredL2NormDot(n, n, Dot(a, a)); got < 0 {
+		t.Fatalf("identical vectors gave negative distance %v", got)
+	}
+}
+
+// The distance kernels sit inside every hot loop; they must never allocate.
+func TestKernelsAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := make([]float64, 101)
+	b := make([]float64, 101)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	var sink float64
+	if allocs := testing.AllocsPerRun(100, func() { sink += Dot(a, b) }); allocs != 0 {
+		t.Fatalf("Dot allocates %v per run, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { sink += SquaredL2(a, b) }); allocs != 0 {
+		t.Fatalf("SquaredL2 allocates %v per run, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { sink += SquaredL2NormDot(2, 3, 1) }); allocs != 0 {
+		t.Fatalf("SquaredL2NormDot allocates %v per run, want 0", allocs)
+	}
+	_ = sink
+}

@@ -15,13 +15,40 @@ func L2(a, b []float64) float64 {
 	return math.Sqrt(SquaredL2(a, b))
 }
 
-// SquaredL2 returns the squared Euclidean distance between a and b.
+// SquaredL2 returns the squared Euclidean distance between a and b. The loop
+// is 4-way unrolled with independent accumulators: the naive dependent-sum
+// formulation is bound by floating-point add latency, which dominates every
+// distance-heavy path (kernel columns, ROI filtering, k-NN).
 func SquaredL2(a, b []float64) float64 {
 	checkLen(a, b)
-	var s float64
-	for i, av := range a {
-		d := av - b[i]
-		s += d * d
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		s0 += d * d
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// SquaredL2NormDot evaluates the fused-distance identity
+// ‖a−b‖² = ‖a‖² + ‖b‖² − 2·a·b from precomputed squared norms and an inner
+// product, clamping the cancellation-prone result at zero. Paired with
+// Dot it halves the per-element work of SquaredL2 when norms are cached
+// (matrix.Matrix caches them per row).
+func SquaredL2NormDot(normASq, normBSq, dot float64) float64 {
+	s := normASq + normBSq - 2*dot
+	if s < 0 {
+		return 0
 	}
 	return s
 }
@@ -53,14 +80,50 @@ func Lp(a, b []float64, p float64) float64 {
 	return math.Pow(s, 1/p)
 }
 
-// Dot returns the inner product of a and b.
+// Dot returns the inner product of a and b, 4-way unrolled with independent
+// accumulators (see SquaredL2 for why).
 func Dot(a, b []float64) float64 {
 	checkLen(a, b)
-	var s float64
-	for i, av := range a {
-		s += av * b[i]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
 	}
-	return s
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// Dot2 returns (a·x, b·x) in a single pass over x, sharing each block of x
+// loads between the two products. The per-output accumulation-lane structure
+// is identical to Dot, so Dot2(x, a, b) is bit-identical to
+// (Dot(a, x), Dot(b, x)) — the hot fused-distance paths rely on this to keep
+// blocked column evaluation equal to per-pair evaluation.
+func Dot2(x, a, b []float64) (float64, float64) {
+	checkLen(a, x)
+	checkLen(b, x)
+	var a0, a1, a2, a3, b0, b1, b2, b3 float64
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		x0, x1, x2, x3 := x[i], x[i+1], x[i+2], x[i+3]
+		a0 += a[i] * x0
+		a1 += a[i+1] * x1
+		a2 += a[i+2] * x2
+		a3 += a[i+3] * x3
+		b0 += b[i] * x0
+		b1 += b[i+1] * x1
+		b2 += b[i+2] * x2
+		b3 += b[i+3] * x3
+	}
+	for ; i < len(x); i++ {
+		a0 += a[i] * x[i]
+		b0 += b[i] * x[i]
+	}
+	return (a0 + a1) + (a2 + a3), (b0 + b1) + (b2 + b3)
 }
 
 // Norm2 returns the Euclidean norm of a.
@@ -146,23 +209,6 @@ func NormalizeL1(a []float64) {
 	if n > 0 {
 		Scale(a, 1/n)
 	}
-}
-
-// WeightedCentroid returns Σ w[i]·pts[idx[i]] for the given index set. This is
-// the ROI ball center D = Σ x̂_i·v_i of the paper (Eq. 15). The weights are
-// used as given; callers wanting a mean must pass normalized weights.
-func WeightedCentroid(pts [][]float64, idx []int, w []float64) []float64 {
-	if len(idx) != len(w) {
-		panic(fmt.Sprintf("vec: index/weight length mismatch %d vs %d", len(idx), len(w)))
-	}
-	if len(idx) == 0 {
-		return nil
-	}
-	out := make([]float64, len(pts[idx[0]]))
-	for j, id := range idx {
-		Axpy(out, w[j], pts[id])
-	}
-	return out
 }
 
 // Mean returns the arithmetic mean of the selected points.

@@ -118,17 +118,6 @@ func TestNormalize(t *testing.T) {
 	}
 }
 
-func TestWeightedCentroid(t *testing.T) {
-	pts := [][]float64{{0, 0}, {2, 0}, {0, 2}}
-	got := WeightedCentroid(pts, []int{1, 2}, []float64{0.5, 0.5})
-	if !almostEqual(got[0], 1, eps) || !almostEqual(got[1], 1, eps) {
-		t.Fatalf("WeightedCentroid = %v, want [1 1]", got)
-	}
-	if WeightedCentroid(pts, nil, nil) != nil {
-		t.Error("empty index should give nil")
-	}
-}
-
 func TestMean(t *testing.T) {
 	pts := [][]float64{{0, 0}, {2, 4}}
 	got := Mean(pts, []int{0, 1})

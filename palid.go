@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"alid/internal/matrix"
 	"alid/internal/palid"
 )
 
@@ -43,10 +44,34 @@ func DetectParallel(ctx context.Context, points [][]float64, cfg Config, opts Pa
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("alid: empty dataset")
+	}
+	m, err := matrix.FromRows(points)
+	if err != nil {
+		return nil, fmt.Errorf("alid: %w", err)
+	}
+	return detectParallelMatrix(ctx, m, cfg, opts)
+}
+
+// DetectParallelFlat is DetectParallel for data already in flat row-major
+// form (see NewDetectorFlat). The slice is captured by reference.
+func DetectParallelFlat(ctx context.Context, data []float64, n, d int, cfg Config, opts ParallelOptions) (*ParallelResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m, err := matrix.FromFlat(data, n, d)
+	if err != nil {
+		return nil, fmt.Errorf("alid: %w", err)
+	}
+	return detectParallelMatrix(ctx, m, cfg, opts)
+}
+
+func detectParallelMatrix(ctx context.Context, m *matrix.Matrix, cfg Config, opts ParallelOptions) (*ParallelResult, error) {
 	if opts.Executors <= 0 {
 		return nil, fmt.Errorf("alid: Executors must be positive, got %d", opts.Executors)
 	}
-	res, err := palid.Detect(ctx, points, cfg.toCore(), palid.Options{
+	res, err := palid.DetectMatrix(ctx, m, cfg.toCore(), palid.Options{
 		Executors:     opts.Executors,
 		SampleRate:    opts.SampleRate,
 		MinBucketSize: opts.MinBucketSize,

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Records the PR-1 perf-trajectory benchmarks into BENCH_PR1.json.
+#
+# Usage: scripts/bench.sh [output.json]
+#
+# The three benchmarks are the acceptance gates of PR 1:
+#   BenchmarkColumn    (internal/affinity) — fused kernel column
+#   BenchmarkBuild     (internal/lsh)      — LSH index construction
+#   BenchmarkDetectAll (root)              — end-to-end peeling detection
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR1.json}"
+
+run_bench() { # pkg, pattern, benchtime
+	go test -run='^$' -bench="^$2\$" -benchtime="$3" "$1" 2>/dev/null |
+		awk -v b="$2" '$1 ~ b {print $3; exit}'
+}
+
+echo "benchmarking BenchmarkColumn (internal/affinity)..." >&2
+column=$(run_bench ./internal/affinity/ BenchmarkColumn 2s)
+echo "benchmarking BenchmarkBuild (internal/lsh)..." >&2
+build=$(run_bench ./internal/lsh/ BenchmarkBuild 2s)
+echo "benchmarking BenchmarkDetectAll (root)..." >&2
+detectall=$(run_bench . BenchmarkDetectAll 5x)
+
+host="$(uname -sm) / $(nproc) cpu / $(go version | awk '{print $3}')"
+date="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
+# Seed-commit numbers (e5e1bc1 plus go.mod, measured on the PR-1 machine):
+# the ≥1.5× acceptance gates for Column and Build are computed against these.
+seed_column=42445
+seed_build=11299708
+seed_detectall=14111630
+
+ratio() { awk -v a="$1" -v b="$2" 'BEGIN {printf "%.2f", a / b}'; }
+
+cat > "$out" <<JSON
+{
+  "pr": 1,
+  "recorded_at": "$date",
+  "host": "$host",
+  "unit": "ns/op",
+  "seed": {
+    "BenchmarkColumn": $seed_column,
+    "BenchmarkBuild": $seed_build,
+    "BenchmarkDetectAll": $seed_detectall
+  },
+  "benchmarks": {
+    "BenchmarkColumn": $column,
+    "BenchmarkBuild": $build,
+    "BenchmarkDetectAll": $detectall
+  },
+  "speedup_vs_seed": {
+    "BenchmarkColumn": $(ratio "$seed_column" "$column"),
+    "BenchmarkBuild": $(ratio "$seed_build" "$build"),
+    "BenchmarkDetectAll": $(ratio "$seed_detectall" "$detectall")
+  }
+}
+JSON
+echo "wrote $out" >&2
+cat "$out"
