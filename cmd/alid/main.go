@@ -9,24 +9,25 @@
 //	datagen -kind mixture -n 5000 -out pts.csv
 //	alid -in pts.csv -labeled
 //	alid -in pts.csv -labeled -parallel 8
+//	alid -in pts.csv -json          # machine-readable clusters (alidd wire format)
 //
 // Configuration is automatic (alid.AutoConfig) unless -k/-r are given.
 package main
 
 import (
-	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
-	"math"
+	"io"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 	"time"
 
 	"alid"
+	"alid/internal/dataset"
 	"alid/internal/eval"
+	"alid/internal/server"
 )
 
 func main() {
@@ -37,6 +38,7 @@ func main() {
 	threshold := flag.Float64("threshold", 0.75, "density threshold for reported clusters")
 	parallel := flag.Int("parallel", 0, "run PALID with this many executors (0 = sequential ALID)")
 	top := flag.Int("top", 10, "print at most this many clusters")
+	jsonOut := flag.Bool("json", false, "emit clusters as JSON on stdout (same wire struct as alidd's /v1/clusters)")
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
@@ -90,6 +92,12 @@ func main() {
 	}
 	elapsed := time.Since(start)
 
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, pts, clusters, assign, labels, *labeled, elapsed); err != nil {
+			fail(err)
+		}
+		return
+	}
 	fmt.Printf("detected %d dominant clusters in %v\n", len(clusters), elapsed.Round(time.Millisecond))
 	for i, cl := range clusters {
 		if i >= *top {
@@ -109,53 +117,61 @@ func main() {
 	}
 }
 
+// jsonEval is the optional scoring block of the -json output.
+type jsonEval struct {
+	AVGF             float64 `json:"avg_f"`
+	NoiseFiltered    float64 `json:"noise_filtered"`
+	PositivesCovered float64 `json:"positives_covered"`
+}
+
+// jsonOutput is the -json document: the clusters use the same wire struct
+// (server.ClusterJSON) that alidd's /v1/clusters endpoint serves, so batch
+// and served answers are directly diffable.
+type jsonOutput struct {
+	N              int                  `json:"n"`
+	ElapsedSeconds float64              `json:"elapsed_seconds"`
+	Clusters       []server.ClusterJSON `json:"clusters"`
+	Eval           *jsonEval            `json:"eval,omitempty"`
+}
+
+func writeJSON(w io.Writer, pts [][]float64, clusters []alid.Cluster, assign, labels []int, labeled bool, elapsed time.Duration) error {
+	out := jsonOutput{
+		N:              len(pts),
+		ElapsedSeconds: elapsed.Seconds(),
+		Clusters:       make([]server.ClusterJSON, len(clusters)),
+	}
+	for i, cl := range clusters {
+		out.Clusters[i] = server.ClusterJSON{
+			ID:      i,
+			Size:    cl.Size(),
+			Density: cl.Density,
+			Members: cl.Members,
+			Weights: cl.Weights,
+		}
+	}
+	if labeled {
+		res, err := eval.Score(labels, assign)
+		if err != nil {
+			return err
+		}
+		out.Eval = &jsonEval{
+			AVGF:             res.AVGF,
+			NoiseFiltered:    res.NoiseFiltered,
+			PositivesCovered: res.PositiveCovered,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
 func readCSV(path string, labeled bool) ([][]float64, []int, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, err
 	}
 	defer f.Close()
-	var pts [][]float64
-	var labels []int
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		fields := strings.Split(line, ",")
-		nf := len(fields)
-		if labeled {
-			nf--
-			lbl, err := strconv.Atoi(strings.TrimSpace(fields[nf]))
-			if err != nil {
-				return nil, nil, fmt.Errorf("%s:%d: bad label %q", path, lineNo, fields[nf])
-			}
-			labels = append(labels, lbl)
-		}
-		p := make([]float64, nf)
-		for i := 0; i < nf; i++ {
-			v, err := strconv.ParseFloat(strings.TrimSpace(fields[i]), 64)
-			if err != nil {
-				return nil, nil, fmt.Errorf("%s:%d: bad value %q", path, lineNo, fields[i])
-			}
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return nil, nil, fmt.Errorf("%s:%d: non-finite value %q", path, lineNo, fields[i])
-			}
-			p[i] = v
-		}
-		pts = append(pts, p)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, nil, err
-	}
-	if len(pts) == 0 {
-		return nil, nil, fmt.Errorf("%s: no points", path)
-	}
-	return pts, labels, nil
+	return dataset.ReadPointsCSV(f, path, labeled)
 }
 
 func head(a []int, n int) []int {

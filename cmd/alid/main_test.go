@@ -1,9 +1,15 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
+
+	"alid"
+	"alid/internal/server"
 )
 
 func writeTemp(t *testing.T, content string) string {
@@ -58,6 +64,54 @@ func TestReadCSVErrors(t *testing.T) {
 	}
 	if _, _, err := readCSV(filepath.Join(t.TempDir(), "missing.csv"), false); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+// The -json document must round-trip through the same wire struct the
+// /v1/clusters endpoint uses.
+func TestWriteJSON(t *testing.T) {
+	pts := [][]float64{{0, 0}, {0.1, 0}, {5, 5}, {5.1, 5}}
+	clusters := []alid.Cluster{
+		{Members: []int{0, 1}, Weights: []float64{0.5, 0.5}, Density: 0.9},
+		{Members: []int{2, 3}, Weights: []float64{0.6, 0.4}, Density: 0.8},
+	}
+	assign := []int{0, 0, 1, 1}
+	labels := []int{0, 0, 1, 1}
+
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, pts, clusters, assign, labels, true, 42*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		N        int                  `json:"n"`
+		Clusters []server.ClusterJSON `json:"clusters"`
+		Eval     *jsonEval            `json:"eval"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if out.N != 4 || len(out.Clusters) != 2 {
+		t.Fatalf("output %+v", out)
+	}
+	for i, c := range out.Clusters {
+		if c.ID != i || c.Size != 2 || len(c.Members) != 2 || len(c.Weights) != 2 {
+			t.Fatalf("cluster %d: %+v", i, c)
+		}
+	}
+	if out.Clusters[0].Density != 0.9 || out.Clusters[1].Density != 0.8 {
+		t.Fatalf("densities: %+v", out.Clusters)
+	}
+	if out.Eval == nil || out.Eval.AVGF <= 0 {
+		t.Fatalf("eval block: %+v", out.Eval)
+	}
+
+	// Unlabeled: no eval block.
+	buf.Reset()
+	if err := writeJSON(&buf, pts, clusters, assign, nil, false, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"eval"`)) {
+		t.Fatalf("unexpected eval block:\n%s", buf.String())
 	}
 }
 

@@ -1,0 +1,178 @@
+// Command alidd is the dominant-cluster serving daemon: it detects clusters
+// in an initial dataset (or restores a snapshot), then serves assign /
+// ingest / cluster-listing traffic over HTTP while absorbing new points in
+// the background.
+//
+// Usage:
+//
+//	datagen -kind mixture -n 5000 -out pts.csv
+//	alidd -in pts.csv -labeled -addr :8080 -snapshot alid.snap -snapshot-interval 60s
+//
+//	curl -s localhost:8080/v1/assign -d '{"point":[0.5,0.5]}'
+//	curl -s localhost:8080/v1/ingest -d '{"points":[[0.4,0.6]],"wait":true}'
+//	curl -s localhost:8080/v1/clusters?members=false
+//	curl -s localhost:8080/v1/stats
+//
+// If the snapshot file exists at startup it is restored — configuration,
+// matrix, index and clusters all come from the snapshot, so a crash-restart
+// resumes serving without re-detection (-in and the tuning flags are
+// ignored). A final snapshot is written on graceful shutdown.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"alid"
+	"alid/internal/affinity"
+	"alid/internal/core"
+	"alid/internal/dataset"
+	"alid/internal/engine"
+	"alid/internal/lsh"
+	"alid/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	in := flag.String("in", "", "initial points CSV (optional; ignored when restoring a snapshot)")
+	labeled := flag.Bool("labeled", false, "treat the CSV's last column as a label (dropped)")
+	snap := flag.String("snapshot", "", "snapshot file: restored at startup if present, written on shutdown")
+	snapEvery := flag.Duration("snapshot-interval", 0, "also snapshot periodically (0 = only on shutdown)")
+	batch := flag.Int("batch", 256, "stream commit batch size")
+	queue := flag.Int("queue", 1024, "ingest queue capacity")
+	kScale := flag.Float64("k", 0, "kernel scale (0 = auto from -in data)")
+	rSeg := flag.Float64("r", 0, "LSH segment length (0 = auto from -in data)")
+	mu := flag.Int("mu", 12, "LSH projections per table")
+	tables := flag.Int("tables", 8, "LSH tables")
+	seed := flag.Int64("seed", 1, "LSH seed")
+	threshold := flag.Float64("threshold", 0.75, "density threshold for maintained clusters")
+	flag.Parse()
+
+	log.SetPrefix("alidd: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	eng, err := buildEngine(*in, *labeled, *snap, *batch, *queue, *kScale, *rSeg, *mu, *tables, *seed, *threshold)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+	st := eng.Stats()
+	log.Printf("serving n=%d dim=%d clusters=%d commits=%d on %s", st.N, st.Dim, st.Clusters, st.Commits, *addr)
+
+	if *snap != "" && *snapEvery > 0 {
+		go snapshotLoop(ctx, eng, *snap, *snapEvery)
+	}
+
+	srv := server.New(eng, server.Options{})
+	if err := srv.Serve(ctx, *addr); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("shut down")
+
+	// Final snapshot: flush buffered points first so nothing queued is lost.
+	if *snap != "" {
+		flushCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := eng.Flush(flushCtx); err != nil {
+			log.Printf("final flush: %v", err)
+		}
+		if eng.Stats().N == 0 {
+			log.Printf("nothing committed; skipping final snapshot")
+			return
+		}
+		if err := eng.SaveFile(*snap); err != nil {
+			log.Printf("final snapshot: %v", err)
+		} else {
+			log.Printf("snapshot written to %s", *snap)
+		}
+	}
+}
+
+// buildEngine restores from the snapshot when one exists, otherwise detects
+// from the CSV (or starts empty).
+func buildEngine(in string, labeled bool, snap string, batch, queue int, k, r float64, mu, tables int, seed int64, threshold float64) (*engine.Engine, error) {
+	if snap != "" {
+		if _, err := os.Stat(snap); err == nil {
+			eng, err := engine.LoadFile(snap, queue)
+			if err != nil {
+				return nil, fmt.Errorf("restore %s: %w", snap, err)
+			}
+			log.Printf("restored snapshot %s", snap)
+			return eng, nil
+		}
+	}
+
+	var pts [][]float64
+	if in != "" {
+		var err error
+		pts, err = readCSV(in, labeled)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if (k <= 0 || r <= 0) && len(pts) > 1 {
+		auto, err := alid.AutoConfig(pts)
+		if err != nil {
+			return nil, err
+		}
+		if k <= 0 {
+			k = auto.KernelScale
+		}
+		if r <= 0 {
+			r = auto.LSHSegment
+		}
+		log.Printf("auto-tuned k=%.4g r=%.4g", k, r)
+	}
+	if k <= 0 {
+		k = 1
+	}
+	if r <= 0 {
+		r = 1
+	}
+	cfg := core.DefaultConfig()
+	cfg.Kernel = affinity.Kernel{K: k, P: 2}
+	cfg.LSH = lsh.Config{Projections: mu, Tables: tables, R: r, Seed: seed}
+	cfg.DensityThreshold = threshold
+	return engine.New(engine.Config{Core: cfg, BatchSize: batch, QueueSize: queue}, pts)
+}
+
+// snapshotLoop periodically persists the published state until ctx ends.
+func snapshotLoop(ctx context.Context, eng *engine.Engine, path string, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if eng.Stats().N == 0 {
+				continue
+			}
+			if err := eng.SaveFile(path); err != nil {
+				log.Printf("periodic snapshot: %v", err)
+			}
+		}
+	}
+}
+
+// readCSV parses one point per line, comma-separated; with labeled the last
+// column is dropped (cmd/datagen's interchange format, shared with cmd/alid
+// via dataset.ReadPointsCSV).
+func readCSV(path string, labeled bool) ([][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	pts, _, err := dataset.ReadPointsCSV(f, path, labeled)
+	return pts, err
+}

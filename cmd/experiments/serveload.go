@@ -1,0 +1,130 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"alid/internal/affinity"
+	"alid/internal/core"
+	"alid/internal/engine"
+	"alid/internal/lsh"
+	"alid/internal/testutil"
+)
+
+// The serve target is the load generator for the alidd serving subsystem:
+// build an engine over a synthetic multi-blob workload, hammer Assign from
+// concurrent clients (optionally with a live ingest stream running
+// underneath), and report serve-path throughput.
+var (
+	serveN        = flag.Int("serve-n", 10000, "serve: dataset size")
+	serveD        = flag.Int("serve-d", 16, "serve: dimensionality")
+	serveBlobs    = flag.Int("serve-blobs", 50, "serve: number of clusters")
+	serveClients  = flag.Int("serve-clients", 4, "serve: concurrent assign clients")
+	serveDuration = flag.Duration("serve-duration", 5*time.Second, "serve: load duration")
+	serveIngest   = flag.Int("serve-ingest", 0, "serve: background ingest rate (points/sec, 0 = read-only load)")
+)
+
+func serveLoad(ctx context.Context) error {
+	n, d := *serveN, *serveD
+	// Tune kernel and segment to the blob geometry: intra-blob distances
+	// concentrate near σ·√(2d).
+	scale := 0.3 * math.Sqrt(2*float64(d))
+	cfg := core.DefaultConfig()
+	cfg.Kernel = affinity.Kernel{K: -math.Log(0.9) / scale, P: 2}
+	cfg.LSH = lsh.Config{Projections: 12, Tables: 8, R: 8 * scale, Seed: 1}
+
+	pts, centers := testutil.ServeWorkload(n, d, *serveBlobs)
+	fmt.Fprintf(os.Stderr, "serve-load: detecting n=%d d=%d blobs=%d...\n", n, d, *serveBlobs)
+	buildStart := time.Now()
+	eng, err := engine.New(engine.Config{Core: cfg, BatchSize: 256}, pts)
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	build := time.Since(buildStart)
+	if len(eng.Clusters()) == 0 {
+		return fmt.Errorf("serve-load: no clusters detected")
+	}
+
+	// Queries: jittered copies of dataset points.
+	rng := rand.New(rand.NewSource(72))
+	queries := make([][]float64, 4096)
+	for i := range queries {
+		src := pts[rng.Intn(len(pts))]
+		q := make([]float64, d)
+		for j := range q {
+			q[j] = src[j] + rng.NormFloat64()*0.05
+		}
+		queries[i] = q
+	}
+
+	loadCtx, cancel := context.WithTimeout(ctx, *serveDuration)
+	defer cancel()
+	var assigns, hits atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < *serveClients; c++ {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			i := off
+			for loadCtx.Err() == nil {
+				a, err := eng.Assign(queries[i%len(queries)])
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "serve-load: assign: %v\n", err)
+					return
+				}
+				assigns.Add(1)
+				if a.Cluster >= 0 {
+					hits.Add(1)
+				}
+				i++
+			}
+		}(c * 997)
+	}
+	if rate := *serveIngest; rate > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			irng := rand.New(rand.NewSource(73))
+			tick := time.NewTicker(time.Second / time.Duration(rate))
+			defer tick.Stop()
+			for {
+				select {
+				case <-loadCtx.Done():
+					return
+				case <-tick.C:
+					c := centers[irng.Intn(len(centers))]
+					p := make([]float64, d)
+					for j := range p {
+						p[j] = c[j] + irng.NormFloat64()*0.3
+					}
+					if err := eng.Ingest(loadCtx, [][]float64{p}); err != nil && loadCtx.Err() == nil {
+						fmt.Fprintf(os.Stderr, "serve-load: ingest: %v\n", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	st := eng.Stats()
+	fmt.Printf("\n== serve-load — assign throughput over the published state ==\n")
+	fmt.Printf("n=%d d=%d clusters=%d clients=%d ingest=%d/s detect=%.2fs\n",
+		st.N, st.Dim, st.Clusters, *serveClients, *serveIngest, build.Seconds())
+	fmt.Printf("assigns=%d hit_rate=%.3f elapsed=%.2fs throughput=%.0f assigns/sec\n",
+		assigns.Load(), float64(hits.Load())/math.Max(1, float64(assigns.Load())),
+		elapsed.Seconds(), float64(assigns.Load())/elapsed.Seconds())
+	fmt.Printf("ingested=%d commits=%d queued=%d writer_errors=%d\n",
+		st.Ingested, st.Commits, st.QueuedPoints, st.WriterErrors)
+	return nil
+}

@@ -203,6 +203,65 @@ func (o *Oracle) Column(j int, rows []int, dst []float64) {
 	o.computed.Add(n)
 }
 
+// ColumnPoint fills dst[r] = exp(-k·‖v_{rows[r]} − q‖_p) for an EXTERNAL
+// query point q with precomputed squared norm qNormSq (only used for p = 2).
+// It is the flat-point counterpart of Column for points that are not dataset
+// rows — the serving engine's assign path scores a query against cluster
+// members with it. Same two-pass idiom as Column (fused squared distances,
+// then the exp/sqrt transform), same Dot2 lane order and cancellation
+// fallback, so an external q equal to a dataset row yields bit-identical
+// affinities to the in-dataset evaluation — except there is no diagonal:
+// a true duplicate scores exp(0) = 1, not 0. It performs no allocation and
+// is safe for concurrent use.
+func (o *Oracle) ColumnPoint(q []float64, qNormSq float64, rows []int, dst []float64) {
+	if len(dst) != len(rows) {
+		panic(fmt.Sprintf("affinity: dst length %d != rows length %d", len(dst), len(rows)))
+	}
+	if len(q) != o.Mat.D {
+		panic(fmt.Sprintf("affinity: query dimension %d, want %d", len(q), o.Mat.D))
+	}
+	k := o.Kernel.K
+	if o.Kernel.P == 2 {
+		norms := o.Mat.NormsSq()
+		data := o.Mat.Data
+		dim := o.Mat.D
+		r := 0
+		for ; r+2 <= len(rows); r += 2 {
+			row0, row1 := rows[r], rows[r+1]
+			va := data[row0*dim : row0*dim+dim]
+			vb := data[row1*dim : row1*dim+dim]
+			dotA, dotB := vec.Dot2(q, va, vb)
+			d0 := norms[row0] + qNormSq - 2*dotA
+			if d0 < matrix.CancelGuard*(norms[row0]+qNormSq) {
+				d0 = vec.SquaredL2(va, q)
+			}
+			d1 := norms[row1] + qNormSq - 2*dotB
+			if d1 < matrix.CancelGuard*(norms[row1]+qNormSq) {
+				d1 = vec.SquaredL2(vb, q)
+			}
+			dst[r] = d0
+			dst[r+1] = d1
+		}
+		for ; r < len(rows); r++ {
+			row := rows[r]
+			va := data[row*dim : row*dim+dim]
+			d0 := norms[row] + qNormSq - 2*vec.Dot(va, q)
+			if d0 < matrix.CancelGuard*(norms[row]+qNormSq) {
+				d0 = vec.SquaredL2(va, q)
+			}
+			dst[r] = d0
+		}
+		for r := range dst {
+			dst[r] = math.Exp(-k * math.Sqrt(dst[r]))
+		}
+	} else {
+		for r, row := range rows {
+			dst[r] = math.Exp(-k * vec.Lp(o.Mat.Row(row), q, o.Kernel.P))
+		}
+	}
+	o.computed.Add(int64(len(rows)))
+}
+
 // Computed returns the total number of kernel evaluations so far.
 func (o *Oracle) Computed() int64 { return o.computed.Load() }
 

@@ -1,0 +1,99 @@
+package affinity
+
+import (
+	"math/rand"
+	"testing"
+
+	"alid/internal/vec"
+)
+
+// ColumnPoint with a query equal to a dataset row must reproduce Column
+// bit-identically everywhere except the diagonal (Column zeroes a_jj; an
+// external duplicate legitimately scores 1).
+func TestColumnPointMatchesColumnOnDatasetRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	pts := make([][]float64, 90)
+	for i := range pts {
+		p := make([]float64, 7)
+		for j := range p {
+			p[j] = rng.NormFloat64() * 2
+		}
+		pts[i] = p
+	}
+	o, err := NewOracle(pts, Kernel{K: 0.7, P: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]int, o.N())
+	for i := range rows {
+		rows[i] = i
+	}
+	col := make([]float64, len(rows))
+	ext := make([]float64, len(rows))
+	for j := 0; j < o.N(); j += 13 {
+		o.Column(j, rows, col)
+		o.ColumnPoint(o.Point(j), o.Mat.NormSq(j), rows, ext)
+		for r := range rows {
+			if rows[r] == j {
+				if ext[r] != 1 {
+					t.Fatalf("self-affinity of external duplicate = %v, want 1", ext[r])
+				}
+				continue
+			}
+			if col[r] != ext[r] {
+				t.Fatalf("row %d col %d: Column=%v ColumnPoint=%v", rows[r], j, col[r], ext[r])
+			}
+		}
+	}
+}
+
+// An external (non-dataset) query must agree with the scalar kernel.
+func TestColumnPointExternalQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	pts := make([][]float64, 40)
+	for i := range pts {
+		p := make([]float64, 5)
+		for j := range p {
+			p[j] = rng.NormFloat64()
+		}
+		pts[i] = p
+	}
+	for _, k := range []Kernel{{K: 1, P: 2}, {K: 0.5, P: 1}} {
+		o, err := NewOracle(pts, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := []float64{0.3, -1.2, 0.8, 2.1, -0.4}
+		rows := []int{0, 7, 13, 39, 2}
+		dst := make([]float64, len(rows))
+		o.ColumnPoint(q, vec.Dot(q, q), rows, dst)
+		for r, row := range rows {
+			want := k.Affinity(pts[row], q)
+			got := dst[r]
+			diff := got - want
+			if diff < 0 {
+				diff = -diff
+			}
+			// p=2 goes through the fused identity; allow 1-ulp-scale slack for
+			// the non-fused reference, exactness is covered by the row test.
+			if diff > 1e-12 {
+				t.Fatalf("P=%v row %d: got %v want %v", k.P, row, got, want)
+			}
+		}
+	}
+}
+
+// ColumnPoint counts kernel evaluations like every other oracle entry point.
+func TestColumnPointCounts(t *testing.T) {
+	pts := [][]float64{{0, 0}, {1, 0}, {0, 1}}
+	o, err := NewOracle(pts, DefaultKernel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.ResetComputed()
+	dst := make([]float64, 3)
+	o.ColumnPoint([]float64{0.5, 0.5}, 0.5, []int{0, 1, 2}, dst)
+	if got := o.Computed(); got != 3 {
+		t.Fatalf("computed = %d, want 3", got)
+	}
+}

@@ -34,6 +34,58 @@ func (d *Dataset) WriteCSV(w io.Writer) error {
 	return bw.Flush()
 }
 
+// ReadPointsCSV parses the interchange CSV as raw points: one point per
+// line, comma-separated features, blank lines skipped. With labeled the last
+// column is an integer ground-truth label (returned separately, never
+// clustered); without it, labels is nil. Non-finite feature values are
+// rejected. This is the single parser behind cmd/alid and cmd/alidd.
+func ReadPointsCSV(r io.Reader, name string, labeled bool) ([][]float64, []int, error) {
+	var pts [][]float64
+	var labels []int
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		nf := len(fields)
+		if labeled {
+			nf--
+			if nf == 0 {
+				return nil, nil, fmt.Errorf("%s:%d: label-only line", name, lineNo)
+			}
+			lbl, err := strconv.Atoi(strings.TrimSpace(fields[nf]))
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s:%d: bad label %q", name, lineNo, fields[nf])
+			}
+			labels = append(labels, lbl)
+		}
+		p := make([]float64, nf)
+		for i := 0; i < nf; i++ {
+			v, err := strconv.ParseFloat(strings.TrimSpace(fields[i]), 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s:%d: bad value %q", name, lineNo, fields[i])
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, nil, fmt.Errorf("%s:%d: non-finite value %q", name, lineNo, fields[i])
+			}
+			p[i] = v
+		}
+		pts = append(pts, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if len(pts) == 0 {
+		return nil, nil, fmt.Errorf("%s: no points", name)
+	}
+	return pts, labels, nil
+}
+
 // ReadCSV parses the WriteCSV format. Cluster count and tuned scales are
 // reconstructed from the labels.
 func ReadCSV(r io.Reader) (*Dataset, error) {

@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"alid/internal/affinity"
+	"alid/internal/core"
+	"alid/internal/lsh"
+	"alid/internal/testutil"
+)
+
+// benchData builds the acceptance-gate serving workload: n=10k, d=16, fifty
+// well-separated Gaussian blobs plus background noise (the shared
+// testutil.ServeWorkload generator — the experiments load generator
+// measures the identical workload). Many moderate clusters is the
+// serving-representative shape: assign cost is dominated by scoring the
+// winning cluster's support, which scales with cluster size, not with n.
+func benchData(n, d int) [][]float64 {
+	pts, _ := testutil.ServeWorkload(n, d, 50)
+	return pts
+}
+
+// BenchmarkAssign measures serve-path throughput on the published state:
+// parallel lock-free assigns at n=10k, d=16. scripts/bench.sh records the
+// ns/op (wall time per assign across all procs — throughput is its inverse)
+// into BENCH_PR2.json; the acceptance target is ≥50k assigns/sec.
+// benchConfig tunes the kernel and LSH segment to the benchData geometry:
+// intra-blob distances concentrate near σ·√(2d) ≈ 1.7, so K puts such pairs
+// at affinity ≈ 0.9 (mirroring AutoConfig's rule) and R makes them collide
+// with high probability across the 8 tables.
+func benchConfig() Config {
+	cfg := Config{Core: core.DefaultConfig()}
+	cfg.Core.Kernel = affinity.Kernel{K: 0.06, P: 2}
+	cfg.Core.LSH = lsh.Config{Projections: 12, Tables: 8, R: 14, Seed: 1}
+	return cfg
+}
+
+func BenchmarkAssign(b *testing.B) {
+	pts := benchData(10000, 16)
+	e, err := New(benchConfig(), pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	if len(e.Clusters()) == 0 {
+		b.Fatal("no clusters to serve")
+	}
+
+	// Queries: jittered copies of dataset points, so most hit a bucket.
+	rng := rand.New(rand.NewSource(72))
+	queries := make([][]float64, 1024)
+	for i := range queries {
+		src := pts[rng.Intn(len(pts))]
+		q := make([]float64, len(src))
+		for j := range q {
+			q[j] = src[j] + rng.NormFloat64()*0.05
+		}
+		queries[i] = q
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := e.Assign(queries[i&1023]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkAssignSequential is the single-goroutine latency counterpart.
+func BenchmarkAssignSequential(b *testing.B) {
+	pts := benchData(10000, 16)
+	e, err := New(benchConfig(), pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	if len(e.Clusters()) == 0 {
+		b.Fatal("no clusters to serve")
+	}
+	q := append([]float64(nil), pts[17]...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Assign(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

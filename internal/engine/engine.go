@@ -1,0 +1,572 @@
+// Package engine is the concurrency-safe serving layer over the streaming
+// clusterer: the first subsystem on the serving half of the roadmap.
+//
+// It follows an RCU (read-copy-update) discipline. All reads — Assign,
+// Clusters, Labels, Stats — run lock-free against an immutable published
+// state loaded from one atomic pointer, so query throughput scales with
+// cores and readers NEVER block the writer. A single writer goroutine owns
+// the stream.Clusterer: it drains the ingest queue, commits batches, and
+// publishes a fresh immutable view after every commit (stream.View's
+// copy-on-write contract keeps already-published views frozen while the
+// writer's matrix and index advance).
+//
+// The new read path is Assign: hash a query point into the published LSH
+// index, retrieve co-bucketed candidates, and score the query's π-affinity
+// g(q, x) = Σ_t w_t·a(q, s_t) against every maintained cluster that owns a
+// candidate — all without mutating any state. By Theorem 1 of the paper,
+// g(q, x) > π(x) means q is infective against x (the cluster would absorb
+// it); the serving answer is the cluster maximizing g.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"alid/internal/affinity"
+	"alid/internal/core"
+	"alid/internal/lid"
+	"alid/internal/lsh"
+	"alid/internal/matrix"
+	"alid/internal/stream"
+	"alid/internal/vec"
+)
+
+// Config controls the serving engine.
+type Config struct {
+	// Core is the ALID configuration applied to every (re-)detection.
+	Core core.Config
+	// BatchSize is the stream commit batch (default 256).
+	BatchSize int
+	// QueueSize bounds the ingest queue in requests (default 1024). Ingest
+	// blocks (honoring its context) when the queue is full.
+	QueueSize int
+}
+
+// Assignment is the answer of the Assign read path.
+type Assignment struct {
+	// Cluster is the index of the winning cluster in Clusters(), or -1 when
+	// no maintained cluster shares an LSH bucket with the query (noise).
+	Cluster int
+	// Score is g(q, x) = Σ_t w_t·a(q, s_t), the query's π-affinity against
+	// the winning cluster.
+	Score float64
+	// Density is the winning cluster's π(x).
+	Density float64
+	// Infective reports Score − Density > tol: by Theorem 1 the cluster
+	// would absorb the query if it were ingested.
+	Infective bool
+	// Candidates is the number of LSH candidates retrieved (diagnostics).
+	Candidates int
+}
+
+// Stats is a point-in-time summary of the engine.
+type Stats struct {
+	// N is the number of committed points; Dim their dimensionality.
+	N, Dim int
+	// Clusters is the number of maintained dominant clusters.
+	Clusters int
+	// Commits counts batch commits since the stream began.
+	Commits int
+	// QueuedPoints is the approximate number of ingested-but-uncommitted
+	// points (in the queue or the writer's buffer).
+	QueuedPoints int64
+	// Assigns and Ingested count Assign calls and accepted points.
+	Assigns, Ingested int64
+	// AffinityComputed counts kernel evaluations: assign-path scoring across
+	// all published states plus the stream's commit-side work (dirtiness
+	// checks and detection). Restored engines restart the commit-side count
+	// at zero.
+	AffinityComputed int64
+	// WriterErrors counts commit/ingest failures inside the writer; the
+	// most recent one is returned by the next Flush.
+	WriterErrors int64
+}
+
+// state is one immutable published generation.
+type state struct {
+	view   stream.View
+	oracle *affinity.Oracle // nil until the first commit
+	dim    int
+	pool   sync.Pool // *scratch sized for this generation
+}
+
+// scratch is per-goroutine read-path workspace, pooled per state so steady
+// Assign traffic allocates nothing.
+type scratch struct {
+	sig   []int64
+	mark  []uint32 // per-point dedup marker, len N
+	cmark []uint32 // per-cluster dedup marker
+	gen   uint32
+	cand  []int32
+	cids  []int
+	col   []float64
+}
+
+func (s *state) getScratch() *scratch {
+	return s.pool.Get().(*scratch)
+}
+
+type reqKind int
+
+const (
+	reqIngest reqKind = iota
+	reqFlush
+)
+
+type request struct {
+	kind  reqKind
+	pts   [][]float64
+	reply chan error // flush only
+}
+
+// Engine serves dominant-cluster queries over a live stream. Safe for
+// concurrent use: any number of goroutines may call the read and ingest
+// methods; one internal goroutine performs all mutation.
+type Engine struct {
+	cfg   Config
+	tol   float64
+	state atomic.Pointer[state]
+	reqs  chan request
+	stop  chan struct{}
+	done  chan struct{}
+
+	// closeMu orders senders against Close: senders hold the read lock for
+	// the closed-check plus the enqueue, so once Close holds the write lock
+	// and flips closed, no send can slip in after the writer's final drain.
+	closeMu   sync.RWMutex
+	closed    bool
+	closeOnce sync.Once
+	closeErr  error
+
+	assigns      atomic.Int64
+	ingested     atomic.Int64
+	queued       atomic.Int64
+	pastComputed atomic.Int64 // kernel evals of superseded states
+	writerErrs   atomic.Int64
+	lastErr      atomic.Pointer[error] // consumed by Flush
+
+	clusterer *stream.Clusterer // owned by the writer goroutine
+}
+
+// New builds an engine, synchronously commits the optional initial batch
+// (so Assign works the moment New returns), and starts the writer.
+// Zero-valued Kernel/LSH configs are replaced by the library defaults here
+// (the stream layer builds its index from the literal config, so leaving
+// them zero would fail at the first commit deep inside the writer).
+func New(cfg Config, initial [][]float64) (*Engine, error) {
+	if cfg.Core.Kernel == (affinity.Kernel{}) {
+		cfg.Core.Kernel = affinity.DefaultKernel()
+	}
+	if cfg.Core.LSH == (lsh.Config{}) {
+		cfg.Core.LSH = lsh.DefaultConfig()
+	}
+	if err := cfg.Core.Kernel.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	if err := cfg.Core.LSH.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	c, err := stream.New(initial, stream.Config{Core: cfg.Core, BatchSize: cfg.BatchSize})
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	if len(initial) > 0 {
+		if err := c.Commit(context.Background()); err != nil {
+			return nil, fmt.Errorf("engine: initial commit: %w", err)
+		}
+	}
+	return start(cfg, c), nil
+}
+
+// Restore builds an engine from persisted state — the crash-restart path:
+// the matrix, index and clusters come back exactly as published, with no
+// re-detection. Ownership of all arguments transfers to the engine.
+func Restore(cfg Config, mat *matrix.Matrix, index *lsh.Index, clusters []*core.Cluster, labels []int, commits int) (*Engine, error) {
+	c, err := stream.Restore(stream.Config{Core: cfg.Core, BatchSize: cfg.BatchSize}, mat, index, clusters, labels, commits)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	return start(cfg, c), nil
+}
+
+func start(cfg Config, c *stream.Clusterer) *Engine {
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 1024
+	}
+	tol := cfg.Core.Tol
+	if tol <= 0 {
+		tol = lid.DefaultTolerance
+	}
+	e := &Engine{
+		cfg:       cfg,
+		tol:       tol,
+		reqs:      make(chan request, cfg.QueueSize),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		clusterer: c,
+	}
+	e.publish()
+	go e.run()
+	return e
+}
+
+// publish freezes the clusterer's current state into a new immutable
+// generation and swaps it in. Writer-goroutine only (and construction).
+func (e *Engine) publish() {
+	v := e.clusterer.View()
+	st := &state{view: v}
+	if v.Mat != nil {
+		st.dim = v.Mat.D
+		// The kernel was already validated by the commit that produced this
+		// view, so NewOracleMatrix cannot fail here; normalize the zero
+		// kernel the same way the detector does.
+		kern := e.cfg.Core.Kernel
+		if kern == (affinity.Kernel{}) {
+			kern = affinity.DefaultKernel()
+		}
+		o, err := affinity.NewOracleMatrix(v.Mat, kern)
+		if err != nil {
+			panic(fmt.Sprintf("engine: publish: %v", err))
+		}
+		st.oracle = o
+		n := v.Mat.N
+		mu := 0
+		if v.Index != nil {
+			mu = v.Index.Config().Projections
+		}
+		nClusters := len(v.Clusters)
+		st.pool.New = func() any {
+			return &scratch{
+				sig:   make([]int64, mu),
+				mark:  make([]uint32, n),
+				cmark: make([]uint32, nClusters),
+			}
+		}
+	}
+	if old := e.state.Swap(st); old != nil && old.oracle != nil {
+		e.pastComputed.Add(old.oracle.Computed())
+	}
+}
+
+// run is the single writer: it drains the ingest queue, lets the stream
+// auto-commit full batches, commits the remainder once the queue is idle
+// (batching under load, low latency when quiet), and publishes after every
+// change.
+func (e *Engine) run() {
+	defer close(e.done)
+	ctx := context.Background()
+	for {
+		select {
+		case req := <-e.reqs:
+			e.handle(ctx, req)
+		case <-e.stop:
+			// Drain whatever is already queued, final-commit, and exit.
+			for {
+				select {
+				case req := <-e.reqs:
+					e.handle(ctx, req)
+				default:
+					e.settle(ctx)
+					return
+				}
+			}
+		}
+		// Opportunistic batching: consume everything queued before deciding
+		// whether a partial batch needs a commit.
+	drain:
+		for {
+			select {
+			case req := <-e.reqs:
+				e.handle(ctx, req)
+			default:
+				break drain
+			}
+		}
+		e.settle(ctx)
+	}
+}
+
+// handle processes one queued request (writer goroutine only).
+func (e *Engine) handle(ctx context.Context, req request) {
+	switch req.kind {
+	case reqIngest:
+		before := e.clusterer.Commits()
+		for _, p := range req.pts {
+			if err := e.clusterer.Add(ctx, p); err != nil {
+				e.recordErr(err)
+			} else {
+				e.ingested.Add(1)
+			}
+			e.queued.Add(-1)
+		}
+		if e.clusterer.Commits() != before {
+			e.publish()
+		}
+	case reqFlush:
+		e.settle(ctx)
+		var err error
+		if p := e.lastErr.Swap(nil); p != nil {
+			err = *p
+		}
+		req.reply <- err
+	}
+}
+
+// settle commits any buffered points and publishes if the stream advanced.
+func (e *Engine) settle(ctx context.Context) {
+	if e.clusterer.Pending() == 0 {
+		return
+	}
+	before := e.clusterer.Commits()
+	if err := e.clusterer.Commit(ctx); err != nil {
+		e.recordErr(err)
+	}
+	if e.clusterer.Commits() != before {
+		e.publish()
+	}
+}
+
+func (e *Engine) recordErr(err error) {
+	e.writerErrs.Add(1)
+	e.lastErr.Store(&err)
+}
+
+// Dim returns the engine's point dimensionality (0 before the first commit).
+func (e *Engine) Dim() int {
+	if st := e.state.Load(); st != nil {
+		return st.dim
+	}
+	return 0
+}
+
+// Assign classifies a query point against the maintained dominant clusters:
+// lock-free, mutation-free, safe for unlimited concurrency. A query in an
+// empty engine, or one sharing no LSH bucket with any clustered point,
+// returns Cluster = -1.
+func (e *Engine) Assign(q []float64) (Assignment, error) {
+	st := e.state.Load()
+	// A nil index can be published if an index build failed mid-commit
+	// (the matrix lands before the index); such a state is not servable —
+	// answer noise rather than crash, and let the next commit repair it.
+	if st == nil || st.view.Mat == nil || st.view.Index == nil {
+		return Assignment{Cluster: -1}, nil
+	}
+	if len(q) != st.dim {
+		return Assignment{}, fmt.Errorf("engine: point has dimension %d, want %d", len(q), st.dim)
+	}
+	for i, v := range q {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			// A NaN coordinate would make every score NaN and no cluster
+			// comparable — reject at the edge instead.
+			return Assignment{}, fmt.Errorf("engine: non-finite coordinate %d", i)
+		}
+	}
+	e.assigns.Add(1)
+	sc := st.getScratch()
+	defer st.pool.Put(sc)
+	sc.gen++
+	if sc.gen == 0 { // uint32 wrap: reset markers
+		clear(sc.mark)
+		clear(sc.cmark)
+		sc.gen = 1
+	}
+
+	sc.cand = st.view.Index.QueryInto(q, sc.sig, sc.cand[:0], sc.mark, sc.gen)
+	// Candidate clusters, first-seen order (deterministic: QueryInto's
+	// candidate order is table-by-table, bucket members ascending).
+	sc.cids = sc.cids[:0]
+	for _, id := range sc.cand {
+		ci := st.view.Labels[id]
+		if ci < 0 || sc.cmark[ci] == sc.gen {
+			continue
+		}
+		sc.cmark[ci] = sc.gen
+		sc.cids = append(sc.cids, ci)
+	}
+	if len(sc.cids) == 0 {
+		return Assignment{Cluster: -1, Candidates: len(sc.cand)}, nil
+	}
+
+	qNormSq := vec.Dot(q, q)
+	best, bestScore := -1, math.Inf(-1)
+	for _, ci := range sc.cids {
+		cl := st.view.Clusters[ci]
+		if cap(sc.col) < len(cl.Members) {
+			sc.col = make([]float64, len(cl.Members))
+		}
+		col := sc.col[:len(cl.Members)]
+		st.oracle.ColumnPoint(q, qNormSq, cl.Members, col)
+		var score float64
+		for t, w := range cl.Weights {
+			score += w * col[t]
+		}
+		if score > bestScore {
+			best, bestScore = ci, score
+		}
+	}
+	if best < 0 { // defensive: unreachable with finite inputs
+		return Assignment{Cluster: -1, Candidates: len(sc.cand)}, nil
+	}
+	cl := st.view.Clusters[best]
+	return Assignment{
+		Cluster:    best,
+		Score:      bestScore,
+		Density:    cl.Density,
+		Infective:  bestScore-cl.Density > e.tol,
+		Candidates: len(sc.cand),
+	}, nil
+}
+
+// Ingest enqueues points for the writer. It blocks only when the queue is
+// full (honoring ctx). Points are validated against the engine's known
+// dimensionality at this edge; the async commit re-validates authoritatively.
+func (e *Engine) Ingest(ctx context.Context, pts [][]float64) error {
+	if len(pts) == 0 {
+		return nil
+	}
+	dim := e.Dim()
+	if dim == 0 {
+		dim = len(pts[0])
+	}
+	for i, p := range pts {
+		if len(p) == 0 {
+			return fmt.Errorf("engine: point %d is empty", i)
+		}
+		if len(p) != dim {
+			return fmt.Errorf("engine: point %d has dimension %d, want %d", i, len(p), dim)
+		}
+		for _, v := range p {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("engine: point %d has a non-finite coordinate", i)
+			}
+		}
+	}
+	// Copy the rows: the caller may recycle its buffers (HTTP handlers do).
+	cp := make([][]float64, len(pts))
+	for i, p := range pts {
+		cp[i] = append(make([]float64, 0, len(p)), p...)
+	}
+	e.closeMu.RLock()
+	defer e.closeMu.RUnlock()
+	if e.closed {
+		return fmt.Errorf("engine: closed")
+	}
+	e.queued.Add(int64(len(cp)))
+	// The writer cannot exit while we hold the read lock (Close flips the
+	// flag under the write lock before stopping it), so an accepted send is
+	// guaranteed to be drained.
+	select {
+	case e.reqs <- request{kind: reqIngest, pts: cp}:
+		return nil
+	case <-ctx.Done():
+		e.queued.Add(int64(-len(cp)))
+		return ctx.Err()
+	}
+}
+
+// Flush waits until everything enqueued before the call is committed and
+// published, and returns the most recent writer error (nil if none).
+func (e *Engine) Flush(ctx context.Context) error {
+	reply := make(chan error, 1)
+	e.closeMu.RLock()
+	if e.closed {
+		e.closeMu.RUnlock()
+		return fmt.Errorf("engine: closed")
+	}
+	var sendErr error
+	select {
+	case e.reqs <- request{kind: reqFlush, reply: reply}:
+	case <-ctx.Done():
+		sendErr = ctx.Err()
+	}
+	e.closeMu.RUnlock()
+	if sendErr != nil {
+		return sendErr
+	}
+	select {
+	case err := <-reply:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close stops the writer after draining the queue and committing buffered
+// points. Further Ingest/Flush calls fail; reads keep serving the final
+// published state.
+func (e *Engine) Close() error {
+	e.closeOnce.Do(func() {
+		// Take the write lock so no sender is mid-enqueue, flip the flag so
+		// later senders fail fast, and only then stop the writer: everything
+		// accepted before this point is in the queue and will be drained.
+		e.closeMu.Lock()
+		e.closed = true
+		e.closeMu.Unlock()
+		close(e.stop)
+		<-e.done
+		if p := e.lastErr.Swap(nil); p != nil {
+			e.closeErr = *p
+		}
+	})
+	return e.closeErr
+}
+
+// Clusters returns the published dominant clusters. The slice is fresh; the
+// cluster values are the immutable published ones and must not be mutated.
+func (e *Engine) Clusters() []*core.Cluster {
+	st := e.state.Load()
+	if st == nil {
+		return nil
+	}
+	return append([]*core.Cluster(nil), st.view.Clusters...)
+}
+
+// Labels returns a copy of the published per-point assignment.
+func (e *Engine) Labels() []int {
+	st := e.state.Load()
+	if st == nil {
+		return nil
+	}
+	return append([]int(nil), st.view.Labels...)
+}
+
+// View returns the current published immutable view (snapshot persistence
+// reads from this — never from the writer's live state).
+func (e *Engine) View() stream.View {
+	st := e.state.Load()
+	if st == nil {
+		return stream.View{}
+	}
+	return st.view
+}
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Stats returns a point-in-time summary. Counters are individually atomic;
+// the set is not a consistent snapshot.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		QueuedPoints: e.queued.Load(),
+		Assigns:      e.assigns.Load(),
+		Ingested:     e.ingested.Load(),
+		WriterErrors: e.writerErrs.Load(),
+	}
+	s.AffinityComputed = e.pastComputed.Load()
+	if st := e.state.Load(); st != nil {
+		s.Dim = st.dim
+		s.Clusters = len(st.view.Clusters)
+		s.Commits = st.view.Commits
+		s.AffinityComputed += st.view.KernelEvals
+		if st.view.Mat != nil {
+			s.N = st.view.Mat.N
+		}
+		if st.oracle != nil {
+			s.AffinityComputed += st.oracle.Computed()
+		}
+	}
+	return s
+}

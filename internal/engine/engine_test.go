@@ -1,0 +1,297 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"alid/internal/affinity"
+	"alid/internal/core"
+	"alid/internal/lsh"
+	"alid/internal/testutil"
+	"alid/internal/vec"
+)
+
+func engineConfig() Config {
+	c := core.DefaultConfig()
+	c.Kernel = affinity.Kernel{K: 0.3, P: 2}
+	c.LSH = lsh.Config{Projections: 6, Tables: 10, R: 4, Seed: 1}
+	c.Delta = 200
+	return Config{Core: c, BatchSize: 50}
+}
+
+func blobEngine(t testing.TB) (*Engine, [][]float64) {
+	t.Helper()
+	pts, _ := testutil.Blobs(3, [][]float64{{0, 0}, {15, 15}}, 30, 0.3, 20, 0, 15)
+	e, err := New(engineConfig(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, pts
+}
+
+func TestEngineServesInitialDetection(t *testing.T) {
+	e, pts := blobEngine(t)
+	defer e.Close()
+	cls := e.Clusters()
+	if len(cls) < 2 {
+		t.Fatalf("clusters = %d, want ≥ 2", len(cls))
+	}
+	if st := e.Stats(); st.N != len(pts) || st.Dim != 2 || st.Commits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// A query at a blob center must land in the cluster covering that blob,
+	// infectively; the two centers must land in different clusters.
+	a0, err := e.Assign([]float64{0.05, -0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := e.Assign([]float64{15.03, 14.96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range []Assignment{a0, a1} {
+		if a.Cluster < 0 {
+			t.Fatalf("center query %d unassigned: %+v", i, a)
+		}
+		if !a.Infective {
+			t.Fatalf("center query %d not infective: %+v", i, a)
+		}
+		if a.Score <= 0 || a.Score > 1 {
+			t.Fatalf("center query %d score out of range: %+v", i, a)
+		}
+	}
+	if a0.Cluster == a1.Cluster {
+		t.Fatalf("both centers assigned to cluster %d", a0.Cluster)
+	}
+
+	// A far-away query shares no bucket (or at least must not be infective).
+	far, err := e.Assign([]float64{500, -500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far.Cluster != -1 && far.Infective {
+		t.Fatalf("far query infective: %+v", far)
+	}
+}
+
+// Assign's score must equal the definitional π-affinity Σ w_t·a(q, s_t)
+// against the winning cluster, bit-for-bit with the oracle's column kernel.
+func TestAssignScoreMatchesDefinition(t *testing.T) {
+	e, _ := blobEngine(t)
+	defer e.Close()
+	v := e.View()
+	o, err := affinity.NewOracleMatrix(v.Mat, e.Config().Core.Kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0.21, -0.34}
+	a, err := e.Assign(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cluster < 0 {
+		t.Fatal("query unassigned")
+	}
+	cl := v.Clusters[a.Cluster]
+	col := make([]float64, len(cl.Members))
+	o.ColumnPoint(q, vec.Dot(q, q), cl.Members, col)
+	var want float64
+	for t, w := range cl.Weights {
+		want += w * col[t]
+	}
+	if a.Score != want {
+		t.Fatalf("score %v, want %v", a.Score, want)
+	}
+	if a.Density != cl.Density {
+		t.Fatalf("density %v, want %v", a.Density, cl.Density)
+	}
+	// And no better-scoring cluster exists.
+	for ci, other := range v.Clusters {
+		if ci == a.Cluster {
+			continue
+		}
+		col := make([]float64, len(other.Members))
+		o.ColumnPoint(q, vec.Dot(q, q), other.Members, col)
+		var s float64
+		for t, w := range other.Weights {
+			s += w * col[t]
+		}
+		if s > a.Score {
+			t.Fatalf("cluster %d scores %v > winner %v", ci, s, a.Score)
+		}
+	}
+}
+
+// A zero-valued config must be serviceable: Kernel and LSH default at
+// construction (the stream layer builds its index from the literal config,
+// so leaving them zero used to fail the first commit and publish a state
+// with a matrix but no index — which Assign then dereferenced).
+func TestZeroConfigEngine(t *testing.T) {
+	e, err := New(Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ctx := context.Background()
+	pts, _ := testutil.Blobs(91, [][]float64{{0, 0}}, 30, 0.05, 0, 0, 1)
+	if err := e.Ingest(ctx, pts); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.N != len(pts) || st.WriterErrors != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if _, err := e.Assign([]float64{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssignEmptyEngine(t *testing.T) {
+	e, err := New(engineConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	a, err := e.Assign([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cluster != -1 {
+		t.Fatalf("empty engine assigned: %+v", a)
+	}
+}
+
+func TestAssignDimValidation(t *testing.T) {
+	e, _ := blobEngine(t)
+	defer e.Close()
+	if _, err := e.Assign([]float64{1, 2, 3}); err == nil {
+		t.Fatal("wrong-width query accepted")
+	}
+	if _, err := e.Assign([]float64{math.NaN(), 0}); err == nil {
+		t.Fatal("NaN query accepted")
+	}
+	if _, err := e.Assign([]float64{0, math.Inf(1)}); err == nil {
+		t.Fatal("Inf query accepted")
+	}
+	if err := e.Ingest(context.Background(), [][]float64{{math.NaN(), 0}}); err == nil {
+		t.Fatal("NaN ingest accepted")
+	}
+}
+
+func TestIngestFlushAbsorbs(t *testing.T) {
+	e, err := New(engineConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ctx := context.Background()
+	pts, _ := testutil.Blobs(7, [][]float64{{0, 0}}, 40, 0.3, 0, 0, 1)
+	if err := e.Ingest(ctx, pts); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.N != len(pts) || st.Ingested != int64(len(pts)) || st.QueuedPoints != 0 {
+		t.Fatalf("stats after flush: %+v", st)
+	}
+	if len(e.Clusters()) == 0 {
+		t.Fatal("no cluster after ingest")
+	}
+	a, err := e.Assign([]float64{0.1, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cluster != 0 || !a.Infective {
+		t.Fatalf("assign after ingest: %+v", a)
+	}
+
+	// Ingest-side dimension validation is at the API edge.
+	if err := e.Ingest(ctx, [][]float64{{1, 2, 3}}); err == nil {
+		t.Fatal("wrong-width ingest accepted")
+	}
+	if err := e.Ingest(ctx, [][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged ingest accepted")
+	}
+}
+
+func TestLabelsMatchClusters(t *testing.T) {
+	e, _ := blobEngine(t)
+	defer e.Close()
+	labels := e.Labels()
+	for ci, cl := range e.Clusters() {
+		for _, m := range cl.Members {
+			if labels[m] != ci {
+				t.Fatalf("label[%d] = %d, want %d", m, labels[m], ci)
+			}
+		}
+	}
+}
+
+func TestCloseSemantics(t *testing.T) {
+	e, _ := blobEngine(t)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal("second close errored")
+	}
+	if err := e.Ingest(context.Background(), [][]float64{{1, 2}}); err == nil {
+		t.Fatal("ingest after close accepted")
+	}
+	if err := e.Flush(context.Background()); err == nil {
+		t.Fatal("flush after close accepted")
+	}
+	// Reads keep working on the final state.
+	if a, err := e.Assign([]float64{0, 0}); err != nil || a.Cluster < 0 {
+		t.Fatalf("assign after close: %+v, %v", a, err)
+	}
+}
+
+// Close must commit points still buffered below the batch size.
+func TestCloseFlushesBufferedPoints(t *testing.T) {
+	cfg := engineConfig()
+	cfg.BatchSize = 1000
+	e, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, _ := testutil.Blobs(9, [][]float64{{0, 0}}, 30, 0.3, 0, 0, 1)
+	if err := e.Ingest(context.Background(), pts); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.N != len(pts) {
+		t.Fatalf("N after close = %d, want %d", st.N, len(pts))
+	}
+}
+
+// Scores are plain affinity sums: a query close to a cluster must outscore
+// a farther query against the same cluster.
+func TestAssignScoreMonotonicity(t *testing.T) {
+	e, _ := blobEngine(t)
+	defer e.Close()
+	near, err := e.Assign([]float64{0.0, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := e.Assign([]float64{0.0, 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if near.Cluster < 0 {
+		t.Fatal("near query unassigned")
+	}
+	if mid.Cluster >= 0 && mid.Cluster == near.Cluster && !(mid.Score < near.Score) {
+		t.Fatalf("score not monotone: near=%v mid=%v", near.Score, mid.Score)
+	}
+	if math.IsNaN(near.Score) || math.IsInf(near.Score, 0) {
+		t.Fatalf("non-finite score %v", near.Score)
+	}
+}

@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"alid/internal/snapshot"
+)
+
+// WriteSnapshot persists the current published state. It reads only the
+// immutable view, so it is safe to call concurrently with assigns and
+// ingest; points still queued or buffered are NOT included (flush first for
+// a point-in-time-complete snapshot).
+func (e *Engine) WriteSnapshot(w io.Writer) error {
+	v := e.View()
+	if v.Mat == nil {
+		return fmt.Errorf("engine: nothing committed to snapshot")
+	}
+	return snapshot.Write(w, &snapshot.Snapshot{
+		Core:      e.cfg.Core,
+		BatchSize: e.cfg.BatchSize,
+		Mat:       v.Mat,
+		Index:     v.Index,
+		Clusters:  v.Clusters,
+		Labels:    v.Labels,
+		Commits:   v.Commits,
+	})
+}
+
+// SaveFile writes the snapshot atomically: to a temp file in the target
+// directory, then rename, so a crash mid-write never corrupts the previous
+// snapshot.
+func (e *Engine) SaveFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := e.WriteSnapshot(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("engine: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshot restores an engine from a snapshot stream: configuration,
+// matrix, index, clusters and labels all come from the snapshot; queueSize
+// (0 = default) is the only runtime knob not persisted.
+func LoadSnapshot(r io.Reader, queueSize int) (*Engine, error) {
+	s, err := snapshot.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	cfg := Config{Core: s.Core, BatchSize: s.BatchSize, QueueSize: queueSize}
+	return Restore(cfg, s.Mat, s.Index, s.Clusters, s.Labels, s.Commits)
+}
+
+// LoadFile restores an engine from a snapshot file.
+func LoadFile(path string, queueSize int) (*Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	defer f.Close()
+	return LoadSnapshot(f, queueSize)
+}

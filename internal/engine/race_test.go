@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"alid/internal/testutil"
+)
+
+// The engine's concurrency contract under the race detector: many goroutines
+// assigning, listing and polling stats while others ingest and flush, across
+// multiple commits and published generations. CI runs this with -race.
+func TestConcurrentAssignIngest(t *testing.T) {
+	pts, _ := testutil.Blobs(51, [][]float64{{0, 0}, {15, 15}}, 30, 0.3, 10, 0, 15)
+	cfg := engineConfig()
+	cfg.BatchSize = 20
+	e, err := New(cfg, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	const readers = 8
+	const writers = 3
+	const batchesPerWriter = 6
+	const pointsPerBatch = 10
+	stopReads := make(chan struct{})
+
+	var readersWG sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		readersWG.Add(1)
+		go func(seed int64) {
+			defer readersWG.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stopReads:
+					return
+				default:
+				}
+				q := []float64{rng.NormFloat64() * 8, rng.NormFloat64() * 8}
+				if _, err := e.Assign(q); err != nil {
+					t.Errorf("assign: %v", err)
+					return
+				}
+				switch rng.Intn(8) {
+				case 0:
+					e.Clusters()
+				case 1:
+					e.Labels()
+				case 2:
+					e.Stats()
+				}
+			}
+		}(int64(100 + r))
+	}
+
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(seed int64) {
+			defer writersWG.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for batch := 0; batch < batchesPerWriter; batch++ {
+				batchPts := make([][]float64, pointsPerBatch)
+				for i := range batchPts {
+					// Half grow the first blob, half arrive as a new blob.
+					c := 0.0
+					if rng.Intn(2) == 1 {
+						c = 30
+					}
+					batchPts[i] = []float64{c + rng.NormFloat64()*0.3, c + rng.NormFloat64()*0.3}
+				}
+				if err := e.Ingest(ctx, batchPts); err != nil {
+					t.Errorf("ingest: %v", err)
+					return
+				}
+				if batch%2 == 1 {
+					if err := e.Flush(ctx); err != nil {
+						t.Errorf("flush: %v", err)
+						return
+					}
+				}
+			}
+		}(int64(200 + w))
+	}
+
+	writersWG.Wait()
+	close(stopReads)
+	readersWG.Wait()
+
+	if err := e.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	want := len(pts) + writers*batchesPerWriter*pointsPerBatch
+	if st.N != want {
+		t.Fatalf("N = %d, want %d", st.N, want)
+	}
+	if st.WriterErrors != 0 {
+		t.Fatalf("writer errors: %d", st.WriterErrors)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Final consistency between the published labels and clusters.
+	labels := e.Labels()
+	for ci, cl := range e.Clusters() {
+		for _, m := range cl.Members {
+			if labels[m] != ci {
+				t.Fatalf("label[%d] = %d, want %d", m, labels[m], ci)
+			}
+		}
+	}
+}

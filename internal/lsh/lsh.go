@@ -240,6 +240,9 @@ func fold(sig []int64) uint64 {
 // N returns the number of indexed points.
 func (i *Index) N() int { return i.n }
 
+// Dim returns the dimensionality the index hashes.
+func (i *Index) Dim() int { return i.dim }
+
 // Append hashes additional points into the existing tables, assigning them
 // the next ids (N(), N()+1, ...). It returns the id of the first appended
 // point. Unlike the read path, Append is NOT safe for concurrent use; the
@@ -288,6 +291,123 @@ func (i *Index) Query(v []float64) []int32 {
 		}
 	}
 	return out
+}
+
+// QueryInto is the allocation-free read path behind Query: it appends the
+// ids of all points sharing a bucket with v in any table to dst, using the
+// caller's scratch — sig (length Projections) for the hash signature and
+// mark/gen (length N, marker-value deduplication as in CandidatesByIDInto).
+// It never mutates the index, so any number of goroutines may query one
+// index concurrently as long as each brings its own scratch; this is the
+// serving engine's per-request candidate-retrieval hook. Candidate order is
+// deterministic: tables in order, bucket members in ascending id order.
+func (i *Index) QueryInto(v []float64, sig []int64, dst []int32, mark []uint32, gen uint32) []int32 {
+	if len(v) != i.dim {
+		panic(fmt.Sprintf("lsh: query dimension %d, want %d", len(v), i.dim))
+	}
+	if len(sig) != i.cfg.Projections {
+		panic(fmt.Sprintf("lsh: signature scratch length %d, want %d", len(sig), i.cfg.Projections))
+	}
+	for t := range i.tables {
+		tb := &i.tables[t]
+		tb.signature(v, i.cfg.R, sig)
+		for _, id := range tb.buckets[fold(sig)] {
+			if mark[id] == gen {
+				continue
+			}
+			mark[id] = gen
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}
+
+// Clone returns a copy that can be appended to without disturbing the
+// receiver: keys and bucket slices are deep-copied per table, while the hash
+// parameters (projections, offsets) are shared — they are immutable after
+// construction. The streaming layer clones a published index before the next
+// batch mutates it, so frozen views stay safe for concurrent readers.
+func (i *Index) Clone() *Index {
+	c := &Index{cfg: i.cfg, dim: i.dim, n: i.n, tables: make([]table, len(i.tables))}
+	for t := range i.tables {
+		src := &i.tables[t]
+		dst := &c.tables[t]
+		dst.proj = src.proj
+		dst.off = src.off
+		dst.keys = append(make([]uint64, 0, len(src.keys)), src.keys...)
+		dst.buckets = make(map[uint64][]int32, len(src.buckets))
+		for k, members := range src.buckets {
+			dst.buckets[k] = append(make([]int32, 0, len(members)), members...)
+		}
+	}
+	return c
+}
+
+// TableDump is the serializable state of one hash table. Buckets are not
+// dumped: they are a deterministic function of Keys (bucket fill inserts
+// points in ascending id order), so restore rebuilds them bit-identically.
+type TableDump struct {
+	// Proj is the row-major Projections×dim projection matrix a_t.
+	Proj []float64
+	// Off holds the Projections offsets b_t.
+	Off []float64
+	// Keys is the inverted list: Keys[i] is point i's bucket key.
+	Keys []uint64
+}
+
+// Dump exports the index state for snapshot persistence. The returned slices
+// alias index storage and must be treated as read-only.
+func (i *Index) Dump() (Config, int, []TableDump) {
+	out := make([]TableDump, len(i.tables))
+	for t := range i.tables {
+		tb := &i.tables[t]
+		out[t] = TableDump{Proj: tb.proj, Off: tb.off, Keys: tb.keys}
+	}
+	return i.cfg, i.dim, out
+}
+
+// FromDump reconstructs an index from dumped state, rebuilding every bucket
+// map from the inverted lists in ascending point-id order — the same order
+// BuildMatrix and Append use — so the restored index answers every query
+// identically to the dumped one. The dump's slices are taken over.
+func FromDump(cfg Config, dim int, tables []TableDump) (*Index, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if dim <= 0 {
+		return nil, fmt.Errorf("lsh: dump dimension %d", dim)
+	}
+	if len(tables) != cfg.Tables {
+		return nil, fmt.Errorf("lsh: dump has %d tables, config says %d", len(tables), cfg.Tables)
+	}
+	n := -1
+	idx := &Index{cfg: cfg, dim: dim, tables: make([]table, len(tables))}
+	for t, td := range tables {
+		if len(td.Proj) != cfg.Projections*dim {
+			return nil, fmt.Errorf("lsh: table %d has %d projection values, want %d", t, len(td.Proj), cfg.Projections*dim)
+		}
+		if len(td.Off) != cfg.Projections {
+			return nil, fmt.Errorf("lsh: table %d has %d offsets, want %d", t, len(td.Off), cfg.Projections)
+		}
+		if n == -1 {
+			n = len(td.Keys)
+		} else if len(td.Keys) != n {
+			return nil, fmt.Errorf("lsh: table %d has %d keys, table 0 has %d", t, len(td.Keys), n)
+		}
+		tb := &idx.tables[t]
+		tb.proj = td.Proj
+		tb.off = td.Off
+		tb.keys = td.Keys
+		tb.buckets = make(map[uint64][]int32, min(n, 1<<16))
+		for i, key := range td.Keys {
+			tb.buckets[key] = append(tb.buckets[key], int32(i))
+		}
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("lsh: dump has no points")
+	}
+	idx.n = n
+	return idx, nil
 }
 
 // CandidatesByID returns the ids co-bucketed with point id in any table,

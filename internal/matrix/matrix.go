@@ -87,6 +87,39 @@ func FromFlat(data []float64, n, d int) (*Matrix, error) {
 	return m, nil
 }
 
+// FromFlatWithNorms wraps a row-major slice together with its precomputed
+// norm cache, taking ownership of both. It is the snapshot-restore
+// counterpart of FromFlat: reusing the stored norms (rather than recomputing
+// them) makes the round trip bit-identical by construction, independent of
+// any future change to the norm kernel.
+func FromFlatWithNorms(data []float64, n, d int, norms []float64) (*Matrix, error) {
+	if n <= 0 || d <= 0 {
+		return nil, fmt.Errorf("matrix: invalid shape %d×%d", n, d)
+	}
+	if len(data) != n*d {
+		return nil, fmt.Errorf("matrix: flat data has %d values, want %d×%d = %d", len(data), n, d, n*d)
+	}
+	if len(norms) != n {
+		return nil, fmt.Errorf("matrix: norm cache has %d values, want %d", len(norms), n)
+	}
+	return &Matrix{Data: data, N: n, D: d, norms: norms}, nil
+}
+
+// Clone returns a deep copy with exactly-sized backing slices, so appends to
+// either copy never touch the other's storage. The streaming layer clones
+// before mutating a matrix that has been published in an immutable view.
+func (m *Matrix) Clone() *Matrix {
+	c := &Matrix{
+		Data:  make([]float64, m.N*m.D),
+		N:     m.N,
+		D:     m.D,
+		norms: make([]float64, m.N),
+	}
+	copy(c.Data, m.Data)
+	copy(c.norms, m.norms)
+	return c
+}
+
 // Row returns row i as a slice aliasing the matrix storage. Callers must not
 // mutate it (the norm cache would go stale).
 func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.D : (i+1)*m.D : (i+1)*m.D] }

@@ -1,0 +1,93 @@
+package server
+
+import "alid/internal/core"
+
+// ClusterJSON is the machine-readable form of one dominant cluster. It is
+// the single wire struct shared by the daemon's /v1/clusters endpoint and
+// cmd/alid's -json output, so offline and served answers are directly
+// diffable.
+type ClusterJSON struct {
+	// ID is the cluster's index in the engine's published cluster list (the
+	// value Assign returns in Cluster).
+	ID int `json:"id"`
+	// Size is the number of member points.
+	Size int `json:"size"`
+	// Density is the converged graph density π(x).
+	Density float64 `json:"density"`
+	// Members are the member point indices, ascending. Omitted when the
+	// caller asked for summaries only.
+	Members []int `json:"members,omitempty"`
+	// Weights are the simplex weights parallel to Members.
+	Weights []float64 `json:"weights,omitempty"`
+}
+
+// ClustersFromCore converts detected clusters to wire form.
+func ClustersFromCore(cls []*core.Cluster, withMembers bool) []ClusterJSON {
+	out := make([]ClusterJSON, len(cls))
+	for i, c := range cls {
+		out[i] = ClusterJSON{ID: i, Size: c.Size(), Density: c.Density}
+		if withMembers {
+			out[i].Members = c.Members
+			out[i].Weights = c.Weights
+		}
+	}
+	return out
+}
+
+// ClustersResponse is the body of GET /v1/clusters.
+type ClustersResponse struct {
+	N        int           `json:"n"`
+	Commits  int           `json:"commits"`
+	Clusters []ClusterJSON `json:"clusters"`
+}
+
+// AssignRequest is the body of POST /v1/assign.
+type AssignRequest struct {
+	Point []float64 `json:"point"`
+}
+
+// AssignResponse is the body of a successful assign.
+type AssignResponse struct {
+	// Cluster is the winning cluster id, -1 for noise.
+	Cluster int `json:"cluster"`
+	// Score is the query's π-affinity against the winning cluster.
+	Score float64 `json:"score"`
+	// Density is the winning cluster's π(x).
+	Density float64 `json:"density"`
+	// Infective reports whether the cluster would absorb the query.
+	Infective bool `json:"infective"`
+	// Candidates is the number of LSH candidates inspected.
+	Candidates int `json:"candidates"`
+}
+
+// IngestRequest is the body of POST /v1/ingest.
+type IngestRequest struct {
+	Points [][]float64 `json:"points"`
+	// Wait requests a synchronous commit: the response is sent only after
+	// the points are detected and published (and reports any commit error).
+	Wait bool `json:"wait,omitempty"`
+}
+
+// IngestResponse is the body of a successful ingest.
+type IngestResponse struct {
+	Accepted int `json:"accepted"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	N                int   `json:"n"`
+	Dim              int   `json:"dim"`
+	Clusters         int   `json:"clusters"`
+	Commits          int   `json:"commits"`
+	QueuedPoints     int64 `json:"queued_points"`
+	Assigns          int64 `json:"assigns"`
+	Ingested         int64 `json:"ingested"`
+	AffinityComputed int64 `json:"affinity_computed"`
+	WriterErrors     int64 `json:"writer_errors"`
+	UptimeSeconds    int64 `json:"uptime_seconds"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

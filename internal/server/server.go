@@ -1,0 +1,218 @@
+// Package server exposes a serving engine over HTTP/JSON — the alidd
+// daemon's API surface:
+//
+//	POST /v1/assign   {"point":[...]}            → cluster/score/infective
+//	POST /v1/ingest   {"points":[[...]],"wait":b}→ accepted count
+//	GET  /v1/clusters[?members=false]            → maintained clusters
+//	GET  /v1/stats                               → engine counters
+//	GET  /healthz                                → 200 once serving
+//
+// Handlers only touch the engine's lock-free read paths and its ingest
+// queue, so the HTTP layer inherits the engine's concurrency contract:
+// request handling never blocks the writer, and assign throughput scales
+// with cores.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"alid/internal/engine"
+)
+
+// Options tunes the HTTP layer.
+type Options struct {
+	// MaxBodyBytes caps request bodies (default 32 MiB).
+	MaxBodyBytes int64
+	// ShutdownGrace bounds graceful shutdown (default 5s).
+	ShutdownGrace time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 32 << 20
+	}
+	if o.ShutdownGrace <= 0 {
+		o.ShutdownGrace = 5 * time.Second
+	}
+	return o
+}
+
+// Server wraps an engine with the HTTP/JSON API.
+type Server struct {
+	eng   *engine.Engine
+	opts  Options
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// New builds the server; the caller keeps ownership of the engine (and its
+// Close).
+func New(eng *engine.Engine, opts Options) *Server {
+	s := &Server{eng: eng, opts: opts.withDefaults(), mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("/v1/assign", s.handleAssign)
+	s.mux.HandleFunc("/v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("/v1/clusters", s.handleClusters)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	return s
+}
+
+// Handler returns the routing handler (exported for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve runs an HTTP server on addr until ctx is cancelled, then shuts down
+// gracefully within the configured grace period.
+func (s *Server) Serve(ctx context.Context, addr string) error {
+	hs := &http.Server{Addr: addr, Handler: s.mux}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), s.opts.ShutdownGrace)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil {
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody strictly decodes one JSON object into dst.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req AssignRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Point) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty point")
+		return
+	}
+	a, err := s.eng.Assign(req.Point)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, AssignResponse{
+		Cluster:    a.Cluster,
+		Score:      a.Score,
+		Density:    a.Density,
+		Infective:  a.Infective,
+		Candidates: a.Candidates,
+	})
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req IngestRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Points) == 0 {
+		writeErr(w, http.StatusBadRequest, "no points")
+		return
+	}
+	if err := s.eng.Ingest(r.Context(), req.Points); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Wait {
+		if err := s.eng.Flush(r.Context()); err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, "commit: %v", err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusAccepted, IngestResponse{Accepted: len(req.Points)})
+}
+
+func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	withMembers := true
+	if v := r.URL.Query().Get("members"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad members=%q", v)
+			return
+		}
+		withMembers = b
+	}
+	// One published-view read, so n, commits and the cluster list all come
+	// from the same generation even while commits land concurrently.
+	v := s.eng.View()
+	n := 0
+	if v.Mat != nil {
+		n = v.Mat.N
+	}
+	writeJSON(w, http.StatusOK, ClustersResponse{
+		N:        n,
+		Commits:  v.Commits,
+		Clusters: ClustersFromCore(v.Clusters, withMembers),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	st := s.eng.Stats()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		N:                st.N,
+		Dim:              st.Dim,
+		Clusters:         st.Clusters,
+		Commits:          st.Commits,
+		QueuedPoints:     st.QueuedPoints,
+		Assigns:          st.Assigns,
+		Ingested:         st.Ingested,
+		AffinityComputed: st.AffinityComputed,
+		WriterErrors:     st.WriterErrors,
+		UptimeSeconds:    int64(time.Since(s.start).Seconds()),
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}

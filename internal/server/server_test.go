@@ -1,0 +1,212 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"alid/internal/affinity"
+	"alid/internal/core"
+	"alid/internal/engine"
+	"alid/internal/lsh"
+	"alid/internal/testutil"
+)
+
+func testServer(t *testing.T) (*Server, *engine.Engine) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Kernel = affinity.Kernel{K: 0.3, P: 2}
+	cfg.LSH = lsh.Config{Projections: 6, Tables: 10, R: 4, Seed: 1}
+	cfg.Delta = 200
+	pts, _ := testutil.Blobs(3, [][]float64{{0, 0}, {15, 15}}, 30, 0.3, 10, 0, 15)
+	eng, err := engine.New(engine.Config{Core: cfg, BatchSize: 50}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return New(eng, Options{}), eng
+}
+
+func doJSON(t *testing.T, h http.Handler, method, path string, body, out any) *http.Response {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	res := rec.Result()
+	if out != nil && res.StatusCode < 300 {
+		if err := json.NewDecoder(res.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decode: %v", method, path, err)
+		}
+	}
+	return res
+}
+
+func TestHealthz(t *testing.T) {
+	s, _ := testServer(t)
+	res := doJSON(t, s.Handler(), http.MethodGet, "/healthz", nil, nil)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+}
+
+func TestAssignEndpoint(t *testing.T) {
+	s, eng := testServer(t)
+	var out AssignResponse
+	res := doJSON(t, s.Handler(), http.MethodPost, "/v1/assign", AssignRequest{Point: []float64{0.1, 0}}, &out)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+	if out.Cluster < 0 || !out.Infective {
+		t.Fatalf("center not served: %+v", out)
+	}
+	// The HTTP answer must equal the in-process answer exactly.
+	want, err := eng.Assign([]float64{0.1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Cluster != want.Cluster || out.Score != want.Score || out.Density != want.Density {
+		t.Fatalf("http %+v vs engine %+v", out, want)
+	}
+
+	// Errors: wrong width, empty point, bad JSON, wrong method.
+	if res := doJSON(t, s.Handler(), http.MethodPost, "/v1/assign", AssignRequest{Point: []float64{1, 2, 3}}, nil); res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("wrong width: status %d", res.StatusCode)
+	}
+	if res := doJSON(t, s.Handler(), http.MethodPost, "/v1/assign", AssignRequest{}, nil); res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty point: status %d", res.StatusCode)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/assign", bytes.NewReader([]byte("{nope")))
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad json: status %d", rec.Code)
+	}
+	if res := doJSON(t, s.Handler(), http.MethodGet, "/v1/assign", nil, nil); res.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET assign: status %d", res.StatusCode)
+	}
+}
+
+func TestIngestEndpointWaited(t *testing.T) {
+	s, eng := testServer(t)
+	before := eng.Stats().N
+	pts, _ := testutil.Blobs(19, [][]float64{{-20, -20}}, 30, 0.3, 0, 0, 1)
+	var out IngestResponse
+	res := doJSON(t, s.Handler(), http.MethodPost, "/v1/ingest", IngestRequest{Points: pts, Wait: true}, &out)
+	if res.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+	if out.Accepted != len(pts) {
+		t.Fatalf("accepted %d, want %d", out.Accepted, len(pts))
+	}
+	if got := eng.Stats().N; got != before+len(pts) {
+		t.Fatalf("N = %d, want %d", got, before+len(pts))
+	}
+	// The new blob is servable immediately after the waited ingest.
+	var a AssignResponse
+	doJSON(t, s.Handler(), http.MethodPost, "/v1/assign", AssignRequest{Point: []float64{-20, -20.1}}, &a)
+	if a.Cluster < 0 || !a.Infective {
+		t.Fatalf("ingested blob not served: %+v", a)
+	}
+
+	if res := doJSON(t, s.Handler(), http.MethodPost, "/v1/ingest", IngestRequest{}, nil); res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty ingest: status %d", res.StatusCode)
+	}
+	if res := doJSON(t, s.Handler(), http.MethodPost, "/v1/ingest", IngestRequest{Points: [][]float64{{1, 2, 3}}}, nil); res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("wrong-width ingest: status %d", res.StatusCode)
+	}
+}
+
+func TestClustersEndpoint(t *testing.T) {
+	s, eng := testServer(t)
+	var out ClustersResponse
+	res := doJSON(t, s.Handler(), http.MethodGet, "/v1/clusters", nil, &out)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+	if out.N != eng.Stats().N || len(out.Clusters) != len(eng.Clusters()) {
+		t.Fatalf("response %+v vs engine n=%d clusters=%d", out, eng.Stats().N, len(eng.Clusters()))
+	}
+	for i, c := range out.Clusters {
+		if c.ID != i || c.Size == 0 || len(c.Members) != c.Size || len(c.Weights) != c.Size {
+			t.Fatalf("cluster %d malformed: %+v", i, c)
+		}
+	}
+	// Summary form omits members.
+	var sum ClustersResponse
+	doJSON(t, s.Handler(), http.MethodGet, "/v1/clusters?members=false", nil, &sum)
+	for i, c := range sum.Clusters {
+		if len(c.Members) != 0 || len(c.Weights) != 0 {
+			t.Fatalf("summary cluster %d has members: %+v", i, c)
+		}
+		if c.Size != out.Clusters[i].Size || c.Density != out.Clusters[i].Density {
+			t.Fatalf("summary cluster %d disagrees: %+v vs %+v", i, c, out.Clusters[i])
+		}
+	}
+	if res := doJSON(t, s.Handler(), http.MethodGet, "/v1/clusters?members=banana", nil, nil); res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad members flag: status %d", res.StatusCode)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	doJSON(t, s.Handler(), http.MethodPost, "/v1/assign", AssignRequest{Point: []float64{0, 0}}, nil)
+	var out StatsResponse
+	res := doJSON(t, s.Handler(), http.MethodGet, "/v1/stats", nil, &out)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+	if out.N == 0 || out.Dim != 2 || out.Clusters == 0 || out.Assigns == 0 {
+		t.Fatalf("stats %+v", out)
+	}
+}
+
+// Serve must come up, answer over a real socket, and shut down gracefully on
+// context cancellation.
+func TestServeGracefulShutdown(t *testing.T) {
+	s, _ := testServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	// Pick a free port first.
+	probe := httptest.NewServer(http.NotFoundHandler())
+	addr := probe.Listener.Addr().String()
+	probe.Close()
+
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, addr) }()
+
+	url := fmt.Sprintf("http://%s/healthz", addr)
+	var up bool
+	for i := 0; i < 100; i++ {
+		if res, err := http.Get(url); err == nil {
+			res.Body.Close()
+			up = res.StatusCode == http.StatusOK
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !up {
+		t.Fatal("server never came up")
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("shutdown timed out")
+	}
+}

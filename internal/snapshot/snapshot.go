@@ -1,0 +1,416 @@
+// Package snapshot is the versioned binary codec for persisted engine state:
+// the committed matrix (coordinates AND the cached squared norms), the LSH
+// index (hash parameters, seed, and every inverted list — buckets are a
+// deterministic function of the lists and are rebuilt on load), the
+// maintained clusters, the per-point labels, and the full detection
+// configuration. Everything round-trips bit-identically: floats are encoded
+// as their IEEE-754 bit patterns, so a restored engine answers every
+// Assign/Clusters query exactly as the engine that saved it — crash-restart
+// without re-detection.
+//
+// Format (version 1), little-endian throughout:
+//
+//	magic "ALIDSNAP" | u32 version | payload | u32 CRC-32 (IEEE) of payload
+//
+// The payload is a flat sequence of fixed-width fields and length-prefixed
+// arrays in the order written by Write. No varints, no compression: the
+// format optimizes for auditability and bit-exactness, not size.
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"alid/internal/affinity"
+	"alid/internal/core"
+	"alid/internal/lsh"
+	"alid/internal/matrix"
+)
+
+// Magic identifies a snapshot stream.
+const Magic = "ALIDSNAP"
+
+// Version is the current format version.
+const Version = 1
+
+// maxSliceLen bounds every decoded length prefix. Decoders additionally
+// grow slices as bytes actually arrive (append, never make(n) up front), so
+// a corrupt length hits EOF or the CRC check after allocating at most ~2×
+// the real payload — never a length-prefix-sized giant allocation.
+const maxSliceLen = 1 << 40
+
+// Snapshot is the persisted engine state.
+type Snapshot struct {
+	// Core is the full detection configuration, so a restart needs no
+	// external config to keep detecting exactly as before.
+	Core core.Config
+	// BatchSize is the stream commit batch size.
+	BatchSize int
+	// Mat holds the committed points and their cached norms.
+	Mat *matrix.Matrix
+	// Index is the LSH index over Mat.
+	Index *lsh.Index
+	// Clusters are the maintained dominant clusters.
+	Clusters []*core.Cluster
+	// Labels is the per-point assignment (-1 noise), len Mat.N.
+	Labels []int
+	// Commits is the stream's batch-commit counter.
+	Commits int
+}
+
+type writer struct {
+	w   io.Writer
+	crc hash.Hash32
+	buf [8]byte
+	err error
+}
+
+func (w *writer) write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	if _, err := w.w.Write(p); err != nil {
+		w.err = err
+		return
+	}
+	w.crc.Write(p)
+}
+
+func (w *writer) u32(v uint32) {
+	binary.LittleEndian.PutUint32(w.buf[:4], v)
+	w.write(w.buf[:4])
+}
+
+func (w *writer) u64(v uint64) {
+	binary.LittleEndian.PutUint64(w.buf[:8], v)
+	w.write(w.buf[:8])
+}
+
+func (w *writer) i64(v int64)   { w.u64(uint64(v)) }
+func (w *writer) f64(v float64) { w.u64(math.Float64bits(v)) }
+func (w *writer) boolean(v bool) {
+	if v {
+		w.write([]byte{1})
+	} else {
+		w.write([]byte{0})
+	}
+}
+
+func (w *writer) f64s(v []float64) {
+	w.u64(uint64(len(v)))
+	for _, x := range v {
+		w.f64(x)
+	}
+}
+
+func (w *writer) u64s(v []uint64) {
+	w.u64(uint64(len(v)))
+	for _, x := range v {
+		w.u64(x)
+	}
+}
+
+func (w *writer) ints(v []int) {
+	w.u64(uint64(len(v)))
+	for _, x := range v {
+		w.i64(int64(x))
+	}
+}
+
+// Write encodes s. The stream is buffered internally; the caller owns any
+// underlying file and its sync/close.
+func Write(out io.Writer, s *Snapshot) error {
+	if s.Mat == nil || s.Mat.N == 0 {
+		return fmt.Errorf("snapshot: empty matrix")
+	}
+	if s.Index == nil {
+		return fmt.Errorf("snapshot: nil index")
+	}
+	if len(s.Labels) != s.Mat.N {
+		return fmt.Errorf("snapshot: %d labels for %d points", len(s.Labels), s.Mat.N)
+	}
+	bw := bufio.NewWriterSize(out, 1<<20)
+	w := &writer{w: bw, crc: crc32.NewIEEE()}
+	if _, err := bw.WriteString(Magic); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	w.u32(Version)
+
+	// Configuration.
+	c := s.Core
+	w.f64(c.Kernel.K)
+	w.f64(c.Kernel.P)
+	w.i64(int64(c.LSH.Projections))
+	w.i64(int64(c.LSH.Tables))
+	w.f64(c.LSH.R)
+	w.i64(c.LSH.Seed)
+	w.i64(int64(c.Delta))
+	w.i64(int64(c.MaxOuter))
+	w.i64(int64(c.MaxLID))
+	w.f64(c.Tol)
+	w.f64(c.FirstRadius)
+	w.f64(c.DensityThreshold)
+	w.i64(int64(c.MinClusterSize))
+	w.boolean(c.SingleQueryCIVS)
+	w.boolean(c.FixedROIGrowth)
+	w.i64(int64(s.BatchSize))
+
+	// Matrix with norms.
+	w.u64(uint64(s.Mat.N))
+	w.u64(uint64(s.Mat.D))
+	w.f64s(s.Mat.Data)
+	w.f64s(s.Mat.NormsSq())
+
+	// LSH index: config again (the index may have been built under a config
+	// that has since changed), then per-table parameters + inverted lists.
+	icfg, dim, tables := s.Index.Dump()
+	w.i64(int64(icfg.Projections))
+	w.i64(int64(icfg.Tables))
+	w.f64(icfg.R)
+	w.i64(icfg.Seed)
+	w.u64(uint64(dim))
+	w.u64(uint64(len(tables)))
+	for _, tb := range tables {
+		w.f64s(tb.Proj)
+		w.f64s(tb.Off)
+		w.u64s(tb.Keys)
+	}
+
+	// Clusters.
+	w.u64(uint64(len(s.Clusters)))
+	for _, cl := range s.Clusters {
+		w.ints(cl.Members)
+		w.f64s(cl.Weights)
+		w.f64(cl.Density)
+		w.i64(int64(cl.Seed))
+		w.i64(int64(cl.OuterIterations))
+		w.i64(int64(cl.LIDIterations))
+		w.i64(int64(cl.PeakEntries))
+	}
+
+	// Labels and stream position.
+	w.ints(s.Labels)
+	w.u64(uint64(s.Commits))
+
+	if w.err != nil {
+		return fmt.Errorf("snapshot: %w", w.err)
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], w.crc.Sum32())
+	if _, err := bw.Write(crcBuf[:]); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	return nil
+}
+
+type reader struct {
+	r   io.Reader
+	crc hash.Hash32
+	buf [8]byte
+	err error
+}
+
+func (r *reader) read(p []byte) {
+	if r.err != nil {
+		return
+	}
+	if _, err := io.ReadFull(r.r, p); err != nil {
+		r.err = err
+		return
+	}
+	r.crc.Write(p)
+}
+
+func (r *reader) u32() uint32 {
+	r.read(r.buf[:4])
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(r.buf[:4])
+}
+
+func (r *reader) u64() uint64 {
+	r.read(r.buf[:8])
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(r.buf[:8])
+}
+
+func (r *reader) i64() int64   { return int64(r.u64()) }
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+func (r *reader) boolean() bool {
+	r.read(r.buf[:1])
+	return r.err == nil && r.buf[0] != 0
+}
+
+func (r *reader) length(what string) int {
+	n := r.u64()
+	if r.err == nil && n > maxSliceLen {
+		r.err = fmt.Errorf("implausible %s length %d", what, n)
+	}
+	return int(n)
+}
+
+func (r *reader) f64s(what string) []float64 {
+	n := r.length(what)
+	if r.err != nil {
+		return nil
+	}
+	var out []float64
+	for i := 0; i < n; i++ {
+		out = append(out, r.f64())
+		if r.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+func (r *reader) u64s(what string) []uint64 {
+	n := r.length(what)
+	if r.err != nil {
+		return nil
+	}
+	var out []uint64
+	for i := 0; i < n; i++ {
+		out = append(out, r.u64())
+		if r.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+func (r *reader) ints(what string) []int {
+	n := r.length(what)
+	if r.err != nil {
+		return nil
+	}
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, int(r.i64()))
+		if r.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// Read decodes and validates a snapshot, verifying magic, version and CRC.
+func Read(in io.Reader) (*Snapshot, error) {
+	br := bufio.NewReaderSize(in, 1<<20)
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	if string(magic) != Magic {
+		return nil, fmt.Errorf("snapshot: bad magic %q", magic)
+	}
+	r := &reader{r: br, crc: crc32.NewIEEE()}
+	if v := r.u32(); r.err == nil && v != Version {
+		return nil, fmt.Errorf("snapshot: unsupported version %d (have %d)", v, Version)
+	}
+
+	s := &Snapshot{}
+	s.Core.Kernel = affinity.Kernel{K: r.f64(), P: r.f64()}
+	s.Core.LSH = lsh.Config{
+		Projections: int(r.i64()),
+		Tables:      int(r.i64()),
+		R:           r.f64(),
+		Seed:        r.i64(),
+	}
+	s.Core.Delta = int(r.i64())
+	s.Core.MaxOuter = int(r.i64())
+	s.Core.MaxLID = int(r.i64())
+	s.Core.Tol = r.f64()
+	s.Core.FirstRadius = r.f64()
+	s.Core.DensityThreshold = r.f64()
+	s.Core.MinClusterSize = int(r.i64())
+	s.Core.SingleQueryCIVS = r.boolean()
+	s.Core.FixedROIGrowth = r.boolean()
+	s.BatchSize = int(r.i64())
+
+	n := int(r.u64())
+	d := int(r.u64())
+	data := r.f64s("matrix data")
+	norms := r.f64s("matrix norms")
+	if r.err == nil {
+		m, err := matrix.FromFlatWithNorms(data, n, d, norms)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: %w", err)
+		}
+		s.Mat = m
+	}
+
+	icfg := lsh.Config{
+		Projections: int(r.i64()),
+		Tables:      int(r.i64()),
+		R:           r.f64(),
+		Seed:        r.i64(),
+	}
+	idim := int(r.u64())
+	nTables := r.length("table list")
+	var tables []lsh.TableDump
+	for t := 0; r.err == nil && t < nTables; t++ {
+		tables = append(tables, lsh.TableDump{
+			Proj: r.f64s("projections"),
+			Off:  r.f64s("offsets"),
+			Keys: r.u64s("keys"),
+		})
+	}
+	if r.err == nil {
+		idx, err := lsh.FromDump(icfg, idim, tables)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: %w", err)
+		}
+		s.Index = idx
+	}
+
+	nClusters := r.length("cluster list")
+	for i := 0; r.err == nil && i < nClusters; i++ {
+		cl := &core.Cluster{
+			Members: r.ints("members"),
+			Weights: r.f64s("weights"),
+		}
+		cl.Density = r.f64()
+		cl.Seed = int(r.i64())
+		cl.OuterIterations = int(r.i64())
+		cl.LIDIterations = int(r.i64())
+		cl.PeakEntries = int(r.i64())
+		if r.err != nil {
+			break
+		}
+		if len(cl.Members) != len(cl.Weights) {
+			return nil, fmt.Errorf("snapshot: cluster %d has %d members but %d weights", i, len(cl.Members), len(cl.Weights))
+		}
+		s.Clusters = append(s.Clusters, cl)
+	}
+
+	s.Labels = r.ints("labels")
+	s.Commits = int(r.u64())
+
+	if r.err != nil {
+		return nil, fmt.Errorf("snapshot: %w", r.err)
+	}
+	sum := r.crc.Sum32()
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
+		return nil, fmt.Errorf("snapshot: missing checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(crcBuf[:]); got != sum {
+		return nil, fmt.Errorf("snapshot: checksum mismatch: stored %08x, computed %08x", got, sum)
+	}
+	if len(s.Labels) != s.Mat.N {
+		return nil, fmt.Errorf("snapshot: %d labels for %d points", len(s.Labels), s.Mat.N)
+	}
+	return s, nil
+}

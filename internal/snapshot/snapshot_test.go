@@ -1,0 +1,171 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"slices"
+	"strings"
+	"testing"
+
+	"alid/internal/affinity"
+	"alid/internal/core"
+	"alid/internal/lsh"
+	"alid/internal/matrix"
+	"alid/internal/testutil"
+)
+
+func sample(t *testing.T) *Snapshot {
+	t.Helper()
+	pts, _ := testutil.Blobs(61, [][]float64{{0, 0}, {10, 10}}, 20, 0.3, 5, 0, 10)
+	m, err := matrix.FromRows(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Kernel = affinity.Kernel{K: 0.4, P: 2}
+	cfg.LSH = lsh.Config{Projections: 5, Tables: 4, R: 3, Seed: 7}
+	idx, err := lsh.BuildMatrix(m, cfg.LSH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := make([]int, m.N)
+	for i := range labels {
+		labels[i] = -1
+	}
+	cl := &core.Cluster{
+		Members: []int{0, 3, 5},
+		Weights: []float64{0.5, 0.25, 0.25},
+		Density: 0.91, Seed: 3, OuterIterations: 2, LIDIterations: 40, PeakEntries: 99,
+	}
+	for _, mb := range cl.Members {
+		labels[mb] = 0
+	}
+	return &Snapshot{
+		Core: cfg, BatchSize: 64,
+		Mat: m, Index: idx,
+		Clusters: []*core.Cluster{cl},
+		Labels:   labels,
+		Commits:  3,
+	}
+}
+
+func TestRoundTripBitIdentical(t *testing.T) {
+	s := sample(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Core != s.Core {
+		t.Fatalf("config: %+v vs %+v", got.Core, s.Core)
+	}
+	if got.BatchSize != s.BatchSize || got.Commits != s.Commits {
+		t.Fatalf("batch/commits: %d/%d vs %d/%d", got.BatchSize, got.Commits, s.BatchSize, s.Commits)
+	}
+	if got.Mat.N != s.Mat.N || got.Mat.D != s.Mat.D {
+		t.Fatalf("matrix shape %dx%d vs %dx%d", got.Mat.N, got.Mat.D, s.Mat.N, s.Mat.D)
+	}
+	if !slices.Equal(got.Mat.Data, s.Mat.Data) {
+		t.Fatal("matrix data differs")
+	}
+	if !slices.Equal(got.Mat.NormsSq(), s.Mat.NormsSq()) {
+		t.Fatal("norm cache differs")
+	}
+	if !slices.Equal(got.Labels, s.Labels) {
+		t.Fatal("labels differ")
+	}
+	if len(got.Clusters) != 1 {
+		t.Fatalf("%d clusters", len(got.Clusters))
+	}
+	gc, sc := got.Clusters[0], s.Clusters[0]
+	if !slices.Equal(gc.Members, sc.Members) || !slices.Equal(gc.Weights, sc.Weights) ||
+		gc.Density != sc.Density || gc.Seed != sc.Seed || gc.OuterIterations != sc.OuterIterations ||
+		gc.LIDIterations != sc.LIDIterations || gc.PeakEntries != sc.PeakEntries {
+		t.Fatalf("cluster differs: %+v vs %+v", gc, sc)
+	}
+	// The index must answer identically.
+	for id := 0; id < s.Mat.N; id += 5 {
+		a := s.Index.CandidatesByID(id)
+		b := got.Index.CandidatesByID(id)
+		if !slices.Equal(a, b) {
+			t.Fatalf("index candidates differ at %d", id)
+		}
+	}
+	// Writing the decoded snapshot reproduces the byte stream exactly.
+	var buf2 bytes.Buffer
+	if err := Write(&buf2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("encode(decode(x)) != x")
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	s := sample(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[0] ^= 0xFF
+	if _, err := Read(bytes.NewReader(b)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("want magic error, got %v", err)
+	}
+}
+
+func TestReadRejectsFutureVersion(t *testing.T) {
+	s := sample(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	binary.LittleEndian.PutUint32(b[len(Magic):], Version+1)
+	if _, err := Read(bytes.NewReader(b)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("want version error, got %v", err)
+	}
+}
+
+func TestReadDetectsCorruption(t *testing.T) {
+	s := sample(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte (well past the header, before the CRC).
+	b := append([]byte(nil), buf.Bytes()...)
+	b[len(b)/2] ^= 0x01
+	if _, err := Read(bytes.NewReader(b)); err == nil {
+		t.Fatal("corrupted snapshot accepted")
+	}
+}
+
+func TestReadDetectsTruncation(t *testing.T) {
+	s := sample(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{len(Magic) - 2, len(Magic) + 2, buf.Len() / 3, buf.Len() - 2} {
+		if _, err := Read(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestWriteValidates(t *testing.T) {
+	s := sample(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, &Snapshot{Index: s.Index, Labels: nil}); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+	bad := *s
+	bad.Labels = s.Labels[:3]
+	if err := Write(&buf, &bad); err == nil {
+		t.Fatal("short labels accepted")
+	}
+}

@@ -49,6 +49,15 @@ type Clusterer struct {
 	assigned []int // point -> cluster ordinal, -1 noise
 
 	commits int
+	// kernelEvals accumulates kernel evaluations done by commits (dirtiness
+	// checks plus detection work). Diagnostic; restored clusterers restart
+	// at zero.
+	kernelEvals int64
+
+	// frozen marks the matrix and index as published in an immutable View:
+	// the next Commit clones both before mutating (copy-on-write), so views
+	// stay safe for concurrent readers while the writer moves on.
+	frozen bool
 }
 
 // New creates an online clusterer seeded with an optional initial batch.
@@ -57,10 +66,101 @@ func New(initial [][]float64, cfg Config) (*Clusterer, error) {
 		cfg.BatchSize = 256
 	}
 	c := &Clusterer{cfg: cfg}
+	for i, p := range initial {
+		if len(p) != len(initial[0]) {
+			return nil, fmt.Errorf("stream: initial point %d has dimension %d, want %d", i, len(p), len(initial[0]))
+		}
+	}
 	if len(initial) > 0 {
 		c.buffer = append(c.buffer, initial...)
 	}
 	return c, nil
+}
+
+// Restore reconstructs a clusterer from persisted state: the committed
+// matrix, the LSH index built over it, the maintained clusters and the
+// per-point labels. It validates cross-component consistency so a corrupt or
+// mismatched snapshot fails here rather than on a later commit.
+func Restore(cfg Config, mat *matrix.Matrix, index *lsh.Index, clusters []*core.Cluster, labels []int, commits int) (*Clusterer, error) {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 256
+	}
+	if mat == nil || mat.N == 0 {
+		return nil, fmt.Errorf("stream: restore with empty matrix")
+	}
+	if index == nil || index.N() != mat.N {
+		return nil, fmt.Errorf("stream: restore index covers %d points, matrix has %d", index.N(), mat.N)
+	}
+	if index.Dim() != mat.D {
+		return nil, fmt.Errorf("stream: restore index hashes dimension %d, matrix has %d", index.Dim(), mat.D)
+	}
+	if len(labels) != mat.N {
+		return nil, fmt.Errorf("stream: restore has %d labels for %d points", len(labels), mat.N)
+	}
+	for i, l := range labels {
+		if l < -1 || l >= len(clusters) {
+			return nil, fmt.Errorf("stream: restore label %d of point %d out of range [-1,%d)", l, i, len(clusters))
+		}
+	}
+	for ci, cl := range clusters {
+		for _, m := range cl.Members {
+			if m < 0 || m >= mat.N {
+				return nil, fmt.Errorf("stream: restore cluster %d member %d out of range [0,%d)", ci, m, mat.N)
+			}
+		}
+	}
+	return &Clusterer{
+		cfg:      cfg,
+		mat:      mat,
+		index:    index,
+		clusters: append([]*core.Cluster(nil), clusters...),
+		assigned: append([]int(nil), labels...),
+		commits:  commits,
+	}, nil
+}
+
+// Dim returns the point dimensionality, or 0 if no point has been seen yet.
+func (c *Clusterer) Dim() int {
+	if c.mat != nil {
+		return c.mat.D
+	}
+	if len(c.buffer) > 0 {
+		return len(c.buffer[0])
+	}
+	return 0
+}
+
+// View returns an immutable snapshot of the committed state: the matrix, the
+// LSH index, the maintained clusters and per-point labels. The clusters and
+// labels slices are fresh copies; the matrix and index are the live ones,
+// marked copy-on-write — the next Commit clones them before mutating. Views
+// are therefore safe for unlimited concurrent readers, and taking one costs
+// O(n) label copy now plus one O(n) clone at the next commit, paid only if
+// the stream actually advances.
+func (c *Clusterer) View() View {
+	c.frozen = true
+	return View{
+		Mat:         c.mat,
+		Index:       c.index,
+		Clusters:    append([]*core.Cluster(nil), c.clusters...),
+		Labels:      c.Labels(),
+		Commits:     c.commits,
+		KernelEvals: c.kernelEvals,
+	}
+}
+
+// View is an immutable published snapshot of a Clusterer. Cluster values are
+// shared pointers but are never mutated after detection; Mat and Index are
+// protected by the copy-on-write contract of Clusterer.View.
+type View struct {
+	Mat      *matrix.Matrix
+	Index    *lsh.Index
+	Clusters []*core.Cluster
+	Labels   []int
+	Commits  int
+	// KernelEvals is the cumulative commit-side kernel-evaluation count at
+	// publish time (diagnostic).
+	KernelEvals int64
 }
 
 // N returns the number of committed points.
@@ -88,7 +188,15 @@ func (c *Clusterer) Labels() []int {
 }
 
 // Add buffers a point and commits automatically when the batch is full.
+// A point of the wrong width is rejected here, at the boundary, never
+// surfacing as a late commit failure or an internal panic.
 func (c *Clusterer) Add(ctx context.Context, p []float64) error {
+	if d := c.Dim(); d != 0 && len(p) != d {
+		return fmt.Errorf("stream: point has dimension %d, want %d", len(p), d)
+	}
+	if len(p) == 0 {
+		return fmt.Errorf("stream: empty point")
+	}
 	c.buffer = append(c.buffer, p)
 	if len(c.buffer) >= c.cfg.BatchSize {
 		return c.Commit(ctx)
@@ -100,6 +208,17 @@ func (c *Clusterer) Add(ctx context.Context, p []float64) error {
 func (c *Clusterer) Commit(ctx context.Context) error {
 	if len(c.buffer) == 0 {
 		return nil
+	}
+	// Copy-on-write: if the current matrix/index were published in a View,
+	// clone them before any mutation so every outstanding view stays frozen.
+	if c.frozen {
+		if c.mat != nil {
+			c.mat = c.mat.Clone()
+		}
+		if c.index != nil {
+			c.index = c.index.Clone()
+		}
+		c.frozen = false
 	}
 	var firstNew int
 	if c.mat == nil {
@@ -158,6 +277,7 @@ func (c *Clusterer) Commit(ctx context.Context) error {
 			for t, m := range cl.Members {
 				gj += cl.Weights[t] * c.affinity(kern, j, m)
 			}
+			c.kernelEvals += int64(len(cl.Members))
 			if gj-cl.Density > cfg.Tol {
 				dirty[ci] = true
 				break
@@ -182,9 +302,7 @@ func (c *Clusterer) Commit(ctx context.Context) error {
 			return err
 		}
 		c.clusters[ci] = fresh
-		for _, m := range fresh.Members {
-			c.assigned[m] = ci
-		}
+		c.claim(ci)
 	}
 
 	// Step 4: probe unassigned new points as seeds for new clusters.
@@ -204,14 +322,18 @@ func (c *Clusterer) Commit(ctx context.Context) error {
 		}
 		ci := len(c.clusters)
 		c.clusters = append(c.clusters, cl)
-		for _, m := range cl.Members {
-			c.assigned[m] = ci
-		}
+		c.claim(ci)
 	}
 	// Drop clusters that decayed below the threshold after re-convergence.
 	c.compact(cfg.DensityThreshold, cfg.MinClusterSize)
+	// The detector's oracle is created fresh for this commit, so its counter
+	// is exactly this commit's detection work.
+	c.kernelEvals += det.Oracle().Computed()
 	return nil
 }
+
+// KernelEvals returns the cumulative kernel evaluations spent by commits.
+func (c *Clusterer) KernelEvals() int64 { return c.kernelEvals }
 
 // affinity evaluates a_jm over committed points, using the fused squared
 // distance for the Euclidean kernel.
@@ -220,6 +342,21 @@ func (c *Clusterer) affinity(kern affinity.Kernel, j, m int) float64 {
 		return math.Exp(-kern.K * math.Sqrt(c.mat.PairDistSq(j, m)))
 	}
 	return kern.Affinity(c.mat.Row(j), c.mat.Row(m))
+}
+
+// claim labels every member of cluster ci, resolving overlaps to the densest
+// cluster — the same rule core.Labels applies to offline detections. The
+// availability masks make overlap impossible today (a detection only sees
+// unassigned points and the re-converging cluster's own members), so the
+// density comparison is a defensive invariant, not a hot path.
+func (c *Clusterer) claim(ci int) {
+	cl := c.clusters[ci]
+	for _, m := range cl.Members {
+		if prev := c.assigned[m]; prev != -1 && prev != ci && c.clusters[prev].Density > cl.Density {
+			continue
+		}
+		c.assigned[m] = ci
+	}
 }
 
 // availability returns the active mask: points unassigned or belonging to

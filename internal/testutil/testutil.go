@@ -68,3 +68,36 @@ func Purity(members []int, labels []int) (float64, int) {
 	}
 	return float64(bestN) / float64(len(members)), bestL
 }
+
+// ServeWorkload generates the serving-path benchmark dataset shared by
+// internal/engine's BenchmarkAssign and cmd/experiments' load generator
+// (they must measure the same workload): n points in d dimensions, 90%
+// spread over `blobs` well-separated Gaussian blobs (σ = 0.3, centers
+// uniform in [0,40]^d), 10% uniform background noise. Deterministic.
+// Returns the points and the blob centers.
+func ServeWorkload(n, d, blobs int) ([][]float64, [][]float64) {
+	rng := rand.New(rand.NewSource(71))
+	centers := make([][]float64, blobs)
+	for c := range centers {
+		centers[c] = make([]float64, d)
+		for j := range centers[c] {
+			centers[c][j] = rng.Float64() * 40
+		}
+	}
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		if i < n*9/10 {
+			c := centers[i%blobs]
+			for j := range p {
+				p[j] = c[j] + rng.NormFloat64()*0.3
+			}
+		} else {
+			for j := range p {
+				p[j] = rng.Float64() * 40
+			}
+		}
+		pts[i] = p
+	}
+	return pts, centers
+}

@@ -1,16 +1,21 @@
 #!/usr/bin/env bash
-# Records the PR-1 perf-trajectory benchmarks into BENCH_PR1.json.
+# Records the perf-trajectory benchmarks into BENCH_PR2.json.
 #
 # Usage: scripts/bench.sh [output.json]
 #
-# The three benchmarks are the acceptance gates of PR 1:
+# The three seed-comparable benchmarks are carried forward unchanged from
+# PR 1 (same seed-commit baselines, so speedups stay comparable across PRs):
 #   BenchmarkColumn    (internal/affinity) — fused kernel column
 #   BenchmarkBuild     (internal/lsh)      — LSH index construction
 #   BenchmarkDetectAll (root)              — end-to-end peeling detection
+#
+# PR 2 adds the serving-path gate:
+#   BenchmarkAssign    (internal/engine)   — parallel lock-free Assign at
+#                                            n=10k, d=16 (target ≥ 50k/s)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR1.json}"
+out="${1:-BENCH_PR2.json}"
 
 run_bench() { # pkg, pattern, benchtime
 	go test -run='^$' -bench="^$2\$" -benchtime="$3" "$1" 2>/dev/null |
@@ -23,21 +28,26 @@ echo "benchmarking BenchmarkBuild (internal/lsh)..." >&2
 build=$(run_bench ./internal/lsh/ BenchmarkBuild 2s)
 echo "benchmarking BenchmarkDetectAll (root)..." >&2
 detectall=$(run_bench . BenchmarkDetectAll 5x)
+echo "benchmarking BenchmarkAssign (internal/engine)..." >&2
+assign=$(run_bench ./internal/engine/ BenchmarkAssign 2s)
 
 host="$(uname -sm) / $(nproc) cpu / $(go version | awk '{print $3}')"
 date="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 
 # Seed-commit numbers (e5e1bc1 plus go.mod, measured on the PR-1 machine):
 # the ≥1.5× acceptance gates for Column and Build are computed against these.
+# The seed has no serving path, so BenchmarkAssign has no seed baseline; its
+# PR-2 gate is absolute throughput (≥ 50000 assigns/sec).
 seed_column=42445
 seed_build=11299708
 seed_detectall=14111630
 
 ratio() { awk -v a="$1" -v b="$2" 'BEGIN {printf "%.2f", a / b}'; }
+persec() { awk -v ns="$1" 'BEGIN {printf "%.0f", 1e9 / ns}'; }
 
 cat > "$out" <<JSON
 {
-  "pr": 1,
+  "pr": 2,
   "recorded_at": "$date",
   "host": "$host",
   "unit": "ns/op",
@@ -49,12 +59,18 @@ cat > "$out" <<JSON
   "benchmarks": {
     "BenchmarkColumn": $column,
     "BenchmarkBuild": $build,
-    "BenchmarkDetectAll": $detectall
+    "BenchmarkDetectAll": $detectall,
+    "BenchmarkAssign": $assign
   },
   "speedup_vs_seed": {
     "BenchmarkColumn": $(ratio "$seed_column" "$column"),
     "BenchmarkBuild": $(ratio "$seed_build" "$build"),
     "BenchmarkDetectAll": $(ratio "$seed_detectall" "$detectall")
+  },
+  "serving": {
+    "workload": "n=10000 d=16, 50 blobs + 10% noise, parallel assigns",
+    "assigns_per_sec": $(persec "$assign"),
+    "target_assigns_per_sec": 50000
   }
 }
 JSON

@@ -34,6 +34,14 @@ func NewStreamClusterer(initial [][]float64, cfg Config, opts StreamOptions) (*S
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	for i, p := range initial {
+		if len(p) == 0 {
+			return nil, fmt.Errorf("alid: initial point %d is empty", i)
+		}
+		if len(p) != len(initial[0]) {
+			return nil, fmt.Errorf("alid: initial point %d has dimension %d, want %d", i, len(p), len(initial[0]))
+		}
+	}
 	inner, err := stream.New(initial, stream.Config{Core: cfg.toCore(), BatchSize: opts.BatchSize})
 	if err != nil {
 		return nil, err
@@ -42,12 +50,21 @@ func NewStreamClusterer(initial [][]float64, cfg Config, opts StreamOptions) (*S
 }
 
 // Add buffers one point, committing automatically when the batch fills.
+// A point whose width disagrees with the stream's dimensionality is rejected
+// here, at the API edge, with a clear error — it never surfaces as an
+// internal panic or a late commit failure.
 func (s *StreamClusterer) Add(ctx context.Context, p []float64) error {
 	if len(p) == 0 {
 		return fmt.Errorf("alid: empty point")
 	}
+	if d := s.inner.Dim(); d != 0 && len(p) != d {
+		return fmt.Errorf("alid: point has dimension %d, want %d", len(p), d)
+	}
 	return s.inner.Add(ctx, p)
 }
+
+// Dim returns the stream's point dimensionality (0 until a point is seen).
+func (s *StreamClusterer) Dim() int { return s.inner.Dim() }
 
 // Commit integrates all buffered points immediately.
 func (s *StreamClusterer) Commit(ctx context.Context) error { return s.inner.Commit(ctx) }

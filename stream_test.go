@@ -3,6 +3,7 @@ package alid
 import (
 	"context"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"alid/internal/testutil"
@@ -63,6 +64,44 @@ func TestStreamClustererValidation(t *testing.T) {
 	}
 	if err := sc.Add(context.Background(), nil); err == nil {
 		t.Fatal("empty point accepted")
+	}
+}
+
+// Wrong-width points must be rejected with a clear alid:-prefixed error at
+// the API edge, never as an internal panic or a late commit failure.
+func TestStreamClustererDimValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := NewStreamClusterer([][]float64{{0, 0}, {1, 1, 1}}, cfg, StreamOptions{}); err == nil {
+		t.Fatal("ragged initial batch accepted")
+	} else if !strings.HasPrefix(err.Error(), "alid:") {
+		t.Fatalf("error not alid:-prefixed: %v", err)
+	}
+	sc, err := NewStreamClusterer([][]float64{{0, 0}, {1, 1}}, cfg, StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Dim() != 2 {
+		t.Fatalf("Dim = %d, want 2", sc.Dim())
+	}
+	err = sc.Add(context.Background(), []float64{1, 2, 3})
+	if err == nil {
+		t.Fatal("wrong-width point accepted")
+	}
+	if !strings.HasPrefix(err.Error(), "alid:") || !strings.Contains(err.Error(), "dimension") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+	if sc.Pending() != 2 {
+		t.Fatalf("rejected point was buffered: pending=%d", sc.Pending())
+	}
+	// The stream still works after a rejected add.
+	if err := sc.Add(context.Background(), []float64{0.5, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Commit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if sc.N() != 3 {
+		t.Fatalf("N = %d, want 3", sc.N())
 	}
 }
 
