@@ -143,11 +143,9 @@ func (o *Oracle) Column(j int, rows []int, dst []float64) {
 	k := o.Kernel.K
 	n := int64(0)
 	if o.Kernel.P == 2 {
-		nj := o.Mat.NormSq(j)
-		norms := o.Mat.NormsSq()
-		data := o.Mat.Data
-		dim := o.Mat.D
-		vj = data[j*dim : j*dim+dim]
+		m := o.Mat
+		nj := m.NormSq(j)
+		vj = m.Row(j)
 		// Two passes: first the fused squared distances (pure dot-product
 		// throughput — the out-of-order core overlaps consecutive rows), then
 		// the exp/sqrt transform. One mixed loop is ~25% slower because the
@@ -155,19 +153,23 @@ func (o *Oracle) Column(j int, rows []int, dst []float64) {
 		// two rows per Dot2 step so each block of vj loads is reused; Dot2's
 		// per-row lane order matches vec.Dot exactly and the cancellation
 		// fallback mirrors Matrix.PairDistSq, keeping Column bit-identical to
-		// per-pair At evaluation.
+		// per-pair At evaluation. Rows and norms come from the segmented
+		// chunk storage; within a chunk both are as contiguous as the old
+		// flat layout, and the accessed rows are arbitrary either way.
 		r := 0
 		for ; r+2 <= len(rows); r += 2 {
 			row0, row1 := rows[r], rows[r+1]
-			va := data[row0*dim : row0*dim+dim]
-			vb := data[row1*dim : row1*dim+dim]
+			va := m.Row(row0)
+			vb := m.Row(row1)
+			n0 := m.NormSq(row0)
+			n1 := m.NormSq(row1)
 			dotA, dotB := vec.Dot2(vj, va, vb)
-			d0 := norms[row0] + nj - 2*dotA
-			if d0 < matrix.CancelGuard*(norms[row0]+nj) {
+			d0 := n0 + nj - 2*dotA
+			if d0 < matrix.CancelGuard*(n0+nj) {
 				d0 = vec.SquaredL2(va, vj)
 			}
-			d1 := norms[row1] + nj - 2*dotB
-			if d1 < matrix.CancelGuard*(norms[row1]+nj) {
+			d1 := n1 + nj - 2*dotB
+			if d1 < matrix.CancelGuard*(n1+nj) {
 				d1 = vec.SquaredL2(vb, vj)
 			}
 			dst[r] = d0
@@ -175,9 +177,10 @@ func (o *Oracle) Column(j int, rows []int, dst []float64) {
 		}
 		for ; r < len(rows); r++ {
 			row := rows[r]
-			va := data[row*dim : row*dim+dim]
-			d0 := norms[row] + nj - 2*vec.Dot(va, vj)
-			if d0 < matrix.CancelGuard*(norms[row]+nj) {
+			va := m.Row(row)
+			n0 := m.NormSq(row)
+			d0 := n0 + nj - 2*vec.Dot(va, vj)
+			if d0 < matrix.CancelGuard*(n0+nj) {
 				d0 = vec.SquaredL2(va, vj)
 			}
 			dst[r] = d0
@@ -222,21 +225,21 @@ func (o *Oracle) ColumnPoint(q []float64, qNormSq float64, rows []int, dst []flo
 	}
 	k := o.Kernel.K
 	if o.Kernel.P == 2 {
-		norms := o.Mat.NormsSq()
-		data := o.Mat.Data
-		dim := o.Mat.D
+		m := o.Mat
 		r := 0
 		for ; r+2 <= len(rows); r += 2 {
 			row0, row1 := rows[r], rows[r+1]
-			va := data[row0*dim : row0*dim+dim]
-			vb := data[row1*dim : row1*dim+dim]
+			va := m.Row(row0)
+			vb := m.Row(row1)
+			n0 := m.NormSq(row0)
+			n1 := m.NormSq(row1)
 			dotA, dotB := vec.Dot2(q, va, vb)
-			d0 := norms[row0] + qNormSq - 2*dotA
-			if d0 < matrix.CancelGuard*(norms[row0]+qNormSq) {
+			d0 := n0 + qNormSq - 2*dotA
+			if d0 < matrix.CancelGuard*(n0+qNormSq) {
 				d0 = vec.SquaredL2(va, q)
 			}
-			d1 := norms[row1] + qNormSq - 2*dotB
-			if d1 < matrix.CancelGuard*(norms[row1]+qNormSq) {
+			d1 := n1 + qNormSq - 2*dotB
+			if d1 < matrix.CancelGuard*(n1+qNormSq) {
 				d1 = vec.SquaredL2(vb, q)
 			}
 			dst[r] = d0
@@ -244,9 +247,10 @@ func (o *Oracle) ColumnPoint(q []float64, qNormSq float64, rows []int, dst []flo
 		}
 		for ; r < len(rows); r++ {
 			row := rows[r]
-			va := data[row*dim : row*dim+dim]
-			d0 := norms[row] + qNormSq - 2*vec.Dot(va, q)
-			if d0 < matrix.CancelGuard*(norms[row]+qNormSq) {
+			va := m.Row(row)
+			n0 := m.NormSq(row)
+			d0 := n0 + qNormSq - 2*vec.Dot(va, q)
+			if d0 < matrix.CancelGuard*(n0+qNormSq) {
 				d0 = vec.SquaredL2(va, q)
 			}
 			dst[r] = d0

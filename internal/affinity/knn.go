@@ -46,12 +46,11 @@ func KNNNeighborLists(m *matrix.Matrix, k Kernel, neighbors int) [][]int {
 				j int
 			}
 			euclid := k.P == 2
-			norms := m.NormsSq()
 			ds := make([]dj, 0, n-1)
 			for i := lo; i < hi; i++ {
 				ds = ds[:0]
 				vi := m.Row(i)
-				ni := norms[i]
+				ni := m.NormSq(i)
 				for j := 0; j < n; j++ {
 					if j == i {
 						continue

@@ -192,6 +192,16 @@ func NewDetectorMatrixWithIndex(m *matrix.Matrix, cfg Config, idx *lsh.Index) (*
 // Oracle exposes the instrumented affinity oracle (for experiments).
 func (d *Detector) Oracle() *affinity.Oracle { return d.oracle }
 
+// Grow extends the CIVS dedup scratch after the detector's matrix and index
+// grew (both are captured by reference and only ever grow in place). The
+// streaming layer reuses one detector across commits and calls this instead
+// of reconstructing, avoiding an O(n) scratch allocation per commit.
+func (d *Detector) Grow() {
+	if n := d.oracle.N(); len(d.mark) < n {
+		d.mark = append(d.mark, make([]uint32, n-len(d.mark))...)
+	}
+}
+
 // Index exposes the LSH index (PALID samples seeds from its buckets).
 func (d *Detector) Index() *lsh.Index { return d.index }
 

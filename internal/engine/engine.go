@@ -22,6 +22,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -70,8 +71,10 @@ type Stats struct {
 	Clusters int
 	// Commits counts batch commits since the stream began.
 	Commits int
-	// QueuedPoints is the approximate number of ingested-but-uncommitted
-	// points (in the queue or the writer's buffer).
+	// QueuedPoints is the exact number of ingested-but-uncommitted points
+	// (in the ingest queue or the writer's buffer): the atomic counter is
+	// incremented when Ingest accepts points and decremented when a commit
+	// consumes them into the matrix (or the writer rejects an invalid one).
 	QueuedPoints int64
 	// Assigns and Ingested count Assign calls and accepted points.
 	Assigns, Ingested int64
@@ -85,28 +88,57 @@ type Stats struct {
 	WriterErrors int64
 }
 
+// assignTopK is the truncation width of the assign-path scorer: only the
+// top-K support weights of a candidate cluster are scored in the first pass.
+// Since every affinity is at most 1, the weight mass outside the top-K
+// bounds the truncation error, and candidates whose bound reaches the best
+// truncated score are re-scored exactly — the reported winner and score are
+// always identical to full scoring (see Assign).
+const assignTopK = 64
+
+// clusterTrunc is the per-cluster truncated-scoring table built at publish
+// time. A nil rows slice marks a cluster small enough (≤ assignTopK
+// members) to always score exactly.
+type clusterTrunc struct {
+	rows  []int     // global ids of the top-K-weight members
+	w     []float64 // weights parallel to rows (descending, ties by position)
+	restW float64   // Σ weights outside rows; affinities ≤ 1 bound their score
+}
+
 // state is one immutable published generation.
 type state struct {
 	view   stream.View
 	oracle *affinity.Oracle // nil until the first commit
 	dim    int
-	pool   sync.Pool // *scratch sized for this generation
+	trunc  []clusterTrunc // per-cluster truncation tables, len = clusters
+	pool   sync.Pool      // *scratch sized for this generation
 }
 
 // scratch is per-goroutine read-path workspace, pooled per state so steady
 // Assign traffic allocates nothing.
 type scratch struct {
-	sig   []int64
-	mark  []uint32 // per-point dedup marker, len N
-	cmark []uint32 // per-cluster dedup marker
-	gen   uint32
-	cand  []int32
-	cids  []int
-	col   []float64
+	sig    []int64
+	mark   []uint32 // per-point dedup marker, len N
+	cmark  []uint32 // per-cluster dedup marker
+	gen    uint32
+	cand   []int32
+	cids   []int
+	col    []float64
+	scores []float64 // truncated (or exact, for small clusters) scores per cid
+	bounds []float64 // upper bounds per cid: score + rest weight mass
 }
 
 func (s *state) getScratch() *scratch {
 	return s.pool.Get().(*scratch)
+}
+
+// colFor returns the column scratch resized to n entries (allocation-free
+// once warmed to the largest cluster).
+func (sc *scratch) colFor(n int) []float64 {
+	if cap(sc.col) < n {
+		sc.col = make([]float64, n)
+	}
+	return sc.col[:n]
 }
 
 type reqKind int
@@ -238,6 +270,7 @@ func (e *Engine) publish() {
 			mu = v.Index.Config().Projections
 		}
 		nClusters := len(v.Clusters)
+		st.trunc = buildTrunc(v.Clusters)
 		st.pool.New = func() any {
 			return &scratch{
 				sig:   make([]int64, mu),
@@ -249,6 +282,49 @@ func (e *Engine) publish() {
 	if old := e.state.Swap(st); old != nil && old.oracle != nil {
 		e.pastComputed.Add(old.oracle.Computed())
 	}
+}
+
+// buildTrunc precomputes the top-K weight truncation table for every
+// cluster larger than assignTopK. Selection is deterministic: weights
+// descending, ties broken by member position, so live and restored engines
+// derive identical tables from identical clusters.
+func buildTrunc(clusters []*core.Cluster) []clusterTrunc {
+	out := make([]clusterTrunc, len(clusters))
+	for ci, cl := range clusters {
+		if len(cl.Members) <= assignTopK {
+			continue
+		}
+		pos := make([]int, len(cl.Members))
+		for i := range pos {
+			pos[i] = i
+		}
+		sort.Slice(pos, func(a, b int) bool {
+			if cl.Weights[pos[a]] != cl.Weights[pos[b]] {
+				return cl.Weights[pos[a]] > cl.Weights[pos[b]]
+			}
+			return pos[a] < pos[b]
+		})
+		tr := clusterTrunc{
+			rows: make([]int, assignTopK),
+			w:    make([]float64, assignTopK),
+		}
+		var topSum float64
+		for t := 0; t < assignTopK; t++ {
+			p := pos[t]
+			tr.rows[t] = cl.Members[p]
+			tr.w[t] = cl.Weights[p]
+			topSum += cl.Weights[p]
+		}
+		var total float64
+		for _, w := range cl.Weights {
+			total += w
+		}
+		if tr.restW = total - topSum; tr.restW < 0 {
+			tr.restW = 0
+		}
+		out[ci] = tr
+	}
+	return out
 }
 
 // run is the single writer: it drains the ingest queue, lets the stream
@@ -295,12 +371,19 @@ func (e *Engine) handle(ctx context.Context, req request) {
 	case reqIngest:
 		before := e.clusterer.Commits()
 		for _, p := range req.pts {
-			if err := e.clusterer.Add(ctx, p); err != nil {
+			// Exact queued accounting: the invariant is queued == points in
+			// the channel + the writer's buffer. This point leaves the
+			// channel here; the pending delta says whether it entered the
+			// buffer (±0), was rejected (−1), or a commit consumed the whole
+			// buffer (−pending−1).
+			pending := e.clusterer.Pending()
+			err := e.clusterer.Add(ctx, p)
+			e.queued.Add(int64(e.clusterer.Pending() - pending - 1))
+			if err != nil {
 				e.recordErr(err)
 			} else {
 				e.ingested.Add(1)
 			}
-			e.queued.Add(-1)
 		}
 		if e.clusterer.Commits() != before {
 			e.publish()
@@ -321,7 +404,10 @@ func (e *Engine) settle(ctx context.Context) {
 		return
 	}
 	before := e.clusterer.Commits()
-	if err := e.clusterer.Commit(ctx); err != nil {
+	pending := e.clusterer.Pending()
+	err := e.clusterer.Commit(ctx)
+	e.queued.Add(int64(e.clusterer.Pending() - pending))
+	if err != nil {
 		e.recordErr(err)
 	}
 	if e.clusterer.Commits() != before {
@@ -346,6 +432,13 @@ func (e *Engine) Dim() int {
 // lock-free, mutation-free, safe for unlimited concurrency. A query in an
 // empty engine, or one sharing no LSH bucket with any clustered point,
 // returns Cluster = -1.
+//
+// Scoring is weight-truncated: candidate clusters are first scored over
+// their assignTopK heaviest support weights only, which caps the per-
+// candidate cost for giant clusters; every candidate whose upper bound
+// (truncated score + remaining weight mass, affinities being ≤ 1) reaches
+// the best truncated score is then re-scored exactly, so the winner and its
+// reported score are bit-identical to full scoring.
 func (e *Engine) Assign(q []float64) (Assignment, error) {
 	st := e.state.Load()
 	// A nil index can be published if an index build failed mid-commit
@@ -379,7 +472,7 @@ func (e *Engine) Assign(q []float64) (Assignment, error) {
 	// candidate order is table-by-table, bucket members ascending).
 	sc.cids = sc.cids[:0]
 	for _, id := range sc.cand {
-		ci := st.view.Labels[id]
+		ci := st.view.Labels.At(int(id))
 		if ci < 0 || sc.cmark[ci] == sc.gen {
 			continue
 		}
@@ -391,17 +484,56 @@ func (e *Engine) Assign(q []float64) (Assignment, error) {
 	}
 
 	qNormSq := vec.Dot(q, q)
-	best, bestScore := -1, math.Inf(-1)
+	// Pass 1: score each candidate cluster over its top-K support weights
+	// only (small clusters exactly). With every affinity ≤ 1, the weight
+	// mass outside the top-K upper-bounds what the truncated tail could
+	// contribute, so scores[k] ≤ exact ≤ bounds[k].
+	sc.scores = sc.scores[:0]
+	sc.bounds = sc.bounds[:0]
+	bestLower := math.Inf(-1)
 	for _, ci := range sc.cids {
-		cl := st.view.Clusters[ci]
-		if cap(sc.col) < len(cl.Members) {
-			sc.col = make([]float64, len(cl.Members))
+		var score, bound float64
+		if tr := &st.trunc[ci]; tr.rows != nil {
+			col := sc.colFor(len(tr.rows))
+			st.oracle.ColumnPoint(q, qNormSq, tr.rows, col)
+			for t, w := range tr.w {
+				score += w * col[t]
+			}
+			bound = score + tr.restW
+		} else {
+			cl := st.view.Clusters[ci]
+			col := sc.colFor(len(cl.Members))
+			st.oracle.ColumnPoint(q, qNormSq, cl.Members, col)
+			for t, w := range cl.Weights {
+				score += w * col[t]
+			}
+			bound = score
 		}
-		col := sc.col[:len(cl.Members)]
-		st.oracle.ColumnPoint(q, qNormSq, cl.Members, col)
-		var score float64
-		for t, w := range cl.Weights {
-			score += w * col[t]
+		sc.scores = append(sc.scores, score)
+		sc.bounds = append(sc.bounds, bound)
+		if score > bestLower {
+			bestLower = score
+		}
+	}
+	// Pass 2: exact re-check of every candidate whose upper bound reaches
+	// the best truncated score — near ties included. Anything skipped has
+	// exact ≤ bound < bestLower ≤ the winner's exact score, so the winner
+	// (and its reported score, computed over the full member set in member
+	// order) is bit-identical to untruncated scoring.
+	best, bestScore := -1, math.Inf(-1)
+	for k, ci := range sc.cids {
+		if sc.bounds[k] < bestLower {
+			continue
+		}
+		score := sc.scores[k]
+		if tr := &st.trunc[ci]; tr.rows != nil {
+			cl := st.view.Clusters[ci]
+			col := sc.colFor(len(cl.Members))
+			st.oracle.ColumnPoint(q, qNormSq, cl.Members, col)
+			score = 0
+			for t, w := range cl.Weights {
+				score += w * col[t]
+			}
 		}
 		if score > bestScore {
 			best, bestScore = ci, score
@@ -530,7 +662,7 @@ func (e *Engine) Labels() []int {
 	if st == nil {
 		return nil
 	}
-	return append([]int(nil), st.view.Labels...)
+	return st.view.Labels.Flat()
 }
 
 // View returns the current published immutable view (snapshot persistence

@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"math"
+	"math/rand"
 	"testing"
 
 	"alid/internal/affinity"
@@ -269,6 +270,159 @@ func TestCloseFlushesBufferedPoints(t *testing.T) {
 	}
 	if st := e.Stats(); st.N != len(pts) {
 		t.Fatalf("N after close = %d, want %d", st.N, len(pts))
+	}
+}
+
+// Truncated scoring must be invisible: on clusters larger than assignTopK
+// the winner and its reported score must be bit-identical to the full
+// (untruncated) PR-2 algorithm — candidate clusters from the published LSH
+// index in first-seen order, each scored over its entire support, first
+// maximum wins.
+func TestAssignTruncatedMatchesFull(t *testing.T) {
+	pts, _ := testutil.Blobs(53, [][]float64{{0, 0}, {12, 12}}, 250, 0.05, 40, -20, 25)
+	e, err := New(engineConfig(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	big := 0
+	for _, cl := range e.Clusters() {
+		if len(cl.Members) > assignTopK {
+			big++
+		}
+	}
+	if big == 0 {
+		t.Fatal("no cluster exceeds assignTopK — truncation not exercised")
+	}
+
+	v := e.View()
+	o, err := affinity.NewOracleMatrix(v.Mat, e.Config().Core.Kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullAssign := func(q []float64) (int, float64) {
+		qn := vec.Dot(q, q)
+		seen := make(map[int]bool)
+		best, bestScore := -1, math.Inf(-1)
+		for _, id := range v.Index.Query(q) {
+			ci := v.Labels.At(int(id))
+			if ci < 0 || seen[ci] {
+				continue
+			}
+			seen[ci] = true
+			cl := v.Clusters[ci]
+			col := make([]float64, len(cl.Members))
+			o.ColumnPoint(q, qn, cl.Members, col)
+			var s float64
+			for t, w := range cl.Weights {
+				s += w * col[t]
+			}
+			if s > bestScore {
+				best, bestScore = ci, s
+			}
+		}
+		return best, bestScore
+	}
+
+	rng := rand.New(rand.NewSource(54))
+	assigned := 0
+	for qi := 0; qi < 150; qi++ {
+		var q []float64
+		switch qi % 3 {
+		case 0:
+			src := pts[rng.Intn(len(pts))]
+			q = []float64{src[0] + rng.NormFloat64()*0.2, src[1] + rng.NormFloat64()*0.2}
+		case 1:
+			q = []float64{rng.NormFloat64() * 3, rng.NormFloat64() * 3}
+		default:
+			q = []float64{rng.Float64()*50 - 15, rng.Float64()*50 - 15}
+		}
+		a, err := e.Assign(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantC, wantS := fullAssign(q)
+		if a.Cluster != wantC {
+			t.Fatalf("query %d: truncated winner %d, full winner %d", qi, a.Cluster, wantC)
+		}
+		if wantC >= 0 {
+			assigned++
+			if a.Score != wantS {
+				t.Fatalf("query %d: truncated score %v, full score %v", qi, a.Score, wantS)
+			}
+		}
+	}
+	if assigned == 0 {
+		t.Fatal("no query was assigned — crosscheck is vacuous")
+	}
+}
+
+// The assign path must stay allocation-free in steady state, truncation
+// tables included.
+func TestAssignAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; counts are only meaningful without -race")
+	}
+	pts, _ := testutil.Blobs(57, [][]float64{{0, 0}, {12, 12}}, 200, 0.05, 20, -15, 20)
+	e, err := New(engineConfig(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	queries := [][]float64{{0.1, -0.2}, {11.8, 12.3}, {6, 6}, {-14, 19}}
+	for i := 0; i < 50; i++ { // warm the pooled scratch to steady capacity
+		if _, err := e.Assign(queries[i%len(queries)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := e.Assign(queries[i%len(queries)]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Assign allocates %v per call, want 0", allocs)
+	}
+}
+
+// QueuedPoints is exact: it never goes negative under concurrent ingest and
+// settles at zero once everything is committed.
+func TestQueuedPointsExact(t *testing.T) {
+	e, err := New(engineConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ctx := context.Background()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			q := e.Stats().QueuedPoints
+			if q < 0 || q > 400 {
+				t.Errorf("QueuedPoints = %d out of [0,400]", q)
+				return
+			}
+		}
+	}()
+	rng := rand.New(rand.NewSource(59))
+	for i := 0; i < 400; i++ {
+		p := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		if err := e.Ingest(ctx, [][]float64{p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	if err := e.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.QueuedPoints != 0 {
+		t.Fatalf("QueuedPoints = %d after flush, want 0", st.QueuedPoints)
+	}
+	if st := e.Stats(); st.Ingested != 400 || st.N != 400 {
+		t.Fatalf("stats after flush: %+v", st)
 	}
 }
 

@@ -24,7 +24,7 @@ func (e *Engine) WriteSnapshot(w io.Writer) error {
 		Mat:       v.Mat,
 		Index:     v.Index,
 		Clusters:  v.Clusters,
-		Labels:    v.Labels,
+		Labels:    v.Labels.Flat(),
 		Commits:   v.Commits,
 	})
 }

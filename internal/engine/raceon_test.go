@@ -1,0 +1,8 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation allocates inside instrumented calls, so allocation-count
+// assertions are only meaningful without it.
+const raceEnabled = true

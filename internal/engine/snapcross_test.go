@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"alid/internal/snapshot"
 	"alid/internal/testutil"
 )
 
@@ -157,6 +158,51 @@ func TestSnapshotRestoreContinuesStream(t *testing.T) {
 	sameClusters(t, live, restored)
 	queries := append(crossQueries(60), []float64{-20, -20}, []float64{-19.8, -20.3})
 	sameAssigns(t, live, restored, queries)
+}
+
+// An engine restored from a LEGACY v1 snapshot must serve bit-identically
+// to the live engine, and re-snapshotting it through the current v2 codec
+// must reproduce the live engine's v2 bytes — the v1→v2 migration path is
+// lossless.
+func TestSnapshotV1CompatCrosscheck(t *testing.T) {
+	live, _ := blobEngine(t)
+	defer live.Close()
+	v := live.View()
+	s := &snapshot.Snapshot{
+		Core:      live.Config().Core,
+		BatchSize: live.Config().BatchSize,
+		Mat:       v.Mat,
+		Index:     v.Index,
+		Clusters:  v.Clusters,
+		Labels:    v.Labels.Flat(),
+		Commits:   v.Commits,
+	}
+	var v1 bytes.Buffer
+	if err := snapshot.WriteV1(&v1, s); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadSnapshot(bytes.NewReader(v1.Bytes()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+
+	if restored.Config().Core != live.Config().Core {
+		t.Fatalf("config round-trip: %+v vs %+v", restored.Config().Core, live.Config().Core)
+	}
+	sameClusters(t, live, restored)
+	sameAssigns(t, live, restored, crossQueries(120))
+
+	var v2Live, v2Restored bytes.Buffer
+	if err := live.WriteSnapshot(&v2Live); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.WriteSnapshot(&v2Restored); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v2Live.Bytes(), v2Restored.Bytes()) {
+		t.Fatalf("v2 re-snapshot after v1 restore differs: %d vs %d bytes", v2Live.Len(), v2Restored.Len())
+	}
 }
 
 func TestSaveFileLoadFile(t *testing.T) {

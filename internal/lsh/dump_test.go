@@ -102,34 +102,39 @@ func TestQueryIntoMatchesQuery(t *testing.T) {
 	}
 }
 
-// Appending to a clone must leave the original untouched — the copy-on-write
-// contract the streaming layer's frozen views rely on.
-func TestCloneIsolatesAppends(t *testing.T) {
+// Appending to the live index must leave a published snapshot untouched —
+// the share-and-seal contract the streaming layer's frozen views rely on.
+func TestPublishIsolatesAppends(t *testing.T) {
 	pts := randPoints(11, 150, 4)
 	idx, err := Build(pts, Config{Projections: 5, Tables: 4, R: 2, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	before := make([][]int32, idx.N())
+	snap := idx.Publish()
+	before := make([][]int32, snap.N())
 	for id := range before {
-		before[id] = idx.CandidatesByID(id)
+		before[id] = snap.CandidatesByID(id)
 	}
-	clone := idx.Clone()
 	// Append near-duplicates of existing points so buckets actually grow.
 	extra := make([][]float64, 30)
 	for i := range extra {
 		extra[i] = append([]float64(nil), pts[i]...)
 	}
-	if _, err := clone.Append(extra); err != nil {
+	if _, err := idx.Append(extra); err != nil {
 		t.Fatal(err)
 	}
-	if clone.N() != idx.N()+len(extra) {
-		t.Fatalf("clone N = %d", clone.N())
+	if idx.N() != len(pts)+len(extra) {
+		t.Fatalf("live N = %d", idx.N())
 	}
-	if idx.N() != len(pts) {
-		t.Fatalf("original N changed: %d", idx.N())
+	if snap.N() != len(pts) {
+		t.Fatalf("snapshot N changed: %d", snap.N())
 	}
 	for id := range before {
-		sameIDs(t, before[id], idx.CandidatesByID(id), "original after clone-append")
+		sameIDs(t, before[id], snap.CandidatesByID(id), "snapshot after live append")
 	}
+	// The appended points are visible in the live index and a fresh snapshot.
+	if len(idx.CandidatesByID(0)) <= len(before[0]) {
+		t.Fatal("live index did not grow candidates for duplicated point")
+	}
+	sameIDs(t, idx.CandidatesByID(0), idx.Publish().CandidatesByID(0), "fresh snapshot vs live")
 }

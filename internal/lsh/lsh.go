@@ -12,12 +12,28 @@
 // data-item index never rehashes, matching the paper's "check the inverted
 // list ... and do not store the hash keys" design.
 //
-// Construction operates on the contiguous matrix.Matrix layout and runs the
+// Construction operates on the segmented matrix.Matrix layout and runs the
 // O(n·d·µ·l) hashing pass in parallel across GOMAXPROCS goroutines. Hash
 // parameters are still drawn from a single deterministic stream (that part is
 // O(l·µ·d) — negligible) and bucket insertion happens in ascending point-id
 // order per table, so the built index is bit-identical regardless of
 // parallelism: same tables, same bucket membership order, same results.
+//
+// # Structural sharing (share-and-seal)
+//
+// Each table stores its buckets as a list of sealed, immutable bucket
+// segments plus one small mutable tail. Append touches only the tail;
+// Publish seals the tail into the segment list and returns an immutable
+// snapshot that shares every sealed segment with the live index, so taking
+// a snapshot costs O(segments + tail keys) instead of the O(n·l) deep Clone
+// the streaming layer paid before. Reads merge the segments in order; since
+// segments hold ascending, disjoint id ranges, the merged member sequence of
+// any bucket is exactly the ascending-id order of a flat build — segmented
+// and flat indexes answer every query bit-identically (gated by
+// segcross_test.go). Sealed segments are compacted geometrically (an LSM-
+// style merge of the two newest segments while the older is at most twice
+// the newer), keeping the per-table segment count logarithmic in the number
+// of publishes at O(log) amortized merge cost per appended point.
 package lsh
 
 import (
@@ -66,18 +82,109 @@ func (c Config) Validate() error {
 	return nil
 }
 
+const (
+	// KeyChunkShift is log2(KeyChunk).
+	KeyChunkShift = 12
+	// KeyChunk is the fixed capacity of one inverted-list chunk. Every chunk
+	// except the tail holds exactly this many keys (canonical chunking, the
+	// same rule matrix.Matrix follows), so the snapshot codec can round-trip
+	// chunks verbatim.
+	KeyChunk     = 1 << KeyChunkShift
+	keyChunkMask = KeyChunk - 1
+)
+
+// keyvec is an append-only chunked uint64 vector with structural sharing:
+// sealed (full) chunks are immutable and shared between snapshots, only the
+// partially filled tail chunk is copied on snapshot.
+type keyvec struct {
+	chunks [][]uint64
+	n      int
+}
+
+// newKeyvec preallocates a vector of n keys (all chunks at final length) so
+// parallel builders can write disjoint index ranges with set.
+func newKeyvec(n int) *keyvec {
+	v := &keyvec{n: n}
+	for left := n; left > 0; left -= KeyChunk {
+		v.chunks = append(v.chunks, make([]uint64, min(left, KeyChunk), KeyChunk))
+	}
+	return v
+}
+
+func (v *keyvec) at(i int) uint64     { return v.chunks[i>>KeyChunkShift][i&keyChunkMask] }
+func (v *keyvec) set(i int, k uint64) { v.chunks[i>>KeyChunkShift][i&keyChunkMask] = k }
+
+func (v *keyvec) append(k uint64) {
+	if c := len(v.chunks); c == 0 || len(v.chunks[c-1]) == KeyChunk {
+		v.chunks = append(v.chunks, make([]uint64, 0, KeyChunk))
+	}
+	c := len(v.chunks) - 1
+	v.chunks[c] = append(v.chunks[c], k)
+	v.n++
+}
+
+// snapshot shares sealed chunks and copies only the partial tail, so appends
+// to the receiver never disturb the snapshot (and vice versa).
+func (v *keyvec) snapshot() *keyvec {
+	s := &keyvec{chunks: append([][]uint64(nil), v.chunks...), n: v.n}
+	if c := len(s.chunks) - 1; c >= 0 && len(s.chunks[c]) < KeyChunk {
+		s.chunks[c] = append(make([]uint64, 0, len(s.chunks[c])), s.chunks[c]...)
+	}
+	return s
+}
+
+// flat materializes the keys into a fresh slice (compat/diagnostic path).
+func (v *keyvec) flat() []uint64 {
+	out := make([]uint64, 0, v.n)
+	for _, c := range v.chunks {
+		out = append(out, c...)
+	}
+	return out
+}
+
+// fromKeyChunks adopts canonically chunked keys without copying.
+func fromKeyChunks(chunks [][]uint64) (*keyvec, error) {
+	n := 0
+	for c, ch := range chunks {
+		if c < len(chunks)-1 && len(ch) != KeyChunk {
+			return nil, fmt.Errorf("lsh: key chunk %d has %d keys, want %d", c, len(ch), KeyChunk)
+		}
+		if len(ch) == 0 || len(ch) > KeyChunk {
+			return nil, fmt.Errorf("lsh: key chunk %d has %d keys", c, len(ch))
+		}
+		n += len(ch)
+	}
+	return &keyvec{chunks: chunks, n: n}, nil
+}
+
+// segment is one sealed (or, for the tail, still-mutable) portion of a
+// table's buckets, covering a contiguous ascending range of point ids.
+// Sealed segments are immutable and shared by every snapshot taken after the
+// seal.
+type segment struct {
+	buckets map[uint64][]int32
+	// size is the number of points hashed into this segment (merge policy).
+	size int
+}
+
 type table struct {
 	// projections, row-major: Projections × dim
 	proj []float64
 	// offsets b_t ∈ [0, R)
 	off []float64
-	// buckets maps folded key -> member point ids
-	buckets map[uint64][]int32
-	// keys[i] is the bucket key of point i (the inverted list)
-	keys []uint64
+	// keys[i] is the bucket key of point i (the chunked inverted list)
+	keys *keyvec
+	// segs are the sealed bucket segments in ascending id-range order.
+	segs []*segment
+	// tail is the mutable segment Append writes into; nil when empty.
+	tail *segment
 }
 
-// Index is an immutable LSH index over a dataset. Safe for concurrent reads.
+// Index is an LSH index over a dataset. Reads (Query, CandidatesByID, …) are
+// safe for unlimited concurrency; Append and Publish are writer-side and
+// must be serialized by the caller (the streaming layer's single writer).
+// Published snapshots are immutable and share sealed state with the live
+// index.
 type Index struct {
 	cfg    Config
 	dim    int
@@ -101,7 +208,8 @@ func Build(pts [][]float64, cfg Config) (*Index, error) {
 }
 
 // BuildMatrix hashes all rows of m into cfg.Tables tables: O(n·d·µ·l) time,
-// parallelized across points and tables.
+// parallelized across points and tables. The built buckets form each table's
+// single sealed base segment.
 func BuildMatrix(m *matrix.Matrix, cfg Config) (*Index, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -125,11 +233,11 @@ func BuildMatrix(m *matrix.Matrix, cfg Config) (*Index, error) {
 		for i := range tb.off {
 			tb.off[i] = rng.Float64() * cfg.R
 		}
-		tb.keys = make([]uint64, m.N)
+		tb.keys = newKeyvec(m.N)
 	}
 
 	// Phase 1: compute every point's bucket key, parallel over (table, block)
-	// jobs. Each job writes a disjoint range of one table's key slice.
+	// jobs. Each job writes a disjoint range of one table's key chunks.
 	const block = 256
 	blocksPerTable := (m.N + block - 1) / block
 	jobs := cfg.Tables * blocksPerTable
@@ -157,7 +265,7 @@ func BuildMatrix(m *matrix.Matrix, cfg Config) (*Index, error) {
 				}
 				for i := lo; i < hi; i++ {
 					tb.signature(m.Row(i), cfg.R, sig)
-					tb.keys[i] = fold(sig)
+					tb.keys.set(i, fold(sig))
 				}
 			}
 		}()
@@ -192,10 +300,12 @@ func BuildMatrix(m *matrix.Matrix, cfg Config) (*Index, error) {
 					return
 				}
 				tb := &idx.tables[t]
-				tb.buckets = make(map[uint64][]int32, bucketHint)
-				for i, key := range tb.keys {
-					tb.buckets[key] = append(tb.buckets[key], int32(i))
+				base := &segment{buckets: make(map[uint64][]int32, bucketHint), size: m.N}
+				for i := 0; i < m.N; i++ {
+					key := tb.keys.at(i)
+					base.buckets[key] = append(base.buckets[key], int32(i))
 				}
+				tb.segs = []*segment{base}
 			}
 		}()
 	}
@@ -245,7 +355,9 @@ func (i *Index) Dim() int { return i.dim }
 
 // Append hashes additional points into the existing tables, assigning them
 // the next ids (N(), N()+1, ...). It returns the id of the first appended
-// point. Unlike the read path, Append is NOT safe for concurrent use; the
+// point. Only each table's mutable tail segment and the tail chunk of its
+// inverted list are touched: sealed segments shared with published
+// snapshots are never written. Append is NOT safe for concurrent use; the
 // streaming extension serializes batch commits around it.
 func (i *Index) Append(pts [][]float64) (int, error) {
 	first := i.n
@@ -257,15 +369,75 @@ func (i *Index) Append(pts [][]float64) (int, error) {
 	}
 	for t := range i.tables {
 		tb := &i.tables[t]
+		if tb.tail == nil {
+			tb.tail = &segment{buckets: make(map[uint64][]int32, len(pts))}
+		}
 		for off, p := range pts {
 			tb.signature(p, i.cfg.R, sig)
 			key := fold(sig)
-			tb.keys = append(tb.keys, key)
-			tb.buckets[key] = append(tb.buckets[key], int32(first+off))
+			tb.keys.append(key)
+			tb.tail.buckets[key] = append(tb.tail.buckets[key], int32(first+off))
 		}
+		tb.tail.size += len(pts)
 	}
 	i.n += len(pts)
 	return first, nil
+}
+
+// Publish seals every table's mutable tail into its sealed-segment list,
+// compacts the newest segments geometrically, and returns an immutable
+// snapshot sharing all sealed state with the live index. The snapshot costs
+// O(segments + tail inverted-list chunk) per table — independent of n — and
+// stays bit-identical to the live index at publish time forever: subsequent
+// Appends to the receiver only create fresh tails and fresh chunks. This is
+// the share-and-seal replacement for the pre-segmentation deep Clone.
+func (i *Index) Publish() *Index {
+	snap := &Index{cfg: i.cfg, dim: i.dim, n: i.n, tables: make([]table, len(i.tables))}
+	for t := range i.tables {
+		tb := &i.tables[t]
+		if tb.tail != nil {
+			tb.segs = append(tb.segs, tb.tail)
+			tb.tail = nil
+			tb.compact()
+		}
+		snap.tables[t] = table{
+			proj: tb.proj,
+			off:  tb.off,
+			keys: tb.keys.snapshot(),
+			segs: append([]*segment(nil), tb.segs...),
+		}
+	}
+	return snap
+}
+
+// compact merges the two newest sealed segments while the older one is at
+// most twice the newer (LSM-style geometric schedule): segment count stays
+// O(log publishes) so merged reads stay cheap, at O(log) amortized merge
+// cost per appended point. Merging allocates a fresh segment — the inputs
+// may be shared with published snapshots and are never mutated. Ascending
+// id order is preserved: the older segment's members (smaller ids) come
+// first in every merged bucket.
+func (tb *table) compact() {
+	for k := len(tb.segs); k >= 2 && tb.segs[k-2].size <= 2*tb.segs[k-1].size; k = len(tb.segs) {
+		a, b := tb.segs[k-2], tb.segs[k-1]
+		m := &segment{
+			buckets: make(map[uint64][]int32, len(a.buckets)+len(b.buckets)),
+			size:    a.size + b.size,
+		}
+		for key, am := range a.buckets {
+			bm := b.buckets[key]
+			merged := make([]int32, 0, len(am)+len(bm))
+			merged = append(merged, am...)
+			merged = append(merged, bm...)
+			m.buckets[key] = merged
+		}
+		for key, bm := range b.buckets {
+			if _, ok := a.buckets[key]; !ok {
+				m.buckets[key] = append(make([]int32, 0, len(bm)), bm...)
+			}
+		}
+		tb.segs = append(tb.segs[:k-2], m)
+	}
 }
 
 // Config returns the index parameters.
@@ -283,10 +455,21 @@ func (i *Index) Query(v []float64) []int32 {
 	for t := range i.tables {
 		tb := &i.tables[t]
 		tb.signature(v, i.cfg.R, sig)
-		for _, id := range tb.buckets[fold(sig)] {
-			if _, ok := seen[id]; !ok {
-				seen[id] = struct{}{}
-				out = append(out, id)
+		key := fold(sig)
+		for _, seg := range tb.segs {
+			for _, id := range seg.buckets[key] {
+				if _, ok := seen[id]; !ok {
+					seen[id] = struct{}{}
+					out = append(out, id)
+				}
+			}
+		}
+		if tb.tail != nil {
+			for _, id := range tb.tail.buckets[key] {
+				if _, ok := seen[id]; !ok {
+					seen[id] = struct{}{}
+					out = append(out, id)
+				}
 			}
 		}
 	}
@@ -300,7 +483,8 @@ func (i *Index) Query(v []float64) []int32 {
 // It never mutates the index, so any number of goroutines may query one
 // index concurrently as long as each brings its own scratch; this is the
 // serving engine's per-request candidate-retrieval hook. Candidate order is
-// deterministic: tables in order, bucket members in ascending id order.
+// deterministic and identical to a flat build: tables in order, bucket
+// members in ascending id order (segments cover ascending id ranges).
 func (i *Index) QueryInto(v []float64, sig []int64, dst []int32, mark []uint32, gen uint32) []int32 {
 	if len(v) != i.dim {
 		panic(fmt.Sprintf("lsh: query dimension %d, want %d", len(v), i.dim))
@@ -311,41 +495,33 @@ func (i *Index) QueryInto(v []float64, sig []int64, dst []int32, mark []uint32, 
 	for t := range i.tables {
 		tb := &i.tables[t]
 		tb.signature(v, i.cfg.R, sig)
-		for _, id := range tb.buckets[fold(sig)] {
-			if mark[id] == gen {
-				continue
+		key := fold(sig)
+		for _, seg := range tb.segs {
+			for _, id := range seg.buckets[key] {
+				if mark[id] == gen {
+					continue
+				}
+				mark[id] = gen
+				dst = append(dst, id)
 			}
-			mark[id] = gen
-			dst = append(dst, id)
+		}
+		if tb.tail != nil {
+			for _, id := range tb.tail.buckets[key] {
+				if mark[id] == gen {
+					continue
+				}
+				mark[id] = gen
+				dst = append(dst, id)
+			}
 		}
 	}
 	return dst
 }
 
-// Clone returns a copy that can be appended to without disturbing the
-// receiver: keys and bucket slices are deep-copied per table, while the hash
-// parameters (projections, offsets) are shared — they are immutable after
-// construction. The streaming layer clones a published index before the next
-// batch mutates it, so frozen views stay safe for concurrent readers.
-func (i *Index) Clone() *Index {
-	c := &Index{cfg: i.cfg, dim: i.dim, n: i.n, tables: make([]table, len(i.tables))}
-	for t := range i.tables {
-		src := &i.tables[t]
-		dst := &c.tables[t]
-		dst.proj = src.proj
-		dst.off = src.off
-		dst.keys = append(make([]uint64, 0, len(src.keys)), src.keys...)
-		dst.buckets = make(map[uint64][]int32, len(src.buckets))
-		for k, members := range src.buckets {
-			dst.buckets[k] = append(make([]int32, 0, len(members)), members...)
-		}
-	}
-	return c
-}
-
-// TableDump is the serializable state of one hash table. Buckets are not
-// dumped: they are a deterministic function of Keys (bucket fill inserts
-// points in ascending id order), so restore rebuilds them bit-identically.
+// TableDump is the flat serializable state of one hash table (the legacy v1
+// snapshot layout; the v2 codec uses DumpChunks). Buckets are not dumped:
+// they are a deterministic function of Keys (bucket fill inserts points in
+// ascending id order), so restore rebuilds them bit-identically.
 type TableDump struct {
 	// Proj is the row-major Projections×dim projection matrix a_t.
 	Proj []float64
@@ -355,21 +531,68 @@ type TableDump struct {
 	Keys []uint64
 }
 
-// Dump exports the index state for snapshot persistence. The returned slices
-// alias index storage and must be treated as read-only.
+// Dump exports the index state in flat form. Proj and Off alias index
+// storage (read-only); Keys is freshly materialized from the chunked
+// inverted list.
 func (i *Index) Dump() (Config, int, []TableDump) {
 	out := make([]TableDump, len(i.tables))
 	for t := range i.tables {
 		tb := &i.tables[t]
-		out[t] = TableDump{Proj: tb.proj, Off: tb.off, Keys: tb.keys}
+		out[t] = TableDump{Proj: tb.proj, Off: tb.off, Keys: tb.keys.flat()}
 	}
 	return i.cfg, i.dim, out
 }
 
-// FromDump reconstructs an index from dumped state, rebuilding every bucket
-// map from the inverted lists in ascending point-id order — the same order
-// BuildMatrix and Append use — so the restored index answers every query
-// identically to the dumped one. The dump's slices are taken over.
+// TableChunks is the chunked serializable state of one hash table: the
+// inverted list in canonical KeyChunk-sized chunks, exactly as stored. The
+// v2 snapshot codec streams these without materializing a flat copy, and
+// restore adopts them without re-chunking.
+type TableChunks struct {
+	// Proj is the row-major Projections×dim projection matrix a_t.
+	Proj []float64
+	// Off holds the Projections offsets b_t.
+	Off []float64
+	// KeyChunks is the chunked inverted list (canonical chunking).
+	KeyChunks [][]uint64
+}
+
+// DumpChunks exports the index state in chunked form. All slices alias index
+// storage and must be treated as read-only.
+func (i *Index) DumpChunks() (Config, int, []TableChunks) {
+	out := make([]TableChunks, len(i.tables))
+	for t := range i.tables {
+		tb := &i.tables[t]
+		out[t] = TableChunks{Proj: tb.proj, Off: tb.off, KeyChunks: tb.keys.chunks}
+	}
+	return i.cfg, i.dim, out
+}
+
+// validateTable checks one restored table's hash parameters.
+func validateTable(cfg Config, dim, t int, proj, off []float64) error {
+	if len(proj) != cfg.Projections*dim {
+		return fmt.Errorf("lsh: table %d has %d projection values, want %d", t, len(proj), cfg.Projections*dim)
+	}
+	if len(off) != cfg.Projections {
+		return fmt.Errorf("lsh: table %d has %d offsets, want %d", t, len(off), cfg.Projections)
+	}
+	return nil
+}
+
+// rebuildBase fills one sealed base segment from a table's inverted list in
+// ascending point-id order — the same order BuildMatrix and Append use — so
+// a restored index answers every query identically to the dumped one.
+func rebuildBase(tb *table, n int) {
+	base := &segment{buckets: make(map[uint64][]int32, min(n, 1<<16)), size: n}
+	for i := 0; i < n; i++ {
+		key := tb.keys.at(i)
+		base.buckets[key] = append(base.buckets[key], int32(i))
+	}
+	tb.segs = []*segment{base}
+}
+
+// FromDump reconstructs an index from flat dumped state (the legacy v1
+// snapshot layout), re-chunking the inverted lists and rebuilding every
+// bucket into a single sealed base segment.
 func FromDump(cfg Config, dim int, tables []TableDump) (*Index, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -383,11 +606,8 @@ func FromDump(cfg Config, dim int, tables []TableDump) (*Index, error) {
 	n := -1
 	idx := &Index{cfg: cfg, dim: dim, tables: make([]table, len(tables))}
 	for t, td := range tables {
-		if len(td.Proj) != cfg.Projections*dim {
-			return nil, fmt.Errorf("lsh: table %d has %d projection values, want %d", t, len(td.Proj), cfg.Projections*dim)
-		}
-		if len(td.Off) != cfg.Projections {
-			return nil, fmt.Errorf("lsh: table %d has %d offsets, want %d", t, len(td.Off), cfg.Projections)
+		if err := validateTable(cfg, dim, t, td.Proj, td.Off); err != nil {
+			return nil, err
 		}
 		if n == -1 {
 			n = len(td.Keys)
@@ -397,11 +617,53 @@ func FromDump(cfg Config, dim int, tables []TableDump) (*Index, error) {
 		tb := &idx.tables[t]
 		tb.proj = td.Proj
 		tb.off = td.Off
-		tb.keys = td.Keys
-		tb.buckets = make(map[uint64][]int32, min(n, 1<<16))
+		tb.keys = newKeyvec(len(td.Keys))
 		for i, key := range td.Keys {
-			tb.buckets[key] = append(tb.buckets[key], int32(i))
+			tb.keys.set(i, key)
 		}
+		rebuildBase(tb, n)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("lsh: dump has no points")
+	}
+	idx.n = n
+	return idx, nil
+}
+
+// FromDumpChunks reconstructs an index from chunked dumped state (the v2
+// snapshot layout), adopting the key chunks without copying and rebuilding
+// every bucket into a single sealed base segment. Runtime segmentation is
+// not persisted — it only shapes future publish costs, never query answers.
+func FromDumpChunks(cfg Config, dim int, tables []TableChunks) (*Index, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if dim <= 0 {
+		return nil, fmt.Errorf("lsh: dump dimension %d", dim)
+	}
+	if len(tables) != cfg.Tables {
+		return nil, fmt.Errorf("lsh: dump has %d tables, config says %d", len(tables), cfg.Tables)
+	}
+	n := -1
+	idx := &Index{cfg: cfg, dim: dim, tables: make([]table, len(tables))}
+	for t, td := range tables {
+		if err := validateTable(cfg, dim, t, td.Proj, td.Off); err != nil {
+			return nil, err
+		}
+		kv, err := fromKeyChunks(td.KeyChunks)
+		if err != nil {
+			return nil, fmt.Errorf("lsh: table %d: %w", t, err)
+		}
+		if n == -1 {
+			n = kv.n
+		} else if kv.n != n {
+			return nil, fmt.Errorf("lsh: table %d has %d keys, table 0 has %d", t, kv.n, n)
+		}
+		tb := &idx.tables[t]
+		tb.proj = td.Proj
+		tb.off = td.Off
+		tb.keys = kv
+		rebuildBase(tb, n)
 	}
 	if n <= 0 {
 		return nil, fmt.Errorf("lsh: dump has no points")
@@ -417,13 +679,27 @@ func (i *Index) CandidatesByID(id int) []int32 {
 	var out []int32
 	for t := range i.tables {
 		tb := &i.tables[t]
-		for _, j := range tb.buckets[tb.keys[id]] {
-			if int(j) == id {
-				continue
+		key := tb.keys.at(id)
+		for _, seg := range tb.segs {
+			for _, j := range seg.buckets[key] {
+				if int(j) == id {
+					continue
+				}
+				if _, ok := seen[j]; !ok {
+					seen[j] = struct{}{}
+					out = append(out, j)
+				}
 			}
-			if _, ok := seen[j]; !ok {
-				seen[j] = struct{}{}
-				out = append(out, j)
+		}
+		if tb.tail != nil {
+			for _, j := range tb.tail.buckets[key] {
+				if int(j) == id {
+					continue
+				}
+				if _, ok := seen[j]; !ok {
+					seen[j] = struct{}{}
+					out = append(out, j)
+				}
 			}
 		}
 	}
@@ -437,12 +713,24 @@ func (i *Index) CandidatesByID(id int) []int32 {
 func (i *Index) CandidatesByIDInto(id int, dst []int32, mark []uint32, gen uint32) []int32 {
 	for t := range i.tables {
 		tb := &i.tables[t]
-		for _, j := range tb.buckets[tb.keys[id]] {
-			if int(j) == id || mark[j] == gen {
-				continue
+		key := tb.keys.at(id)
+		for _, seg := range tb.segs {
+			for _, j := range seg.buckets[key] {
+				if int(j) == id || mark[j] == gen {
+					continue
+				}
+				mark[j] = gen
+				dst = append(dst, j)
 			}
-			mark[j] = gen
-			dst = append(dst, j)
+		}
+		if tb.tail != nil {
+			for _, j := range tb.tail.buckets[key] {
+				if int(j) == id || mark[j] == gen {
+					continue
+				}
+				mark[j] = gen
+				dst = append(dst, j)
+			}
 		}
 	}
 	return dst
@@ -467,22 +755,59 @@ func (i *Index) NeighborLists(maxPerPoint int) [][]int {
 	return out
 }
 
+// allSegments returns the table's segments in id-range order, including the
+// mutable tail (reader-side merged view).
+func (tb *table) allSegments() []*segment {
+	if tb.tail == nil {
+		return tb.segs
+	}
+	return append(append(make([]*segment, 0, len(tb.segs)+1), tb.segs...), tb.tail)
+}
+
 // Buckets returns every bucket (across all tables) with more than minSize
 // members, in a deterministic order (by table, then bucket key). PALID
 // samples its initial vertices from these (Section 4.6) and relies on the
-// ordering for run-to-run reproducibility.
+// ordering for run-to-run reproducibility. Buckets split across segments are
+// merged in ascending id order, so the result is identical to a flat build.
 func (i *Index) Buckets(minSize int) [][]int32 {
 	var out [][]int32
 	for t := range i.tables {
-		keys := make([]uint64, 0, len(i.tables[t].buckets))
-		for k, members := range i.tables[t].buckets {
-			if len(members) > minSize {
+		segs := i.tables[t].allSegments()
+		if len(segs) == 1 {
+			// Common (freshly built / restored) case: alias the single
+			// segment's bucket slices directly.
+			b := segs[0].buckets
+			keys := make([]uint64, 0, len(b))
+			for k, members := range b {
+				if len(members) > minSize {
+					keys = append(keys, k)
+				}
+			}
+			slices.Sort(keys)
+			for _, k := range keys {
+				out = append(out, b[k])
+			}
+			continue
+		}
+		total := make(map[uint64]int)
+		for _, seg := range segs {
+			for k, members := range seg.buckets {
+				total[k] += len(members)
+			}
+		}
+		keys := make([]uint64, 0, len(total))
+		for k, sz := range total {
+			if sz > minSize {
 				keys = append(keys, k)
 			}
 		}
 		slices.Sort(keys)
 		for _, k := range keys {
-			out = append(out, i.tables[t].buckets[k])
+			merged := make([]int32, 0, total[k])
+			for _, seg := range segs {
+				merged = append(merged, seg.buckets[k]...)
+			}
+			out = append(out, merged)
 		}
 	}
 	return out
@@ -494,18 +819,40 @@ type Stats struct {
 	Buckets        int
 	MaxBucketSize  int
 	MeanBucketSize float64
+	// Segments is the total sealed-segment count across tables (tails
+	// included when non-empty) — the share-and-seal bookkeeping reads merge.
+	Segments int
 }
 
-// Stats computes bucket statistics across all tables.
+// Stats computes bucket statistics across all tables, merging buckets that
+// span segments so the numbers match a flat build.
 func (i *Index) Stats() Stats {
 	s := Stats{Tables: len(i.tables)}
 	total := 0
 	for t := range i.tables {
-		for _, members := range i.tables[t].buckets {
+		segs := i.tables[t].allSegments()
+		s.Segments += len(segs)
+		if len(segs) == 1 {
+			for _, members := range segs[0].buckets {
+				s.Buckets++
+				total += len(members)
+				if len(members) > s.MaxBucketSize {
+					s.MaxBucketSize = len(members)
+				}
+			}
+			continue
+		}
+		sizes := make(map[uint64]int)
+		for _, seg := range segs {
+			for k, members := range seg.buckets {
+				sizes[k] += len(members)
+			}
+		}
+		for _, sz := range sizes {
 			s.Buckets++
-			total += len(members)
-			if len(members) > s.MaxBucketSize {
-				s.MaxBucketSize = len(members)
+			total += sz
+			if sz > s.MaxBucketSize {
+				s.MaxBucketSize = sz
 			}
 		}
 	}

@@ -1,18 +1,32 @@
-// Package matrix provides the contiguous row-major dataset representation
+// Package matrix provides the segmented row-major dataset representation
 // every hot path in this repository operates on.
 //
 // The seed implementation passed [][]float64 everywhere, paying a pointer
-// dereference (and usually a cache miss) per point touched. Matrix stores all
-// n·d coordinates in one flat slice, so kernel evaluation, LSH hashing and
-// ROI filtering stream over contiguous memory, and it precomputes the squared
-// L2 norm of every row so Euclidean distances can be evaluated with a single
-// fused dot product via the identity
+// dereference (and usually a cache miss) per point touched; PR 1 replaced it
+// with one flat n·d slice. This revision keeps rows contiguous but stores
+// them in fixed-capacity chunks of ChunkRows rows each, with a per-chunk
+// cache of squared L2 norms, so Euclidean distances are still evaluated with
+// a single fused dot product via the identity
 //
-//	‖a−b‖² = ‖a‖² + ‖b‖² − 2·a·b.
+//	‖a−b‖² = ‖a‖² + ‖b‖² − 2·a·b,
 //
-// Invariant (established by PR 1): points are flattened ONCE at the public
-// API boundary (alid.NewDetector and friends); all internal layers take a
-// *Matrix and never re-materialize [][]float64.
+// while a published snapshot of the matrix is structurally shared: sealed
+// (full) chunks are immutable and referenced by every snapshot that contains
+// them, and only the partially filled tail chunk is ever copied. Snapshot
+// therefore costs O(ChunkRows·d + n/ChunkRows) — independent of n up to the
+// chunk-pointer copy — where the pre-segmentation Clone cost O(n·d).
+//
+// Invariants:
+//
+//   - points are flattened ONCE at the public API boundary (alid.NewDetector
+//     and friends); all internal layers take a *Matrix and never
+//     re-materialize [][]float64 on a hot path (established by PR 1);
+//   - every chunk except the last holds exactly ChunkRows rows (canonical
+//     chunking — snapshot codec v2 round-trips chunks verbatim because the
+//     boundaries are a deterministic function of N);
+//   - chunks of a snapshot are never written again: AppendRows fills the
+//     live matrix's own tail copy and allocates fresh chunks beyond it
+//     (established by this PR, the share-and-seal protocol).
 package matrix
 
 import (
@@ -21,18 +35,29 @@ import (
 	"alid/internal/vec"
 )
 
-// Matrix is an n×d row-major dataset with cached per-row squared L2 norms.
-// Data is exposed for read-only iteration by hot loops; mutate rows only
-// through methods that keep the norm cache consistent.
+const (
+	// ChunkShift is log2(ChunkRows).
+	ChunkShift = 10
+	// ChunkRows is the fixed chunk capacity in rows. Every chunk except the
+	// tail holds exactly this many rows.
+	ChunkRows = 1 << ChunkShift
+	chunkMask = ChunkRows - 1
+)
+
+// Matrix is an n×d row-major dataset stored in fixed-capacity row chunks
+// with cached per-row squared L2 norms. Rows are exposed for read-only
+// iteration by hot loops; mutate rows only through methods that keep the
+// norm cache consistent.
 type Matrix struct {
-	// Data holds the coordinates row-major: row i is Data[i*D : (i+1)*D].
-	Data []float64
+	// chunks[c] holds rows [c·ChunkRows, …) contiguously; its length is
+	// rowsInChunk·D and its capacity ChunkRows·D.
+	chunks [][]float64
+	// norms[c][r] = ‖row c·ChunkRows+r‖², parallel to chunks.
+	norms [][]float64
 	// N is the number of rows (points).
 	N int
 	// D is the dimensionality.
 	D int
-
-	norms []float64 // norms[i] = ‖row i‖², maintained by constructors/appends
 }
 
 // New returns a zeroed n×d matrix.
@@ -40,7 +65,26 @@ func New(n, d int) *Matrix {
 	if n < 0 || d <= 0 {
 		panic(fmt.Sprintf("matrix: invalid shape %d×%d", n, d))
 	}
-	return &Matrix{Data: make([]float64, n*d), N: n, D: d, norms: make([]float64, n)}
+	m := &Matrix{N: n, D: d}
+	for left := n; left > 0; left -= ChunkRows {
+		rows := min(left, ChunkRows)
+		m.chunks = append(m.chunks, make([]float64, rows*d, ChunkRows*d))
+		m.norms = append(m.norms, make([]float64, rows, ChunkRows))
+	}
+	return m
+}
+
+// appendRow adds one row of width D with a precomputed squared norm,
+// extending the tail chunk or opening a fresh one when the tail is full.
+func (m *Matrix) appendRow(r []float64, normSq float64) {
+	if k := len(m.chunks); k == 0 || len(m.chunks[k-1]) == ChunkRows*m.D {
+		m.chunks = append(m.chunks, make([]float64, 0, ChunkRows*m.D))
+		m.norms = append(m.norms, make([]float64, 0, ChunkRows))
+	}
+	k := len(m.chunks) - 1
+	m.chunks[k] = append(m.chunks[k], r...)
+	m.norms[k] = append(m.norms[k], normSq)
+	m.N++
 }
 
 // FromRows flattens a [][]float64 dataset into a new Matrix, validating that
@@ -54,24 +98,18 @@ func FromRows(rows [][]float64) (*Matrix, error) {
 	if d == 0 {
 		return nil, fmt.Errorf("matrix: zero-dimensional points")
 	}
-	m := &Matrix{
-		Data:  make([]float64, len(rows)*d),
-		N:     len(rows),
-		D:     d,
-		norms: make([]float64, len(rows)),
-	}
+	m := &Matrix{D: d}
 	for i, r := range rows {
 		if len(r) != d {
 			return nil, fmt.Errorf("matrix: point %d has dimension %d, want %d", i, len(r), d)
 		}
-		copy(m.Data[i*d:(i+1)*d], r)
-		m.norms[i] = vec.Dot(r, r)
+		m.appendRow(r, vec.Dot(r, r))
 	}
 	return m, nil
 }
 
-// FromFlat wraps an existing row-major slice (taking ownership) and computes
-// the norm cache. len(data) must equal n*d.
+// FromFlat copies an existing row-major slice into chunked storage and
+// computes the norm cache. len(data) must equal n*d.
 func FromFlat(data []float64, n, d int) (*Matrix, error) {
 	if n <= 0 || d <= 0 {
 		return nil, fmt.Errorf("matrix: invalid shape %d×%d", n, d)
@@ -79,19 +117,19 @@ func FromFlat(data []float64, n, d int) (*Matrix, error) {
 	if len(data) != n*d {
 		return nil, fmt.Errorf("matrix: flat data has %d values, want %d×%d = %d", len(data), n, d, n*d)
 	}
-	m := &Matrix{Data: data, N: n, D: d, norms: make([]float64, n)}
+	m := &Matrix{D: d}
 	for i := 0; i < n; i++ {
 		row := data[i*d : (i+1)*d]
-		m.norms[i] = vec.Dot(row, row)
+		m.appendRow(row, vec.Dot(row, row))
 	}
 	return m, nil
 }
 
-// FromFlatWithNorms wraps a row-major slice together with its precomputed
-// norm cache, taking ownership of both. It is the snapshot-restore
-// counterpart of FromFlat: reusing the stored norms (rather than recomputing
-// them) makes the round trip bit-identical by construction, independent of
-// any future change to the norm kernel.
+// FromFlatWithNorms copies a row-major slice together with its precomputed
+// norm cache into chunked storage. It is the snapshot-restore counterpart of
+// FromFlat for the legacy v1 codec: reusing the stored norms (rather than
+// recomputing them) makes the round trip bit-identical by construction,
+// independent of any future change to the norm kernel.
 func FromFlatWithNorms(data []float64, n, d int, norms []float64) (*Matrix, error) {
 	if n <= 0 || d <= 0 {
 		return nil, fmt.Errorf("matrix: invalid shape %d×%d", n, d)
@@ -102,36 +140,100 @@ func FromFlatWithNorms(data []float64, n, d int, norms []float64) (*Matrix, erro
 	if len(norms) != n {
 		return nil, fmt.Errorf("matrix: norm cache has %d values, want %d", len(norms), n)
 	}
-	return &Matrix{Data: data, N: n, D: d, norms: norms}, nil
+	m := &Matrix{D: d}
+	for i := 0; i < n; i++ {
+		m.appendRow(data[i*d:(i+1)*d], norms[i])
+	}
+	return m, nil
 }
 
-// Clone returns a deep copy with exactly-sized backing slices, so appends to
-// either copy never touch the other's storage. The streaming layer clones
-// before mutating a matrix that has been published in an immutable view.
-func (m *Matrix) Clone() *Matrix {
-	c := &Matrix{
-		Data:  make([]float64, m.N*m.D),
-		N:     m.N,
-		D:     m.D,
-		norms: make([]float64, m.N),
+// FromChunks adopts canonical chunked storage: every chunk but the last must
+// hold exactly ChunkRows rows, norms parallel to data. This is the snapshot
+// codec's v2 restore path — the chunk slices are taken over without copying,
+// which is safe because restored matrices follow the same never-rewrite
+// append discipline as built ones.
+func FromChunks(data, norms [][]float64, n, d int) (*Matrix, error) {
+	if n <= 0 || d <= 0 {
+		return nil, fmt.Errorf("matrix: invalid shape %d×%d", n, d)
 	}
-	copy(c.Data, m.Data)
-	copy(c.norms, m.norms)
+	if want := (n + ChunkRows - 1) / ChunkRows; len(data) != want || len(norms) != want {
+		return nil, fmt.Errorf("matrix: %d data / %d norm chunks for %d rows, want %d", len(data), len(norms), n, want)
+	}
+	for c := range data {
+		rows := ChunkRows
+		if c == len(data)-1 {
+			rows = n - c*ChunkRows
+		}
+		if len(data[c]) != rows*d {
+			return nil, fmt.Errorf("matrix: chunk %d has %d values, want %d", c, len(data[c]), rows*d)
+		}
+		if len(norms[c]) != rows {
+			return nil, fmt.Errorf("matrix: norm chunk %d has %d values, want %d", c, len(norms[c]), rows)
+		}
+	}
+	return &Matrix{chunks: data, norms: norms, N: n, D: d}, nil
+}
+
+// Snapshot returns a structurally shared frozen copy: sealed chunks are
+// shared by reference (they are never rewritten), and only the partially
+// filled tail chunk is deep-copied so subsequent AppendRows on the receiver
+// cannot disturb the snapshot. Cost is O(ChunkRows·d) plus the chunk-pointer
+// copies — independent of N up to n/ChunkRows pointers. The streaming layer
+// publishes views with this instead of the pre-segmentation deep Clone.
+func (m *Matrix) Snapshot() *Matrix {
+	c := &Matrix{
+		chunks: append([][]float64(nil), m.chunks...),
+		norms:  append([][]float64(nil), m.norms...),
+		N:      m.N,
+		D:      m.D,
+	}
+	if k := len(c.chunks) - 1; k >= 0 && len(c.chunks[k]) < ChunkRows*c.D {
+		c.chunks[k] = append(make([]float64, 0, len(c.chunks[k])), c.chunks[k]...)
+		c.norms[k] = append(make([]float64, 0, len(c.norms[k])), c.norms[k]...)
+	}
 	return c
 }
 
-// Row returns row i as a slice aliasing the matrix storage. Callers must not
+// DataChunks exposes the row chunks (read-only) for the snapshot codec.
+func (m *Matrix) DataChunks() [][]float64 { return m.chunks }
+
+// NormChunks exposes the per-chunk norm caches (read-only) for the snapshot
+// codec.
+func (m *Matrix) NormChunks() [][]float64 { return m.norms }
+
+// Row returns row i as a slice aliasing the chunk storage. Callers must not
 // mutate it (the norm cache would go stale).
-func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.D : (i+1)*m.D : (i+1)*m.D] }
+func (m *Matrix) Row(i int) []float64 {
+	j := (i & chunkMask) * m.D
+	return m.chunks[i>>ChunkShift][j : j+m.D : j+m.D]
+}
 
 // NormSq returns the cached squared L2 norm ‖row i‖².
-func (m *Matrix) NormSq(i int) float64 { return m.norms[i] }
+func (m *Matrix) NormSq(i int) float64 { return m.norms[i>>ChunkShift][i&chunkMask] }
 
-// NormsSq returns the full norm cache (aliases internal storage; read-only).
-func (m *Matrix) NormsSq() []float64 { return m.norms }
+// NormsSq materializes the full norm cache into a fresh flat slice. Intended
+// for tests and boundary interop, not hot paths (use NormSq per row there).
+func (m *Matrix) NormsSq() []float64 {
+	out := make([]float64, 0, m.N)
+	for _, nc := range m.norms {
+		out = append(out, nc...)
+	}
+	return out
+}
+
+// Flat materializes the coordinates into a fresh row-major slice. Intended
+// for tests and boundary interop, not hot paths.
+func (m *Matrix) Flat() []float64 {
+	out := make([]float64, 0, m.N*m.D)
+	for _, c := range m.chunks {
+		out = append(out, c...)
+	}
+	return out
+}
 
 // AppendRows appends points (each of dimension D), extending the norm cache.
-// It returns the index of the first appended row.
+// It returns the index of the first appended row. Appends never rewrite a
+// sealed chunk, so snapshots taken earlier stay frozen.
 func (m *Matrix) AppendRows(rows [][]float64) (int, error) {
 	first := m.N
 	for i, r := range rows {
@@ -140,10 +242,8 @@ func (m *Matrix) AppendRows(rows [][]float64) (int, error) {
 		}
 	}
 	for _, r := range rows {
-		m.Data = append(m.Data, r...)
-		m.norms = append(m.norms, vec.Dot(r, r))
+		m.appendRow(r, vec.Dot(r, r))
 	}
-	m.N += len(rows)
 	return first, nil
 }
 
@@ -160,8 +260,9 @@ const CancelGuard = 1e-9
 // squared norm qNormSq, using the fused norms+dot identity with an exact
 // fallback for cancellation-dominated results (see CancelGuard).
 func (m *Matrix) DistSq(i int, q []float64, qNormSq float64) float64 {
-	s := m.norms[i] + qNormSq - 2*vec.Dot(m.Row(i), q)
-	if s < CancelGuard*(m.norms[i]+qNormSq) {
+	ni := m.NormSq(i)
+	s := ni + qNormSq - 2*vec.Dot(m.Row(i), q)
+	if s < CancelGuard*(ni+qNormSq) {
 		return vec.SquaredL2(m.Row(i), q)
 	}
 	return s
@@ -170,8 +271,9 @@ func (m *Matrix) DistSq(i int, q []float64, qNormSq float64) float64 {
 // PairDistSq returns ‖row i − row j‖² via the norms identity, with the same
 // exact fallback as DistSq.
 func (m *Matrix) PairDistSq(i, j int) float64 {
-	s := m.norms[i] + m.norms[j] - 2*vec.Dot(m.Row(i), m.Row(j))
-	if s < CancelGuard*(m.norms[i]+m.norms[j]) {
+	ni, nj := m.NormSq(i), m.NormSq(j)
+	s := ni + nj - 2*vec.Dot(m.Row(i), m.Row(j))
+	if s < CancelGuard*(ni+nj) {
 		return vec.SquaredL2(m.Row(i), m.Row(j))
 	}
 	return s
@@ -186,8 +288,9 @@ func (m *Matrix) DistSqRows(rows []int, q []float64, qNormSq float64, dst []floa
 		panic(fmt.Sprintf("matrix: dst length %d != rows length %d", len(dst), len(rows)))
 	}
 	for r, i := range rows {
-		s := m.norms[i] + qNormSq - 2*vec.Dot(m.Row(i), q)
-		if s < CancelGuard*(m.norms[i]+qNormSq) {
+		ni := m.NormSq(i)
+		s := ni + qNormSq - 2*vec.Dot(m.Row(i), q)
+		if s < CancelGuard*(ni+qNormSq) {
 			s = vec.SquaredL2(m.Row(i), q)
 		}
 		dst[r] = s

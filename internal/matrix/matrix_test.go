@@ -223,6 +223,112 @@ func TestWeightedCentroid(t *testing.T) {
 	}
 }
 
+// A matrix spanning several chunks must behave exactly like the row list it
+// came from: rows, norms, appends and flat materialization all cross chunk
+// boundaries transparently.
+func TestChunkBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 2*ChunkRows + 517 // three chunks, partial tail
+	rows := randRows(rng, n, 3)
+	m, err := FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.DataChunks()) != 3 || len(m.NormChunks()) != 3 {
+		t.Fatalf("chunk count %d/%d, want 3", len(m.DataChunks()), len(m.NormChunks()))
+	}
+	for _, i := range []int{0, ChunkRows - 1, ChunkRows, 2*ChunkRows - 1, 2 * ChunkRows, n - 1} {
+		got := m.Row(i)
+		for j := range rows[i] {
+			if got[j] != rows[i][j] {
+				t.Fatalf("row %d differs at %d", i, j)
+			}
+		}
+		if want := vec.Dot(rows[i], rows[i]); m.NormSq(i) != want {
+			t.Fatalf("norm %d = %v, want %v", i, m.NormSq(i), want)
+		}
+	}
+	if got := m.Flat(); len(got) != n*3 || got[ChunkRows*3] != rows[ChunkRows][0] {
+		t.Fatal("Flat() mis-ordered across chunks")
+	}
+	// Appends fill the tail then open a fourth chunk.
+	extra := randRows(rng, ChunkRows, 3)
+	if _, err := m.AppendRows(extra); err != nil {
+		t.Fatal(err)
+	}
+	if m.N != n+ChunkRows || len(m.DataChunks()) != 4 {
+		t.Fatalf("after append: N=%d chunks=%d", m.N, len(m.DataChunks()))
+	}
+	for k, r := range extra {
+		if got := m.Row(n + k); got[0] != r[0] || got[2] != r[2] {
+			t.Fatalf("appended row %d differs", k)
+		}
+	}
+}
+
+// Snapshot must freeze the matrix: appends to the live side (including ones
+// that land in the then-partial tail chunk) never show through, and sealed
+// chunks are shared, not copied.
+func TestSnapshotIsolatesAppends(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := ChunkRows + 100
+	rows := randRows(rng, n, 4)
+	m, err := FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if &snap.DataChunks()[0][0] != &m.DataChunks()[0][0] {
+		t.Fatal("sealed chunk was copied, not shared")
+	}
+	if &snap.DataChunks()[1][0] == &m.DataChunks()[1][0] {
+		t.Fatal("partial tail chunk is shared with the live matrix")
+	}
+	wantRow := append([]float64(nil), snap.Row(n-1)...)
+	if _, err := m.AppendRows(randRows(rng, 2*ChunkRows, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if snap.N != n {
+		t.Fatalf("snapshot grew: N=%d", snap.N)
+	}
+	for j, v := range wantRow {
+		if snap.Row(n-1)[j] != v {
+			t.Fatal("snapshot tail mutated by live appends")
+		}
+	}
+	// Divergent lineages: appending to the snapshot must not disturb the
+	// live matrix either (restore-from-view takes this path).
+	liveRow := append([]float64(nil), m.Row(n)...)
+	if _, err := snap.AppendRows(randRows(rng, 50, 4)); err != nil {
+		t.Fatal(err)
+	}
+	for j, v := range liveRow {
+		if m.Row(n)[j] != v {
+			t.Fatal("live matrix mutated by snapshot appends")
+		}
+	}
+}
+
+func TestFromChunksValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m, err := FromRows(randRows(rng, ChunkRows+10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromChunks(m.DataChunks(), m.NormChunks(), m.N, m.D); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromChunks(m.DataChunks(), m.NormChunks(), m.N+1, m.D); err == nil {
+		t.Error("accepted wrong N")
+	}
+	if _, err := FromChunks(m.DataChunks()[:1], m.NormChunks()[:1], m.N, m.D); err == nil {
+		t.Error("accepted missing chunk")
+	}
+	if _, err := FromChunks(m.DataChunks(), m.NormChunks()[:1], m.N, m.D); err == nil {
+		t.Error("accepted norm/data chunk mismatch")
+	}
+}
+
 // The batched fused distance kernel must not allocate: it sits inside CIVS's
 // per-iteration loop.
 func TestDistSqRowsAllocFree(t *testing.T) {

@@ -8,13 +8,29 @@
 // Assign/Clusters query exactly as the engine that saved it — crash-restart
 // without re-detection.
 //
-// Format (version 1), little-endian throughout:
+// Format (version 2), little-endian throughout:
 //
 //	magic "ALIDSNAP" | u32 version | payload | u32 CRC-32 (IEEE) of payload
 //
 // The payload is a flat sequence of fixed-width fields and length-prefixed
 // arrays in the order written by Write. No varints, no compression: the
 // format optimizes for auditability and bit-exactness, not size.
+//
+// Version 2 serializes the segmented storage introduced by the share-and-
+// seal refactor: matrix rows and norms are written per canonical chunk
+// (matrix.ChunkRows rows each) and each table's inverted list per canonical
+// key chunk (lsh.KeyChunk keys each), exactly as held in memory. The writer
+// therefore streams chunk slices without materializing an O(n·d) flat copy,
+// and the reader adopts the decoded chunks directly into segmented storage
+// (matrix.FromChunks, lsh.FromDumpChunks) without re-chunking. Because
+// canonical chunk boundaries are a pure function of N, writing a restored
+// snapshot reproduces the original bytes — the codec stays a fixed point.
+// Runtime bucket segmentation is NOT persisted: it only shapes future
+// publish costs, never query answers, and restore rebuilds each table as a
+// single sealed base segment.
+//
+// Version 1 (flat arrays) is still read via a compatibility shim; WriteV1
+// encodes it for downgrade interop and fixture generation.
 package snapshot
 
 import (
@@ -35,8 +51,11 @@ import (
 // Magic identifies a snapshot stream.
 const Magic = "ALIDSNAP"
 
-// Version is the current format version.
-const Version = 1
+// Version is the current format version (segmented payload).
+const Version = 2
+
+// VersionV1 is the legacy flat-array format, still readable.
+const VersionV1 = 1
 
 // maxSliceLen bounds every decoded length prefix. Decoders additionally
 // grow slices as bytes actually arrive (append, never make(n) up front), so
@@ -122,9 +141,7 @@ func (w *writer) ints(v []int) {
 	}
 }
 
-// Write encodes s. The stream is buffered internally; the caller owns any
-// underlying file and its sync/close.
-func Write(out io.Writer, s *Snapshot) error {
+func validate(s *Snapshot) error {
 	if s.Mat == nil || s.Mat.N == 0 {
 		return fmt.Errorf("snapshot: empty matrix")
 	}
@@ -134,14 +151,21 @@ func Write(out io.Writer, s *Snapshot) error {
 	if len(s.Labels) != s.Mat.N {
 		return fmt.Errorf("snapshot: %d labels for %d points", len(s.Labels), s.Mat.N)
 	}
+	return nil
+}
+
+// header writes magic + version and returns the CRC-tracking writer.
+func header(out io.Writer, version uint32) (*bufio.Writer, *writer, error) {
 	bw := bufio.NewWriterSize(out, 1<<20)
 	w := &writer{w: bw, crc: crc32.NewIEEE()}
 	if _, err := bw.WriteString(Magic); err != nil {
-		return fmt.Errorf("snapshot: %w", err)
+		return nil, nil, fmt.Errorf("snapshot: %w", err)
 	}
-	w.u32(Version)
+	w.u32(version)
+	return bw, w, nil
+}
 
-	// Configuration.
+func (w *writer) config(s *Snapshot) {
 	c := s.Core
 	w.f64(c.Kernel.K)
 	w.f64(c.Kernel.P)
@@ -159,15 +183,106 @@ func Write(out io.Writer, s *Snapshot) error {
 	w.boolean(c.SingleQueryCIVS)
 	w.boolean(c.FixedROIGrowth)
 	w.i64(int64(s.BatchSize))
+}
 
-	// Matrix with norms.
+func (w *writer) clusters(s *Snapshot) {
+	w.u64(uint64(len(s.Clusters)))
+	for _, cl := range s.Clusters {
+		w.ints(cl.Members)
+		w.f64s(cl.Weights)
+		w.f64(cl.Density)
+		w.i64(int64(cl.Seed))
+		w.i64(int64(cl.OuterIterations))
+		w.i64(int64(cl.LIDIterations))
+		w.i64(int64(cl.PeakEntries))
+	}
+}
+
+func finish(bw *bufio.Writer, w *writer) error {
+	if w.err != nil {
+		return fmt.Errorf("snapshot: %w", w.err)
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], w.crc.Sum32())
+	if _, err := bw.Write(crcBuf[:]); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	return nil
+}
+
+// Write encodes s in the current (v2, segmented) format: matrix data and
+// norms per canonical chunk, inverted lists per canonical key chunk — no
+// flat materialization. The stream is buffered internally; the caller owns
+// any underlying file and its sync/close.
+func Write(out io.Writer, s *Snapshot) error {
+	if err := validate(s); err != nil {
+		return err
+	}
+	bw, w, err := header(out, Version)
+	if err != nil {
+		return err
+	}
+	w.config(s)
+
+	// Matrix: shape, then per-chunk rows and norms, interleaved so each
+	// chunk is self-contained.
+	dataChunks := s.Mat.DataChunks()
+	normChunks := s.Mat.NormChunks()
 	w.u64(uint64(s.Mat.N))
 	w.u64(uint64(s.Mat.D))
-	w.f64s(s.Mat.Data)
-	w.f64s(s.Mat.NormsSq())
+	w.u64(uint64(len(dataChunks)))
+	for c := range dataChunks {
+		w.f64s(dataChunks[c])
+		w.f64s(normChunks[c])
+	}
 
 	// LSH index: config again (the index may have been built under a config
-	// that has since changed), then per-table parameters + inverted lists.
+	// that has since changed), then per-table parameters + chunked inverted
+	// lists.
+	icfg, dim, tables := s.Index.DumpChunks()
+	w.i64(int64(icfg.Projections))
+	w.i64(int64(icfg.Tables))
+	w.f64(icfg.R)
+	w.i64(icfg.Seed)
+	w.u64(uint64(dim))
+	w.u64(uint64(len(tables)))
+	for _, tb := range tables {
+		w.f64s(tb.Proj)
+		w.f64s(tb.Off)
+		w.u64(uint64(len(tb.KeyChunks)))
+		for _, kc := range tb.KeyChunks {
+			w.u64s(kc)
+		}
+	}
+
+	w.clusters(s)
+	w.ints(s.Labels)
+	w.u64(uint64(s.Commits))
+	return finish(bw, w)
+}
+
+// WriteV1 encodes s in the legacy flat-array v1 format, materializing the
+// matrix and inverted lists. Retained for downgrade interop with pre-
+// segmentation binaries and for compatibility-test fixtures; new snapshots
+// should use Write.
+func WriteV1(out io.Writer, s *Snapshot) error {
+	if err := validate(s); err != nil {
+		return err
+	}
+	bw, w, err := header(out, VersionV1)
+	if err != nil {
+		return err
+	}
+	w.config(s)
+
+	w.u64(uint64(s.Mat.N))
+	w.u64(uint64(s.Mat.D))
+	w.f64s(s.Mat.Flat())
+	w.f64s(s.Mat.NormsSq())
+
 	icfg, dim, tables := s.Index.Dump()
 	w.i64(int64(icfg.Projections))
 	w.i64(int64(icfg.Tables))
@@ -181,34 +296,10 @@ func Write(out io.Writer, s *Snapshot) error {
 		w.u64s(tb.Keys)
 	}
 
-	// Clusters.
-	w.u64(uint64(len(s.Clusters)))
-	for _, cl := range s.Clusters {
-		w.ints(cl.Members)
-		w.f64s(cl.Weights)
-		w.f64(cl.Density)
-		w.i64(int64(cl.Seed))
-		w.i64(int64(cl.OuterIterations))
-		w.i64(int64(cl.LIDIterations))
-		w.i64(int64(cl.PeakEntries))
-	}
-
-	// Labels and stream position.
+	w.clusters(s)
 	w.ints(s.Labels)
 	w.u64(uint64(s.Commits))
-
-	if w.err != nil {
-		return fmt.Errorf("snapshot: %w", w.err)
-	}
-	var crcBuf [4]byte
-	binary.LittleEndian.PutUint32(crcBuf[:], w.crc.Sum32())
-	if _, err := bw.Write(crcBuf[:]); err != nil {
-		return fmt.Errorf("snapshot: %w", err)
-	}
-	if err := bw.Flush(); err != nil {
-		return fmt.Errorf("snapshot: %w", err)
-	}
-	return nil
+	return finish(bw, w)
 }
 
 type reader struct {
@@ -305,22 +396,7 @@ func (r *reader) ints(what string) []int {
 	return out
 }
 
-// Read decodes and validates a snapshot, verifying magic, version and CRC.
-func Read(in io.Reader) (*Snapshot, error) {
-	br := bufio.NewReaderSize(in, 1<<20)
-	magic := make([]byte, len(Magic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("snapshot: %w", err)
-	}
-	if string(magic) != Magic {
-		return nil, fmt.Errorf("snapshot: bad magic %q", magic)
-	}
-	r := &reader{r: br, crc: crc32.NewIEEE()}
-	if v := r.u32(); r.err == nil && v != Version {
-		return nil, fmt.Errorf("snapshot: unsupported version %d (have %d)", v, Version)
-	}
-
-	s := &Snapshot{}
+func (r *reader) config(s *Snapshot) {
 	s.Core.Kernel = affinity.Kernel{K: r.f64(), P: r.f64()}
 	s.Core.LSH = lsh.Config{
 		Projections: int(r.i64()),
@@ -338,43 +414,19 @@ func Read(in io.Reader) (*Snapshot, error) {
 	s.Core.SingleQueryCIVS = r.boolean()
 	s.Core.FixedROIGrowth = r.boolean()
 	s.BatchSize = int(r.i64())
+}
 
-	n := int(r.u64())
-	d := int(r.u64())
-	data := r.f64s("matrix data")
-	norms := r.f64s("matrix norms")
-	if r.err == nil {
-		m, err := matrix.FromFlatWithNorms(data, n, d, norms)
-		if err != nil {
-			return nil, fmt.Errorf("snapshot: %w", err)
-		}
-		s.Mat = m
-	}
-
-	icfg := lsh.Config{
+func (r *reader) indexConfig() (lsh.Config, int) {
+	cfg := lsh.Config{
 		Projections: int(r.i64()),
 		Tables:      int(r.i64()),
 		R:           r.f64(),
 		Seed:        r.i64(),
 	}
-	idim := int(r.u64())
-	nTables := r.length("table list")
-	var tables []lsh.TableDump
-	for t := 0; r.err == nil && t < nTables; t++ {
-		tables = append(tables, lsh.TableDump{
-			Proj: r.f64s("projections"),
-			Off:  r.f64s("offsets"),
-			Keys: r.u64s("keys"),
-		})
-	}
-	if r.err == nil {
-		idx, err := lsh.FromDump(icfg, idim, tables)
-		if err != nil {
-			return nil, fmt.Errorf("snapshot: %w", err)
-		}
-		s.Index = idx
-	}
+	return cfg, int(r.u64())
+}
 
+func (r *reader) clusters(s *Snapshot) error {
 	nClusters := r.length("cluster list")
 	for i := 0; r.err == nil && i < nClusters; i++ {
 		cl := &core.Cluster{
@@ -390,13 +442,137 @@ func Read(in io.Reader) (*Snapshot, error) {
 			break
 		}
 		if len(cl.Members) != len(cl.Weights) {
-			return nil, fmt.Errorf("snapshot: cluster %d has %d members but %d weights", i, len(cl.Members), len(cl.Weights))
+			return fmt.Errorf("snapshot: cluster %d has %d members but %d weights", i, len(cl.Members), len(cl.Weights))
 		}
 		s.Clusters = append(s.Clusters, cl)
 	}
+	return nil
+}
 
+// readV2 decodes the segmented payload: chunked matrix + chunked inverted
+// lists, adopted without re-chunking.
+func (r *reader) readV2(s *Snapshot) error {
+	r.config(s)
+
+	n := int(r.u64())
+	d := int(r.u64())
+	nChunks := r.length("matrix chunk list")
+	var dataChunks, normChunks [][]float64
+	for c := 0; r.err == nil && c < nChunks; c++ {
+		dataChunks = append(dataChunks, r.f64s("matrix data chunk"))
+		normChunks = append(normChunks, r.f64s("matrix norm chunk"))
+	}
+	if r.err == nil {
+		m, err := matrix.FromChunks(dataChunks, normChunks, n, d)
+		if err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+		s.Mat = m
+	}
+
+	icfg, idim := r.indexConfig()
+	nTables := r.length("table list")
+	var tables []lsh.TableChunks
+	for t := 0; r.err == nil && t < nTables; t++ {
+		tb := lsh.TableChunks{
+			Proj: r.f64s("projections"),
+			Off:  r.f64s("offsets"),
+		}
+		nKeyChunks := r.length("key chunk list")
+		for c := 0; r.err == nil && c < nKeyChunks; c++ {
+			tb.KeyChunks = append(tb.KeyChunks, r.u64s("key chunk"))
+		}
+		tables = append(tables, tb)
+	}
+	if r.err == nil {
+		idx, err := lsh.FromDumpChunks(icfg, idim, tables)
+		if err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+		s.Index = idx
+	}
+
+	if err := r.clusters(s); err != nil {
+		return err
+	}
 	s.Labels = r.ints("labels")
 	s.Commits = int(r.u64())
+	return nil
+}
+
+// readV1 decodes the legacy flat payload, re-chunking into segmented
+// storage via the compat constructors (stored norms and key order are
+// preserved exactly, so the restored state answers bit-identically).
+func (r *reader) readV1(s *Snapshot) error {
+	r.config(s)
+
+	n := int(r.u64())
+	d := int(r.u64())
+	data := r.f64s("matrix data")
+	norms := r.f64s("matrix norms")
+	if r.err == nil {
+		m, err := matrix.FromFlatWithNorms(data, n, d, norms)
+		if err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+		s.Mat = m
+	}
+
+	icfg, idim := r.indexConfig()
+	nTables := r.length("table list")
+	var tables []lsh.TableDump
+	for t := 0; r.err == nil && t < nTables; t++ {
+		tables = append(tables, lsh.TableDump{
+			Proj: r.f64s("projections"),
+			Off:  r.f64s("offsets"),
+			Keys: r.u64s("keys"),
+		})
+	}
+	if r.err == nil {
+		idx, err := lsh.FromDump(icfg, idim, tables)
+		if err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+		s.Index = idx
+	}
+
+	if err := r.clusters(s); err != nil {
+		return err
+	}
+	s.Labels = r.ints("labels")
+	s.Commits = int(r.u64())
+	return nil
+}
+
+// Read decodes and validates a snapshot, verifying magic, version and CRC.
+// Both the current segmented format (v2) and the legacy flat format (v1)
+// are accepted; either way the restored state answers every query
+// bit-identically to the state that was written.
+func Read(in io.Reader) (*Snapshot, error) {
+	br := bufio.NewReaderSize(in, 1<<20)
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	if string(magic) != Magic {
+		return nil, fmt.Errorf("snapshot: bad magic %q", magic)
+	}
+	r := &reader{r: br, crc: crc32.NewIEEE()}
+	version := r.u32()
+	if r.err == nil && version != Version && version != VersionV1 {
+		return nil, fmt.Errorf("snapshot: unsupported version %d (have %d)", version, Version)
+	}
+
+	s := &Snapshot{}
+	var err error
+	if version == VersionV1 {
+		err = r.readV1(s)
+	} else {
+		err = r.readV2(s)
+	}
+	if err != nil {
+		return nil, err
+	}
 
 	if r.err != nil {
 		return nil, fmt.Errorf("snapshot: %w", r.err)

@@ -68,7 +68,7 @@ func TestRoundTripBitIdentical(t *testing.T) {
 	if got.Mat.N != s.Mat.N || got.Mat.D != s.Mat.D {
 		t.Fatalf("matrix shape %dx%d vs %dx%d", got.Mat.N, got.Mat.D, s.Mat.N, s.Mat.D)
 	}
-	if !slices.Equal(got.Mat.Data, s.Mat.Data) {
+	if !slices.Equal(got.Mat.Flat(), s.Mat.Flat()) {
 		t.Fatal("matrix data differs")
 	}
 	if !slices.Equal(got.Mat.NormsSq(), s.Mat.NormsSq()) {
@@ -101,6 +101,58 @@ func TestRoundTripBitIdentical(t *testing.T) {
 	}
 	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
 		t.Fatal("encode(decode(x)) != x")
+	}
+}
+
+// The legacy v1 (flat-array) format must load into the same state as v2:
+// identical matrix values, norms, labels and index answers. And because the
+// v1 payload is a pure function of the decoded state, WriteV1(Read(v1
+// bytes)) reproduces the bytes — the compat shim is lossless both ways.
+func TestV1CompatRoundTrip(t *testing.T) {
+	s := sample(t)
+	var v1 bytes.Buffer
+	if err := WriteV1(&v1, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Core != s.Core || got.BatchSize != s.BatchSize || got.Commits != s.Commits {
+		t.Fatalf("v1 config/meta differ: %+v", got)
+	}
+	if !slices.Equal(got.Mat.Flat(), s.Mat.Flat()) {
+		t.Fatal("v1 matrix data differs")
+	}
+	if !slices.Equal(got.Mat.NormsSq(), s.Mat.NormsSq()) {
+		t.Fatal("v1 norm cache differs")
+	}
+	if !slices.Equal(got.Labels, s.Labels) {
+		t.Fatal("v1 labels differ")
+	}
+	for id := 0; id < s.Mat.N; id += 5 {
+		if !slices.Equal(s.Index.CandidatesByID(id), got.Index.CandidatesByID(id)) {
+			t.Fatalf("v1 index candidates differ at %d", id)
+		}
+	}
+	var v1Again bytes.Buffer
+	if err := WriteV1(&v1Again, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v1.Bytes(), v1Again.Bytes()) {
+		t.Fatal("WriteV1(Read(v1)) != v1")
+	}
+	// The v1-restored state re-encoded as v2 must equal the direct v2
+	// encoding of the original state: the shim re-chunks canonically.
+	var v2a, v2b bytes.Buffer
+	if err := Write(&v2a, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&v2b, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v2a.Bytes(), v2b.Bytes()) {
+		t.Fatal("v2(v1-restored) != v2(original)")
 	}
 }
 

@@ -1,0 +1,120 @@
+package stream
+
+import "fmt"
+
+const (
+	labelChunkShift = 10
+	labelChunk      = 1 << labelChunkShift
+	labelChunkMask  = labelChunk - 1
+)
+
+// Labels is the chunked, structurally shared per-point assignment vector
+// published in a View: labels[i] is the ordinal of the cluster owning point
+// i, or -1 for noise. Snapshots share chunk storage with the live clusterer;
+// the live side copies a chunk only the first time it writes into it after a
+// publish (copy-on-write at chunk granularity), so publishing costs
+// O(n/chunk) pointer copies and a commit that relabels b points costs
+// O(b + touched chunks) — not the O(n) flat copy the pre-segmentation View
+// paid. Reads are safe for unlimited concurrency; all mutation is package-
+// internal and single-writer.
+type Labels struct {
+	chunks [][]int32
+	// shared[c] marks chunk c as possibly referenced by a snapshot: the next
+	// write to it must copy first.
+	shared []bool
+	n      int
+}
+
+// Len returns the number of labeled points.
+func (l *Labels) Len() int {
+	if l == nil {
+		return 0
+	}
+	return l.n
+}
+
+// At returns the label of point i (-1 = noise).
+func (l *Labels) At(i int) int { return int(l.chunks[i>>labelChunkShift][i&labelChunkMask]) }
+
+// Flat materializes the labels into a fresh []int. Boundary interop (public
+// Labels() accessors, the snapshot codec), not hot paths.
+func (l *Labels) Flat() []int {
+	if l == nil {
+		return nil
+	}
+	out := make([]int, 0, l.n)
+	for _, c := range l.chunks {
+		for _, v := range c {
+			out = append(out, int(v))
+		}
+	}
+	return out
+}
+
+// set writes label v at point i, copying the chunk first if a snapshot may
+// share it.
+func (l *Labels) set(i, v int) {
+	c := i >> labelChunkShift
+	if l.shared[c] {
+		l.chunks[c] = append(make([]int32, 0, labelChunk), l.chunks[c]...)
+		l.shared[c] = false
+	}
+	l.chunks[c][i&labelChunkMask] = int32(v)
+}
+
+// append adds one label, opening a fresh chunk when the tail is full. A
+// shared tail chunk is copied first so divergent lineages (a clusterer
+// restored from a view, and the view's original writer) can both append
+// without touching common storage.
+func (l *Labels) append(v int) {
+	c := len(l.chunks) - 1
+	if c < 0 || len(l.chunks[c]) == labelChunk {
+		l.chunks = append(l.chunks, make([]int32, 0, labelChunk))
+		l.shared = append(l.shared, false)
+		c++
+	} else if l.shared[c] {
+		l.chunks[c] = append(make([]int32, 0, labelChunk), l.chunks[c]...)
+		l.shared[c] = false
+	}
+	l.chunks[c] = append(l.chunks[c], int32(v))
+	l.n++
+}
+
+// snapshot returns a frozen copy sharing every chunk with the receiver and
+// marks all chunks shared on both sides, arming the copy-on-write.
+func (l *Labels) snapshot() *Labels {
+	if l == nil {
+		return nil
+	}
+	for c := range l.shared {
+		l.shared[c] = true
+	}
+	s := &Labels{
+		chunks: append([][]int32(nil), l.chunks...),
+		shared: make([]bool, len(l.chunks)),
+		n:      l.n,
+	}
+	for c := range s.shared {
+		s.shared[c] = true
+	}
+	return s
+}
+
+// labelsFromFlat chunks a flat label slice (the snapshot-restore path).
+func labelsFromFlat(flat []int) *Labels {
+	l := &Labels{}
+	for _, v := range flat {
+		l.append(v)
+	}
+	return l
+}
+
+// checkRange validates that every label lies in [-1, clusters).
+func (l *Labels) checkRange(clusters int) error {
+	for i := 0; i < l.n; i++ {
+		if v := l.At(i); v < -1 || v >= clusters {
+			return fmt.Errorf("label %d of point %d out of range [-1,%d)", v, i, clusters)
+		}
+	}
+	return nil
+}

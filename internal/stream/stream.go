@@ -5,9 +5,16 @@
 // Points arrive one at a time and are committed in batches. On each commit:
 //
 //  1. the new points are hashed into the existing LSH index (no rebuild);
-//  2. every maintained cluster is checked for infective new points — by
-//     Theorem 1 a cluster stays a global dense subgraph unless some vertex
-//     has π(s_j, x) > π(x), so clean clusters are left untouched;
+//  2. every maintained cluster that shares an LSH bucket with a new point is
+//     checked for infective arrivals — by Theorem 1 a cluster stays a global
+//     dense subgraph unless some vertex has π(s_j, x) > π(x). The check is
+//     restricted to co-bucketed clusters: like offline CIVS (Section 4.3),
+//     which also only ever examines LSH-retrieved candidates, it declares
+//     clusters dense "up to the LSH approximation" — an infective arrival
+//     that collides with no member in any of the l tables is missed, with
+//     probability that decays with l exactly as the paper's retrieval
+//     recall does. In exchange the check costs O(batch) candidate lookups
+//     instead of the exhaustive O(batch·n) member scan;
 //  3. dirty clusters are re-converged by re-running Algorithm 2 from their
 //     densest member;
 //  4. unassigned points (old noise and new arrivals) are probed as seeds for
@@ -15,6 +22,14 @@
 //
 // The amortized per-batch cost is the cost of re-running ALID on the touched
 // neighborhoods only, preserving the locality that makes offline ALID scale.
+//
+// Published views follow the share-and-seal protocol: View seals the current
+// matrix and index state into structurally shared immutable snapshots
+// (matrix.Matrix.Snapshot, lsh.Index.Publish) instead of marking the live
+// state copy-on-write. Commit then appends freely — sealed chunks and bucket
+// segments referenced by outstanding views are never rewritten — so the
+// commit path no longer pays the O(n·d) matrix clone + O(n·l) index clone
+// that copy-on-write charged after every publish.
 package stream
 
 import (
@@ -37,8 +52,8 @@ type Config struct {
 }
 
 // Clusterer maintains dominant clusters over an append-only stream. Committed
-// points live in a contiguous matrix.Matrix that grows in place; only the
-// uncommitted buffer is row-sliced.
+// points live in a segmented matrix.Matrix that grows by appending to its
+// tail chunk; only the uncommitted buffer is row-sliced.
 type Clusterer struct {
 	cfg    Config
 	mat    *matrix.Matrix
@@ -46,7 +61,14 @@ type Clusterer struct {
 	index  *lsh.Index
 
 	clusters []*core.Cluster
-	assigned []int // point -> cluster ordinal, -1 noise
+	assigned *Labels // point -> cluster ordinal, -1 noise (chunked, COW-shared)
+	avail    []bool  // avail[i] = assigned[i] == -1, maintained incrementally
+
+	// det is the long-lived detector: the oracle and index capture c.mat and
+	// c.index by reference (both grow in place), so only its dedup scratch
+	// needs growing per commit — reusing it avoids an O(n) scratch
+	// allocation on every commit.
+	det *core.Detector
 
 	commits int
 	// kernelEvals accumulates kernel evaluations done by commits (dirtiness
@@ -54,10 +76,13 @@ type Clusterer struct {
 	// at zero.
 	kernelEvals int64
 
-	// frozen marks the matrix and index as published in an immutable View:
-	// the next Commit clones both before mutating (copy-on-write), so views
-	// stay safe for concurrent readers while the writer moves on.
-	frozen bool
+	// scratch for the dirtiness check's candidate retrieval (marker-value
+	// dedup, same idiom as CIVS); mark grows with n, cmark with the cluster
+	// count, both reused across commits.
+	mark    []uint32
+	cmark   []uint32
+	markGen uint32
+	cand    []int32
 }
 
 // New creates an online clusterer seeded with an optional initial batch.
@@ -65,7 +90,7 @@ func New(initial [][]float64, cfg Config) (*Clusterer, error) {
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 256
 	}
-	c := &Clusterer{cfg: cfg}
+	c := &Clusterer{cfg: cfg, assigned: &Labels{}}
 	for i, p := range initial {
 		if len(p) != len(initial[0]) {
 			return nil, fmt.Errorf("stream: initial point %d has dimension %d, want %d", i, len(p), len(initial[0]))
@@ -97,10 +122,12 @@ func Restore(cfg Config, mat *matrix.Matrix, index *lsh.Index, clusters []*core.
 	if len(labels) != mat.N {
 		return nil, fmt.Errorf("stream: restore has %d labels for %d points", len(labels), mat.N)
 	}
+	avail := make([]bool, len(labels))
 	for i, l := range labels {
 		if l < -1 || l >= len(clusters) {
 			return nil, fmt.Errorf("stream: restore label %d of point %d out of range [-1,%d)", l, i, len(clusters))
 		}
+		avail[i] = l == -1
 	}
 	for ci, cl := range clusters {
 		for _, m := range cl.Members {
@@ -114,7 +141,8 @@ func Restore(cfg Config, mat *matrix.Matrix, index *lsh.Index, clusters []*core.
 		mat:      mat,
 		index:    index,
 		clusters: append([]*core.Cluster(nil), clusters...),
-		assigned: append([]int(nil), labels...),
+		assigned: labelsFromFlat(labels),
+		avail:    avail,
 		commits:  commits,
 	}, nil
 }
@@ -131,32 +159,38 @@ func (c *Clusterer) Dim() int {
 }
 
 // View returns an immutable snapshot of the committed state: the matrix, the
-// LSH index, the maintained clusters and per-point labels. The clusters and
-// labels slices are fresh copies; the matrix and index are the live ones,
-// marked copy-on-write — the next Commit clones them before mutating. Views
-// are therefore safe for unlimited concurrent readers, and taking one costs
-// O(n) label copy now plus one O(n) clone at the next commit, paid only if
-// the stream actually advances.
+// LSH index, the maintained clusters and per-point labels. The clusters
+// slice is a fresh copy; the matrix, index and labels are share-and-seal
+// snapshots — sealed chunks and bucket segments are shared with the live
+// state by reference, only the mutable tails are copied (the index's tail
+// is sealed, and label chunks go copy-on-write). Views are therefore safe
+// for unlimited concurrent readers, and both taking one and committing past
+// one cost O(batch + chunk pointers), independent of n.
 func (c *Clusterer) View() View {
-	c.frozen = true
-	return View{
-		Mat:         c.mat,
-		Index:       c.index,
+	v := View{
 		Clusters:    append([]*core.Cluster(nil), c.clusters...),
-		Labels:      c.Labels(),
+		Labels:      c.assigned.snapshot(),
 		Commits:     c.commits,
 		KernelEvals: c.kernelEvals,
 	}
+	if c.mat != nil {
+		v.Mat = c.mat.Snapshot()
+	}
+	if c.index != nil {
+		v.Index = c.index.Publish()
+	}
+	return v
 }
 
 // View is an immutable published snapshot of a Clusterer. Cluster values are
 // shared pointers but are never mutated after detection; Mat and Index are
-// protected by the copy-on-write contract of Clusterer.View.
+// structurally shared snapshots whose sealed state the live Clusterer never
+// rewrites (the share-and-seal contract of Clusterer.View).
 type View struct {
 	Mat      *matrix.Matrix
 	Index    *lsh.Index
 	Clusters []*core.Cluster
-	Labels   []int
+	Labels   *Labels
 	Commits  int
 	// KernelEvals is the cumulative commit-side kernel-evaluation count at
 	// publish time (diagnostic).
@@ -180,12 +214,9 @@ func (c *Clusterer) Commits() int { return c.commits }
 // Clusters returns the currently maintained dominant clusters.
 func (c *Clusterer) Clusters() []*core.Cluster { return c.clusters }
 
-// Labels returns the current per-point assignment (-1 = noise/unassigned).
-func (c *Clusterer) Labels() []int {
-	out := make([]int, len(c.assigned))
-	copy(out, c.assigned)
-	return out
-}
+// Labels returns the current per-point assignment (-1 = noise/unassigned)
+// as a fresh flat slice.
+func (c *Clusterer) Labels() []int { return c.assigned.Flat() }
 
 // Add buffers a point and commits automatically when the batch is full.
 // A point of the wrong width is rejected here, at the boundary, never
@@ -209,17 +240,6 @@ func (c *Clusterer) Commit(ctx context.Context) error {
 	if len(c.buffer) == 0 {
 		return nil
 	}
-	// Copy-on-write: if the current matrix/index were published in a View,
-	// clone them before any mutation so every outstanding view stays frozen.
-	if c.frozen {
-		if c.mat != nil {
-			c.mat = c.mat.Clone()
-		}
-		if c.index != nil {
-			c.index = c.index.Clone()
-		}
-		c.frozen = false
-	}
 	var firstNew int
 	if c.mat == nil {
 		m, err := matrix.FromRows(c.buffer)
@@ -241,11 +261,14 @@ func (c *Clusterer) Commit(ctx context.Context) error {
 	newCount := len(c.buffer)
 	c.buffer = c.buffer[:0]
 	for i := 0; i < newCount; i++ {
-		c.assigned = append(c.assigned, -1)
+		c.assigned.append(-1)
+		c.avail = append(c.avail, true)
 	}
 	c.commits++
 
 	// (Re)build or extend the LSH index from the committed matrix rows.
+	// Append touches only each table's mutable tail, never the sealed
+	// segments outstanding views share.
 	if c.index == nil {
 		idx, err := lsh.BuildMatrix(c.mat, c.cfg.Core.LSH)
 		if err != nil {
@@ -262,25 +285,65 @@ func (c *Clusterer) Commit(ctx context.Context) error {
 		}
 	}
 
-	det, err := core.NewDetectorMatrixWithIndex(c.mat, c.cfg.Core, c.index)
-	if err != nil {
-		return err
+	// The detector is created once and rebound to the grown dataset by
+	// extending its scratch: oracle and index alias c.mat / c.index, which
+	// only ever grow in place.
+	if c.det == nil {
+		det, err := core.NewDetectorMatrixWithIndex(c.mat, c.cfg.Core, c.index)
+		if err != nil {
+			return err
+		}
+		c.det = det
+	} else {
+		c.det.Grow()
 	}
+	det := c.det
 	cfg := det.Config()
 
-	// Step 2: find clusters made dirty by infective new points.
+	// Step 2: find clusters made dirty by infective new points. Only
+	// clusters sharing an LSH bucket with a new point are tested: each new
+	// point's co-bucketed candidates come from the inverted list (no
+	// rehashing), their owning clusters are deduplicated, and the full
+	// payoff g_j is evaluated against those clusters only. This is the same
+	// locality bound CIVS applies to candidate retrieval (Section 4.3); a
+	// cluster that shares no bucket with any arrival is declared clean
+	// without touching its members, so the check costs O(batch·candidates),
+	// independent of n.
 	kern := cfg.Kernel
 	dirty := make([]bool, len(c.clusters))
-	for ci, cl := range c.clusters {
+	if len(c.clusters) > 0 {
+		if len(c.mark) < c.mat.N {
+			c.mark = append(c.mark, make([]uint32, c.mat.N-len(c.mark))...)
+		}
+		if len(c.cmark) < len(c.clusters) {
+			c.cmark = append(c.cmark, make([]uint32, len(c.clusters)-len(c.cmark))...)
+		}
 		for j := firstNew; j < c.mat.N; j++ {
-			var gj float64
-			for t, m := range cl.Members {
-				gj += cl.Weights[t] * c.affinity(kern, j, m)
+			c.markGen++
+			if c.markGen == 0 { // uint32 wrap: reset markers
+				clear(c.mark)
+				clear(c.cmark)
+				c.markGen = 1
 			}
-			c.kernelEvals += int64(len(cl.Members))
-			if gj-cl.Density > cfg.Tol {
-				dirty[ci] = true
-				break
+			c.cand = c.index.CandidatesByIDInto(j, c.cand[:0], c.mark, c.markGen)
+			for _, id := range c.cand {
+				ci := c.assigned.At(int(id))
+				// A clean cluster is tested against j at most once, however
+				// many of its members co-bucket with j (cmark dedup, the
+				// same idiom as the assign path's candidate clusters).
+				if ci < 0 || dirty[ci] || c.cmark[ci] == c.markGen {
+					continue
+				}
+				c.cmark[ci] = c.markGen
+				cl := c.clusters[ci]
+				var gj float64
+				for t, m := range cl.Members {
+					gj += cl.Weights[t] * c.affinity(kern, j, m)
+				}
+				c.kernelEvals += int64(len(cl.Members))
+				if gj-cl.Density > cfg.Tol {
+					dirty[ci] = true
+				}
 			}
 		}
 	}
@@ -295,9 +358,10 @@ func (c *Clusterer) Commit(ctx context.Context) error {
 		}
 		seed := heaviestMember(cl)
 		for _, m := range cl.Members {
-			c.assigned[m] = -1
+			c.assigned.set(m, -1)
+			c.avail[m] = true
 		}
-		fresh, err := det.DetectFrom(ctx, seed, c.availability(ci))
+		fresh, err := det.DetectFrom(ctx, seed, c.avail)
 		if err != nil {
 			return err
 		}
@@ -307,13 +371,13 @@ func (c *Clusterer) Commit(ctx context.Context) error {
 
 	// Step 4: probe unassigned new points as seeds for new clusters.
 	for j := firstNew; j < c.mat.N; j++ {
-		if c.assigned[j] != -1 {
+		if c.assigned.At(j) != -1 {
 			continue
 		}
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		cl, err := det.DetectFrom(ctx, j, c.availability(-1))
+		cl, err := det.DetectFrom(ctx, j, c.avail)
 		if err != nil {
 			return err
 		}
@@ -326,9 +390,9 @@ func (c *Clusterer) Commit(ctx context.Context) error {
 	}
 	// Drop clusters that decayed below the threshold after re-convergence.
 	c.compact(cfg.DensityThreshold, cfg.MinClusterSize)
-	// The detector's oracle is created fresh for this commit, so its counter
-	// is exactly this commit's detection work.
-	c.kernelEvals += det.Oracle().Computed()
+	// The long-lived oracle's counter is drained per commit, so the delta is
+	// exactly this commit's detection work.
+	c.kernelEvals += det.Oracle().ResetComputed()
 	return nil
 }
 
@@ -352,24 +416,28 @@ func (c *Clusterer) affinity(kern affinity.Kernel, j, m int) float64 {
 func (c *Clusterer) claim(ci int) {
 	cl := c.clusters[ci]
 	for _, m := range cl.Members {
-		if prev := c.assigned[m]; prev != -1 && prev != ci && c.clusters[prev].Density > cl.Density {
+		if prev := c.assigned.At(m); prev != -1 && prev != ci && c.clusters[prev].Density > cl.Density {
 			continue
 		}
-		c.assigned[m] = ci
+		c.assigned.set(m, ci)
+		c.avail[m] = false
 	}
 }
 
-// availability returns the active mask: points unassigned or belonging to
-// cluster self (so a re-converging cluster can keep its own members).
-func (c *Clusterer) availability(self int) []bool {
-	active := make([]bool, c.mat.N)
-	for i, a := range c.assigned {
-		active[i] = a == -1 || a == self
-	}
-	return active
-}
-
+// compact drops clusters below the density threshold or minimum size,
+// remapping labels. When nothing is dropped it returns without the O(n)
+// relabel pass.
 func (c *Clusterer) compact(minDensity float64, minSize int) {
+	dropped := false
+	for _, cl := range c.clusters {
+		if cl.Density < minDensity || cl.Size() < minSize {
+			dropped = true
+			break
+		}
+	}
+	if !dropped {
+		return
+	}
 	var kept []*core.Cluster
 	remap := make(map[int]int)
 	for ci, cl := range c.clusters {
@@ -378,14 +446,16 @@ func (c *Clusterer) compact(minDensity float64, minSize int) {
 			kept = append(kept, cl)
 		}
 	}
-	for i, a := range c.assigned {
+	for i := 0; i < c.assigned.Len(); i++ {
+		a := c.assigned.At(i)
 		if a == -1 {
 			continue
 		}
 		if ni, ok := remap[a]; ok {
-			c.assigned[i] = ni
+			c.assigned.set(i, ni)
 		} else {
-			c.assigned[i] = -1
+			c.assigned.set(i, -1)
+			c.avail[i] = true
 		}
 	}
 	c.clusters = kept

@@ -107,7 +107,7 @@ func TestDroppedRecovergenceClearsLabels(t *testing.T) {
 	// after re-convergence.
 	strict := streamConfig()
 	strict.Core.DensityThreshold = 0.999
-	rc, err := Restore(strict, v.Mat, v.Index, v.Clusters, v.Labels, v.Commits)
+	rc, err := Restore(strict, v.Mat, v.Index, v.Clusters, v.Labels.Flat(), v.Commits)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +147,7 @@ func TestViewImmutableUnderCommits(t *testing.T) {
 	}
 	v := c.View()
 	wantN := v.Mat.N
-	wantLabels := append([]int(nil), v.Labels...)
+	wantLabels := v.Labels.Flat()
 	wantRow0 := append([]float64(nil), v.Mat.Row(0)...)
 	wantCand := v.Index.CandidatesByID(0)
 
@@ -163,10 +163,10 @@ func TestViewImmutableUnderCommits(t *testing.T) {
 	if c.N() <= wantN {
 		t.Fatal("live clusterer did not advance")
 	}
-	if v.Mat.N != wantN || v.Index.N() != wantN || len(v.Labels) != wantN {
-		t.Fatalf("view grew: mat=%d index=%d labels=%d want %d", v.Mat.N, v.Index.N(), len(v.Labels), wantN)
+	if v.Mat.N != wantN || v.Index.N() != wantN || v.Labels.Len() != wantN {
+		t.Fatalf("view grew: mat=%d index=%d labels=%d want %d", v.Mat.N, v.Index.N(), v.Labels.Len(), wantN)
 	}
-	if !slices.Equal(v.Labels, wantLabels) {
+	if !slices.Equal(v.Labels.Flat(), wantLabels) {
 		t.Fatal("view labels mutated")
 	}
 	if !slices.Equal(v.Mat.Row(0), wantRow0) {
@@ -215,13 +215,13 @@ func TestRestoreValidation(t *testing.T) {
 	}
 	v := c.View()
 
-	if _, err := Restore(streamConfig(), nil, v.Index, v.Clusters, v.Labels, v.Commits); err == nil {
+	if _, err := Restore(streamConfig(), nil, v.Index, v.Clusters, v.Labels.Flat(), v.Commits); err == nil {
 		t.Fatal("accepted nil matrix")
 	}
-	if _, err := Restore(streamConfig(), v.Mat, v.Index, v.Clusters, v.Labels[:5], v.Commits); err == nil {
+	if _, err := Restore(streamConfig(), v.Mat, v.Index, v.Clusters, v.Labels.Flat()[:5], v.Commits); err == nil {
 		t.Fatal("accepted short labels")
 	}
-	bad := append([]int(nil), v.Labels...)
+	bad := v.Labels.Flat()
 	bad[0] = len(v.Clusters) + 3
 	if _, err := Restore(streamConfig(), v.Mat, v.Index, v.Clusters, bad, v.Commits); err == nil {
 		t.Fatal("accepted out-of-range label")
@@ -238,11 +238,11 @@ func TestRestoreValidation(t *testing.T) {
 	if err := c3.Commit(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Restore(streamConfig(), v.Mat, c3.View().Index, v.Clusters, v.Labels, v.Commits); err == nil {
+	if _, err := Restore(streamConfig(), v.Mat, c3.View().Index, v.Clusters, v.Labels.Flat(), v.Commits); err == nil {
 		t.Fatal("accepted dimension-mismatched index")
 	}
 
-	rc, err := Restore(streamConfig(), v.Mat, v.Index, v.Clusters, v.Labels, v.Commits)
+	rc, err := Restore(streamConfig(), v.Mat, v.Index, v.Clusters, v.Labels.Flat(), v.Commits)
 	if err != nil {
 		t.Fatal(err)
 	}

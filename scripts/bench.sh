@@ -1,25 +1,36 @@
 #!/usr/bin/env bash
-# Records the perf-trajectory benchmarks into BENCH_PR2.json.
+# Records the perf-trajectory benchmarks into BENCH_PR3.json.
 #
 # Usage: scripts/bench.sh [output.json]
 #
-# The three seed-comparable benchmarks are carried forward unchanged from
-# PR 1 (same seed-commit baselines, so speedups stay comparable across PRs):
+# The seed-comparable benchmarks are carried forward unchanged from PR 1
+# (same seed-commit baselines, so speedups stay comparable across PRs):
 #   BenchmarkColumn    (internal/affinity) — fused kernel column
 #   BenchmarkBuild     (internal/lsh)      — LSH index construction
 #   BenchmarkDetectAll (root)              — end-to-end peeling detection
 #
-# PR 2 adds the serving-path gate:
+# PR 2 added the serving-path gate:
 #   BenchmarkAssign    (internal/engine)   — parallel lock-free Assign at
 #                                            n=10k, d=16 (target ≥ 50k/s)
+#
+# PR 3 adds the segmented-storage gate:
+#   BenchmarkCommitAfterPublish (internal/stream) — batch commit immediately
+#     after a published View, at n=10k and n=100k. Share-and-seal replaced
+#     the O(n·d)+O(n·l) copy-on-write clones on this path, so the ns/op must
+#     stay flat in n (gate: 100k ≤ 1.2× of 10k at the same batch size).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR2.json}"
+out="${1:-BENCH_PR3.json}"
 
 run_bench() { # pkg, pattern, benchtime
 	go test -run='^$' -bench="^$2\$" -benchtime="$3" "$1" 2>/dev/null |
 		awk -v b="$2" '$1 ~ b {print $3; exit}'
+}
+
+run_subbench() { # pkg, pattern (with sub-benchmark), benchtime
+	go test -run='^$' -bench="$2" -benchtime="$3" "$1" 2>/dev/null |
+		awk -v b="$2" '$0 ~ b {print $3; exit}'
 }
 
 echo "benchmarking BenchmarkColumn (internal/affinity)..." >&2
@@ -30,14 +41,19 @@ echo "benchmarking BenchmarkDetectAll (root)..." >&2
 detectall=$(run_bench . BenchmarkDetectAll 5x)
 echo "benchmarking BenchmarkAssign (internal/engine)..." >&2
 assign=$(run_bench ./internal/engine/ BenchmarkAssign 2s)
+echo "benchmarking BenchmarkCommitAfterPublish/n=10000 (internal/stream)..." >&2
+commit10k=$(run_subbench ./internal/stream/ 'BenchmarkCommitAfterPublish/n=10000' 30x)
+echo "benchmarking BenchmarkCommitAfterPublish/n=100000 (internal/stream)..." >&2
+commit100k=$(run_subbench ./internal/stream/ 'BenchmarkCommitAfterPublish/n=100000' 30x)
 
 host="$(uname -sm) / $(nproc) cpu / $(go version | awk '{print $3}')"
 date="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 
 # Seed-commit numbers (e5e1bc1 plus go.mod, measured on the PR-1 machine):
 # the ≥1.5× acceptance gates for Column and Build are computed against these.
-# The seed has no serving path, so BenchmarkAssign has no seed baseline; its
-# PR-2 gate is absolute throughput (≥ 50000 assigns/sec).
+# The seed has no serving or commit-after-publish path, so those benchmarks
+# carry absolute gates instead: ≥ 50000 assigns/sec (PR 2) and commit cost
+# flat in n (PR 3, ratio ≤ 1.2 from n=10k to n=100k).
 seed_column=42445
 seed_build=11299708
 seed_detectall=14111630
@@ -47,7 +63,7 @@ persec() { awk -v ns="$1" 'BEGIN {printf "%.0f", 1e9 / ns}'; }
 
 cat > "$out" <<JSON
 {
-  "pr": 2,
+  "pr": 3,
   "recorded_at": "$date",
   "host": "$host",
   "unit": "ns/op",
@@ -60,7 +76,9 @@ cat > "$out" <<JSON
     "BenchmarkColumn": $column,
     "BenchmarkBuild": $build,
     "BenchmarkDetectAll": $detectall,
-    "BenchmarkAssign": $assign
+    "BenchmarkAssign": $assign,
+    "BenchmarkCommitAfterPublish/n=10000": $commit10k,
+    "BenchmarkCommitAfterPublish/n=100000": $commit100k
   },
   "speedup_vs_seed": {
     "BenchmarkColumn": $(ratio "$seed_column" "$column"),
@@ -71,6 +89,13 @@ cat > "$out" <<JSON
     "workload": "n=10000 d=16, 50 blobs + 10% noise, parallel assigns",
     "assigns_per_sec": $(persec "$assign"),
     "target_assigns_per_sec": 50000
+  },
+  "commit_after_publish": {
+    "workload": "d=16 blobs of 200, publish View then commit a fresh 64-point batch",
+    "ns_per_commit_n10k": $commit10k,
+    "ns_per_commit_n100k": $commit100k,
+    "ratio_100k_vs_10k": $(ratio "$commit100k" "$commit10k"),
+    "gate_max_ratio": 1.2
   }
 }
 JSON
