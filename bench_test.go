@@ -223,6 +223,30 @@ func BenchmarkDetectAll(b *testing.B) {
 	}
 }
 
+// BenchmarkDetectAllPar4 is BenchmarkDetectAll with the intra-detection
+// parallel layer at 4 workers (Config.Parallelism) — same dataset, same
+// (bit-identical) output; the ratio to BenchmarkDetectAll is the measured
+// intra-detection speedup. On a single-core host the two are expected to be
+// within noise of each other (the layer degrades to near-serial cost).
+func BenchmarkDetectAllPar4(b *testing.B) {
+	pts := benchPoints(2000)
+	cfg, err := AutoConfig(pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Parallelism = 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det, err := NewDetector(pts, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := det.DetectAll(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDetectFrom measures a single query-style detection.
 func BenchmarkDetectFrom(b *testing.B) {
 	pts := benchPoints(2000)

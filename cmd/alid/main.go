@@ -37,6 +37,7 @@ func main() {
 	rSeg := flag.Float64("r", 0, "LSH segment length (0 = auto)")
 	threshold := flag.Float64("threshold", 0.75, "density threshold for reported clusters")
 	parallel := flag.Int("parallel", 0, "run PALID with this many executors (0 = sequential ALID)")
+	parallelism := flag.Int("parallelism", 0, "intra-detection worker count (0/1 = serial, -1 = GOMAXPROCS; results are identical at any setting)")
 	top := flag.Int("top", 10, "print at most this many clusters")
 	jsonOut := flag.Bool("json", false, "emit clusters as JSON on stdout (same wire struct as alidd's /v1/clusters)")
 	flag.Parse()
@@ -62,6 +63,7 @@ func main() {
 		cfg.LSHSegment = *rSeg
 	}
 	cfg.DensityThreshold = *threshold
+	cfg.Parallelism = *parallelism
 	fmt.Fprintf(os.Stderr, "alid: n=%d dim=%d k=%.4g r=%.4g threshold=%.2f\n",
 		len(pts), len(pts[0]), cfg.KernelScale, cfg.LSHSegment, cfg.DensityThreshold)
 

@@ -35,6 +35,7 @@ import (
 	"alid/internal/dataset"
 	"alid/internal/engine"
 	"alid/internal/lsh"
+	"alid/internal/par"
 	"alid/internal/server"
 )
 
@@ -52,6 +53,7 @@ func main() {
 	tables := flag.Int("tables", 8, "LSH tables")
 	seed := flag.Int64("seed", 1, "LSH seed")
 	threshold := flag.Float64("threshold", 0.75, "density threshold for maintained clusters")
+	parallelism := flag.Int("parallelism", 0, "intra-detection worker count for commit-side detection (0/1 = serial, -1 = GOMAXPROCS; results are identical at any setting)")
 	flag.Parse()
 
 	log.SetPrefix("alidd: ")
@@ -60,7 +62,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	eng, err := buildEngine(*in, *labeled, *snap, *batch, *queue, *kScale, *rSeg, *mu, *tables, *seed, *threshold)
+	eng, err := buildEngine(*in, *labeled, *snap, *batch, *queue, *kScale, *rSeg, *mu, *tables, *seed, *threshold, par.New(*parallelism))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -99,10 +101,10 @@ func main() {
 
 // buildEngine restores from the snapshot when one exists, otherwise detects
 // from the CSV (or starts empty).
-func buildEngine(in string, labeled bool, snap string, batch, queue int, k, r float64, mu, tables int, seed int64, threshold float64) (*engine.Engine, error) {
+func buildEngine(in string, labeled bool, snap string, batch, queue int, k, r float64, mu, tables int, seed int64, threshold float64, pool *par.Pool) (*engine.Engine, error) {
 	if snap != "" {
 		if _, err := os.Stat(snap); err == nil {
-			eng, err := engine.LoadFile(snap, queue)
+			eng, err := engine.LoadFile(snap, queue, pool)
 			if err != nil {
 				return nil, fmt.Errorf("restore %s: %w", snap, err)
 			}
@@ -142,6 +144,7 @@ func buildEngine(in string, labeled bool, snap string, batch, queue int, k, r fl
 	cfg.Kernel = affinity.Kernel{K: k, P: 2}
 	cfg.LSH = lsh.Config{Projections: mu, Tables: tables, R: r, Seed: seed}
 	cfg.DensityThreshold = threshold
+	cfg.Pool = pool
 	return engine.New(engine.Config{Core: cfg, BatchSize: batch, QueueSize: queue}, pts)
 }
 

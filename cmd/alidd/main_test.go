@@ -61,7 +61,7 @@ func TestBuildEngineDetectSnapshotRestore(t *testing.T) {
 	csv := blobCSV(t)
 	snap := filepath.Join(t.TempDir(), "alid.snap")
 
-	eng, err := buildEngine(csv, false, snap, 64, 0, 0, 0, 8, 10, 1, 0.75)
+	eng, err := buildEngine(csv, false, snap, 64, 0, 0, 0, 8, 10, 1, 0.75, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestBuildEngineDetectSnapshotRestore(t *testing.T) {
 	}
 
 	// Restart: the snapshot wins over -in and tuning flags.
-	restored, err := buildEngine("", false, snap, 64, 0, 0, 0, 8, 10, 1, 0.75)
+	restored, err := buildEngine("", false, snap, 64, 0, 0, 0, 8, 10, 1, 0.75, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestBuildEngineDetectSnapshotRestore(t *testing.T) {
 }
 
 func TestBuildEngineEmptyStart(t *testing.T) {
-	eng, err := buildEngine("", false, "", 64, 0, 0.5, 2, 8, 10, 1, 0.75)
+	eng, err := buildEngine("", false, "", 64, 0, 0.5, 2, 8, 10, 1, 0.75, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@ import (
 	"alid/internal/affinity"
 	"alid/internal/core"
 	"alid/internal/lsh"
+	"alid/internal/par"
 	"alid/internal/vec"
 )
 
@@ -41,11 +42,20 @@ type Config struct {
 	// normalized features); ≤ 0 means unbounded (δ-nearest only).
 	FirstRadius float64
 	// DensityThreshold keeps clusters with π(x) at or above it (paper: 0.75).
+	// Must lie in [0,1]; 0 takes the paper default.
 	DensityThreshold float64
 	// MinClusterSize drops smaller supports.
 	MinClusterSize int
 	// Seed drives LSH construction.
 	Seed int64
+
+	// Parallelism is the worker count of the deterministic intra-detection
+	// parallel layer: CIVS candidate scoring, affinity submatrix fills and
+	// LID payoff/immunity scans inside each detection fan out over this many
+	// goroutines. 0 or 1 runs serially; a negative value uses GOMAXPROCS.
+	// Detection output is bit-identical to the serial path at any setting —
+	// parallelism only changes speed, never results.
+	Parallelism int
 }
 
 // DefaultConfig returns the paper's defaults with a unit kernel. Most callers
@@ -139,7 +149,13 @@ func clusterScale(sorted []float64) float64 {
 		}
 	}
 	if bestIdx >= 0 {
-		return sorted[bestIdx/2+1] // median of the lower mode
+		// Median of the lower mode sorted[0..bestIdx] (bestIdx+1 values):
+		// its middle element sits at bestIdx/2. The former bestIdx/2+1 was
+		// off by one — on a small sample whose gap follows the very first
+		// value (bestIdx = 0) it crossed the gap and returned a NOISE-mode
+		// distance, tuning the kernel to exactly the scale the split exists
+		// to reject.
+		return sorted[bestIdx/2]
 	}
 	return sorted[n/4]
 }
@@ -161,6 +177,12 @@ func (c Config) Validate() error {
 	if !(c.Tolerance > 0) {
 		return fmt.Errorf("alid: Tolerance must be positive, got %v", c.Tolerance)
 	}
+	if c.DensityThreshold < 0 || c.DensityThreshold > 1 || math.IsNaN(c.DensityThreshold) {
+		// π(x) is a weighted mean of affinities in (0,1), so any threshold
+		// outside [0,1] is a configuration mistake: > 1 silently reports
+		// nothing, < 0 would report every peeled subgraph.
+		return fmt.Errorf("alid: DensityThreshold must be in [0,1], got %v", c.DensityThreshold)
+	}
 	return nil
 }
 
@@ -181,5 +203,6 @@ func (c Config) toCore() core.Config {
 		FirstRadius:      c.FirstRadius,
 		DensityThreshold: c.DensityThreshold,
 		MinClusterSize:   c.MinClusterSize,
+		Pool:             par.New(c.Parallelism),
 	}
 }

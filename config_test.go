@@ -1,0 +1,89 @@
+package alid
+
+import (
+	"math"
+	"testing"
+)
+
+// DensityThreshold is a probability-like knob (π(x) is a weighted mean of
+// affinities in (0,1)): anything outside [0,1] is a configuration mistake
+// and must be rejected at Validate, not silently report everything (< 0) or
+// nothing (> 1).
+func TestValidateDensityThresholdRange(t *testing.T) {
+	for _, bad := range []float64{-0.01, -5, 1.01, 7, math.NaN()} {
+		cfg := DefaultConfig()
+		cfg.DensityThreshold = bad
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("DensityThreshold %v accepted", bad)
+		}
+	}
+	for _, ok := range []float64{0, 0.5, 0.75, 1} {
+		cfg := DefaultConfig()
+		cfg.DensityThreshold = ok
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("DensityThreshold %v rejected: %v", ok, err)
+		}
+	}
+}
+
+// clusterScale must select the MEDIAN OF THE LOWER MODE of a bimodal q-NN
+// distance distribution. The fixtures pin the exact selected element; the
+// first one is the small-sample case where the former sorted[bestIdx/2+1]
+// overshot the gap and returned a NOISE-mode distance.
+func TestClusterScaleBimodal(t *testing.T) {
+	cases := []struct {
+		name   string
+		sorted []float64
+		want   float64
+	}{
+		{
+			// n=10: lo = n/20 = 0, so the gap right after the very first
+			// value is eligible (bestIdx = 0). The lower mode is the single
+			// value 1; the old code returned sorted[1] = 8 — the noise mode.
+			name:   "gap after first value (old overshoot)",
+			sorted: []float64{1, 8, 9, 10, 11, 12, 13, 14, 15, 16},
+			want:   1,
+		},
+		{
+			// Two clean modes of six: gap at bestIdx = 5, lower mode
+			// sorted[0..5], median element sorted[2].
+			name:   "six-six bimodal",
+			sorted: []float64{1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 30, 31, 32, 33, 34, 35},
+			want:   1.2,
+		},
+		{
+			// No gap ratio above 1.5: unimodal fallback to the lower quartile.
+			name:   "unimodal fallback",
+			sorted: []float64{10, 11, 12, 13, 14, 15, 16, 17},
+			want:   12,
+		},
+	}
+	for _, tc := range cases {
+		if got := clusterScale(tc.sorted); got != tc.want {
+			t.Errorf("%s: clusterScale = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// The selected scale must never come from above the gap: for any bimodal
+// fixture with a clear split, the result has to sit in the lower mode.
+func TestClusterScaleStaysBelowGap(t *testing.T) {
+	for lowLen := 1; lowLen <= 12; lowLen++ {
+		sorted := make([]float64, 0, lowLen+12)
+		for i := 0; i < lowLen; i++ {
+			sorted = append(sorted, 1+0.01*float64(i))
+		}
+		for i := 0; i < 12; i++ {
+			sorted = append(sorted, 100+float64(i))
+		}
+		got := clusterScale(sorted)
+		// The gap is only eligible when it lies in [n/20, 3n/4); otherwise
+		// the quartile fallback applies — either way the scale must not be a
+		// noise-mode distance when the lower mode holds at least a quartile.
+		if lo := len(sorted) / 20; lo <= lowLen-1 || lowLen >= (len(sorted)+3)/4 {
+			if got >= 100 {
+				t.Errorf("lowLen=%d: clusterScale = %v picked the noise mode", lowLen, got)
+			}
+		}
+	}
+}

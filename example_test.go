@@ -57,7 +57,7 @@ func Example() {
 	}
 	// Output:
 	// clusters: 2
-	// size=25 density>0.8=true
+	// size=24 density>0.8=true
 	// size=25 density>0.8=true
 }
 

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 
 	"alid/internal/matrix"
+	"alid/internal/par"
 	"alid/internal/vec"
 )
 
@@ -139,6 +140,42 @@ func (o *Oracle) Column(j int, rows []int, dst []float64) {
 	if len(dst) != len(rows) {
 		panic(fmt.Sprintf("affinity: dst length %d != rows length %d", len(dst), len(rows)))
 	}
+	o.fillColumn(j, rows, dst)
+}
+
+// columnGrain is the row-chunk size of ColumnPar. Fixed (never derived from
+// the worker count or GOMAXPROCS) so chunk boundaries — and therefore the
+// Dot2 row pairing within each chunk — are machine-independent. Pairing does
+// not affect values anyway (Dot2's per-row lane order matches vec.Dot
+// exactly, see fillColumn), but a fixed grain keeps the execution shape
+// reproducible too.
+const columnGrain = 512
+
+// columnParMin is the minimum row count before ColumnPar fans out.
+const columnParMin = 2 * columnGrain
+
+// ColumnPar is Column with the row fill fanned out over the pool in fixed
+// chunks of columnGrain rows. Every entry dst[r] depends only on (j, rows[r])
+// — each chunk writes a disjoint dst range — so the result is bit-identical
+// to the serial Column whatever the worker count. Short columns (under two
+// chunks) and serial pools take the plain Column path; the evaluation
+// counter is accumulated atomically per chunk, leaving the total exact.
+func (o *Oracle) ColumnPar(p *par.Pool, j int, rows []int, dst []float64) {
+	if len(dst) != len(rows) {
+		panic(fmt.Sprintf("affinity: dst length %d != rows length %d", len(dst), len(rows)))
+	}
+	if !p.Parallel() || len(rows) < columnParMin {
+		o.fillColumn(j, rows, dst)
+		return
+	}
+	p.ForChunks(len(rows), columnGrain, func(_, lo, hi int) {
+		o.fillColumn(j, rows[lo:hi], dst[lo:hi])
+	})
+}
+
+// fillColumn computes one contiguous range of an affinity column (the body
+// shared by Column and ColumnPar's chunks).
+func (o *Oracle) fillColumn(j int, rows []int, dst []float64) {
 	vj := o.Mat.Row(j)
 	k := o.Kernel.K
 	n := int64(0)

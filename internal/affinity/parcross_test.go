@@ -1,0 +1,46 @@
+package affinity
+
+import (
+	"math/rand"
+	"testing"
+
+	"alid/internal/par"
+)
+
+// ColumnPar must be bit-identical to Column at any worker count — the
+// per-entry kernel is chunk-invariant (Dot2's lane order matches vec.Dot),
+// and each chunk writes a disjoint dst range. The fixture exceeds four
+// production chunks (columnGrain rows each) so the fan-out genuinely runs.
+func TestColumnParMatchesColumn(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, kern := range []Kernel{{K: 1, P: 2}, {K: 0.5, P: 1}} {
+		pts := make([][]float64, 2200)
+		for i := range pts {
+			p := make([]float64, 7)
+			for j := range p {
+				p[j] = rng.NormFloat64() * 3
+			}
+			pts[i] = p
+		}
+		o, err := NewOracle(pts, kern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := rng.Perm(len(pts))[:4*columnGrain+57] // odd tail chunk: exercises the 1-row path
+		want := make([]float64, len(rows))
+		o.Column(42, rows, want)
+		serialEvals := o.ResetComputed()
+		for _, workers := range []int{1, 2, 4, 8} {
+			got := make([]float64, len(rows))
+			o.ColumnPar(par.New(workers), 42, rows, got)
+			for r := range want {
+				if got[r] != want[r] {
+					t.Fatalf("kernel %+v workers %d: entry %d = %v, want %v", kern, workers, r, got[r], want[r])
+				}
+			}
+			if evals := o.ResetComputed(); evals != serialEvals {
+				t.Fatalf("kernel %+v workers %d: %d evals counted, serial counted %d", kern, workers, evals, serialEvals)
+			}
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"alid/internal/lid"
 	"alid/internal/lsh"
 	"alid/internal/matrix"
+	"alid/internal/par"
 	"alid/internal/vec"
 )
 
@@ -40,6 +41,16 @@ type Config struct {
 	// are still peeled). Defaults to 2: a singleton has π = 0 and can never
 	// pass a positive density threshold anyway.
 	MinClusterSize int
+
+	// Pool is the deterministic intra-detection parallel layer: when set,
+	// the hot loops inside one DetectFrom — CIVS candidate scoring, A_{βα}
+	// submatrix fills, LID payoff/immunity scans — fan out over its workers.
+	// Results are bit-identical to the serial path at any worker count and
+	// any GOMAXPROCS (see package par); nil keeps every loop serial. The
+	// Detector itself remains single-caller: the fan-out lives entirely
+	// inside each call. One pool may be shared by many detectors (PALID
+	// executors, the streaming commit path).
+	Pool *par.Pool
 
 	// SingleQueryCIVS is an ablation switch: query LSH only from the
 	// heaviest support point instead of all of them, reproducing the
@@ -85,6 +96,13 @@ func (c Config) withDefaults() Config {
 	if c.Tol <= 0 {
 		c.Tol = d.Tol
 	}
+	if c.DensityThreshold <= 0 {
+		// A zero-value Config must not report every peeled subgraph: the
+		// documented default is the paper's π(x) ≥ 0.75, the same way every
+		// other zero knob takes its paper value. Callers that genuinely want
+		// all subgraphs reported set an explicit tiny positive threshold.
+		c.DensityThreshold = d.DensityThreshold
+	}
 	if c.MinClusterSize <= 0 {
 		c.MinClusterSize = d.MinClusterSize
 	}
@@ -123,10 +141,11 @@ type Detector struct {
 
 	// scratch for CIVS candidate deduplication and selection (steady-state
 	// CIVS calls allocate only the returned ψ slice)
-	mark []uint32
-	gen  uint32
-	raw  []int32
-	cand []civsCand
+	mark  []uint32
+	gen   uint32
+	raw   []int32
+	cand  []civsCand
+	parts [][]civsCand // per-chunk buffers of the parallel CIVS filter
 
 	// instrumentation
 	peakEntries int
@@ -223,6 +242,7 @@ func (d *Detector) DetectFrom(ctx context.Context, seed int, active []bool) (*Cl
 	if err != nil {
 		return nil, err
 	}
+	st.SetPool(d.cfg.Pool)
 	lidIters := 0
 	outer := 0
 	for c := 1; c <= d.cfg.MaxOuter; c++ {
@@ -230,8 +250,13 @@ func (d *Detector) DetectFrom(ctx context.Context, seed int, active []bool) (*Cl
 			return nil, err
 		}
 		outer = c
-		// Step 1: local dense subgraph within β.
-		lidIters += st.Solve(d.cfg.MaxLID, d.cfg.Tol)
+		// Step 1: local dense subgraph within β. Solve polls ctx itself
+		// (amortized) so even a MaxLID-sized inner budget stays interruptible.
+		n, err := st.Solve(ctx, d.cfg.MaxLID, d.cfg.Tol)
+		lidIters += n
+		if err != nil {
+			return nil, err
+		}
 
 		// Step 2: ROI from x̂.
 		sup, w := st.SupportWeights()
@@ -257,7 +282,11 @@ func (d *Detector) DetectFrom(ctx context.Context, seed int, active []bool) (*Cl
 	}
 	// Final inner solve in case the loop exited by the iteration cap right
 	// after an Extend.
-	lidIters += st.Solve(d.cfg.MaxLID, d.cfg.Tol)
+	n, err := st.Solve(ctx, d.cfg.MaxLID, d.cfg.Tol)
+	lidIters += n
+	if err != nil {
+		return nil, err
+	}
 
 	members, weights := st.SupportWeights()
 	orderMembers(members, weights)
@@ -273,6 +302,24 @@ func (d *Detector) DetectFrom(ctx context.Context, seed int, active []bool) (*Cl
 		LIDIterations:   lidIters,
 		PeakEntries:     st.PeakEntries(),
 	}, nil
+}
+
+// civsGrain is the raw-candidate chunk size of the parallel CIVS filter.
+const civsGrain = 512
+
+// civsParMin is the minimum LSH-union size before the filter fans out (per-
+// candidate work is one fused distance — cheap — so small unions stay
+// serial). A variable only so crosscheck tests can force the parallel path
+// on small fixtures; the gate affects speed, never results.
+var civsParMin = 2048
+
+// SetCIVSGateForTest overrides civsParMin (crosscheck tests engage the
+// parallel candidate filter on small fixtures with it) and returns a
+// restore function. Test-only.
+func SetCIVSGateForTest(n int) func() {
+	old := civsParMin
+	civsParMin = n
+	return func() { civsParMin = old }
 }
 
 // civsCand is a CIVS candidate with its distance to the ROI ball center
@@ -322,27 +369,54 @@ func (d *Detector) civs(st *lid.State, support []int, roi ROI, active []bool) []
 		centerNormSq = vec.Dot(roi.D, roi.D)
 		r2 = roi.R * roi.R
 	}
-	cands := d.cand[:0]
-	for _, id := range raw {
-		if active != nil && !active[id] {
-			continue
-		}
-		if st.Contains(int(id)) {
-			continue // already in the local range
-		}
-		var dist float64
-		if euclid {
-			dist = m.DistSq(int(id), roi.D, centerNormSq)
-			if bounded && dist > r2 {
+	// filter appends the surviving candidates of one raw-id range to buf in
+	// range order. It only reads shared state (the matrix, the ROI, the LID
+	// state's membership map, the active mask), so disjoint ranges can run
+	// concurrently.
+	filter := func(ids []int32, buf []civsCand) []civsCand {
+		for _, id := range ids {
+			if active != nil && !active[id] {
 				continue
 			}
-		} else {
-			dist = d.cfg.Kernel.Distance(m.Row(int(id)), roi.D)
-			if bounded && dist > roi.R {
-				continue
+			if st.Contains(int(id)) {
+				continue // already in the local range
 			}
+			var dist float64
+			if euclid {
+				dist = m.DistSq(int(id), roi.D, centerNormSq)
+				if bounded && dist > r2 {
+					continue
+				}
+			} else {
+				dist = d.cfg.Kernel.Distance(m.Row(int(id)), roi.D)
+				if bounded && dist > roi.R {
+					continue
+				}
+			}
+			buf = append(buf, civsCand{id, dist})
 		}
-		cands = append(cands, civsCand{id, dist})
+		return buf
+	}
+	// The parallel path splits raw into fixed chunks, filters each into its
+	// own buffer, and concatenates the buffers in ascending chunk order —
+	// the exact sequence the serial filter produces, whatever the worker
+	// count or GOMAXPROCS.
+	var cands []civsCand
+	if d.cfg.Pool.Parallel() && len(raw) >= civsParMin {
+		chunks := par.NumChunks(len(raw), civsGrain)
+		for len(d.parts) < chunks {
+			d.parts = append(d.parts, nil)
+		}
+		parts := d.parts[:chunks]
+		d.cfg.Pool.ForChunks(len(raw), civsGrain, func(c, lo, hi int) {
+			parts[c] = filter(raw[lo:hi], parts[c][:0])
+		})
+		cands = d.cand[:0]
+		for _, p := range parts {
+			cands = append(cands, p...)
+		}
+	} else {
+		cands = filter(raw, d.cand[:0])
 	}
 	d.cand = cands
 	// Keep the δ candidates nearest to the ball center: O(len) quickselect

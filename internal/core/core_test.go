@@ -61,10 +61,40 @@ func TestConfigDefaults(t *testing.T) {
 	if c.Delta != 800 || c.MaxOuter != 10 || c.Kernel.K != 1 || c.Tol <= 0 {
 		t.Fatalf("withDefaults gave %+v", c)
 	}
+	// Regression: a zero-value Config must take the documented 0.75 density
+	// threshold, not report every peeled subgraph.
+	if c.DensityThreshold != 0.75 {
+		t.Fatalf("withDefaults left DensityThreshold at %v, want 0.75", c.DensityThreshold)
+	}
 	// Explicit values survive.
-	c2 := Config{Delta: 5, MaxOuter: 3}.withDefaults()
-	if c2.Delta != 5 || c2.MaxOuter != 3 {
+	c2 := Config{Delta: 5, MaxOuter: 3, DensityThreshold: 0.4}.withDefaults()
+	if c2.Delta != 5 || c2.MaxOuter != 3 || c2.DensityThreshold != 0.4 {
 		t.Fatalf("withDefaults clobbered explicit values: %+v", c2)
+	}
+}
+
+// A zero-value Config (density threshold included) must behave like the
+// documented defaults end to end. The fixture is a set of isolated close
+// pairs: a 2-point subgraph has π = a/2 ≤ 0.5, below the 0.75 default, so
+// nothing may be reported — before the DensityThreshold default fix, the
+// zero threshold reported every peeled pair.
+func TestZeroConfigFiltersByDensity(t *testing.T) {
+	var pts [][]float64
+	for i := 0; i < 12; i++ {
+		base := float64(i) * 100
+		pts = append(pts, []float64{base, 0}, []float64{base + 0.1, 0})
+	}
+	det, err := NewDetector(pts, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters, err := det.DetectAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 0 {
+		t.Fatalf("zero-value Config reported %d clusters below the default density threshold (first: density=%v size=%d)",
+			len(clusters), clusters[0].Density, clusters[0].Size())
 	}
 }
 
@@ -108,7 +138,7 @@ func TestROIProposition1(t *testing.T) {
 		all[i] = i
 	}
 	st.Extend(all)
-	st.Solve(5000, 1e-10)
+	st.Solve(context.Background(), 5000, 1e-10)
 	sup, w := st.SupportWeights()
 	pi := st.Density()
 	roi := EstimateROI(o.Mat, sup, w, pi, kern, 5)

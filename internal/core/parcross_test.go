@@ -1,0 +1,64 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"alid/internal/par"
+)
+
+// DetectAll with the intra-detection pool must be bit-identical to the
+// serial run — clusters, members, weights, densities, instrumentation
+// ordering — at any worker count. civsParMin is lowered so the parallel
+// candidate filter engages on this small fixture (the lid-level scans have
+// their own forced crosscheck in internal/lid).
+func TestDetectAllCrosscheckSerialVsPool(t *testing.T) {
+	defer func(old int) { civsParMin = old }(civsParMin)
+	civsParMin = 8
+
+	rng := rand.New(rand.NewSource(47))
+	pts, _ := blobs(rng, [][]float64{{0, 0}, {14, 0}, {0, 14}}, 40, 0.35, 50)
+	base := testConfig()
+
+	run := func(pool *par.Pool) []*Cluster {
+		cfg := base
+		cfg.Pool = pool
+		det, err := NewDetector(pts, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cls, err := det.DetectAll(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cls
+	}
+
+	serial := run(nil)
+	if len(serial) == 0 {
+		t.Fatal("no clusters detected — crosscheck is vacuous")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got := run(par.New(workers))
+		if len(got) != len(serial) {
+			t.Fatalf("workers=%d: %d clusters, serial %d", workers, len(got), len(serial))
+		}
+		for i := range serial {
+			s, g := serial[i], got[i]
+			if g.Density != s.Density || g.Seed != s.Seed ||
+				g.OuterIterations != s.OuterIterations || g.LIDIterations != s.LIDIterations {
+				t.Fatalf("workers=%d cluster %d: got %+v, serial %+v", workers, i, g, s)
+			}
+			if len(g.Members) != len(s.Members) {
+				t.Fatalf("workers=%d cluster %d: size %d, serial %d", workers, i, len(g.Members), len(s.Members))
+			}
+			for j := range s.Members {
+				if g.Members[j] != s.Members[j] || g.Weights[j] != s.Weights[j] {
+					t.Fatalf("workers=%d cluster %d member %d: (%d,%v), serial (%d,%v)",
+						workers, i, j, g.Members[j], g.Weights[j], s.Members[j], s.Weights[j])
+				}
+			}
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"alid/internal/par"
 	"alid/internal/snapshot"
 )
 
@@ -57,23 +58,26 @@ func (e *Engine) SaveFile(path string) error {
 }
 
 // LoadSnapshot restores an engine from a snapshot stream: configuration,
-// matrix, index, clusters and labels all come from the snapshot; queueSize
-// (0 = default) is the only runtime knob not persisted.
-func LoadSnapshot(r io.Reader, queueSize int) (*Engine, error) {
+// matrix, index, clusters and labels all come from the snapshot. queueSize
+// (0 = default) and pool are the only runtime knobs not persisted: the
+// intra-detection pool is a scheduling choice with no effect on results, so
+// it is re-injected at restore time (nil = serial).
+func LoadSnapshot(r io.Reader, queueSize int, pool *par.Pool) (*Engine, error) {
 	s, err := snapshot.Read(r)
 	if err != nil {
 		return nil, err
 	}
+	s.Core.Pool = pool
 	cfg := Config{Core: s.Core, BatchSize: s.BatchSize, QueueSize: queueSize}
 	return Restore(cfg, s.Mat, s.Index, s.Clusters, s.Labels, s.Commits)
 }
 
 // LoadFile restores an engine from a snapshot file.
-func LoadFile(path string, queueSize int) (*Engine, error) {
+func LoadFile(path string, queueSize int, pool *par.Pool) (*Engine, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
 	defer f.Close()
-	return LoadSnapshot(f, queueSize)
+	return LoadSnapshot(f, queueSize, pool)
 }

@@ -105,7 +105,7 @@ func TestSnapshotCrosscheckAssignClusters(t *testing.T) {
 	if err := live.WriteSnapshot(&buf); err != nil {
 		t.Fatal(err)
 	}
-	restored, err := LoadSnapshot(bytes.NewReader(buf.Bytes()), 0)
+	restored, err := LoadSnapshot(bytes.NewReader(buf.Bytes()), 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +140,7 @@ func TestSnapshotRestoreContinuesStream(t *testing.T) {
 	if err := live.WriteSnapshot(&buf); err != nil {
 		t.Fatal(err)
 	}
-	restored, err := LoadSnapshot(bytes.NewReader(buf.Bytes()), 0)
+	restored, err := LoadSnapshot(bytes.NewReader(buf.Bytes()), 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +181,7 @@ func TestSnapshotV1CompatCrosscheck(t *testing.T) {
 	if err := snapshot.WriteV1(&v1, s); err != nil {
 		t.Fatal(err)
 	}
-	restored, err := LoadSnapshot(bytes.NewReader(v1.Bytes()), 0)
+	restored, err := LoadSnapshot(bytes.NewReader(v1.Bytes()), 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +212,7 @@ func TestSaveFileLoadFile(t *testing.T) {
 	if err := live.SaveFile(path); err != nil {
 		t.Fatal(err)
 	}
-	restored, err := LoadFile(path, 0)
+	restored, err := LoadFile(path, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +224,7 @@ func TestSaveFileLoadFile(t *testing.T) {
 	if err := live.SaveFile(path); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadFile(path, 0); err != nil {
+	if _, err := LoadFile(path, 0, nil); err != nil {
 		t.Fatal(err)
 	}
 }

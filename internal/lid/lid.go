@@ -14,11 +14,13 @@
 package lid
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"alid/internal/affinity"
+	"alid/internal/par"
 	"alid/internal/simplex"
 )
 
@@ -30,6 +32,7 @@ const DefaultTolerance = 1e-7
 // State is the LID working state over a dynamically grown local range.
 type State struct {
 	oracle *affinity.Oracle
+	pool   *par.Pool // intra-detection fan-out; nil = serial
 
 	beta []int       // global indices of the local range, order fixed
 	pos  map[int]int // global index -> position in beta
@@ -39,9 +42,23 @@ type State struct {
 
 	cols map[int][]float64 // global column index -> column over beta rows
 
+	// per-chunk scratch of the parallel paths (argmax partials, Extend tail
+	// slab, Immune chunk flags), reused across iterations
+	argBest []int
+	argAbs  []float64
+	argR    []float64
+	tails   []float64
+	infect  []bool
+
 	peakEntries int // high-water mark of cached submatrix entries
 	iterations  int // total LID iterations performed
 }
+
+// SetPool injects the intra-detection parallel pool. A nil pool (the
+// default) keeps every scan serial. The pool only changes how the fixed
+// chunks of each scan are scheduled, never what they compute: all results
+// stay bit-identical to the serial path (see package par).
+func (s *State) SetPool(p *par.Pool) { s.pool = p }
 
 // NewState starts Algorithm 2's initialization: β = α = {seed}, x = s_seed,
 // A_{βα}x_α = a_ss = 0.
@@ -139,28 +156,49 @@ func (s *State) PayoffOf(global int) (float64, bool) {
 }
 
 // column returns the affinity column A_{β,global}, computing and caching it
-// on first use (the dashed green column of Fig. 3).
+// on first use (the dashed green column of Fig. 3). The fill fans out over
+// the pool in fixed row chunks for large β.
 func (s *State) column(global int) []float64 {
 	if c, ok := s.cols[global]; ok {
 		return c
 	}
 	c := make([]float64, len(s.beta))
-	s.oracle.Column(global, s.beta, c)
+	s.oracle.ColumnPar(s.pool, global, s.beta, c)
 	s.cols[global] = c
 	s.trackPeak()
 	return c
 }
 
-// Step performs one LID iteration (Algorithm 1). It returns false when x is
-// already immune against every vertex in β up to tol, i.e. γ_β(x) = ∅.
-func (s *State) Step(tol float64) bool {
-	pi := s.Density()
+// stepGrain is the chunk size of the parallel vertex-selection scan and
+// stepParMin the minimum |β| before it fans out. The per-position work is a
+// handful of float operations, so fan-out only pays off for local ranges
+// well past a chunk. These (and the gates below) are variables only so
+// crosscheck tests can force the parallel paths on small fixtures; every
+// per-chunk reduction here is chunking-invariant by construction, so they
+// affect speed, never results.
+var (
+	stepGrain  = 4096
+	stepParMin = 2 * 4096
+)
 
-	// Vertex selection, Eq. 6: argmax |π(s_i − x, x)| over C1 ∪ C2.
-	best, bestAbs := -1, tol
-	bestR := 0.0
-	for p := range s.beta {
-		r := s.payoff(p, pi)
+// SetParGatesForTest overrides the fan-out grains/gates (crosscheck tests
+// engage every parallel path on small fixtures with it) and returns a
+// restore function. Results are identical at any setting; only scheduling
+// changes. Test-only.
+func SetParGatesForTest(stepGrainN, stepMin, extendMin, immuneMin int) func() {
+	oldG, oldS, oldE, oldI := stepGrain, stepParMin, extendParMin, immuneParMin
+	stepGrain, stepParMin, extendParMin, immuneParMin = stepGrainN, stepMin, extendMin, immuneMin
+	return func() { stepGrain, stepParMin, extendParMin, immuneParMin = oldG, oldS, oldE, oldI }
+}
+
+// selectVertex runs the Eq. 6 argmax over positions [lo,hi): the strongest
+// payoff deviation over C1 ∪ C2, first position winning ties (the serial
+// scan's strictly-greater rule). Returns best = -1 when no deviation in the
+// range exceeds tol.
+func (s *State) selectVertex(lo, hi int, pi, tol float64) (best int, bestAbs, bestR float64) {
+	best, bestAbs = -1, tol
+	for p := lo; p < hi; p++ {
+		r := s.g[p] - pi
 		switch {
 		case r > 0: // C1: infective vertex
 			if r > bestAbs {
@@ -171,6 +209,41 @@ func (s *State) Step(tol float64) bool {
 				best, bestAbs, bestR = p, -r, r
 			}
 		}
+	}
+	return best, bestAbs, bestR
+}
+
+// Step performs one LID iteration (Algorithm 1). It returns false when x is
+// already immune against every vertex in β up to tol, i.e. γ_β(x) = ∅.
+func (s *State) Step(tol float64) bool {
+	pi := s.Density()
+
+	// Vertex selection, Eq. 6: argmax |π(s_i − x, x)| over C1 ∪ C2. For a
+	// large β the scan runs as fixed chunks with per-chunk partial winners,
+	// reduced serially in ascending chunk order — each chunk applies the same
+	// first-wins tie rule, so the selected vertex is identical to the serial
+	// scan at any worker count.
+	var best int
+	var bestAbs, bestR float64
+	if n := len(s.beta); s.pool.Parallel() && n >= stepParMin {
+		chunks := par.NumChunks(n, stepGrain)
+		if cap(s.argBest) < chunks {
+			s.argBest = make([]int, chunks)
+			s.argAbs = make([]float64, chunks)
+			s.argR = make([]float64, chunks)
+		}
+		cBest, cAbs, cR := s.argBest[:chunks], s.argAbs[:chunks], s.argR[:chunks]
+		s.pool.ForChunks(n, stepGrain, func(c, lo, hi int) {
+			cBest[c], cAbs[c], cR[c] = s.selectVertex(lo, hi, pi, tol)
+		})
+		best, bestAbs = -1, tol
+		for c := 0; c < chunks; c++ {
+			if cBest[c] >= 0 && cAbs[c] > bestAbs {
+				best, bestAbs, bestR = cBest[c], cAbs[c], cR[c]
+			}
+		}
+	} else {
+		best, bestAbs, bestR = s.selectVertex(0, n, pi, tol)
 	}
 	if best < 0 {
 		return false
@@ -207,18 +280,37 @@ func (s *State) Step(tol float64) bool {
 	return true
 }
 
-// Solve iterates Step until convergence or maxIter iterations, returning the
-// number of iterations executed. This is the "repeat Algorithm 1 until
-// γ_β(x) = ∅ or t > T" loop of Section 4.1.
-func (s *State) Solve(maxIter int, tol float64) int {
+// cancelCheckEvery is the amortized cadence of context checks inside Solve:
+// one ctx.Err() load per this many LID iterations. An iteration is O(|β|)
+// (microseconds), so cancellation latency stays well under a millisecond
+// while the check cost is invisible; a pre-cancelled context is caught
+// before the first iteration.
+const cancelCheckEvery = 64
+
+// Solve iterates Step until convergence, maxIter iterations, or context
+// cancellation, returning the number of iterations executed. This is the
+// "repeat Algorithm 1 until γ_β(x) = ∅ or t > T" loop of Section 4.1. The
+// context is polled every cancelCheckEvery iterations so a MaxLID-sized
+// budget cannot pin a cancelled detection; on cancellation the state remains
+// valid (every completed Step left x on the simplex) but the returned error
+// is non-nil and the solve is incomplete.
+func (s *State) Solve(ctx context.Context, maxIter int, tol float64) (int, error) {
 	if tol <= 0 {
 		tol = DefaultTolerance
 	}
 	n := 0
-	for n < maxIter && s.Step(tol) {
+	for n < maxIter {
+		if n%cancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return n, err
+			}
+		}
+		if !s.Step(tol) {
+			break
+		}
 		n++
 	}
-	return n
+	return n, nil
 }
 
 // Extend grows the local range with new global indices (the CIVS update
@@ -256,12 +348,33 @@ func (s *State) Extend(newGlobal []int) int {
 		colIdxs = append(colIdxs, colIdx)
 	}
 	sort.Ints(colIdxs)
-	tail := make([]float64, len(fresh))
-	for _, colIdx := range colIdxs {
-		col := s.cols[colIdx]
-		s.oracle.Column(colIdx, s.beta[oldLen:], tail)
-		col = append(col, tail...)
-		s.cols[colIdx] = col
+	// Phase 1 — fill: the A_{ψα} tail rows of every retained column land in a
+	// per-column slab slot (chunk-owned writes, one column per chunk), so the
+	// submatrix materialization fans out over the pool. Each slot's entries
+	// depend only on its own (column, row) pairs — the slab content is
+	// bit-identical however the chunks are scheduled.
+	nf := len(fresh)
+	if need := len(colIdxs) * nf; cap(s.tails) < need {
+		s.tails = make([]float64, need)
+	}
+	tails := s.tails[:len(colIdxs)*nf]
+	newRows := s.beta[oldLen:]
+	fill := func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			s.oracle.Column(colIdxs[ci], newRows, tails[ci*nf:(ci+1)*nf])
+		}
+	}
+	if s.pool.Parallel() && len(colIdxs) > 1 && len(colIdxs)*nf >= extendParMin {
+		s.pool.ForChunks(len(colIdxs), 1, func(_, lo, hi int) { fill(lo, hi) })
+	} else {
+		fill(0, len(colIdxs))
+	}
+	// Phase 2 — merge, serial: append each tail to its cached column and
+	// accumulate g in ascending column order, the exact floating-point order
+	// of the pre-parallel implementation.
+	for ci, colIdx := range colIdxs {
+		tail := tails[ci*nf : (ci+1)*nf]
+		s.cols[colIdx] = append(s.cols[colIdx], tail...)
 		xi := s.x[s.pos[colIdx]]
 		if xi > 0 {
 			for r := range tail {
@@ -272,6 +385,10 @@ func (s *State) Extend(newGlobal []int) int {
 	s.trackPeak()
 	return len(fresh)
 }
+
+// extendParMin is the minimum tail-slab size (in kernel evaluations) before
+// Extend's fill fans out; below it the spawn cost outweighs the work.
+var extendParMin = 2048
 
 // dropNonSupportColumns releases cached columns for vertices outside the
 // current support. Support columns must be kept: they are exactly A_{βα}.
@@ -298,24 +415,63 @@ func (s *State) trackPeak() {
 	}
 }
 
+// immuneGrain is the candidate-chunk size of the parallel immunity scan;
+// each candidate costs O(|α|) kernel evaluations, so chunks stay small.
+const immuneGrain = 32
+
+// immuneParMin is the minimum candidate·support product before the immunity
+// scan fans out.
+var immuneParMin = 1 << 14
+
 // Immune reports whether x is immune (payoff ≤ tol) against every vertex of
 // the given global index set. Indices outside β are evaluated directly from
 // the oracle in O(|α|) each without growing the cache: π(s_j, x) = Σ a_ji x_i.
+//
+// For large candidate sets the scan fans out in fixed chunks, each chunk
+// recording an "infective found" flag in its own slot and stopping early
+// within its own range only; the verdict is the OR of the flags, read in
+// chunk order. The boolean answer is identical to the serial scan. The
+// kernel-evaluation COUNT can exceed the serial scan's (chunks past the
+// first infective candidate still run), but it is the same at every worker
+// count, because which chunks scan which candidates is fixed.
 func (s *State) Immune(candidates []int, tol float64) bool {
 	pi := s.Density()
 	sup, w := s.SupportWeights()
-	for _, gidx := range candidates {
+	infective := func(gidx int) bool {
 		if p, ok := s.pos[gidx]; ok {
-			if s.payoff(p, pi) > tol {
-				return false
-			}
-			continue
+			return s.payoff(p, pi) > tol
 		}
 		var gj float64
 		for t, i := range sup {
 			gj += w[t] * s.oracle.At(gidx, i)
 		}
-		if gj-pi > tol {
+		return gj-pi > tol
+	}
+	if s.pool.Parallel() && len(candidates) >= 2*immuneGrain && len(candidates)*len(sup) >= immuneParMin {
+		chunks := par.NumChunks(len(candidates), immuneGrain)
+		if cap(s.infect) < chunks {
+			s.infect = make([]bool, chunks)
+		}
+		flags := s.infect[:chunks]
+		s.pool.ForChunks(len(candidates), immuneGrain, func(c, lo, hi int) {
+			found := false
+			for _, gidx := range candidates[lo:hi] {
+				if infective(gidx) {
+					found = true
+					break
+				}
+			}
+			flags[c] = found
+		})
+		for _, f := range flags {
+			if f {
+				return false
+			}
+		}
+		return true
+	}
+	for _, gidx := range candidates {
+		if infective(gidx) {
 			return false
 		}
 	}

@@ -1,6 +1,7 @@
 package lid
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -69,7 +70,7 @@ func TestMotzkinStrausDensity(t *testing.T) {
 	pts := cliquePoints(4, 2, 3)
 	o := mustOracle(t, pts, affinity.Kernel{K: 5, P: 2})
 	s := newFullState(t, o, 0) // seed inside the size-4 clique
-	s.Solve(1000, 1e-9)
+	s.Solve(context.Background(), 1000, 1e-9)
 	if got, want := s.Density(), 0.75; math.Abs(got-want) > 1e-6 {
 		t.Fatalf("converged density = %v, want %v", got, want)
 	}
@@ -91,7 +92,7 @@ func TestSeedInSmallerCliqueStaysLocal(t *testing.T) {
 	pts := cliquePoints(4, 3)
 	o := mustOracle(t, pts, affinity.Kernel{K: 5, P: 2})
 	s := newFullState(t, o, 5)
-	s.Solve(1000, 1e-9)
+	s.Solve(context.Background(), 1000, 1e-9)
 	if got, want := s.Density(), 1-1.0/3; math.Abs(got-want) > 1e-6 {
 		t.Fatalf("density = %v, want %v", got, want)
 	}
@@ -129,7 +130,7 @@ func TestConvergenceKKT(t *testing.T) {
 	}
 	o := mustOracle(t, pts, affinity.Kernel{K: 1, P: 2})
 	s := newFullState(t, o, 0)
-	s.Solve(5000, 1e-9)
+	s.Solve(context.Background(), 5000, 1e-9)
 	pi := s.Density()
 	for p, gidx := range s.Beta() {
 		r, ok := s.PayoffOf(gidx)
@@ -197,7 +198,7 @@ func TestExtendIncremental(t *testing.T) {
 		if err := s.Sanity(); err != nil {
 			t.Fatalf("sanity after extend to %d: %v", hi, err)
 		}
-		s.Solve(500, 1e-9)
+		s.Solve(context.Background(), 500, 1e-9)
 		if err := s.Sanity(); err != nil {
 			t.Fatalf("sanity after solve at %d: %v", hi, err)
 		}
@@ -216,7 +217,7 @@ func TestImmune(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.Extend([]int{1, 2})
-	s.Solve(200, 1e-9)
+	s.Solve(context.Background(), 200, 1e-9)
 	// Vertices of the far clique are non-infective; in-clique vertices are
 	// already in β and converged.
 	if !s.Immune([]int{3, 4, 5}, 1e-7) {
@@ -226,7 +227,7 @@ func TestImmune(t *testing.T) {
 	// infective against a partially-converged subgraph with lower density.
 	s2, _ := NewState(o, 0)
 	s2.Extend([]int{1})
-	s2.Solve(200, 1e-9) // density 1/2 on the pair
+	s2.Solve(context.Background(), 200, 1e-9) // density 1/2 on the pair
 	if s2.Immune([]int{2}, 1e-7) {
 		t.Error("third clique member must be infective against the pair")
 	}
@@ -240,7 +241,7 @@ func TestColumnsBoundedBySupport(t *testing.T) {
 	}
 	o := mustOracle(t, pts, affinity.Kernel{K: 1, P: 2})
 	s := newFullState(t, o, 0)
-	s.Solve(2000, 1e-9)
+	s.Solve(context.Background(), 2000, 1e-9)
 	s.Extend(nil) // triggers non-support column cleanup
 	sup := s.Support()
 	if got := len(s.cols); got > len(sup) {
@@ -267,8 +268,8 @@ func TestSingletonConverges(t *testing.T) {
 	if s.Density() != 0 {
 		t.Errorf("singleton density = %v", s.Density())
 	}
-	if n := s.Solve(10, 1e-9); n != 0 {
-		t.Errorf("Solve did %d iterations on singleton", n)
+	if n, err := s.Solve(context.Background(), 10, 1e-9); n != 0 || err != nil {
+		t.Errorf("Solve on singleton: %d iterations, err %v", n, err)
 	}
 }
 
@@ -276,7 +277,10 @@ func TestIterationsCounter(t *testing.T) {
 	pts := cliquePoints(5)
 	o := mustOracle(t, pts, affinity.Kernel{K: 5, P: 2})
 	s := newFullState(t, o, 0)
-	n := s.Solve(100, 1e-9)
+	n, err := s.Solve(context.Background(), 100, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if n == 0 || s.Iterations() != n {
 		t.Fatalf("Solve=%d Iterations=%d", n, s.Iterations())
 	}
@@ -287,7 +291,7 @@ func TestUniformWeightsOnClique(t *testing.T) {
 	pts := cliquePoints(6)
 	o := mustOracle(t, pts, affinity.Kernel{K: 3, P: 2})
 	s := newFullState(t, o, 2)
-	s.Solve(1000, 1e-10)
+	s.Solve(context.Background(), 1000, 1e-10)
 	_, w := s.SupportWeights()
 	if len(w) != 6 {
 		t.Fatalf("support size = %d, want 6", len(w))
@@ -315,6 +319,68 @@ func BenchmarkLIDSolve200(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s, _ := NewState(o, 0)
 		s.Extend(all)
-		s.Solve(2000, 1e-8)
+		s.Solve(context.Background(), 2000, 1e-8)
+	}
+}
+
+// A pre-cancelled context must abort Solve before the first iteration, even
+// with a MaxLID-sized budget: the inner loop polls the context (amortized),
+// so a cancelled detection cannot pin a core for thousands of iterations.
+func TestSolvePreCancelledContext(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pts := make([][]float64, 200)
+	for i := range pts {
+		pts[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	o := mustOracle(t, pts, affinity.Kernel{K: 1, P: 2})
+	s := newFullState(t, o, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	n, err := s.Solve(ctx, 1<<20, 1e-12)
+	if err == nil {
+		t.Fatal("Solve ignored a pre-cancelled context")
+	}
+	if n != 0 {
+		t.Fatalf("Solve ran %d iterations under a pre-cancelled context", n)
+	}
+	if s.Iterations() != 0 {
+		t.Fatalf("state advanced %d iterations under a pre-cancelled context", s.Iterations())
+	}
+}
+
+// lateCancelCtx cancels itself after a fixed number of Err calls — a
+// deterministic stand-in for "the caller cancels mid-solve".
+type lateCancelCtx struct {
+	context.Context
+	calls, after int
+}
+
+func (c *lateCancelCtx) Err() error {
+	c.calls++
+	if c.calls > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// Cancellation arriving mid-solve must stop the loop at the next amortized
+// check (within cancelCheckEvery iterations), not run the budget dry.
+func TestSolveCancelledMidway(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pts := make([][]float64, 300)
+	for i := range pts {
+		pts[i] = []float64{rng.NormFloat64() * 0.1, rng.NormFloat64() * 0.1}
+	}
+	o := mustOracle(t, pts, affinity.Kernel{K: 1, P: 2})
+	s := newFullState(t, o, 0)
+	ctx := &lateCancelCtx{Context: context.Background(), after: 2}
+	n, err := s.Solve(ctx, 1<<20, 1e-15)
+	if err == nil {
+		t.Skip("solve converged before the cancellation point; fixture too easy")
+	}
+	// Err turns non-nil at the 3rd check, i.e. after at most 2·cancelCheckEvery
+	// completed iterations.
+	if n > 2*cancelCheckEvery {
+		t.Fatalf("Solve ran %d iterations past a mid-solve cancellation (check cadence %d)", n, cancelCheckEvery)
 	}
 }

@@ -1,0 +1,123 @@
+package lid
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"alid/internal/affinity"
+	"alid/internal/par"
+)
+
+// lowerParGates forces every parallel path in this package onto small
+// fixtures (a 32-position step grain makes even a 260-vertex β fan out),
+// restoring the production gates when the test ends. Gates affect only
+// scheduling, never values — which is exactly what these crosschecks prove.
+func lowerParGates(t *testing.T) {
+	t.Helper()
+	t.Cleanup(SetParGatesForTest(32, 64, 8, 8))
+}
+
+// runScript drives one State through the ALID usage pattern — extend in
+// chunks, solve in between, immunity checks against outside vertices — and
+// returns the final state for comparison.
+func runScript(t *testing.T, o *affinity.Oracle, pool *par.Pool) (*State, []bool) {
+	t.Helper()
+	s, err := NewState(o, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetPool(pool)
+	n := o.N()
+	var immunities []bool
+	for lo := 1; lo < n; lo += 40 {
+		hi := min(lo+40, n)
+		chunk := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			chunk = append(chunk, i)
+		}
+		s.Extend(chunk)
+		if _, err := s.Solve(context.Background(), 500, 1e-9); err != nil {
+			t.Fatal(err)
+		}
+		// Immunity against the not-yet-extended tail. The window must reach
+		// 2·immuneGrain candidates (a const the gate hook cannot lower) or
+		// the parallel scan never engages and this compares serial to serial.
+		var outside []int
+		for i := hi; i < min(hi+4*immuneGrain, n); i++ {
+			outside = append(outside, i)
+		}
+		if len(outside) >= 2*immuneGrain {
+			immunities = append(immunities, s.Immune(outside, 1e-7))
+		}
+	}
+	if _, err := s.Solve(context.Background(), 2000, 1e-10); err != nil {
+		t.Fatal(err)
+	}
+	return s, immunities
+}
+
+// The full LID state — β order, weights, g, cached columns, density — must
+// be bit-identical between the serial path and any pool width: vertex
+// selection reduces per-chunk winners in chunk order, Extend merges tails in
+// sorted column order, and column fills are chunk-invariant.
+func TestLIDCrosscheckSerialVsPool(t *testing.T) {
+	lowerParGates(t)
+	rng := rand.New(rand.NewSource(9))
+	pts := make([][]float64, 260)
+	for i := range pts {
+		c := float64(i % 3)
+		pts[i] = []float64{c*6 + rng.NormFloat64()*0.8, c*6 + rng.NormFloat64()*0.8, rng.NormFloat64() * 0.5}
+	}
+	o := mustOracle(t, pts, affinity.Kernel{K: 1, P: 2})
+
+	serial, serialImm := runScript(t, o, nil)
+	if len(serialImm) == 0 {
+		t.Fatal("no immunity checks reached the parallel-scan size — crosscheck is vacuous")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got, gotImm := runScript(t, o, par.New(workers))
+		if got.Len() != serial.Len() || got.Iterations() != serial.Iterations() {
+			t.Fatalf("workers=%d: len/iters %d/%d, serial %d/%d", workers, got.Len(), got.Iterations(), serial.Len(), serial.Iterations())
+		}
+		if got.Density() != serial.Density() {
+			t.Fatalf("workers=%d: density %v != serial %v", workers, got.Density(), serial.Density())
+		}
+		for p := range serial.beta {
+			if got.beta[p] != serial.beta[p] {
+				t.Fatalf("workers=%d: beta[%d] = %d, serial %d", workers, p, got.beta[p], serial.beta[p])
+			}
+			if got.x[p] != serial.x[p] {
+				t.Fatalf("workers=%d: x[%d] = %v, serial %v", workers, p, got.x[p], serial.x[p])
+			}
+			if got.g[p] != serial.g[p] {
+				t.Fatalf("workers=%d: g[%d] = %v, serial %v", workers, p, got.g[p], serial.g[p])
+			}
+		}
+		if len(got.cols) != len(serial.cols) {
+			t.Fatalf("workers=%d: %d cached columns, serial %d", workers, len(got.cols), len(serial.cols))
+		}
+		for idx, sc := range serial.cols {
+			gc, ok := got.cols[idx]
+			if !ok || len(gc) != len(sc) {
+				t.Fatalf("workers=%d: column %d missing or mis-sized", workers, idx)
+			}
+			for r := range sc {
+				if gc[r] != sc[r] {
+					t.Fatalf("workers=%d: column %d row %d = %v, serial %v", workers, idx, r, gc[r], sc[r])
+				}
+			}
+		}
+		if len(gotImm) != len(serialImm) {
+			t.Fatalf("workers=%d: %d immunity verdicts, serial %d", workers, len(gotImm), len(serialImm))
+		}
+		for i := range serialImm {
+			if gotImm[i] != serialImm[i] {
+				t.Fatalf("workers=%d: immunity verdict %d = %v, serial %v", workers, i, gotImm[i], serialImm[i])
+			}
+		}
+		if err := got.Sanity(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+	}
+}

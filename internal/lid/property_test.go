@@ -1,6 +1,7 @@
 package lid
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -34,7 +35,7 @@ func TestRandomInterleavingInvariants(t *testing.T) {
 			s.Extend(remaining[:take])
 			remaining = remaining[take:]
 			before := s.Density()
-			s.Solve(200, 1e-9)
+			s.Solve(context.Background(), 200, 1e-9)
 			if s.Density() < before-1e-9 {
 				return false
 			}
@@ -109,7 +110,7 @@ func TestSupportAccessorsConsistent(t *testing.T) {
 		all[i] = i
 	}
 	s.Extend(all)
-	s.Solve(500, 1e-9)
+	s.Solve(context.Background(), 500, 1e-9)
 	sup, w := s.SupportWeights()
 	var sum float64
 	for i, gidx := range sup {

@@ -11,6 +11,13 @@
 //
 // One core.Detector is kept per executor; the dataset, kernel oracle and LSH
 // index are shared read-only, standing in for the paper's MongoDB store.
+//
+// Task-level fan-out (executors) composes with the intra-detection layer:
+// when cfg.Pool is set, every executor's detector additionally parallelizes
+// its inner CIVS/LID loops over the shared pool. Executors × pool workers
+// goroutines can then be live at once — size the product to the machine.
+// Neither axis changes results (executor invariance is tested, and the pool
+// is bit-deterministic by construction).
 package palid
 
 import (

@@ -1,0 +1,132 @@
+// Package par is the deterministic intra-detection parallel layer: a small
+// chunked-for-range fan-out used by the hot loops inside one DetectFrom
+// (CIVS candidate scoring, A_{βα} submatrix fills, LID payoff and immunity
+// scans).
+//
+// Determinism contract. Detection output must be bit-identical to the serial
+// path at any GOMAXPROCS and any worker count, so the layer never lets
+// scheduling order reach a floating-point result:
+//
+//   - the iteration range [0,n) is split into FIXED chunks of a caller-chosen
+//     grain — chunk boundaries are a pure function of (n, grain), never of
+//     the worker count or GOMAXPROCS;
+//   - every chunk writes only chunk-owned state (disjoint dst ranges or a
+//     per-chunk partial slot), so no result value is ever produced by an
+//     atomics-ordered or arrival-ordered reduction;
+//   - cross-chunk reductions are performed by the CALLER, serially, in
+//     ascending chunk order — the same reduction tree the serial fallback
+//     produces, because the fallback runs the identical per-chunk calls.
+//
+// A Pool carries no goroutines and no mutable state: Run spawns up to
+// Workers()−1 helpers per call (the caller participates) and joins them
+// before returning. That keeps the pool trivially safe to share — PALID
+// executors and the streaming commit path can all hold the same *Pool — and
+// leaves nothing to close. Per-call spawn costs ~1µs per helper, which is why
+// call sites gate fan-out behind a minimum-work threshold; the gate affects
+// only speed, never results.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool describes a fan-out width. The zero value and the nil pool are valid
+// and mean "serial"; all methods are nil-safe.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool of the given width. Widths ≤ 1 return nil (serial);
+// a negative width means GOMAXPROCS at construction time.
+func New(workers int) *Pool {
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 {
+		return nil
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the fan-out width (1 for a nil/serial pool).
+func (p *Pool) Workers() int {
+	if p == nil || p.workers < 1 {
+		return 1
+	}
+	return p.workers
+}
+
+// Parallel reports whether the pool fans out at all.
+func (p *Pool) Parallel() bool { return p.Workers() > 1 }
+
+// ForChunks splits [0,n) into ⌈n/grain⌉ fixed chunks — chunk c covers
+// [c·grain, min((c+1)·grain, n)) — and calls fn once per chunk. With a
+// serial pool (or a single chunk) the calls run in ascending chunk order on
+// the calling goroutine; with a parallel pool, chunks are claimed from an
+// atomic counter by up to Workers() goroutines (the caller included) in an
+// unspecified order. fn must therefore write only chunk-owned state; under
+// that contract the memory written is identical in both modes, which is what
+// makes the serial and parallel paths bit-identical. ForChunks returns after
+// every chunk has completed. fn must not panic: a panic on a helper
+// goroutine crashes the process.
+func (p *Pool) ForChunks(n, grain int, fn func(chunk, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	run := func(c int) {
+		lo := c * grain
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		fn(c, lo, hi)
+	}
+	w := p.Workers()
+	if w > chunks {
+		w = chunks
+	}
+	if w <= 1 {
+		for c := 0; c < chunks; c++ {
+			run(c)
+		}
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			c := int(next.Add(1)) - 1
+			if c >= chunks {
+				return
+			}
+			run(c)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(w - 1)
+	for i := 0; i < w-1; i++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work() // the caller is the w-th worker
+	wg.Wait()
+}
+
+// NumChunks returns the chunk count ForChunks would use for (n, grain):
+// callers size per-chunk partial-result scratch with it.
+func NumChunks(n, grain int) int {
+	if n <= 0 {
+		return 0
+	}
+	if grain <= 0 {
+		grain = 1
+	}
+	return (n + grain - 1) / grain
+}

@@ -22,6 +22,10 @@
 //
 // The amortized per-batch cost is the cost of re-running ALID on the touched
 // neighborhoods only, preserving the locality that makes offline ALID scale.
+// When Config.Core.Pool is set, the detections inside each commit (dirty
+// re-convergence and new-seed probing) fan out their inner loops over the
+// pool — the recluster latency of a commit drops on multicore boxes while
+// the committed clusters stay bit-identical to a serial commit.
 //
 // Published views follow the share-and-seal protocol: View seals the current
 // matrix and index state into structurally shared immutable snapshots

@@ -1,0 +1,167 @@
+package alid
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"alid/internal/core"
+	"alid/internal/lid"
+	"alid/internal/testutil"
+)
+
+// PR 4 invariant: the intra-detection parallel layer (Config.Parallelism)
+// is bit-deterministic. These crosschecks run the serial path once, then the
+// parallel path (4 workers) under GOMAXPROCS ∈ {1, 4, 8}, and demand
+// byte-identical output — clusters, weights, densities, assignments, stream
+// labels — for DetectAll, DetectParallel AND the streaming commit path.
+// The fan-out gates are lowered for the run (lowerParGates) so every
+// parallel path genuinely executes on this fixture — at production gates a
+// small workload could pass vacuously serial; per-path bit-identity is
+// additionally pinned by the package-level crosschecks under internal/core,
+// internal/lid and internal/affinity.
+
+const parcrossWorkers = 4
+
+func parcrossPoints() [][]float64 {
+	pts, _ := testutil.Blobs(21, [][]float64{{0, 0, 0}, {11, 0, 0}, {0, 11, 0}, {0, 0, 11}}, 550, 0.4, 600, 0, 11)
+	return pts
+}
+
+// lowerParGates forces the CIVS filter and the LID scans to fan out at this
+// fixture's sizes (β ≈ several hundred, raw unions ≈ 500). Gates and grains
+// change scheduling only, never results — which is what the crosscheck
+// proves.
+func lowerParGates(t *testing.T) {
+	t.Helper()
+	t.Cleanup(core.SetCIVSGateForTest(64))
+	t.Cleanup(lid.SetParGatesForTest(64, 128, 64, 256))
+}
+
+func parcrossGOMAXPROCS(t *testing.T, check func(t *testing.T)) {
+	t.Helper()
+	for _, procs := range []int{1, 4, 8} {
+		old := runtime.GOMAXPROCS(procs)
+		// Restore immediately after the body rather than at test end so a
+		// failing subtest cannot leak an odd GOMAXPROCS into later tests.
+		func() {
+			defer runtime.GOMAXPROCS(old)
+			check(t)
+		}()
+		if t.Failed() {
+			t.Fatalf("parallel output diverged from serial at GOMAXPROCS=%d", procs)
+		}
+	}
+}
+
+func TestGOMAXPROCSCrosscheckDetectAll(t *testing.T) {
+	lowerParGates(t)
+	pts := parcrossPoints()
+	cfg, err := AutoConfig(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detect := func(parallelism int) ([]Cluster, Stats) {
+		c := cfg
+		c.Parallelism = parallelism
+		det, err := NewDetector(pts, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cls, err := det.DetectAll(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cls, det.Stats()
+	}
+	serial, serialStats := detect(0)
+	if len(serial) == 0 {
+		t.Fatal("no clusters detected — crosscheck is vacuous")
+	}
+	parcrossGOMAXPROCS(t, func(t *testing.T) {
+		got, gotStats := detect(parcrossWorkers)
+		sameClusters(t, serial, got, "DetectAll")
+		// The peak-submatrix instrumentation is schedule-independent too;
+		// kernel-eval counts are compared only for the serial path (the
+		// parallel immunity scan deterministically evaluates more, see
+		// lid.Immune) — so assert the one field that must match.
+		if gotStats.PeakSubmatrixEntries != serialStats.PeakSubmatrixEntries {
+			t.Fatalf("peak submatrix %d, serial %d", gotStats.PeakSubmatrixEntries, serialStats.PeakSubmatrixEntries)
+		}
+	})
+}
+
+func TestGOMAXPROCSCrosscheckDetectParallel(t *testing.T) {
+	lowerParGates(t)
+	pts := parcrossPoints()
+	cfg, err := AutoConfig(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := ParallelOptions{Executors: 2}
+	detect := func(parallelism int) *ParallelResult {
+		c := cfg
+		c.Parallelism = parallelism
+		res, err := DetectParallel(context.Background(), pts, c, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := detect(0)
+	if len(serial.Clusters) == 0 {
+		t.Fatal("no clusters detected — crosscheck is vacuous")
+	}
+	parcrossGOMAXPROCS(t, func(t *testing.T) {
+		got := detect(parcrossWorkers)
+		sameClusters(t, serial.Clusters, got.Clusters, "DetectParallel")
+		if got.Seeds != serial.Seeds {
+			t.Fatalf("seed counts differ: %d vs %d", got.Seeds, serial.Seeds)
+		}
+		for i := range serial.Assign {
+			if got.Assign[i] != serial.Assign[i] {
+				t.Fatalf("assignment differs at point %d: %d vs %d", i, got.Assign[i], serial.Assign[i])
+			}
+		}
+	})
+}
+
+func TestGOMAXPROCSCrosscheckStreamCommits(t *testing.T) {
+	lowerParGates(t)
+	pts := parcrossPoints()
+	cfg, err := AutoConfig(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(parallelism int) ([]Cluster, []int) {
+		c := cfg
+		c.Parallelism = parallelism
+		sc, err := NewStreamClusterer(nil, c, StreamOptions{BatchSize: 500})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		for _, p := range pts {
+			if err := sc.Add(ctx, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sc.Commit(ctx); err != nil {
+			t.Fatal(err)
+		}
+		return sc.Clusters(), sc.Labels()
+	}
+	serial, serialLabels := run(0)
+	if len(serial) == 0 {
+		t.Fatal("no clusters maintained — crosscheck is vacuous")
+	}
+	parcrossGOMAXPROCS(t, func(t *testing.T) {
+		got, gotLabels := run(parcrossWorkers)
+		sameClusters(t, serial, got, "stream commits")
+		for i := range serialLabels {
+			if gotLabels[i] != serialLabels[i] {
+				t.Fatalf("label differs at point %d: %d vs %d", i, gotLabels[i], serialLabels[i])
+			}
+		}
+	})
+}

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Records the perf-trajectory benchmarks into BENCH_PR3.json.
+# Records the perf-trajectory benchmarks into BENCH_PR4.json.
 #
 # Usage: scripts/bench.sh [output.json]
 #
@@ -13,15 +13,22 @@
 #   BenchmarkAssign    (internal/engine)   — parallel lock-free Assign at
 #                                            n=10k, d=16 (target ≥ 50k/s)
 #
-# PR 3 adds the segmented-storage gate:
+# PR 3 added the segmented-storage gate:
 #   BenchmarkCommitAfterPublish (internal/stream) — batch commit immediately
 #     after a published View, at n=10k and n=100k. Share-and-seal replaced
 #     the O(n·d)+O(n·l) copy-on-write clones on this path, so the ns/op must
 #     stay flat in n (gate: 100k ≤ 1.2× of 10k at the same batch size).
+#
+# PR 4 adds the intra-detection parallel gate:
+#   BenchmarkDetectAllPar4 (root) — DetectAll with Config.Parallelism = 4,
+#     bit-identical output to the serial run. Target: ≥ 1.5× the serial
+#     DetectAll when ≥ 4 hardware cores are available; on fewer cores the
+#     fan-out cannot manifest and the two must merely stay within noise
+#     (the host core count is recorded alongside the ratio).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR3.json}"
+out="${1:-BENCH_PR4.json}"
 
 run_bench() { # pkg, pattern, benchtime
 	go test -run='^$' -bench="^$2\$" -benchtime="$3" "$1" 2>/dev/null |
@@ -39,6 +46,8 @@ echo "benchmarking BenchmarkBuild (internal/lsh)..." >&2
 build=$(run_bench ./internal/lsh/ BenchmarkBuild 2s)
 echo "benchmarking BenchmarkDetectAll (root)..." >&2
 detectall=$(run_bench . BenchmarkDetectAll 5x)
+echo "benchmarking BenchmarkDetectAllPar4 (root)..." >&2
+detectallpar4=$(run_bench . BenchmarkDetectAllPar4 5x)
 echo "benchmarking BenchmarkAssign (internal/engine)..." >&2
 assign=$(run_bench ./internal/engine/ BenchmarkAssign 2s)
 echo "benchmarking BenchmarkCommitAfterPublish/n=10000 (internal/stream)..." >&2
@@ -63,9 +72,10 @@ persec() { awk -v ns="$1" 'BEGIN {printf "%.0f", 1e9 / ns}'; }
 
 cat > "$out" <<JSON
 {
-  "pr": 3,
+  "pr": 4,
   "recorded_at": "$date",
   "host": "$host",
+  "cpus": $(nproc),
   "unit": "ns/op",
   "seed": {
     "BenchmarkColumn": $seed_column,
@@ -76,6 +86,7 @@ cat > "$out" <<JSON
     "BenchmarkColumn": $column,
     "BenchmarkBuild": $build,
     "BenchmarkDetectAll": $detectall,
+    "BenchmarkDetectAllPar4": $detectallpar4,
     "BenchmarkAssign": $assign,
     "BenchmarkCommitAfterPublish/n=10000": $commit10k,
     "BenchmarkCommitAfterPublish/n=100000": $commit100k
@@ -96,6 +107,14 @@ cat > "$out" <<JSON
     "ns_per_commit_n100k": $commit100k,
     "ratio_100k_vs_10k": $(ratio "$commit100k" "$commit10k"),
     "gate_max_ratio": 1.2
+  },
+  "intra_detection_parallel": {
+    "workload": "BenchmarkDetectAll dataset, Config.Parallelism = 4, output bit-identical to serial",
+    "ns_serial": $detectall,
+    "ns_par4": $detectallpar4,
+    "speedup_par4_vs_serial": $(ratio "$detectall" "$detectallpar4"),
+    "target_speedup_at_4_cores": 1.5,
+    "note": "target applies on hosts with >= 4 hardware cores; see cpus"
   }
 }
 JSON

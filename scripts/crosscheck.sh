@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Runs the PR-4 determinism crosschecks under the race detector: the
+# GOMAXPROCS {1,4,8} matrix at the public API (DetectAll, DetectParallel,
+# stream commits) plus the per-path crosschecks in internal/core,
+# internal/lid and internal/affinity that force every fan-out gate open.
+#
+# Usage: scripts/crosscheck.sh
+#
+# These tests prove two separate properties:
+#   - bit-determinism: parallel output byte-identical to serial (the tests'
+#     own assertions);
+#   - data-race freedom of the chunk-owned write discipline (-race).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go test -race -count=1 \
+	-run 'TestGOMAXPROCSCrosscheck' . \
+	2>&1
+
+go test -race -count=1 \
+	-run 'TestDetectAllCrosscheckSerialVsPool|TestLIDCrosscheckSerialVsPool|TestColumnParMatchesColumn|Test.*ForChunks.*|TestChunkOrderReduction' \
+	./internal/core/ ./internal/lid/ ./internal/affinity/ ./internal/par/ \
+	2>&1
+
+echo "crosscheck (with -race): OK" >&2
