@@ -10,8 +10,14 @@
 //
 //	curl -s localhost:8080/v1/assign -d '{"point":[0.5,0.5]}'
 //	curl -s localhost:8080/v1/ingest -d '{"points":[[0.4,0.6]],"wait":true}'
+//	curl -s localhost:8080/v1/evict -d '{"ids":[17,42]}'
 //	curl -s localhost:8080/v1/clusters?members=false
 //	curl -s localhost:8080/v1/stats
+//
+// With -retention-points / -retention-age the daemon evicts expired points
+// after every commit, keeping steady-state memory bounded by the window
+// however long it runs (the fix for the append-only daemon's unbounded
+// growth).
 //
 // If the snapshot file exists at startup it is restored — configuration,
 // matrix, index and clusters all come from the snapshot, so a crash-restart
@@ -37,6 +43,7 @@ import (
 	"alid/internal/lsh"
 	"alid/internal/par"
 	"alid/internal/server"
+	"alid/internal/stream"
 )
 
 func main() {
@@ -54,7 +61,18 @@ func main() {
 	seed := flag.Int64("seed", 1, "LSH seed")
 	threshold := flag.Float64("threshold", 0.75, "density threshold for maintained clusters")
 	parallelism := flag.Int("parallelism", 0, "intra-detection worker count for commit-side detection (0/1 = serial, -1 = GOMAXPROCS; results are identical at any setting)")
+	retPoints := flag.Int("retention-points", 0, "evict the oldest live points beyond this cap after each commit (0 = unlimited; bounds daemon memory under continuous ingest)")
+	retAge := flag.Duration("retention-age", 0, "evict points older than this (0 = unlimited). Passing EITHER retention flag explicitly replaces a restored snapshot's whole stored policy — pass both as 0 to disable retention on restore")
 	flag.Parse()
+	// Explicit presence, not value, decides the override: `-retention-points 0
+	// -retention-age 0` must be able to CLEAR a restored snapshot's policy,
+	// which a value check alone cannot express.
+	retentionSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "retention-points" || f.Name == "retention-age" {
+			retentionSet = true
+		}
+	})
 
 	log.SetPrefix("alidd: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
@@ -62,13 +80,19 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	eng, err := buildEngine(*in, *labeled, *snap, *batch, *queue, *kScale, *rSeg, *mu, *tables, *seed, *threshold, par.New(*parallelism))
+	retention := stream.Retention{MaxPoints: *retPoints, MaxAge: *retAge}
+	eng, err := buildEngine(*in, *labeled, *snap, *batch, *queue, *kScale, *rSeg, *mu, *tables, *seed, *threshold, par.New(*parallelism), retention, retentionSet)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer eng.Close()
 	st := eng.Stats()
-	log.Printf("serving n=%d dim=%d clusters=%d commits=%d on %s", st.N, st.Dim, st.Clusters, st.Commits, *addr)
+	log.Printf("serving n=%d live=%d dim=%d clusters=%d commits=%d on %s", st.N, st.LiveN, st.Dim, st.Clusters, st.Commits, *addr)
+	if r := eng.Config().Retention; r.Enabled() {
+		log.Printf("retention: max-points=%d max-age=%s (enforced after every commit)", r.MaxPoints, r.MaxAge)
+	} else {
+		log.Printf("retention: disabled — memory grows with every ingested point")
+	}
 
 	if *snap != "" && *snapEvery > 0 {
 		go snapshotLoop(ctx, eng, *snap, *snapEvery)
@@ -101,10 +125,17 @@ func main() {
 
 // buildEngine restores from the snapshot when one exists, otherwise detects
 // from the CSV (or starts empty).
-func buildEngine(in string, labeled bool, snap string, batch, queue int, k, r float64, mu, tables int, seed int64, threshold float64, pool *par.Pool) (*engine.Engine, error) {
+func buildEngine(in string, labeled bool, snap string, batch, queue int, k, r float64, mu, tables int, seed int64, threshold float64, pool *par.Pool, retention stream.Retention, retentionSet bool) (*engine.Engine, error) {
 	if snap != "" {
 		if _, err := os.Stat(snap); err == nil {
-			eng, err := engine.LoadFile(snap, queue, pool)
+			// The snapshot carries the previous process's retention policy;
+			// explicitly passed -retention-* flags replace it wholesale
+			// (operational knob — explicit zeros disable retention).
+			var override *stream.Retention
+			if retentionSet {
+				override = &retention
+			}
+			eng, err := engine.LoadFileRetention(snap, queue, pool, override)
 			if err != nil {
 				return nil, fmt.Errorf("restore %s: %w", snap, err)
 			}
@@ -145,7 +176,7 @@ func buildEngine(in string, labeled bool, snap string, batch, queue int, k, r fl
 	cfg.LSH = lsh.Config{Projections: mu, Tables: tables, R: r, Seed: seed}
 	cfg.DensityThreshold = threshold
 	cfg.Pool = pool
-	return engine.New(engine.Config{Core: cfg, BatchSize: batch, QueueSize: queue}, pts)
+	return engine.New(engine.Config{Core: cfg, BatchSize: batch, QueueSize: queue, Retention: retention}, pts)
 }
 
 // snapshotLoop periodically persists the published state until ctx ends.

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"alid/internal/stream"
 )
 
 func writeTemp(t *testing.T, content string) string {
@@ -61,7 +63,7 @@ func TestBuildEngineDetectSnapshotRestore(t *testing.T) {
 	csv := blobCSV(t)
 	snap := filepath.Join(t.TempDir(), "alid.snap")
 
-	eng, err := buildEngine(csv, false, snap, 64, 0, 0, 0, 8, 10, 1, 0.75, nil)
+	eng, err := buildEngine(csv, false, snap, 64, 0, 0, 0, 8, 10, 1, 0.75, nil, stream.Retention{}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +77,7 @@ func TestBuildEngineDetectSnapshotRestore(t *testing.T) {
 	}
 
 	// Restart: the snapshot wins over -in and tuning flags.
-	restored, err := buildEngine("", false, snap, 64, 0, 0, 0, 8, 10, 1, 0.75, nil)
+	restored, err := buildEngine("", false, snap, 64, 0, 0, 0, 8, 10, 1, 0.75, nil, stream.Retention{}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +100,7 @@ func TestBuildEngineDetectSnapshotRestore(t *testing.T) {
 }
 
 func TestBuildEngineEmptyStart(t *testing.T) {
-	eng, err := buildEngine("", false, "", 64, 0, 0.5, 2, 8, 10, 1, 0.75, nil)
+	eng, err := buildEngine("", false, "", 64, 0, 0.5, 2, 8, 10, 1, 0.75, nil, stream.Retention{}, false)
 	if err != nil {
 		t.Fatal(err)
 	}

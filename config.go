@@ -183,6 +183,11 @@ func (c Config) Validate() error {
 		// nothing, < 0 would report every peeled subgraph.
 		return fmt.Errorf("alid: DensityThreshold must be in [0,1], got %v", c.DensityThreshold)
 	}
+	if c.Parallelism < -1 {
+		// −1 means GOMAXPROCS and 0/1 mean serial; anything below −1 has no
+		// defined meaning and must not silently reach the worker pool.
+		return fmt.Errorf("alid: Parallelism must be ≥ -1 (0/1 = serial, -1 = GOMAXPROCS), got %d", c.Parallelism)
+	}
 	return nil
 }
 

@@ -26,6 +26,26 @@ func TestValidateDensityThresholdRange(t *testing.T) {
 	}
 }
 
+// Parallelism values below −1 have no defined meaning (−1 = GOMAXPROCS,
+// 0/1 = serial, ≥ 2 = explicit width): they must be rejected at Validate
+// instead of silently reaching the worker-pool constructor.
+func TestValidateParallelismRange(t *testing.T) {
+	for _, bad := range []int{-2, -5, -100} {
+		cfg := DefaultConfig()
+		cfg.Parallelism = bad
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Parallelism %d accepted", bad)
+		}
+	}
+	for _, ok := range []int{-1, 0, 1, 2, 8} {
+		cfg := DefaultConfig()
+		cfg.Parallelism = ok
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("Parallelism %d rejected: %v", ok, err)
+		}
+	}
+}
+
 // clusterScale must select the MEDIAN OF THE LOWER MODE of a bimodal q-NN
 // distance distribution. The fixtures pin the exact selected element; the
 // first one is the small-sample case where the former sorted[bestIdx/2+1]

@@ -50,6 +50,10 @@ type Config struct {
 	// QueueSize bounds the ingest queue in requests (default 1024). Ingest
 	// blocks (honoring its context) when the queue is full.
 	QueueSize int
+	// Retention bounds the live committed point set (see stream.Retention):
+	// with a retention policy a forever-running daemon's memory stays
+	// proportional to the window, not to the points ever ingested.
+	Retention stream.Retention
 }
 
 // Assignment is the answer of the Assign read path.
@@ -77,6 +81,13 @@ type Stats struct {
 	Clusters int
 	// Commits counts batch commits since the stream began.
 	Commits int
+	// LiveN is the number of committed points that have not been evicted
+	// (N counts every point ever committed — ids are stable).
+	LiveN int
+	// Evicted is the number of tombstoned committed points in the published
+	// view (N − LiveN): manual evictions, retention expiries and tombstones
+	// restored from a snapshot alike.
+	Evicted int64
 	// QueuedPoints is the exact number of ingested-but-uncommitted points
 	// (in the ingest queue or the writer's buffer): the atomic counter is
 	// incremented when Ingest accepts points and decremented when a commit
@@ -152,12 +163,20 @@ type reqKind int
 const (
 	reqIngest reqKind = iota
 	reqFlush
+	reqEvict
 )
 
 type request struct {
-	kind  reqKind
-	pts   [][]float64
-	reply chan error // flush only
+	kind   reqKind
+	pts    [][]float64
+	ids    []int          // evict only
+	reply  chan error     // flush only
+	ereply chan evictDone // evict only
+}
+
+type evictDone struct {
+	n   int
+	err error
 }
 
 // Engine serves dominant-cluster queries over a live stream. Safe for
@@ -207,7 +226,7 @@ func New(cfg Config, initial [][]float64) (*Engine, error) {
 	if err := cfg.Core.LSH.Validate(); err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
-	c, err := stream.New(initial, stream.Config{Core: cfg.Core, BatchSize: cfg.BatchSize})
+	c, err := stream.New(initial, stream.Config{Core: cfg.Core, BatchSize: cfg.BatchSize, Retention: cfg.Retention})
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
@@ -223,7 +242,7 @@ func New(cfg Config, initial [][]float64) (*Engine, error) {
 // the matrix, index and clusters come back exactly as published, with no
 // re-detection. Ownership of all arguments transfers to the engine.
 func Restore(cfg Config, mat *matrix.Matrix, index *lsh.Index, clusters []*core.Cluster, labels []int, commits int) (*Engine, error) {
-	c, err := stream.Restore(stream.Config{Core: cfg.Core, BatchSize: cfg.BatchSize}, mat, index, clusters, labels, commits)
+	c, err := stream.Restore(stream.Config{Core: cfg.Core, BatchSize: cfg.BatchSize, Retention: cfg.Retention}, mat, index, clusters, labels, commits)
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
@@ -401,6 +420,15 @@ func (e *Engine) handle(ctx context.Context, req request) {
 			err = *p
 		}
 		req.reply <- err
+	case reqEvict:
+		// Settle first so ids the caller just ingested-and-flushed cannot
+		// race the eviction, then evict and publish the shrunk view.
+		e.settle(ctx)
+		n, err := e.clusterer.Evict(ctx, req.ids)
+		if n > 0 {
+			e.publish()
+		}
+		req.ereply <- evictDone{n: n, err: err}
 	}
 }
 
@@ -632,6 +660,38 @@ func (e *Engine) Flush(ctx context.Context) error {
 	}
 }
 
+// Evict tombstones committed points by id, routed through the single-writer
+// queue like every other mutation: published views stay immutable, readers
+// keep serving the pre-eviction generation until the shrunk view is
+// published. It waits for the eviction to complete and returns the number
+// of points newly evicted (already-dead ids are skipped; out-of-range ids
+// are an error). See stream.Clusterer.Evict for the repair semantics.
+func (e *Engine) Evict(ctx context.Context, ids []int) (int, error) {
+	reply := make(chan evictDone, 1)
+	cp := append([]int(nil), ids...)
+	e.closeMu.RLock()
+	if e.closed {
+		e.closeMu.RUnlock()
+		return 0, fmt.Errorf("engine: closed")
+	}
+	var sendErr error
+	select {
+	case e.reqs <- request{kind: reqEvict, ids: cp, ereply: reply}:
+	case <-ctx.Done():
+		sendErr = ctx.Err()
+	}
+	e.closeMu.RUnlock()
+	if sendErr != nil {
+		return 0, sendErr
+	}
+	select {
+	case done := <-reply:
+		return done.n, done.err
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
 // Close stops the writer after draining the queue and committing buffered
 // points. Further Ingest/Flush calls fail; reads keep serving the final
 // published state.
@@ -701,6 +761,8 @@ func (e *Engine) Stats() Stats {
 		s.AffinityComputed += st.view.KernelEvals
 		if st.view.Mat != nil {
 			s.N = st.view.Mat.N
+			s.LiveN = st.view.Mat.LiveCount()
+			s.Evicted = int64(s.N - s.LiveN)
 		}
 		if st.oracle != nil {
 			s.AffinityComputed += st.oracle.Computed()

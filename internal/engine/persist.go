@@ -8,6 +8,7 @@ import (
 
 	"alid/internal/par"
 	"alid/internal/snapshot"
+	"alid/internal/stream"
 )
 
 // WriteSnapshot persists the current published state. It reads only the
@@ -22,6 +23,7 @@ func (e *Engine) WriteSnapshot(w io.Writer) error {
 	return snapshot.Write(w, &snapshot.Snapshot{
 		Core:      e.cfg.Core,
 		BatchSize: e.cfg.BatchSize,
+		Retention: e.cfg.Retention,
 		Mat:       v.Mat,
 		Index:     v.Index,
 		Clusters:  v.Clusters,
@@ -58,26 +60,43 @@ func (e *Engine) SaveFile(path string) error {
 }
 
 // LoadSnapshot restores an engine from a snapshot stream: configuration,
-// matrix, index, clusters and labels all come from the snapshot. queueSize
-// (0 = default) and pool are the only runtime knobs not persisted: the
-// intra-detection pool is a scheduling choice with no effect on results, so
-// it is re-injected at restore time (nil = serial).
+// matrix, index, clusters, labels and retention policy all come from the
+// snapshot. queueSize (0 = default) and pool are the only runtime knobs not
+// persisted: the intra-detection pool is a scheduling choice with no effect
+// on results, so it is re-injected at restore time (nil = serial).
 func LoadSnapshot(r io.Reader, queueSize int, pool *par.Pool) (*Engine, error) {
+	return LoadSnapshotRetention(r, queueSize, pool, nil)
+}
+
+// LoadSnapshotRetention is LoadSnapshot with a retention override: a
+// non-nil retention replaces the snapshot's persisted policy (the daemon's
+// -retention-* flags are an operational knob and must win over whatever the
+// previous process had configured).
+func LoadSnapshotRetention(r io.Reader, queueSize int, pool *par.Pool, retention *stream.Retention) (*Engine, error) {
 	s, err := snapshot.Read(r)
 	if err != nil {
 		return nil, err
 	}
 	s.Core.Pool = pool
-	cfg := Config{Core: s.Core, BatchSize: s.BatchSize, QueueSize: queueSize}
+	if retention != nil {
+		s.Retention = *retention
+	}
+	cfg := Config{Core: s.Core, BatchSize: s.BatchSize, QueueSize: queueSize, Retention: s.Retention}
 	return Restore(cfg, s.Mat, s.Index, s.Clusters, s.Labels, s.Commits)
 }
 
 // LoadFile restores an engine from a snapshot file.
 func LoadFile(path string, queueSize int, pool *par.Pool) (*Engine, error) {
+	return LoadFileRetention(path, queueSize, pool, nil)
+}
+
+// LoadFileRetention is LoadFile with a retention override (see
+// LoadSnapshotRetention).
+func LoadFileRetention(path string, queueSize int, pool *par.Pool, retention *stream.Retention) (*Engine, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
 	defer f.Close()
-	return LoadSnapshot(f, queueSize, pool)
+	return LoadSnapshotRetention(f, queueSize, pool, retention)
 }

@@ -34,6 +34,19 @@
 // style merge of the two newest segments while the older is at most twice
 // the newer), keeping the per-table segment count logarithmic in the number
 // of publishes at O(log) amortized merge cost per appended point.
+//
+// # Eviction (tombstones)
+//
+// Evict tombstones ids in an index-level dead bitmap (copy-on-write at
+// chunk granularity, so published snapshots keep their own liveness); every
+// read path skips dead ids, which keeps answers bit-identical to an index
+// built over only the survivors (gated by evictcross_test.go). Sealed
+// segments are never rewritten by eviction — dead ids are physically
+// dropped only when compaction merges their segment (and a table whose
+// resident dead outnumber the live ids is fully compacted on the next
+// Publish), and a fully-dead inverted-list chunk releases its key storage.
+// Steady-state memory under ingest+evict is therefore bounded by the live
+// set, not by the points ever indexed.
 package lsh
 
 import (
@@ -91,6 +104,9 @@ const (
 	// chunks verbatim.
 	KeyChunk     = 1 << KeyChunkShift
 	keyChunkMask = KeyChunk - 1
+	// deadWords is the uint64 word count of one dead-bitmap chunk (one bit
+	// per id over a KeyChunk-sized id range).
+	deadWords = KeyChunk / 64
 )
 
 // keyvec is an append-only chunked uint64 vector with structural sharing:
@@ -114,8 +130,10 @@ func newKeyvec(n int) *keyvec {
 func (v *keyvec) at(i int) uint64     { return v.chunks[i>>KeyChunkShift][i&keyChunkMask] }
 func (v *keyvec) set(i int, k uint64) { v.chunks[i>>KeyChunkShift][i&keyChunkMask] = k }
 
+// append adds one key, opening a fresh chunk when the tail is full or was
+// released (a released chunk is full of dead ids and never written again).
 func (v *keyvec) append(k uint64) {
-	if c := len(v.chunks); c == 0 || len(v.chunks[c-1]) == KeyChunk {
+	if c := len(v.chunks); c == 0 || v.chunks[c-1] == nil || len(v.chunks[c-1]) == KeyChunk {
 		v.chunks = append(v.chunks, make([]uint64, 0, KeyChunk))
 	}
 	c := len(v.chunks) - 1
@@ -127,7 +145,7 @@ func (v *keyvec) append(k uint64) {
 // to the receiver never disturb the snapshot (and vice versa).
 func (v *keyvec) snapshot() *keyvec {
 	s := &keyvec{chunks: append([][]uint64(nil), v.chunks...), n: v.n}
-	if c := len(s.chunks) - 1; c >= 0 && len(s.chunks[c]) < KeyChunk {
+	if c := len(s.chunks) - 1; c >= 0 && s.chunks[c] != nil && len(s.chunks[c]) < KeyChunk {
 		s.chunks[c] = append(make([]uint64, 0, len(s.chunks[c])), s.chunks[c]...)
 	}
 	return s
@@ -172,24 +190,112 @@ type table struct {
 	proj []float64
 	// offsets b_t ∈ [0, R)
 	off []float64
-	// keys[i] is the bucket key of point i (the chunked inverted list)
+	// keys[i] is the bucket key of point i (the chunked inverted list).
+	// A nil chunk is released storage: every id in its range is dead.
 	keys *keyvec
 	// segs are the sealed bucket segments in ascending id-range order.
 	segs []*segment
 	// tail is the mutable segment Append writes into; nil when empty.
 	tail *segment
+	// deadResident counts dead ids still physically present in this table's
+	// segments and tail (reads skip them via the bitmap; merges drop them).
+	// When it exceeds the live id count, Publish fully compacts the table.
+	deadResident int
 }
 
 // Index is an LSH index over a dataset. Reads (Query, CandidatesByID, …) are
-// safe for unlimited concurrency; Append and Publish are writer-side and
-// must be serialized by the caller (the streaming layer's single writer).
-// Published snapshots are immutable and share sealed state with the live
-// index.
+// safe for unlimited concurrency; Append, Publish and Evict are writer-side
+// and must be serialized by the caller (the streaming layer's single
+// writer). Published snapshots are immutable and share sealed state with the
+// live index.
 type Index struct {
 	cfg    Config
 	dim    int
 	n      int
 	tables []table
+
+	// dead[c], when non-nil, is the tombstone bitmap of ids
+	// [c·KeyChunk, (c+1)·KeyChunk) — bit set = id evicted. The outer slice is
+	// nil until the first Evict and chunks are allocated lazily, so an index
+	// that never evicts pays one nil check per candidate.
+	dead [][]uint64
+	// deadShared[c] marks dead[c] as possibly referenced by a published
+	// snapshot: the next bit set must copy the words first.
+	deadShared []bool
+	// deadPerChunk[c] counts dead ids in chunk c's range; at KeyChunk the
+	// inverted-list chunk is released in every table.
+	deadPerChunk []int32
+	// deadTotal is the total tombstone count; n-deadTotal ids are live.
+	deadTotal int
+}
+
+// alive reports whether id has not been evicted.
+func (i *Index) alive(id int32) bool {
+	if i.dead == nil {
+		return true
+	}
+	w := i.dead[id>>KeyChunkShift]
+	if w == nil {
+		return true
+	}
+	r := id & keyChunkMask
+	return w[r>>6]&(1<<(uint(r)&63)) == 0
+}
+
+// Live returns the number of ids that have not been evicted.
+func (i *Index) Live() int { return i.n - i.deadTotal }
+
+// Evict tombstones the given ids: every read path skips them from now on,
+// exactly as if the index had been built over the survivors only. Sealed
+// bucket segments are not rewritten — dead ids are physically dropped by
+// the next compaction that touches their segment — but a fully-dead
+// inverted-list chunk releases its key storage in every table immediately.
+// Ids already dead are skipped; out-of-range ids panic (callers validate at
+// their boundary). Writer-side only. Returns the newly evicted count.
+func (i *Index) Evict(ids []int) int {
+	if len(ids) == 0 {
+		return 0
+	}
+	if i.dead == nil {
+		chunks := (i.n + KeyChunk - 1) / KeyChunk
+		i.dead = make([][]uint64, chunks)
+		i.deadShared = make([]bool, chunks)
+		i.deadPerChunk = make([]int32, chunks)
+	}
+	evicted := 0
+	for _, id := range ids {
+		if id < 0 || id >= i.n {
+			panic(fmt.Sprintf("lsh: evict id %d out of range [0,%d)", id, i.n))
+		}
+		c := id >> KeyChunkShift
+		r := id & keyChunkMask
+		bit := uint64(1) << (uint(r) & 63)
+		if i.dead[c] != nil && i.dead[c][r>>6]&bit != 0 {
+			continue // already dead
+		}
+		if i.dead[c] == nil {
+			i.dead[c] = make([]uint64, deadWords)
+			i.deadShared[c] = false
+		} else if i.deadShared[c] {
+			i.dead[c] = append([]uint64(nil), i.dead[c]...)
+			i.deadShared[c] = false
+		}
+		i.dead[c][r>>6] |= bit
+		i.deadPerChunk[c]++
+		i.deadTotal++
+		evicted++
+		if i.deadPerChunk[c] == KeyChunk {
+			// The whole id range is dead: release the key chunk in every
+			// table (snapshots hold their own chunk references).
+			for t := range i.tables {
+				i.tables[t].keys.chunks[c] = nil
+			}
+		}
+	}
+	for t := range i.tables {
+		i.tables[t].deadResident += evicted
+	}
+	return evicted
 }
 
 // Build flattens the points and hashes them into cfg.Tables tables.
@@ -381,6 +487,13 @@ func (i *Index) Append(pts [][]float64) (int, error) {
 		tb.tail.size += len(pts)
 	}
 	i.n += len(pts)
+	if i.dead != nil {
+		for chunks := (i.n + KeyChunk - 1) / KeyChunk; len(i.dead) < chunks; {
+			i.dead = append(i.dead, nil)
+			i.deadShared = append(i.deadShared, false)
+			i.deadPerChunk = append(i.deadPerChunk, 0)
+		}
+	}
 	return first, nil
 }
 
@@ -398,53 +511,114 @@ func (i *Index) Publish() *Index {
 		if tb.tail != nil {
 			tb.segs = append(tb.segs, tb.tail)
 			tb.tail = nil
-			tb.compact()
+			i.compactTable(tb)
+		}
+		// Physical reclaim backstop: once more dead ids sit in this table's
+		// segments than there are live ids at all, the geometric schedule is
+		// too slow — merge everything, dropping every resident tombstone, so
+		// segment storage stays O(live) under continuous ingest+eviction.
+		if tb.deadResident > i.Live() && len(tb.segs) > 0 {
+			i.fullCompactTable(tb)
 		}
 		snap.tables[t] = table{
-			proj: tb.proj,
-			off:  tb.off,
-			keys: tb.keys.snapshot(),
-			segs: append([]*segment(nil), tb.segs...),
+			proj:         tb.proj,
+			off:          tb.off,
+			keys:         tb.keys.snapshot(),
+			segs:         append([]*segment(nil), tb.segs...),
+			deadResident: tb.deadResident,
 		}
+	}
+	if i.dead != nil {
+		// Share the tombstone bitmap copy-on-write: both sides keep the same
+		// chunks and mark them shared, so the next Evict on the live side
+		// copies the touched chunk before setting bits.
+		for c := range i.deadShared {
+			i.deadShared[c] = true
+		}
+		snap.dead = append([][]uint64(nil), i.dead...)
+		snap.deadShared = make([]bool, len(i.dead))
+		for c := range snap.deadShared {
+			snap.deadShared[c] = true
+		}
+		snap.deadPerChunk = append([]int32(nil), i.deadPerChunk...)
+		snap.deadTotal = i.deadTotal
 	}
 	return snap
 }
 
-// compact merges the two newest sealed segments while the older one is at
-// most twice the newer (LSM-style geometric schedule): segment count stays
-// O(log publishes) so merged reads stay cheap, at O(log) amortized merge
-// cost per appended point. Merging allocates a fresh segment — the inputs
-// may be shared with published snapshots and are never mutated. Ascending
-// id order is preserved: the older segment's members (smaller ids) come
-// first in every merged bucket.
-func (tb *table) compact() {
-	for k := len(tb.segs); k >= 2 && tb.segs[k-2].size <= 2*tb.segs[k-1].size; k = len(tb.segs) {
-		a, b := tb.segs[k-2], tb.segs[k-1]
-		m := &segment{
-			buckets: make(map[uint64][]int32, len(a.buckets)+len(b.buckets)),
-			size:    a.size + b.size,
-		}
-		for key, am := range a.buckets {
-			bm := b.buckets[key]
-			merged := make([]int32, 0, len(am)+len(bm))
-			merged = append(merged, am...)
-			merged = append(merged, bm...)
-			m.buckets[key] = merged
-		}
-		for key, bm := range b.buckets {
-			if _, ok := a.buckets[key]; !ok {
-				m.buckets[key] = append(make([]int32, 0, len(bm)), bm...)
+// mergeBuckets merges two segments into a fresh one, dropping dead ids (the
+// inputs may be shared with published snapshots and are never mutated).
+// Ascending id order is preserved: the older segment's members (smaller
+// ids) come first in every merged bucket. size counts the surviving
+// members; the number of tombstones dropped is returned.
+func (i *Index) mergeBuckets(a, b *segment) (*segment, int) {
+	m := &segment{buckets: make(map[uint64][]int32, len(a.buckets)+len(b.buckets))}
+	appendLive := func(dst, src []int32) []int32 {
+		for _, id := range src {
+			if i.alive(id) {
+				dst = append(dst, id)
 			}
 		}
+		return dst
+	}
+	for key, am := range a.buckets {
+		bm := b.buckets[key]
+		merged := appendLive(make([]int32, 0, len(am)+len(bm)), am)
+		merged = appendLive(merged, bm)
+		if len(merged) > 0 {
+			m.buckets[key] = merged
+		}
+		m.size += len(merged)
+	}
+	for key, bm := range b.buckets {
+		if _, ok := a.buckets[key]; !ok {
+			merged := appendLive(make([]int32, 0, len(bm)), bm)
+			if len(merged) > 0 {
+				m.buckets[key] = merged
+			}
+			m.size += len(merged)
+		}
+	}
+	return m, a.size + b.size - m.size
+}
+
+// compactTable merges the two newest sealed segments while the older one is
+// at most twice the newer (LSM-style geometric schedule): segment count
+// stays O(log publishes) so merged reads stay cheap, at O(log) amortized
+// merge cost per appended point. Merges physically drop tombstoned ids, so
+// size means surviving members from here on.
+func (i *Index) compactTable(tb *table) {
+	for k := len(tb.segs); k >= 2 && tb.segs[k-2].size <= 2*tb.segs[k-1].size; k = len(tb.segs) {
+		m, dropped := i.mergeBuckets(tb.segs[k-2], tb.segs[k-1])
+		tb.deadResident -= dropped
 		tb.segs = append(tb.segs[:k-2], m)
+	}
+}
+
+// fullCompactTable merges every segment into one, dropping all resident
+// tombstones.
+func (i *Index) fullCompactTable(tb *table) {
+	for len(tb.segs) >= 2 {
+		k := len(tb.segs)
+		m, dropped := i.mergeBuckets(tb.segs[k-2], tb.segs[k-1])
+		tb.deadResident -= dropped
+		tb.segs = append(tb.segs[:k-2], m)
+	}
+	if len(tb.segs) == 1 && tb.deadResident > 0 {
+		// A single segment can still hold tombstones (the common restored /
+		// freshly built shape): rebuild it without them.
+		m, dropped := i.mergeBuckets(tb.segs[0], &segment{})
+		tb.deadResident -= dropped
+		tb.segs[0] = m
 	}
 }
 
 // Config returns the index parameters.
 func (i *Index) Config() Config { return i.cfg }
 
-// Query returns the ids of all points sharing a bucket with v in any table,
-// deduplicated, excluding nothing. The result ordering is unspecified.
+// Query returns the ids of all live points sharing a bucket with v in any
+// table, deduplicated, excluding nothing else. The result ordering is
+// unspecified. Evicted ids never appear.
 func (i *Index) Query(v []float64) []int32 {
 	if len(v) != i.dim {
 		panic(fmt.Sprintf("lsh: query dimension %d, want %d", len(v), i.dim))
@@ -456,16 +630,11 @@ func (i *Index) Query(v []float64) []int32 {
 		tb := &i.tables[t]
 		tb.signature(v, i.cfg.R, sig)
 		key := fold(sig)
-		for _, seg := range tb.segs {
+		for _, seg := range tb.allSegments() {
 			for _, id := range seg.buckets[key] {
-				if _, ok := seen[id]; !ok {
-					seen[id] = struct{}{}
-					out = append(out, id)
+				if !i.alive(id) {
+					continue
 				}
-			}
-		}
-		if tb.tail != nil {
-			for _, id := range tb.tail.buckets[key] {
 				if _, ok := seen[id]; !ok {
 					seen[id] = struct{}{}
 					out = append(out, id)
@@ -498,7 +667,7 @@ func (i *Index) QueryInto(v []float64, sig []int64, dst []int32, mark []uint32, 
 		key := fold(sig)
 		for _, seg := range tb.segs {
 			for _, id := range seg.buckets[key] {
-				if mark[id] == gen {
+				if mark[id] == gen || !i.alive(id) {
 					continue
 				}
 				mark[id] = gen
@@ -507,7 +676,7 @@ func (i *Index) QueryInto(v []float64, sig []int64, dst []int32, mark []uint32, 
 		}
 		if tb.tail != nil {
 			for _, id := range tb.tail.buckets[key] {
-				if mark[id] == gen {
+				if mark[id] == gen || !i.alive(id) {
 					continue
 				}
 				mark[id] = gen
@@ -672,28 +841,110 @@ func FromDumpChunks(cfg Config, dim int, tables []TableChunks) (*Index, error) {
 	return idx, nil
 }
 
-// CandidatesByID returns the ids co-bucketed with point id in any table,
-// excluding id itself, using the stored inverted list (no rehashing).
+// FromDumpChunksLive reconstructs an index from chunked dumped state
+// together with per-id liveness — the v3 snapshot layout. Inverted-list
+// chunks may be empty: that marks released storage and is only legal when
+// every id in the chunk's range is dead. Dead ids are physically dropped
+// while rebuilding the base segments, so the restored index starts with no
+// resident tombstones yet answers every query exactly as the evicted index
+// that was dumped. n is the total id count, dead ids included (it cannot be
+// derived from the chunks once some are released).
+func FromDumpChunksLive(cfg Config, dim, n int, tables []TableChunks, live func(id int) bool) (*Index, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if dim <= 0 {
+		return nil, fmt.Errorf("lsh: dump dimension %d", dim)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("lsh: dump has no points")
+	}
+	if len(tables) != cfg.Tables {
+		return nil, fmt.Errorf("lsh: dump has %d tables, config says %d", len(tables), cfg.Tables)
+	}
+	nChunks := (n + KeyChunk - 1) / KeyChunk
+	idx := &Index{cfg: cfg, dim: dim, n: n, tables: make([]table, len(tables))}
+	for id := 0; id < n; id++ {
+		if live(id) {
+			continue
+		}
+		if idx.dead == nil {
+			idx.dead = make([][]uint64, nChunks)
+			idx.deadShared = make([]bool, nChunks)
+			idx.deadPerChunk = make([]int32, nChunks)
+		}
+		c := id >> KeyChunkShift
+		if idx.dead[c] == nil {
+			idx.dead[c] = make([]uint64, deadWords)
+		}
+		r := id & keyChunkMask
+		idx.dead[c][r>>6] |= 1 << (uint(r) & 63)
+		idx.deadPerChunk[c]++
+		idx.deadTotal++
+	}
+	for t, td := range tables {
+		if err := validateTable(cfg, dim, t, td.Proj, td.Off); err != nil {
+			return nil, err
+		}
+		if len(td.KeyChunks) != nChunks {
+			return nil, fmt.Errorf("lsh: table %d has %d key chunks for %d points, want %d", t, len(td.KeyChunks), n, nChunks)
+		}
+		kv := &keyvec{chunks: td.KeyChunks, n: n}
+		for c, kc := range td.KeyChunks {
+			rows := KeyChunk
+			if c == nChunks-1 {
+				rows = n - c*KeyChunk
+			}
+			if len(kc) == 0 {
+				// Released chunk: legal only when its whole range is dead.
+				deadHere := 0
+				if idx.deadPerChunk != nil {
+					deadHere = int(idx.deadPerChunk[c])
+				}
+				if rows != KeyChunk || deadHere != KeyChunk {
+					return nil, fmt.Errorf("lsh: table %d key chunk %d is empty but has %d/%d live ids", t, c, rows-deadHere, rows)
+				}
+				kv.chunks[c] = nil
+				continue
+			}
+			if len(kc) != rows {
+				return nil, fmt.Errorf("lsh: table %d key chunk %d has %d keys, want %d", t, c, len(kc), rows)
+			}
+		}
+		tb := &idx.tables[t]
+		tb.proj = td.Proj
+		tb.off = td.Off
+		tb.keys = kv
+		// Base fill in ascending id order, dead ids dropped: the restored
+		// index physically holds only survivors, in the exact order the
+		// evicted index's merged reads produce.
+		base := &segment{buckets: make(map[uint64][]int32, min(n, 1<<16))}
+		for id := 0; id < n; id++ {
+			if !idx.alive(int32(id)) {
+				continue
+			}
+			key := kv.at(id)
+			base.buckets[key] = append(base.buckets[key], int32(id))
+			base.size++
+		}
+		tb.segs = []*segment{base}
+	}
+	return idx, nil
+}
+
+// CandidatesByID returns the live ids co-bucketed with point id in any
+// table, excluding id itself, using the stored inverted list (no
+// rehashing). id itself must be live — a dead id's key storage may already
+// be released.
 func (i *Index) CandidatesByID(id int) []int32 {
 	seen := make(map[int32]struct{})
 	var out []int32
 	for t := range i.tables {
 		tb := &i.tables[t]
 		key := tb.keys.at(id)
-		for _, seg := range tb.segs {
+		for _, seg := range tb.allSegments() {
 			for _, j := range seg.buckets[key] {
-				if int(j) == id {
-					continue
-				}
-				if _, ok := seen[j]; !ok {
-					seen[j] = struct{}{}
-					out = append(out, j)
-				}
-			}
-		}
-		if tb.tail != nil {
-			for _, j := range tb.tail.buckets[key] {
-				if int(j) == id {
+				if int(j) == id || !i.alive(j) {
 					continue
 				}
 				if _, ok := seen[j]; !ok {
@@ -706,17 +957,18 @@ func (i *Index) CandidatesByID(id int) []int32 {
 	return out
 }
 
-// CandidatesByIDInto appends candidates for id to dst, using mark (a caller
-// scratch slice of length N, zeroed) with marker value gen for deduplication.
-// It is the allocation-light variant CIVS uses in its inner loop: once dst
-// has grown to capacity, the steady path allocates nothing.
+// CandidatesByIDInto appends live candidates for id to dst, using mark (a
+// caller scratch slice of length N, zeroed) with marker value gen for
+// deduplication. It is the allocation-light variant CIVS uses in its inner
+// loop: once dst has grown to capacity, the steady path allocates nothing.
+// id itself must be live.
 func (i *Index) CandidatesByIDInto(id int, dst []int32, mark []uint32, gen uint32) []int32 {
 	for t := range i.tables {
 		tb := &i.tables[t]
 		key := tb.keys.at(id)
 		for _, seg := range tb.segs {
 			for _, j := range seg.buckets[key] {
-				if int(j) == id || mark[j] == gen {
+				if int(j) == id || mark[j] == gen || !i.alive(j) {
 					continue
 				}
 				mark[j] = gen
@@ -725,7 +977,7 @@ func (i *Index) CandidatesByIDInto(id int, dst []int32, mark []uint32, gen uint3
 		}
 		if tb.tail != nil {
 			for _, j := range tb.tail.buckets[key] {
-				if int(j) == id || mark[j] == gen {
+				if int(j) == id || mark[j] == gen || !i.alive(j) {
 					continue
 				}
 				mark[j] = gen
@@ -773,7 +1025,7 @@ func (i *Index) Buckets(minSize int) [][]int32 {
 	var out [][]int32
 	for t := range i.tables {
 		segs := i.tables[t].allSegments()
-		if len(segs) == 1 {
+		if len(segs) == 1 && i.deadTotal == 0 {
 			// Common (freshly built / restored) case: alias the single
 			// segment's bucket slices directly.
 			b := segs[0].buckets
@@ -792,7 +1044,11 @@ func (i *Index) Buckets(minSize int) [][]int32 {
 		total := make(map[uint64]int)
 		for _, seg := range segs {
 			for k, members := range seg.buckets {
-				total[k] += len(members)
+				for _, id := range members {
+					if i.alive(id) {
+						total[k]++
+					}
+				}
 			}
 		}
 		keys := make([]uint64, 0, len(total))
@@ -805,7 +1061,11 @@ func (i *Index) Buckets(minSize int) [][]int32 {
 		for _, k := range keys {
 			merged := make([]int32, 0, total[k])
 			for _, seg := range segs {
-				merged = append(merged, seg.buckets[k]...)
+				for _, id := range seg.buckets[k] {
+					if i.alive(id) {
+						merged = append(merged, id)
+					}
+				}
 			}
 			out = append(out, merged)
 		}
@@ -825,14 +1085,15 @@ type Stats struct {
 }
 
 // Stats computes bucket statistics across all tables, merging buckets that
-// span segments so the numbers match a flat build.
+// span segments and skipping tombstoned ids so the numbers match a build
+// over the survivors.
 func (i *Index) Stats() Stats {
 	s := Stats{Tables: len(i.tables)}
 	total := 0
 	for t := range i.tables {
 		segs := i.tables[t].allSegments()
 		s.Segments += len(segs)
-		if len(segs) == 1 {
+		if len(segs) == 1 && i.deadTotal == 0 {
 			for _, members := range segs[0].buckets {
 				s.Buckets++
 				total += len(members)
@@ -845,7 +1106,15 @@ func (i *Index) Stats() Stats {
 		sizes := make(map[uint64]int)
 		for _, seg := range segs {
 			for k, members := range seg.buckets {
-				sizes[k] += len(members)
+				live := 0
+				for _, id := range members {
+					if i.alive(id) {
+						live++
+					}
+				}
+				if live > 0 {
+					sizes[k] += live
+				}
 			}
 		}
 		for _, sz := range sizes {

@@ -26,11 +26,19 @@
 //     boundaries are a deterministic function of N);
 //   - chunks of a snapshot are never written again: AppendRows fills the
 //     live matrix's own tail copy and allocates fresh chunks beyond it
-//     (established by this PR, the share-and-seal protocol).
+//     (the share-and-seal protocol);
+//   - eviction never rewrites row data: a tombstoned row keeps its index and
+//     its bytes, and liveness lives in a separate per-chunk bitmap that goes
+//     copy-on-write at chunk granularity when a snapshot shares it. The only
+//     physical reclaim is whole-chunk release — once every row of a sealed
+//     (full) chunk is dead, the live matrix drops its reference to the chunk
+//     (snapshots keep theirs), so a bounded live set keeps bounded row
+//     storage however many points were ever appended.
 package matrix
 
 import (
 	"fmt"
+	"math/bits"
 
 	"alid/internal/vec"
 )
@@ -42,6 +50,11 @@ const (
 	// tail holds exactly this many rows.
 	ChunkRows = 1 << ChunkShift
 	chunkMask = ChunkRows - 1
+	// LiveWords is the number of uint64 words in one chunk's live bitmap
+	// (one bit per row). Bitmap chunks always hold exactly LiveWords words;
+	// bits beyond the rows actually present in a tail chunk are 1, so
+	// appending never has to touch the bitmap.
+	LiveWords = ChunkRows / 64
 )
 
 // Matrix is an n×d row-major dataset stored in fixed-capacity row chunks
@@ -50,11 +63,28 @@ const (
 // norm cache consistent.
 type Matrix struct {
 	// chunks[c] holds rows [c·ChunkRows, …) contiguously; its length is
-	// rowsInChunk·D and its capacity ChunkRows·D.
+	// rowsInChunk·D and its capacity ChunkRows·D. A nil entry is a released
+	// chunk: every row in it was evicted, its storage was reclaimed, and only
+	// snapshots taken before the release still reference the row data.
 	chunks [][]float64
-	// norms[c][r] = ‖row c·ChunkRows+r‖², parallel to chunks.
+	// norms[c][r] = ‖row c·ChunkRows+r‖², parallel to chunks (nil when the
+	// data chunk was released).
 	norms [][]float64
-	// N is the number of rows (points).
+	// live[c] is chunk c's liveness bitmap (LiveWords words, bit r = row
+	// c·ChunkRows+r is not tombstoned). nil until the first Evict — a matrix
+	// that never evicted carries no bitmap and Live is unconditionally true.
+	live [][]uint64
+	// liveShared[c] marks live[c] as possibly referenced by a snapshot: the
+	// next bit clear must copy the words first (copy-on-write, the same
+	// discipline stream.Labels uses).
+	liveShared []bool
+	// deadPerChunk[c] counts tombstoned rows in chunk c; a full chunk whose
+	// count reaches ChunkRows is released.
+	deadPerChunk []int32
+	// dead is the total tombstone count; N-dead rows are live.
+	dead int
+	// N is the number of rows (points) ever appended, dead ones included —
+	// row indices are stable across evictions.
 	N int
 	// D is the dimensionality.
 	D int
@@ -75,16 +105,33 @@ func New(n, d int) *Matrix {
 }
 
 // appendRow adds one row of width D with a precomputed squared norm,
-// extending the tail chunk or opening a fresh one when the tail is full.
+// extending the tail chunk or opening a fresh one when the tail is full (or
+// was released — a released chunk is by construction full of dead rows and
+// is never written again).
 func (m *Matrix) appendRow(r []float64, normSq float64) {
-	if k := len(m.chunks); k == 0 || len(m.chunks[k-1]) == ChunkRows*m.D {
+	if k := len(m.chunks); k == 0 || m.chunks[k-1] == nil || len(m.chunks[k-1]) == ChunkRows*m.D {
 		m.chunks = append(m.chunks, make([]float64, 0, ChunkRows*m.D))
 		m.norms = append(m.norms, make([]float64, 0, ChunkRows))
+		if m.live != nil {
+			m.live = append(m.live, allLiveWords())
+			m.liveShared = append(m.liveShared, false)
+			m.deadPerChunk = append(m.deadPerChunk, 0)
+		}
 	}
 	k := len(m.chunks) - 1
 	m.chunks[k] = append(m.chunks[k], r...)
 	m.norms[k] = append(m.norms[k], normSq)
 	m.N++
+}
+
+// allLiveWords returns a fresh all-ones bitmap chunk (every row live,
+// including the padding bits of rows not yet appended).
+func allLiveWords() []uint64 {
+	w := make([]uint64, LiveWords)
+	for i := range w {
+		w[i] = ^uint64(0)
+	}
+	return w
 }
 
 // FromRows flattens a [][]float64 dataset into a new Matrix, validating that
@@ -174,6 +221,79 @@ func FromChunks(data, norms [][]float64, n, d int) (*Matrix, error) {
 	return &Matrix{chunks: data, norms: norms, N: n, D: d}, nil
 }
 
+// FromChunksLive adopts canonical chunked storage together with per-chunk
+// liveness bitmaps — the snapshot codec's v3 restore path. live must hold
+// one LiveWords-word bitmap per chunk; a chunk with empty data and norms is
+// a released chunk and is only legal when it is a full chunk whose bitmap is
+// all-zero. As in FromChunks, all slices are taken over without copying.
+// A nil live restores a tombstone-free matrix (equivalent to FromChunks).
+func FromChunksLive(data, norms [][]float64, live [][]uint64, n, d int) (*Matrix, error) {
+	if live == nil {
+		return FromChunks(data, norms, n, d)
+	}
+	if n <= 0 || d <= 0 {
+		return nil, fmt.Errorf("matrix: invalid shape %d×%d", n, d)
+	}
+	want := (n + ChunkRows - 1) / ChunkRows
+	if len(data) != want || len(norms) != want || len(live) != want {
+		return nil, fmt.Errorf("matrix: %d data / %d norm / %d live chunks for %d rows, want %d",
+			len(data), len(norms), len(live), n, want)
+	}
+	m := &Matrix{
+		chunks:       data,
+		norms:        norms,
+		live:         live,
+		liveShared:   make([]bool, want),
+		deadPerChunk: make([]int32, want),
+		N:            n,
+		D:            d,
+	}
+	for c := range data {
+		rows := ChunkRows
+		if c == len(data)-1 {
+			rows = n - c*ChunkRows
+		}
+		if len(live[c]) != LiveWords {
+			return nil, fmt.Errorf("matrix: live chunk %d has %d words, want %d", c, len(live[c]), LiveWords)
+		}
+		deadRows := 0
+		for w, word := range live[c] {
+			// Padding bits (rows ≥ rows-in-chunk) must be 1 — the canonical
+			// form the writer produces — so the popcount below counts only
+			// real rows.
+			lo, hi := w*64, w*64+64
+			if lo >= rows && word != ^uint64(0) {
+				return nil, fmt.Errorf("matrix: live chunk %d has dead padding in word %d", c, w)
+			}
+			if lo < rows && hi > rows {
+				pad := word >> (uint(rows) & 63)
+				if pad != ^uint64(0)>>(uint(rows)&63) {
+					return nil, fmt.Errorf("matrix: live chunk %d has dead padding in word %d", c, w)
+				}
+			}
+			deadRows += 64 - bits.OnesCount64(word)
+		}
+		m.deadPerChunk[c] = int32(deadRows)
+		m.dead += deadRows
+		if len(data[c]) == 0 && len(norms[c]) == 0 {
+			// Released chunk: legal only when sealed (full) and fully dead.
+			if rows != ChunkRows || deadRows != ChunkRows {
+				return nil, fmt.Errorf("matrix: chunk %d is empty but has %d/%d live rows", c, rows-deadRows, rows)
+			}
+			m.chunks[c] = nil
+			m.norms[c] = nil
+			continue
+		}
+		if len(data[c]) != rows*d {
+			return nil, fmt.Errorf("matrix: chunk %d has %d values, want %d", c, len(data[c]), rows*d)
+		}
+		if len(norms[c]) != rows {
+			return nil, fmt.Errorf("matrix: norm chunk %d has %d values, want %d", c, len(norms[c]), rows)
+		}
+	}
+	return m, nil
+}
+
 // Snapshot returns a structurally shared frozen copy: sealed chunks are
 // shared by reference (they are never rewritten), and only the partially
 // filled tail chunk is deep-copied so subsequent AppendRows on the receiver
@@ -187,11 +307,103 @@ func (m *Matrix) Snapshot() *Matrix {
 		N:      m.N,
 		D:      m.D,
 	}
-	if k := len(c.chunks) - 1; k >= 0 && len(c.chunks[k]) < ChunkRows*c.D {
+	if k := len(c.chunks) - 1; k >= 0 && c.chunks[k] != nil && len(c.chunks[k]) < ChunkRows*c.D {
 		c.chunks[k] = append(make([]float64, 0, len(c.chunks[k])), c.chunks[k]...)
 		c.norms[k] = append(make([]float64, 0, len(c.norms[k])), c.norms[k]...)
 	}
+	if m.live != nil {
+		// Liveness goes copy-on-write at chunk granularity: both sides keep
+		// the same bitmap chunks and mark them shared, so the next Evict on
+		// either side copies the touched chunk's words before clearing bits.
+		for k := range m.liveShared {
+			m.liveShared[k] = true
+		}
+		c.live = append([][]uint64(nil), m.live...)
+		c.liveShared = make([]bool, len(m.live))
+		for k := range c.liveShared {
+			c.liveShared[k] = true
+		}
+		c.deadPerChunk = append([]int32(nil), m.deadPerChunk...)
+		c.dead = m.dead
+	}
 	return c
+}
+
+// Live reports whether row i has not been evicted. A matrix that never
+// evicted answers true without touching any bitmap.
+func (m *Matrix) Live(i int) bool {
+	if m.live == nil {
+		return true
+	}
+	w := m.live[i>>ChunkShift]
+	r := i & chunkMask
+	return w[r>>6]&(1<<(uint(r)&63)) != 0
+}
+
+// LiveCount returns the number of rows that have not been evicted.
+func (m *Matrix) LiveCount() int { return m.N - m.dead }
+
+// Tombstoned reports whether any row was ever evicted (the legacy v1 codec
+// cannot represent tombstones and refuses such matrices).
+func (m *Matrix) Tombstoned() bool { return m.live != nil }
+
+// ChunkReleased reports whether chunk c's row storage was reclaimed (every
+// row dead and the chunk sealed). Codec and bookkeeping use; Row(i) on a
+// released chunk is invalid.
+func (m *Matrix) ChunkReleased(c int) bool { return m.chunks[c] == nil }
+
+// LiveChunks exposes the per-chunk liveness bitmaps for the snapshot codec
+// (read-only; nil when the matrix never evicted).
+func (m *Matrix) LiveChunks() [][]uint64 { return m.live }
+
+// Evict tombstones the given rows. Row data in sealed chunks is never
+// rewritten — liveness flips in the (copy-on-write) bitmap only — and row
+// indices are stable: evicted rows keep their ids forever. When every row of
+// a full chunk is dead the chunk's row and norm storage is released (the
+// only physical reclaim; snapshots sharing the chunk are unaffected).
+//
+// Rows already dead are skipped; out-of-range ids panic (callers validate at
+// their boundary). It returns the number of rows newly tombstoned and the
+// indices of any chunks released by this call.
+func (m *Matrix) Evict(ids []int) (int, []int) {
+	if len(ids) == 0 {
+		return 0, nil
+	}
+	if m.live == nil {
+		m.live = make([][]uint64, len(m.chunks))
+		for c := range m.live {
+			m.live[c] = allLiveWords()
+		}
+		m.liveShared = make([]bool, len(m.chunks))
+		m.deadPerChunk = make([]int32, len(m.chunks))
+	}
+	evicted := 0
+	var released []int
+	for _, i := range ids {
+		if i < 0 || i >= m.N {
+			panic(fmt.Sprintf("matrix: evict id %d out of range [0,%d)", i, m.N))
+		}
+		c := i >> ChunkShift
+		r := i & chunkMask
+		bit := uint64(1) << (uint(r) & 63)
+		if m.live[c][r>>6]&bit == 0 {
+			continue // already dead
+		}
+		if m.liveShared[c] {
+			m.live[c] = append([]uint64(nil), m.live[c]...)
+			m.liveShared[c] = false
+		}
+		m.live[c][r>>6] &^= bit
+		m.deadPerChunk[c]++
+		m.dead++
+		evicted++
+		if m.deadPerChunk[c] == ChunkRows && m.chunks[c] != nil && len(m.chunks[c]) == ChunkRows*m.D {
+			m.chunks[c] = nil
+			m.norms[c] = nil
+			released = append(released, c)
+		}
+	}
+	return evicted, released
 }
 
 // DataChunks exposes the row chunks (read-only) for the snapshot codec.
@@ -213,19 +425,28 @@ func (m *Matrix) NormSq(i int) float64 { return m.norms[i>>ChunkShift][i&chunkMa
 
 // NormsSq materializes the full norm cache into a fresh flat slice. Intended
 // for tests and boundary interop, not hot paths (use NormSq per row there).
+// It panics on a matrix with released chunks — their norms no longer exist
+// (the legacy flat codec refuses tombstoned matrices for the same reason).
 func (m *Matrix) NormsSq() []float64 {
 	out := make([]float64, 0, m.N)
-	for _, nc := range m.norms {
+	for c, nc := range m.norms {
+		if nc == nil {
+			panic(fmt.Sprintf("matrix: NormsSq on released chunk %d", c))
+		}
 		out = append(out, nc...)
 	}
 	return out
 }
 
 // Flat materializes the coordinates into a fresh row-major slice. Intended
-// for tests and boundary interop, not hot paths.
+// for tests and boundary interop, not hot paths. It panics on a matrix with
+// released chunks — their rows no longer exist.
 func (m *Matrix) Flat() []float64 {
 	out := make([]float64, 0, m.N*m.D)
-	for _, c := range m.chunks {
+	for i, c := range m.chunks {
+		if c == nil {
+			panic(fmt.Sprintf("matrix: Flat on released chunk %d", i))
+		}
 		out = append(out, c...)
 	}
 	return out

@@ -73,12 +73,27 @@ type IngestResponse struct {
 	Accepted int `json:"accepted"`
 }
 
+// EvictRequest is the body of POST /v1/evict.
+type EvictRequest struct {
+	// IDs are the committed point ids to tombstone. Already-evicted ids are
+	// skipped (retries are idempotent); out-of-range ids fail the request.
+	IDs []int `json:"ids"`
+}
+
+// EvictResponse is the body of a successful evict.
+type EvictResponse struct {
+	// Evicted is the number of points newly tombstoned.
+	Evicted int `json:"evicted"`
+}
+
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
 	N                int   `json:"n"`
+	LiveN            int   `json:"live_n"`
 	Dim              int   `json:"dim"`
 	Clusters         int   `json:"clusters"`
 	Commits          int   `json:"commits"`
+	Evicted          int64 `json:"evicted"`
 	QueuedPoints     int64 `json:"queued_points"`
 	Assigns          int64 `json:"assigns"`
 	Ingested         int64 `json:"ingested"`

@@ -3,6 +3,7 @@
 //
 //	POST /v1/assign   {"point":[...]}            → cluster/score/infective
 //	POST /v1/ingest   {"points":[[...]],"wait":b}→ accepted count
+//	POST /v1/evict    {"ids":[...]}              → evicted count
 //	GET  /v1/clusters[?members=false]            → maintained clusters
 //	GET  /v1/stats                               → engine counters
 //	GET  /healthz                                → 200 once serving
@@ -57,6 +58,7 @@ func New(eng *engine.Engine, opts Options) *Server {
 	s := &Server{eng: eng, opts: opts.withDefaults(), mux: http.NewServeMux(), start: time.Now()}
 	s.mux.HandleFunc("/v1/assign", s.handleAssign)
 	s.mux.HandleFunc("/v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("/v1/evict", s.handleEvict)
 	s.mux.HandleFunc("/v1/clusters", s.handleClusters)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
@@ -163,6 +165,27 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, IngestResponse{Accepted: len(req.Points)})
 }
 
+func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req EvictRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.IDs) == 0 {
+		writeErr(w, http.StatusBadRequest, "no ids")
+		return
+	}
+	n, err := s.eng.Evict(r.Context(), req.IDs)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, EvictResponse{Evicted: n})
+}
+
 func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeErr(w, http.StatusMethodNotAllowed, "GET only")
@@ -199,9 +222,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.Stats()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		N:                st.N,
+		LiveN:            st.LiveN,
 		Dim:              st.Dim,
 		Clusters:         st.Clusters,
 		Commits:          st.Commits,
+		Evicted:          st.Evicted,
 		QueuedPoints:     st.QueuedPoints,
 		Assigns:          st.Assigns,
 		Ingested:         st.Ingested,

@@ -210,3 +210,70 @@ func TestServeGracefulShutdown(t *testing.T) {
 		t.Fatal("shutdown timed out")
 	}
 }
+
+// POST /v1/evict tombstones points and the change is visible through every
+// other endpoint: stats drop live_n, clusters shed the dead members.
+func TestEvictEndpoint(t *testing.T) {
+	s, eng := testServer(t)
+	h := s.Handler()
+
+	var before StatsResponse
+	doJSON(t, h, http.MethodGet, "/v1/stats", nil, &before)
+	if before.LiveN != before.N || before.Evicted != 0 {
+		t.Fatalf("fresh stats %+v", before)
+	}
+
+	// Kill the whole second blob (ids 30..59) plus two noise points.
+	ids := []int{60, 61}
+	for i := 30; i < 60; i++ {
+		ids = append(ids, i)
+	}
+	var ev EvictResponse
+	res := doJSON(t, h, http.MethodPost, "/v1/evict", EvictRequest{IDs: ids}, &ev)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("evict status %d", res.StatusCode)
+	}
+	if ev.Evicted != len(ids) {
+		t.Fatalf("evicted %d, want %d", ev.Evicted, len(ids))
+	}
+	// Idempotent retry.
+	doJSON(t, h, http.MethodPost, "/v1/evict", EvictRequest{IDs: ids}, &ev)
+	if ev.Evicted != 0 {
+		t.Fatalf("retry evicted %d, want 0", ev.Evicted)
+	}
+
+	var after StatsResponse
+	doJSON(t, h, http.MethodGet, "/v1/stats", nil, &after)
+	if after.LiveN != before.N-len(ids) || after.Evicted != int64(len(ids)) || after.N != before.N {
+		t.Fatalf("stats after evict %+v (before %+v)", after, before)
+	}
+
+	var cls ClustersResponse
+	doJSON(t, h, http.MethodGet, "/v1/clusters", nil, &cls)
+	for _, cl := range cls.Clusters {
+		for _, m := range cl.Members {
+			if m >= 30 && m < 60 {
+				t.Fatalf("cluster %d still contains evicted member %d", cl.ID, m)
+			}
+		}
+	}
+	// The evicted blob's center no longer assigns to a blob-30..59 cluster;
+	// the surviving blob still assigns.
+	var a AssignResponse
+	doJSON(t, h, http.MethodPost, "/v1/assign", AssignRequest{Point: []float64{0.02, 0.01}}, &a)
+	if a.Cluster < 0 {
+		t.Fatal("surviving blob unassignable after evict")
+	}
+
+	// Bad requests: empty ids, out-of-range ids, wrong method.
+	if res := doJSON(t, h, http.MethodPost, "/v1/evict", EvictRequest{}, nil); res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty ids → %d", res.StatusCode)
+	}
+	if res := doJSON(t, h, http.MethodPost, "/v1/evict", EvictRequest{IDs: []int{99999}}, nil); res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range ids → %d", res.StatusCode)
+	}
+	if res := doJSON(t, h, http.MethodGet, "/v1/evict", nil, nil); res.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET → %d", res.StatusCode)
+	}
+	_ = eng
+}

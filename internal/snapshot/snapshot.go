@@ -29,8 +29,24 @@
 // publish costs, never query answers, and restore rebuilds each table as a
 // single sealed base segment.
 //
-// Version 1 (flat arrays) is still read via a compatibility shim; WriteV1
-// encodes it for downgrade interop and fixture generation.
+// Version 3 adds eviction state: the retention policy (max points / max
+// age) joins the config block, every matrix chunk carries a liveness bitmap
+// (length 0 when the matrix never evicted, matrix.LiveWords words
+// otherwise), and released chunks — fully dead ranges whose storage was
+// reclaimed — are written as zero-length arrays, both for matrix chunks and
+// for inverted-list key chunks. The index's tombstones are not written
+// twice: they are the matrix's liveness, re-derived on load (the stream
+// layer keeps the two in lockstep), and restore physically drops dead ids
+// while rebuilding buckets, so a restored index starts compacted yet
+// answers exactly like the evicted one. Because release is a deterministic
+// function of liveness (a full, fully-dead chunk is always released),
+// re-encoding a restored v3 snapshot reproduces the original bytes — the
+// codec remains a fixed point.
+//
+// Versions 1 (flat arrays) and 2 (segmented, no tombstones) are still read
+// via compatibility shims; WriteV1 and WriteV2 encode them for downgrade
+// interop and fixture generation, and refuse tombstoned state, which those
+// formats cannot represent.
 package snapshot
 
 import (
@@ -41,18 +57,24 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"time"
 
 	"alid/internal/affinity"
 	"alid/internal/core"
 	"alid/internal/lsh"
 	"alid/internal/matrix"
+	"alid/internal/stream"
 )
 
 // Magic identifies a snapshot stream.
 const Magic = "ALIDSNAP"
 
-// Version is the current format version (segmented payload).
-const Version = 2
+// Version is the current format version (segmented payload + tombstones +
+// retention).
+const Version = 3
+
+// VersionV2 is the segmented, tombstone-free format, still readable.
+const VersionV2 = 2
 
 // VersionV1 is the legacy flat-array format, still readable.
 const VersionV1 = 1
@@ -70,6 +92,10 @@ type Snapshot struct {
 	Core core.Config
 	// BatchSize is the stream commit batch size.
 	BatchSize int
+	// Retention is the stream's eviction policy (MaxPoints and MaxAge only;
+	// the test clock is a runtime knob). Written since v3; zero when read
+	// from older snapshots.
+	Retention stream.Retention
 	// Mat holds the committed points and their cached norms.
 	Mat *matrix.Matrix
 	// Index is the LSH index over Mat.
@@ -165,7 +191,7 @@ func header(out io.Writer, version uint32) (*bufio.Writer, *writer, error) {
 	return bw, w, nil
 }
 
-func (w *writer) config(s *Snapshot) {
+func (w *writer) config(s *Snapshot, version uint32) {
 	c := s.Core
 	w.f64(c.Kernel.K)
 	w.f64(c.Kernel.P)
@@ -183,6 +209,10 @@ func (w *writer) config(s *Snapshot) {
 	w.boolean(c.SingleQueryCIVS)
 	w.boolean(c.FixedROIGrowth)
 	w.i64(int64(s.BatchSize))
+	if version >= Version {
+		w.i64(int64(s.Retention.MaxPoints))
+		w.i64(int64(s.Retention.MaxAge))
+	}
 }
 
 func (w *writer) clusters(s *Snapshot) {
@@ -213,35 +243,62 @@ func finish(bw *bufio.Writer, w *writer) error {
 	return nil
 }
 
-// Write encodes s in the current (v2, segmented) format: matrix data and
-// norms per canonical chunk, inverted lists per canonical key chunk — no
-// flat materialization. The stream is buffered internally; the caller owns
-// any underlying file and its sync/close.
+// Write encodes s in the current (v3, segmented + tombstones) format:
+// matrix data, norms and liveness per canonical chunk, inverted lists per
+// canonical key chunk, released chunks as zero-length arrays — no flat
+// materialization. The stream is buffered internally; the caller owns any
+// underlying file and its sync/close.
 func Write(out io.Writer, s *Snapshot) error {
+	return writeSegmented(out, s, Version)
+}
+
+// WriteV2 encodes s in the segmented, tombstone-free v2 format. Retained
+// for downgrade interop with pre-eviction binaries and for compatibility-
+// test fixtures; it refuses tombstoned state (and drops the retention
+// policy), which v2 cannot represent. New snapshots should use Write.
+func WriteV2(out io.Writer, s *Snapshot) error {
+	if s.Mat != nil && s.Mat.Tombstoned() {
+		return fmt.Errorf("snapshot: v2 cannot represent tombstones (matrix has %d evicted rows)", s.Mat.N-s.Mat.LiveCount())
+	}
+	return writeSegmented(out, s, VersionV2)
+}
+
+func writeSegmented(out io.Writer, s *Snapshot, version uint32) error {
 	if err := validate(s); err != nil {
 		return err
 	}
-	bw, w, err := header(out, Version)
+	bw, w, err := header(out, version)
 	if err != nil {
 		return err
 	}
-	w.config(s)
+	w.config(s, version)
 
-	// Matrix: shape, then per-chunk rows and norms, interleaved so each
-	// chunk is self-contained.
+	// Matrix: shape, then per-chunk rows, norms and (v3) liveness,
+	// interleaved so each chunk is self-contained. Released chunks write
+	// zero-length data and norms; a never-evicted matrix writes zero-length
+	// liveness per chunk.
 	dataChunks := s.Mat.DataChunks()
 	normChunks := s.Mat.NormChunks()
+	liveChunks := s.Mat.LiveChunks()
 	w.u64(uint64(s.Mat.N))
 	w.u64(uint64(s.Mat.D))
 	w.u64(uint64(len(dataChunks)))
 	for c := range dataChunks {
 		w.f64s(dataChunks[c])
 		w.f64s(normChunks[c])
+		if version >= Version {
+			if liveChunks == nil {
+				w.u64(0)
+			} else {
+				w.u64s(liveChunks[c])
+			}
+		}
 	}
 
 	// LSH index: config again (the index may have been built under a config
 	// that has since changed), then per-table parameters + chunked inverted
-	// lists.
+	// lists. Tombstones are not written here — they are the matrix's
+	// liveness, re-derived on load.
 	icfg, dim, tables := s.Index.DumpChunks()
 	w.i64(int64(icfg.Projections))
 	w.i64(int64(icfg.Tables))
@@ -266,9 +323,13 @@ func Write(out io.Writer, s *Snapshot) error {
 
 // WriteV1 encodes s in the legacy flat-array v1 format, materializing the
 // matrix and inverted lists. Retained for downgrade interop with pre-
-// segmentation binaries and for compatibility-test fixtures; new snapshots
-// should use Write.
+// segmentation binaries and for compatibility-test fixtures; it refuses
+// tombstoned state, which v1 cannot represent. New snapshots should use
+// Write.
 func WriteV1(out io.Writer, s *Snapshot) error {
+	if s.Mat != nil && s.Mat.Tombstoned() {
+		return fmt.Errorf("snapshot: v1 cannot represent tombstones (matrix has %d evicted rows)", s.Mat.N-s.Mat.LiveCount())
+	}
 	if err := validate(s); err != nil {
 		return err
 	}
@@ -276,7 +337,7 @@ func WriteV1(out io.Writer, s *Snapshot) error {
 	if err != nil {
 		return err
 	}
-	w.config(s)
+	w.config(s, VersionV1)
 
 	w.u64(uint64(s.Mat.N))
 	w.u64(uint64(s.Mat.D))
@@ -396,7 +457,7 @@ func (r *reader) ints(what string) []int {
 	return out
 }
 
-func (r *reader) config(s *Snapshot) {
+func (r *reader) config(s *Snapshot, version uint32) {
 	s.Core.Kernel = affinity.Kernel{K: r.f64(), P: r.f64()}
 	s.Core.LSH = lsh.Config{
 		Projections: int(r.i64()),
@@ -414,6 +475,10 @@ func (r *reader) config(s *Snapshot) {
 	s.Core.SingleQueryCIVS = r.boolean()
 	s.Core.FixedROIGrowth = r.boolean()
 	s.BatchSize = int(r.i64())
+	if version >= Version {
+		s.Retention.MaxPoints = int(r.i64())
+		s.Retention.MaxAge = time.Duration(r.i64())
+	}
 }
 
 func (r *reader) indexConfig() (lsh.Config, int) {
@@ -449,21 +514,37 @@ func (r *reader) clusters(s *Snapshot) error {
 	return nil
 }
 
-// readV2 decodes the segmented payload: chunked matrix + chunked inverted
-// lists, adopted without re-chunking.
-func (r *reader) readV2(s *Snapshot) error {
-	r.config(s)
+// readSegmented decodes the segmented payloads (v2: chunked matrix +
+// chunked inverted lists, adopted without re-chunking; v3: additionally
+// per-chunk liveness bitmaps and released chunks).
+func (r *reader) readSegmented(s *Snapshot, version uint32) error {
+	r.config(s, version)
 
 	n := int(r.u64())
 	d := int(r.u64())
 	nChunks := r.length("matrix chunk list")
 	var dataChunks, normChunks [][]float64
+	var liveChunks [][]uint64
+	tombstoned := false
 	for c := 0; r.err == nil && c < nChunks; c++ {
 		dataChunks = append(dataChunks, r.f64s("matrix data chunk"))
 		normChunks = append(normChunks, r.f64s("matrix norm chunk"))
+		if version >= Version {
+			lw := r.u64s("matrix live chunk")
+			if len(lw) > 0 {
+				tombstoned = true
+			}
+			liveChunks = append(liveChunks, lw)
+		}
 	}
 	if r.err == nil {
-		m, err := matrix.FromChunks(dataChunks, normChunks, n, d)
+		var m *matrix.Matrix
+		var err error
+		if tombstoned {
+			m, err = matrix.FromChunksLive(dataChunks, normChunks, liveChunks, n, d)
+		} else {
+			m, err = matrix.FromChunks(dataChunks, normChunks, n, d)
+		}
 		if err != nil {
 			return fmt.Errorf("snapshot: %w", err)
 		}
@@ -485,7 +566,16 @@ func (r *reader) readV2(s *Snapshot) error {
 		tables = append(tables, tb)
 	}
 	if r.err == nil {
-		idx, err := lsh.FromDumpChunks(icfg, idim, tables)
+		var idx *lsh.Index
+		var err error
+		if tombstoned {
+			// The index's tombstones are the matrix's liveness (the stream
+			// keeps them in lockstep); dead ids are physically dropped while
+			// rebuilding buckets.
+			idx, err = lsh.FromDumpChunksLive(icfg, idim, s.Mat.N, tables, s.Mat.Live)
+		} else {
+			idx, err = lsh.FromDumpChunks(icfg, idim, tables)
+		}
 		if err != nil {
 			return fmt.Errorf("snapshot: %w", err)
 		}
@@ -504,7 +594,7 @@ func (r *reader) readV2(s *Snapshot) error {
 // storage via the compat constructors (stored norms and key order are
 // preserved exactly, so the restored state answers bit-identically).
 func (r *reader) readV1(s *Snapshot) error {
-	r.config(s)
+	r.config(s, VersionV1)
 
 	n := int(r.u64())
 	d := int(r.u64())
@@ -545,9 +635,9 @@ func (r *reader) readV1(s *Snapshot) error {
 }
 
 // Read decodes and validates a snapshot, verifying magic, version and CRC.
-// Both the current segmented format (v2) and the legacy flat format (v1)
-// are accepted; either way the restored state answers every query
-// bit-identically to the state that was written.
+// The current tombstone-aware format (v3), the segmented format (v2) and
+// the legacy flat format (v1) are all accepted; either way the restored
+// state answers every query bit-identically to the state that was written.
 func Read(in io.Reader) (*Snapshot, error) {
 	br := bufio.NewReaderSize(in, 1<<20)
 	magic := make([]byte, len(Magic))
@@ -559,7 +649,7 @@ func Read(in io.Reader) (*Snapshot, error) {
 	}
 	r := &reader{r: br, crc: crc32.NewIEEE()}
 	version := r.u32()
-	if r.err == nil && version != Version && version != VersionV1 {
+	if r.err == nil && version != Version && version != VersionV2 && version != VersionV1 {
 		return nil, fmt.Errorf("snapshot: unsupported version %d (have %d)", version, Version)
 	}
 
@@ -568,7 +658,7 @@ func Read(in io.Reader) (*Snapshot, error) {
 	if version == VersionV1 {
 		err = r.readV1(s)
 	} else {
-		err = r.readV2(s)
+		err = r.readSegmented(s, version)
 	}
 	if err != nil {
 		return nil, err

@@ -6,11 +6,13 @@ import (
 	"slices"
 	"strings"
 	"testing"
+	"time"
 
 	"alid/internal/affinity"
 	"alid/internal/core"
 	"alid/internal/lsh"
 	"alid/internal/matrix"
+	"alid/internal/stream"
 	"alid/internal/testutil"
 )
 
@@ -153,6 +155,162 @@ func TestV1CompatRoundTrip(t *testing.T) {
 	}
 	if !bytes.Equal(v2a.Bytes(), v2b.Bytes()) {
 		t.Fatal("v2(v1-restored) != v2(original)")
+	}
+}
+
+// evictedSample builds a snapshot whose matrix and index carry tombstones,
+// including one fully released matrix chunk, with labels and clusters
+// consistent with the liveness (dead points are noise).
+func evictedSample(t *testing.T) (*Snapshot, []int) {
+	t.Helper()
+	n := matrix.ChunkRows + 300
+	rng := func() [][]float64 {
+		pts, _ := testutil.Blobs(67, [][]float64{{0, 0}, {12, 12}}, n/2, 0.4, 0, 0, 12)
+		return pts
+	}()
+	m, err := matrix.FromRows(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Kernel = affinity.Kernel{K: 0.4, P: 2}
+	cfg.LSH = lsh.Config{Projections: 5, Tables: 4, R: 3, Seed: 7}
+	idx, err := lsh.BuildMatrix(m, cfg.LSH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := make([]int, 0, matrix.ChunkRows+20)
+	for i := 0; i < matrix.ChunkRows; i++ {
+		dead = append(dead, i) // whole chunk 0 → released
+	}
+	for i := matrix.ChunkRows + 50; i < matrix.ChunkRows+70; i++ {
+		dead = append(dead, i) // scattered tombstones in the tail chunk
+	}
+	if _, released := m.Evict(dead); len(released) != 1 {
+		t.Fatalf("expected one released chunk, got %v", released)
+	}
+	idx.Evict(dead)
+
+	labels := make([]int, m.N)
+	for i := range labels {
+		labels[i] = -1
+	}
+	cl := &core.Cluster{
+		Members: []int{matrix.ChunkRows + 1, matrix.ChunkRows + 2, matrix.ChunkRows + 100},
+		Weights: []float64{0.5, 0.25, 0.25},
+		Density: 0.91, Seed: matrix.ChunkRows + 1, OuterIterations: 2, LIDIterations: 40, PeakEntries: 99,
+	}
+	for _, mb := range cl.Members {
+		labels[mb] = 0
+	}
+	return &Snapshot{
+		Core: cfg, BatchSize: 64,
+		Retention: stream.Retention{MaxPoints: 5000, MaxAge: 90 * time.Second},
+		Mat:       m, Index: idx,
+		Clusters: []*core.Cluster{cl},
+		Labels:   labels,
+		Commits:  7,
+	}, dead
+}
+
+// The v3 format persists tombstones and retention, restores them exactly
+// (released chunks included), and stays a fixed point: re-encoding the
+// decoded snapshot reproduces the bytes.
+func TestV3TombstoneRoundTrip(t *testing.T) {
+	s, dead := evictedSample(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Retention.MaxPoints != s.Retention.MaxPoints || got.Retention.MaxAge != s.Retention.MaxAge {
+		t.Fatalf("retention %+v vs %+v", got.Retention, s.Retention)
+	}
+	if got.Mat.N != s.Mat.N || got.Mat.LiveCount() != s.Mat.LiveCount() {
+		t.Fatalf("shape/liveness: %d/%d vs %d/%d", got.Mat.N, got.Mat.LiveCount(), s.Mat.N, s.Mat.LiveCount())
+	}
+	if !got.Mat.ChunkReleased(0) {
+		t.Fatal("released chunk not restored as released")
+	}
+	for i := 0; i < s.Mat.N; i++ {
+		if got.Mat.Live(i) != s.Mat.Live(i) {
+			t.Fatalf("liveness differs at %d", i)
+		}
+	}
+	if got.Index.Live() != s.Index.Live() {
+		t.Fatalf("index live %d vs %d", got.Index.Live(), s.Index.Live())
+	}
+	// Dead ids never surface; live answers identical.
+	for id := matrix.ChunkRows; id < s.Mat.N; id += 7 {
+		if !s.Mat.Live(id) {
+			continue
+		}
+		a, b := s.Index.CandidatesByID(id), got.Index.CandidatesByID(id)
+		if !slices.Equal(a, b) {
+			t.Fatalf("index candidates differ at %d", id)
+		}
+		for _, c := range b {
+			for _, d := range dead {
+				if int(c) == d {
+					t.Fatalf("dead id %d restored into a bucket", d)
+				}
+			}
+		}
+	}
+	var buf2 bytes.Buffer
+	if err := Write(&buf2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("v3 encode(decode(x)) != x with tombstones")
+	}
+}
+
+// The v2 shim stays readable and lossless for tombstone-free state; the
+// legacy writers refuse tombstoned state, which their formats cannot
+// represent.
+func TestV2ShimAndTombstoneRefusal(t *testing.T) {
+	s := sample(t)
+	var v2 bytes.Buffer
+	if err := WriteV2(&v2, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(v2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(got.Mat.Flat(), s.Mat.Flat()) || !slices.Equal(got.Labels, s.Labels) {
+		t.Fatal("v2 shim state differs")
+	}
+	// v2 re-encode of the v2-restored state is the original bytes.
+	var v2Again bytes.Buffer
+	if err := WriteV2(&v2Again, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v2.Bytes(), v2Again.Bytes()) {
+		t.Fatal("WriteV2(Read(v2)) != v2")
+	}
+	// v3 of the v2-restored state equals v3 of the original.
+	var v3a, v3b bytes.Buffer
+	if err := Write(&v3a, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&v3b, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v3a.Bytes(), v3b.Bytes()) {
+		t.Fatal("v3(v2-restored) != v3(original)")
+	}
+
+	es, _ := evictedSample(t)
+	if err := WriteV2(&bytes.Buffer{}, es); err == nil {
+		t.Fatal("WriteV2 accepted tombstoned state")
+	}
+	if err := WriteV1(&bytes.Buffer{}, es); err == nil {
+		t.Fatal("WriteV1 accepted tombstoned state")
 	}
 }
 

@@ -47,6 +47,67 @@ func commitBenchData(n, d int) [][]float64 {
 	return pts
 }
 
+// BenchmarkEvict is the acceptance gate of tombstoned eviction: an
+// ingest+evict loop at a fixed retention window must keep (a) the live
+// point count at the window and (b) the per-commit cost flat in the number
+// of points EVER seen. The sub-benchmarks pre-run the loop until `ever`
+// total points have been committed (10× and 50× the window), then measure
+// the steady-state cost of one more batch commit — which includes the
+// retention eviction of one expired batch, its cluster teardown and the
+// share-and-seal publish bookkeeping. scripts/bench.sh records the
+// ever=100000 / ever=20000 ratio into BENCH_PR5.json (gate: ≤ 1.3); a
+// growing ratio means some per-commit path still scales with dead state.
+func BenchmarkEvict(b *testing.B) {
+	const window = 2000
+	const batch = 64
+	const d = 16
+	for _, ever := range []int{20000, 100000} {
+		b.Run(fmt.Sprintf("ever=%d", ever), func(b *testing.B) {
+			ctx := context.Background()
+			cfg := commitBenchConfig()
+			cfg.Retention = Retention{MaxPoints: window}
+			c, err := New(nil, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(93))
+			commitBatch := func(i int) {
+				base := 1000 + float64(i)*100
+				for k := 0; k < batch; k++ {
+					p := make([]float64, d)
+					for j := range p {
+						p[j] = base + rng.NormFloat64()*0.3
+					}
+					if err := c.Add(ctx, p); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := c.Commit(ctx); err != nil {
+					b.Fatal(err)
+				}
+				if c.Live() > window {
+					b.Fatalf("live %d exceeds window %d", c.Live(), window)
+				}
+			}
+			i := 0
+			for ; c.N() < ever; i++ {
+				commitBatch(i)
+			}
+			if c.Live() != window {
+				b.Fatalf("steady state not reached: live %d, want %d", c.Live(), window)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				commitBatch(i)
+				i++
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(c.Live()), "live-points")
+		})
+	}
+}
+
 // BenchmarkCommitAfterPublish is the acceptance gate of the segmented-
 // storage refactor: the cost of a batch commit that immediately follows a
 // published View must NOT scale with the number of committed points n. The

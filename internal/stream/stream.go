@@ -34,12 +34,22 @@
 // segments referenced by outstanding views are never rewritten — so the
 // commit path no longer pays the O(n·d) matrix clone + O(n·l) index clone
 // that copy-on-write charged after every publish.
+//
+// Eviction closes the loop for forever-running streams: Evict tombstones
+// committed points (ids stay stable; liveness lives in copy-on-write
+// bitmaps, honoring the seal invariant), repairs affected clusters, and
+// Config.Retention evicts expired points automatically after every commit.
+// Physical reclaim is whole-chunk release plus LSH compaction, so a
+// retention-bounded stream's memory is proportional to the window, not to
+// the points ever seen.
 package stream
 
 import (
 	"context"
 	"fmt"
 	"math"
+	"slices"
+	"time"
 
 	"alid/internal/affinity"
 	"alid/internal/core"
@@ -53,6 +63,43 @@ type Config struct {
 	Core core.Config
 	// BatchSize is the number of buffered points per commit.
 	BatchSize int
+	// Retention bounds the live committed point set: enabled retention
+	// evicts expired points automatically after every commit, which is what
+	// keeps a forever-running stream's memory proportional to the window
+	// instead of the points ever seen.
+	Retention Retention
+}
+
+// Retention is the sliding-window eviction policy.
+type Retention struct {
+	// MaxPoints caps the number of live committed points; after each commit
+	// the oldest live points beyond the cap are evicted. 0 = no cap.
+	MaxPoints int
+	// MaxAge evicts every point whose commit is older than this. 0 = no
+	// age bound. Ages are measured per commit batch; a restored clusterer
+	// treats all restored points as born at restore time (commit times are
+	// not persisted).
+	MaxAge time.Duration
+	// Now overrides the clock for MaxAge (deterministic tests); nil means
+	// time.Now. Only consulted when MaxAge > 0.
+	Now func() time.Time
+}
+
+// Enabled reports whether any retention bound is set.
+func (r Retention) Enabled() bool { return r.MaxPoints > 0 || r.MaxAge > 0 }
+
+func (r Retention) now() time.Time {
+	if r.Now != nil {
+		return r.Now()
+	}
+	return time.Now()
+}
+
+// commitStamp records when a commit's points arrived (only kept while
+// Retention.MaxAge is set; expired entries are trimmed as their points go).
+type commitStamp struct {
+	firstID int
+	at      time.Time
 }
 
 // Clusterer maintains dominant clusters over an append-only stream. Committed
@@ -79,6 +126,14 @@ type Clusterer struct {
 	// checks plus detection work). Diagnostic; restored clusterers restart
 	// at zero.
 	kernelEvals int64
+	// evicted counts points tombstoned so far (manual Evict + retention).
+	evicted int
+	// evictCursor is the lowest id that may still be live: everything below
+	// it is tombstoned. Retention scans for the oldest live points start
+	// here, keeping enforcement amortized O(evicted), not O(n) per commit.
+	evictCursor int
+	// stamps are per-commit arrival times, kept only under a MaxAge policy.
+	stamps []commitStamp
 
 	// scratch for the dirtiness check's candidate retrieval (marker-value
 	// dedup, same idiom as CIVS); mark grows with n, cmark with the cluster
@@ -131,16 +186,33 @@ func Restore(cfg Config, mat *matrix.Matrix, index *lsh.Index, clusters []*core.
 		if l < -1 || l >= len(clusters) {
 			return nil, fmt.Errorf("stream: restore label %d of point %d out of range [-1,%d)", l, i, len(clusters))
 		}
-		avail[i] = l == -1
+		if !mat.Live(i) && l != -1 {
+			return nil, fmt.Errorf("stream: restore labels evicted point %d into cluster %d", i, l)
+		}
+		// Evicted points are neither assigned nor available: they must never
+		// re-enter a detection.
+		avail[i] = l == -1 && mat.Live(i)
 	}
 	for ci, cl := range clusters {
+		// A snapshot is disk input: a memberless or ragged cluster must fail
+		// here with an error, not later as a heaviestMember panic on the
+		// first commit that re-converges it.
+		if len(cl.Members) == 0 {
+			return nil, fmt.Errorf("stream: restore cluster %d has no members", ci)
+		}
+		if len(cl.Weights) != len(cl.Members) {
+			return nil, fmt.Errorf("stream: restore cluster %d has %d members but %d weights", ci, len(cl.Members), len(cl.Weights))
+		}
 		for _, m := range cl.Members {
 			if m < 0 || m >= mat.N {
 				return nil, fmt.Errorf("stream: restore cluster %d member %d out of range [0,%d)", ci, m, mat.N)
 			}
+			if !mat.Live(m) {
+				return nil, fmt.Errorf("stream: restore cluster %d contains evicted member %d", ci, m)
+			}
 		}
 	}
-	return &Clusterer{
+	c := &Clusterer{
 		cfg:      cfg,
 		mat:      mat,
 		index:    index,
@@ -148,7 +220,22 @@ func Restore(cfg Config, mat *matrix.Matrix, index *lsh.Index, clusters []*core.
 		assigned: labelsFromFlat(labels),
 		avail:    avail,
 		commits:  commits,
-	}, nil
+		evicted:  mat.N - mat.LiveCount(),
+	}
+	// Released matrix chunks (fully evicted ranges) release their label
+	// chunks too — the flat label slice re-materialized them as -1 runs.
+	if mat.Tombstoned() {
+		for ch := 0; ch < c.assigned.numChunks(); ch++ {
+			if mat.ChunkReleased(ch) {
+				c.assigned.releaseChunk(ch)
+			}
+		}
+	}
+	if cfg.Retention.MaxAge > 0 {
+		// Commit times are not persisted: restored points age from now.
+		c.stamps = []commitStamp{{firstID: 0, at: cfg.Retention.now()}}
+	}
+	return c, nil
 }
 
 // Dim returns the point dimensionality, or 0 if no point has been seen yet.
@@ -201,7 +288,8 @@ type View struct {
 	KernelEvals int64
 }
 
-// N returns the number of committed points.
+// N returns the number of committed points, evicted ones included (point
+// ids are stable across evictions).
 func (c *Clusterer) N() int {
 	if c.mat == nil {
 		return 0
@@ -209,14 +297,29 @@ func (c *Clusterer) N() int {
 	return c.mat.N
 }
 
+// Live returns the number of committed points that have not been evicted.
+func (c *Clusterer) Live() int {
+	if c.mat == nil {
+		return 0
+	}
+	return c.mat.LiveCount()
+}
+
+// Evicted returns the number of committed points tombstoned so far.
+func (c *Clusterer) Evicted() int { return c.evicted }
+
 // Pending returns the number of buffered, uncommitted points.
 func (c *Clusterer) Pending() int { return len(c.buffer) }
 
 // Commits returns how many batch commits have run.
 func (c *Clusterer) Commits() int { return c.commits }
 
-// Clusters returns the currently maintained dominant clusters.
-func (c *Clusterer) Clusters() []*core.Cluster { return c.clusters }
+// Clusters returns the currently maintained dominant clusters in a fresh
+// slice. The cluster values are the maintained ones and must not be
+// mutated, but the slice itself is the caller's: appending to it or
+// reordering it cannot corrupt clusterer state (returning the live internal
+// slice used to allow exactly that).
+func (c *Clusterer) Clusters() []*core.Cluster { return append([]*core.Cluster(nil), c.clusters...) }
 
 // Labels returns the current per-point assignment (-1 = noise/unassigned)
 // as a fresh flat slice.
@@ -292,14 +395,8 @@ func (c *Clusterer) Commit(ctx context.Context) error {
 	// The detector is created once and rebound to the grown dataset by
 	// extending its scratch: oracle and index alias c.mat / c.index, which
 	// only ever grow in place.
-	if c.det == nil {
-		det, err := core.NewDetectorMatrixWithIndex(c.mat, c.cfg.Core, c.index)
-		if err != nil {
-			return err
-		}
-		c.det = det
-	} else {
-		c.det.Grow()
+	if err := c.ensureDetector(); err != nil {
+		return err
 	}
 	det := c.det
 	cfg := det.Config()
@@ -397,7 +494,245 @@ func (c *Clusterer) Commit(ctx context.Context) error {
 	// The long-lived oracle's counter is drained per commit, so the delta is
 	// exactly this commit's detection work.
 	c.kernelEvals += det.Oracle().ResetComputed()
+
+	// Retention: stamp this commit's arrivals, then evict whatever the
+	// policy has expired — the step that keeps a forever-running stream's
+	// live set (and therefore its memory) bounded by the window.
+	if c.cfg.Retention.MaxAge > 0 {
+		c.stamps = append(c.stamps, commitStamp{firstID: firstNew, at: c.cfg.Retention.now()})
+	}
+	return c.enforceRetention(ctx)
+}
+
+// ensureDetector creates the long-lived commit detector on first use and
+// rebinds it to the grown dataset afterwards (oracle and index alias c.mat
+// and c.index, which only ever grow in place).
+func (c *Clusterer) ensureDetector() error {
+	if c.det == nil {
+		det, err := core.NewDetectorMatrixWithIndex(c.mat, c.cfg.Core, c.index)
+		if err != nil {
+			return err
+		}
+		c.det = det
+		return nil
+	}
+	c.det.Grow()
 	return nil
+}
+
+// evictReconvergeShare is the simplex weight mass a cluster may lose to
+// eviction before in-place repair (drop dead members, renormalize,
+// recompute density) is no longer trusted and the cluster is re-converged
+// from its heaviest surviving member instead.
+const evictReconvergeShare = 0.25
+
+// Evict tombstones the given committed points. Evicted points keep their
+// ids but disappear from every answer — Labels reports them as noise,
+// clusters shed them, LSH queries skip them — exactly as if the stream had
+// been rebuilt from the survivors. Affected clusters are repaired: dead
+// members are removed and the remaining weights renormalized on the
+// simplex; a cluster that lost more than evictReconvergeShare of its weight
+// mass (or fell below the minimum size) is re-converged from its heaviest
+// surviving member, and clusters left below the density threshold or
+// minimum size are dropped. Sealed storage is never rewritten: tombstones
+// live in bitmaps, and fully dead chunks release their storage.
+//
+// Ids out of range [0, N()) are rejected before anything is touched;
+// already-evicted ids are skipped (idempotent retries). It returns the
+// number of points newly evicted. If ctx is cancelled mid-way, tombstones
+// and membership repair are already applied (no cluster ever retains a dead
+// member, and labels always agree with cluster membership); clusters whose
+// re-convergence did not run remain in their repaired — renormalized but
+// not re-converged — form, a valid maintained state.
+func (c *Clusterer) Evict(ctx context.Context, ids []int) (int, error) {
+	if len(ids) == 0 {
+		return 0, nil
+	}
+	if c.mat == nil {
+		return 0, fmt.Errorf("stream: evict before any commit")
+	}
+	sorted := append([]int(nil), ids...)
+	slices.Sort(sorted)
+	sorted = slices.Compact(sorted)
+	if sorted[0] < 0 || sorted[len(sorted)-1] >= c.mat.N {
+		return 0, fmt.Errorf("stream: evict id out of range [0,%d)", c.mat.N)
+	}
+	live := sorted[:0]
+	for _, id := range sorted {
+		if c.mat.Live(id) {
+			live = append(live, id)
+		}
+	}
+	if len(live) == 0 {
+		return 0, nil
+	}
+	return len(live), c.evictIDs(ctx, live)
+}
+
+// evictIDs applies an eviction. ids must be ascending, unique, in range and
+// currently live.
+func (c *Clusterer) evictIDs(ctx context.Context, ids []int) error {
+	// Phase 1 (never fails): tombstone everywhere and unlabel the dead.
+	// Affected clusters are collected in ascending ordinal order so repair
+	// and re-convergence are deterministic.
+	var affected []int
+	seen := make(map[int]bool)
+	for _, id := range ids {
+		if ci := c.assigned.At(id); ci >= 0 && !seen[ci] {
+			seen[ci] = true
+			affected = append(affected, ci)
+		}
+		c.assigned.set(id, -1)
+		c.avail[id] = false
+	}
+	slices.Sort(affected)
+	evicted, released := c.mat.Evict(ids)
+	c.evicted += evicted
+	if c.index != nil {
+		c.index.Evict(ids)
+	}
+	for _, ch := range released {
+		c.assigned.releaseChunk(ch)
+	}
+	for c.evictCursor < c.mat.N && !c.mat.Live(c.evictCursor) {
+		c.evictCursor++
+	}
+	if len(affected) == 0 {
+		return nil
+	}
+
+	// Phase 2 (never fails): membership surgery. Every affected cluster
+	// immediately sheds its dead members and renormalizes on the simplex —
+	// whatever happens later, no cluster ever holds an evicted member.
+	// Published cluster values are immutable; repairs build fresh ones.
+	if err := c.ensureDetector(); err != nil {
+		return err
+	}
+	cfg := c.det.Config()
+	var reconverge []int
+	for _, ci := range affected {
+		cl := c.clusters[ci]
+		members := make([]int, 0, len(cl.Members))
+		weights := make([]float64, 0, len(cl.Members))
+		var kept float64
+		for t, m := range cl.Members {
+			if c.mat.Live(m) {
+				members = append(members, m)
+				weights = append(weights, cl.Weights[t])
+				kept += cl.Weights[t]
+			}
+		}
+		if len(members) == 0 || kept <= 0 {
+			// Nothing survives: an empty husk the final compact drops.
+			c.clusters[ci] = &core.Cluster{Seed: cl.Seed}
+			continue
+		}
+		for t := range weights {
+			weights[t] /= kept
+		}
+		repaired := &core.Cluster{
+			Members:         members,
+			Weights:         weights,
+			Density:         c.clusterDensity(cfg.Kernel, members, weights),
+			Seed:            cl.Seed,
+			OuterIterations: cl.OuterIterations,
+			LIDIterations:   cl.LIDIterations,
+			PeakEntries:     cl.PeakEntries,
+		}
+		c.clusters[ci] = repaired
+		if 1-kept > evictReconvergeShare || len(members) < cfg.MinClusterSize {
+			reconverge = append(reconverge, ci)
+		}
+	}
+
+	// Phase 3 (cancellable): re-converge clusters that lost real support,
+	// reusing the dirty-cluster machinery — release the survivors, re-run
+	// Algorithm 2 from the heaviest one, reclaim.
+	for _, ci := range reconverge {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		cl := c.clusters[ci]
+		seed := heaviestMember(cl)
+		for _, m := range cl.Members {
+			c.assigned.set(m, -1)
+			c.avail[m] = true
+		}
+		fresh, err := c.det.DetectFrom(ctx, seed, c.avail)
+		if err != nil {
+			// Reclaim the repaired cluster before bailing so labels and
+			// membership never disagree: the cluster survives in its
+			// repaired (renormalized, not re-converged) form, which is a
+			// valid maintained state.
+			c.claim(ci)
+			return err
+		}
+		c.clusters[ci] = fresh
+		c.claim(ci)
+	}
+	c.compact(cfg.DensityThreshold, cfg.MinClusterSize)
+	c.kernelEvals += c.det.Oracle().ResetComputed()
+	return nil
+}
+
+// clusterDensity recomputes π(x) = Σ_i Σ_j w_i·w_j·a_ij over the given
+// support (a_ii = 0), charging the kernel evaluations to the commit
+// counter. Used by in-place eviction repair, where the converged weights
+// survive renormalization but the cached density does not.
+func (c *Clusterer) clusterDensity(kern affinity.Kernel, members []int, weights []float64) float64 {
+	var pi float64
+	for i := 1; i < len(members); i++ {
+		for j := 0; j < i; j++ {
+			pi += 2 * weights[i] * weights[j] * c.affinity(kern, members[i], members[j])
+		}
+	}
+	c.kernelEvals += int64(len(members) * (len(members) - 1) / 2)
+	return pi
+}
+
+// enforceRetention evicts whatever the retention policy has expired: first
+// every point from commits older than MaxAge, then the oldest live points
+// beyond MaxPoints. Runs after every commit; both scans start at the evict
+// cursor, so enforcement is amortized O(points evicted), independent of N.
+func (c *Clusterer) enforceRetention(ctx context.Context) error {
+	r := c.cfg.Retention
+	if !r.Enabled() || c.mat == nil {
+		return nil
+	}
+	var ids []int
+	cut := c.evictCursor
+	if r.MaxAge > 0 {
+		deadline := r.now().Add(-r.MaxAge)
+		j := 0
+		for j < len(c.stamps) && !c.stamps[j].at.After(deadline) {
+			j++
+		}
+		if j > 0 {
+			cut = c.mat.N
+			if j < len(c.stamps) {
+				cut = c.stamps[j].firstID
+			}
+			c.stamps = append([]commitStamp(nil), c.stamps[j:]...)
+			for i := c.evictCursor; i < cut; i++ {
+				if c.mat.Live(i) {
+					ids = append(ids, i)
+				}
+			}
+		}
+	}
+	if r.MaxPoints > 0 {
+		excess := c.mat.LiveCount() - len(ids) - r.MaxPoints
+		for i := max(cut, c.evictCursor); excess > 0 && i < c.mat.N; i++ {
+			if c.mat.Live(i) {
+				ids = append(ids, i)
+				excess--
+			}
+		}
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	return c.evictIDs(ctx, ids)
 }
 
 // KernelEvals returns the cumulative kernel evaluations spent by commits.
@@ -450,16 +785,25 @@ func (c *Clusterer) compact(minDensity float64, minSize int) {
 			kept = append(kept, cl)
 		}
 	}
-	for i := 0; i < c.assigned.Len(); i++ {
-		a := c.assigned.At(i)
-		if a == -1 {
+	// Relabel chunk-wise, skipping released chunks (fully evicted ranges):
+	// under retention the relabel pass stays O(live + chunk count) however
+	// many points were ever committed.
+	for ch := 0; ch < c.assigned.numChunks(); ch++ {
+		if c.assigned.chunkReleased(ch) {
 			continue
 		}
-		if ni, ok := remap[a]; ok {
-			c.assigned.set(i, ni)
-		} else {
-			c.assigned.set(i, -1)
-			c.avail[i] = true
+		hi := min((ch+1)*labelChunk, c.assigned.Len())
+		for i := ch * labelChunk; i < hi; i++ {
+			a := c.assigned.At(i)
+			if a == -1 {
+				continue
+			}
+			if ni, ok := remap[a]; ok {
+				c.assigned.set(i, ni)
+			} else {
+				c.assigned.set(i, -1)
+				c.avail[i] = true
+			}
 		}
 	}
 	c.clusters = kept

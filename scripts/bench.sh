@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Records the perf-trajectory benchmarks into BENCH_PR4.json.
+# Records the perf-trajectory benchmarks into BENCH_PR5.json.
 #
 # Usage: scripts/bench.sh [output.json]
 #
@@ -19,16 +19,24 @@
 #     the O(n·d)+O(n·l) copy-on-write clones on this path, so the ns/op must
 #     stay flat in n (gate: 100k ≤ 1.2× of 10k at the same batch size).
 #
-# PR 4 adds the intra-detection parallel gate:
+# PR 4 added the intra-detection parallel gate:
 #   BenchmarkDetectAllPar4 (root) — DetectAll with Config.Parallelism = 4,
 #     bit-identical output to the serial run. Target: ≥ 1.5× the serial
 #     DetectAll when ≥ 4 hardware cores are available; on fewer cores the
 #     fan-out cannot manifest and the two must merely stay within noise
 #     (the host core count is recorded alongside the ratio).
+#
+# PR 5 adds the steady-state eviction gate:
+#   BenchmarkEvict (internal/stream) — ingest+evict loop at a fixed
+#     retention window (MaxPoints=2000, batch=64), measured after `ever`
+#     total points have flowed through (10× and 50× the window). The
+#     benchmark itself asserts live ≤ window; the recorded ratio
+#     ever=100000 / ever=20000 must stay ≤ 1.3 — per-commit cost flat in
+#     the points EVER seen, or the daemon cannot run forever.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR4.json}"
+out="${1:-BENCH_PR5.json}"
 
 run_bench() { # pkg, pattern, benchtime
 	go test -run='^$' -bench="^$2\$" -benchtime="$3" "$1" 2>/dev/null |
@@ -54,6 +62,10 @@ echo "benchmarking BenchmarkCommitAfterPublish/n=10000 (internal/stream)..." >&2
 commit10k=$(run_subbench ./internal/stream/ 'BenchmarkCommitAfterPublish/n=10000' 30x)
 echo "benchmarking BenchmarkCommitAfterPublish/n=100000 (internal/stream)..." >&2
 commit100k=$(run_subbench ./internal/stream/ 'BenchmarkCommitAfterPublish/n=100000' 30x)
+echo "benchmarking BenchmarkEvict/ever=20000 (internal/stream)..." >&2
+evict20k=$(run_subbench ./internal/stream/ 'BenchmarkEvict/ever=20000' 30x)
+echo "benchmarking BenchmarkEvict/ever=100000 (internal/stream)..." >&2
+evict100k=$(run_subbench ./internal/stream/ 'BenchmarkEvict/ever=100000' 30x)
 
 host="$(uname -sm) / $(nproc) cpu / $(go version | awk '{print $3}')"
 date="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
@@ -72,7 +84,7 @@ persec() { awk -v ns="$1" 'BEGIN {printf "%.0f", 1e9 / ns}'; }
 
 cat > "$out" <<JSON
 {
-  "pr": 4,
+  "pr": 5,
   "recorded_at": "$date",
   "host": "$host",
   "cpus": $(nproc),
@@ -89,7 +101,9 @@ cat > "$out" <<JSON
     "BenchmarkDetectAllPar4": $detectallpar4,
     "BenchmarkAssign": $assign,
     "BenchmarkCommitAfterPublish/n=10000": $commit10k,
-    "BenchmarkCommitAfterPublish/n=100000": $commit100k
+    "BenchmarkCommitAfterPublish/n=100000": $commit100k,
+    "BenchmarkEvict/ever=20000": $evict20k,
+    "BenchmarkEvict/ever=100000": $evict100k
   },
   "speedup_vs_seed": {
     "BenchmarkColumn": $(ratio "$seed_column" "$column"),
@@ -115,6 +129,14 @@ cat > "$out" <<JSON
     "speedup_par4_vs_serial": $(ratio "$detectall" "$detectallpar4"),
     "target_speedup_at_4_cores": 1.5,
     "note": "target applies on hosts with >= 4 hardware cores; see cpus"
+  },
+  "steady_state_eviction": {
+    "workload": "d=16, 64-point batches, Retention.MaxPoints=2000, one batch ingested+committed (retention evicts one expired batch) per op",
+    "ns_per_commit_ever20k": $evict20k,
+    "ns_per_commit_ever100k": $evict100k,
+    "ratio_100k_vs_20k": $(ratio "$evict100k" "$evict20k"),
+    "gate_max_ratio": 1.3,
+    "note": "benchmark asserts live points == window throughout; flat ratio means commit cost independent of points ever seen"
   }
 }
 JSON

@@ -1,15 +1,21 @@
 #!/usr/bin/env bash
-# Runs the PR-4 determinism crosschecks under the race detector: the
-# GOMAXPROCS {1,4,8} matrix at the public API (DetectAll, DetectParallel,
-# stream commits) plus the per-path crosschecks in internal/core,
-# internal/lid and internal/affinity that force every fan-out gate open.
+# Runs the determinism crosschecks under the race detector:
+#   - PR 4: the GOMAXPROCS {1,4,8} matrix at the public API (DetectAll,
+#     DetectParallel, stream commits) plus the per-path crosschecks in
+#     internal/core, internal/lid and internal/affinity that force every
+#     fan-out gate open;
+#   - PR 5: the evict crosschecks — after tombstoned eviction, every LSH
+#     query and engine Assign must be bit-identical to an index/engine
+#     rebuilt from only the survivors, snapshot v3 must round-trip
+#     byte-identically with tombstones, and retention must pin the live set.
 #
 # Usage: scripts/crosscheck.sh
 #
 # These tests prove two separate properties:
-#   - bit-determinism: parallel output byte-identical to serial (the tests'
-#     own assertions);
-#   - data-race freedom of the chunk-owned write discipline (-race).
+#   - bit-determinism: parallel/evicted output byte-identical to the
+#     serial/survivor-rebuilt reference (the tests' own assertions);
+#   - data-race freedom of the chunk-owned write and copy-on-write bitmap
+#     disciplines (-race).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,6 +26,11 @@ go test -race -count=1 \
 go test -race -count=1 \
 	-run 'TestDetectAllCrosscheckSerialVsPool|TestLIDCrosscheckSerialVsPool|TestColumnParMatchesColumn|Test.*ForChunks.*|TestChunkOrderReduction' \
 	./internal/core/ ./internal/lid/ ./internal/affinity/ ./internal/par/ \
+	2>&1
+
+go test -race -count=1 \
+	-run 'Evict|Retention|TestV3Tombstone|TestV2Shim|TestFromChunksLive|TestClustersReturnsCopy|TestRestoreRejectsCorruptClusters' \
+	./internal/matrix/ ./internal/lsh/ ./internal/stream/ ./internal/snapshot/ ./internal/engine/ ./internal/server/ \
 	2>&1
 
 echo "crosscheck (with -race): OK" >&2

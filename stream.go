@@ -3,6 +3,7 @@ package alid
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"alid/internal/stream"
 )
@@ -13,6 +14,21 @@ type StreamOptions struct {
 	// (default 256). Larger batches amortize index updates; smaller batches
 	// reduce detection latency.
 	BatchSize int
+	// Retention bounds the live committed point set: with a policy set, the
+	// clusterer evicts expired points automatically after every commit, so
+	// memory stays proportional to the window however long the stream runs.
+	Retention Retention
+}
+
+// Retention is the sliding-window eviction policy of a StreamClusterer.
+// The zero value keeps every point forever (the pre-retention behavior).
+type Retention struct {
+	// MaxPoints caps the number of live committed points; the oldest live
+	// points beyond the cap are evicted after each commit. 0 = no cap.
+	MaxPoints int
+	// MaxAge evicts every point whose commit batch is older than this.
+	// 0 = no age bound.
+	MaxAge time.Duration
 }
 
 // StreamClusterer maintains dominant clusters over an append-only stream of
@@ -42,7 +58,11 @@ func NewStreamClusterer(initial [][]float64, cfg Config, opts StreamOptions) (*S
 			return nil, fmt.Errorf("alid: initial point %d has dimension %d, want %d", i, len(p), len(initial[0]))
 		}
 	}
-	inner, err := stream.New(initial, stream.Config{Core: cfg.toCore(), BatchSize: opts.BatchSize})
+	inner, err := stream.New(initial, stream.Config{
+		Core:      cfg.toCore(),
+		BatchSize: opts.BatchSize,
+		Retention: stream.Retention{MaxPoints: opts.Retention.MaxPoints, MaxAge: opts.Retention.MaxAge},
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -69,8 +89,27 @@ func (s *StreamClusterer) Dim() int { return s.inner.Dim() }
 // Commit integrates all buffered points immediately.
 func (s *StreamClusterer) Commit(ctx context.Context) error { return s.inner.Commit(ctx) }
 
-// N returns the number of committed points.
+// N returns the number of committed points, evicted ones included: point
+// ids are stable, so N only ever grows.
 func (s *StreamClusterer) N() int { return s.inner.N() }
+
+// Live returns the number of committed points that have not been evicted.
+func (s *StreamClusterer) Live() int { return s.inner.Live() }
+
+// Evicted returns the number of committed points tombstoned so far.
+func (s *StreamClusterer) Evicted() int { return s.inner.Evicted() }
+
+// Evict tombstones committed points by id: they disappear from Labels (as
+// noise), from every maintained cluster (dead members are removed and the
+// remaining weights renormalized; clusters that lost real support are
+// re-converged, decayed ones dropped) and from all index-backed answers —
+// exactly as if the stream had been rebuilt from the survivors. Ids out of
+// range [0, N()) are rejected before anything is touched; already-evicted
+// ids are skipped, so retries are idempotent. It returns the number of
+// points newly evicted.
+func (s *StreamClusterer) Evict(ctx context.Context, ids []int) (int, error) {
+	return s.inner.Evict(ctx, ids)
+}
 
 // Pending returns the number of buffered, uncommitted points.
 func (s *StreamClusterer) Pending() int { return s.inner.Pending() }
