@@ -9,6 +9,7 @@
 //	alidd -in pts.csv -labeled -addr :8080 -snapshot alid.snap -snapshot-interval 60s
 //
 //	curl -s localhost:8080/v1/assign -d '{"point":[0.5,0.5]}'
+//	curl -s localhost:8080/v1/assign -d '{"points":[[0.5,0.5],[0.1,0.9]]}'
 //	curl -s localhost:8080/v1/ingest -d '{"points":[[0.4,0.6]],"wait":true}'
 //	curl -s localhost:8080/v1/evict -d '{"ids":[17,42]}'
 //	curl -s localhost:8080/v1/clusters?members=false
@@ -63,6 +64,7 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "intra-detection worker count for commit-side detection (0/1 = serial, -1 = GOMAXPROCS; results are identical at any setting)")
 	retPoints := flag.Int("retention-points", 0, "evict the oldest live points beyond this cap after each commit (0 = unlimited; bounds daemon memory under continuous ingest)")
 	retAge := flag.Duration("retention-age", 0, "evict points older than this (0 = unlimited). Passing EITHER retention flag explicitly replaces a restored snapshot's whole stored policy — pass both as 0 to disable retention on restore")
+	assignBatchMax := flag.Int("assign-batch-max", 1024, "maximum points per batched /v1/assign request (larger batches get 413)")
 	flag.Parse()
 	// Explicit presence, not value, decides the override: `-retention-points 0
 	// -retention-age 0` must be able to CLEAR a restored snapshot's policy,
@@ -98,7 +100,7 @@ func main() {
 		go snapshotLoop(ctx, eng, *snap, *snapEvery)
 	}
 
-	srv := server.New(eng, server.Options{})
+	srv := server.New(eng, server.Options{AssignBatchMax: *assignBatchMax})
 	if err := srv.Serve(ctx, *addr); err != nil {
 		log.Fatal(err)
 	}

@@ -29,6 +29,7 @@ var (
 	serveClients  = flag.Int("serve-clients", 4, "serve: concurrent assign clients")
 	serveDuration = flag.Duration("serve-duration", 5*time.Second, "serve: load duration")
 	serveIngest   = flag.Int("serve-ingest", 0, "serve: background ingest rate (points/sec, 0 = read-only load)")
+	serveBatch    = flag.Int("serve-batch", 0, "serve: assign batch size per request (0/1 = single-point Assign)")
 )
 
 func serveLoad(ctx context.Context) error {
@@ -75,6 +76,31 @@ func serveLoad(ctx context.Context) error {
 		go func(off int) {
 			defer wg.Done()
 			i := off
+			if b := *serveBatch; b > 1 {
+				// Batched client: recycle the query-view and result slices so
+				// steady state exercises the engine's allocation-free path.
+				qs := make([][]float64, b)
+				var out []engine.Assignment
+				for loadCtx.Err() == nil {
+					for k := range qs {
+						qs[k] = queries[(i+k)%len(queries)]
+					}
+					var err error
+					out, err = eng.AssignBatchInto(qs, out)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "serve-load: assign batch: %v\n", err)
+						return
+					}
+					assigns.Add(int64(len(out)))
+					for _, a := range out {
+						if a.Cluster >= 0 {
+							hits.Add(1)
+						}
+					}
+					i += b
+				}
+				return
+			}
 			for loadCtx.Err() == nil {
 				a, err := eng.Assign(queries[i%len(queries)])
 				if err != nil {
@@ -119,8 +145,8 @@ func serveLoad(ctx context.Context) error {
 
 	st := eng.Stats()
 	fmt.Printf("\n== serve-load — assign throughput over the published state ==\n")
-	fmt.Printf("n=%d d=%d clusters=%d clients=%d ingest=%d/s detect=%.2fs\n",
-		st.N, st.Dim, st.Clusters, *serveClients, *serveIngest, build.Seconds())
+	fmt.Printf("n=%d d=%d clusters=%d clients=%d batch=%d ingest=%d/s detect=%.2fs\n",
+		st.N, st.Dim, st.Clusters, *serveClients, *serveBatch, *serveIngest, build.Seconds())
 	fmt.Printf("assigns=%d hit_rate=%.3f elapsed=%.2fs throughput=%.0f assigns/sec\n",
 		assigns.Load(), float64(hits.Load())/math.Max(1, float64(assigns.Load())),
 		elapsed.Seconds(), float64(assigns.Load())/elapsed.Seconds())

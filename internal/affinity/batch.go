@@ -1,0 +1,85 @@
+package affinity
+
+import (
+	"fmt"
+	"math"
+
+	"alid/internal/matrix"
+	"alid/internal/vec"
+)
+
+// ColumnPointBatch fills dst[qi·len(rows)+r] = exp(-k·‖v_{rows[r]} − qs[qi]‖_p)
+// for a batch of EXTERNAL query points — the many-query counterpart of
+// ColumnPoint. qNormSq must hold each query's precomputed squared norm (only
+// used for p = 2); dst must have len(qs)·len(rows) entries, query-major.
+//
+// The kernel walks each member row ONCE and updates every query's column in
+// that pass — a batch of Q queries against M support rows costs M row
+// traversals instead of the Q·M that Q ColumnPoint calls pay, which is the
+// amortization the batched Assign pipeline is built on. Row loads are shared
+// across query pairs via vec.Dot2; its per-output lane order matches vec.Dot
+// exactly and IEEE multiplication commutes per lane, so every entry is
+// bit-identical to the corresponding single-query ColumnPoint evaluation
+// (same fused two-pass structure, same cancellation fallback). It performs
+// no allocation and is safe for concurrent use.
+func (o *Oracle) ColumnPointBatch(qs [][]float64, qNormSq []float64, rows []int, dst []float64) {
+	if len(qNormSq) != len(qs) {
+		panic(fmt.Sprintf("affinity: qNormSq length %d != query count %d", len(qNormSq), len(qs)))
+	}
+	if len(dst) != len(qs)*len(rows) {
+		panic(fmt.Sprintf("affinity: dst length %d != %d queries × %d rows", len(dst), len(qs), len(rows)))
+	}
+	for qi, q := range qs {
+		if len(q) != o.Mat.D {
+			panic(fmt.Sprintf("affinity: query %d dimension %d, want %d", qi, len(q), o.Mat.D))
+		}
+	}
+	k := o.Kernel.K
+	nr := len(rows)
+	if o.Kernel.P == 2 {
+		m := o.Mat
+		// Pass 1: fused squared distances, one row traversal updating every
+		// query (queries paired per Dot2 step so each block of row loads is
+		// reused).
+		for r, row := range rows {
+			va := m.Row(row)
+			n0 := m.NormSq(row)
+			qi := 0
+			for ; qi+2 <= len(qs); qi += 2 {
+				qa, qb := qs[qi], qs[qi+1]
+				dotA, dotB := vec.Dot2(va, qa, qb)
+				d0 := n0 + qNormSq[qi] - 2*dotA
+				if d0 < matrix.CancelGuard*(n0+qNormSq[qi]) {
+					d0 = vec.SquaredL2(va, qa)
+				}
+				d1 := n0 + qNormSq[qi+1] - 2*dotB
+				if d1 < matrix.CancelGuard*(n0+qNormSq[qi+1]) {
+					d1 = vec.SquaredL2(va, qb)
+				}
+				dst[qi*nr+r] = d0
+				dst[(qi+1)*nr+r] = d1
+			}
+			for ; qi < len(qs); qi++ {
+				q := qs[qi]
+				d0 := n0 + qNormSq[qi] - 2*vec.Dot(va, q)
+				if d0 < matrix.CancelGuard*(n0+qNormSq[qi]) {
+					d0 = vec.SquaredL2(va, q)
+				}
+				dst[qi*nr+r] = d0
+			}
+		}
+		// Pass 2: the exp/sqrt transform (same split as ColumnPoint — mixing
+		// it into pass 1 would serialize every iteration on math.Exp).
+		for i := range dst {
+			dst[i] = math.Exp(-k * math.Sqrt(dst[i]))
+		}
+	} else {
+		for qi, q := range qs {
+			col := dst[qi*nr : (qi+1)*nr]
+			for r, row := range rows {
+				col[r] = math.Exp(-k * vec.Lp(o.Mat.Row(row), q, o.Kernel.P))
+			}
+		}
+	}
+	o.computed.Add(int64(len(rows) * len(qs)))
+}

@@ -1,0 +1,461 @@
+// The quantized candidate-scan tier: low-precision weighted affinity scores
+// over the matrix's int8 row mirrors (matrix.QuantChunk), with a rigorous
+// per-score error bound so callers can prune candidates and exact-recheck
+// only near-ties — the same prove-bit-identical pattern the weight-truncated
+// Assign established. Estimates trade two bounded error sources for speed:
+//
+//   - the int8 rows: row r's dequantized form ṽ_r sits within its chunk's
+//     measured displacement radius Err of the exact row, so the distance
+//     moves by at most Err and the affinity exp(-k·d) by a factor within
+//     [e^{-k·Err}, e^{k·Err}];
+//   - expLow, a bounded fast exponential (≤ ExpLowErr absolute).
+//
+// QuantScore folds both into one margin per weighted score, proportional to
+// the score itself (far candidates get tight bounds almost for free).
+// Nothing here is ever persisted; mirrors are derived state rebuilt after
+// restore.
+package affinity
+
+import (
+	"math"
+
+	"alid/internal/matrix"
+)
+
+// ExpLowErr bounds |math.Exp(x) − expLow(x)| for every x ≤ 0. The degree-5
+// Taylor core's mathematical bound on [0, ln 2] is 3.2e-4 (z⁶/6!·e^z at
+// z = ln 2) and the small-result cutoff contributes e⁻³⁰ ≈ 9.4e-14; the
+// constant is inflated well past both to absorb fp rounding.
+// TestExpLowWithinBound sweeps the bound densely.
+const ExpLowErr = 5e-4
+
+const (
+	ln2   = 0.6931471805599453
+	log2e = 1.4426950408889634
+)
+
+// expLow is a fast exponential for x ≤ 0 with absolute error ≤ ExpLowErr:
+// 2^k·p(r) where x·log2(e) = k + r, k integer, r ∈ [0,1), and p is the
+// degree-5 Taylor expansion of 2^r. The 2^k scale is an exact power-of-two
+// bit construction (k ∈ [-44, 0] after the cutoff, safely normal). Inputs
+// below -30 return 0 — exp(-30) ≈ 9.4e-14, far inside the error budget.
+func expLow(x float64) float64 {
+	if x <= -30 {
+		return 0
+	}
+	y := x * log2e // (-43.3, 0]
+	f := math.Floor(y)
+	z := (y - f) * ln2 // [0, ln 2)
+	p := 1 + z*(1+z*(0.5+z*(1.0/6+z*(1.0/24+z*(1.0/120)))))
+	return p * math.Float64frombits(uint64(1023+int64(f))<<52)
+}
+
+// QuantScore estimates the weighted affinity score Σ_r w[r]·exp(-k·‖v_{rows[r]} − q‖₂)
+// from the int8 row mirrors, together with a rigorous absolute error bound:
+// the exact score (as ColumnPoint plus a weighted sum computes it) lies in
+// [score−margin, score+margin]. qNormSq and qSum are ‖q‖² and Σᵢ qᵢ — the
+// caller computes them once per query, which lets the inner loop evaluate
+// ‖q−ṽ‖² = ‖q‖² − 2·(Off·Σq + Scale·(q·z)) + ‖ṽ‖² as a single int8 dot per
+// row. The margin charges each row its own measured displacement Errs[ri]
+// (scaled by the estimate itself, so distant rows contribute almost nothing)
+// plus expLow's absolute error: for err ≤ Err, convexity of expm1 gives
+// e^{k·err}−1 ≤ err·(e^{k·Err}−1)/Err, so one chunk-level factor turns the
+// weighted per-row displacement sum into a rigorous affinity error bound.
+//
+// It reports ok=false — with score/margin unspecified — when the scan cannot
+// run: non-Euclidean kernel, or a row whose chunk has no current mirror;
+// callers then fall back to an exact path. No allocation; safe for
+// concurrent use.
+func (o *Oracle) QuantScore(q []float64, qNormSq, qSum float64, rows []int, w []float64) (score, margin float64, ok bool) {
+	if o.Kernel.P != 2 {
+		return 0, 0, false
+	}
+	k := o.Kernel.K
+	m := o.Mat
+	d := m.D
+	cur := -1
+	var qc *matrix.QuantChunk
+	// f = (e^{k·Err}−1)/Err converts a row's displacement into its affinity
+	// error factor; off2/scale2 fold the factor 2 of the cross term.
+	var f, g, gmax, scale2, off2 float64
+	var mg, mgc, wsum float64
+	for r, row := range rows {
+		if c := row >> matrix.ChunkShift; c != cur {
+			if qc != nil {
+				mg += mgc * f
+				mgc = 0
+			}
+			qc = m.QuantChunkAt(c)
+			if qc == nil {
+				return 0, 0, false
+			}
+			cur = c
+			g = math.Expm1(k * qc.Err)
+			if g > gmax {
+				gmax = g
+			}
+			f = g / qc.Err // Err has a 1e-12 floor; f → k as Err → 0
+			scale2, off2 = 2*qc.Scale, 2*qc.Off
+		}
+		ri := row & (matrix.ChunkRows - 1)
+		if ri >= qc.Rows {
+			return 0, 0, false // stale tail mirror: rows appended since build
+		}
+		z := qc.Data[ri*d : ri*d+d : ri*d+d]
+		var s0, s1, s2, s3 float64
+		i := 0
+		for ; i+4 <= d; i += 4 {
+			s0 += q[i] * float64(z[i])
+			s1 += q[i+1] * float64(z[i+1])
+			s2 += q[i+2] * float64(z[i+2])
+			s3 += q[i+3] * float64(z[i+3])
+		}
+		for ; i < d; i++ {
+			s0 += q[i] * float64(z[i])
+		}
+		dist2 := qNormSq + qc.Norms[ri] - off2*qSum - scale2*((s0+s1)+(s2+s3))
+		if dist2 < 0 {
+			dist2 = 0 // fp cancellation on a near-identical row
+		}
+		a := expLow(-k * math.Sqrt(dist2))
+		wt := w[r]
+		score += wt * a
+		mgc += wt * a * qc.Errs[ri]
+		wsum += wt
+	}
+	mg += mgc * f
+	// Per row: |exact − ã| ≤ (ã + ExpLowErr)·(e^{k·err}−1) + ExpLowErr with
+	// err its measured displacement. Summed with weights: mg bounds the
+	// displacement part against the estimates actually seen; the ExpLowErr
+	// terms are bounded by the total weight. The inflation absorbs fp rounding
+	// of the norm-identity distance and of the accumulations themselves.
+	margin = (mg+ExpLowErr*wsum*(1+gmax))*(1+1e-9) + 1e-9
+	o.computed.Add(int64(len(rows)))
+	return score, margin, true
+}
+
+// The upper-bound LUT maps a squared distance u to a value ≥ exp(-k·√u) for
+// every u in its bin. Bins are the float64 exponent plus the top lutMantBits
+// mantissa bits (geometric spacing, ratio 1+2⁻⁶ per bin ≈ 0.8% distance
+// slop); each entry holds the affinity at the bin's LOWER edge — the
+// supremum over the bin since the affinity decreases in u — inflated for fp
+// rounding of the exp itself. u below 2^lutMinExp rounds up to affinity 1;
+// u beyond the table clamps to the last entry, an upper bound for everything
+// farther out.
+const (
+	lutMantBits = 6
+	lutShift    = 52 - lutMantBits
+	lutMinExp   = -20
+	lutMaxExp   = 17
+	lutMinIdx   = (1023 + lutMinExp) << lutMantBits
+	lutSize     = (lutMaxExp - lutMinExp + 1) << lutMantBits
+)
+
+func (o *Oracle) buildLUT() {
+	tab := make([]float64, lutSize)
+	k := o.Kernel.K
+	for i := range tab {
+		edge := math.Float64frombits(uint64(i+lutMinIdx) << lutShift)
+		tab[i] = math.Exp(-k*math.Sqrt(edge)) * (1 + 1e-12)
+	}
+	o.lut = tab
+}
+
+// QuantUpper computes a rigorous UPPER bound on the weighted affinity score
+// Σ_r w[r]·exp(-k·‖v_{rows[r]} − q‖₂) from the int8 row mirrors alone — the
+// batch pipeline's prune test. Unlike QuantScore it estimates nothing: no
+// per-row exponential, just the norm-identity int8 dot, a conservative fp
+// guard on the squared distance, the LUT bound, and the per-row measured
+// displacement folded in through one chunk-level factor (e^{k·err}−1 ≤
+// err·(e^{k·Err}−1)/Err for err ≤ Err). A candidate whose bound falls
+// strictly below an exactly-scored competitor can be discarded without ever
+// touching its float64 rows.
+//
+// Reports ok=false under the same conditions as QuantScore (non-Euclidean
+// kernel, missing or stale mirror). No allocation; safe for concurrent use.
+func (o *Oracle) QuantUpper(q []float64, qNormSq, qSum float64, rows []int, w []float64) (ub float64, ok bool) {
+	if o.Kernel.P != 2 {
+		return 0, false
+	}
+	o.lutOnce.Do(o.buildLUT)
+	lut := o.lut
+	k := o.Kernel.K
+	m := o.Mat
+	d := m.D
+	cur := -1
+	var qc *matrix.QuantChunk
+	var f, scale2, off2 float64
+	var total, sc, mc float64
+	for r, row := range rows {
+		if c := row >> matrix.ChunkShift; c != cur {
+			if qc != nil {
+				total += sc + mc*f
+				sc, mc = 0, 0
+			}
+			qc = m.QuantChunkAt(c)
+			if qc == nil {
+				return 0, false
+			}
+			cur = c
+			f = math.Expm1(k*qc.Err) / qc.Err // Err has a 1e-12 floor
+			scale2, off2 = 2*qc.Scale, 2*qc.Off
+		}
+		ri := row & (matrix.ChunkRows - 1)
+		if ri >= qc.Rows {
+			return 0, false // stale tail mirror: rows appended since build
+		}
+		z := qc.Data[ri*d : ri*d+d : ri*d+d]
+		var s0, s1, s2, s3 float64
+		i := 0
+		for ; i+4 <= d; i += 4 {
+			s0 += q[i] * float64(z[i])
+			s1 += q[i+1] * float64(z[i+1])
+			s2 += q[i+2] * float64(z[i+2])
+			s3 += q[i+3] * float64(z[i+3])
+		}
+		for ; i < d; i++ {
+			s0 += q[i] * float64(z[i])
+		}
+		nn := qc.Norms[ri]
+		// The guard pushes u below the true squared distance by more than the
+		// norm identity's worst-case fp rounding (every partial magnitude is
+		// ≤ 2·(qNormSq+nn) by Cauchy–Schwarz), so the LUT bin can only round
+		// the affinity bound UP.
+		u := qNormSq + nn - off2*qSum - scale2*((s0+s1)+(s2+s3)) - 4e-14*(qNormSq+nn)
+		a := 1.0
+		if u >= 0 {
+			if bi := int(math.Float64bits(u)>>lutShift) - lutMinIdx; bi >= lutSize {
+				a = lut[lutSize-1]
+			} else if bi >= 0 {
+				a = lut[bi]
+			}
+		}
+		wt := w[r]
+		sc += wt * a
+		mc += wt * a * qc.Errs[ri]
+	}
+	total += sc + mc*f
+	o.computed.Add(int64(len(rows)))
+	return total*(1+1e-9) + 1e-12, true
+}
+
+// UpperPacked is QuantUpper over a pre-packed image of the quantized tier:
+// rows holds n dequantized mirror rows (Off + Scale·z, stored float32 for
+// half the memory traffic, row-major, contiguous), norms the float64 squared
+// norms of those STORED values, and wf[r] the caller-folded product
+// weight[r]·(1 + e^{k·err_r} − 1 inflated), where err_r bounds row r's total
+// displacement from the exact row — quantization error plus float32 storage
+// rounding. With the decode, chunk walk and error bookkeeping all hoisted to
+// pack time, the scan is one dot, one LUT bound and one fused multiply-add
+// per row — the batch pipeline packs each cluster's mirror rows once per
+// generation and prunes with this on every query. The result upper-bounds
+// the exact weighted affinity score under the same rigor as QuantUpper: the
+// fp guard keeps the squared distance (to the stored row) below its true
+// value, the LUT bin rounds the affinity up, and wf carries the
+// displacement. Reports ok=false for non-Euclidean kernels. Like
+// ColumnPointPacked it leaves the evaluation counter to the caller
+// (AddComputed). No allocation; safe for concurrent use.
+func (o *Oracle) UpperPacked(q []float64, qNormSq float64, rows []float32, norms, wf []float64) (ub float64, ok bool) {
+	if o.Kernel.P != 2 {
+		return 0, false
+	}
+	o.lutOnce.Do(o.buildLUT)
+	lut := o.lut
+	d := o.Mat.D
+	var total float64
+	// Two rows per step: each block of q loads is shared between the pair and
+	// the eight independent accumulators hide the convert+multiply latency —
+	// the same lane structure as the exact scan's inlined Dot2. The bound per
+	// row is unchanged; only the schedule differs, and the bound needs no
+	// bit-reproducibility — it is compared against exact scores, never
+	// reported.
+	r := 0
+	for ; r+2 <= len(norms); r += 2 {
+		va := rows[r*d : r*d+d : r*d+d]
+		vb := rows[r*d+d : r*d+2*d : r*d+2*d]
+		var a0, a1, a2, a3, b0, b1, b2, b3 float64
+		i := 0
+		for ; i+4 <= d; i += 4 {
+			x0, x1, x2, x3 := q[i], q[i+1], q[i+2], q[i+3]
+			a0 += x0 * float64(va[i])
+			a1 += x1 * float64(va[i+1])
+			a2 += x2 * float64(va[i+2])
+			a3 += x3 * float64(va[i+3])
+			b0 += x0 * float64(vb[i])
+			b1 += x1 * float64(vb[i+1])
+			b2 += x2 * float64(vb[i+2])
+			b3 += x3 * float64(vb[i+3])
+		}
+		for ; i < d; i++ {
+			a0 += q[i] * float64(va[i])
+			b0 += q[i] * float64(vb[i])
+		}
+		n0, n1 := norms[r], norms[r+1]
+		sA := (a0 + a1) + (a2 + a3)
+		sB := (b0 + b1) + (b2 + b3)
+		// Same guard as QuantUpper: partial magnitudes of the norm identity
+		// are ≤ 2·(qNormSq+nn) by Cauchy–Schwarz, so 4e-14·(qNormSq+nn)
+		// dominates its accumulated rounding and u stays below the true
+		// squared distance; the LUT bin then only rounds the affinity UP.
+		uA := qNormSq + n0 - (sA + sA) - 4e-14*(qNormSq+n0)
+		uB := qNormSq + n1 - (sB + sB) - 4e-14*(qNormSq+n1)
+		aA, aB := 1.0, 1.0
+		if uA >= 0 {
+			if bi := int(math.Float64bits(uA)>>lutShift) - lutMinIdx; bi >= lutSize {
+				aA = lut[lutSize-1]
+			} else if bi >= 0 {
+				aA = lut[bi]
+			}
+		}
+		if uB >= 0 {
+			if bi := int(math.Float64bits(uB)>>lutShift) - lutMinIdx; bi >= lutSize {
+				aB = lut[lutSize-1]
+			} else if bi >= 0 {
+				aB = lut[bi]
+			}
+		}
+		total += wf[r]*aA + wf[r+1]*aB
+	}
+	for ; r < len(norms); r++ {
+		v := rows[r*d : r*d+d : r*d+d]
+		var s0, s1, s2, s3 float64
+		i := 0
+		for ; i+4 <= d; i += 4 {
+			s0 += q[i] * float64(v[i])
+			s1 += q[i+1] * float64(v[i+1])
+			s2 += q[i+2] * float64(v[i+2])
+			s3 += q[i+3] * float64(v[i+3])
+		}
+		for ; i < d; i++ {
+			s0 += q[i] * float64(v[i])
+		}
+		nn := norms[r]
+		s := (s0 + s1) + (s2 + s3)
+		u := qNormSq + nn - (s + s) - 4e-14*(qNormSq+nn)
+		a := 1.0
+		if u >= 0 {
+			if bi := int(math.Float64bits(u)>>lutShift) - lutMinIdx; bi >= lutSize {
+				a = lut[lutSize-1]
+			} else if bi >= 0 {
+				a = lut[bi]
+			}
+		}
+		total += wf[r] * a
+	}
+	return total*(1+1e-9) + 1e-12, true
+}
+
+// UpperPackedCut is UpperPacked with a prune threshold driven through the
+// scan: the caller intends to discard the candidate iff the returned value is
+// strictly below cut, so the scan can stop the moment that outcome is
+// decided. suf[r] must upper-bound Σ_{j≥r} of the true row weights — per-row
+// affinities never exceed 1 (distances are nonnegative), so running bound +
+// suf[r] bounds the full score without touching rows ≥ r — and the caller
+// packs rows in descending weight order so suf collapses fastest. Every 16
+// rows the scan exits early in either direction:
+//
+//   - running bound + suf[r] < cut: the candidate is already disproven; the
+//     returned value is that (rigorous) upper bound on the full score.
+//   - running bound alone ≥ cut: the full bound can only grow, so the prune
+//     cannot succeed; the remaining rows are skipped and the returned value
+//     (≥ cut) is NOT an upper bound on the score — only the caller's
+//     `< cut` comparison is meaningful.
+//
+// With cut = -Inf it returns immediately (nothing can fall below -Inf);
+// with cut = +Inf it prunes from the mass bound alone. Reports ok=false for
+// non-Euclidean kernels. Like UpperPacked it leaves the evaluation counter
+// to the caller. No allocation; safe for concurrent use.
+func (o *Oracle) UpperPackedCut(q []float64, qNormSq float64, rows []float32, norms, wf, suf []float64, cut float64) (ub float64, ok bool) {
+	if o.Kernel.P != 2 {
+		return 0, false
+	}
+	o.lutOnce.Do(o.buildLUT)
+	lut := o.lut
+	d := o.Mat.D
+	n := len(norms)
+	var total float64
+	r := 0
+	for r < n {
+		pb := total*(1+1e-9) + 1e-12
+		if pb >= cut {
+			return pb, true // bound can only grow; prune cannot succeed
+		}
+		if pb+suf[r] < cut {
+			return pb + suf[r], true // full score provably below cut
+		}
+		be := r + 16
+		if be > n {
+			be = n
+		}
+		// Same pair schedule and per-row bound as UpperPacked, over one block.
+		for ; r+2 <= be; r += 2 {
+			va := rows[r*d : r*d+d : r*d+d]
+			vb := rows[r*d+d : r*d+2*d : r*d+2*d]
+			var a0, a1, a2, a3, b0, b1, b2, b3 float64
+			i := 0
+			for ; i+4 <= d; i += 4 {
+				x0, x1, x2, x3 := q[i], q[i+1], q[i+2], q[i+3]
+				a0 += x0 * float64(va[i])
+				a1 += x1 * float64(va[i+1])
+				a2 += x2 * float64(va[i+2])
+				a3 += x3 * float64(va[i+3])
+				b0 += x0 * float64(vb[i])
+				b1 += x1 * float64(vb[i+1])
+				b2 += x2 * float64(vb[i+2])
+				b3 += x3 * float64(vb[i+3])
+			}
+			for ; i < d; i++ {
+				a0 += q[i] * float64(va[i])
+				b0 += q[i] * float64(vb[i])
+			}
+			n0, n1 := norms[r], norms[r+1]
+			sA := (a0 + a1) + (a2 + a3)
+			sB := (b0 + b1) + (b2 + b3)
+			uA := qNormSq + n0 - (sA + sA) - 4e-14*(qNormSq+n0)
+			uB := qNormSq + n1 - (sB + sB) - 4e-14*(qNormSq+n1)
+			aA, aB := 1.0, 1.0
+			if uA >= 0 {
+				if bi := int(math.Float64bits(uA)>>lutShift) - lutMinIdx; bi >= lutSize {
+					aA = lut[lutSize-1]
+				} else if bi >= 0 {
+					aA = lut[bi]
+				}
+			}
+			if uB >= 0 {
+				if bi := int(math.Float64bits(uB)>>lutShift) - lutMinIdx; bi >= lutSize {
+					aB = lut[lutSize-1]
+				} else if bi >= 0 {
+					aB = lut[bi]
+				}
+			}
+			total += wf[r]*aA + wf[r+1]*aB
+		}
+		for ; r < be; r++ {
+			v := rows[r*d : r*d+d : r*d+d]
+			var s0, s1, s2, s3 float64
+			i := 0
+			for ; i+4 <= d; i += 4 {
+				s0 += q[i] * float64(v[i])
+				s1 += q[i+1] * float64(v[i+1])
+				s2 += q[i+2] * float64(v[i+2])
+				s3 += q[i+3] * float64(v[i+3])
+			}
+			for ; i < d; i++ {
+				s0 += q[i] * float64(v[i])
+			}
+			nn := norms[r]
+			s := (s0 + s1) + (s2 + s3)
+			u := qNormSq + nn - (s + s) - 4e-14*(qNormSq+nn)
+			a := 1.0
+			if u >= 0 {
+				if bi := int(math.Float64bits(u)>>lutShift) - lutMinIdx; bi >= lutSize {
+					a = lut[lutSize-1]
+				} else if bi >= 0 {
+					a = lut[bi]
+				}
+			}
+			total += wf[r] * a
+		}
+	}
+	return total*(1+1e-9) + 1e-12, true
+}

@@ -1,0 +1,345 @@
+package affinity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"alid/internal/matrix"
+	"alid/internal/vec"
+)
+
+func randOracle(t *testing.T, seed int64, n, d int, k Kernel) *Oracle {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = rng.NormFloat64() * 3
+		}
+		pts[i] = p
+	}
+	o, err := NewOracle(pts, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+// expLow must stay within its published bound against math.Exp over a dense
+// sweep of the whole serviced range, the cutoff boundary included.
+func TestExpLowWithinBound(t *testing.T) {
+	for x := 0.0; x >= -40; x -= 1e-4 {
+		if err := math.Abs(expLow(x) - math.Exp(x)); err > ExpLowErr {
+			t.Fatalf("expLow(%v) off by %v > %v", x, err, ExpLowErr)
+		}
+	}
+	// Exact anchors: exp(0) and the cutoff side.
+	if expLow(0) != 1 {
+		t.Fatalf("expLow(0) = %v", expLow(0))
+	}
+	if expLow(-30) != 0 || expLow(-1e9) != 0 {
+		t.Fatal("cutoff not zero")
+	}
+}
+
+// ColumnPointBatch must be bit-identical to per-query ColumnPoint for every
+// query — even/odd batch widths (the paired and tail lanes) both covered.
+func TestColumnPointBatchMatchesSingle(t *testing.T) {
+	for _, kern := range []Kernel{{K: 0.7, P: 2}, {K: 0.4, P: 1}} {
+		o := randOracle(t, 31, 120, 9, kern)
+		rng := rand.New(rand.NewSource(32))
+		rows := []int{0, 7, 13, 14, 55, 119, 2, 88}
+		for _, nq := range []int{1, 2, 3, 4, 5, 8} {
+			qs := make([][]float64, nq)
+			qn := make([]float64, nq)
+			for i := range qs {
+				q := make([]float64, 9)
+				for j := range q {
+					q[j] = rng.NormFloat64() * 3
+				}
+				qs[i] = q
+				qn[i] = vec.Dot(q, q)
+			}
+			// Include an exact dataset row: the cancellation-guard path.
+			qs[0] = append([]float64(nil), o.Point(rows[0])...)
+			qn[0] = vec.Dot(qs[0], qs[0])
+
+			dst := make([]float64, nq*len(rows))
+			o.ColumnPointBatch(qs, qn, rows, dst)
+			col := make([]float64, len(rows))
+			for qi, q := range qs {
+				o.ColumnPoint(q, qn[qi], rows, col)
+				for r := range rows {
+					if dst[qi*len(rows)+r] != col[r] {
+						t.Fatalf("P=%v nq=%d query %d row %d: batch %v, single %v",
+							kern.P, nq, qi, r, dst[qi*len(rows)+r], col[r])
+					}
+				}
+			}
+		}
+	}
+}
+
+// quantRefs computes a query's exact weighted score over rows/w — the value
+// QuantScore's [score−margin, score+margin] bracket must contain — exactly
+// the way the engine's exact path computes it (ColumnPoint + weighted sum).
+func exactScore(o *Oracle, q []float64, rows []int, w []float64) float64 {
+	col := make([]float64, len(rows))
+	o.ColumnPoint(q, vec.Dot(q, q), rows, col)
+	var s float64
+	for t, wt := range w {
+		s += wt * col[t]
+	}
+	return s
+}
+
+// Every quantized score must bracket the exact weighted score within its
+// reported margin — across random queries, a dataset-row query (near-zero
+// distances), and simplex-ish weight vectors — and the scan must refuse to
+// run when mirrors are missing or the kernel is non-Euclidean. The margin
+// must also stay small enough to be useful (a loose-but-correct bound would
+// pass a pure bracket test while pruning nothing).
+func TestQuantScoreWithinMargin(t *testing.T) {
+	o := randOracle(t, 33, 150, 8, Kernel{K: 0.9, P: 2})
+	rows := make([]int, o.N())
+	for i := range rows {
+		rows[i] = i
+	}
+	rng := rand.New(rand.NewSource(34))
+	w := make([]float64, len(rows))
+	var wsum float64
+	for i := range w {
+		w[i] = rng.Float64()
+		wsum += w[i]
+	}
+	for i := range w {
+		w[i] /= wsum
+	}
+	q := make([]float64, 8)
+	for j := range q {
+		q[j] = rng.NormFloat64() * 3
+	}
+
+	if _, _, ok := o.QuantScore(q, vec.Dot(q, q), vec.Sum(q), rows, w); ok {
+		t.Fatal("quant score ran without mirrors")
+	}
+	o.Mat.Quantize()
+	qs := [][]float64{q, append([]float64(nil), o.Point(3)...)}
+	for qi, qq := range qs {
+		sc, mg, ok := o.QuantScore(qq, vec.Dot(qq, qq), vec.Sum(qq), rows, w)
+		if !ok {
+			t.Fatal("quant score refused with mirrors present")
+		}
+		exact := exactScore(o, qq, rows, w)
+		if diff := math.Abs(sc - exact); diff > mg {
+			t.Fatalf("query %d: quant %v vs exact %v, |Δ|=%v > margin %v", qi, sc, exact, diff, mg)
+		}
+		// Usefulness: the margin is dominated by k·QuantRadius·score plus the
+		// fast-exp budget; 10× that with slack would signal a regression to a
+		// worst-case bound.
+		if loose := 10 * (o.Kernel.K*o.Mat.QuantRadius() + ExpLowErr + 1e-6); mg > loose {
+			t.Fatalf("query %d: margin %v implausibly loose (> %v)", qi, mg, loose)
+		}
+	}
+
+	// Determinism: same inputs, same bits.
+	s1, m1, _ := o.QuantScore(q, vec.Dot(q, q), vec.Sum(q), rows, w)
+	s2, m2, _ := o.QuantScore(q, vec.Dot(q, q), vec.Sum(q), rows, w)
+	if s1 != s2 || m1 != m2 {
+		t.Fatal("quant score not deterministic")
+	}
+
+	// Non-Euclidean kernels have no quantized tier.
+	o1 := randOracle(t, 35, 20, 4, Kernel{K: 0.5, P: 1})
+	o1.Mat.Quantize()
+	if _, _, ok := o1.QuantScore(make([]float64, 4), 0, 0, []int{0, 1}, []float64{0.5, 0.5}); ok {
+		t.Fatal("quant score ran for P=1")
+	}
+}
+
+// The adversarial bracket sweep: many random (query, support, weights)
+// triples, each verified against the exact weighted score. Weights that do
+// not sum to one (sub-simplex supports) must be bracketed too.
+func TestQuantScoreBracketSweep(t *testing.T) {
+	o := randOracle(t, 36, 300, 6, Kernel{K: 1.3, P: 2})
+	o.Mat.Quantize()
+	rng := rand.New(rand.NewSource(37))
+	for it := 0; it < 200; it++ {
+		nr := 1 + rng.Intn(40)
+		rows := make([]int, nr)
+		w := make([]float64, nr)
+		for i := range rows {
+			rows[i] = rng.Intn(o.N())
+			w[i] = rng.Float64() * 0.1
+		}
+		q := make([]float64, 6)
+		for j := range q {
+			q[j] = rng.NormFloat64() * 4
+		}
+		sc, mg, ok := o.QuantScore(q, vec.Dot(q, q), vec.Sum(q), rows, w)
+		if !ok {
+			t.Fatal("quant score refused")
+		}
+		exact := exactScore(o, q, rows, w)
+		if diff := math.Abs(sc - exact); diff > mg {
+			t.Fatalf("iter %d: quant %v vs exact %v, |Δ|=%v > margin %v", it, sc, exact, diff, mg)
+		}
+	}
+}
+
+// randTriple draws a random (rows, weights, query) candidate-scan instance.
+func randTriple(rng *rand.Rand, o *Oracle, maxRows int) (rows []int, w, q []float64) {
+	nr := 1 + rng.Intn(maxRows)
+	rows = make([]int, nr)
+	w = make([]float64, nr)
+	for i := range rows {
+		rows[i] = rng.Intn(o.N())
+		w[i] = rng.Float64() * 0.1
+	}
+	q = make([]float64, o.Mat.D)
+	for j := range q {
+		q[j] = rng.NormFloat64() * 4
+	}
+	return rows, w, q
+}
+
+// QuantUpper must upper-bound the exact weighted score on every instance —
+// and not by so much that it could never prune (a trivial Σw bound passes a
+// pure ≥ test; the quantization and LUT slop are both multiplicative and
+// small, so 2× exact is generous).
+func TestQuantUpperBoundsExact(t *testing.T) {
+	o := randOracle(t, 38, 300, 6, Kernel{K: 1.3, P: 2})
+	if _, ok := o.QuantUpper(make([]float64, 6), 0, 0, []int{0}, []float64{1}); ok {
+		t.Fatal("quant upper ran without mirrors")
+	}
+	o.Mat.Quantize()
+	rng := rand.New(rand.NewSource(39))
+	for it := 0; it < 200; it++ {
+		rows, w, q := randTriple(rng, o, 40)
+		ub, ok := o.QuantUpper(q, vec.Dot(q, q), vec.Sum(q), rows, w)
+		if !ok {
+			t.Fatal("quant upper refused")
+		}
+		exact := exactScore(o, q, rows, w)
+		if ub < exact {
+			t.Fatalf("iter %d: upper %v < exact %v", it, ub, exact)
+		}
+		if ub > exact*2+1e-6 {
+			t.Fatalf("iter %d: upper %v implausibly loose vs exact %v", it, ub, exact)
+		}
+	}
+	ub1, _ := o.QuantUpper(make([]float64, 6), 0, 0, []int{1, 2}, []float64{0.5, 0.5})
+	ub2, _ := o.QuantUpper(make([]float64, 6), 0, 0, []int{1, 2}, []float64{0.5, 0.5})
+	if ub1 != ub2 {
+		t.Fatal("quant upper not deterministic")
+	}
+	o1 := randOracle(t, 35, 20, 4, Kernel{K: 0.5, P: 1})
+	o1.Mat.Quantize()
+	if _, ok := o1.QuantUpper(make([]float64, 4), 0, 0, []int{0}, []float64{1}); ok {
+		t.Fatal("quant upper ran for P=1")
+	}
+}
+
+// packQuantRows packs the dequantized float32 image of rows exactly as the
+// engine's batch index does: stored-value norms in float64, and each weight
+// folded with the row's displacement factor (chunk-measured quantization
+// error plus float32 storage rounding).
+func packQuantRows(t *testing.T, o *Oracle, rows []int, w []float64) (pv []float32, norms, wf []float64) {
+	t.Helper()
+	d := o.Mat.D
+	pv = make([]float32, len(rows)*d)
+	norms = make([]float64, len(rows))
+	wf = make([]float64, len(rows))
+	for r, m := range rows {
+		qc := o.Mat.QuantChunkAt(m >> matrix.ChunkShift)
+		ri := m & (matrix.ChunkRows - 1)
+		if qc == nil || ri >= qc.Rows {
+			t.Fatalf("row %d has no mirror", m)
+		}
+		z := qc.Data[ri*d : (ri+1)*d]
+		var nn float64
+		for j, x := range z {
+			vq := float32(qc.Off + qc.Scale*float64(x))
+			pv[r*d+j] = vq
+			nn += float64(vq) * float64(vq)
+		}
+		norms[r] = nn
+		err := qc.Errs[ri] + 6.1e-8*math.Sqrt(qc.Norms[ri]) + 1e-30
+		wf[r] = w[r] * (1 + math.Expm1(o.Kernel.K*err)) * (1 + 1e-12)
+	}
+	return pv, norms, wf
+}
+
+// UpperPacked over the engine-style float32 pack must upper-bound the exact
+// weighted score on every instance, with the same usefulness cap as
+// QuantUpper, and refuse non-Euclidean kernels.
+func TestUpperPackedBoundsExact(t *testing.T) {
+	o := randOracle(t, 42, 300, 6, Kernel{K: 1.3, P: 2})
+	o.Mat.Quantize()
+	rng := rand.New(rand.NewSource(43))
+	for it := 0; it < 200; it++ {
+		rows, w, q := randTriple(rng, o, 40)
+		pv, norms, wf := packQuantRows(t, o, rows, w)
+		ub, ok := o.UpperPacked(q, vec.Dot(q, q), pv, norms, wf)
+		if !ok {
+			t.Fatal("packed upper refused")
+		}
+		exact := exactScore(o, q, rows, w)
+		if ub < exact {
+			t.Fatalf("iter %d: upper %v < exact %v", it, ub, exact)
+		}
+		if ub > exact*2+1e-6 {
+			t.Fatalf("iter %d: upper %v implausibly loose vs exact %v", it, ub, exact)
+		}
+	}
+	o1 := randOracle(t, 35, 20, 4, Kernel{K: 0.5, P: 1})
+	if _, ok := o1.UpperPacked(make([]float64, 4), 0, nil, nil, nil); ok {
+		t.Fatal("packed upper ran for P=1")
+	}
+}
+
+func TestUpperPackedCutSound(t *testing.T) {
+	// The one contract the batch pipeline relies on: whenever UpperPackedCut
+	// returns a value strictly below cut (the prune branch), that value must
+	// upper-bound the exact weighted score — regardless of row order, early
+	// exit point, or how loose the suffix masses are. Values ≥ cut carry no
+	// meaning beyond "cannot prune" and are not checked against the score.
+	o := randOracle(t, 52, 300, 6, Kernel{K: 1.3, P: 2})
+	o.Mat.Quantize()
+	rng := rand.New(rand.NewSource(53))
+	for it := 0; it < 300; it++ {
+		rows, w, q := randTriple(rng, o, 60)
+		pv, norms, wf := packQuantRows(t, o, rows, w)
+		suf := make([]float64, len(wf))
+		var s float64
+		for i := len(wf) - 1; i >= 0; i-- {
+			s += wf[i]
+			suf[i] = s * (1 + 1e-9)
+		}
+		qn := vec.Dot(q, q)
+		exact := exactScore(o, q, rows, w)
+		full, ok := o.UpperPacked(q, qn, pv, norms, wf)
+		if !ok {
+			t.Fatal("packed upper refused")
+		}
+		cuts := []float64{
+			math.Inf(-1), 0, exact * 0.5, exact * 0.99, exact, exact * 1.01,
+			full, full * 1.01, math.Inf(1),
+		}
+		for _, cut := range cuts {
+			ub, ok := o.UpperPackedCut(q, qn, pv, norms, wf, suf, cut)
+			if !ok {
+				t.Fatalf("iter %d: cut scan refused", it)
+			}
+			if ub < cut && exact > ub {
+				t.Fatalf("iter %d cut %v: pruned with bound %v < exact %v", it, cut, ub, exact)
+			}
+		}
+	}
+	o1 := randOracle(t, 35, 20, 4, Kernel{K: 0.5, P: 1})
+	if _, ok := o1.UpperPackedCut(make([]float64, 4), 0, nil, nil, nil, nil, 0); ok {
+		t.Fatal("cut scan ran for P=1")
+	}
+}

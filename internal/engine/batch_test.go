@@ -1,0 +1,290 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"alid/internal/affinity"
+	"alid/internal/testutil"
+	"alid/internal/vec"
+)
+
+// mixedQueries builds the standard crosscheck query mix: jittered dataset
+// points, near-origin noise, and uniform sweep points (many of which miss
+// every LSH bucket).
+func mixedQueries(pts [][]float64, n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([][]float64, n)
+	for i := range qs {
+		switch i % 3 {
+		case 0:
+			src := pts[rng.Intn(len(pts))]
+			qs[i] = []float64{src[0] + rng.NormFloat64()*0.2, src[1] + rng.NormFloat64()*0.2}
+		case 1:
+			qs[i] = []float64{rng.NormFloat64() * 3, rng.NormFloat64() * 3}
+		default:
+			qs[i] = []float64{rng.Float64()*50 - 15, rng.Float64()*50 - 15}
+		}
+	}
+	return qs
+}
+
+// sameAnswer reports whether a batch assignment matches a sequential one on
+// every semantic field. Candidates is deliberately excluded: the batch
+// pipeline counts candidate clusters, the single-point path counts
+// deduplicated candidate points (see batch.go).
+func sameAnswer(a, b Assignment) bool {
+	return a.Cluster == b.Cluster && a.Score == b.Score &&
+		a.Density == b.Density && a.Infective == b.Infective
+}
+
+// AssignBatch must be bit-identical to sequential Assign calls — winner,
+// score, density and infectivity, in order — on the same published state,
+// across batch sizes that exercise the full prune-then-prove cascade
+// (clusters larger than assignTopK included, so the anchor, quantized and
+// exact tiers are all live). Across batch sizes the results must agree on
+// every field, Candidates included.
+func TestAssignBatchMatchesSequential(t *testing.T) {
+	pts, _ := testutil.Blobs(53, [][]float64{{0, 0}, {12, 12}}, 250, 0.05, 40, -20, 25)
+	e, err := New(engineConfig(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if st := e.state.Load(); !st.quant {
+		t.Fatal("quantized tier not active — batch crosscheck would not exercise it")
+	}
+
+	queries := mixedQueries(pts, 300, 54)
+	want := make([]Assignment, len(queries))
+	for i, q := range queries {
+		a, err := e.Assign(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = a
+	}
+	// Reference batch answers (size 1): later widths must reproduce these
+	// exactly, Candidates included.
+	ref := make([]Assignment, len(queries))
+	for i := range queries {
+		got, err := e.AssignBatch(queries[i : i+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameAnswer(got[0], want[i]) {
+			t.Fatalf("batch-of-1 query %d: %+v, sequential %+v", i, got[0], want[i])
+		}
+		ref[i] = got[0]
+	}
+
+	for _, bsz := range []int{2, 7, 16, 64, len(queries)} {
+		for off := 0; off+bsz <= len(queries); off += bsz {
+			got, err := e.AssignBatch(queries[off : off+bsz])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != bsz {
+				t.Fatalf("batch %d@%d returned %d results", bsz, off, len(got))
+			}
+			for k, a := range got {
+				if a != ref[off+k] {
+					t.Fatalf("batch %d query %d: %+v, batch-of-1 %+v", bsz, off+k, a, ref[off+k])
+				}
+			}
+		}
+	}
+
+	// Flat form: same answers from a row-major buffer.
+	flat := make([]float64, 0, 2*len(queries))
+	for _, q := range queries {
+		flat = append(flat, q...)
+	}
+	got, err := e.AssignBatchFlat(flat, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range got {
+		if a != ref[i] {
+			t.Fatalf("flat query %d: %+v, batch-of-1 %+v", i, a, ref[i])
+		}
+	}
+}
+
+// The quantized first pass must be invisible: batch winners and scores must
+// match an independent full exact scan (no truncation, no quantization) —
+// including adversarial near-tie queries on the symmetry axis between two
+// mirrored blobs, where both clusters' scores collide within the quant
+// margin and both must be exactly re-checked.
+func TestAssignQuantizedMatchesExact(t *testing.T) {
+	pts, _ := testutil.Blobs(57, [][]float64{{0, 0}, {12, 12}}, 220, 0.05, 30, -15, 22)
+	e, err := New(engineConfig(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	st := e.state.Load()
+	if !st.quant {
+		t.Fatal("quantized tier not active")
+	}
+
+	v := e.View()
+	o, err := affinity.NewOracleMatrix(v.Mat, e.Config().Core.Kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullAssign := func(q []float64) (int, float64) {
+		qn := vec.Dot(q, q)
+		seen := make(map[int]bool)
+		best, bestScore := -1, math.Inf(-1)
+		for _, id := range v.Index.Query(q) {
+			ci := v.Labels.At(int(id))
+			if ci < 0 || seen[ci] {
+				continue
+			}
+			seen[ci] = true
+			cl := v.Clusters[ci]
+			col := make([]float64, len(cl.Members))
+			o.ColumnPoint(q, qn, cl.Members, col)
+			var s float64
+			for t, w := range cl.Weights {
+				s += w * col[t]
+			}
+			if s > bestScore {
+				best, bestScore = ci, s
+			}
+		}
+		return best, bestScore
+	}
+
+	queries := mixedQueries(pts, 120, 58)
+	// Adversarial near-ties: points on (and a hair off) the perpendicular
+	// bisector of the two blob centers, where the two clusters' affinities
+	// nearly coincide and quantized bounds alone cannot separate them.
+	rng := rand.New(rand.NewSource(59))
+	for i := 0; i < 60; i++ {
+		s := rng.Float64()*24 - 6
+		eps := rng.NormFloat64() * 1e-9
+		queries = append(queries, []float64{6 + s + eps, 6 - s})
+	}
+
+	got, err := e.AssignBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assigned := 0
+	for i, q := range queries {
+		wantC, wantS := fullAssign(q)
+		if got[i].Cluster != wantC {
+			t.Fatalf("query %d: batch winner %d, exact winner %d", i, got[i].Cluster, wantC)
+		}
+		if wantC >= 0 {
+			assigned++
+			if got[i].Score != wantS {
+				t.Fatalf("query %d: batch score %v, exact score %v", i, got[i].Score, wantS)
+			}
+		}
+	}
+	if assigned == 0 {
+		t.Fatal("no query was assigned — crosscheck is vacuous")
+	}
+}
+
+// Batch validation is atomic: one bad point fails the whole batch, the error
+// names its index, and nothing is scored or counted.
+func TestAssignBatchAtomicValidation(t *testing.T) {
+	e, _ := blobEngine(t)
+	defer e.Close()
+	before := e.Stats().Assigns
+
+	bad := [][]float64{{0, 0}, {1, 1}, {1, 2, 3}, {2, 2}}
+	if _, err := e.AssignBatch(bad); err == nil {
+		t.Fatal("wrong-width point accepted")
+	} else if !strings.Contains(err.Error(), "point 2") {
+		t.Fatalf("error does not name the offending index: %v", err)
+	}
+
+	nan := [][]float64{{0, 0}, {math.NaN(), 1}}
+	if _, err := e.AssignBatch(nan); err == nil {
+		t.Fatal("NaN point accepted")
+	} else if !strings.Contains(err.Error(), "point 1") {
+		t.Fatalf("error does not name the offending index: %v", err)
+	}
+
+	if after := e.Stats().Assigns; after != before {
+		t.Fatalf("failed batches counted: assigns %d → %d", before, after)
+	}
+	// And a valid batch still works after the failures.
+	out, err := e.AssignBatch([][]float64{{0.1, 0.1}, {15, 15}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Cluster < 0 {
+		t.Fatalf("valid batch after failure: %+v", out)
+	}
+	if got := e.Stats().Assigns; got != before+2 {
+		t.Fatalf("assigns = %d, want %d", got, before+2)
+	}
+
+	// Flat-form shape validation.
+	if _, err := e.AssignBatchFlat([]float64{1, 2, 3}, 2, nil); err == nil {
+		t.Fatal("ragged flat batch accepted")
+	}
+	if _, err := e.AssignBatchFlat([]float64{1, 2}, 0, nil); err == nil {
+		t.Fatal("zero-dim flat batch accepted")
+	}
+}
+
+// Batches against an empty (or index-less) engine answer noise per point,
+// and an empty batch is a no-op.
+func TestAssignBatchEmptyEngine(t *testing.T) {
+	e, err := New(engineConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	out, err := e.AssignBatch([][]float64{{1, 2, 3}, {4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range out {
+		if a.Cluster != -1 {
+			t.Fatalf("empty engine assigned query %d: %+v", i, a)
+		}
+	}
+	if out, err := e.AssignBatch(nil); err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: %v, %v", out, err)
+	}
+}
+
+// The batch path must be allocation-free per query in steady state: the
+// pooled arenas grow to the high-water batch once and are then reused.
+func TestAssignBatchAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; counts are only meaningful without -race")
+	}
+	pts, _ := testutil.Blobs(61, [][]float64{{0, 0}, {12, 12}}, 200, 0.05, 20, -15, 20)
+	e, err := New(engineConfig(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	queries := mixedQueries(pts, 64, 62)
+	var out []Assignment
+	for i := 0; i < 30; i++ { // warm the pooled arenas to steady capacity
+		if out, err = e.AssignBatchInto(queries, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		var err error
+		if out, err = e.AssignBatchInto(queries, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AssignBatchInto allocates %v per batch, want 0", allocs)
+	}
+}

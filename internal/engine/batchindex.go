@@ -1,0 +1,364 @@
+// The per-generation candidate-retrieval structure behind the batched Assign
+// pipeline. It is DERIVED state, built lazily by the first batch against a
+// published generation (never at publish time, so commit latency stays
+// O(batch)), immutable once built, and dropped with its state:
+//
+//   - sum: per LSH table, bucket key → the distinct candidate clusters of the
+//     bucket's live members, in first-seen (ascending id) order. A batched
+//     query resolves its candidate clusters with one hash + one map lookup
+//     per table instead of enumerating and deduplicating bucket members. The
+//     per-query cluster sequence this produces is exactly the single-point
+//     path's first-seen label order: id-level dedup never removes the first
+//     occurrence of a label, so skipping it cannot reorder labels.
+//
+//   - anchor/rad/wsum: a per-cluster pruning bound. For any anchor point A,
+//     the Minkowski triangle inequality gives d(q,s) ≥ d(q,A) − d(A,s), so
+//     with rad = max over members of d(A,s):
+//
+//       score(q,c) = Σ w·exp(-k·d(q,s)) ≤ (Σw)·exp(-k·max(0, d(q,A) − rad)).
+//
+//     One kernel evaluation per (query, candidate cluster) discards far
+//     clusters before any member row is touched. rad and wsum are inflated
+//     for fp rounding so the bound is rigorous; pruning on it never changes
+//     an answer (a pruned cluster's exact score sits strictly below an
+//     already-established exact lower bound).
+package engine
+
+import (
+	"math"
+	"sort"
+
+	"alid/internal/affinity"
+	"alid/internal/matrix"
+	"alid/internal/vec"
+)
+
+// bucketSum is one LSH table's bucket→clusters summary as an open-addressed
+// hash (power-of-two capacity, linear probing, ≤50% load): the batch path
+// does Tables lookups per query, and a flat probe over three parallel arrays
+// is a few ns where a Go map lookup is tens. Slots with start<0 are empty;
+// cluster lists live back-to-back in the shared cls arena, each in the
+// single-point path's first-seen order. Built once per generation, read-only
+// after.
+type bucketSum struct {
+	mask  uint64
+	keys  []uint64
+	start []int32
+	end   []int32
+	cls   []int32
+}
+
+// mix64 is the avalanche mix used to place keys (bucket keys are themselves
+// multiplicative folds, but linear probing wants the high bits spread).
+func mix64(x uint64) uint64 {
+	x *= 0x9e3779b97f4a7c15
+	x ^= x >> 32
+	return x
+}
+
+func (bsu *bucketSum) insert(key uint64, cls []int32) {
+	i := mix64(key) & bsu.mask
+	for bsu.start[i] >= 0 {
+		i = (i + 1) & bsu.mask
+	}
+	bsu.keys[i] = key
+	bsu.start[i] = int32(len(bsu.cls))
+	bsu.cls = append(bsu.cls, cls...)
+	bsu.end[i] = int32(len(bsu.cls))
+}
+
+// lookup returns the bucket's cluster list, nil when the bucket is dead.
+func (bsu *bucketSum) lookup(key uint64) []int32 {
+	i := mix64(key) & bsu.mask
+	for {
+		s := bsu.start[i]
+		if s < 0 {
+			return nil
+		}
+		if bsu.keys[i] == key {
+			return bsu.cls[s:bsu.end[i]]
+		}
+		i = (i + 1) & bsu.mask
+	}
+}
+
+// batchIndex is the lazy per-state structure described in the file comment.
+type batchIndex struct {
+	// sum[t] resolves table t's bucket key to its candidate clusters, in the
+	// single-point path's first-seen order.
+	sum []bucketSum
+	// anchor is nClusters × dim row-major; rad and wsum are per cluster
+	// (both inflated upward for fp rigor). hasAnchors is false for kernels
+	// whose Minkowski exponent is below 1 (no triangle inequality).
+	anchor     []float64
+	rad        []float64
+	wsum       []float64
+	hasAnchors bool
+	// pk packs each cluster's member rows contiguously (row-major, dim-
+	// strided) with their squared norms in pkn; cluster ci's members occupy
+	// packed rows [pkOff[ci], pkOff[ci+1]). The values are exact copies of
+	// the matrix rows, so the exact re-check streams sequential memory and
+	// stays bit-identical to a gathered scan. Costs one extra O(n·d) copy of
+	// the member rows per generation — derived, never persisted.
+	pk    []float64
+	pkn   []float64
+	pkOff []int32
+	// The packed image of the quantized tier, sharing pkOff's per-cluster
+	// extents but NOT pk's row order — within each cluster the quant rows are
+	// packed in DESCENDING folded-weight order (bounds carry no
+	// bit-reproducibility constraint, unlike the exact rows, whose member
+	// order the reported score depends on). Mass then concentrates at the
+	// front of every scan, which is what lets UpperPackedCut decide a prune
+	// after a prefix: qsuf[i] is the inflated suffix mass Σ_{j≥i} qwf[j]
+	// within i's cluster, a rigorous bound on everything not yet scanned.
+	// qv holds
+	// each member's DEQUANTIZED mirror row (Off + Scale·z, stored float32 —
+	// half the memory traffic of the exact rows, which is what the prune scan
+	// is bound by), qvn the squared norms OF THE STORED float32 values
+	// (computed in float64, so the scan's norm identity measures the distance
+	// to exactly the row it dots), and qwf each row's weight folded with its
+	// rigorous displacement factor: the chunk-measured quantization error
+	// plus the float32 storage rounding (‖ṽ−ṽ₃₂‖ ≤ 2⁻²⁴·‖ṽ‖ per coordinate,
+	// plus a subnormal floor), pushed through 1+expm1(k·err) and inflated.
+	// The per-query quantized prune (affinity.UpperPacked) is then one dot +
+	// one LUT lookup + one multiply-add per row — no int8 decode, no chunk
+	// walk, no error bookkeeping at query time. qok[ci] is false when any
+	// member of ci lacked a current mirror at build time (unsealed or stale
+	// chunk); such clusters skip the quantized prune and scan exactly. Empty
+	// when the generation has no quantized tier.
+	qv   []float32
+	qvn  []float64
+	qwf  []float64
+	qsuf []float64
+	qok  []bool
+}
+
+// batchIdx returns the generation's batchIndex, building it on first use.
+// sync.Once publishes the build to every concurrent batch reader.
+func (st *state) batchIdx() *batchIndex {
+	st.bidxOnce.Do(func() { st.bidx = buildBatchIndex(st) })
+	return st.bidx
+}
+
+func buildBatchIndex(st *state) *batchIndex {
+	v := st.view
+	nc := len(v.Clusters)
+	nt := v.Index.Config().Tables
+	bi := &batchIndex{sum: make([]bucketSum, nt)}
+	// Collect every live bucket's deduplicated cluster list first, then size
+	// each table's flat hash to ≤50% load and insert.
+	type bucketEnt struct {
+		key    uint64
+		lo, hi int32
+	}
+	ents := make([][]bucketEnt, nt)
+	var arena []int32
+	mark := make([]uint32, nc)
+	var gen uint32
+	v.Index.VisitLiveBuckets(func(t int, key uint64, ids []int32) {
+		gen++
+		lo := int32(len(arena))
+		for _, id := range ids {
+			ci := v.Labels.At(int(id))
+			if ci < 0 || mark[ci] == gen {
+				continue
+			}
+			mark[ci] = gen
+			arena = append(arena, int32(ci))
+		}
+		if hi := int32(len(arena)); hi > lo {
+			ents[t] = append(ents[t], bucketEnt{key, lo, hi})
+		}
+	})
+	for t, es := range ents {
+		capz := 8
+		for capz < 2*len(es) {
+			capz <<= 1
+		}
+		bsu := &bi.sum[t]
+		bsu.mask = uint64(capz - 1)
+		bsu.keys = make([]uint64, capz)
+		bsu.start = make([]int32, capz)
+		bsu.end = make([]int32, capz)
+		for i := range bsu.start {
+			bsu.start[i] = -1
+		}
+		for _, e := range es {
+			bsu.insert(e.key, arena[e.lo:e.hi])
+		}
+	}
+
+	kern := st.oracle.Kernel
+	d := st.dim
+	bi.hasAnchors = kern.P >= 1
+	bi.wsum = make([]float64, nc)
+	if bi.hasAnchors {
+		bi.anchor = make([]float64, nc*d)
+		bi.rad = make([]float64, nc)
+	}
+	bi.pkOff = make([]int32, nc+1)
+	for ci, cl := range v.Clusters {
+		bi.pkOff[ci+1] = bi.pkOff[ci] + int32(len(cl.Members))
+	}
+	total := int(bi.pkOff[nc])
+	bi.pk = make([]float64, total*d)
+	bi.pkn = make([]float64, total)
+	for ci, cl := range v.Clusters {
+		at := int(bi.pkOff[ci])
+		for _, m := range cl.Members {
+			copy(bi.pk[at*d:(at+1)*d], v.Mat.Row(m))
+			bi.pkn[at] = v.Mat.NormSq(m)
+			at++
+		}
+	}
+	if st.quant {
+		bi.qv = make([]float32, total*d)
+		bi.qvn = make([]float64, total)
+		bi.qwf = make([]float64, total)
+		bi.qsuf = make([]float64, total)
+		bi.qok = make([]bool, nc)
+		k := kern.K
+		var perm []int
+		var tv []float32
+		var tn, tw []float64
+		for ci, cl := range v.Clusters {
+			bi.qok[ci] = true
+			at := int(bi.pkOff[ci])
+			for t, m := range cl.Members {
+				qc := v.Mat.QuantChunkAt(m >> matrix.ChunkShift)
+				ri := m & (matrix.ChunkRows - 1)
+				if qc == nil || ri >= qc.Rows {
+					bi.qok[ci] = false // stale/missing mirror: exact scans only
+					break
+				}
+				z := qc.Data[ri*d : (ri+1)*d]
+				row := bi.qv[at*d : (at+1)*d]
+				var nn float64
+				for j, x := range z {
+					vq := float32(qc.Off + qc.Scale*float64(x))
+					row[j] = vq
+					nn += float64(vq) * float64(vq)
+				}
+				if math.IsInf(nn, 0) {
+					bi.qok[ci] = false // float32 overflow: exact scans only
+					break
+				}
+				bi.qvn[at] = nn
+				// Row displacement from the exact row: the mirror's measured
+				// error plus the float32 storage rounding — relative 2⁻²⁴
+				// (≈6e-8, inflated) of the dequantized norm, plus a subnormal
+				// floor.
+				err := qc.Errs[ri] + 6.1e-8*math.Sqrt(qc.Norms[ri]) + 1e-30
+				bi.qwf[at] = cl.Weights[t] * (1 + math.Expm1(k*err)) * (1 + 1e-12)
+				at++
+			}
+			if !bi.qok[ci] {
+				continue
+			}
+			// Repack this cluster's quant rows in descending folded-weight
+			// order (index tie-break for a deterministic layout), then the
+			// inflated suffix masses the early-exit scan prunes against.
+			lo, hi := int(bi.pkOff[ci]), int(bi.pkOff[ci+1])
+			m := hi - lo
+			perm = perm[:0]
+			for i := 0; i < m; i++ {
+				perm = append(perm, i)
+			}
+			sort.Slice(perm, func(a, b int) bool {
+				wa, wb := bi.qwf[lo+perm[a]], bi.qwf[lo+perm[b]]
+				if wa != wb {
+					return wa > wb
+				}
+				return perm[a] < perm[b]
+			})
+			tv = append(tv[:0], bi.qv[lo*d:hi*d]...)
+			tn = append(tn[:0], bi.qvn[lo:hi]...)
+			tw = append(tw[:0], bi.qwf[lo:hi]...)
+			for i, p := range perm {
+				copy(bi.qv[(lo+i)*d:(lo+i+1)*d], tv[p*d:(p+1)*d])
+				bi.qvn[lo+i] = tn[p]
+				bi.qwf[lo+i] = tw[p]
+			}
+			var s float64
+			for i := hi - 1; i >= lo; i-- {
+				s += bi.qwf[i]
+				// The 1e-9 inflation dominates the fp rounding of summing a
+				// chunk's worth of nonnegative terms, keeping the suffix a
+				// rigorous bound on the true remaining weight mass.
+				bi.qsuf[i] = s * (1 + 1e-9)
+			}
+		}
+	}
+	for ci, cl := range v.Clusters {
+		var ws float64
+		for _, w := range cl.Weights {
+			ws += w
+		}
+		bi.wsum[ci] = ws * (1 + 1e-9)
+		if !bi.hasAnchors || len(cl.Members) == 0 {
+			continue
+		}
+		a := bi.anchor[ci*d : (ci+1)*d]
+		for _, m := range cl.Members {
+			row := v.Mat.Row(m)
+			for j, x := range row {
+				a[j] += x
+			}
+		}
+		inv := 1 / float64(len(cl.Members))
+		for j := range a {
+			a[j] *= inv
+		}
+		var rad float64
+		for _, m := range cl.Members {
+			if dd := distP(v.Mat.Row(m), a, kern.P); dd > rad {
+				rad = dd
+			}
+		}
+		bi.rad[ci] = rad*(1+1e-9) + 1e-9
+	}
+	return bi
+}
+
+// anchorBound evaluates the anchor bound for (q, cluster ci): the query's
+// anchor-proximity walk-order key (the distance for general kernels, the
+// SQUARED distance for the Euclidean one — same ordering, cheaper key) and a
+// rigorous upper bound on the exact weighted score. When the query sits
+// inside the anchor radius the slack clamps to zero and the bound is the
+// inflated weight mass itself — Σw upper-bounds the score unconditionally
+// (affinities are ≤ 1), so that common case needs neither sqrt nor exp.
+// When anchors are unavailable it reports (0, +Inf): no ordering signal,
+// no bound.
+func (bi *batchIndex) anchorBound(kern affinity.Kernel, q []float64, ci, dim int) (key, ub float64) {
+	if !bi.hasAnchors {
+		return 0, math.Inf(1)
+	}
+	a := bi.anchor[ci*dim : (ci+1)*dim]
+	rad := bi.rad[ci]
+	if kern.P == 2 {
+		d2 := vec.SquaredL2(q, a)
+		if d2 <= rad*rad {
+			return d2, bi.wsum[ci]*(1+1e-9) + 1e-12
+		}
+		return d2, bi.wsum[ci]*math.Exp(-kern.K*(math.Sqrt(d2)-rad))*(1+1e-9) + 1e-12
+	}
+	dist := distP(q, a, kern.P)
+	slack := dist - rad
+	if slack < 0 {
+		slack = 0
+	}
+	return dist, bi.wsum[ci]*math.Exp(-kern.K*slack)*(1+1e-9) + 1e-12
+}
+
+// distP is the kernel's Minkowski distance (the same metric the affinity
+// oracle exponentiates).
+func distP(a, b []float64, p float64) float64 {
+	switch p {
+	case 2:
+		return vec.L2(a, b)
+	case 1:
+		return vec.L1(a, b)
+	default:
+		return vec.Lp(a, b, p)
+	}
+}

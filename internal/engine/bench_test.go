@@ -1,8 +1,10 @@
 package engine
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"alid/internal/affinity"
 	"alid/internal/core"
@@ -70,6 +72,123 @@ func BenchmarkAssign(b *testing.B) {
 			i++
 		}
 	})
+}
+
+// BenchmarkAssignBatch measures the batched pipeline at several batch
+// widths on the BenchmarkAssign workload. Each op is ONE QUERY (b.N is
+// scaled by the batch size), so ns/op is directly comparable with
+// BenchmarkAssign: the PR-6 acceptance gate is q=64 serving ≥2× the
+// single-point assigns/sec per query.
+func BenchmarkAssignBatch(b *testing.B) {
+	pts := benchData(10000, 16)
+	e, err := New(benchConfig(), pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	if len(e.Clusters()) == 0 {
+		b.Fatal("no clusters to serve")
+	}
+	rng := rand.New(rand.NewSource(72))
+	queries := make([][]float64, 1024)
+	for i := range queries {
+		src := pts[rng.Intn(len(pts))]
+		q := make([]float64, len(src))
+		for j := range q {
+			q[j] = src[j] + rng.NormFloat64()*0.05
+		}
+		queries[i] = q
+	}
+
+	for _, q := range []int{1, 16, 64} {
+		b.Run(fmt.Sprintf("q=%d", q), func(b *testing.B) {
+			qs := make([][]float64, q)
+			var out []Assignment
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += q {
+				for k := range qs {
+					qs[k] = queries[(i+k)&1023]
+				}
+				var err error
+				if out, err = e.AssignBatchInto(qs, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAssignBatchSpeedup is a drift-robust diagnostic for the
+// amortization ratio. One op pushes 64 queries through the engine,
+// alternating between the two serving modes in blocks of 32 ops — 32 ops of
+// 64 sequential Assign calls, then 32 ops of one AssignBatchInto each —
+// timing the modes separately with the same clock and reporting per-query
+// single-time over per-query batch-time as the "x-speedup" metric. Pairing
+// the modes at ~10ms block granularity makes the ratio robust to the
+// host-load phases (seconds to minutes) that can skew two series benchmarked
+// a minute apart, while each block is long enough that both modes run at
+// their steady-state cache warmth. Note the baseline here is the SEQUENTIAL
+// Assign loop (pure latency, no parallel-harness overhead), so this ratio
+// reads slightly below the recorded gate, which by PR-2 convention compares
+// against BenchmarkAssign's parallel serving throughput.
+func BenchmarkAssignBatchSpeedup(b *testing.B) {
+	const width = 64
+	const block = 32
+	pts := benchData(10000, 16)
+	e, err := New(benchConfig(), pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	if len(e.Clusters()) == 0 {
+		b.Fatal("no clusters to serve")
+	}
+	rng := rand.New(rand.NewSource(72))
+	queries := make([][]float64, 1024)
+	for i := range queries {
+		src := pts[rng.Intn(len(pts))]
+		q := make([]float64, len(src))
+		for j := range q {
+			q[j] = src[j] + rng.NormFloat64()*0.05
+		}
+		queries[i] = q
+	}
+
+	qs := make([][]float64, width)
+	var out []Assignment
+	var tSingle, tBatch time.Duration
+	var nSingle, nBatch int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := range qs {
+			qs[k] = queries[(i*width+k)&1023]
+		}
+		if (i/block)&1 == 0 {
+			start := time.Now()
+			for _, q := range qs {
+				if _, err := e.Assign(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			tSingle += time.Since(start)
+			nSingle++
+		} else {
+			start := time.Now()
+			var err error
+			if out, err = e.AssignBatchInto(qs, out); err != nil {
+				b.Fatal(err)
+			}
+			tBatch += time.Since(start)
+			nBatch++
+		}
+	}
+	if nSingle > 0 && nBatch > 0 {
+		perSingle := float64(tSingle) / float64(nSingle)
+		perBatch := float64(tBatch) / float64(nBatch)
+		b.ReportMetric(perSingle/perBatch, "x-speedup")
+		b.ReportMetric(perBatch/width, "batch-ns/query")
+	}
 }
 
 // BenchmarkAssignSequential is the single-goroutine latency counterpart.

@@ -129,6 +129,16 @@ type state struct {
 	dim    int
 	trunc  []clusterTrunc // per-cluster truncation tables, len = clusters
 	pool   sync.Pool      // *scratch sized for this generation
+	bpool  sync.Pool      // *batchScratch sized for this generation
+	// quant marks the published matrix as fully mirrored for the int8
+	// candidate-scan tier (the batch pipeline's first scoring pass).
+	quant bool
+	// bidx is the batch pipeline's candidate-retrieval structure
+	// (bucket→cluster summaries and anchor bounds), built lazily by the
+	// first batch against this generation — never at publish time, so
+	// commit latency stays O(batch). Access via batchIdx().
+	bidxOnce sync.Once
+	bidx     *batchIndex
 }
 
 // scratch is per-goroutine read-path workspace, pooled per state so steady
@@ -226,7 +236,7 @@ func New(cfg Config, initial [][]float64) (*Engine, error) {
 	if err := cfg.Core.LSH.Validate(); err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
-	c, err := stream.New(initial, stream.Config{Core: cfg.Core, BatchSize: cfg.BatchSize, Retention: cfg.Retention})
+	c, err := stream.New(initial, stream.Config{Core: cfg.Core, BatchSize: cfg.BatchSize, Retention: cfg.Retention, Quantize: true})
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
@@ -242,7 +252,7 @@ func New(cfg Config, initial [][]float64) (*Engine, error) {
 // the matrix, index and clusters come back exactly as published, with no
 // re-detection. Ownership of all arguments transfers to the engine.
 func Restore(cfg Config, mat *matrix.Matrix, index *lsh.Index, clusters []*core.Cluster, labels []int, commits int) (*Engine, error) {
-	c, err := stream.Restore(stream.Config{Core: cfg.Core, BatchSize: cfg.BatchSize, Retention: cfg.Retention}, mat, index, clusters, labels, commits)
+	c, err := stream.Restore(stream.Config{Core: cfg.Core, BatchSize: cfg.BatchSize, Retention: cfg.Retention, Quantize: true}, mat, index, clusters, labels, commits)
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
@@ -303,6 +313,21 @@ func (e *Engine) publish() {
 				cmark: make([]uint32, nClusters),
 			}
 		}
+		tables := 0
+		if v.Index != nil {
+			tables = v.Index.Config().Tables
+		}
+		st.bpool.New = func() any {
+			return &batchScratch{
+				sig:   make([]int64, mu),
+				keys:  make([]uint64, tables),
+				cmark: make([]uint32, nClusters),
+			}
+		}
+		// The stream quantizes right before every published Snapshot, so a
+		// non-empty view always carries complete int8 mirrors for the batch
+		// pipeline's quantized first pass.
+		st.quant = v.Mat.Quantized() && kern.P == 2
 	}
 	if old := e.state.Swap(st); old != nil && old.oracle != nil {
 		e.pastComputed.Add(old.oracle.Computed())
@@ -462,6 +487,21 @@ func (e *Engine) Dim() int {
 	return 0
 }
 
+// queryErr is the single validation gate shared by the single-point and
+// batched Assign paths: the dimension check and the non-finite rejection (a
+// NaN coordinate would make every score NaN and no cluster comparable).
+func queryErr(q []float64, dim int) error {
+	if len(q) != dim {
+		return fmt.Errorf("point has dimension %d, want %d", len(q), dim)
+	}
+	for i, v := range q {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("non-finite coordinate %d", i)
+		}
+	}
+	return nil
+}
+
 // Assign classifies a query point against the maintained dominant clusters:
 // lock-free, mutation-free, safe for unlimited concurrency. A query in an
 // empty engine, or one sharing no LSH bucket with any clustered point,
@@ -481,15 +521,8 @@ func (e *Engine) Assign(q []float64) (Assignment, error) {
 	if st == nil || st.view.Mat == nil || st.view.Index == nil {
 		return Assignment{Cluster: -1}, nil
 	}
-	if len(q) != st.dim {
-		return Assignment{}, fmt.Errorf("engine: point has dimension %d, want %d", len(q), st.dim)
-	}
-	for i, v := range q {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			// A NaN coordinate would make every score NaN and no cluster
-			// comparable — reject at the edge instead.
-			return Assignment{}, fmt.Errorf("engine: non-finite coordinate %d", i)
-		}
+	if err := queryErr(q, st.dim); err != nil {
+		return Assignment{}, fmt.Errorf("engine: %w", err)
 	}
 	e.assigns.Add(1)
 	sc := st.getScratch()

@@ -31,19 +31,32 @@ func TestConcurrentAssignIngest(t *testing.T) {
 	var readersWG sync.WaitGroup
 	for r := 0; r < readers; r++ {
 		readersWG.Add(1)
-		go func(seed int64) {
+		go func(seed int64, batched bool) {
 			defer readersWG.Done()
 			rng := rand.New(rand.NewSource(seed))
+			qs := make([][]float64, 5)
+			var out []Assignment
 			for {
 				select {
 				case <-stopReads:
 					return
 				default:
 				}
-				q := []float64{rng.NormFloat64() * 8, rng.NormFloat64() * 8}
-				if _, err := e.Assign(q); err != nil {
-					t.Errorf("assign: %v", err)
-					return
+				if batched {
+					for i := range qs {
+						qs[i] = []float64{rng.NormFloat64() * 8, rng.NormFloat64() * 8}
+					}
+					var err error
+					if out, err = e.AssignBatchInto(qs, out); err != nil {
+						t.Errorf("assign batch: %v", err)
+						return
+					}
+				} else {
+					q := []float64{rng.NormFloat64() * 8, rng.NormFloat64() * 8}
+					if _, err := e.Assign(q); err != nil {
+						t.Errorf("assign: %v", err)
+						return
+					}
 				}
 				switch rng.Intn(8) {
 				case 0:
@@ -54,8 +67,56 @@ func TestConcurrentAssignIngest(t *testing.T) {
 					e.Stats()
 				}
 			}
-		}(int64(100 + r))
+		}(int64(100+r), r%2 == 1)
 	}
+
+	// Bit-identity under churn: whenever the published generation happens to
+	// hold still across one round (same Commits and Evicted fingerprint
+	// before and after), the batch answers must equal the sequential ones
+	// bit for bit. Rounds interrupted by a publish are simply skipped — the
+	// two paths legitimately saw different views.
+	readersWG.Add(1)
+	go func() {
+		defer readersWG.Done()
+		rng := rand.New(rand.NewSource(99))
+		qs := make([][]float64, 4)
+		var out []Assignment
+		for {
+			select {
+			case <-stopReads:
+				return
+			default:
+			}
+			for i := range qs {
+				qs[i] = []float64{rng.NormFloat64() * 8, rng.NormFloat64() * 8}
+			}
+			before := e.Stats()
+			want := make([]Assignment, len(qs))
+			for i, q := range qs {
+				a, err := e.Assign(q)
+				if err != nil {
+					t.Errorf("assign: %v", err)
+					return
+				}
+				want[i] = a
+			}
+			var err error
+			if out, err = e.AssignBatchInto(qs, out); err != nil {
+				t.Errorf("assign batch: %v", err)
+				return
+			}
+			after := e.Stats()
+			if before.Commits != after.Commits || before.Evicted != after.Evicted {
+				continue // a publish raced the round; answers may differ
+			}
+			for i := range qs {
+				if !sameAnswer(out[i], want[i]) {
+					t.Errorf("generation-stable round: batch %+v, sequential %+v", out[i], want[i])
+					return
+				}
+			}
+		}
+	}()
 
 	var writersWG sync.WaitGroup
 	for w := 0; w < writers; w++ {
@@ -87,7 +148,23 @@ func TestConcurrentAssignIngest(t *testing.T) {
 		}(int64(200 + w))
 	}
 
+	// Eviction churn under the same read load: tombstone a few of the seed
+	// points (idempotent retries included) while single and batched assigns
+	// keep hitting the shifting published generations.
+	var evictWG sync.WaitGroup
+	evictWG.Add(1)
+	go func() {
+		defer evictWG.Done()
+		for i := 0; i < 4; i++ {
+			if _, err := e.Evict(ctx, []int{i * 3, i*3 + 1, 0}); err != nil {
+				t.Errorf("evict: %v", err)
+				return
+			}
+		}
+	}()
+
 	writersWG.Wait()
+	evictWG.Wait()
 	close(stopReads)
 	readersWG.Wait()
 

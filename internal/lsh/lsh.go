@@ -422,13 +422,41 @@ func BuildMatrix(m *matrix.Matrix, cfg Config) (*Index, error) {
 // signature computes the µ concatenated hash values of v, two projection
 // rows per vec.Dot2 step so each block of v loads is shared — signature
 // evaluation is the O(n·d·µ·l) build cost and dominates index construction.
+// (The per-lane ⌊·/r⌋ divisions look expensive but are NOT on the critical
+// path: out-of-order execution hides the unpipelined DIVSD under the next
+// lanes' dot products. A guarded reciprocal-multiply variant was measured
+// ~20% SLOWER end-to-end — its extra round/abs/compare uops congest the
+// issue-limited loop — so the plain division stays.)
 func (tb *table) signature(v []float64, r float64, sig []int64) {
 	dim := len(v)
 	h := 0
 	for ; h+2 <= len(sig); h += 2 {
 		ra := tb.proj[h*dim : h*dim+dim]
 		rb := tb.proj[(h+1)*dim : (h+1)*dim+dim]
-		dotA, dotB := vec.Dot2(v, ra, rb)
+		// vec.Dot2's body, inlined: signature runs once per table per query
+		// on the serving path and once per row per table at build, so the
+		// call, length checks and slice-header traffic are measurable. The
+		// accumulation order is Dot2's exactly — signatures (and therefore
+		// bucket keys) are bit-identical to the called form.
+		var a0, a1, a2, a3, b0, b1, b2, b3 float64
+		i := 0
+		for ; i+4 <= dim; i += 4 {
+			x0, x1, x2, x3 := v[i], v[i+1], v[i+2], v[i+3]
+			a0 += ra[i] * x0
+			a1 += ra[i+1] * x1
+			a2 += ra[i+2] * x2
+			a3 += ra[i+3] * x3
+			b0 += rb[i] * x0
+			b1 += rb[i+1] * x1
+			b2 += rb[i+2] * x2
+			b3 += rb[i+3] * x3
+		}
+		for ; i < dim; i++ {
+			a0 += ra[i] * v[i]
+			b0 += rb[i] * v[i]
+		}
+		dotA := (a0 + a1) + (a2 + a3)
+		dotB := (b0 + b1) + (b2 + b3)
 		sig[h] = int64(math.Floor((dotA + tb.off[h]) / r))
 		sig[h+1] = int64(math.Floor((dotB + tb.off[h+1]) / r))
 	}
@@ -685,6 +713,73 @@ func (i *Index) QueryInto(v []float64, sig []int64, dst []int32, mark []uint32, 
 		}
 	}
 	return dst
+}
+
+// BucketKeys fills keys[t] with v's bucket key in table t, without touching
+// any bucket. sig is caller scratch of length Projections; keys must have
+// length Tables. The batched serving path hashes each query once and then
+// resolves candidate clusters from its per-generation bucket→cluster summary
+// (built via VisitLiveBuckets) instead of enumerating bucket members.
+func (i *Index) BucketKeys(v []float64, sig []int64, keys []uint64) {
+	if len(v) != i.dim {
+		panic(fmt.Sprintf("lsh: query dimension %d, want %d", len(v), i.dim))
+	}
+	if len(sig) != i.cfg.Projections {
+		panic(fmt.Sprintf("lsh: signature scratch length %d, want %d", len(sig), i.cfg.Projections))
+	}
+	if len(keys) != len(i.tables) {
+		panic(fmt.Sprintf("lsh: key scratch length %d, want %d tables", len(keys), len(i.tables)))
+	}
+	for t := range i.tables {
+		tb := &i.tables[t]
+		tb.signature(v, i.cfg.R, sig)
+		keys[t] = fold(sig)
+	}
+}
+
+// VisitLiveBuckets calls f once per (table, non-empty bucket) with the
+// bucket's live member ids in ascending id order — exactly the id sequence a
+// query hashing to that bucket enumerates (segments cover ascending disjoint
+// id ranges, and tombstoned ids are skipped). The ids slice may alias index
+// storage or a shared scratch: it is read-only and valid only for the
+// duration of the call. Visit order within a table is unspecified.
+func (i *Index) VisitLiveBuckets(f func(table int, key uint64, ids []int32)) {
+	var merged []int32
+	for t := range i.tables {
+		segs := i.tables[t].allSegments()
+		if len(segs) == 0 {
+			continue
+		}
+		if len(segs) == 1 && i.deadTotal == 0 {
+			// Common (freshly built / restored) case: hand out the single
+			// segment's bucket slices directly.
+			for k, members := range segs[0].buckets {
+				if len(members) > 0 {
+					f(t, k, members)
+				}
+			}
+			continue
+		}
+		keys := make(map[uint64]struct{}, len(segs[0].buckets))
+		for _, seg := range segs {
+			for k := range seg.buckets {
+				keys[k] = struct{}{}
+			}
+		}
+		for k := range keys {
+			merged = merged[:0]
+			for _, seg := range segs {
+				for _, id := range seg.buckets[k] {
+					if i.alive(id) {
+						merged = append(merged, id)
+					}
+				}
+			}
+			if len(merged) > 0 {
+				f(t, k, merged)
+			}
+		}
+	}
 }
 
 // TableDump is the flat serializable state of one hash table (the legacy v1

@@ -304,3 +304,4 @@ func TestHashBoundaryStability(t *testing.T) {
 	}
 	_ = math.Inf(1)
 }
+

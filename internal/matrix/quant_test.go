@@ -1,0 +1,187 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randMatrix(t *testing.T, seed int64, n, d int) *Matrix {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, d)
+		for j := range rows[i] {
+			rows[i][j] = rng.NormFloat64() * 10
+		}
+	}
+	m, err := FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// Every dequantized coordinate must sit within Scale/2 of the original, and
+// the mirror bookkeeping (Quantized, QuantRadius) must reflect it.
+func TestQuantizeWithinHalfScale(t *testing.T) {
+	m := randMatrix(t, 1, 300, 7)
+	if m.Quantized() {
+		t.Fatal("mirror reported before Quantize")
+	}
+	if _, _, _, ok := m.QuantRow(0); ok {
+		t.Fatal("QuantRow hit before Quantize")
+	}
+	m.Quantize()
+	if !m.Quantized() {
+		t.Fatal("not quantized after Quantize")
+	}
+	var maxScale, maxRowErr float64
+	for i := 0; i < m.N; i++ {
+		q, scale, off, ok := m.QuantRow(i)
+		if !ok {
+			t.Fatalf("row %d has no mirror", i)
+		}
+		if scale > maxScale {
+			maxScale = scale
+		}
+		row := m.Row(i)
+		var errSq, normSq float64
+		for j, v := range row {
+			got := off + scale*float64(q[j])
+			if math.Abs(got-v) > scale/2+1e-12 {
+				t.Fatalf("row %d coord %d: dequant %v vs %v exceeds half-scale %v",
+					i, j, got, v, scale/2)
+			}
+			errSq += (got - v) * (got - v)
+			normSq += got * got
+		}
+		if e := math.Sqrt(errSq); e > maxRowErr {
+			maxRowErr = e
+		}
+		// The chunk mirror must carry the dequantized row's squared norm (the
+		// norm-identity scan depends on it bitwise).
+		qc := m.QuantChunkAt(i >> ChunkShift)
+		if qc == nil {
+			t.Fatalf("row %d: no chunk mirror", i)
+		}
+		if got := qc.Norms[i&(ChunkRows-1)]; got != normSq {
+			t.Fatalf("row %d: mirror norm %v, recomputed %v", i, got, normSq)
+		}
+	}
+	// QuantRadius is the measured per-chunk displacement bound: it must cover
+	// every row's actual L2 error yet never exceed the worst case half-scale
+	// ball (Scale/2)·√D.
+	r := m.QuantRadius()
+	if r < maxRowErr {
+		t.Fatalf("QuantRadius %v below measured row error %v", r, maxRowErr)
+	}
+	if worst := maxScale/2*math.Sqrt(float64(m.D))*(1+1e-9) + 1e-12; r > worst {
+		t.Fatalf("QuantRadius %v exceeds worst-case bound %v", r, worst)
+	}
+}
+
+// A constant chunk quantizes exactly (Scale 0, every value Off).
+func TestQuantizeConstantChunk(t *testing.T) {
+	rows := make([][]float64, 10)
+	for i := range rows {
+		rows[i] = []float64{3.25, 3.25, 3.25}
+	}
+	m, err := FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Quantize()
+	q, scale, off, ok := m.QuantRow(4)
+	if !ok || scale != 0 || off != 3.25 {
+		t.Fatalf("constant chunk: scale=%v off=%v ok=%v", scale, off, ok)
+	}
+	for _, v := range q {
+		if v != 0 {
+			t.Fatalf("constant chunk stores nonzero code %d", v)
+		}
+	}
+	// Measured displacement is zero; only the fp-rigor floor remains.
+	if r := m.QuantRadius(); r > 1e-9 {
+		t.Fatalf("QuantRadius = %v for constant data", r)
+	}
+}
+
+// Sealed mirrors are built once and shared by Snapshot; appending rows
+// invalidates only the tail, and its refresh is a fresh allocation that
+// leaves the published snapshot's mirror untouched.
+func TestQuantizeSnapshotSharingAndTailRefresh(t *testing.T) {
+	m := randMatrix(t, 2, ChunkRows+10, 3) // one sealed chunk + a short tail
+	m.Quantize()
+	sealed, tail := m.quant[0], m.quant[1]
+	if sealed == nil || tail == nil {
+		t.Fatal("missing mirrors after Quantize")
+	}
+
+	snap := m.Snapshot()
+	if snap.quant[0] != sealed || snap.quant[1] != tail {
+		t.Fatal("snapshot did not share mirror pointers")
+	}
+	if !snap.Quantized() {
+		t.Fatal("snapshot not quantized")
+	}
+
+	if _, err := m.AppendRows([][]float64{{9, 9, 9}, {-9, 0, 9}}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Quantized() {
+		t.Fatal("stale tail mirror still reported as complete")
+	}
+	if _, _, _, ok := m.QuantRow(ChunkRows + 10); ok {
+		t.Fatal("unmirrored appended row served from stale mirror")
+	}
+	m.Quantize()
+	if m.quant[0] != sealed {
+		t.Fatal("sealed mirror was rebuilt")
+	}
+	if m.quant[1] == tail {
+		t.Fatal("tail mirror refresh did not allocate a fresh mirror")
+	}
+	if m.quant[1].Rows != 12 {
+		t.Fatalf("refreshed tail covers %d rows, want 12", m.quant[1].Rows)
+	}
+	// The published snapshot still serves its own generation's rows.
+	if snap.quant[1] != tail || snap.quant[1].Rows != 10 {
+		t.Fatal("snapshot's tail mirror changed under it")
+	}
+}
+
+// Releasing a chunk (all rows evicted) drops its mirror; Quantize never
+// resurrects it, and QuantRow misses for its rows.
+func TestQuantizeReleasedChunk(t *testing.T) {
+	m := randMatrix(t, 3, ChunkRows+5, 2)
+	m.Quantize()
+	ids := make([]int, ChunkRows)
+	for i := range ids {
+		ids[i] = i
+	}
+	if n, freed := m.Evict(ids); n != ChunkRows || len(freed) != 1 {
+		t.Fatalf("evict: n=%d freed=%v", n, freed)
+	}
+	if !m.ChunkReleased(0) {
+		t.Fatal("chunk 0 not released")
+	}
+	if m.quant[0] != nil {
+		t.Fatal("released chunk kept its mirror")
+	}
+	if _, _, _, ok := m.QuantRow(0); ok {
+		t.Fatal("QuantRow served a released row")
+	}
+	m.Quantize()
+	if m.quant[0] != nil {
+		t.Fatal("Quantize rebuilt a released chunk's mirror")
+	}
+	if !m.Quantized() {
+		t.Fatal("matrix with released chunk not considered quantized")
+	}
+	// Surviving rows still mirrored.
+	if _, _, _, ok := m.QuantRow(ChunkRows + 2); !ok {
+		t.Fatal("surviving row lost its mirror")
+	}
+}

@@ -41,9 +41,20 @@ type ClustersResponse struct {
 	Clusters []ClusterJSON `json:"clusters"`
 }
 
-// AssignRequest is the body of POST /v1/assign.
+// AssignRequest is the body of POST /v1/assign. Exactly one of Point
+// (single-query form) or Points (batch form) must be set.
 type AssignRequest struct {
-	Point []float64 `json:"point"`
+	Point []float64 `json:"point,omitempty"`
+	// Points requests a batched assign: the whole batch is classified
+	// against one published engine state and the response is an
+	// AssignBatchResponse with one result per point, in order. Batches
+	// larger than the server's configured maximum are rejected with 413.
+	Points [][]float64 `json:"points,omitempty"`
+}
+
+// AssignBatchResponse is the body of a successful batched assign.
+type AssignBatchResponse struct {
+	Results []AssignResponse `json:"results"`
 }
 
 // AssignResponse is the body of a successful assign.

@@ -2,6 +2,7 @@
 // daemon's API surface:
 //
 //	POST /v1/assign   {"point":[...]}            → cluster/score/infective
+//	POST /v1/assign   {"points":[[...],...]}     → batched: results per point
 //	POST /v1/ingest   {"points":[[...]],"wait":b}→ accepted count
 //	POST /v1/evict    {"ids":[...]}              → evicted count
 //	GET  /v1/clusters[?members=false]            → maintained clusters
@@ -32,6 +33,10 @@ type Options struct {
 	MaxBodyBytes int64
 	// ShutdownGrace bounds graceful shutdown (default 5s).
 	ShutdownGrace time.Duration
+	// AssignBatchMax caps the number of points in one batched assign
+	// (default 1024); larger batches are rejected with 413 before any
+	// scoring work happens.
+	AssignBatchMax int
 }
 
 func (o Options) withDefaults() Options {
@@ -40,6 +45,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ShutdownGrace <= 0 {
 		o.ShutdownGrace = 5 * time.Second
+	}
+	if o.AssignBatchMax <= 0 {
+		o.AssignBatchMax = 1024
 	}
 	return o
 }
@@ -121,6 +129,14 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
+	if len(req.Points) > 0 {
+		if len(req.Point) > 0 {
+			writeErr(w, http.StatusBadRequest, "set either point or points, not both")
+			return
+		}
+		s.assignBatch(w, req.Points)
+		return
+	}
 	if len(req.Point) == 0 {
 		writeErr(w, http.StatusBadRequest, "empty point")
 		return
@@ -137,6 +153,32 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 		Infective:  a.Infective,
 		Candidates: a.Candidates,
 	})
+}
+
+// assignBatch serves the batch form of /v1/assign: one engine AssignBatch
+// call (one published state for the whole batch), results in request order.
+func (s *Server) assignBatch(w http.ResponseWriter, points [][]float64) {
+	if len(points) > s.opts.AssignBatchMax {
+		writeErr(w, http.StatusRequestEntityTooLarge,
+			"batch of %d points exceeds the maximum of %d", len(points), s.opts.AssignBatchMax)
+		return
+	}
+	as, err := s.eng.AssignBatch(points)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	results := make([]AssignResponse, len(as))
+	for i, a := range as {
+		results[i] = AssignResponse{
+			Cluster:    a.Cluster,
+			Score:      a.Score,
+			Density:    a.Density,
+			Infective:  a.Infective,
+			Candidates: a.Candidates,
+		}
+	}
+	writeJSON(w, http.StatusOK, AssignBatchResponse{Results: results})
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {

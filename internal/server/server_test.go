@@ -100,6 +100,73 @@ func TestAssignEndpoint(t *testing.T) {
 	}
 }
 
+func TestAssignBatchEndpoint(t *testing.T) {
+	s, eng := testServer(t)
+	pts := [][]float64{{0.1, 0}, {15.1, 14.9}, {400, -400}}
+	var out AssignBatchResponse
+	res := doJSON(t, s.Handler(), http.MethodPost, "/v1/assign", AssignRequest{Points: pts}, &out)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+	if len(out.Results) != len(pts) {
+		t.Fatalf("results = %d, want %d", len(out.Results), len(pts))
+	}
+	// The HTTP batch answer must equal the in-process batch answer exactly,
+	// per point and in order.
+	want, err := eng.AssignBatch(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range out.Results {
+		w := want[i]
+		if r.Cluster != w.Cluster || r.Score != w.Score || r.Density != w.Density ||
+			r.Infective != w.Infective || r.Candidates != w.Candidates {
+			t.Fatalf("result %d: http %+v vs engine %+v", i, r, w)
+		}
+	}
+	if out.Results[0].Cluster < 0 || out.Results[2].Cluster != -1 {
+		t.Fatalf("unexpected batch answers: %+v", out.Results)
+	}
+
+	// One bad point fails the whole batch, naming its index.
+	bad := AssignRequest{Points: [][]float64{{0, 0}, {1, 2, 3}}}
+	if res := doJSON(t, s.Handler(), http.MethodPost, "/v1/assign", bad, nil); res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad batch: status %d", res.StatusCode)
+	}
+	// Setting both forms is rejected.
+	both := AssignRequest{Point: []float64{0, 0}, Points: [][]float64{{1, 1}}}
+	if res := doJSON(t, s.Handler(), http.MethodPost, "/v1/assign", both, nil); res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("both forms: status %d", res.StatusCode)
+	}
+}
+
+func TestAssignBatchMaxRejects(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Kernel = affinity.Kernel{K: 0.3, P: 2}
+	cfg.LSH = lsh.Config{Projections: 6, Tables: 10, R: 4, Seed: 1}
+	pts, _ := testutil.Blobs(3, [][]float64{{0, 0}}, 30, 0.3, 0, 0, 1)
+	eng, err := engine.New(engine.Config{Core: cfg, BatchSize: 50}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	s := New(eng, Options{AssignBatchMax: 2})
+
+	ok := AssignRequest{Points: [][]float64{{0, 0}, {1, 1}}}
+	if res := doJSON(t, s.Handler(), http.MethodPost, "/v1/assign", ok, nil); res.StatusCode != http.StatusOK {
+		t.Fatalf("at-cap batch: status %d", res.StatusCode)
+	}
+	over := AssignRequest{Points: [][]float64{{0, 0}, {1, 1}, {2, 2}}}
+	res := doJSON(t, s.Handler(), http.MethodPost, "/v1/assign", over, nil)
+	if res.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-cap batch: status %d, want 413", res.StatusCode)
+	}
+	// 413 is decided before any scoring: the engine never saw the batch.
+	if got := eng.Stats().Assigns; got != 2 {
+		t.Fatalf("assigns = %d, want 2 (rejected batch must not be scored)", got)
+	}
+}
+
 func TestIngestEndpointWaited(t *testing.T) {
 	s, eng := testServer(t)
 	before := eng.Stats().N

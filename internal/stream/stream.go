@@ -68,6 +68,13 @@ type Config struct {
 	// keeps a forever-running stream's memory proportional to the window
 	// instead of the points ever seen.
 	Retention Retention
+	// Quantize maintains int8 row mirrors on the matrix (matrix.Quantize)
+	// so every published View carries the quantized candidate-scan tier.
+	// Sealed chunks quantize once and the tail refresh is O(batch), so
+	// commit-after-publish stays flat in n. The serving engine enables this;
+	// offline detection has no use for it. Mirrors are derived state — never
+	// persisted, rebuilt lazily after a restore.
+	Quantize bool
 }
 
 // Retention is the sliding-window eviction policy.
@@ -265,6 +272,9 @@ func (c *Clusterer) View() View {
 		KernelEvals: c.kernelEvals,
 	}
 	if c.mat != nil {
+		if c.cfg.Quantize {
+			c.mat.Quantize()
+		}
 		v.Mat = c.mat.Snapshot()
 	}
 	if c.index != nil {

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Records the perf-trajectory benchmarks into BENCH_PR5.json.
+# Records the perf-trajectory benchmarks into BENCH_PR6.json.
 #
 # Usage: scripts/bench.sh [output.json]
 #
@@ -26,17 +26,32 @@
 #     fan-out cannot manifest and the two must merely stay within noise
 #     (the host core count is recorded alongside the ratio).
 #
-# PR 5 adds the steady-state eviction gate:
+# PR 5 added the steady-state eviction gate:
 #   BenchmarkEvict (internal/stream) — ingest+evict loop at a fixed
 #     retention window (MaxPoints=2000, batch=64), measured after `ever`
 #     total points have flowed through (10× and 50× the window). The
 #     benchmark itself asserts live ≤ window; the recorded ratio
 #     ever=100000 / ever=20000 must stay ≤ 1.3 — per-commit cost flat in
 #     the points EVER seen, or the daemon cannot run forever.
+#
+# PR 6 adds the batched-Assign gate:
+#   BenchmarkAssignBatch/q={1,16,64} (internal/engine) — per-QUERY ns/op of
+#     AssignBatchInto at three batch widths, on BenchmarkAssign's exact
+#     workload. Gate: q=64 must serve ≥ 2× the assigns/s of single-point
+#     Assign. The two series are time-paired: five separate test-binary
+#     invocations each run BenchmarkAssign and the batch widths back to
+#     back (seconds apart, inside one host-load phase), and the per-series
+#     median across invocations is recorded — a ratio of two series
+#     sampled minutes apart on this host is dominated by load-phase flips,
+#     not by the code under test.
+#   BenchmarkCandScan/{exact,quant,upper} (internal/affinity) — the
+#     quantized-vs-exact candidate-scan series: one 96-row weighted scan per
+#     op as the packed exact re-check, the int8 chunk-walking bracket, and
+#     the packed float32 prune bound the batch pipeline runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR5.json}"
+out="${1:-BENCH_PR6.json}"
 
 run_bench() { # pkg, pattern, benchtime
 	go test -run='^$' -bench="^$2\$" -benchtime="$3" "$1" 2>/dev/null |
@@ -48,6 +63,12 @@ run_subbench() { # pkg, pattern (with sub-benchmark), benchtime
 		awk -v b="$2" '$0 ~ b {print $3; exit}'
 }
 
+run_subbench_med() { # pkg, pattern, benchtime, count — median across count runs
+	go test -run='^$' -bench="$2" -benchtime="$3" -count="$4" "$1" 2>/dev/null |
+		awk -v b="$2" '$0 ~ b {print $3}' |
+		sort -n | awk '{a[NR]=$1} END {print a[int((NR+1)/2)]}'
+}
+
 echo "benchmarking BenchmarkColumn (internal/affinity)..." >&2
 column=$(run_bench ./internal/affinity/ BenchmarkColumn 2s)
 echo "benchmarking BenchmarkBuild (internal/lsh)..." >&2
@@ -56,16 +77,34 @@ echo "benchmarking BenchmarkDetectAll (root)..." >&2
 detectall=$(run_bench . BenchmarkDetectAll 5x)
 echo "benchmarking BenchmarkDetectAllPar4 (root)..." >&2
 detectallpar4=$(run_bench . BenchmarkDetectAllPar4 5x)
-echo "benchmarking BenchmarkAssign (internal/engine)..." >&2
-assign=$(run_bench ./internal/engine/ BenchmarkAssign 2s)
-echo "benchmarking BenchmarkCommitAfterPublish/n=10000 (internal/stream)..." >&2
-commit10k=$(run_subbench ./internal/stream/ 'BenchmarkCommitAfterPublish/n=10000' 30x)
-echo "benchmarking BenchmarkCommitAfterPublish/n=100000 (internal/stream)..." >&2
-commit100k=$(run_subbench ./internal/stream/ 'BenchmarkCommitAfterPublish/n=100000' 30x)
-echo "benchmarking BenchmarkEvict/ever=20000 (internal/stream)..." >&2
-evict20k=$(run_subbench ./internal/stream/ 'BenchmarkEvict/ever=20000' 30x)
-echo "benchmarking BenchmarkEvict/ever=100000 (internal/stream)..." >&2
-evict100k=$(run_subbench ./internal/stream/ 'BenchmarkEvict/ever=100000' 30x)
+echo "benchmarking BenchmarkAssign + BenchmarkAssignBatch (internal/engine, 5 paired runs, medians)..." >&2
+assign_out=""
+for i in 1 2 3 4 5; do
+	echo "  paired assign run $i/5..." >&2
+	assign_out+="$(go test -run='^$' -bench='^BenchmarkAssign$|^BenchmarkAssignBatch$' \
+		-benchtime=2s ./internal/engine/ 2>/dev/null)"$'\n'
+done
+median_of() { # exact benchmark name (GOMAXPROCS suffix stripped)
+	echo "$assign_out" |
+		awk -v b="$1" '{n=$1; sub(/-[0-9]+$/, "", n)} n == b {print $3}' |
+		sort -n | awk '{a[NR]=$1} END {print a[int((NR+1)/2)]}'
+}
+assign=$(median_of BenchmarkAssign)
+batch1=$(median_of 'BenchmarkAssignBatch/q=1')
+batch16=$(median_of 'BenchmarkAssignBatch/q=16')
+batch64=$(median_of 'BenchmarkAssignBatch/q=64')
+echo "benchmarking BenchmarkCandScan/{exact,quant,upper} (internal/affinity)..." >&2
+scanexact=$(run_subbench ./internal/affinity/ 'BenchmarkCandScan/exact' 2s)
+scanquant=$(run_subbench ./internal/affinity/ 'BenchmarkCandScan/quant' 2s)
+scanupper=$(run_subbench ./internal/affinity/ 'BenchmarkCandScan/upper' 2s)
+echo "benchmarking BenchmarkCommitAfterPublish/n=10000 (internal/stream, count=3, median)..." >&2
+commit10k=$(run_subbench_med ./internal/stream/ 'BenchmarkCommitAfterPublish/n=10000' 30x 3)
+echo "benchmarking BenchmarkCommitAfterPublish/n=100000 (internal/stream, count=3, median)..." >&2
+commit100k=$(run_subbench_med ./internal/stream/ 'BenchmarkCommitAfterPublish/n=100000' 30x 3)
+echo "benchmarking BenchmarkEvict/ever=20000 (internal/stream, count=3, median)..." >&2
+evict20k=$(run_subbench_med ./internal/stream/ 'BenchmarkEvict/ever=20000' 30x 3)
+echo "benchmarking BenchmarkEvict/ever=100000 (internal/stream, count=3, median)..." >&2
+evict100k=$(run_subbench_med ./internal/stream/ 'BenchmarkEvict/ever=100000' 30x 3)
 
 host="$(uname -sm) / $(nproc) cpu / $(go version | awk '{print $3}')"
 date="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
@@ -84,7 +123,7 @@ persec() { awk -v ns="$1" 'BEGIN {printf "%.0f", 1e9 / ns}'; }
 
 cat > "$out" <<JSON
 {
-  "pr": 5,
+  "pr": 6,
   "recorded_at": "$date",
   "host": "$host",
   "cpus": $(nproc),
@@ -100,6 +139,12 @@ cat > "$out" <<JSON
     "BenchmarkDetectAll": $detectall,
     "BenchmarkDetectAllPar4": $detectallpar4,
     "BenchmarkAssign": $assign,
+    "BenchmarkAssignBatch/q=1": $batch1,
+    "BenchmarkAssignBatch/q=16": $batch16,
+    "BenchmarkAssignBatch/q=64": $batch64,
+    "BenchmarkCandScan/exact": $scanexact,
+    "BenchmarkCandScan/quant": $scanquant,
+    "BenchmarkCandScan/upper": $scanupper,
     "BenchmarkCommitAfterPublish/n=10000": $commit10k,
     "BenchmarkCommitAfterPublish/n=100000": $commit100k,
     "BenchmarkEvict/ever=20000": $evict20k,
@@ -114,6 +159,23 @@ cat > "$out" <<JSON
     "workload": "n=10000 d=16, 50 blobs + 10% noise, parallel assigns",
     "assigns_per_sec": $(persec "$assign"),
     "target_assigns_per_sec": 50000
+  },
+  "batched_assign": {
+    "workload": "BenchmarkAssign's workload through AssignBatchInto; ns/op is per QUERY; per-series medians of 5 time-paired test-binary invocations",
+    "ns_per_query_q1": $batch1,
+    "ns_per_query_q16": $batch16,
+    "ns_per_query_q64": $batch64,
+    "ns_single_assign": $assign,
+    "batch_assigns_per_sec_q64": $(persec "$batch64"),
+    "speedup_q64_vs_single": $(ratio "$assign" "$batch64"),
+    "gate_min_speedup": 2.0
+  },
+  "candidate_scan": {
+    "workload": "one 96-row weighted candidate scan, d=16: packed exact re-check vs int8 chunk-walk bracket vs packed float32 prune bound",
+    "ns_exact": $scanexact,
+    "ns_quant_bracket": $scanquant,
+    "ns_quant_upper": $scanupper,
+    "speedup_upper_vs_exact": $(ratio "$scanexact" "$scanupper")
   },
   "commit_after_publish": {
     "workload": "d=16 blobs of 200, publish View then commit a fresh 64-point batch",

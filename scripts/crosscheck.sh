@@ -7,7 +7,13 @@
 #   - PR 5: the evict crosschecks — after tombstoned eviction, every LSH
 #     query and engine Assign must be bit-identical to an index/engine
 #     rebuilt from only the survivors, snapshot v3 must round-trip
-#     byte-identically with tombstones, and retention must pin the live set.
+#     byte-identically with tombstones, and retention must pin the live set;
+#   - PR 6: the batched/quantized Assign crosschecks — AssignBatch winners,
+#     scores and order bit-identical to N sequential Assigns (including a
+#     generation-stable crosscheck inside the concurrent ingest/evict race
+#     test), the quantized prune bit-identical to the exact scan on random
+#     and adversarial near-tie fixtures, and the packed/quantized affinity
+#     primitives bounding or matching their exact counterparts bitwise.
 #
 # Usage: scripts/crosscheck.sh
 #
@@ -31,6 +37,11 @@ go test -race -count=1 \
 go test -race -count=1 \
 	-run 'Evict|Retention|TestV3Tombstone|TestV2Shim|TestFromChunksLive|TestClustersReturnsCopy|TestRestoreRejectsCorruptClusters' \
 	./internal/matrix/ ./internal/lsh/ ./internal/stream/ ./internal/snapshot/ ./internal/engine/ ./internal/server/ \
+	2>&1
+
+go test -race -count=1 \
+	-run 'TestAssignBatchMatchesSequential|TestAssignQuantizedMatchesExact|TestAssignBatchAtomicValidation|TestConcurrentAssignIngest|TestQuantScoreWithinMargin|TestQuantScoreBracketSweep|TestQuantUpperBoundsExact|TestUpperPackedBoundsExact|TestUpperPackedCutSound|TestColumnPointPackedMatchesGathered|TestScorePackedMatchesColumnSum|TestColumnPointBatchMatchesSingle' \
+	./internal/engine/ ./internal/affinity/ \
 	2>&1
 
 echo "crosscheck (with -race): OK" >&2
