@@ -14,6 +14,14 @@
 //	curl -s localhost:8080/v1/evict -d '{"ids":[17,42]}'
 //	curl -s localhost:8080/v1/clusters?members=false
 //	curl -s localhost:8080/v1/stats
+//	curl -s localhost:8080/metrics
+//
+// Observability: GET /metrics serves Prometheus text exposition for the
+// whole serving pipeline (assign latency and prune tiers, ingest queue,
+// commit phases, eviction, snapshots, HTTP). -pprof-addr starts a separate
+// net/http/pprof listener (separate so profiling is never exposed on the
+// serving port). Logs are structured (log/slog): text to stderr by default,
+// JSON with -log-json, request sampling via -log-every.
 //
 // With -retention-points / -retention-age the daemon evicts expired points
 // after every commit, keeping steady-state memory bounded by the window
@@ -30,7 +38,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -65,6 +75,10 @@ func main() {
 	retPoints := flag.Int("retention-points", 0, "evict the oldest live points beyond this cap after each commit (0 = unlimited; bounds daemon memory under continuous ingest)")
 	retAge := flag.Duration("retention-age", 0, "evict points older than this (0 = unlimited). Passing EITHER retention flag explicitly replaces a restored snapshot's whole stored policy — pass both as 0 to disable retention on restore")
 	assignBatchMax := flag.Int("assign-batch-max", 1024, "maximum points per batched /v1/assign request (larger batches get 413)")
+	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof (empty = disabled; keep it off the serving port)")
+	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error (debug includes per-publish engine lines)")
+	logEvery := flag.Int("log-every", 100, "sample 1 of every N successful HTTP requests in the log (errors always log)")
 	flag.Parse()
 	// Explicit presence, not value, decides the override: `-retention-points 0
 	// -retention-age 0` must be able to CLEAR a restored snapshot's policy,
@@ -76,58 +90,110 @@ func main() {
 		}
 	})
 
-	log.SetPrefix("alidd: ")
-	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+	logger, err := buildLogger(*logJSON, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "alidd:", err)
+		os.Exit(1)
+	}
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	retention := stream.Retention{MaxPoints: *retPoints, MaxAge: *retAge}
-	eng, err := buildEngine(*in, *labeled, *snap, *batch, *queue, *kScale, *rSeg, *mu, *tables, *seed, *threshold, par.New(*parallelism), retention, retentionSet)
+	eng, err := buildEngine(logger, *in, *labeled, *snap, *batch, *queue, *kScale, *rSeg, *mu, *tables, *seed, *threshold, par.New(*parallelism), retention, retentionSet)
 	if err != nil {
-		log.Fatal(err)
+		fatal("startup", err)
 	}
 	defer eng.Close()
 	st := eng.Stats()
-	log.Printf("serving n=%d live=%d dim=%d clusters=%d commits=%d on %s", st.N, st.LiveN, st.Dim, st.Clusters, st.Commits, *addr)
+	logger.Info("serving",
+		"addr", *addr, "n", st.N, "live", st.LiveN, "dim", st.Dim,
+		"clusters", st.Clusters, "commits", st.Commits)
 	if r := eng.Config().Retention; r.Enabled() {
-		log.Printf("retention: max-points=%d max-age=%s (enforced after every commit)", r.MaxPoints, r.MaxAge)
+		logger.Info("retention enabled (enforced after every commit)", "max_points", r.MaxPoints, "max_age", r.MaxAge)
 	} else {
-		log.Printf("retention: disabled — memory grows with every ingested point")
+		logger.Info("retention disabled — memory grows with every ingested point")
 	}
 
+	if *pprofAddr != "" {
+		go servePprof(ctx, logger, *pprofAddr)
+	}
 	if *snap != "" && *snapEvery > 0 {
-		go snapshotLoop(ctx, eng, *snap, *snapEvery)
+		go snapshotLoop(ctx, logger, eng, *snap, *snapEvery)
 	}
 
-	srv := server.New(eng, server.Options{AssignBatchMax: *assignBatchMax})
+	srv := server.New(eng, server.Options{
+		AssignBatchMax: *assignBatchMax,
+		Logger:         logger,
+		LogEvery:       *logEvery,
+	})
 	if err := srv.Serve(ctx, *addr); err != nil {
-		log.Fatal(err)
+		fatal("serve", err)
 	}
-	log.Printf("shut down")
+	logger.Info("shut down")
 
 	// Final snapshot: flush buffered points first so nothing queued is lost.
 	if *snap != "" {
 		flushCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := eng.Flush(flushCtx); err != nil {
-			log.Printf("final flush: %v", err)
+			logger.Warn("final flush", "err", err)
 		}
 		if eng.Stats().N == 0 {
-			log.Printf("nothing committed; skipping final snapshot")
+			logger.Info("nothing committed; skipping final snapshot")
 			return
 		}
-		if err := eng.SaveFile(*snap); err != nil {
-			log.Printf("final snapshot: %v", err)
-		} else {
-			log.Printf("snapshot written to %s", *snap)
-		}
+		saveSnapshot(logger, eng, *snap, "final")
+	}
+}
+
+// buildLogger constructs the process logger: slog text or JSON on stderr at
+// the requested level.
+func buildLogger(asJSON bool, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	if asJSON {
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, opts)
+	}
+	return slog.New(h), nil
+}
+
+// servePprof runs the pprof handlers on their own listener so profiling
+// never shares the serving port. The explicit mux avoids depending on
+// http.DefaultServeMux side effects.
+func servePprof(ctx context.Context, logger *slog.Logger, addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	hs := &http.Server{Addr: addr, Handler: mux}
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		hs.Shutdown(shutCtx)
+	}()
+	logger.Info("pprof listening", "addr", addr)
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		logger.Warn("pprof server", "err", err)
 	}
 }
 
 // buildEngine restores from the snapshot when one exists, otherwise detects
 // from the CSV (or starts empty).
-func buildEngine(in string, labeled bool, snap string, batch, queue int, k, r float64, mu, tables int, seed int64, threshold float64, pool *par.Pool, retention stream.Retention, retentionSet bool) (*engine.Engine, error) {
+func buildEngine(logger *slog.Logger, in string, labeled bool, snap string, batch, queue int, k, r float64, mu, tables int, seed int64, threshold float64, pool *par.Pool, retention stream.Retention, retentionSet bool) (*engine.Engine, error) {
 	if snap != "" {
 		if _, err := os.Stat(snap); err == nil {
 			// The snapshot carries the previous process's retention policy;
@@ -137,11 +203,12 @@ func buildEngine(in string, labeled bool, snap string, batch, queue int, k, r fl
 			if retentionSet {
 				override = &retention
 			}
+			start := time.Now()
 			eng, err := engine.LoadFileRetention(snap, queue, pool, override)
 			if err != nil {
 				return nil, fmt.Errorf("restore %s: %w", snap, err)
 			}
-			log.Printf("restored snapshot %s", snap)
+			logger.Info("restored snapshot", "path", snap, "elapsed", time.Since(start))
 			return eng, nil
 		}
 	}
@@ -165,7 +232,7 @@ func buildEngine(in string, labeled bool, snap string, batch, queue int, k, r fl
 		if r <= 0 {
 			r = auto.LSHSegment
 		}
-		log.Printf("auto-tuned k=%.4g r=%.4g", k, r)
+		logger.Info("auto-tuned", "k", k, "r", r)
 	}
 	if k <= 0 {
 		k = 1
@@ -178,11 +245,26 @@ func buildEngine(in string, labeled bool, snap string, batch, queue int, k, r fl
 	cfg.LSH = lsh.Config{Projections: mu, Tables: tables, R: r, Seed: seed}
 	cfg.DensityThreshold = threshold
 	cfg.Pool = pool
-	return engine.New(engine.Config{Core: cfg, BatchSize: batch, QueueSize: queue, Retention: retention}, pts)
+	return engine.New(engine.Config{Core: cfg, BatchSize: batch, QueueSize: queue, Retention: retention, Logger: logger}, pts)
+}
+
+// saveSnapshot persists and logs one snapshot (shared by the periodic loop
+// and the shutdown path).
+func saveSnapshot(logger *slog.Logger, eng *engine.Engine, path, kind string) {
+	start := time.Now()
+	if err := eng.SaveFile(path); err != nil {
+		logger.Warn("snapshot failed", "kind", kind, "path", path, "err", err)
+		return
+	}
+	size := int64(-1)
+	if fi, err := os.Stat(path); err == nil {
+		size = fi.Size()
+	}
+	logger.Info("snapshot saved", "kind", kind, "path", path, "bytes", size, "elapsed", time.Since(start))
 }
 
 // snapshotLoop periodically persists the published state until ctx ends.
-func snapshotLoop(ctx context.Context, eng *engine.Engine, path string, every time.Duration) {
+func snapshotLoop(ctx context.Context, logger *slog.Logger, eng *engine.Engine, path string, every time.Duration) {
 	t := time.NewTicker(every)
 	defer t.Stop()
 	for {
@@ -193,9 +275,7 @@ func snapshotLoop(ctx context.Context, eng *engine.Engine, path string, every ti
 			if eng.Stats().N == 0 {
 				continue
 			}
-			if err := eng.SaveFile(path); err != nil {
-				log.Printf("periodic snapshot: %v", err)
-			}
+			saveSnapshot(logger, eng, path, "periodic")
 		}
 	}
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"log/slog"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -10,6 +12,12 @@ import (
 
 	"alid/internal/stream"
 )
+
+// testLogger discards output: the tests exercise the build paths, not the
+// log text.
+func testLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
 
 func writeTemp(t *testing.T, content string) string {
 	t.Helper()
@@ -63,7 +71,7 @@ func TestBuildEngineDetectSnapshotRestore(t *testing.T) {
 	csv := blobCSV(t)
 	snap := filepath.Join(t.TempDir(), "alid.snap")
 
-	eng, err := buildEngine(csv, false, snap, 64, 0, 0, 0, 8, 10, 1, 0.75, nil, stream.Retention{}, false)
+	eng, err := buildEngine(testLogger(), csv, false, snap, 64, 0, 0, 0, 8, 10, 1, 0.75, nil, stream.Retention{}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +85,7 @@ func TestBuildEngineDetectSnapshotRestore(t *testing.T) {
 	}
 
 	// Restart: the snapshot wins over -in and tuning flags.
-	restored, err := buildEngine("", false, snap, 64, 0, 0, 0, 8, 10, 1, 0.75, nil, stream.Retention{}, false)
+	restored, err := buildEngine(testLogger(), "", false, snap, 64, 0, 0, 0, 8, 10, 1, 0.75, nil, stream.Retention{}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +108,7 @@ func TestBuildEngineDetectSnapshotRestore(t *testing.T) {
 }
 
 func TestBuildEngineEmptyStart(t *testing.T) {
-	eng, err := buildEngine("", false, "", 64, 0, 0.5, 2, 8, 10, 1, 0.75, nil, stream.Retention{}, false)
+	eng, err := buildEngine(testLogger(), "", false, "", 64, 0, 0.5, 2, 8, 10, 1, 0.75, nil, stream.Retention{}, false)
 	if err != nil {
 		t.Fatal(err)
 	}

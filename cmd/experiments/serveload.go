@@ -15,6 +15,7 @@ import (
 	"alid/internal/core"
 	"alid/internal/engine"
 	"alid/internal/lsh"
+	"alid/internal/obs"
 	"alid/internal/testutil"
 )
 
@@ -69,6 +70,9 @@ func serveLoad(ctx context.Context) error {
 	loadCtx, cancel := context.WithTimeout(ctx, *serveDuration)
 	defer cancel()
 	var assigns, hits atomic.Int64
+	// Client-side latency: one shared lock-free histogram across all
+	// clients (per-request wall time; a batched request is one observation).
+	lat := obs.NewHistogram("client_assign_duration_seconds", "", "", 1e-9)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for c := 0; c < *serveClients; c++ {
@@ -86,7 +90,9 @@ func serveLoad(ctx context.Context) error {
 						qs[k] = queries[(i+k)%len(queries)]
 					}
 					var err error
+					reqStart := time.Now()
 					out, err = eng.AssignBatchInto(qs, out)
+					lat.Observe(time.Since(reqStart).Nanoseconds())
 					if err != nil {
 						fmt.Fprintf(os.Stderr, "serve-load: assign batch: %v\n", err)
 						return
@@ -102,7 +108,9 @@ func serveLoad(ctx context.Context) error {
 				return
 			}
 			for loadCtx.Err() == nil {
+				reqStart := time.Now()
 				a, err := eng.Assign(queries[i%len(queries)])
+				lat.Observe(time.Since(reqStart).Nanoseconds())
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "serve-load: assign: %v\n", err)
 					return
@@ -150,6 +158,11 @@ func serveLoad(ctx context.Context) error {
 	fmt.Printf("assigns=%d hit_rate=%.3f elapsed=%.2fs throughput=%.0f assigns/sec\n",
 		assigns.Load(), float64(hits.Load())/math.Max(1, float64(assigns.Load())),
 		elapsed.Seconds(), float64(assigns.Load())/elapsed.Seconds())
+	// Quantiles come from power-of-two buckets: each is the bucket's upper
+	// bound, so read them as conservative (≤2× the true value).
+	fmt.Printf("request_latency: p50=%s p95=%s p99=%s (per request; batch=%d points/request)\n",
+		time.Duration(lat.Quantile(0.50)*1e9), time.Duration(lat.Quantile(0.95)*1e9),
+		time.Duration(lat.Quantile(0.99)*1e9), max(1, *serveBatch))
 	fmt.Printf("ingested=%d commits=%d queued=%d writer_errors=%d\n",
 		st.Ingested, st.Commits, st.QueuedPoints, st.WriterErrors)
 	return nil

@@ -43,6 +43,7 @@ import (
 	"fmt"
 	"math"
 
+	"alid/internal/obs"
 	"alid/internal/vec"
 )
 
@@ -117,9 +118,12 @@ func (e *Engine) AssignBatchInto(qs [][]float64, out []Assignment) ([]Assignment
 		}
 	}
 	e.assigns.Add(int64(len(qs)))
+	start := obs.Now()
 	bs := st.bpool.Get().(*batchScratch)
 	out = e.assignBatch(st, bs, qs, out)
 	st.bpool.Put(bs)
+	e.met.batchPoints.Observe(int64(len(qs)))
+	e.met.assignBatch.ObserveSince(start)
 	return out, nil
 }
 
@@ -146,6 +150,9 @@ func (e *Engine) assignBatch(st *state, bs *batchScratch, qs [][]float64, out []
 	bi := st.batchIdx()
 	kern := st.oracle.Kernel
 	var scanned int64 // rows kernel-scanned (quant + exact), credited per batch
+	// Prune-tier tallies, flushed with one atomic add per batch (not per
+	// query) to keep the hot loop free of shared-cacheline traffic.
+	var anchorPruned, quantPruned, exactScans, noise int64
 	// Reserve one marker generation per query; on wrap-around reset markers.
 	if bs.gen > ^uint32(0)-uint32(len(qs))-1 {
 		clear(bs.cmark)
@@ -171,7 +178,9 @@ func (e *Engine) assignBatch(st *state, bs *batchScratch, qs [][]float64, out []
 			}
 		}
 		nc := len(bs.cids)
+		e.met.candClusters.Observe(int64(nc))
 		if nc == 0 {
+			noise++
 			out = append(out, Assignment{Cluster: -1})
 			continue
 		}
@@ -204,6 +213,7 @@ func (e *Engine) assignBatch(st *state, bs *batchScratch, qs [][]float64, out []
 		for _, s32 := range ord {
 			s := int(s32)
 			if bs.ubs[s] < bestScore {
+				anchorPruned++
 				continue // anchor-pruned: strictly below an exact score
 			}
 			ci := int(bs.cids[s])
@@ -217,9 +227,11 @@ func (e *Engine) assignBatch(st *state, bs *batchScratch, qs [][]float64, out []
 				ub, ok := st.oracle.UpperPackedCut(q, qn,
 					bi.qv[lo*st.dim:hi*st.dim], bi.qvn[lo:hi], bi.qwf[lo:hi], bi.qsuf[lo:hi], bestScore)
 				if ok && ub < bestScore {
+					quantPruned++
 					continue // quant-pruned: strictly below an exact score
 				}
 			}
+			exactScans++
 			scanned += int64(hi - lo)
 			bs.col = growF64(bs.col, hi-lo)
 			sc := st.oracle.ScorePacked(q, qn, bi.pk[lo*st.dim:hi*st.dim], bi.pkn[lo:hi], cl.Weights, bs.col)
@@ -232,6 +244,7 @@ func (e *Engine) assignBatch(st *state, bs *batchScratch, qs [][]float64, out []
 		}
 
 		if bestSlot < 0 {
+			noise++
 			out = append(out, Assignment{Cluster: -1, Candidates: nc})
 			continue
 		}
@@ -246,5 +259,9 @@ func (e *Engine) assignBatch(st *state, bs *batchScratch, qs [][]float64, out []
 		})
 	}
 	st.oracle.AddComputed(scanned)
+	e.met.scanAnchor.Add(anchorPruned)
+	e.met.scanQuant.Add(quantPruned)
+	e.met.scanExact.Add(exactScans)
+	e.met.noise.Add(noise)
 	return out
 }

@@ -27,6 +27,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
 	"sync"
@@ -37,6 +38,7 @@ import (
 	"alid/internal/lid"
 	"alid/internal/lsh"
 	"alid/internal/matrix"
+	"alid/internal/obs"
 	"alid/internal/stream"
 	"alid/internal/vec"
 )
@@ -54,6 +56,14 @@ type Config struct {
 	// with a retention policy a forever-running daemon's memory stays
 	// proportional to the window, not to the points ever ingested.
 	Retention stream.Retention
+	// Obs is the metrics registry the engine (and its clusterer) register
+	// into; nil makes the engine create a private one, retrievable via
+	// Obs() — the daemon serves it at GET /metrics either way. Metrics are
+	// diagnostics only: no decision on any deterministic path reads one.
+	Obs *obs.Registry
+	// Logger, when non-nil, receives structured writer-side log lines (one
+	// per published generation, at Debug). Reads never log.
+	Logger *slog.Logger
 }
 
 // Assignment is the answer of the Assign read path.
@@ -93,16 +103,24 @@ type Stats struct {
 	// incremented when Ingest accepts points and decremented when a commit
 	// consumes them into the matrix (or the writer rejects an invalid one).
 	QueuedPoints int64
-	// Assigns and Ingested count Assign calls and accepted points.
+	// Assigns and Ingested count Assign calls and accepted points. Exact:
+	// each is a single atomic incremented at the accept point.
 	Assigns, Ingested int64
 	// AffinityComputed counts kernel evaluations: assign-path scoring across
 	// all published states plus the stream's commit-side work (dirtiness
-	// checks and detection). Restored engines restart the commit-side count
-	// at zero.
+	// checks and detection). Racy-read: it sums three sources (retired
+	// states, the published view, the live oracle) that advance while Stats
+	// runs, so consecutive calls can regress slightly. Restored engines
+	// restart the commit-side count at zero.
 	AffinityComputed int64
 	// WriterErrors counts commit/ingest failures inside the writer; the
 	// most recent one is returned by the next Flush.
 	WriterErrors int64
+	// AssignP50/P95/P99 are single-point Assign latency quantiles in
+	// seconds, derived from the engine's power-of-two latency histogram
+	// (upper-bound interpolation within a bucket; zero until the first
+	// assign, and always zero under the noobs build tag).
+	AssignP50, AssignP95, AssignP99 float64
 }
 
 // assignTopK is the truncation width of the assign-path scorer: only the
@@ -215,6 +233,10 @@ type Engine struct {
 	writerErrs   atomic.Int64
 	lastErr      atomic.Pointer[error] // consumed by Flush
 
+	obsReg *obs.Registry  // the registry every engine metric lives in
+	met    *engineMetrics // serve-path instrumentation, always non-nil
+	logger *slog.Logger   // nil = silent
+
 	clusterer *stream.Clusterer // owned by the writer goroutine
 }
 
@@ -236,7 +258,14 @@ func New(cfg Config, initial [][]float64) (*Engine, error) {
 	if err := cfg.Core.LSH.Validate(); err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
-	c, err := stream.New(initial, stream.Config{Core: cfg.Core, BatchSize: cfg.BatchSize, Retention: cfg.Retention, Quantize: true})
+	// Default the registry into a local, never into the stored config: a
+	// config recovered via Engine.Config must stay re-usable for a second
+	// engine without colliding on metric registration.
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	c, err := stream.New(initial, stream.Config{Core: cfg.Core, BatchSize: cfg.BatchSize, Retention: cfg.Retention, Quantize: true, Obs: reg})
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
@@ -245,21 +274,25 @@ func New(cfg Config, initial [][]float64) (*Engine, error) {
 			return nil, fmt.Errorf("engine: initial commit: %w", err)
 		}
 	}
-	return start(cfg, c), nil
+	return start(cfg, reg, c), nil
 }
 
 // Restore builds an engine from persisted state — the crash-restart path:
 // the matrix, index and clusters come back exactly as published, with no
 // re-detection. Ownership of all arguments transfers to the engine.
 func Restore(cfg Config, mat *matrix.Matrix, index *lsh.Index, clusters []*core.Cluster, labels []int, commits int) (*Engine, error) {
-	c, err := stream.Restore(stream.Config{Core: cfg.Core, BatchSize: cfg.BatchSize, Retention: cfg.Retention, Quantize: true}, mat, index, clusters, labels, commits)
+	reg := cfg.Obs // see New: defaulted locally, never stored back
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	c, err := stream.Restore(stream.Config{Core: cfg.Core, BatchSize: cfg.BatchSize, Retention: cfg.Retention, Quantize: true, Obs: reg}, mat, index, clusters, labels, commits)
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
-	return start(cfg, c), nil
+	return start(cfg, reg, c), nil
 }
 
-func start(cfg Config, c *stream.Clusterer) *Engine {
+func start(cfg Config, reg *obs.Registry, c *stream.Clusterer) *Engine {
 	if cfg.QueueSize <= 0 {
 		cfg.QueueSize = 1024
 	}
@@ -273,8 +306,12 @@ func start(cfg Config, c *stream.Clusterer) *Engine {
 		reqs:      make(chan request, cfg.QueueSize),
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
+		obsReg:    reg,
+		met:       newEngineMetrics(reg),
+		logger:    cfg.Logger,
 		clusterer: c,
 	}
+	e.registerEngineFuncs(reg)
 	e.publish()
 	go e.run()
 	return e
@@ -331,6 +368,19 @@ func (e *Engine) publish() {
 	}
 	if old := e.state.Swap(st); old != nil && old.oracle != nil {
 		e.pastComputed.Add(old.oracle.Computed())
+	}
+	if e.logger != nil && e.logger.Enabled(context.Background(), slog.LevelDebug) {
+		n, live := 0, 0
+		if st.view.Mat != nil {
+			n, live = st.view.Mat.N, st.view.Mat.LiveCount()
+		}
+		e.logger.LogAttrs(context.Background(), slog.LevelDebug, "published",
+			slog.Int("commits", st.view.Commits),
+			slog.Int("n", n),
+			slog.Int("live", live),
+			slog.Int("clusters", len(st.view.Clusters)),
+			slog.Int64("queued", e.queued.Load()),
+		)
 	}
 }
 
@@ -525,6 +575,7 @@ func (e *Engine) Assign(q []float64) (Assignment, error) {
 		return Assignment{}, fmt.Errorf("engine: %w", err)
 	}
 	e.assigns.Add(1)
+	start := obs.Now()
 	sc := st.getScratch()
 	defer st.pool.Put(sc)
 	sc.gen++
@@ -547,6 +598,9 @@ func (e *Engine) Assign(q []float64) (Assignment, error) {
 		sc.cids = append(sc.cids, ci)
 	}
 	if len(sc.cids) == 0 {
+		e.met.candPoints.Observe(int64(len(sc.cand)))
+		e.met.noise.Inc()
+		e.met.assignSingle.ObserveSince(start)
 		return Assignment{Cluster: -1, Candidates: len(sc.cand)}, nil
 	}
 
@@ -588,8 +642,10 @@ func (e *Engine) Assign(q []float64) (Assignment, error) {
 	// (and its reported score, computed over the full member set in member
 	// order) is bit-identical to untruncated scoring.
 	best, bestScore := -1, math.Inf(-1)
+	pruned := 0
 	for k, ci := range sc.cids {
 		if sc.bounds[k] < bestLower {
+			pruned++
 			continue
 		}
 		score := sc.scores[k]
@@ -606,10 +662,16 @@ func (e *Engine) Assign(q []float64) (Assignment, error) {
 			best, bestScore = ci, score
 		}
 	}
+	e.met.candPoints.Observe(int64(len(sc.cand)))
+	e.met.scanTrunc.Add(int64(pruned))
+	e.met.scanExact.Add(int64(len(sc.cids) - pruned))
 	if best < 0 { // defensive: unreachable with finite inputs
+		e.met.noise.Inc()
+		e.met.assignSingle.ObserveSince(start)
 		return Assignment{Cluster: -1, Candidates: len(sc.cand)}, nil
 	}
 	cl := st.view.Clusters[best]
+	e.met.assignSingle.ObserveSince(start)
 	return Assignment{
 		Cluster:    best,
 		Score:      bestScore,
@@ -654,11 +716,13 @@ func (e *Engine) Ingest(ctx context.Context, pts [][]float64) error {
 		return fmt.Errorf("engine: closed")
 	}
 	e.queued.Add(int64(len(cp)))
+	waitStart := obs.Now()
 	// The writer cannot exit while we hold the read lock (Close flips the
 	// flag under the write lock before stopping it), so an accepted send is
 	// guaranteed to be drained.
 	select {
 	case e.reqs <- request{kind: reqIngest, pts: cp}:
+		e.met.ingestWait.ObserveSince(waitStart)
 		return nil
 	case <-ctx.Done():
 		e.queued.Add(int64(-len(cp)))
@@ -777,8 +841,17 @@ func (e *Engine) View() stream.View {
 // Config returns the engine configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
-// Stats returns a point-in-time summary. Counters are individually atomic;
-// the set is not a consistent snapshot.
+// Obs returns the engine's metrics registry (the configured one, or the
+// registry the engine created for itself when Config.Obs was nil). Serve it
+// with obs.Registry.Handler to expose Prometheus text exposition.
+func (e *Engine) Obs() *obs.Registry { return e.obsReg }
+
+// Stats returns a point-in-time summary. Each counter is individually
+// atomic and exact (QueuedPoints, Assigns, Ingested, WriterErrors), but the
+// set is not a consistent snapshot: fields read from the published state
+// (N, Clusters, Commits, …) may belong to a newer or older generation than
+// the counters, and AffinityComputed aggregates sources that advance
+// concurrently. Treat the result as monitoring data, not as an invariant.
 func (e *Engine) Stats() Stats {
 	s := Stats{
 		QueuedPoints: e.queued.Load(),
@@ -786,6 +859,9 @@ func (e *Engine) Stats() Stats {
 		Ingested:     e.ingested.Load(),
 		WriterErrors: e.writerErrs.Load(),
 	}
+	s.AssignP50 = e.met.assignSingle.Quantile(0.50)
+	s.AssignP95 = e.met.assignSingle.Quantile(0.95)
+	s.AssignP99 = e.met.assignSingle.Quantile(0.99)
 	s.AffinityComputed = e.pastComputed.Load()
 	if st := e.state.Load(); st != nil {
 		s.Dim = st.dim

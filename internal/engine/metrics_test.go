@@ -1,0 +1,134 @@
+//go:build !noobs
+
+package engine
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"alid/internal/obs"
+	"alid/internal/testutil"
+)
+
+// After real traffic (detect, assign single+batch, ingest, evict), the
+// engine's registry must render every serving-pipeline metric family with
+// non-trivial values. This is the end-to-end wiring check: a family missing
+// here means an instrumentation call got dropped from a hot path.
+func TestEngineMetricsFamilies(t *testing.T) {
+	pts, _ := testutil.Blobs(57, [][]float64{{0, 0}, {12, 12}}, 200, 0.05, 20, -15, 20)
+	reg := obs.NewRegistry()
+	cfg := engineConfig()
+	e, err := New(Config{Core: cfg.Core, BatchSize: cfg.BatchSize, Retention: cfg.Retention, Obs: reg}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	ctx := context.Background()
+	queries := [][]float64{{0.1, -0.2}, {11.8, 12.3}, {6, 6}}
+	for _, q := range queries {
+		if _, err := e.Assign(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.AssignBatch(queries); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Ingest(ctx, [][]float64{{0.2, 0.1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Evict(ctx, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, family := range []string{
+		"alid_assign_duration_seconds",
+		"alid_assign_batch_points",
+		"alid_assign_candidates",
+		"alid_assign_cluster_scans_total",
+		"alid_ingest_wait_seconds",
+		"alid_commit_duration_seconds",
+		"alid_commit_phase_seconds",
+		"alid_commit_batch_points",
+		"alid_view_publishes_total",
+		"alid_evicted_points_total",
+		"alid_points",
+		"alid_clusters",
+		"alid_assigns_total",
+		"alid_ingested_points_total",
+		"alid_commits_total",
+		"alid_kernel_evals_total",
+		"alid_lsh_segments",
+		"alid_lsh_buckets",
+		"alid_lsh_max_bucket_size",
+	} {
+		if !strings.Contains(text, "\n"+family) && !strings.HasPrefix(text, "# HELP "+family) {
+			t.Errorf("family %s missing from exposition", family)
+		}
+	}
+	// Spot-check values that must be non-zero after the traffic above.
+	for _, needle := range []string{
+		`alid_assign_duration_seconds_count{mode="single"} 3`,
+		`alid_assign_duration_seconds_count{mode="batch"} 1`,
+		"alid_assigns_total 6",
+		"alid_ingested_points_total 1",
+		"alid_evicted_points_total 1",
+	} {
+		if !strings.Contains(text, needle) {
+			t.Errorf("exposition lacks %q", needle)
+		}
+	}
+}
+
+// Stats' histogram-derived quantiles come from the same assign histogram
+// and must be populated and ordered after traffic.
+func TestStatsAssignQuantiles(t *testing.T) {
+	pts, _ := testutil.Blobs(58, [][]float64{{0, 0}, {12, 12}}, 100, 0.05, 20, -15, 20)
+	e, err := New(engineConfig(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for i := 0; i < 64; i++ {
+		if _, err := e.Assign([]float64{0.1, -0.2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.AssignP50 <= 0 || st.AssignP95 < st.AssignP50 || st.AssignP99 < st.AssignP95 {
+		t.Fatalf("quantiles not populated/ordered: p50=%v p95=%v p99=%v",
+			st.AssignP50, st.AssignP95, st.AssignP99)
+	}
+}
+
+// A config recovered from a running engine must be reusable for a second
+// engine: the self-created registry is never written back into the stored
+// config, so restoring from an engine's own Config cannot double-register.
+func TestConfigReusableAfterSelfRegistry(t *testing.T) {
+	pts, _ := testutil.Blobs(59, [][]float64{{0, 0}, {12, 12}}, 50, 0.05, 20, -15, 20)
+	e, err := New(engineConfig(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if e.Obs() == nil {
+		t.Fatal("engine did not self-create a registry")
+	}
+	if e.Config().Obs != nil {
+		t.Fatal("self-created registry leaked into the stored config")
+	}
+	e2, err := New(e.Config(), pts) // would panic on duplicate registration
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2.Close()
+}

@@ -1,15 +1,42 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 
+	"alid/internal/obs"
 	"alid/internal/par"
 	"alid/internal/snapshot"
 	"alid/internal/stream"
 )
+
+// countingWriter / countingReader meter snapshot byte volume for the
+// alid_snapshot_bytes_total counters without buffering anything.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
 
 // WriteSnapshot persists the current published state. It reads only the
 // immutable view, so it is safe to call concurrently with assigns and
@@ -20,7 +47,9 @@ func (e *Engine) WriteSnapshot(w io.Writer) error {
 	if v.Mat == nil {
 		return fmt.Errorf("engine: nothing committed to snapshot")
 	}
-	return snapshot.Write(w, &snapshot.Snapshot{
+	start := obs.Now()
+	cw := &countingWriter{w: w}
+	err := snapshot.Write(cw, &snapshot.Snapshot{
 		Core:      e.cfg.Core,
 		BatchSize: e.cfg.BatchSize,
 		Retention: e.cfg.Retention,
@@ -30,6 +59,17 @@ func (e *Engine) WriteSnapshot(w io.Writer) error {
 		Labels:    v.Labels.Flat(),
 		Commits:   v.Commits,
 	})
+	e.met.saveBytes.Add(cw.n)
+	e.met.snapSave.ObserveSince(start)
+	if err == nil && e.logger != nil {
+		e.logger.LogAttrs(context.Background(), slog.LevelInfo, "snapshot written",
+			slog.Int64("bytes", cw.n),
+			slog.Int("n", v.Mat.N),
+			slog.Int("clusters", len(v.Clusters)),
+			slog.Int("commits", v.Commits),
+		)
+	}
+	return err
 }
 
 // SaveFile writes the snapshot atomically: to a temp file in the target
@@ -73,7 +113,9 @@ func LoadSnapshot(r io.Reader, queueSize int, pool *par.Pool) (*Engine, error) {
 // -retention-* flags are an operational knob and must win over whatever the
 // previous process had configured).
 func LoadSnapshotRetention(r io.Reader, queueSize int, pool *par.Pool, retention *stream.Retention) (*Engine, error) {
-	s, err := snapshot.Read(r)
+	start := obs.Now()
+	cr := &countingReader{r: r}
+	s, err := snapshot.Read(cr)
 	if err != nil {
 		return nil, err
 	}
@@ -82,7 +124,14 @@ func LoadSnapshotRetention(r io.Reader, queueSize int, pool *par.Pool, retention
 		s.Retention = *retention
 	}
 	cfg := Config{Core: s.Core, BatchSize: s.BatchSize, QueueSize: queueSize, Retention: s.Retention}
-	return Restore(cfg, s.Mat, s.Index, s.Clusters, s.Labels, s.Commits)
+	eng, err := Restore(cfg, s.Mat, s.Index, s.Clusters, s.Labels, s.Commits)
+	if err == nil {
+		// The engine's metrics exist only now, so load cost is credited to
+		// the registry of the engine the load produced.
+		eng.met.loadBytes.Add(cr.n)
+		eng.met.snapLoad.ObserveSince(start)
+	}
+	return eng, err
 }
 
 // LoadFile restores an engine from a snapshot file.

@@ -227,7 +227,16 @@ type Index struct {
 	deadPerChunk []int32
 	// deadTotal is the total tombstone count; n-deadTotal ids are live.
 	deadTotal int
+	// compactions counts segment merges performed over the index's lifetime
+	// (geometric schedule plus full compactions). Writer-side like every
+	// mutation: read it from the owning goroutine, or from an immutable
+	// published snapshot (Publish copies the count at publish time).
+	compactions int64
 }
+
+// Compactions returns the cumulative segment-merge count (diagnostics).
+// Safe only from the writer goroutine or on an immutable snapshot.
+func (i *Index) Compactions() int64 { return i.compactions }
 
 // alive reports whether id has not been evicted.
 func (i *Index) alive(id int32) bool {
@@ -571,6 +580,9 @@ func (i *Index) Publish() *Index {
 		snap.deadPerChunk = append([]int32(nil), i.deadPerChunk...)
 		snap.deadTotal = i.deadTotal
 	}
+	// Snapshot the compaction count last: the per-table loop above may have
+	// just compacted.
+	snap.compactions = i.compactions
 	return snap
 }
 
@@ -620,6 +632,7 @@ func (i *Index) compactTable(tb *table) {
 		m, dropped := i.mergeBuckets(tb.segs[k-2], tb.segs[k-1])
 		tb.deadResident -= dropped
 		tb.segs = append(tb.segs[:k-2], m)
+		i.compactions++
 	}
 }
 
@@ -631,6 +644,7 @@ func (i *Index) fullCompactTable(tb *table) {
 		m, dropped := i.mergeBuckets(tb.segs[k-2], tb.segs[k-1])
 		tb.deadResident -= dropped
 		tb.segs = append(tb.segs[:k-2], m)
+		i.compactions++
 	}
 	if len(tb.segs) == 1 && tb.deadResident > 0 {
 		// A single segment can still hold tombstones (the common restored /

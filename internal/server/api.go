@@ -111,6 +111,13 @@ type StatsResponse struct {
 	AffinityComputed int64 `json:"affinity_computed"`
 	WriterErrors     int64 `json:"writer_errors"`
 	UptimeSeconds    int64 `json:"uptime_seconds"`
+	// AssignP50/95/99Seconds are single-point assign latency quantiles
+	// derived from the engine's power-of-two histogram (upper-bound
+	// interpolated; 0 until the first assign or when metrics are compiled
+	// out with the noobs tag).
+	AssignP50Seconds float64 `json:"assign_p50_seconds"`
+	AssignP95Seconds float64 `json:"assign_p95_seconds"`
+	AssignP99Seconds float64 `json:"assign_p99_seconds"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.

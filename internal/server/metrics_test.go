@@ -1,0 +1,139 @@
+//go:build !noobs
+
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"alid/internal/affinity"
+	"alid/internal/core"
+	"alid/internal/engine"
+	"alid/internal/lsh"
+	"alid/internal/testutil"
+)
+
+// testServerOpts is testServer with custom Options on a fresh engine (one
+// server per engine: HTTP metrics register into the engine's registry).
+func testServerOpts(t *testing.T, opts Options) *Server {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Kernel = affinity.Kernel{K: 0.3, P: 2}
+	cfg.LSH = lsh.Config{Projections: 6, Tables: 10, R: 4, Seed: 1}
+	cfg.Delta = 200
+	pts, _ := testutil.Blobs(3, [][]float64{{0, 0}, {15, 15}}, 30, 0.3, 10, 0, 15)
+	eng, err := engine.New(engine.Config{Core: cfg, BatchSize: 50}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return New(eng, opts)
+}
+
+// GET /metrics serves Prometheus text exposition covering the engine AND
+// the HTTP layer, and the scrape endpoint itself stays unmetered.
+func TestMetricsEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+
+	// Generate traffic through the instrumented mux.
+	var ar AssignResponse
+	doJSON(t, s.Handler(), http.MethodPost, "/v1/assign", AssignRequest{Point: []float64{0.1, 0.1}}, &ar)
+	var sr StatsResponse
+	doJSON(t, s.Handler(), http.MethodGet, "/v1/stats", nil, &sr)
+	if sr.AssignP50Seconds <= 0 {
+		t.Errorf("stats assign_p50_seconds = %v, want > 0 after an assign", sr.AssignP50Seconds)
+	}
+
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	text := rec.Body.String()
+	for _, needle := range []string{
+		`alid_assign_duration_seconds_count{mode="single"} 1`,
+		`alid_http_request_duration_seconds_count{route="/v1/assign"} 1`,
+		`alid_http_responses_total{code="2xx"} 2`,
+		"alid_points{state=",
+		"alid_clusters ",
+	} {
+		if !strings.Contains(text, needle) {
+			t.Errorf("exposition lacks %q", needle)
+		}
+	}
+	// The scrape itself must not appear as a route.
+	if strings.Contains(text, `route="/metrics"`) {
+		t.Error("/metrics metered itself")
+	}
+
+	// POST to the scrape endpoint is rejected.
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/metrics", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /metrics = %d, want 405", rec.Code)
+	}
+}
+
+// Request logging: errors always log, successes are sampled.
+func TestRequestLogSampling(t *testing.T) {
+	var buf bytes.Buffer
+	logged := testServerOpts(t, Options{
+		Logger:   slog.New(slog.NewJSONHandler(&buf, nil)),
+		LogEvery: 2,
+	})
+
+	for i := 0; i < 4; i++ {
+		var ar AssignResponse
+		doJSON(t, logged.Handler(), http.MethodPost, "/v1/assign", AssignRequest{Point: []float64{0.1, 0.1}}, &ar)
+	}
+	// One bad request: must log regardless of sampling.
+	rec := httptest.NewRecorder()
+	rec.Body = &bytes.Buffer{}
+	req := httptest.NewRequest(http.MethodPost, "/v1/assign", strings.NewReader(`{"point":[]}`))
+	logged.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad assign = %d", rec.Code)
+	}
+
+	var infos, warns int
+	dec := json.NewDecoder(&buf)
+	for {
+		var line struct {
+			Level  string `json:"level"`
+			Msg    string `json:"msg"`
+			Status int    `json:"status"`
+		}
+		if err := dec.Decode(&line); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		if line.Msg != "request" {
+			continue
+		}
+		switch line.Level {
+		case "INFO":
+			infos++
+		case "WARN":
+			warns++
+			if line.Status != http.StatusBadRequest {
+				t.Errorf("warn status %d", line.Status)
+			}
+		}
+	}
+	if infos != 2 { // 4 successes sampled 1-in-2
+		t.Errorf("sampled %d success logs, want 2", infos)
+	}
+	if warns != 1 {
+		t.Errorf("logged %d error requests, want 1", warns)
+	}
+}

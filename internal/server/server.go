@@ -7,6 +7,7 @@
 //	POST /v1/evict    {"ids":[...]}              → evicted count
 //	GET  /v1/clusters[?members=false]            → maintained clusters
 //	GET  /v1/stats                               → engine counters
+//	GET  /metrics                                → Prometheus text exposition
 //	GET  /healthz                                → 200 once serving
 //
 // Handlers only touch the engine's lock-free read paths and its ingest
@@ -20,11 +21,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"alid/internal/engine"
+	"alid/internal/obs"
 )
 
 // Options tunes the HTTP layer.
@@ -37,6 +41,12 @@ type Options struct {
 	// (default 1024); larger batches are rejected with 413 before any
 	// scoring work happens.
 	AssignBatchMax int
+	// Logger receives structured request logs (nil = no request logging).
+	// Non-2xx responses are always logged; successes are sampled (below).
+	Logger *slog.Logger
+	// LogEvery samples successful request logs: 1 logs every request, n
+	// logs every nth (default 100). Errors bypass sampling.
+	LogEvery int
 }
 
 func (o Options) withDefaults() Options {
@@ -49,28 +59,115 @@ func (o Options) withDefaults() Options {
 	if o.AssignBatchMax <= 0 {
 		o.AssignBatchMax = 1024
 	}
+	if o.LogEvery <= 0 {
+		o.LogEvery = 100
+	}
 	return o
+}
+
+// httpMetrics is the HTTP-layer instrumentation, registered into the
+// engine's registry so one /metrics scrape covers the whole process. The
+// route label is the mux pattern, never the raw URL (bounded cardinality).
+type httpMetrics struct {
+	dur  map[string]*obs.Histogram // route → request duration
+	code [6]*obs.Counter           // status class 0xx..5xx (0 unused)
+}
+
+func newHTTPMetrics(reg *obs.Registry, routes []string) *httpMetrics {
+	m := &httpMetrics{dur: make(map[string]*obs.Histogram, len(routes))}
+	for _, rt := range routes {
+		h := obs.NewHistogram("alid_http_request_duration_seconds",
+			"HTTP request latency by route.", `route="`+rt+`"`, 1e-9)
+		m.dur[rt] = h
+		reg.MustRegister(h)
+	}
+	for c := 2; c <= 5; c++ {
+		m.code[c] = obs.NewCounter("alid_http_responses_total",
+			"HTTP responses by status class.", fmt.Sprintf(`code="%dxx"`, c))
+		reg.MustRegister(m.code[c])
+	}
+	return m
 }
 
 // Server wraps an engine with the HTTP/JSON API.
 type Server struct {
-	eng   *engine.Engine
-	opts  Options
-	mux   *http.ServeMux
-	start time.Time
+	eng    *engine.Engine
+	opts   Options
+	mux    *http.ServeMux
+	start  time.Time
+	met    *httpMetrics
+	logSeq atomic.Int64 // request counter driving success-log sampling
 }
 
 // New builds the server; the caller keeps ownership of the engine (and its
-// Close).
+// Close). The server's HTTP metrics are registered into the engine's
+// registry, so build at most one server per engine.
 func New(eng *engine.Engine, opts Options) *Server {
 	s := &Server{eng: eng, opts: opts.withDefaults(), mux: http.NewServeMux(), start: time.Now()}
-	s.mux.HandleFunc("/v1/assign", s.handleAssign)
-	s.mux.HandleFunc("/v1/ingest", s.handleIngest)
-	s.mux.HandleFunc("/v1/evict", s.handleEvict)
-	s.mux.HandleFunc("/v1/clusters", s.handleClusters)
-	s.mux.HandleFunc("/v1/stats", s.handleStats)
-	s.mux.HandleFunc("/healthz", s.handleHealth)
+	routes := []struct {
+		pattern string
+		h       http.HandlerFunc
+	}{
+		{"/v1/assign", s.handleAssign},
+		{"/v1/ingest", s.handleIngest},
+		{"/v1/evict", s.handleEvict},
+		{"/v1/clusters", s.handleClusters},
+		{"/v1/stats", s.handleStats},
+		{"/healthz", s.handleHealth},
+	}
+	names := make([]string, len(routes))
+	for i, rt := range routes {
+		names[i] = rt.pattern
+	}
+	s.met = newHTTPMetrics(eng.Obs(), names)
+	for _, rt := range routes {
+		s.mux.Handle(rt.pattern, s.instrument(rt.pattern, rt.h))
+	}
+	// The scrape endpoint itself is neither metered nor logged.
+	s.mux.Handle("/metrics", eng.Obs().Handler())
 	return s
+}
+
+// statusRecorder captures the response status for metrics and logs.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with per-route latency/status metrics and
+// sampled structured request logs.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		el := time.Since(start)
+		s.met.dur[route].Observe(el.Nanoseconds())
+		if c := rec.status / 100; c >= 2 && c <= 5 {
+			s.met.code[c].Inc()
+		}
+		if l := s.opts.Logger; l != nil {
+			isErr := rec.status >= 400
+			if isErr || s.logSeq.Add(1)%int64(s.opts.LogEvery) == 0 {
+				lvl := slog.LevelInfo
+				if isErr {
+					lvl = slog.LevelWarn
+				}
+				l.LogAttrs(r.Context(), lvl, "request",
+					slog.String("route", route),
+					slog.String("method", r.Method),
+					slog.Int("status", rec.status),
+					slog.Duration("elapsed", el),
+					slog.Bool("sampled", !isErr),
+				)
+			}
+		}
+	})
 }
 
 // Handler returns the routing handler (exported for tests and embedding).
@@ -275,6 +372,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		AffinityComputed: st.AffinityComputed,
 		WriterErrors:     st.WriterErrors,
 		UptimeSeconds:    int64(time.Since(s.start).Seconds()),
+		AssignP50Seconds: st.AssignP50,
+		AssignP95Seconds: st.AssignP95,
+		AssignP99Seconds: st.AssignP99,
 	})
 }
 

@@ -1,0 +1,64 @@
+package stream
+
+import "alid/internal/obs"
+
+// streamMetrics is the commit-pipeline and eviction instrumentation: where
+// the writer's time goes (dirtiness check vs. detection), how much work each
+// commit does, and how much the retention machinery churns. Everything is
+// observed from the single writer goroutine onto lock-free obs primitives,
+// so scrapes never see a torn value and the writer never takes a lock.
+//
+// Metrics are diagnostics under the same carve-out as the kernel-eval
+// counter: no commit, eviction or detection decision ever reads one.
+type streamMetrics struct {
+	// commitDur is the full Commit wall time, retention enforcement
+	// included; dirtyCheckDur and detectDur split out the two phases the
+	// paper's cost model cares about (Theorem-1 dirtiness screening vs.
+	// Algorithm-2 re-convergence + new-seed probing).
+	commitDur     *obs.Histogram
+	dirtyCheckDur *obs.Histogram
+	detectDur     *obs.Histogram
+	commitBatch   *obs.Histogram
+
+	dirtyReconverged *obs.Counter
+	newClusters      *obs.Counter
+	publishes        *obs.Counter
+
+	evictedPoints    *obs.Counter
+	evictReconverged *obs.Counter
+	chunksReleased   *obs.Counter
+	lshCompactions   *obs.Counter
+	// lastCompactions is the index's compaction count already credited to
+	// lshCompactions (the counter takes deltas at publish time).
+	lastCompactions int64
+}
+
+// newStreamMetrics builds the clusterer's metrics and registers them when a
+// registry is provided (nil keeps them private: they still count, cheaply,
+// but render nowhere — standalone library users pay one atomic add either
+// way).
+func newStreamMetrics(reg *obs.Registry) *streamMetrics {
+	m := &streamMetrics{
+		commitDur:     obs.NewHistogram("alid_commit_duration_seconds", "Full commit wall time (dirtiness check, detection, retention eviction).", "", 1e-9),
+		dirtyCheckDur: obs.NewHistogram("alid_commit_phase_seconds", "Commit time split by phase.", `phase="dirty_check"`, 1e-9),
+		detectDur:     obs.NewHistogram("alid_commit_phase_seconds", "Commit time split by phase.", `phase="detect"`, 1e-9),
+		commitBatch:   obs.NewHistogram("alid_commit_batch_points", "Points integrated per commit.", "", 1),
+
+		dirtyReconverged: obs.NewCounter("alid_commit_dirty_reconverged_total", "Maintained clusters re-converged because an arrival was infective (Theorem 1).", ""),
+		newClusters:      obs.NewCounter("alid_commit_new_clusters_total", "Clusters newly formed from unassigned seed probes.", ""),
+		publishes:        obs.NewCounter("alid_view_publishes_total", "Immutable views published (share-and-seal snapshots).", ""),
+
+		evictedPoints:    obs.NewCounter("alid_evicted_points_total", "Points tombstoned by manual eviction or retention expiry.", ""),
+		evictReconverged: obs.NewCounter("alid_evict_reconverged_total", "Clusters re-converged after losing weight mass to eviction.", ""),
+		chunksReleased:   obs.NewCounter("alid_matrix_chunks_released_total", "Fully dead matrix chunks whose row storage was released.", ""),
+		lshCompactions:   obs.NewCounter("alid_lsh_compactions_total", "LSH segment merges (geometric schedule plus full compactions).", ""),
+	}
+	if reg != nil {
+		reg.MustRegister(
+			m.commitDur, m.dirtyCheckDur, m.detectDur, m.commitBatch,
+			m.dirtyReconverged, m.newClusters, m.publishes,
+			m.evictedPoints, m.evictReconverged, m.chunksReleased, m.lshCompactions,
+		)
+	}
+	return m
+}

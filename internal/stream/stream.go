@@ -55,6 +55,7 @@ import (
 	"alid/internal/core"
 	"alid/internal/lsh"
 	"alid/internal/matrix"
+	"alid/internal/obs"
 )
 
 // Config controls the online clusterer.
@@ -75,6 +76,11 @@ type Config struct {
 	// offline detection has no use for it. Mirrors are derived state — never
 	// persisted, rebuilt lazily after a restore.
 	Quantize bool
+	// Obs registers the clusterer's commit/eviction metrics (see metrics.go)
+	// with the given registry; nil keeps them unexported. Metrics are pure
+	// diagnostics: no commit or eviction decision ever reads one, so the
+	// clusterer's determinism contract is unaffected either way.
+	Obs *obs.Registry
 }
 
 // Retention is the sliding-window eviction policy.
@@ -149,6 +155,11 @@ type Clusterer struct {
 	cmark   []uint32
 	markGen uint32
 	cand    []int32
+
+	// met is the commit/eviction instrumentation — always non-nil, so hot
+	// paths observe unconditionally (one atomic add; a no-op under the
+	// noobs build tag).
+	met *streamMetrics
 }
 
 // New creates an online clusterer seeded with an optional initial batch.
@@ -156,7 +167,7 @@ func New(initial [][]float64, cfg Config) (*Clusterer, error) {
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 256
 	}
-	c := &Clusterer{cfg: cfg, assigned: &Labels{}}
+	c := &Clusterer{cfg: cfg, assigned: &Labels{}, met: newStreamMetrics(cfg.Obs)}
 	for i, p := range initial {
 		if len(p) != len(initial[0]) {
 			return nil, fmt.Errorf("stream: initial point %d has dimension %d, want %d", i, len(p), len(initial[0]))
@@ -228,7 +239,11 @@ func Restore(cfg Config, mat *matrix.Matrix, index *lsh.Index, clusters []*core.
 		avail:    avail,
 		commits:  commits,
 		evicted:  mat.N - mat.LiveCount(),
+		met:      newStreamMetrics(cfg.Obs),
 	}
+	// The restored index may carry a lifetime compaction count; don't credit
+	// the previous process's merges to this one's counter.
+	c.met.lastCompactions = index.Compactions()
 	// Released matrix chunks (fully evicted ranges) release their label
 	// chunks too — the flat label slice re-materialized them as -1 runs.
 	if mat.Tombstoned() {
@@ -279,7 +294,14 @@ func (c *Clusterer) View() View {
 	}
 	if c.index != nil {
 		v.Index = c.index.Publish()
+		// Credit the merges this publish (and any before it) performed;
+		// Compactions is writer-side state, and View runs on the writer.
+		if n := c.index.Compactions(); n > c.met.lastCompactions {
+			c.met.lshCompactions.Add(n - c.met.lastCompactions)
+			c.met.lastCompactions = n
+		}
 	}
+	c.met.publishes.Inc()
 	return v
 }
 
@@ -357,6 +379,7 @@ func (c *Clusterer) Commit(ctx context.Context) error {
 	if len(c.buffer) == 0 {
 		return nil
 	}
+	commitStart := obs.Now()
 	var firstNew int
 	if c.mat == nil {
 		m, err := matrix.FromRows(c.buffer)
@@ -421,6 +444,7 @@ func (c *Clusterer) Commit(ctx context.Context) error {
 	// without touching its members, so the check costs O(batch·candidates),
 	// independent of n.
 	kern := cfg.Kernel
+	dirtyStart := obs.Now()
 	dirty := make([]bool, len(c.clusters))
 	if len(c.clusters) > 0 {
 		if len(c.mark) < c.mat.N {
@@ -459,7 +483,10 @@ func (c *Clusterer) Commit(ctx context.Context) error {
 		}
 	}
 
+	c.met.dirtyCheckDur.ObserveSince(dirtyStart)
+
 	// Step 3: re-converge dirty clusters from their densest member.
+	detectStart := obs.Now()
 	for ci, cl := range c.clusters {
 		if !dirty[ci] {
 			continue
@@ -478,6 +505,7 @@ func (c *Clusterer) Commit(ctx context.Context) error {
 		}
 		c.clusters[ci] = fresh
 		c.claim(ci)
+		c.met.dirtyReconverged.Inc()
 	}
 
 	// Step 4: probe unassigned new points as seeds for new clusters.
@@ -498,12 +526,14 @@ func (c *Clusterer) Commit(ctx context.Context) error {
 		ci := len(c.clusters)
 		c.clusters = append(c.clusters, cl)
 		c.claim(ci)
+		c.met.newClusters.Inc()
 	}
 	// Drop clusters that decayed below the threshold after re-convergence.
 	c.compact(cfg.DensityThreshold, cfg.MinClusterSize)
 	// The long-lived oracle's counter is drained per commit, so the delta is
 	// exactly this commit's detection work.
 	c.kernelEvals += det.Oracle().ResetComputed()
+	c.met.detectDur.ObserveSince(detectStart)
 
 	// Retention: stamp this commit's arrivals, then evict whatever the
 	// policy has expired — the step that keeps a forever-running stream's
@@ -511,7 +541,10 @@ func (c *Clusterer) Commit(ctx context.Context) error {
 	if c.cfg.Retention.MaxAge > 0 {
 		c.stamps = append(c.stamps, commitStamp{firstID: firstNew, at: c.cfg.Retention.now()})
 	}
-	return c.enforceRetention(ctx)
+	err := c.enforceRetention(ctx)
+	c.met.commitBatch.Observe(int64(newCount))
+	c.met.commitDur.ObserveSince(commitStart)
+	return err
 }
 
 // ensureDetector creates the long-lived commit detector on first use and
@@ -598,9 +631,11 @@ func (c *Clusterer) evictIDs(ctx context.Context, ids []int) error {
 	slices.Sort(affected)
 	evicted, released := c.mat.Evict(ids)
 	c.evicted += evicted
+	c.met.evictedPoints.Add(int64(evicted))
 	if c.index != nil {
 		c.index.Evict(ids)
 	}
+	c.met.chunksReleased.Add(int64(len(released)))
 	for _, ch := range released {
 		c.assigned.releaseChunk(ch)
 	}
@@ -679,6 +714,7 @@ func (c *Clusterer) evictIDs(ctx context.Context, ids []int) error {
 		}
 		c.clusters[ci] = fresh
 		c.claim(ci)
+		c.met.evictReconverged.Inc()
 	}
 	c.compact(cfg.DensityThreshold, cfg.MinClusterSize)
 	c.kernelEvals += c.det.Oracle().ResetComputed()

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Records the perf-trajectory benchmarks into BENCH_PR6.json.
+# Records the perf-trajectory benchmarks into BENCH_PR7.json.
 #
 # Usage: scripts/bench.sh [output.json]
 #
@@ -48,10 +48,17 @@
 #     quantized-vs-exact candidate-scan series: one 96-row weighted scan per
 #     op as the packed exact re-check, the int8 chunk-walking bracket, and
 #     the packed float32 prune bound the batch pipeline runs.
+#
+# PR 7 adds the observability-overhead gate:
+#   BenchmarkAssign with metrics enabled (default build) vs compiled out
+#     (-tags noobs) — the same benchmark, eight order-alternating interleaved
+#     invocation pairs, overhead from the two per-series medians. The
+#     instrumented serve path adds a handful of atomic adds per assign;
+#     gate: overhead < 3%.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR6.json}"
+out="${1:-BENCH_PR7.json}"
 
 run_bench() { # pkg, pattern, benchtime
 	go test -run='^$' -bench="^$2\$" -benchtime="$3" "$1" 2>/dev/null |
@@ -93,6 +100,33 @@ assign=$(median_of BenchmarkAssign)
 batch1=$(median_of 'BenchmarkAssignBatch/q=1')
 batch16=$(median_of 'BenchmarkAssignBatch/q=16')
 batch64=$(median_of 'BenchmarkAssignBatch/q=64')
+echo "benchmarking BenchmarkAssign enabled vs -tags noobs (8 interleaved runs, ratio of series medians)..." >&2
+# Enabled and disabled samples are interleaved (order alternates inside each
+# pair, so neither build systematically runs first) and the overhead is the
+# ratio of the two series' MEDIANS. Interleaving exposes both builds to the
+# same host-load distribution; the median discards the load-spike outliers a
+# shared host injects. Per-pair ratios are NOT robust here — one load flip
+# inside a single pair poisons that pair's ratio without being an outlier in
+# either series.
+obs_pairs=""
+bench_once() { # extra build tags
+	go test ${1:+-tags "$1"} -run='^$' -bench='^BenchmarkAssign$' -benchtime=2s ./internal/engine/ 2>/dev/null |
+		awk '{n=$1; sub(/-[0-9]+$/, "", n)} n == "BenchmarkAssign" {print $3; exit}'
+}
+for i in 1 2 3 4 5 6 7 8; do
+	echo "  interleaved obs run $i/8..." >&2
+	if [ $((i % 2)) -eq 1 ]; then
+		on=$(bench_once "")
+		off=$(bench_once noobs)
+	else
+		off=$(bench_once noobs)
+		on=$(bench_once "")
+	fi
+	obs_pairs+="$on $off"$'\n'
+done
+obs_on=$(echo "$obs_pairs" | awk 'NF {print $1}' | sort -n | awk '{a[NR]=$1} END {print a[int((NR+1)/2)]}')
+obs_off=$(echo "$obs_pairs" | awk 'NF {print $2}' | sort -n | awk '{a[NR]=$1} END {print a[int((NR+1)/2)]}')
+obs_overhead=$(awk -v a="$obs_on" -v b="$obs_off" 'BEGIN {printf "%.4f", (a - b) * 100.0 / b}')
 echo "benchmarking BenchmarkCandScan/{exact,quant,upper} (internal/affinity)..." >&2
 scanexact=$(run_subbench ./internal/affinity/ 'BenchmarkCandScan/exact' 2s)
 scanquant=$(run_subbench ./internal/affinity/ 'BenchmarkCandScan/quant' 2s)
@@ -123,7 +157,7 @@ persec() { awk -v ns="$1" 'BEGIN {printf "%.0f", 1e9 / ns}'; }
 
 cat > "$out" <<JSON
 {
-  "pr": 6,
+  "pr": 7,
   "recorded_at": "$date",
   "host": "$host",
   "cpus": $(nproc),
@@ -191,6 +225,13 @@ cat > "$out" <<JSON
     "speedup_par4_vs_serial": $(ratio "$detectall" "$detectallpar4"),
     "target_speedup_at_4_cores": 1.5,
     "note": "target applies on hosts with >= 4 hardware cores; see cpus"
+  },
+  "observability_overhead": {
+    "workload": "BenchmarkAssign, metrics enabled (default build) vs compiled out (-tags noobs); 8 order-alternating interleaved invocation pairs, overhead_pct compares the two series medians (robust to shared-host load spikes)",
+    "ns_metrics_enabled_median": $obs_on,
+    "ns_metrics_disabled_median": $obs_off,
+    "overhead_pct": $obs_overhead,
+    "gate_max_overhead_pct": 3.0
   },
   "steady_state_eviction": {
     "workload": "d=16, 64-point batches, Retention.MaxPoints=2000, one batch ingested+committed (retention evicts one expired batch) per op",

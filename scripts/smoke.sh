@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the alidd daemon's operational surface: build the
+# binaries, start alidd on a synthetic dataset with pprof enabled, then
+# exercise /healthz, /v1/assign, /v1/stats, /metrics (checking the metric
+# families every dashboard depends on) and the pprof listener. Run by CI
+# after the unit suites; exits non-zero on the first failed check.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="${ADDR:-127.0.0.1:18080}"
+PPROF_ADDR="${PPROF_ADDR:-127.0.0.1:18081}"
+tmp="$(mktemp -d)"
+trap 'kill $alidd_pid 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+echo "smoke: building..." >&2
+go build -o "$tmp/datagen" ./cmd/datagen
+go build -o "$tmp/alidd" ./cmd/alidd
+
+"$tmp/datagen" -kind mixture -n 2000 -out "$tmp/pts.csv"
+"$tmp/alidd" -in "$tmp/pts.csv" -labeled -addr "$ADDR" -pprof-addr "$PPROF_ADDR" \
+	-snapshot "$tmp/alid.snap" -log-json 2> "$tmp/alidd.log" &
+alidd_pid=$!
+
+# Wait for the daemon to come up (detection included).
+for i in $(seq 1 100); do
+	if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then
+		break
+	fi
+	if ! kill -0 $alidd_pid 2>/dev/null; then
+		echo "smoke: alidd exited during startup; log:" >&2
+		cat "$tmp/alidd.log" >&2
+		exit 1
+	fi
+	sleep 0.2
+done
+curl -sf "http://$ADDR/healthz" >/dev/null || { echo "smoke: healthz never came up" >&2; exit 1; }
+echo "smoke: alidd is up on $ADDR" >&2
+
+fail() {
+	echo "smoke: FAIL: $1" >&2
+	exit 1
+}
+
+# Assign (single and batch) must answer; build a query matching the
+# dataset's dimensionality (the first CSV row, labels dropped).
+point=$(head -1 "$tmp/pts.csv" | awk -F, '{s="[";for(i=1;i<NF;i++){s=s (i>1?",":"") $i}print s "]"}')
+assign=$(curl -sf "http://$ADDR/v1/assign" -d "{\"point\":$point}") || fail "single assign request"
+echo "$assign" | grep -q '"cluster"' || fail "assign response: $assign"
+batch=$(curl -sf "http://$ADDR/v1/assign" -d "{\"points\":[$point,$point]}") || fail "batch assign request"
+echo "$batch" | grep -q '"results"' || fail "batch assign response: $batch"
+
+# Stats carries the histogram-derived quantiles.
+stats=$(curl -sf "http://$ADDR/v1/stats")
+echo "$stats" | grep -q '"assign_p50_seconds"' || fail "stats lacks assign_p50_seconds: $stats"
+
+# /metrics serves the exposition format with every serving-pipeline family.
+metrics=$(curl -sf "http://$ADDR/metrics")
+for family in \
+	alid_assign_duration_seconds \
+	alid_assign_cluster_scans_total \
+	alid_commit_duration_seconds \
+	alid_ingest_queue_points \
+	alid_points \
+	alid_clusters \
+	alid_http_request_duration_seconds; do
+	echo "$metrics" | grep -q "^# HELP $family " || fail "/metrics lacks family $family"
+done
+echo "$metrics" | grep -q '^alid_assign_duration_seconds_bucket{mode="single",le="+Inf"} 1$' ||
+	fail "/metrics assign histogram did not count the single assign"
+
+# pprof answers on its own listener.
+curl -sf "http://$PPROF_ADDR/debug/pprof/cmdline" >/dev/null || fail "pprof cmdline"
+curl -sf "http://$PPROF_ADDR/debug/pprof/goroutine?debug=1" | grep -q goroutine || fail "pprof goroutine"
+
+# Structured logs: the JSON handler must have produced a serving line.
+grep -q '"msg":"serving"' "$tmp/alidd.log" || fail "no structured serving log line"
+
+# Graceful shutdown writes the final snapshot.
+kill -TERM $alidd_pid
+wait $alidd_pid 2>/dev/null || true
+[ -s "$tmp/alid.snap" ] || fail "final snapshot missing"
+grep -q '"msg":"snapshot saved"' "$tmp/alidd.log" || fail "no snapshot log line"
+
+echo "smoke: OK" >&2
