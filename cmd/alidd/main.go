@@ -32,12 +32,22 @@
 // matrix, index and clusters all come from the snapshot, so a crash-restart
 // resumes serving without re-detection (-in and the tuning flags are
 // ignored). A final snapshot is written on graceful shutdown.
+//
+// With -shards N (N > 1) the daemon runs N independent engines behind one
+// scatter-gather router: ingested points are routed to exactly one shard by
+// a stable id hash, assigns fan out to all shards and merge
+// deterministically, and commits proceed on N writers concurrently. The
+// snapshot becomes a manifest at -snapshot plus one file per shard at
+// <snapshot>.shard<i>; the shard count is part of the layout, so a sharded
+// save restores only at the same -shards (and a single-file snapshot only
+// at -shards 1 — mismatches are refused at startup with a clear error).
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
@@ -54,6 +64,7 @@ import (
 	"alid/internal/lsh"
 	"alid/internal/par"
 	"alid/internal/server"
+	"alid/internal/snapshot"
 	"alid/internal/stream"
 )
 
@@ -61,7 +72,8 @@ func main() {
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	in := flag.String("in", "", "initial points CSV (optional; ignored when restoring a snapshot)")
 	labeled := flag.Bool("labeled", false, "treat the CSV's last column as a label (dropped)")
-	snap := flag.String("snapshot", "", "snapshot file: restored at startup if present, written on shutdown")
+	snap := flag.String("snapshot", "", "snapshot file: restored at startup if present, written on shutdown (with -shards > 1: the manifest path; shard files live beside it)")
+	shards := flag.Int("shards", 1, "independent serving shards behind one scatter-gather router (1 = single engine; the count is baked into saved snapshots and point ids)")
 	snapEvery := flag.Duration("snapshot-interval", 0, "also snapshot periodically (0 = only on shutdown)")
 	batch := flag.Int("batch", 256, "stream commit batch size")
 	queue := flag.Int("queue", 1024, "ingest queue capacity")
@@ -104,14 +116,14 @@ func main() {
 	defer stop()
 
 	retention := stream.Retention{MaxPoints: *retPoints, MaxAge: *retAge}
-	eng, err := buildEngine(logger, *in, *labeled, *snap, *batch, *queue, *kScale, *rSeg, *mu, *tables, *seed, *threshold, par.New(*parallelism), retention, retentionSet)
+	eng, err := buildServing(logger, *shards, *in, *labeled, *snap, *batch, *queue, *kScale, *rSeg, *mu, *tables, *seed, *threshold, par.New(*parallelism), retention, retentionSet)
 	if err != nil {
 		fatal("startup", err)
 	}
 	defer eng.Close()
 	st := eng.Stats()
 	logger.Info("serving",
-		"addr", *addr, "n", st.N, "live", st.LiveN, "dim", st.Dim,
+		"addr", *addr, "shards", *shards, "n", st.N, "live", st.LiveN, "dim", st.Dim,
 		"clusters", st.Clusters, "commits", st.Commits)
 	if r := eng.Config().Retention; r.Enabled() {
 		logger.Info("retention enabled (enforced after every commit)", "max_points", r.MaxPoints, "max_age", r.MaxAge)
@@ -191,6 +203,70 @@ func servePprof(ctx context.Context, logger *slog.Logger, addr string) {
 	}
 }
 
+// snapshotKind sniffs a snapshot file's magic so a shard-count/layout
+// mismatch fails with an instruction instead of a codec error.
+func snapshotKind(path string) string {
+	f, err := os.Open(path)
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	magic := make([]byte, 8)
+	if _, err := io.ReadFull(f, magic); err != nil {
+		return ""
+	}
+	return string(magic)
+}
+
+// buildServing builds the serving engine: a plain Engine at -shards 1
+// (exactly the pre-sharding daemon, single-file snapshots included) or a
+// sharded router above N engines, restoring whichever snapshot layout is
+// present — provided it matches the requested shard count.
+func buildServing(logger *slog.Logger, shards int, in string, labeled bool, snap string, batch, queue int, k, r float64, mu, tables int, seed int64, threshold float64, pool *par.Pool, retention stream.Retention, retentionSet bool) (engine.Serving, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("-shards %d: want >= 1", shards)
+	}
+	if shards == 1 {
+		if snap != "" {
+			if snapshotKind(snap) == snapshot.ManifestMagic {
+				return nil, fmt.Errorf("snapshot %s is a sharded-save manifest; pass the -shards it was saved with", snap)
+			}
+		}
+		return buildEngine(logger, in, labeled, snap, batch, queue, k, r, mu, tables, seed, threshold, pool, retention, retentionSet)
+	}
+
+	var override *stream.Retention
+	if retentionSet {
+		override = &retention
+	}
+	if snap != "" {
+		switch snapshotKind(snap) {
+		case snapshot.ManifestMagic:
+			start := time.Now()
+			sh, err := engine.LoadSharded(snap, engine.ShardedLoadOptions{
+				Shards: shards, QueueSize: queue, Pool: pool,
+				Retention: override, Logger: logger,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("restore %s: %w", snap, err)
+			}
+			logger.Info("restored sharded snapshot", "path", snap, "shards", shards, "elapsed", time.Since(start))
+			return sh, nil
+		case snapshot.Magic:
+			return nil, fmt.Errorf("snapshot %s is a single-engine snapshot; restore it with -shards 1 (a sharded layout cannot adopt its point ids)", snap)
+		}
+	}
+
+	cfg, pts, err := detectConfig(logger, in, labeled, k, r, mu, tables, seed, threshold, pool)
+	if err != nil {
+		return nil, err
+	}
+	return engine.NewSharded(engine.ShardedConfig{
+		Engine: engine.Config{Core: cfg, BatchSize: batch, QueueSize: queue, Retention: retention, Logger: logger},
+		Shards: shards,
+	}, pts)
+}
+
 // buildEngine restores from the snapshot when one exists, otherwise detects
 // from the CSV (or starts empty).
 func buildEngine(logger *slog.Logger, in string, labeled bool, snap string, batch, queue int, k, r float64, mu, tables int, seed int64, threshold float64, pool *par.Pool, retention stream.Retention, retentionSet bool) (*engine.Engine, error) {
@@ -213,18 +289,30 @@ func buildEngine(logger *slog.Logger, in string, labeled bool, snap string, batc
 		}
 	}
 
+	cfg, pts, err := detectConfig(logger, in, labeled, k, r, mu, tables, seed, threshold, pool)
+	if err != nil {
+		return nil, err
+	}
+	return engine.New(engine.Config{Core: cfg, BatchSize: batch, QueueSize: queue, Retention: retention, Logger: logger}, pts)
+}
+
+// detectConfig reads the initial CSV (if any) and resolves the detection
+// configuration, auto-tuning the kernel scale and LSH segment from the data
+// when not pinned by flags — shared by the single-engine and sharded builds
+// so both detect under identical settings.
+func detectConfig(logger *slog.Logger, in string, labeled bool, k, r float64, mu, tables int, seed int64, threshold float64, pool *par.Pool) (core.Config, [][]float64, error) {
 	var pts [][]float64
 	if in != "" {
 		var err error
 		pts, err = readCSV(in, labeled)
 		if err != nil {
-			return nil, err
+			return core.Config{}, nil, err
 		}
 	}
 	if (k <= 0 || r <= 0) && len(pts) > 1 {
 		auto, err := alid.AutoConfig(pts)
 		if err != nil {
-			return nil, err
+			return core.Config{}, nil, err
 		}
 		if k <= 0 {
 			k = auto.KernelScale
@@ -245,14 +333,24 @@ func buildEngine(logger *slog.Logger, in string, labeled bool, snap string, batc
 	cfg.LSH = lsh.Config{Projections: mu, Tables: tables, R: r, Seed: seed}
 	cfg.DensityThreshold = threshold
 	cfg.Pool = pool
-	return engine.New(engine.Config{Core: cfg, BatchSize: batch, QueueSize: queue, Retention: retention, Logger: logger}, pts)
+	return cfg, pts, nil
 }
 
 // saveSnapshot persists and logs one snapshot (shared by the periodic loop
-// and the shutdown path).
-func saveSnapshot(logger *slog.Logger, eng *engine.Engine, path, kind string) {
+// and the shutdown path): a single file for a plain engine, manifest plus
+// shard files for a sharded one.
+func saveSnapshot(logger *slog.Logger, eng engine.Serving, path, kind string) {
 	start := time.Now()
-	if err := eng.SaveFile(path); err != nil {
+	var err error
+	switch e := eng.(type) {
+	case *engine.Sharded:
+		err = e.SaveFiles(path)
+	case *engine.Engine:
+		err = e.SaveFile(path)
+	default:
+		err = fmt.Errorf("unsupported serving engine %T", eng)
+	}
+	if err != nil {
 		logger.Warn("snapshot failed", "kind", kind, "path", path, "err", err)
 		return
 	}
@@ -264,7 +362,7 @@ func saveSnapshot(logger *slog.Logger, eng *engine.Engine, path, kind string) {
 }
 
 // snapshotLoop periodically persists the published state until ctx ends.
-func snapshotLoop(ctx context.Context, logger *slog.Logger, eng *engine.Engine, path string, every time.Duration) {
+func snapshotLoop(ctx context.Context, logger *slog.Logger, eng engine.Serving, path string, every time.Duration) {
 	t := time.NewTicker(every)
 	defer t.Stop()
 	for {

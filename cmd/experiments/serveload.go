@@ -1,12 +1,14 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
 	"math"
 	"math/rand"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +33,7 @@ var (
 	serveDuration = flag.Duration("serve-duration", 5*time.Second, "serve: load duration")
 	serveIngest   = flag.Int("serve-ingest", 0, "serve: background ingest rate (points/sec, 0 = read-only load)")
 	serveBatch    = flag.Int("serve-batch", 0, "serve: assign batch size per request (0/1 = single-point Assign)")
+	serveShards   = flag.Int("serve-shards", 1, "serve: shard count (1 = plain engine; >1 routes ingest and scatter-gathers assigns)")
 )
 
 func serveLoad(ctx context.Context) error {
@@ -43,9 +46,18 @@ func serveLoad(ctx context.Context) error {
 	cfg.LSH = lsh.Config{Projections: 12, Tables: 8, R: 8 * scale, Seed: 1}
 
 	pts, centers := testutil.ServeWorkload(n, d, *serveBlobs)
-	fmt.Fprintf(os.Stderr, "serve-load: detecting n=%d d=%d blobs=%d...\n", n, d, *serveBlobs)
+	fmt.Fprintf(os.Stderr, "serve-load: detecting n=%d d=%d blobs=%d shards=%d...\n", n, d, *serveBlobs, *serveShards)
 	buildStart := time.Now()
-	eng, err := engine.New(engine.Config{Core: cfg, BatchSize: 256}, pts)
+	var eng engine.Serving
+	var err error
+	if *serveShards > 1 {
+		eng, err = engine.NewSharded(engine.ShardedConfig{
+			Engine: engine.Config{Core: cfg, BatchSize: 256},
+			Shards: *serveShards,
+		}, pts)
+	} else {
+		eng, err = engine.New(engine.Config{Core: cfg, BatchSize: 256}, pts)
+	}
 	if err != nil {
 		return err
 	}
@@ -165,5 +177,31 @@ func serveLoad(ctx context.Context) error {
 		time.Duration(lat.Quantile(0.99)*1e9), max(1, *serveBatch))
 	fmt.Printf("ingested=%d commits=%d queued=%d writer_errors=%d\n",
 		st.Ingested, st.Commits, st.QueuedPoints, st.WriterErrors)
+	if *serveShards > 1 {
+		fmt.Printf("per-shard queue depth (alid_ingest_queue_depth): %s\n", shardQueueDepths(eng.Obs()))
+	}
 	return nil
+}
+
+// shardQueueDepths renders the registry and extracts the per-shard
+// alid_ingest_queue_depth gauges — the end-of-run routing-balance readout
+// for sharded load (scraped live from /metrics in a real deployment).
+func shardQueueDepths(reg *obs.Registry) string {
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		return fmt.Sprintf("(metrics unavailable: %v)", err)
+	}
+	var depths []string
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, "alid_ingest_queue_depth{"); ok {
+			if shard, val, ok := strings.Cut(rest, "} "); ok {
+				id := strings.TrimSuffix(strings.TrimPrefix(shard, `shard="`), `"`)
+				depths = append(depths, id+"="+val)
+			}
+		}
+	}
+	if len(depths) == 0 {
+		return "(no shard gauges)"
+	}
+	return strings.Join(depths, " ")
 }

@@ -100,21 +100,34 @@ func (e *Engine) AssignBatch(qs [][]float64) ([]Assignment, error) {
 // AssignBatchInto is AssignBatch appending into out (resliced to out[:0]),
 // so steady-state callers that recycle their result slice allocate nothing.
 func (e *Engine) AssignBatchInto(qs [][]float64, out []Assignment) ([]Assignment, error) {
+	out, _, err := e.assignBatchPinned(qs, out)
+	return out, err
+}
+
+// assignBatchPinned is AssignBatchInto pinned to ONE published generation,
+// additionally reporting that generation's maintained-cluster count from the
+// same state load (the sharded router's cluster-id offsetting needs the
+// answers and the count to be coherent — see assignPinned).
+func (e *Engine) assignBatchPinned(qs [][]float64, out []Assignment) ([]Assignment, int, error) {
 	out = out[:0]
-	if len(qs) == 0 {
-		return out, nil
-	}
 	st := e.state.Load()
+	nClusters := 0
+	if st != nil {
+		nClusters = len(st.view.Clusters)
+	}
+	if len(qs) == 0 {
+		return out, nClusters, nil
+	}
 	if st == nil || st.view.Mat == nil || st.view.Index == nil {
 		// Same non-servable answer as the single-point path: noise, no error.
 		for range qs {
 			out = append(out, Assignment{Cluster: -1})
 		}
-		return out, nil
+		return out, nClusters, nil
 	}
 	for i, q := range qs {
 		if err := queryErr(q, st.dim); err != nil {
-			return nil, fmt.Errorf("engine: point %d: %w", i, err)
+			return nil, nClusters, fmt.Errorf("engine: point %d: %w", i, err)
 		}
 	}
 	e.assigns.Add(int64(len(qs)))
@@ -124,7 +137,7 @@ func (e *Engine) AssignBatchInto(qs [][]float64, out []Assignment) ([]Assignment
 	st.bpool.Put(bs)
 	e.met.batchPoints.Observe(int64(len(qs)))
 	e.met.assignBatch.ObserveSince(start)
-	return out, nil
+	return out, nClusters, nil
 }
 
 // AssignBatchFlat is AssignBatch over a row-major flat buffer holding

@@ -64,6 +64,43 @@ type Config struct {
 	// Logger, when non-nil, receives structured writer-side log lines (one
 	// per published generation, at Debug). Reads never log.
 	Logger *slog.Logger
+	// ShardLabel, when non-empty, is this engine's shard name ("0", "1", …):
+	// every metric family the engine registers gains a constant `shard="…"`
+	// label, which is what lets the N engines of a Sharded router share one
+	// registry without name+label collisions. Purely observability — no
+	// serving decision reads it.
+	ShardLabel string
+}
+
+// shardFrag renders Config.ShardLabel as a pre-rendered label fragment
+// (empty stays empty, so unsharded engines keep their PR-7 metric names).
+func shardFrag(shard string) string {
+	if shard == "" {
+		return ""
+	}
+	return `shard="` + shard + `"`
+}
+
+// Serving is the surface the HTTP layer and the daemon program against: the
+// single-engine Engine and the N-engine Sharded router both implement it, so
+// `-shards 1` and `-shards N` are interchangeable behind one server. The
+// semantics of every method match Engine's documentation; Sharded documents
+// where aggregation changes the observable behavior (global ids, merged
+// answers, summed stats).
+type Serving interface {
+	Dim() int
+	Assign(q []float64) (Assignment, error)
+	AssignBatch(qs [][]float64) ([]Assignment, error)
+	AssignBatchInto(qs [][]float64, out []Assignment) ([]Assignment, error)
+	Ingest(ctx context.Context, pts [][]float64) error
+	Flush(ctx context.Context) error
+	Evict(ctx context.Context, ids []int) (int, error)
+	Clusters() []*core.Cluster
+	ClustersWithMeta() (clusters []*core.Cluster, n, commits int)
+	Stats() Stats
+	Config() Config
+	Obs() *obs.Registry
+	Close() error
 }
 
 // Assignment is the answer of the Assign read path.
@@ -265,7 +302,7 @@ func New(cfg Config, initial [][]float64) (*Engine, error) {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	c, err := stream.New(initial, stream.Config{Core: cfg.Core, BatchSize: cfg.BatchSize, Retention: cfg.Retention, Quantize: true, Obs: reg})
+	c, err := stream.New(initial, stream.Config{Core: cfg.Core, BatchSize: cfg.BatchSize, Retention: cfg.Retention, Quantize: true, Obs: reg, ObsLabels: shardFrag(cfg.ShardLabel)})
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
@@ -285,7 +322,7 @@ func Restore(cfg Config, mat *matrix.Matrix, index *lsh.Index, clusters []*core.
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	c, err := stream.Restore(stream.Config{Core: cfg.Core, BatchSize: cfg.BatchSize, Retention: cfg.Retention, Quantize: true, Obs: reg}, mat, index, clusters, labels, commits)
+	c, err := stream.Restore(stream.Config{Core: cfg.Core, BatchSize: cfg.BatchSize, Retention: cfg.Retention, Quantize: true, Obs: reg, ObsLabels: shardFrag(cfg.ShardLabel)}, mat, index, clusters, labels, commits)
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
@@ -307,11 +344,11 @@ func start(cfg Config, reg *obs.Registry, c *stream.Clusterer) *Engine {
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
 		obsReg:    reg,
-		met:       newEngineMetrics(reg),
+		met:       newEngineMetrics(reg, shardFrag(cfg.ShardLabel)),
 		logger:    cfg.Logger,
 		clusterer: c,
 	}
-	e.registerEngineFuncs(reg)
+	e.registerEngineFuncs(reg, shardFrag(cfg.ShardLabel))
 	e.publish()
 	go e.run()
 	return e
@@ -564,15 +601,27 @@ func queryErr(q []float64, dim int) error {
 // the best truncated score is then re-scored exactly, so the winner and its
 // reported score are bit-identical to full scoring.
 func (e *Engine) Assign(q []float64) (Assignment, error) {
+	a, _, err := e.assignPinned(q)
+	return a, err
+}
+
+// assignPinned is Assign pinned to ONE published generation: it additionally
+// reports that generation's maintained-cluster count, read from the same
+// atomic state load that produced the answer. The sharded router needs the
+// pair to be coherent — it offsets per-shard cluster ids by the prefix sum
+// of shard cluster counts, and an answer paired with a count from a
+// different generation would mistranslate the winning id.
+func (e *Engine) assignPinned(q []float64) (Assignment, int, error) {
 	st := e.state.Load()
 	// A nil index can be published if an index build failed mid-commit
 	// (the matrix lands before the index); such a state is not servable —
 	// answer noise rather than crash, and let the next commit repair it.
 	if st == nil || st.view.Mat == nil || st.view.Index == nil {
-		return Assignment{Cluster: -1}, nil
+		return Assignment{Cluster: -1}, 0, nil
 	}
+	nClusters := len(st.view.Clusters)
 	if err := queryErr(q, st.dim); err != nil {
-		return Assignment{}, fmt.Errorf("engine: %w", err)
+		return Assignment{}, nClusters, fmt.Errorf("engine: %w", err)
 	}
 	e.assigns.Add(1)
 	start := obs.Now()
@@ -601,7 +650,7 @@ func (e *Engine) Assign(q []float64) (Assignment, error) {
 		e.met.candPoints.Observe(int64(len(sc.cand)))
 		e.met.noise.Inc()
 		e.met.assignSingle.ObserveSince(start)
-		return Assignment{Cluster: -1, Candidates: len(sc.cand)}, nil
+		return Assignment{Cluster: -1, Candidates: len(sc.cand)}, nClusters, nil
 	}
 
 	qNormSq := vec.Dot(q, q)
@@ -668,7 +717,7 @@ func (e *Engine) Assign(q []float64) (Assignment, error) {
 	if best < 0 { // defensive: unreachable with finite inputs
 		e.met.noise.Inc()
 		e.met.assignSingle.ObserveSince(start)
-		return Assignment{Cluster: -1, Candidates: len(sc.cand)}, nil
+		return Assignment{Cluster: -1, Candidates: len(sc.cand)}, nClusters, nil
 	}
 	cl := st.view.Clusters[best]
 	e.met.assignSingle.ObserveSince(start)
@@ -678,7 +727,7 @@ func (e *Engine) Assign(q []float64) (Assignment, error) {
 		Density:    cl.Density,
 		Infective:  bestScore-cl.Density > e.tol,
 		Candidates: len(sc.cand),
-	}, nil
+	}, nClusters, nil
 }
 
 // Ingest enqueues points for the writer. It blocks only when the queue is
@@ -817,6 +866,21 @@ func (e *Engine) Clusters() []*core.Cluster {
 		return nil
 	}
 	return append([]*core.Cluster(nil), st.view.Clusters...)
+}
+
+// ClustersWithMeta returns the published dominant clusters together with the
+// committed point count and commit counter of the SAME generation — one
+// atomic state load, so the three stay coherent even while commits land
+// concurrently (the /v1/clusters handler's contract).
+func (e *Engine) ClustersWithMeta() (clusters []*core.Cluster, n, commits int) {
+	st := e.state.Load()
+	if st == nil {
+		return nil, 0, 0
+	}
+	if st.view.Mat != nil {
+		n = st.view.Mat.N
+	}
+	return append([]*core.Cluster(nil), st.view.Clusters...), n, st.view.Commits
 }
 
 // Labels returns a copy of the published per-point assignment.

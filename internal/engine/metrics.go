@@ -48,28 +48,33 @@ type engineMetrics struct {
 	loadBytes *obs.Counter   // snapshot bytes read
 }
 
-func newEngineMetrics(reg *obs.Registry) *engineMetrics {
+// newEngineMetrics builds the engine's serve-path metrics; extra is the
+// engine's pre-rendered shard label fragment (empty for an unsharded
+// engine), appended to every family so N shard engines can share one
+// registry without colliding.
+func newEngineMetrics(reg *obs.Registry, extra string) *engineMetrics {
+	l := func(labels string) string { return obs.Labels(labels, extra) }
 	m := &engineMetrics{
-		assignSingle: obs.NewHistogram("alid_assign_duration_seconds", "Assign call latency by serving mode (batch observes the whole call).", `mode="single"`, 1e-9),
-		assignBatch:  obs.NewHistogram("alid_assign_duration_seconds", "Assign call latency by serving mode (batch observes the whole call).", `mode="batch"`, 1e-9),
-		batchPoints:  obs.NewHistogram("alid_assign_batch_points", "Queries per batched assign call.", "", 1),
+		assignSingle: obs.NewHistogram("alid_assign_duration_seconds", "Assign call latency by serving mode (batch observes the whole call).", l(`mode="single"`), 1e-9),
+		assignBatch:  obs.NewHistogram("alid_assign_duration_seconds", "Assign call latency by serving mode (batch observes the whole call).", l(`mode="batch"`), 1e-9),
+		batchPoints:  obs.NewHistogram("alid_assign_batch_points", "Queries per batched assign call.", l(""), 1),
 
-		candPoints:   obs.NewHistogram("alid_assign_candidates", "LSH candidates retrieved per query (points on the single path, clusters on the batch path).", `kind="points"`, 1),
-		candClusters: obs.NewHistogram("alid_assign_candidates", "LSH candidates retrieved per query (points on the single path, clusters on the batch path).", `kind="clusters"`, 1),
+		candPoints:   obs.NewHistogram("alid_assign_candidates", "LSH candidates retrieved per query (points on the single path, clusters on the batch path).", l(`kind="points"`), 1),
+		candClusters: obs.NewHistogram("alid_assign_candidates", "LSH candidates retrieved per query (points on the single path, clusters on the batch path).", l(`kind="clusters"`), 1),
 
-		scanTrunc:  obs.NewCounter("alid_assign_cluster_scans_total", "Candidate-cluster scan outcomes by cascade tier.", `tier="trunc_pruned"`),
-		scanAnchor: obs.NewCounter("alid_assign_cluster_scans_total", "Candidate-cluster scan outcomes by cascade tier.", `tier="anchor_pruned"`),
-		scanQuant:  obs.NewCounter("alid_assign_cluster_scans_total", "Candidate-cluster scan outcomes by cascade tier.", `tier="quant_pruned"`),
-		scanExact:  obs.NewCounter("alid_assign_cluster_scans_total", "Candidate-cluster scan outcomes by cascade tier.", `tier="exact"`),
+		scanTrunc:  obs.NewCounter("alid_assign_cluster_scans_total", "Candidate-cluster scan outcomes by cascade tier.", l(`tier="trunc_pruned"`)),
+		scanAnchor: obs.NewCounter("alid_assign_cluster_scans_total", "Candidate-cluster scan outcomes by cascade tier.", l(`tier="anchor_pruned"`)),
+		scanQuant:  obs.NewCounter("alid_assign_cluster_scans_total", "Candidate-cluster scan outcomes by cascade tier.", l(`tier="quant_pruned"`)),
+		scanExact:  obs.NewCounter("alid_assign_cluster_scans_total", "Candidate-cluster scan outcomes by cascade tier.", l(`tier="exact"`)),
 
-		noise: obs.NewCounter("alid_assign_noise_total", "Assigns answered as noise (no maintained cluster shares a bucket).", ""),
+		noise: obs.NewCounter("alid_assign_noise_total", "Assigns answered as noise (no maintained cluster shares a bucket).", l("")),
 
-		ingestWait: obs.NewHistogram("alid_ingest_wait_seconds", "Time Ingest spent enqueueing (non-trivial only when the queue is full).", "", 1e-9),
+		ingestWait: obs.NewHistogram("alid_ingest_wait_seconds", "Time Ingest spent enqueueing (non-trivial only when the queue is full).", l(""), 1e-9),
 
-		snapSave:  obs.NewHistogram("alid_snapshot_duration_seconds", "Snapshot persistence duration by operation.", `op="save"`, 1e-9),
-		snapLoad:  obs.NewHistogram("alid_snapshot_duration_seconds", "Snapshot persistence duration by operation.", `op="load"`, 1e-9),
-		saveBytes: obs.NewCounter("alid_snapshot_bytes_total", "Snapshot bytes moved by operation.", `op="save"`),
-		loadBytes: obs.NewCounter("alid_snapshot_bytes_total", "Snapshot bytes moved by operation.", `op="load"`),
+		snapSave:  obs.NewHistogram("alid_snapshot_duration_seconds", "Snapshot persistence duration by operation.", l(`op="save"`), 1e-9),
+		snapLoad:  obs.NewHistogram("alid_snapshot_duration_seconds", "Snapshot persistence duration by operation.", l(`op="load"`), 1e-9),
+		saveBytes: obs.NewCounter("alid_snapshot_bytes_total", "Snapshot bytes moved by operation.", l(`op="save"`)),
+		loadBytes: obs.NewCounter("alid_snapshot_bytes_total", "Snapshot bytes moved by operation.", l(`op="load"`)),
 	}
 	if reg != nil {
 		reg.MustRegister(
@@ -87,7 +92,8 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 // published generation's sizes as scrape-time callbacks. Every closure
 // reads only atomics or fields of an immutable published state, so scrapes
 // are race-free against assigns, ingest and the writer.
-func (e *Engine) registerEngineFuncs(reg *obs.Registry) {
+func (e *Engine) registerEngineFuncs(reg *obs.Registry, extra string) {
+	l := func(labels string) string { return obs.Labels(labels, extra) }
 	view := func(f func(st *state) int64) func() int64 {
 		return func() int64 {
 			st := e.state.Load()
@@ -98,56 +104,56 @@ func (e *Engine) registerEngineFuncs(reg *obs.Registry) {
 		}
 	}
 	reg.MustRegister(
-		obs.NewGaugeFunc("alid_points", "Committed points by liveness (committed counts every id ever committed; ids are stable).", `state="committed"`,
+		obs.NewGaugeFunc("alid_points", "Committed points by liveness (committed counts every id ever committed; ids are stable).", l(`state="committed"`),
 			view(func(st *state) int64 {
 				if st.view.Mat == nil {
 					return 0
 				}
 				return int64(st.view.Mat.N)
 			})),
-		obs.NewGaugeFunc("alid_points", "Committed points by liveness (committed counts every id ever committed; ids are stable).", `state="live"`,
+		obs.NewGaugeFunc("alid_points", "Committed points by liveness (committed counts every id ever committed; ids are stable).", l(`state="live"`),
 			view(func(st *state) int64 {
 				if st.view.Mat == nil {
 					return 0
 				}
 				return int64(st.view.Mat.LiveCount())
 			})),
-		obs.NewGaugeFunc("alid_clusters", "Maintained dominant clusters in the published view.", "",
+		obs.NewGaugeFunc("alid_clusters", "Maintained dominant clusters in the published view.", l(""),
 			view(func(st *state) int64 { return int64(len(st.view.Clusters)) })),
-		obs.NewGaugeFunc("alid_ingest_queue_points", "Ingested-but-uncommitted points (queue plus writer buffer).", "",
+		obs.NewGaugeFunc("alid_ingest_queue_points", "Ingested-but-uncommitted points (queue plus writer buffer).", l(""),
 			e.queued.Load),
-		obs.NewCounterFunc("alid_assigns_total", "Queries served by Assign and AssignBatch.", "",
+		obs.NewCounterFunc("alid_assigns_total", "Queries served by Assign and AssignBatch.", l(""),
 			e.assigns.Load),
-		obs.NewCounterFunc("alid_ingested_points_total", "Points accepted by the writer.", "",
+		obs.NewCounterFunc("alid_ingested_points_total", "Points accepted by the writer.", l(""),
 			e.ingested.Load),
-		obs.NewCounterFunc("alid_writer_errors_total", "Commit or ingest failures inside the writer.", "",
+		obs.NewCounterFunc("alid_writer_errors_total", "Commit or ingest failures inside the writer.", l(""),
 			e.writerErrs.Load),
-		obs.NewCounterFunc("alid_commits_total", "Batch commits reflected in the published view.", "",
+		obs.NewCounterFunc("alid_commits_total", "Batch commits reflected in the published view.", l(""),
 			view(func(st *state) int64 { return int64(st.view.Commits) })),
 		// LSH read-side shape, computed over the immutable published index
 		// (an O(live) walk per scrape — fine at scrape cadence).
-		obs.NewGaugeFunc("alid_lsh_segments", "Sealed LSH segments across tables in the published index.", "",
+		obs.NewGaugeFunc("alid_lsh_segments", "Sealed LSH segments across tables in the published index.", l(""),
 			view(func(st *state) int64 {
 				if st.view.Index == nil {
 					return 0
 				}
 				return int64(st.view.Index.Stats().Segments)
 			})),
-		obs.NewGaugeFunc("alid_lsh_buckets", "Distinct live LSH buckets in the published index.", "",
+		obs.NewGaugeFunc("alid_lsh_buckets", "Distinct live LSH buckets in the published index.", l(""),
 			view(func(st *state) int64 {
 				if st.view.Index == nil {
 					return 0
 				}
 				return int64(st.view.Index.Stats().Buckets)
 			})),
-		obs.NewGaugeFunc("alid_lsh_max_bucket_size", "Largest live LSH bucket in the published index (read-cost ceiling per probe).", "",
+		obs.NewGaugeFunc("alid_lsh_max_bucket_size", "Largest live LSH bucket in the published index (read-cost ceiling per probe).", l(""),
 			view(func(st *state) int64 {
 				if st.view.Index == nil {
 					return 0
 				}
 				return int64(st.view.Index.Stats().MaxBucketSize)
 			})),
-		obs.NewCounterFunc("alid_kernel_evals_total", "Kernel (affinity) evaluations: assign-path scoring plus commit-side detection and dirtiness checks.", "",
+		obs.NewCounterFunc("alid_kernel_evals_total", "Kernel (affinity) evaluations: assign-path scoring plus commit-side detection and dirtiness checks.", l(""),
 			func() int64 {
 				n := e.pastComputed.Load()
 				if st := e.state.Load(); st != nil {

@@ -43,7 +43,14 @@ func (c *countingReader) Read(p []byte) (int, error) {
 // ingest; points still queued or buffered are NOT included (flush first for
 // a point-in-time-complete snapshot).
 func (e *Engine) WriteSnapshot(w io.Writer) error {
-	v := e.View()
+	return e.writeSnapshotView(w, e.View())
+}
+
+// writeSnapshotView persists one explicit published view. Sharded saves go
+// through this: the router reads every shard's view ONCE, derives the
+// manifest's id-mint cursor from those exact views, and then writes exactly
+// them — a second View() load here could have advanced past the cursor.
+func (e *Engine) writeSnapshotView(w io.Writer, v stream.View) error {
 	if v.Mat == nil {
 		return fmt.Errorf("engine: nothing committed to snapshot")
 	}
@@ -113,17 +120,47 @@ func LoadSnapshot(r io.Reader, queueSize int, pool *par.Pool) (*Engine, error) {
 // -retention-* flags are an operational knob and must win over whatever the
 // previous process had configured).
 func LoadSnapshotRetention(r io.Reader, queueSize int, pool *par.Pool, retention *stream.Retention) (*Engine, error) {
+	return LoadSnapshotOpts(r, LoadOptions{QueueSize: queueSize, Pool: pool, Retention: retention})
+}
+
+// LoadOptions are the runtime knobs a snapshot restore re-injects: none of
+// them is persisted because none affects answers (scheduling, queueing,
+// observability) — except Retention, an operational override that REPLACES
+// the snapshot's stored policy when non-nil.
+type LoadOptions struct {
+	// QueueSize bounds the restored engine's ingest queue (0 = default).
+	QueueSize int
+	// Pool is the intra-detection parallel pool (nil = serial).
+	Pool *par.Pool
+	// Retention, when non-nil, replaces the snapshot's persisted policy.
+	Retention *stream.Retention
+	// Obs is the registry the restored engine registers into (nil = private).
+	Obs *obs.Registry
+	// Logger receives the restored engine's writer-side logs (nil = silent).
+	Logger *slog.Logger
+	// ShardLabel is the restored engine's shard name for metric labeling
+	// (see Config.ShardLabel).
+	ShardLabel string
+}
+
+// LoadSnapshotOpts restores an engine from a snapshot stream with the full
+// set of runtime knobs — the sharded restore path, which loads N shard files
+// into N engines sharing one registry (distinct ShardLabels) and one pool.
+func LoadSnapshotOpts(r io.Reader, o LoadOptions) (*Engine, error) {
 	start := obs.Now()
 	cr := &countingReader{r: r}
 	s, err := snapshot.Read(cr)
 	if err != nil {
 		return nil, err
 	}
-	s.Core.Pool = pool
-	if retention != nil {
-		s.Retention = *retention
+	s.Core.Pool = o.Pool
+	if o.Retention != nil {
+		s.Retention = *o.Retention
 	}
-	cfg := Config{Core: s.Core, BatchSize: s.BatchSize, QueueSize: queueSize, Retention: s.Retention}
+	cfg := Config{
+		Core: s.Core, BatchSize: s.BatchSize, QueueSize: o.QueueSize, Retention: s.Retention,
+		Obs: o.Obs, Logger: o.Logger, ShardLabel: o.ShardLabel,
+	}
 	eng, err := Restore(cfg, s.Mat, s.Index, s.Clusters, s.Labels, s.Commits)
 	if err == nil {
 		// The engine's metrics exist only now, so load cost is credited to

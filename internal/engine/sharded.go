@@ -1,0 +1,568 @@
+// This file is the in-process sharded serving layer: Sharded wraps N
+// independent Engines — each with its own single-writer queue, LSH index and
+// RCU snapshot chain — behind the same Serving surface as one Engine.
+//
+// The two single-core ceilings it breaks:
+//
+//   - Write throughput: every ingested point belongs to exactly one shard,
+//     so N writer goroutines commit concurrently instead of one. Commit
+//     cost per shard also shrinks (each index holds ~1/N of the points).
+//   - Assign latency on multicore: one query fans out to all shards via
+//     mapreduce.Scatter and the per-shard scans run in parallel over
+//     N-times-smaller indexes.
+//
+// Routing and id stability. The router mints globally-unique point ids:
+// the j-th point accepted by shard s has global id j·N + s, so
+// shard = id mod N and local = id div N forever — the PR 5 stable-id
+// invariant extended across the shard boundary (ids never move between
+// shards, evictions tombstone in place). Arrivals are placed round-robin
+// from a cursor, so on the never-failed path the k-th accepted point lands
+// on shard k mod N with global id exactly k — identical numbering to an
+// unsharded engine. Per-shard id spaces are disjoint by construction, so a
+// partially delivered ingest (context cancelled on a full shard queue) can
+// skew the balance but can never collide or desynchronize ids.
+//
+// Determinism. Assign and AssignBatch scatter to every shard, pin ONE
+// published generation per shard (assignPinned), and merge by best affinity
+// score with a deterministic tie-break: on equal scores the LOWEST shard
+// index wins, the shard-level analogue of the engine's first-seen candidate
+// order. Winning cluster ids are translated to global ids by offsetting with
+// the prefix sum of per-shard cluster counts (shard 0's clusters first), the
+// same order Clusters() concatenates in. The merge iterates shards in index
+// order over slot-indexed scatter results, so answers are bit-identical at
+// any gather width — and a 1-shard router answers bit-identically to its
+// inner Engine. Per-shard answers are exact (PR 6), so the merged winner is
+// the best-scoring cluster across ALL shards over the union of the shards'
+// candidates: exactly the DALID partition argument (paper §5) — partitions
+// are scored independently and only the maximum survives the merge. What
+// sharding does change is detection itself: each shard detects clusters over
+// its own partition, so the maintained cluster STRUCTURE at N > 1 matches N
+// independent engines fed the routed subsets, not one engine fed everything
+// (engine/shardcross_test.go pins exactly that contract).
+//
+// Aggregation. Stats sums per-shard counters (Assigns comes from the
+// router: each logical query touches all N shards, and the per-shard
+// alid_assigns_total{shard=…} counters reflect that fan-out). Clusters and
+// ClustersWithMeta concatenate in shard order with member/seed ids
+// translated to global ids. Evict routes each global id to its owning
+// shard. Every shard registers its metric families with a constant
+// shard="…" label into one shared registry, and the router adds
+// alid_ingest_queue_depth{shard="…"} (per-shard backlog, the serve-load
+// balance diagnostic), alid_shards, and alid_gather_duration_seconds.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"alid/internal/core"
+	"alid/internal/mapreduce"
+	"alid/internal/obs"
+)
+
+// Both the single engine and the sharded router satisfy the Serving surface
+// the daemon and HTTP layer program against.
+var (
+	_ Serving = (*Engine)(nil)
+	_ Serving = (*Sharded)(nil)
+)
+
+// ShardedConfig sizes the sharded router.
+type ShardedConfig struct {
+	// Engine is the per-shard template. Obs (defaulted to one fresh registry)
+	// is shared by every shard; ShardLabel is overwritten per shard;
+	// Retention.MaxPoints is the TOTAL live-point budget, split evenly
+	// (ceiling) across shards; Logger gains a per-shard attribute.
+	Engine Config
+	// Shards is the number of independent engines (≥ 1). The shard count is
+	// part of the persisted layout: ids embed it, so a saved manifest can
+	// only be restored at the same count (snapshot.ErrShardCountMismatch).
+	Shards int
+	// Gather bounds the concurrent per-shard tasks of one scatter-gathered
+	// call (0 = GOMAXPROCS, 1 = inline). Purely a scheduling knob: answers
+	// are bit-identical at any width.
+	Gather int
+}
+
+// shardAnswer is one shard's slot in a scattered single-point Assign:
+// the answer and the cluster count of the SAME pinned generation, plus the
+// shard's error (merged deterministically — lowest shard index wins).
+type shardAnswer struct {
+	a        Assignment
+	clusters int
+	err      error
+}
+
+// shardBatch is one shard's slot in a scattered AssignBatch.
+type shardBatch struct {
+	out      []Assignment
+	clusters int
+	err      error
+}
+
+// gatherScratch is the pooled per-call scatter workspace: slot arrays for
+// the gather plus per-shard batch-answer arenas (grow-only), so steady
+// scatter-gather traffic allocates nothing at the router layer.
+type gatherScratch struct {
+	single []shardAnswer
+	batch  []shardBatch
+	bouts  [][]Assignment // per-shard batch arenas, recycled across calls
+	offs   []int          // cluster-count prefix sums, len n+1
+}
+
+// shardedMetrics is the router-level instrumentation. The per-shard engines
+// keep their own families (shard-labeled); these cover what only the router
+// sees — whole scatter-gather call latency.
+type shardedMetrics struct {
+	gatherSingle *obs.Histogram
+	gatherBatch  *obs.Histogram
+}
+
+// Sharded is an in-process sharded serving engine: N independent Engines
+// behind one Serving surface. Safe for concurrent use exactly like Engine;
+// Ingest serializes internally (routing order defines id minting), reads
+// are lock-free per shard.
+type Sharded struct {
+	cfg    ShardedConfig // template config; Engine.Retention holds the TOTAL policy
+	shards []*Engine
+	n      int
+	width  int
+
+	// mu orders ingests: the round-robin cursor, the locked-in dimension and
+	// the per-shard delivery order together define which global id every
+	// arrival gets, so routing is a critical section. Reads never take it.
+	mu    sync.Mutex
+	rr    int           // round-robin placement cursor (mod n)
+	dim   int           // locked by the first accepted ingest (0 = none yet)
+	split [][][]float64 // per-shard sub-batch scratch, reused under mu
+
+	assigns atomic.Int64 // logical queries (each fans out to all shards)
+
+	gpool  sync.Pool
+	met    *shardedMetrics
+	obsReg *obs.Registry
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewSharded builds an N-shard engine. The optional initial batch is routed
+// round-robin exactly like ingested points (point k → shard k mod N, global
+// id k) and committed synchronously, so Assign works the moment it returns.
+func NewSharded(cfg ShardedConfig, initial [][]float64) (*Sharded, error) {
+	n := cfg.Shards
+	if n <= 0 {
+		return nil, fmt.Errorf("engine: shard count %d, want >= 1", n)
+	}
+	// Router-edge dimension check, mirroring stream.New: sub-batches must be
+	// rejected atomically here — shard j discovering ragged input after
+	// shard i already committed its subset would be a partial construction.
+	for i, p := range initial {
+		if len(p) != len(initial[0]) {
+			return nil, fmt.Errorf("engine: initial point %d has dimension %d, want %d", i, len(p), len(initial[0]))
+		}
+	}
+	reg := cfg.Engine.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	width := cfg.Gather
+	if width <= 0 {
+		width = runtime.GOMAXPROCS(0)
+	}
+	subs := make([][][]float64, n)
+	for k, p := range initial {
+		subs[k%n] = append(subs[k%n], p)
+	}
+	s := &Sharded{
+		cfg:    cfg,
+		n:      n,
+		width:  width,
+		split:  make([][][]float64, n),
+		obsReg: reg,
+	}
+	for i := 0; i < n; i++ {
+		ecfg := cfg.Engine
+		ecfg.Obs = reg
+		ecfg.ShardLabel = strconv.Itoa(i)
+		if ecfg.Retention.MaxPoints > 0 {
+			ecfg.Retention.MaxPoints = (ecfg.Retention.MaxPoints + n - 1) / n
+		}
+		if ecfg.Logger != nil {
+			ecfg.Logger = ecfg.Logger.With("shard", i)
+		}
+		eng, err := New(ecfg, subs[i])
+		if err != nil {
+			for _, sh := range s.shards {
+				sh.Close()
+			}
+			return nil, fmt.Errorf("engine: shard %d: %w", i, err)
+		}
+		s.shards = append(s.shards, eng)
+	}
+	s.rr = len(initial) % n
+	if len(initial) > 0 {
+		s.dim = len(initial[0])
+	}
+	s.finish(reg)
+	return s, nil
+}
+
+// finish registers the router-level metrics and builds the gather pool
+// (shared by the construction and restore paths).
+func (s *Sharded) finish(reg *obs.Registry) {
+	n := s.n
+	s.gpool.New = func() any {
+		return &gatherScratch{
+			single: make([]shardAnswer, n),
+			batch:  make([]shardBatch, n),
+			bouts:  make([][]Assignment, n),
+			offs:   make([]int, n+1),
+		}
+	}
+	s.met = &shardedMetrics{
+		gatherSingle: obs.NewHistogram("alid_gather_duration_seconds", "Whole scatter-gather call latency at the sharded router, by serving mode.", `mode="single"`, 1e-9),
+		gatherBatch:  obs.NewHistogram("alid_gather_duration_seconds", "Whole scatter-gather call latency at the sharded router, by serving mode.", `mode="batch"`, 1e-9),
+	}
+	reg.MustRegister(s.met.gatherSingle, s.met.gatherBatch)
+	reg.MustRegister(obs.NewGaugeFunc("alid_shards", "Configured shard count of the sharded router.", "",
+		func() int64 { return int64(n) }))
+	for i, sh := range s.shards {
+		reg.MustRegister(obs.NewGaugeFunc("alid_ingest_queue_depth",
+			"Ingested-but-uncommitted points per shard (that shard's queue plus writer buffer).",
+			`shard="`+strconv.Itoa(i)+`"`, sh.queued.Load))
+	}
+}
+
+// Shards returns the shard count.
+func (s *Sharded) Shards() int { return s.n }
+
+// Dim returns the committed point dimensionality (the max over shards: all
+// non-empty shards agree, empty ones report 0).
+func (s *Sharded) Dim() int {
+	d := 0
+	for _, sh := range s.shards {
+		if sd := sh.Dim(); sd > d {
+			d = sd
+		}
+	}
+	return d
+}
+
+// Config returns the per-shard template configuration (with the TOTAL
+// retention policy, not the per-shard split).
+func (s *Sharded) Config() Config { return s.cfg.Engine }
+
+// Obs returns the registry shared by the router and every shard.
+func (s *Sharded) Obs() *obs.Registry { return s.obsReg }
+
+// Ingest validates the whole batch at the router edge (atomically: one bad
+// point rejects everything before any shard sees anything), partitions it
+// round-robin from the placement cursor, and delivers each shard's
+// sub-batch as one Engine.Ingest call — all-or-nothing per shard. On a
+// context cancellation mid-delivery (a full shard queue) a prefix of the
+// shards keeps its accepted sub-batches: ids stay consistent (per-shard
+// minting is independent) but the caller should treat the batch as not
+// ingested and retry idempotent work.
+func (s *Sharded) Ingest(ctx context.Context, pts [][]float64) error {
+	if len(pts) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dim := s.dim
+	if dim == 0 {
+		dim = len(pts[0])
+	}
+	// Same checks, same order, same messages as Engine.Ingest — but against
+	// the router's locked-in dimension, which makes writer-side rejects
+	// (that would desynchronize per-shard id accounting) structurally
+	// impossible: every delivered point is already fully valid.
+	for i, p := range pts {
+		if len(p) == 0 {
+			return fmt.Errorf("engine: point %d is empty", i)
+		}
+		if len(p) != dim {
+			return fmt.Errorf("engine: point %d has dimension %d, want %d", i, len(p), dim)
+		}
+		for _, v := range p {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("engine: point %d has a non-finite coordinate", i)
+			}
+		}
+	}
+	for i := range s.split {
+		s.split[i] = s.split[i][:0]
+	}
+	for i, p := range pts {
+		sh := (s.rr + i) % s.n
+		s.split[sh] = append(s.split[sh], p)
+	}
+	for i := 0; i < s.n; i++ {
+		if len(s.split[i]) == 0 {
+			continue
+		}
+		// Engine.Ingest copies the rows, so handing it sub-slices of the
+		// caller's batch is safe.
+		if err := s.shards[i].Ingest(ctx, s.split[i]); err != nil {
+			return err
+		}
+		s.rr = (s.rr + len(s.split[i])) % s.n
+		if s.dim == 0 {
+			s.dim = dim
+		}
+	}
+	// rr advanced per accepted sub-batch above; on full success that nets
+	// out to the arrival count, keeping the k-th accepted point on shard
+	// k mod n. Fix up the cursor to the exact arrival semantics:
+	s.rr = s.rr % s.n
+	return nil
+}
+
+// Flush waits until everything enqueued before the call is committed and
+// published on every shard; shard errors resolve by lowest shard index.
+func (s *Sharded) Flush(ctx context.Context) error {
+	errs := make([]error, s.n)
+	mapreduce.Scatter(s.n, s.width, errs, func(i int) error {
+		return s.shards[i].Flush(ctx)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Evict tombstones committed points by GLOBAL id: each id is routed to its
+// owning shard (id mod N, local id div N) and evicted there through that
+// shard's writer queue. Returns the total number of points newly evicted;
+// shard errors resolve by lowest shard index.
+func (s *Sharded) Evict(ctx context.Context, ids []int) (int, error) {
+	per := make([][]int, s.n)
+	for _, g := range ids {
+		if g < 0 {
+			return 0, fmt.Errorf("engine: evict id %d out of range", g)
+		}
+		per[g%s.n] = append(per[g%s.n], g/s.n)
+	}
+	type evictSlot struct {
+		n   int
+		err error
+	}
+	res := make([]evictSlot, s.n)
+	mapreduce.Scatter(s.n, s.width, res, func(i int) evictSlot {
+		if len(per[i]) == 0 {
+			return evictSlot{}
+		}
+		n, err := s.shards[i].Evict(ctx, per[i])
+		return evictSlot{n: n, err: err}
+	})
+	total := 0
+	for _, r := range res {
+		total += r.n
+	}
+	for _, r := range res {
+		if r.err != nil {
+			return total, r.err
+		}
+	}
+	return total, nil
+}
+
+// Assign scatters the query to every shard, pins one published generation
+// per shard, and merges by best affinity score (ties → lowest shard index).
+// The winning cluster id is GLOBAL: the shard's local id offset by the
+// cluster counts of all lower shards, matching Clusters() order. Candidates
+// sums the per-shard diagnostics. Bit-identical at any Gather width; a
+// 1-shard router answers bit-identically to a plain Engine.
+func (s *Sharded) Assign(q []float64) (Assignment, error) {
+	gs := s.gpool.Get().(*gatherScratch)
+	defer s.gpool.Put(gs)
+	start := obs.Now()
+	res := mapreduce.Scatter(s.n, s.width, gs.single, func(i int) shardAnswer {
+		a, nc, err := s.shards[i].assignPinned(q)
+		return shardAnswer{a: a, clusters: nc, err: err}
+	})
+	for i := range res {
+		if res[i].err != nil {
+			return Assignment{}, res[i].err
+		}
+	}
+	best := Assignment{Cluster: -1}
+	bestShard := -1
+	cands := 0
+	off := 0
+	for i := range res {
+		r := &res[i]
+		cands += r.a.Candidates
+		// Strictly-greater keeps the lowest shard on ties — the documented
+		// merge tie-break (shard-level first-seen order).
+		if r.a.Cluster >= 0 && (bestShard < 0 || r.a.Score > best.Score) {
+			best = r.a
+			best.Cluster = off + r.a.Cluster
+			bestShard = i
+		}
+		off += r.clusters
+	}
+	s.assigns.Add(1)
+	s.met.gatherSingle.ObserveSince(start)
+	if bestShard < 0 {
+		return Assignment{Cluster: -1, Candidates: cands}, nil
+	}
+	best.Candidates = cands
+	return best, nil
+}
+
+// AssignBatch classifies a batch; see AssignBatchInto.
+func (s *Sharded) AssignBatch(qs [][]float64) ([]Assignment, error) {
+	return s.AssignBatchInto(qs, make([]Assignment, 0, len(qs)))
+}
+
+// AssignBatchInto scatters the WHOLE batch to every shard (one pinned
+// generation per shard for all queries) and merges per query exactly like
+// Assign: best score, ties to the lowest shard, global cluster ids,
+// summed Candidates. Results are appended to out (resliced to out[:0]).
+func (s *Sharded) AssignBatchInto(qs [][]float64, out []Assignment) ([]Assignment, error) {
+	out = out[:0]
+	if len(qs) == 0 {
+		return out, nil
+	}
+	gs := s.gpool.Get().(*gatherScratch)
+	defer s.gpool.Put(gs)
+	start := obs.Now()
+	res := mapreduce.Scatter(s.n, s.width, gs.batch, func(i int) shardBatch {
+		o, nc, err := s.shards[i].assignBatchPinned(qs, gs.bouts[i])
+		if o != nil {
+			gs.bouts[i] = o // keep the grown arena for the next batch
+		}
+		return shardBatch{out: o, clusters: nc, err: err}
+	})
+	for i := range res {
+		if res[i].err != nil {
+			return nil, res[i].err
+		}
+	}
+	gs.offs = gs.offs[:0]
+	gs.offs = append(gs.offs, 0)
+	for i := range res {
+		gs.offs = append(gs.offs, gs.offs[i]+res[i].clusters)
+	}
+	for j := range qs {
+		best := Assignment{Cluster: -1}
+		bestShard := -1
+		cands := 0
+		for i := range res {
+			a := res[i].out[j]
+			cands += a.Candidates
+			if a.Cluster >= 0 && (bestShard < 0 || a.Score > best.Score) {
+				best = a
+				best.Cluster = gs.offs[i] + a.Cluster
+				bestShard = i
+			}
+		}
+		if bestShard < 0 {
+			out = append(out, Assignment{Cluster: -1, Candidates: cands})
+		} else {
+			best.Candidates = cands
+			out = append(out, best)
+		}
+	}
+	s.assigns.Add(int64(len(qs)))
+	s.met.gatherBatch.ObserveSince(start)
+	return out, nil
+}
+
+// globalCluster translates one shard's cluster to the global id space:
+// member and seed point ids become local·N + shard. With one shard the
+// published cluster is returned as-is (ids already global); otherwise a
+// fresh cluster value is built — Weights stay shared with the immutable
+// published cluster and must not be mutated, same contract as Engine.
+func (s *Sharded) globalCluster(cl *core.Cluster, shard int) *core.Cluster {
+	if s.n == 1 {
+		return cl
+	}
+	cp := *cl
+	cp.Members = make([]int, len(cl.Members))
+	for i, m := range cl.Members {
+		cp.Members[i] = m*s.n + shard
+	}
+	cp.Seed = cl.Seed*s.n + shard
+	return &cp
+}
+
+// Clusters returns the maintained clusters of every shard, concatenated in
+// shard order (the order Assign's global cluster ids index into), with
+// member/seed ids translated to global ids.
+func (s *Sharded) Clusters() []*core.Cluster {
+	var out []*core.Cluster
+	for si, sh := range s.shards {
+		for _, cl := range sh.Clusters() {
+			out = append(out, s.globalCluster(cl, si))
+		}
+	}
+	return out
+}
+
+// ClustersWithMeta is Clusters plus the summed committed point count and
+// commit counter. Each shard's triple is internally coherent (one pinned
+// generation per shard); the sums across shards are monitoring-grade, like
+// Stats.
+func (s *Sharded) ClustersWithMeta() (clusters []*core.Cluster, n, commits int) {
+	for si, sh := range s.shards {
+		cls, sn, sc := sh.ClustersWithMeta()
+		n += sn
+		commits += sc
+		for _, cl := range cls {
+			clusters = append(clusters, s.globalCluster(cl, si))
+		}
+	}
+	return clusters, n, commits
+}
+
+// Stats sums the per-shard summaries. Assigns counts LOGICAL queries (the
+// router's own counter — each fans out to all N shards, so summing shard
+// counters would multiply by N); the latency quantiles are the router's
+// whole-gather distribution; Dim/N/LiveN/Clusters/Commits and the exact
+// counters are per-shard sums.
+func (s *Sharded) Stats() Stats {
+	var t Stats
+	for _, sh := range s.shards {
+		st := sh.Stats()
+		t.N += st.N
+		t.LiveN += st.LiveN
+		t.Clusters += st.Clusters
+		t.Commits += st.Commits
+		t.Evicted += st.Evicted
+		t.QueuedPoints += st.QueuedPoints
+		t.Ingested += st.Ingested
+		t.AffinityComputed += st.AffinityComputed
+		t.WriterErrors += st.WriterErrors
+		if st.Dim > t.Dim {
+			t.Dim = st.Dim
+		}
+	}
+	t.Assigns = s.assigns.Load()
+	t.AssignP50 = s.met.gatherSingle.Quantile(0.50)
+	t.AssignP95 = s.met.gatherSingle.Quantile(0.95)
+	t.AssignP99 = s.met.gatherSingle.Quantile(0.99)
+	return t
+}
+
+// Close stops every shard's writer (draining queues and committing buffered
+// points); the first shard error, in shard order, is returned.
+func (s *Sharded) Close() error {
+	s.closeOnce.Do(func() {
+		for _, sh := range s.shards {
+			if err := sh.Close(); err != nil && s.closeErr == nil {
+				s.closeErr = err
+			}
+		}
+	})
+	return s.closeErr
+}

@@ -1,0 +1,321 @@
+// This file is sharded persistence: one ordinary v3 snapshot file per
+// non-empty shard plus a manifest binding them (see snapshot/manifest.go for
+// the format and the crash-ordering argument). The save pins every shard's
+// published view FIRST, derives the id-mint cursor from exactly those views,
+// writes shard files, and renames the manifest into place LAST — the
+// manifest commits the save atomically, and its whole-file checksums detect
+// any mix of save generations. The restore refuses shard-count mismatches
+// (ids embed the count) and is all-or-nothing: any missing/corrupt/
+// undecodable shard file closes everything already built.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+
+	"alid/internal/obs"
+	"alid/internal/par"
+	"alid/internal/snapshot"
+	"alid/internal/stream"
+)
+
+// crcWriter tees written bytes into a CRC-32 and a byte count, so the shard
+// file's manifest entry is computed during the single write pass.
+type crcWriter struct {
+	w   io.Writer
+	crc hash.Hash32
+	n   uint64
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc.Write(p[:n])
+	c.n += uint64(n)
+	return n, err
+}
+
+// shardFileName returns the snapshot file path for one shard of a sharded
+// save rooted at the manifest path.
+func shardFileName(path string, shard int) string {
+	return path + ".shard" + strconv.Itoa(shard)
+}
+
+// SaveFiles persists the sharded engine as a manifest at path plus one
+// snapshot file per non-empty shard at path.shard<i>. Every shard's
+// published view is pinned up front and the manifest's id-mint cursor is
+// the sum of exactly those views' point counts, so cursor and files agree
+// even while ingest continues concurrently (flush first for a point-in-
+// time-complete save). Shard files are renamed into place before the
+// manifest: the save is committed by the manifest rename, and a crash at
+// any earlier moment leaves the previous save fully intact.
+func (s *Sharded) SaveFiles(path string) error {
+	views := make([]stream.View, s.n)
+	m := &snapshot.Manifest{Shards: s.n, Entries: make([]snapshot.ShardEntry, s.n)}
+	total := 0
+	for i, sh := range s.shards {
+		views[i] = sh.View()
+		if views[i].Mat != nil {
+			total += views[i].Mat.N
+		}
+	}
+	if total == 0 {
+		return fmt.Errorf("engine: nothing committed to snapshot")
+	}
+	m.Cursor = uint64(total)
+
+	dir := filepath.Dir(path)
+	var staged []string // temp files to roll back on failure
+	defer func() {
+		for _, t := range staged {
+			os.Remove(t)
+		}
+	}()
+	renames := make([]string, s.n) // temp → shardFileName(path, i)
+	for i := range s.shards {
+		if views[i].Mat == nil {
+			continue // empty shard: empty manifest entry, no file
+		}
+		name := shardFileName(path, i)
+		tmp, err := os.CreateTemp(dir, filepath.Base(name)+".tmp*")
+		if err != nil {
+			return fmt.Errorf("engine: shard %d: %w", i, err)
+		}
+		staged = append(staged, tmp.Name())
+		cw := &crcWriter{w: tmp, crc: crc32.NewIEEE()}
+		if err := s.shards[i].writeSnapshotView(cw, views[i]); err != nil {
+			tmp.Close()
+			return fmt.Errorf("engine: shard %d: %w", i, err)
+		}
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return fmt.Errorf("engine: shard %d: %w", i, err)
+		}
+		if err := tmp.Close(); err != nil {
+			return fmt.Errorf("engine: shard %d: %w", i, err)
+		}
+		m.Entries[i] = snapshot.ShardEntry{
+			Name: filepath.Base(name),
+			CRC:  cw.crc.Sum32(),
+			Size: cw.n,
+		}
+		renames[i] = tmp.Name()
+	}
+
+	// All shard files staged; move them into place, then commit with the
+	// manifest. A crash between these renames leaves the OLD manifest naming
+	// old checksums — any half-replaced file set fails its CRC at load
+	// against the old manifest only if mixed, and the old save is what a
+	// restart restores.
+	for i, tmp := range renames {
+		if tmp == "" {
+			continue
+		}
+		if err := os.Rename(tmp, shardFileName(path, i)); err != nil {
+			return fmt.Errorf("engine: shard %d: %w", i, err)
+		}
+	}
+	staged = nil // shard files are live now; only the manifest temp remains
+
+	mtmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	defer os.Remove(mtmp.Name())
+	if err := snapshot.WriteManifest(mtmp, m); err != nil {
+		mtmp.Close()
+		return err
+	}
+	if err := mtmp.Sync(); err != nil {
+		mtmp.Close()
+		return fmt.Errorf("engine: %w", err)
+	}
+	if err := mtmp.Close(); err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	if err := os.Rename(mtmp.Name(), path); err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	return nil
+}
+
+// ShardedLoadOptions are the runtime knobs of a sharded restore — the same
+// non-persisted knobs as LoadOptions, applied to every shard, plus the
+// expected shard count and the gather width.
+type ShardedLoadOptions struct {
+	// Shards is the expected shard count; 0 adopts the manifest's count. A
+	// non-zero count that differs from the manifest fails with
+	// snapshot.ErrShardCountMismatch (ids embed the count — repartitioning
+	// a save is not possible).
+	Shards int
+	// QueueSize bounds each restored shard's ingest queue (0 = default).
+	QueueSize int
+	// Pool is the intra-detection parallel pool, shared by all shards
+	// (nil = serial).
+	Pool *par.Pool
+	// Retention, when non-nil, is the TOTAL live-point policy, split across
+	// shards exactly as NewSharded splits it; nil keeps each shard's
+	// persisted policy.
+	Retention *stream.Retention
+	// Obs is the shared registry (nil = one private registry).
+	Obs *obs.Registry
+	// Logger receives writer-side logs; each shard logs with a shard attr.
+	Logger *slog.Logger
+	// Gather bounds scatter-gather concurrency (see ShardedConfig.Gather).
+	Gather int
+}
+
+// LoadSharded restores a sharded engine from a manifest written by
+// SaveFiles. Every shard file is first verified against the manifest's
+// size and whole-file CRC (catching truncation and mixed save generations
+// before any decoding), then restored as an ordinary snapshot; shards the
+// manifest records as empty are rebuilt empty under the restored
+// configuration. The restore is all-or-nothing: any failure closes every
+// shard already built and returns the error — there is no partial restore.
+func LoadSharded(path string, o ShardedLoadOptions) (*Sharded, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	m, err := snapshot.ReadManifest(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	n := m.Shards
+	if o.Shards != 0 && o.Shards != n {
+		return nil, fmt.Errorf("engine: manifest %s was saved with %d shards, asked to restore %d: %w",
+			path, n, o.Shards, snapshot.ErrShardCountMismatch)
+	}
+
+	reg := o.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	var perShard *stream.Retention
+	if o.Retention != nil {
+		r := *o.Retention
+		if r.MaxPoints > 0 {
+			r.MaxPoints = (r.MaxPoints + n - 1) / n
+		}
+		perShard = &r
+	}
+
+	dir := filepath.Dir(path)
+	shards := make([]*Engine, n)
+	fail := func(err error) (*Sharded, error) {
+		for _, sh := range shards {
+			if sh != nil {
+				sh.Close()
+			}
+		}
+		return nil, err
+	}
+	firstLoaded := -1
+	for i, e := range m.Entries {
+		if e.Name == "" {
+			continue // empty shard; built below from the restored template
+		}
+		fp := filepath.Join(dir, e.Name)
+		sf, err := os.Open(fp)
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				return fail(fmt.Errorf("engine: shard %d file %s: %w", i, fp, snapshot.ErrShardFileMissing))
+			}
+			return fail(fmt.Errorf("engine: shard %d: %w", i, err))
+		}
+		crc := crc32.NewIEEE()
+		size, err := io.Copy(crc, sf)
+		if err != nil {
+			sf.Close()
+			return fail(fmt.Errorf("engine: shard %d: %w", i, err))
+		}
+		if uint64(size) != e.Size || crc.Sum32() != e.CRC {
+			sf.Close()
+			return fail(fmt.Errorf("engine: shard %d file %s: %d bytes crc %08x, manifest records %d bytes crc %08x: %w",
+				i, fp, size, crc.Sum32(), e.Size, e.CRC, snapshot.ErrShardFileCorrupt))
+		}
+		if _, err := sf.Seek(0, io.SeekStart); err != nil {
+			sf.Close()
+			return fail(fmt.Errorf("engine: shard %d: %w", i, err))
+		}
+		lo := LoadOptions{
+			QueueSize: o.QueueSize, Pool: o.Pool, Retention: perShard,
+			Obs: reg, Logger: o.Logger, ShardLabel: strconv.Itoa(i),
+		}
+		if lo.Logger != nil {
+			lo.Logger = lo.Logger.With("shard", i)
+		}
+		eng, err := LoadSnapshotOpts(sf, lo)
+		sf.Close()
+		if err != nil {
+			return fail(fmt.Errorf("engine: shard %d: %w", i, err))
+		}
+		shards[i] = eng
+		if firstLoaded < 0 {
+			firstLoaded = i
+		}
+	}
+	if firstLoaded < 0 {
+		return fail(fmt.Errorf("engine: manifest %s records no shard files", path))
+	}
+
+	// Empty shards adopt the restored configuration of the first non-empty
+	// shard (the whole save shares one config) with their own shard label.
+	template := shards[firstLoaded].Config()
+	for i := range shards {
+		if shards[i] != nil {
+			continue
+		}
+		ecfg := template
+		ecfg.Obs = reg
+		ecfg.ShardLabel = strconv.Itoa(i)
+		ecfg.QueueSize = o.QueueSize
+		ecfg.Core.Pool = o.Pool
+		ecfg.Logger = o.Logger
+		if perShard != nil {
+			ecfg.Retention = *perShard
+		}
+		if ecfg.Logger != nil {
+			ecfg.Logger = ecfg.Logger.With("shard", i)
+		}
+		eng, err := New(ecfg, nil)
+		if err != nil {
+			return fail(fmt.Errorf("engine: shard %d: %w", i, err))
+		}
+		shards[i] = eng
+	}
+
+	width := o.Gather
+	if width <= 0 {
+		width = runtime.GOMAXPROCS(0)
+	}
+	// The router's template Config keeps the TOTAL retention policy (matching
+	// NewSharded's contract): the operational override verbatim, else the
+	// per-shard persisted budget scaled back up.
+	total := template
+	if o.Retention != nil {
+		total.Retention = *o.Retention
+	} else if total.Retention.MaxPoints > 0 {
+		total.Retention.MaxPoints *= n
+	}
+	s := &Sharded{
+		cfg:    ShardedConfig{Engine: total, Shards: n, Gather: o.Gather},
+		shards: shards,
+		n:      n,
+		width:  width,
+		split:  make([][][]float64, n),
+		obsReg: reg,
+	}
+	s.rr = int(m.Cursor % uint64(n))
+	s.dim = s.Dim()
+	s.finish(reg)
+	return s, nil
+}

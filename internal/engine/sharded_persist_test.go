@@ -1,0 +1,256 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"alid/internal/snapshot"
+	"alid/internal/testutil"
+)
+
+// shardedFixture builds a 3-shard engine with committed traffic and a few
+// evictions — enough structure that a restore has something to get wrong.
+func shardedFixture(t *testing.T) *Sharded {
+	t.Helper()
+	ctx := context.Background()
+	initial, _ := testutil.Blobs(3, [][]float64{{0, 0}, {15, 15}}, 60, 0.3, 15, 0, 15)
+	s, err := NewSharded(ShardedConfig{Engine: engineConfig(), Shards: 3}, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wave, _ := testutil.Blobs(56, [][]float64{{-10, 5}}, 30, 0.3, 5, 0, 15)
+	if err := s.Ingest(ctx, wave); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Evict(ctx, []int{1, 4, 9, 30, 31, 32}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// Save → load → re-save: the restored sharded engine answers bit-identically
+// (single and batch, clusters, stats) and re-saving it reproduces the
+// manifest and every shard file byte for byte — the sharded layout is a
+// fixed point exactly like the v3 single-file codec.
+func TestShardedSaveLoadRoundTrip(t *testing.T) {
+	s := shardedFixture(t)
+	defer s.Close()
+	ctx := context.Background()
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "alid.snap")
+	if err := s.SaveFiles(path); err != nil {
+		t.Fatal(err)
+	}
+	m, err := snapshot.ReadManifest(bytes.NewReader(readFile(t, path)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Shards != 3 {
+		t.Fatalf("manifest shards = %d, want 3", m.Shards)
+	}
+	if want := uint64(s.Stats().N); m.Cursor != want {
+		t.Fatalf("manifest cursor = %d, want %d", m.Cursor, want)
+	}
+
+	r, err := LoadSharded(path, ShardedLoadOptions{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	queries := crossQueries(120)
+	for qi, q := range queries {
+		a, err := s.Assign(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := r.Assign(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("query %d: saved %+v vs restored %+v", qi, a, b)
+		}
+	}
+	ba, err := s.AssignBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := r.AssignBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := range queries {
+		if ba[qi] != bb[qi] {
+			t.Fatalf("batch query %d: saved %+v vs restored %+v", qi, ba[qi], bb[qi])
+		}
+	}
+	sc, rc := s.Clusters(), r.Clusters()
+	if len(sc) != len(rc) {
+		t.Fatalf("clusters %d vs %d", len(sc), len(rc))
+	}
+	for i := range sc {
+		if sc[i].Density != rc[i].Density || sc[i].Seed != rc[i].Seed {
+			t.Fatalf("cluster %d differs after restore", i)
+		}
+	}
+	ss, rs := s.Stats(), r.Stats()
+	if ss.N != rs.N || ss.LiveN != rs.LiveN || ss.Clusters != rs.Clusters ||
+		ss.Commits != rs.Commits || ss.Evicted != rs.Evicted {
+		t.Fatalf("stats %+v vs restored %+v", ss, rs)
+	}
+
+	// Fixed point: re-save the restored engine into a second directory
+	// (same base name, so manifest entry names match) — every byte equal.
+	dir2 := t.TempDir()
+	path2 := filepath.Join(dir2, "alid.snap")
+	if err := r.SaveFiles(path2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(readFile(t, path), readFile(t, path2)) {
+		t.Fatal("re-saved manifest differs")
+	}
+	for i := 0; i < 3; i++ {
+		a, b := readFile(t, shardFileName(path, i)), readFile(t, shardFileName(path2, i))
+		if !bytes.Equal(a, b) {
+			t.Fatalf("re-saved shard %d file differs: %d vs %d bytes", i, len(a), len(b))
+		}
+	}
+
+	// The restored router resumes the round-robin cursor: the next accepted
+	// points land on the same shards the original router would pick.
+	next, _ := testutil.Blobs(57, [][]float64{{0, 0}}, 9, 0.3, 0, 0, 15)
+	for _, srv := range []*Sharded{s, r} {
+		if err := srv.Ingest(ctx, next); err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Flush(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if a, b := s.shards[i].Stats().N, r.shards[i].Stats().N; a != b {
+			t.Fatalf("shard %d: %d points vs restored %d — cursor not restored", i, a, b)
+		}
+	}
+}
+
+// Every failure the manifest layer must distinguish, by sentinel: count
+// mismatch, missing shard file, corrupt shard file — each with no partial
+// restore (nothing left to Close, no goroutine leak under -race).
+func TestShardedLoadFailures(t *testing.T) {
+	s := shardedFixture(t)
+	defer s.Close()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "alid.snap")
+	if err := s.SaveFiles(path); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := LoadSharded(path, ShardedLoadOptions{Shards: 2}); !errors.Is(err, snapshot.ErrShardCountMismatch) {
+		t.Fatalf("count mismatch: %v", err)
+	}
+
+	moved := shardFileName(path, 1) + ".gone"
+	if err := os.Rename(shardFileName(path, 1), moved); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSharded(path, ShardedLoadOptions{Shards: 3}); !errors.Is(err, snapshot.ErrShardFileMissing) {
+		t.Fatalf("missing shard file: %v", err)
+	}
+	if err := os.Rename(moved, shardFileName(path, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte mid-file: the whole-file CRC catches it BEFORE any
+	// decode (the error is the manifest sentinel, not a codec error).
+	b := readFile(t, shardFileName(path, 2))
+	b[len(b)/2] ^= 0x20
+	if err := os.WriteFile(shardFileName(path, 2), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSharded(path, ShardedLoadOptions{Shards: 3}); !errors.Is(err, snapshot.ErrShardFileCorrupt) {
+		t.Fatalf("corrupt shard file: %v", err)
+	}
+
+	// Truncation is also corruption (size mismatch).
+	if err := os.WriteFile(shardFileName(path, 2), b[:len(b)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSharded(path, ShardedLoadOptions{Shards: 3}); !errors.Is(err, snapshot.ErrShardFileCorrupt) {
+		t.Fatalf("truncated shard file: %v", err)
+	}
+}
+
+// A sharded save with genuinely empty shards (fewer committed points than
+// shards) round-trips: empty entries in the manifest, empty engines on
+// restore, and the placement cursor still resumes exactly.
+func TestShardedSaveLoadEmptyShards(t *testing.T) {
+	ctx := context.Background()
+	s, err := NewSharded(ShardedConfig{Engine: engineConfig(), Shards: 5},
+		[][]float64{{0, 0}, {0.1, 0}, {0, 0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "alid.snap")
+	if err := s.SaveFiles(path); err != nil {
+		t.Fatal(err)
+	}
+	m, err := snapshot.ReadManifest(bytes.NewReader(readFile(t, path)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cursor != 3 || m.Entries[3].Name != "" || m.Entries[4].Name != "" {
+		t.Fatalf("manifest %+v", m)
+	}
+
+	r, err := LoadSharded(path, ShardedLoadOptions{Shards: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if st := r.Stats(); st.N != 3 {
+		t.Fatalf("restored N = %d, want 3", st.N)
+	}
+	// Cursor resumes at 3: the next points go to shards 3, 4, 0.
+	if err := r.Ingest(ctx, [][]float64{{1, 1}, {2, 2}, {3, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int{2, 1, 1, 1, 1} {
+		if got := r.shards[i].Stats().N; got != want {
+			t.Fatalf("shard %d: N = %d, want %d", i, got, want)
+		}
+	}
+
+	// An all-empty save is refused outright.
+	e, err := NewSharded(ShardedConfig{Engine: engineConfig(), Shards: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.SaveFiles(filepath.Join(dir, "empty.snap")); err == nil {
+		t.Fatal("all-empty sharded save accepted")
+	}
+}

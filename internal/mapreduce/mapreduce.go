@@ -1,15 +1,27 @@
-// Package mapreduce is a small in-process MapReduce engine standing in for
-// the Apache Spark deployment of Section 4.6/5.3. Jobs run their map tasks on
-// a fixed pool of executor goroutines (the paper's "executors", each of which
-// took one CPU core), shuffle emitted key/value pairs in memory, and reduce
-// each key group. The engine is generic so PALID's (point → [label, density])
-// messages are typed end to end.
+// Package mapreduce is the typed fan-out layer for task-level parallelism:
+//
+//   - Run is a small in-process MapReduce engine standing in for the Apache
+//     Spark deployment of Section 4.6/5.3. Jobs run their map tasks on a
+//     fixed pool of executor goroutines (the paper's "executors", each of
+//     which took one CPU core), shuffle emitted key/value pairs in memory,
+//     and reduce each key group. The engine is generic so PALID's
+//     (point → [label, density]) messages are typed end to end.
+//   - Scatter is the serving-side scatter-gather primitive: the sharded
+//     engine fans one query out to its N per-shard engines through it and
+//     merges the slot-indexed results deterministically. It is the DALID
+//     partition boundary (Section 5) in miniature — each shard computes over
+//     its own partition, the caller owns the merge.
+//
+// Both entry points keep determinism trivially: results land in caller-
+// indexed slots (Scatter) or are reduced per key (Run), never in completion
+// order.
 package mapreduce
 
 import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -31,6 +43,48 @@ type Stats struct {
 type pair[K comparable, V any] struct {
 	k K
 	v V
+}
+
+// Scatter runs fn(i) for every i in [0, n), at most width concurrently, and
+// writes each result into out[i] — slot-indexed, so the result layout is
+// identical at any width and the caller's merge order never depends on
+// goroutine scheduling. width ≤ 1 (or n == 1) runs inline on the calling
+// goroutine with zero overhead: a 1-shard router or a 1-CPU host pays
+// nothing for the fan-out machinery. fn must not panic; errors travel inside
+// R (the sharded router carries a per-shard error field and resolves
+// multi-shard errors by lowest shard index — deterministic by construction).
+//
+// out must have at least n slots; Scatter returns out[:n].
+func Scatter[R any](n, width int, out []R, fn func(i int) R) []R {
+	out = out[:n]
+	if width > n {
+		width = n
+	}
+	if width <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	// Work-stealing by atomic cursor: shards finish in any order, but every
+	// result lands in its own slot, so the gather is order-independent.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(width)
+	for w := 0; w < width; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
 }
 
 // Run executes a full map-shuffle-reduce cycle over the task list.

@@ -172,3 +172,49 @@ func TestDeterministicResultAcrossExecutorCounts(t *testing.T) {
 		}
 	}
 }
+
+// Scatter's contract: every result in its own slot, identical at any width,
+// out reused and returned as out[:n], widths beyond n clamped.
+func TestScatterSlotIndexed(t *testing.T) {
+	const n = 37
+	out := make([]int, n)
+	for _, width := range []int{1, 2, 4, 8, 64} {
+		res := Scatter(n, width, out, func(i int) int { return i * i })
+		if len(res) != n {
+			t.Fatalf("width %d: len %d, want %d", width, len(res), n)
+		}
+		for i, v := range res {
+			if v != i*i {
+				t.Fatalf("width %d: slot %d = %d, want %d", width, i, v, i*i)
+			}
+		}
+	}
+}
+
+// The inline path (width ≤ 1 or n == 1) runs fn on the calling goroutine —
+// no fan-out machinery, same results.
+func TestScatterInline(t *testing.T) {
+	out := make([]string, 1)
+	res := Scatter(1, 16, out, func(i int) string { return "only" })
+	if res[0] != "only" {
+		t.Fatalf("n=1: %q", res[0])
+	}
+	out2 := make([]int, 5)
+	res2 := Scatter(5, 0, out2, func(i int) int { return i })
+	for i, v := range res2 {
+		if v != i {
+			t.Fatalf("width 0 slot %d = %d", i, v)
+		}
+	}
+}
+
+// Zero tasks: nothing runs, the empty prefix comes back.
+func TestScatterEmpty(t *testing.T) {
+	res := Scatter(0, 4, make([]int, 4), func(i int) int {
+		t.Fatal("fn called for n=0")
+		return 0
+	})
+	if len(res) != 0 {
+		t.Fatalf("len %d, want 0", len(res))
+	}
+}

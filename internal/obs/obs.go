@@ -44,6 +44,26 @@ type desc struct {
 	name, help, typ, labels string
 }
 
+// Labels joins pre-rendered constant label fragments into one label list,
+// skipping empty fragments: Labels(`mode="single"`, `shard="3"`) renders as
+// `mode="single",shard="3"`, and Labels(`mode="single"`, "") is just
+// `mode="single"`. It exists so subsystems that instantiate the same metric
+// families more than once per process (one engine per shard) can append a
+// disambiguating label without string-building at every call site.
+func Labels(parts ...string) string {
+	var b strings.Builder
+	for _, p := range parts {
+		if p == "" {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p)
+	}
+	return b.String()
+}
+
 // Metric is one registered sample source. Implementations live in this
 // package only (the render method is unexported): Counter, Gauge,
 // CounterFunc, GaugeFunc and Histogram.

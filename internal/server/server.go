@@ -89,9 +89,12 @@ func newHTTPMetrics(reg *obs.Registry, routes []string) *httpMetrics {
 	return m
 }
 
-// Server wraps an engine with the HTTP/JSON API.
+// Server wraps a serving engine — a single engine.Engine or a sharded
+// engine.Sharded, anything satisfying engine.Serving — with the HTTP/JSON
+// API. The handlers are identical either way: the Serving contract hides
+// the scatter-gather behind the same lock-free read semantics.
 type Server struct {
-	eng    *engine.Engine
+	eng    engine.Serving
 	opts   Options
 	mux    *http.ServeMux
 	start  time.Time
@@ -102,7 +105,7 @@ type Server struct {
 // New builds the server; the caller keeps ownership of the engine (and its
 // Close). The server's HTTP metrics are registered into the engine's
 // registry, so build at most one server per engine.
-func New(eng *engine.Engine, opts Options) *Server {
+func New(eng engine.Serving, opts Options) *Server {
 	s := &Server{eng: eng, opts: opts.withDefaults(), mux: http.NewServeMux(), start: time.Now()}
 	routes := []struct {
 		pattern string
@@ -339,17 +342,14 @@ func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
 		}
 		withMembers = b
 	}
-	// One published-view read, so n, commits and the cluster list all come
-	// from the same generation even while commits land concurrently.
-	v := s.eng.View()
-	n := 0
-	if v.Mat != nil {
-		n = v.Mat.N
-	}
+	// One pinned read per shard, so n, commits and the cluster list stay
+	// coherent even while commits land concurrently (with multiple shards
+	// the sums aggregate one coherent generation per shard).
+	clusters, n, commits := s.eng.ClustersWithMeta()
 	writeJSON(w, http.StatusOK, ClustersResponse{
 		N:        n,
-		Commits:  v.Commits,
-		Clusters: ClustersFromCore(v.Clusters, withMembers),
+		Commits:  commits,
+		Clusters: ClustersFromCore(clusters, withMembers),
 	})
 }
 

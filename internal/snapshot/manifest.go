@@ -1,0 +1,167 @@
+// This file is the sharded-save manifest codec. A sharded engine persists
+// one ordinary snapshot file per non-empty shard plus one manifest that
+// binds them into a single restorable unit:
+//
+//	magic "ALIDMANI" | u32 version | payload | u32 CRC-32 (IEEE) of payload
+//
+//	payload = u32 shards
+//	        | u64 cursor               (id-mint cursor = Σ shard point counts)
+//	        | shards × { name | u32 fileCRC | u64 size }
+//
+// Entry names are BASE names (the loader joins them with the manifest's
+// directory, so a snapshot set can be moved as a directory); an empty shard
+// writes an empty name with size 0 and CRC 0. fileCRC/size cover the shard
+// file's COMPLETE bytes, so the loader detects a truncated, corrupted or
+// stale shard file before decoding it — the manifest is renamed into place
+// LAST, after every shard file, and the whole-file CRC is what makes that
+// ordering safe: a crash between shard renames leaves a manifest whose
+// checksums still describe the OLD files it was written against, never a
+// silently mixed restore.
+//
+// The shard count is structural, not operational: global point ids embed it
+// (id = local·N + shard), so a manifest can only be restored at the count it
+// was saved with. Mismatches fail with ErrShardCountMismatch rather than
+// attempting any re-partitioning.
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// ManifestMagic identifies a sharded-save manifest stream.
+const ManifestMagic = "ALIDMANI"
+
+// ManifestVersion is the current manifest format version.
+const ManifestVersion = 1
+
+// Sentinel errors for the failure modes a sharded restore must distinguish
+// (wrapped with per-shard context; match with errors.Is).
+var (
+	// ErrShardCountMismatch: the manifest was saved under a different shard
+	// count than the restore requested. Global ids embed the count, so no
+	// re-partitioning is possible — restart with the saved count.
+	ErrShardCountMismatch = errors.New("snapshot: shard count mismatch")
+	// ErrShardFileMissing: a shard file named by the manifest does not exist.
+	ErrShardFileMissing = errors.New("snapshot: shard file missing")
+	// ErrShardFileCorrupt: a shard file's bytes do not match the size/CRC
+	// recorded in the manifest (truncated write, bit rot, or a file from a
+	// different save generation).
+	ErrShardFileCorrupt = errors.New("snapshot: shard file corrupt")
+)
+
+// ShardEntry describes one shard's snapshot file within a manifest.
+type ShardEntry struct {
+	// Name is the shard file's base name, "" for an empty shard (no file).
+	Name string
+	// CRC is the CRC-32 (IEEE) of the file's complete bytes; 0 when empty.
+	CRC uint32
+	// Size is the file's length in bytes; 0 when empty.
+	Size uint64
+}
+
+// Manifest binds a set of per-shard snapshot files into one restorable
+// sharded save.
+type Manifest struct {
+	// Shards is the shard count the save was taken under (== len(Entries)).
+	Shards int
+	// Cursor is the router's id-mint cursor: the total number of points ever
+	// committed across all shards at save time (Σ per-shard N). The restored
+	// router resumes round-robin placement at Cursor mod Shards.
+	Cursor uint64
+	// Entries are the per-shard files, indexed by shard.
+	Entries []ShardEntry
+}
+
+func (w *writer) str(s string) {
+	w.u64(uint64(len(s)))
+	w.write([]byte(s))
+}
+
+func (r *reader) str(what string) string {
+	n := r.length(what)
+	if r.err != nil || n == 0 {
+		return ""
+	}
+	b := make([]byte, n)
+	r.read(b)
+	if r.err != nil {
+		return ""
+	}
+	return string(b)
+}
+
+// WriteManifest encodes m. The stream is buffered internally; the caller
+// owns any underlying file and its sync/close.
+func WriteManifest(out io.Writer, m *Manifest) error {
+	if m.Shards <= 0 {
+		return fmt.Errorf("snapshot: manifest shard count %d, want >= 1", m.Shards)
+	}
+	if len(m.Entries) != m.Shards {
+		return fmt.Errorf("snapshot: manifest has %d entries for %d shards", len(m.Entries), m.Shards)
+	}
+	bw := bufio.NewWriterSize(out, 1<<16)
+	w := &writer{w: bw, crc: crc32.NewIEEE()}
+	if _, err := bw.WriteString(ManifestMagic); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	w.u32(ManifestVersion)
+	w.u32(uint32(m.Shards))
+	w.u64(m.Cursor)
+	for _, e := range m.Entries {
+		w.str(e.Name)
+		w.u32(e.CRC)
+		w.u64(e.Size)
+	}
+	return finish(bw, w)
+}
+
+// ReadManifest decodes and CRC-verifies a manifest stream.
+func ReadManifest(in io.Reader) (*Manifest, error) {
+	br := bufio.NewReaderSize(in, 1<<16)
+	magic := make([]byte, len(ManifestMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	if string(magic) != ManifestMagic {
+		return nil, fmt.Errorf("snapshot: bad manifest magic %q", magic)
+	}
+	r := &reader{r: br, crc: crc32.NewIEEE()}
+	version := r.u32()
+	if r.err == nil && version != ManifestVersion {
+		return nil, fmt.Errorf("snapshot: unsupported manifest version %d (have %d)", version, ManifestVersion)
+	}
+	m := &Manifest{}
+	m.Shards = int(r.u32())
+	if r.err == nil && (m.Shards <= 0 || m.Shards > 1<<20) {
+		return nil, fmt.Errorf("snapshot: implausible manifest shard count %d", m.Shards)
+	}
+	m.Cursor = r.u64()
+	for i := 0; r.err == nil && i < m.Shards; i++ {
+		e := ShardEntry{Name: r.str("shard file name")}
+		e.CRC = r.u32()
+		e.Size = r.u64()
+		m.Entries = append(m.Entries, e)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("snapshot: %w", r.err)
+	}
+	sum := r.crc.Sum32()
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
+		return nil, fmt.Errorf("snapshot: manifest missing checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(crcBuf[:]); got != sum {
+		return nil, fmt.Errorf("snapshot: manifest checksum mismatch: stored %08x, computed %08x", got, sum)
+	}
+	for i, e := range m.Entries {
+		if e.Name == "" && (e.Size != 0 || e.CRC != 0) {
+			return nil, fmt.Errorf("snapshot: manifest entry %d is empty but records %d bytes", i, e.Size)
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,94 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+)
+
+func testManifest() *Manifest {
+	return &Manifest{
+		Shards: 4,
+		Cursor: 1029,
+		Entries: []ShardEntry{
+			{Name: "alid.snap.shard0", CRC: 0xdeadbeef, Size: 4096},
+			{Name: "alid.snap.shard1", CRC: 0x01020304, Size: 12345},
+			{}, // empty shard: no file
+			{Name: "alid.snap.shard3", CRC: 0xffffffff, Size: 1},
+		},
+	}
+}
+
+// The manifest codec is a fixed point: decode(encode(m)) == m and a
+// re-encode is byte-identical — the same auditability contract as the
+// snapshot codec itself.
+func TestManifestRoundTrip(t *testing.T) {
+	m := testManifest()
+	var buf bytes.Buffer
+	if err := WriteManifest(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shards != m.Shards || got.Cursor != m.Cursor || len(got.Entries) != len(m.Entries) {
+		t.Fatalf("round trip: %+v vs %+v", got, m)
+	}
+	for i := range m.Entries {
+		if got.Entries[i] != m.Entries[i] {
+			t.Fatalf("entry %d: %+v vs %+v", i, got.Entries[i], m.Entries[i])
+		}
+	}
+	var buf2 bytes.Buffer
+	if err := WriteManifest(&buf2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatalf("re-encode differs: %d vs %d bytes", buf.Len(), buf2.Len())
+	}
+}
+
+func TestManifestRejectsCorruption(t *testing.T) {
+	m := testManifest()
+	var buf bytes.Buffer
+	if err := WriteManifest(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Any flipped payload byte (and the CRC bytes themselves) must fail.
+	for _, off := range []int{len(ManifestMagic) + 1, len(good) / 2, len(good) - 2} {
+		bad := append([]byte(nil), good...)
+		bad[off] ^= 0x40
+		if _, err := ReadManifest(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("corruption at byte %d accepted", off)
+		}
+	}
+	// Truncation at every structural boundary must fail, never panic.
+	for _, cut := range []int{4, len(ManifestMagic), len(ManifestMagic) + 6, len(good) - 3} {
+		if _, err := ReadManifest(bytes.NewReader(good[:cut])); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+	if _, err := ReadManifest(bytes.NewReader([]byte("ALIDSNAP\x01\x00\x00\x00"))); err == nil {
+		t.Fatal("snapshot magic accepted as manifest")
+	}
+}
+
+func TestManifestValidation(t *testing.T) {
+	if err := WriteManifest(&bytes.Buffer{}, &Manifest{Shards: 0}); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+	if err := WriteManifest(&bytes.Buffer{}, &Manifest{Shards: 2, Entries: []ShardEntry{{}}}); err == nil {
+		t.Fatal("entry/shard count mismatch accepted")
+	}
+	// An empty-name entry recording bytes is self-contradictory.
+	m := &Manifest{Shards: 1, Cursor: 1, Entries: []ShardEntry{{Name: "", Size: 10}}}
+	var buf bytes.Buffer
+	if err := WriteManifest(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("empty entry with nonzero size accepted")
+	}
+}

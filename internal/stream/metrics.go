@@ -36,22 +36,24 @@ type streamMetrics struct {
 // newStreamMetrics builds the clusterer's metrics and registers them when a
 // registry is provided (nil keeps them private: they still count, cheaply,
 // but render nowhere — standalone library users pay one atomic add either
-// way).
-func newStreamMetrics(reg *obs.Registry) *streamMetrics {
+// way). extra is Config.ObsLabels, appended to every family so per-shard
+// clusterers can share one registry.
+func newStreamMetrics(reg *obs.Registry, extra string) *streamMetrics {
+	l := func(labels string) string { return obs.Labels(labels, extra) }
 	m := &streamMetrics{
-		commitDur:     obs.NewHistogram("alid_commit_duration_seconds", "Full commit wall time (dirtiness check, detection, retention eviction).", "", 1e-9),
-		dirtyCheckDur: obs.NewHistogram("alid_commit_phase_seconds", "Commit time split by phase.", `phase="dirty_check"`, 1e-9),
-		detectDur:     obs.NewHistogram("alid_commit_phase_seconds", "Commit time split by phase.", `phase="detect"`, 1e-9),
-		commitBatch:   obs.NewHistogram("alid_commit_batch_points", "Points integrated per commit.", "", 1),
+		commitDur:     obs.NewHistogram("alid_commit_duration_seconds", "Full commit wall time (dirtiness check, detection, retention eviction).", l(""), 1e-9),
+		dirtyCheckDur: obs.NewHistogram("alid_commit_phase_seconds", "Commit time split by phase.", l(`phase="dirty_check"`), 1e-9),
+		detectDur:     obs.NewHistogram("alid_commit_phase_seconds", "Commit time split by phase.", l(`phase="detect"`), 1e-9),
+		commitBatch:   obs.NewHistogram("alid_commit_batch_points", "Points integrated per commit.", l(""), 1),
 
-		dirtyReconverged: obs.NewCounter("alid_commit_dirty_reconverged_total", "Maintained clusters re-converged because an arrival was infective (Theorem 1).", ""),
-		newClusters:      obs.NewCounter("alid_commit_new_clusters_total", "Clusters newly formed from unassigned seed probes.", ""),
-		publishes:        obs.NewCounter("alid_view_publishes_total", "Immutable views published (share-and-seal snapshots).", ""),
+		dirtyReconverged: obs.NewCounter("alid_commit_dirty_reconverged_total", "Maintained clusters re-converged because an arrival was infective (Theorem 1).", l("")),
+		newClusters:      obs.NewCounter("alid_commit_new_clusters_total", "Clusters newly formed from unassigned seed probes.", l("")),
+		publishes:        obs.NewCounter("alid_view_publishes_total", "Immutable views published (share-and-seal snapshots).", l("")),
 
-		evictedPoints:    obs.NewCounter("alid_evicted_points_total", "Points tombstoned by manual eviction or retention expiry.", ""),
-		evictReconverged: obs.NewCounter("alid_evict_reconverged_total", "Clusters re-converged after losing weight mass to eviction.", ""),
-		chunksReleased:   obs.NewCounter("alid_matrix_chunks_released_total", "Fully dead matrix chunks whose row storage was released.", ""),
-		lshCompactions:   obs.NewCounter("alid_lsh_compactions_total", "LSH segment merges (geometric schedule plus full compactions).", ""),
+		evictedPoints:    obs.NewCounter("alid_evicted_points_total", "Points tombstoned by manual eviction or retention expiry.", l("")),
+		evictReconverged: obs.NewCounter("alid_evict_reconverged_total", "Clusters re-converged after losing weight mass to eviction.", l("")),
+		chunksReleased:   obs.NewCounter("alid_matrix_chunks_released_total", "Fully dead matrix chunks whose row storage was released.", l("")),
+		lshCompactions:   obs.NewCounter("alid_lsh_compactions_total", "LSH segment merges (geometric schedule plus full compactions).", l("")),
 	}
 	if reg != nil {
 		reg.MustRegister(

@@ -81,6 +81,11 @@ type Config struct {
 	// diagnostics: no commit or eviction decision ever reads one, so the
 	// clusterer's determinism contract is unaffected either way.
 	Obs *obs.Registry
+	// ObsLabels is an optional pre-rendered constant label fragment (e.g.
+	// `shard="2"`) appended to every metric this clusterer registers. It is
+	// what lets several clusterers — one per serving shard — share one
+	// registry without colliding on family name + labels.
+	ObsLabels string
 }
 
 // Retention is the sliding-window eviction policy.
@@ -167,7 +172,7 @@ func New(initial [][]float64, cfg Config) (*Clusterer, error) {
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 256
 	}
-	c := &Clusterer{cfg: cfg, assigned: &Labels{}, met: newStreamMetrics(cfg.Obs)}
+	c := &Clusterer{cfg: cfg, assigned: &Labels{}, met: newStreamMetrics(cfg.Obs, cfg.ObsLabels)}
 	for i, p := range initial {
 		if len(p) != len(initial[0]) {
 			return nil, fmt.Errorf("stream: initial point %d has dimension %d, want %d", i, len(p), len(initial[0]))
@@ -239,7 +244,7 @@ func Restore(cfg Config, mat *matrix.Matrix, index *lsh.Index, clusters []*core.
 		avail:    avail,
 		commits:  commits,
 		evicted:  mat.N - mat.LiveCount(),
-		met:      newStreamMetrics(cfg.Obs),
+		met:      newStreamMetrics(cfg.Obs, cfg.ObsLabels),
 	}
 	// The restored index may carry a lifetime compaction count; don't credit
 	// the previous process's merges to this one's counter.

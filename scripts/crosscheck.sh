@@ -13,7 +13,14 @@
 #     generation-stable crosscheck inside the concurrent ingest/evict race
 #     test), the quantized prune bit-identical to the exact scan on random
 #     and adversarial near-tie fixtures, and the packed/quantized affinity
-#     primitives bounding or matching their exact counterparts bitwise.
+#     primitives bounding or matching their exact counterparts bitwise;
+#   - PR 8: the sharded serving crosschecks — a Sharded(N) engine
+#     bit-identical to the deterministic merge of N standalone engines fed
+#     the routed subsets at N ∈ {1,2,4,7} and at gather widths {1,4},
+#     Sharded(1) field-for-field identical to a plain Engine, the sharded
+#     manifest save/load a byte-identical fixed point with every failure
+#     sentinel (count mismatch, missing file, corrupt file) distinguished,
+#     and Scatter slot-indexing identical at every width.
 #
 # Usage: scripts/crosscheck.sh
 #
@@ -42,6 +49,11 @@ go test -race -count=1 \
 go test -race -count=1 \
 	-run 'TestAssignBatchMatchesSequential|TestAssignQuantizedMatchesExact|TestAssignBatchAtomicValidation|TestConcurrentAssignIngest|TestQuantScoreWithinMargin|TestQuantScoreBracketSweep|TestQuantUpperBoundsExact|TestUpperPackedBoundsExact|TestUpperPackedCutSound|TestColumnPointPackedMatchesGathered|TestScorePackedMatchesColumnSum|TestColumnPointBatchMatchesSingle' \
 	./internal/engine/ ./internal/affinity/ \
+	2>&1
+
+go test -race -count=1 \
+	-run 'TestSharded|TestNewShardedRejectsRaggedInitial|TestManifest|TestScatter' \
+	./internal/engine/ ./internal/snapshot/ ./internal/mapreduce/ \
 	2>&1
 
 echo "crosscheck (with -race): OK" >&2
