@@ -33,6 +33,13 @@
 // resumes serving without re-detection (-in and the tuning flags are
 // ignored). A final snapshot is written on graceful shutdown.
 //
+// With -backend minhash the daemon serves string-element sets instead of
+// dense points: -in lines are comma-separated element sets, each set is
+// MinHash-signed (-bands x -rows hashes, -seed) and the signatures flow
+// through the same detect/serve/evict/snapshot pipeline under a Jaccard
+// kernel. The HTTP API switches to the set forms ({"set":[...]} /
+// {"sets":[[...],...]}); dense point requests get 400 backend_mismatch.
+//
 // With -shards N (N > 1) the daemon runs N independent engines behind one
 // scatter-gather router: ingested points are routed to exactly one shard by
 // a stable id hash, assigns fan out to all shards and merge
@@ -44,6 +51,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -53,6 +61,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -61,7 +70,9 @@ import (
 	"alid/internal/core"
 	"alid/internal/dataset"
 	"alid/internal/engine"
+	"alid/internal/index"
 	"alid/internal/lsh"
+	"alid/internal/minhash"
 	"alid/internal/par"
 	"alid/internal/server"
 	"alid/internal/snapshot"
@@ -81,7 +92,10 @@ func main() {
 	rSeg := flag.Float64("r", 0, "LSH segment length (0 = auto from -in data)")
 	mu := flag.Int("mu", 12, "LSH projections per table")
 	tables := flag.Int("tables", 8, "LSH tables")
-	seed := flag.Int64("seed", 1, "LSH seed")
+	seed := flag.Int64("seed", 1, "index hash seed (LSH projections or MinHash salts)")
+	backend := flag.String("backend", "lsh", "index backend: lsh (dense points) or minhash (string-element sets under a Jaccard kernel)")
+	bands := flag.Int("bands", 16, "MinHash bands, i.e. bucket tables (minhash backend only)")
+	rows := flag.Int("rows", 4, "MinHash rows per band; bands*rows hashes per signature (minhash backend only)")
 	threshold := flag.Float64("threshold", 0.75, "density threshold for maintained clusters")
 	parallelism := flag.Int("parallelism", 0, "intra-detection worker count for commit-side detection (0/1 = serial, -1 = GOMAXPROCS; results are identical at any setting)")
 	retPoints := flag.Int("retention-points", 0, "evict the oldest live points beyond this cap after each commit (0 = unlimited; bounds daemon memory under continuous ingest)")
@@ -116,7 +130,8 @@ func main() {
 	defer stop()
 
 	retention := stream.Retention{MaxPoints: *retPoints, MaxAge: *retAge}
-	eng, err := buildServing(logger, *shards, *in, *labeled, *snap, *batch, *queue, *kScale, *rSeg, *mu, *tables, *seed, *threshold, par.New(*parallelism), retention, retentionSet)
+	idxCfg := indexConfig{Backend: *backend, Mu: *mu, Tables: *tables, Bands: *bands, Rows: *rows, Seed: *seed}
+	eng, err := buildServing(logger, *shards, *in, *labeled, *snap, *batch, *queue, *kScale, *rSeg, idxCfg, *threshold, par.New(*parallelism), retention, retentionSet)
 	if err != nil {
 		fatal("startup", err)
 	}
@@ -218,13 +233,27 @@ func snapshotKind(path string) string {
 	return string(magic)
 }
 
+// indexConfig bundles the index-backend flags: which backend plus the
+// per-backend tuning knobs (LSH: mu/tables; MinHash: bands/rows; both: seed).
+type indexConfig struct {
+	Backend     string
+	Mu, Tables  int // LSH projections per table / table count
+	Bands, Rows int // MinHash bands / rows per band
+	Seed        int64
+}
+
 // buildServing builds the serving engine: a plain Engine at -shards 1
 // (exactly the pre-sharding daemon, single-file snapshots included) or a
 // sharded router above N engines, restoring whichever snapshot layout is
-// present — provided it matches the requested shard count.
-func buildServing(logger *slog.Logger, shards int, in string, labeled bool, snap string, batch, queue int, k, r float64, mu, tables int, seed int64, threshold float64, pool *par.Pool, retention stream.Retention, retentionSet bool) (engine.Serving, error) {
+// present — provided it matches the requested shard count and index backend.
+func buildServing(logger *slog.Logger, shards int, in string, labeled bool, snap string, batch, queue int, k, r float64, idx indexConfig, threshold float64, pool *par.Pool, retention stream.Retention, retentionSet bool) (engine.Serving, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("-shards %d: want >= 1", shards)
+	}
+	switch index.Normalize(idx.Backend) {
+	case index.BackendLSH, index.BackendMinHash:
+	default:
+		return nil, fmt.Errorf("-backend %q: want lsh or minhash", idx.Backend)
 	}
 	if shards == 1 {
 		if snap != "" {
@@ -232,7 +261,7 @@ func buildServing(logger *slog.Logger, shards int, in string, labeled bool, snap
 				return nil, fmt.Errorf("snapshot %s is a sharded-save manifest; pass the -shards it was saved with", snap)
 			}
 		}
-		return buildEngine(logger, in, labeled, snap, batch, queue, k, r, mu, tables, seed, threshold, pool, retention, retentionSet)
+		return buildEngine(logger, in, labeled, snap, batch, queue, k, r, idx, threshold, pool, retention, retentionSet)
 	}
 
 	var override *stream.Retention
@@ -246,6 +275,7 @@ func buildServing(logger *slog.Logger, shards int, in string, labeled bool, snap
 			sh, err := engine.LoadSharded(snap, engine.ShardedLoadOptions{
 				Shards: shards, QueueSize: queue, Pool: pool,
 				Retention: override, Logger: logger,
+				Backend: idx.Backend,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("restore %s: %w", snap, err)
@@ -257,7 +287,7 @@ func buildServing(logger *slog.Logger, shards int, in string, labeled bool, snap
 		}
 	}
 
-	cfg, pts, err := detectConfig(logger, in, labeled, k, r, mu, tables, seed, threshold, pool)
+	cfg, pts, err := detectConfig(logger, in, labeled, k, r, idx, threshold, pool)
 	if err != nil {
 		return nil, err
 	}
@@ -269,7 +299,7 @@ func buildServing(logger *slog.Logger, shards int, in string, labeled bool, snap
 
 // buildEngine restores from the snapshot when one exists, otherwise detects
 // from the CSV (or starts empty).
-func buildEngine(logger *slog.Logger, in string, labeled bool, snap string, batch, queue int, k, r float64, mu, tables int, seed int64, threshold float64, pool *par.Pool, retention stream.Retention, retentionSet bool) (*engine.Engine, error) {
+func buildEngine(logger *slog.Logger, in string, labeled bool, snap string, batch, queue int, k, r float64, idx indexConfig, threshold float64, pool *par.Pool, retention stream.Retention, retentionSet bool) (*engine.Engine, error) {
 	if snap != "" {
 		if _, err := os.Stat(snap); err == nil {
 			// The snapshot carries the previous process's retention policy;
@@ -280,7 +310,9 @@ func buildEngine(logger *slog.Logger, in string, labeled bool, snap string, batc
 				override = &retention
 			}
 			start := time.Now()
-			eng, err := engine.LoadFileRetention(snap, queue, pool, override)
+			eng, err := engine.LoadFileOpts(snap, engine.LoadOptions{
+				QueueSize: queue, Pool: pool, Retention: override, Backend: idx.Backend,
+			})
 			if err != nil {
 				return nil, fmt.Errorf("restore %s: %w", snap, err)
 			}
@@ -289,7 +321,7 @@ func buildEngine(logger *slog.Logger, in string, labeled bool, snap string, batc
 		}
 	}
 
-	cfg, pts, err := detectConfig(logger, in, labeled, k, r, mu, tables, seed, threshold, pool)
+	cfg, pts, err := detectConfig(logger, in, labeled, k, r, idx, threshold, pool)
 	if err != nil {
 		return nil, err
 	}
@@ -299,8 +331,13 @@ func buildEngine(logger *slog.Logger, in string, labeled bool, snap string, batc
 // detectConfig reads the initial CSV (if any) and resolves the detection
 // configuration, auto-tuning the kernel scale and LSH segment from the data
 // when not pinned by flags — shared by the single-engine and sharded builds
-// so both detect under identical settings.
-func detectConfig(logger *slog.Logger, in string, labeled bool, k, r float64, mu, tables int, seed int64, threshold float64, pool *par.Pool) (core.Config, [][]float64, error) {
+// so both detect under identical settings. With the minhash backend the CSV
+// holds element sets, the kernel is Jaccard (no auto-tuning; -r is unused)
+// and the returned points are MinHash signatures.
+func detectConfig(logger *slog.Logger, in string, labeled bool, k, r float64, idx indexConfig, threshold float64, pool *par.Pool) (core.Config, [][]float64, error) {
+	if index.Normalize(idx.Backend) == index.BackendMinHash {
+		return detectConfigMinHash(logger, in, labeled, k, idx, threshold, pool)
+	}
 	var pts [][]float64
 	if in != "" {
 		var err error
@@ -330,7 +367,41 @@ func detectConfig(logger *slog.Logger, in string, labeled bool, k, r float64, mu
 	}
 	cfg := core.DefaultConfig()
 	cfg.Kernel = affinity.Kernel{K: k, P: 2}
-	cfg.LSH = lsh.Config{Projections: mu, Tables: tables, R: r, Seed: seed}
+	cfg.LSH = lsh.Config{Projections: idx.Mu, Tables: idx.Tables, R: r, Seed: idx.Seed}
+	cfg.DensityThreshold = threshold
+	cfg.Pool = pool
+	return cfg, pts, nil
+}
+
+// detectConfigMinHash is detectConfig's minhash branch: -in lines are
+// comma-separated element sets, signed up front so detection, serving and
+// snapshots all operate on plain signature rows. The kernel is Jaccard over
+// signature positions; -k keeps its role as the kernel scale (default 2 — no
+// data-driven auto-tuning exists for set inputs).
+func detectConfigMinHash(logger *slog.Logger, in string, labeled bool, k float64, idx indexConfig, threshold float64, pool *par.Pool) (core.Config, [][]float64, error) {
+	mh := minhash.Config{Bands: idx.Bands, Rows: idx.Rows, Seed: idx.Seed}
+	if err := mh.Validate(); err != nil {
+		return core.Config{}, nil, err
+	}
+	var pts [][]float64
+	if in != "" {
+		sets, err := readSetCSV(in, labeled)
+		if err != nil {
+			return core.Config{}, nil, err
+		}
+		pts, err = minhash.Signatures(sets, mh)
+		if err != nil {
+			return core.Config{}, nil, err
+		}
+		logger.Info("signed element sets", "sets", len(sets), "signature_len", mh.SigLen())
+	}
+	if k <= 0 {
+		k = 2
+	}
+	cfg := core.DefaultConfig()
+	cfg.Backend = index.BackendMinHash
+	cfg.MinHash = mh
+	cfg.Kernel = affinity.Kernel{K: k, Jaccard: true}
 	cfg.DensityThreshold = threshold
 	cfg.Pool = pool
 	return cfg, pts, nil
@@ -389,4 +460,41 @@ func readCSV(path string, labeled bool) ([][]float64, error) {
 	defer f.Close()
 	pts, _, err := dataset.ReadPointsCSV(f, path, labeled)
 	return pts, err
+}
+
+// readSetCSV parses one element set per line, comma-separated strings; with
+// labeled the last column is dropped (mirroring readCSV so the same dataset
+// layout works for both backends). Blank lines and #-comments are skipped.
+func readSetCSV(path string, labeled bool) ([][]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var sets [][]string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		elems := strings.Split(text, ",")
+		for i := range elems {
+			elems[i] = strings.TrimSpace(elems[i])
+		}
+		if labeled {
+			elems = elems[:len(elems)-1]
+		}
+		if len(elems) == 0 || (len(elems) == 1 && elems[0] == "") {
+			return nil, fmt.Errorf("%s:%d: empty element set", path, line)
+		}
+		sets = append(sets, elems)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return sets, nil
 }

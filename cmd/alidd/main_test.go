@@ -71,7 +71,8 @@ func TestBuildEngineDetectSnapshotRestore(t *testing.T) {
 	csv := blobCSV(t)
 	snap := filepath.Join(t.TempDir(), "alid.snap")
 
-	eng, err := buildEngine(testLogger(), csv, false, snap, 64, 0, 0, 0, 8, 10, 1, 0.75, nil, stream.Retention{}, false)
+	idx := indexConfig{Backend: "lsh", Mu: 8, Tables: 10, Seed: 1}
+	eng, err := buildEngine(testLogger(), csv, false, snap, 64, 0, 0, 0, idx, 0.75, nil, stream.Retention{}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestBuildEngineDetectSnapshotRestore(t *testing.T) {
 	}
 
 	// Restart: the snapshot wins over -in and tuning flags.
-	restored, err := buildEngine(testLogger(), "", false, snap, 64, 0, 0, 0, 8, 10, 1, 0.75, nil, stream.Retention{}, false)
+	restored, err := buildEngine(testLogger(), "", false, snap, 64, 0, 0, 0, idx, 0.75, nil, stream.Retention{}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestBuildEngineDetectSnapshotRestore(t *testing.T) {
 }
 
 func TestBuildEngineEmptyStart(t *testing.T) {
-	eng, err := buildEngine(testLogger(), "", false, "", 64, 0, 0.5, 2, 8, 10, 1, 0.75, nil, stream.Retention{}, false)
+	eng, err := buildEngine(testLogger(), "", false, "", 64, 0, 0.5, 2, indexConfig{Backend: "lsh", Mu: 8, Tables: 10, Seed: 1}, 0.75, nil, stream.Retention{}, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -39,6 +39,14 @@ type Kernel struct {
 	K float64
 	// P selects the Lp norm (p ≥ 1) used for distances.
 	P float64
+	// Jaccard switches the distance from the Lp norm to the banded-signature
+	// Jaccard estimate used by the MinHash backend: vectors hold per-position
+	// 32-bit hash minima (exact in float64) and the distance is
+	// 1 − (matching positions)/len, with positions compared after the same
+	// round-half-up quantization the index uses for bucket lanes. When set,
+	// P is ignored (the MinHash configuration leaves it zero) and every
+	// fused-Euclidean fast path is bypassed.
+	Jaccard bool
 }
 
 // DefaultKernel returns the kernel used throughout the paper's experiments:
@@ -50,14 +58,43 @@ func (k Kernel) Validate() error {
 	if !(k.K > 0) {
 		return fmt.Errorf("affinity: scaling factor k must be positive, got %v", k.K)
 	}
-	if !(k.P >= 1) {
+	if !k.Jaccard && !(k.P >= 1) {
 		return fmt.Errorf("affinity: norm order p must be ≥ 1, got %v", k.P)
 	}
 	return nil
 }
 
-// Distance returns ‖a−b‖_p under the kernel's norm.
-func (k Kernel) Distance(a, b []float64) float64 { return vec.Lp(a, b, k.P) }
+// Distance returns the kernel's distance: ‖a−b‖_p for the Lp kernel, the
+// estimated Jaccard distance for the Jaccard kernel.
+func (k Kernel) Distance(a, b []float64) float64 {
+	if k.Jaccard {
+		return JaccardDistance(a, b)
+	}
+	return vec.Lp(a, b, k.P)
+}
+
+// JaccardDistance estimates 1 − J(A, B) from two MinHash signature vectors:
+// the fraction of signature positions whose minima DISAGREE is an unbiased
+// estimate of the Jaccard distance between the underlying sets. Positions are
+// compared after round-half-up quantization — floor(x + 0.5), exactly the
+// lane value internal/lsh computes for the MinHash basis tables — so the
+// affinity column and the bucket keys always agree on what "equal" means,
+// even for blended centroid signatures that are no longer integral.
+func JaccardDistance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("affinity: signature length mismatch %d vs %d", len(a), len(b)))
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	match := 0
+	for i, x := range a {
+		if math.Floor(x+0.5) == math.Floor(b[i]+0.5) {
+			match++
+		}
+	}
+	return 1 - float64(match)/float64(len(a))
+}
 
 // Affinity returns exp(-k·‖a−b‖_p). Note this is the off-diagonal value; the
 // diagonal of an affinity matrix is defined to be zero (Eq. 1) and is handled
@@ -241,7 +278,7 @@ func (o *Oracle) fillColumn(j int, rows []int, dst []float64) {
 				dst[r] = 0
 				continue
 			}
-			dst[r] = math.Exp(-k * vec.Lp(o.Mat.Row(row), vj, o.Kernel.P))
+			dst[r] = math.Exp(-k * o.Kernel.Distance(o.Mat.Row(row), vj))
 			n++
 		}
 	}
@@ -302,7 +339,7 @@ func (o *Oracle) ColumnPoint(q []float64, qNormSq float64, rows []int, dst []flo
 		}
 	} else {
 		for r, row := range rows {
-			dst[r] = math.Exp(-k * vec.Lp(o.Mat.Row(row), q, o.Kernel.P))
+			dst[r] = math.Exp(-k * o.Kernel.Distance(o.Mat.Row(row), q))
 		}
 	}
 	o.computed.Add(int64(len(rows)))
@@ -381,7 +418,7 @@ func (o *Oracle) ColumnPointPacked(q []float64, qNormSq float64, rows, norms, ds
 		}
 	} else {
 		for r := 0; r < n; r++ {
-			dst[r] = math.Exp(-k * vec.Lp(rows[r*d:r*d+d:r*d+d], q, o.Kernel.P))
+			dst[r] = math.Exp(-k * o.Kernel.Distance(rows[r*d:r*d+d:r*d+d], q))
 		}
 	}
 }
@@ -465,7 +502,7 @@ func (o *Oracle) ScorePacked(q []float64, qNormSq float64, rows, norms, w, dst [
 		}
 	} else {
 		for r := 0; r < n; r++ {
-			sc += w[r] * math.Exp(-k*vec.Lp(rows[r*d:r*d+d:r*d+d], q, o.Kernel.P))
+			sc += w[r] * math.Exp(-k*o.Kernel.Distance(rows[r*d:r*d+d:r*d+d], q))
 		}
 	}
 	return sc

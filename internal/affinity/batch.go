@@ -77,7 +77,7 @@ func (o *Oracle) ColumnPointBatch(qs [][]float64, qNormSq []float64, rows []int,
 		for qi, q := range qs {
 			col := dst[qi*nr : (qi+1)*nr]
 			for r, row := range rows {
-				col[r] = math.Exp(-k * vec.Lp(o.Mat.Row(row), q, o.Kernel.P))
+				col[r] = math.Exp(-k * o.Kernel.Distance(o.Mat.Row(row), q))
 			}
 		}
 	}

@@ -6,7 +6,6 @@ import (
 	"sync"
 
 	"alid/internal/matrix"
-	"alid/internal/vec"
 )
 
 // KNNNeighborLists computes each point's k exact nearest neighbors under the
@@ -59,7 +58,7 @@ func KNNNeighborLists(m *matrix.Matrix, k Kernel, neighbors int) [][]int {
 					if euclid {
 						d = m.DistSq(j, vi, ni)
 					} else {
-						d = vec.Lp(vi, m.Row(j), k.P)
+						d = k.Distance(vi, m.Row(j))
 					}
 					ds = append(ds, dj{d, j})
 				}

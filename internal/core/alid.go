@@ -7,9 +7,11 @@ import (
 	"sort"
 
 	"alid/internal/affinity"
+	"alid/internal/index"
 	"alid/internal/lid"
 	"alid/internal/lsh"
 	"alid/internal/matrix"
+	"alid/internal/minhash"
 	"alid/internal/par"
 	"alid/internal/vec"
 )
@@ -19,8 +21,14 @@ import (
 type Config struct {
 	// Kernel is the affinity kernel of Eq. 1.
 	Kernel affinity.Kernel
-	// LSH configures the CIVS index.
+	// Backend selects the candidate-index implementation behind the CIVS
+	// stage: index.BackendLSH (dense p-stable hashing, the default when
+	// empty) or index.BackendMinHash (banded MinHash over set signatures).
+	Backend string
+	// LSH configures the CIVS index for the dense backend.
 	LSH lsh.Config
+	// MinHash configures the set backend when Backend is "minhash".
+	MinHash minhash.Config
 	// Delta is δ, the maximum number of candidate vertices CIVS may return
 	// per outer iteration. The paper fixes δ = 800.
 	Delta int
@@ -84,6 +92,9 @@ func (c Config) withDefaults() Config {
 	if c.LSH == (lsh.Config{}) {
 		c.LSH = d.LSH
 	}
+	if index.Normalize(c.Backend) == index.BackendMinHash && c.MinHash == (minhash.Config{}) {
+		c.MinHash = minhash.DefaultConfig()
+	}
 	if c.Delta <= 0 {
 		c.Delta = d.Delta
 	}
@@ -137,7 +148,7 @@ func (c *Cluster) Size() int { return len(c.Members) }
 type Detector struct {
 	cfg    Config
 	oracle *affinity.Oracle
-	index  *lsh.Index
+	index  index.Index
 
 	// scratch for CIVS candidate deduplication and selection (steady-state
 	// CIVS calls allocate only the returned ψ slice)
@@ -164,16 +175,31 @@ func NewDetector(pts [][]float64, cfg Config) (*Detector, error) {
 	return NewDetectorMatrix(m, cfg)
 }
 
+// BuildIndex builds the configured candidate index over a committed matrix:
+// the dense p-stable LSH tables or, for the minhash backend, banded bucket
+// tables over the matrix's signature rows. Everything downstream works
+// through the returned interface and never names the concrete backend.
+func BuildIndex(m *matrix.Matrix, cfg Config) (index.Index, error) {
+	switch index.Normalize(cfg.Backend) {
+	case index.BackendMinHash:
+		return minhash.BuildMatrix(m, cfg.MinHash)
+	case index.BackendLSH:
+		return lsh.BuildMatrix(m, cfg.LSH)
+	default:
+		return nil, fmt.Errorf("core: unknown index backend %q", cfg.Backend)
+	}
+}
+
 // NewDetectorMatrix validates the configuration, wraps the flat dataset and
-// builds the LSH index (O(n·d·µ·l), the only global pass ALID makes over the
-// data). The matrix is captured by reference and must not be mutated.
+// builds the candidate index (O(n·d·µ·l), the only global pass ALID makes
+// over the data). The matrix is captured by reference and must not be mutated.
 func NewDetectorMatrix(m *matrix.Matrix, cfg Config) (*Detector, error) {
 	cfg = cfg.withDefaults()
 	o, err := affinity.NewOracleMatrix(m, cfg.Kernel)
 	if err != nil {
 		return nil, err
 	}
-	idx, err := lsh.BuildMatrix(m, cfg.LSH)
+	idx, err := BuildIndex(m, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -185,8 +211,8 @@ func NewDetectorMatrix(m *matrix.Matrix, cfg Config) (*Detector, error) {
 	}, nil
 }
 
-// NewDetectorWithIndex flattens the dataset and reuses a prebuilt LSH index.
-func NewDetectorWithIndex(pts [][]float64, cfg Config, idx *lsh.Index) (*Detector, error) {
+// NewDetectorWithIndex flattens the dataset and reuses a prebuilt index.
+func NewDetectorWithIndex(pts [][]float64, cfg Config, idx index.Index) (*Detector, error) {
 	m, err := matrix.FromRows(pts)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -194,9 +220,9 @@ func NewDetectorWithIndex(pts [][]float64, cfg Config, idx *lsh.Index) (*Detecto
 	return NewDetectorMatrixWithIndex(m, cfg, idx)
 }
 
-// NewDetectorMatrixWithIndex reuses a prebuilt LSH index (PALID executors
-// share one). The index must have been built over the same points.
-func NewDetectorMatrixWithIndex(m *matrix.Matrix, cfg Config, idx *lsh.Index) (*Detector, error) {
+// NewDetectorMatrixWithIndex reuses a prebuilt index (PALID executors share
+// one). The index must have been built over the same points.
+func NewDetectorMatrixWithIndex(m *matrix.Matrix, cfg Config, idx index.Index) (*Detector, error) {
 	cfg = cfg.withDefaults()
 	o, err := affinity.NewOracleMatrix(m, cfg.Kernel)
 	if err != nil {
@@ -221,8 +247,8 @@ func (d *Detector) Grow() {
 	}
 }
 
-// Index exposes the LSH index (PALID samples seeds from its buckets).
-func (d *Detector) Index() *lsh.Index { return d.index }
+// Index exposes the candidate index (PALID samples seeds from its buckets).
+func (d *Detector) Index() index.Index { return d.index }
 
 // Config returns the effective (defaulted) configuration.
 func (d *Detector) Config() Config { return d.cfg }

@@ -143,7 +143,7 @@ func (st *state) batchIdx() *batchIndex {
 func buildBatchIndex(st *state) *batchIndex {
 	v := st.view
 	nc := len(v.Clusters)
-	nt := v.Index.Config().Tables
+	nt := v.Index.Tables()
 	bi := &batchIndex{sum: make([]bucketSum, nt)}
 	// Collect every live bucket's deduplicated cluster list first, then size
 	// each table's flat hash to ≤50% load and insert.
@@ -190,7 +190,11 @@ func buildBatchIndex(st *state) *batchIndex {
 
 	kern := st.oracle.Kernel
 	d := st.dim
-	bi.hasAnchors = kern.P >= 1
+	// Anchor bounds rest on the triangle inequality of the Lp norm; the
+	// Jaccard kernel's quantized-position distance is kept off the anchor
+	// path (its blended centroids are not guaranteed useful anchors), so set
+	// workloads always take the exact per-candidate score.
+	bi.hasAnchors = kern.P >= 1 && !kern.Jaccard
 	bi.wsum = make([]float64, nc)
 	if bi.hasAnchors {
 		bi.anchor = make([]float64, nc*d)

@@ -35,8 +35,10 @@ import (
 
 	"alid/internal/affinity"
 	"alid/internal/core"
+	"alid/internal/index"
 	"alid/internal/lid"
 	"alid/internal/lsh"
+	"alid/internal/minhash"
 	"alid/internal/matrix"
 	"alid/internal/obs"
 	"alid/internal/stream"
@@ -286,14 +288,26 @@ func New(cfg Config, initial [][]float64) (*Engine, error) {
 	if cfg.Core.Kernel == (affinity.Kernel{}) {
 		cfg.Core.Kernel = affinity.DefaultKernel()
 	}
-	if cfg.Core.LSH == (lsh.Config{}) {
-		cfg.Core.LSH = lsh.DefaultConfig()
-	}
 	if err := cfg.Core.Kernel.Validate(); err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
-	if err := cfg.Core.LSH.Validate(); err != nil {
-		return nil, fmt.Errorf("engine: %w", err)
+	switch index.Normalize(cfg.Core.Backend) {
+	case index.BackendLSH:
+		if cfg.Core.LSH == (lsh.Config{}) {
+			cfg.Core.LSH = lsh.DefaultConfig()
+		}
+		if err := cfg.Core.LSH.Validate(); err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+	case index.BackendMinHash:
+		if cfg.Core.MinHash == (minhash.Config{}) {
+			cfg.Core.MinHash = minhash.DefaultConfig()
+		}
+		if err := cfg.Core.MinHash.Validate(); err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("engine: unknown index backend %q", cfg.Core.Backend)
 	}
 	// Default the registry into a local, never into the stored config: a
 	// config recovered via Engine.Config must stay re-usable for a second
@@ -317,12 +331,12 @@ func New(cfg Config, initial [][]float64) (*Engine, error) {
 // Restore builds an engine from persisted state — the crash-restart path:
 // the matrix, index and clusters come back exactly as published, with no
 // re-detection. Ownership of all arguments transfers to the engine.
-func Restore(cfg Config, mat *matrix.Matrix, index *lsh.Index, clusters []*core.Cluster, labels []int, commits int) (*Engine, error) {
+func Restore(cfg Config, mat *matrix.Matrix, idx index.Index, clusters []*core.Cluster, labels []int, commits int) (*Engine, error) {
 	reg := cfg.Obs // see New: defaulted locally, never stored back
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	c, err := stream.Restore(stream.Config{Core: cfg.Core, BatchSize: cfg.BatchSize, Retention: cfg.Retention, Quantize: true, Obs: reg, ObsLabels: shardFrag(cfg.ShardLabel)}, mat, index, clusters, labels, commits)
+	c, err := stream.Restore(stream.Config{Core: cfg.Core, BatchSize: cfg.BatchSize, Retention: cfg.Retention, Quantize: true, Obs: reg, ObsLabels: shardFrag(cfg.ShardLabel)}, mat, idx, clusters, labels, commits)
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
@@ -376,7 +390,7 @@ func (e *Engine) publish() {
 		n := v.Mat.N
 		mu := 0
 		if v.Index != nil {
-			mu = v.Index.Config().Projections
+			mu = v.Index.SigLen()
 		}
 		nClusters := len(v.Clusters)
 		st.trunc = buildTrunc(v.Clusters)
@@ -389,7 +403,7 @@ func (e *Engine) publish() {
 		}
 		tables := 0
 		if v.Index != nil {
-			tables = v.Index.Config().Tables
+			tables = v.Index.Tables()
 		}
 		st.bpool.New = func() any {
 			return &batchScratch{
@@ -401,7 +415,7 @@ func (e *Engine) publish() {
 		// The stream quantizes right before every published Snapshot, so a
 		// non-empty view always carries complete int8 mirrors for the batch
 		// pipeline's quantized first pass.
-		st.quant = v.Mat.Quantized() && kern.P == 2
+		st.quant = v.Mat.Quantized() && kern.P == 2 && !kern.Jaccard
 	}
 	if old := e.state.Swap(st); old != nil && old.oracle != nil {
 		e.pastComputed.Add(old.oracle.Computed())

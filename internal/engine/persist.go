@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"alid/internal/index"
 	"alid/internal/obs"
 	"alid/internal/par"
 	"alid/internal/snapshot"
@@ -141,6 +142,11 @@ type LoadOptions struct {
 	// ShardLabel is the restored engine's shard name for metric labeling
 	// (see Config.ShardLabel).
 	ShardLabel string
+	// Backend, when non-empty, is the index backend the caller expects
+	// ("lsh" or "minhash"); a snapshot carrying the other backend fails
+	// with snapshot.ErrBackendMismatch instead of silently reinterpreting
+	// set signatures as dense coordinates (or vice versa).
+	Backend string
 }
 
 // LoadSnapshotOpts restores an engine from a snapshot stream with the full
@@ -152,6 +158,11 @@ func LoadSnapshotOpts(r io.Reader, o LoadOptions) (*Engine, error) {
 	s, err := snapshot.Read(cr)
 	if err != nil {
 		return nil, err
+	}
+	if o.Backend != "" {
+		if got, want := index.Normalize(s.Core.Backend), index.Normalize(o.Backend); got != want {
+			return nil, fmt.Errorf("engine: snapshot index backend is %q, engine configured for %q: %w", got, want, snapshot.ErrBackendMismatch)
+		}
 	}
 	s.Core.Pool = o.Pool
 	if o.Retention != nil {
@@ -174,6 +185,17 @@ func LoadSnapshotOpts(r io.Reader, o LoadOptions) (*Engine, error) {
 // LoadFile restores an engine from a snapshot file.
 func LoadFile(path string, queueSize int, pool *par.Pool) (*Engine, error) {
 	return LoadFileRetention(path, queueSize, pool, nil)
+}
+
+// LoadFileOpts restores an engine from a snapshot file with the full set of
+// runtime knobs (see LoadSnapshotOpts).
+func LoadFileOpts(path string, o LoadOptions) (*Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	defer f.Close()
+	return LoadSnapshotOpts(f, o)
 }
 
 // LoadFileRetention is LoadFile with a retention override (see

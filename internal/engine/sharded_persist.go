@@ -170,6 +170,11 @@ type ShardedLoadOptions struct {
 	Logger *slog.Logger
 	// Gather bounds scatter-gather concurrency (see ShardedConfig.Gather).
 	Gather int
+	// Backend, when non-empty, is the index backend the caller expects of
+	// every shard ("lsh" or "minhash"); a shard carrying the other backend
+	// fails the restore with snapshot.ErrBackendMismatch (see
+	// LoadOptions.Backend).
+	Backend string
 }
 
 // LoadSharded restores a sharded engine from a manifest written by
@@ -249,6 +254,7 @@ func LoadSharded(path string, o ShardedLoadOptions) (*Sharded, error) {
 		lo := LoadOptions{
 			QueueSize: o.QueueSize, Pool: o.Pool, Retention: perShard,
 			Obs: reg, Logger: o.Logger, ShardLabel: strconv.Itoa(i),
+			Backend: o.Backend,
 		}
 		if lo.Logger != nil {
 			lo.Logger = lo.Logger.With("shard", i)

@@ -1,0 +1,429 @@
+package index_test
+
+// Backend conformance suite: the executable form of the index.Index
+// contract. Every backend must pass every test — add new backends to
+// backends() and nothing else. The suite checks the four contract pillars
+// the pipeline's bit-identical invariants rest on:
+//
+//   - reference-model queries: Query / QueryInto / CandidatesByID answer
+//     exactly what a brute-force co-bucketing model over BucketKeys predicts;
+//   - share-and-seal publishing: a published snapshot is immune to later
+//     Append / Evict on the live index;
+//   - tombstones: after Evict, every read path answers as if only the
+//     survivors were ever indexed;
+//   - dump/restore and determinism: chunked dump → restore is answer-
+//     identical in candidate ORDER, and the whole build+query sequence is
+//     bit-identical at GOMAXPROCS 1 and GOMAXPROCS NumCPU.
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"testing"
+
+	"alid/internal/index"
+	"alid/internal/lsh"
+	"alid/internal/minhash"
+)
+
+// conformanceBackend adapts one concrete backend to the table-driven suite:
+// a generator producing inputs natural to the backend (dense vectors or
+// MinHash signatures of random element sets) plus build and dump-restore
+// hooks. The suite itself touches only index.Index.
+type conformanceBackend struct {
+	name  string
+	gen   func(seed int64, n int) [][]float64
+	build func(pts [][]float64) (index.Index, error)
+	// restore round-trips through the backend's chunked dump; live == nil
+	// uses the plain constructor, otherwise the liveness-aware one.
+	restore func(ix index.Index, n int, live func(int) bool) (index.Index, error)
+}
+
+var (
+	confLSHCfg = lsh.Config{Projections: 6, Tables: 5, R: 2.5, Seed: 11}
+	confMHCfg  = minhash.Config{Bands: 8, Rows: 3, Seed: 11}
+)
+
+func backends() []conformanceBackend {
+	return []conformanceBackend{
+		{
+			name: index.BackendLSH,
+			gen: func(seed int64, n int) [][]float64 {
+				rng := rand.New(rand.NewSource(seed))
+				pts := make([][]float64, n)
+				for i := range pts {
+					p := make([]float64, 6)
+					for j := range p {
+						p[j] = rng.NormFloat64() * 3
+					}
+					pts[i] = p
+				}
+				return pts
+			},
+			build: func(pts [][]float64) (index.Index, error) { return lsh.Build(pts, confLSHCfg) },
+			restore: func(ix index.Index, n int, live func(int) bool) (index.Index, error) {
+				cfg, dim, tables := ix.(*lsh.Index).DumpChunks()
+				if live == nil {
+					return lsh.FromDumpChunks(cfg, dim, tables)
+				}
+				return lsh.FromDumpChunksLive(cfg, dim, n, tables, live)
+			},
+		},
+		{
+			name: index.BackendMinHash,
+			gen: func(seed int64, n int) [][]float64 {
+				rng := rand.New(rand.NewSource(seed))
+				sets := make([][]string, n)
+				for i := range sets {
+					// Draw from a few overlapping pools so bands collide often
+					// enough to exercise multi-member buckets.
+					m := 3 + rng.Intn(8)
+					base := rng.Intn(4) * 50
+					s := make([]string, m)
+					for j := range s {
+						s[j] = fmt.Sprintf("e%d", base+rng.Intn(60))
+					}
+					sets[i] = s
+				}
+				sigs, err := minhash.Signatures(sets, confMHCfg)
+				if err != nil {
+					panic(err)
+				}
+				return sigs
+			},
+			build: func(pts [][]float64) (index.Index, error) { return minhash.Build(pts, confMHCfg) },
+			restore: func(ix index.Index, n int, live func(int) bool) (index.Index, error) {
+				mh := ix.(*minhash.Index)
+				if live == nil {
+					return minhash.FromKeyChunks(mh.Config(), mh.KeyChunks())
+				}
+				return minhash.FromKeyChunksLive(mh.Config(), n, mh.KeyChunks(), live)
+			},
+		},
+	}
+}
+
+// refModel is the brute-force co-bucketing oracle: per-table key → member
+// ids, derived purely from BucketKeys, against which the query paths are
+// judged.
+type refModel struct {
+	keys [][]uint64         // [id][table]
+	byTK []map[uint64][]int // [table][key] → ascending ids
+	live []bool
+}
+
+func buildRef(ix index.Index, pts [][]float64) *refModel {
+	nt := ix.Tables()
+	m := &refModel{
+		keys: make([][]uint64, len(pts)),
+		byTK: make([]map[uint64][]int, nt),
+		live: make([]bool, len(pts)),
+	}
+	for t := range m.byTK {
+		m.byTK[t] = map[uint64][]int{}
+	}
+	sig := make([]int64, ix.SigLen())
+	for id, p := range pts {
+		ks := make([]uint64, nt)
+		ix.BucketKeys(p, sig, ks)
+		m.keys[id] = ks
+		m.live[id] = true
+		for t, k := range ks {
+			m.byTK[t][k] = append(m.byTK[t][k], id)
+		}
+	}
+	return m
+}
+
+func (m *refModel) evict(ids []int) {
+	for _, id := range ids {
+		m.live[id] = false
+	}
+}
+
+// candidates returns the live ids co-bucketed with v (self included when v
+// is an indexed live point), ascending.
+func (m *refModel) candidates(ix index.Index, v []float64, excludeSelf int) []int32 {
+	sig := make([]int64, ix.SigLen())
+	ks := make([]uint64, ix.Tables())
+	ix.BucketKeys(v, sig, ks)
+	seen := map[int]bool{}
+	for t, k := range ks {
+		for _, id := range m.byTK[t][k] {
+			if m.live[id] && id != excludeSelf {
+				seen[id] = true
+			}
+		}
+	}
+	out := make([]int32, 0, len(seen))
+	for id := range seen {
+		out = append(out, int32(id))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedCopy(ids []int32) []int32 {
+	c := append([]int32(nil), ids...)
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	return c
+}
+
+func wantSameIDs(t *testing.T, want, got []int32, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d ids, want %d (got %v want %v)", label, len(got), len(want), got, want)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: position %d: id %d, want %d", label, i, got[i], want[i])
+		}
+	}
+}
+
+// queryAll runs the allocation-free query path over probes and returns the
+// per-probe candidate lists in their native (deterministic) order.
+func queryAll(ix index.Index, probes [][]float64) [][]int32 {
+	sig := make([]int64, ix.SigLen())
+	mark := make([]uint32, ix.N())
+	var gen uint32
+	out := make([][]int32, len(probes))
+	var dst []int32
+	for i, p := range probes {
+		gen++
+		dst = ix.QueryInto(p, sig, dst[:0], mark, gen)
+		out[i] = append([]int32(nil), dst...)
+	}
+	return out
+}
+
+// Shape accessors and every query path against the brute-force oracle.
+func TestConformanceQueryPathsMatchReference(t *testing.T) {
+	for _, b := range backends() {
+		t.Run(b.name, func(t *testing.T) {
+			pts := b.gen(1, 400)
+			ix, err := b.build(pts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ix.Backend() != b.name {
+				t.Fatalf("Backend() = %q, want %q", ix.Backend(), b.name)
+			}
+			if ix.N() != len(pts) || ix.Live() != len(pts) {
+				t.Fatalf("N %d Live %d, want %d", ix.N(), ix.Live(), len(pts))
+			}
+			if ix.Dim() != len(pts[0]) {
+				t.Fatalf("Dim %d, want %d", ix.Dim(), len(pts[0]))
+			}
+			if ix.SigLen() <= 0 || ix.Tables() <= 0 {
+				t.Fatalf("SigLen %d Tables %d", ix.SigLen(), ix.Tables())
+			}
+			if st := ix.Stats(); st.Tables != ix.Tables() {
+				t.Fatalf("Stats.Tables %d, want %d", st.Tables, ix.Tables())
+			}
+
+			ref := buildRef(ix, pts)
+			probes := append(pts[:50:50], b.gen(2, 20)...)
+			into := queryAll(ix, probes)
+			for i, p := range probes {
+				want := ref.candidates(ix, p, -1)
+				wantSameIDs(t, want, sortedCopy(ix.Query(p)), "Query")
+				wantSameIDs(t, want, sortedCopy(into[i]), "QueryInto")
+			}
+			mark := make([]uint32, ix.N())
+			var gen uint32
+			var dst []int32
+			for id := 0; id < len(pts); id += 7 {
+				want := ref.candidates(ix, pts[id], id)
+				wantSameIDs(t, want, sortedCopy(ix.CandidatesByID(id)), "CandidatesByID")
+				gen++
+				dst = ix.CandidatesByIDInto(id, dst[:0], mark, gen)
+				wantSameIDs(t, want, sortedCopy(dst), "CandidatesByIDInto")
+			}
+
+			// VisitLiveBuckets enumerates exactly the oracle's buckets with
+			// ascending member ids; Buckets(0) agrees with it.
+			visited := 0
+			ix.VisitLiveBuckets(func(table int, key uint64, ids []int32) {
+				visited++
+				want := make([]int32, 0, len(ids))
+				for _, id := range ref.byTK[table][key] {
+					want = append(want, int32(id))
+				}
+				wantSameIDs(t, want, ids, "VisitLiveBuckets")
+			})
+			nonEmpty := 0
+			for t2 := range ref.byTK {
+				nonEmpty += len(ref.byTK[t2])
+			}
+			if visited != nonEmpty {
+				t.Fatalf("visited %d buckets, oracle has %d", visited, nonEmpty)
+			}
+		})
+	}
+}
+
+// Share-and-seal: a published snapshot keeps answering with the state at
+// publish time, whatever Append/Evict does to the live index afterwards.
+func TestConformancePublishIsolation(t *testing.T) {
+	for _, b := range backends() {
+		t.Run(b.name, func(t *testing.T) {
+			pts := b.gen(3, 300)
+			ix, err := b.build(pts[:200])
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap := ix.PublishIndex()
+			if snap.Backend() != b.name || snap.N() != 200 {
+				t.Fatalf("snapshot backend %q n %d", snap.Backend(), snap.N())
+			}
+			probes := pts[:60]
+			before := queryAll(snap, probes)
+
+			if first, err := ix.Append(pts[200:]); err != nil || first != 200 {
+				t.Fatalf("Append: first %d err %v", first, err)
+			}
+			if got := ix.Evict([]int{0, 5, 10, 250}); got != 4 {
+				t.Fatalf("Evict counted %d", got)
+			}
+			ix.PublishIndex()
+
+			if snap.N() != 200 || snap.Live() != 200 {
+				t.Fatalf("snapshot mutated: N %d Live %d", snap.N(), snap.Live())
+			}
+			after := queryAll(snap, probes)
+			for i := range before {
+				wantSameIDs(t, before[i], after[i], "snapshot QueryInto after live mutation")
+			}
+			if ix.N() != 300 || ix.Live() != 296 {
+				t.Fatalf("live index N %d Live %d", ix.N(), ix.Live())
+			}
+		})
+	}
+}
+
+// Tombstones: after Evict, every read path answers exactly what the oracle
+// predicts over the survivors, and dead ids never surface.
+func TestConformanceTombstones(t *testing.T) {
+	for _, b := range backends() {
+		t.Run(b.name, func(t *testing.T) {
+			pts := b.gen(5, 450)
+			ix, err := b.build(pts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := buildRef(ix, pts)
+			var dead []int
+			for id := 0; id < len(pts); id += 3 {
+				dead = append(dead, id)
+			}
+			if got := ix.Evict(dead); got != len(dead) {
+				t.Fatalf("Evict counted %d, want %d", got, len(dead))
+			}
+			// Re-evicting is idempotent.
+			if got := ix.Evict(dead[:10]); got != 0 {
+				t.Fatalf("re-Evict counted %d, want 0", got)
+			}
+			ref.evict(dead)
+			if ix.Live() != len(pts)-len(dead) {
+				t.Fatalf("Live %d, want %d", ix.Live(), len(pts)-len(dead))
+			}
+			for _, p := range pts[:80] {
+				wantSameIDs(t, ref.candidates(ix, p, -1), sortedCopy(ix.Query(p)), "evicted Query")
+			}
+			for id := 1; id < len(pts); id += 9 {
+				if id%3 == 0 {
+					continue
+				}
+				wantSameIDs(t, ref.candidates(ix, pts[id], id), sortedCopy(ix.CandidatesByID(id)), "evicted CandidatesByID")
+			}
+			ix.VisitLiveBuckets(func(table int, key uint64, ids []int32) {
+				for _, id := range ids {
+					if id%3 == 0 {
+						t.Fatalf("dead id %d in table %d bucket %x", id, table, key)
+					}
+				}
+			})
+			for _, bucket := range ix.Buckets(1) {
+				for _, id := range bucket {
+					if id%3 == 0 {
+						t.Fatalf("dead id %d in Buckets", id)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Dump → restore answers identically IN ORDER, with and without tombstones.
+func TestConformanceDumpRestore(t *testing.T) {
+	for _, b := range backends() {
+		t.Run(b.name, func(t *testing.T) {
+			pts := b.gen(7, 350)
+			ix, err := b.build(pts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			probes := pts[:70]
+
+			plain, err := b.restore(ix, len(pts), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, got := queryAll(ix, probes), queryAll(plain, probes)
+			for i := range want {
+				wantSameIDs(t, want[i], got[i], "restored QueryInto")
+			}
+
+			var dead []int
+			for id := 0; id < len(pts); id += 4 {
+				dead = append(dead, id)
+			}
+			ix.Evict(dead)
+			restored, err := b.restore(ix, len(pts), func(id int) bool { return id%4 != 0 })
+			if err != nil {
+				t.Fatal(err)
+			}
+			if restored.Live() != ix.Live() {
+				t.Fatalf("restored Live %d, want %d", restored.Live(), ix.Live())
+			}
+			want, got = queryAll(ix, probes), queryAll(restored, probes)
+			for i := range want {
+				wantSameIDs(t, want[i], got[i], "liveness-restored QueryInto")
+			}
+		})
+	}
+}
+
+// The full build / append / publish / evict / query sequence is bit-identical
+// at GOMAXPROCS 1 and GOMAXPROCS NumCPU — the standing invariant every
+// backend must uphold for the pipeline's determinism guarantees to compose.
+func TestConformanceDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	for _, b := range backends() {
+		t.Run(b.name, func(t *testing.T) {
+			run := func() [][]int32 {
+				pts := b.gen(9, 320)
+				ix, err := b.build(pts[:200])
+				if err != nil {
+					t.Fatal(err)
+				}
+				ix.PublishIndex()
+				if _, err := ix.Append(pts[200:]); err != nil {
+					t.Fatal(err)
+				}
+				ix.Evict([]int{2, 3, 50, 201})
+				snap := ix.PublishIndex()
+				return queryAll(snap, pts[:80])
+			}
+			prev := runtime.GOMAXPROCS(1)
+			serial := run()
+			runtime.GOMAXPROCS(runtime.NumCPU())
+			parallel := run()
+			runtime.GOMAXPROCS(prev)
+			for i := range serial {
+				wantSameIDs(t, serial[i], parallel[i], "GOMAXPROCS determinism")
+			}
+		})
+	}
+}

@@ -58,9 +58,13 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"alid/internal/index"
 	"alid/internal/matrix"
 	"alid/internal/vec"
 )
+
+// Index implements the backend-neutral candidate-index seam.
+var _ index.Index = (*Index)(nil)
 
 // Config holds the LSH parameters. The paper's Fig. 6 setup is 40 projections
 // per hash value and 50 hash tables; those are expensive defaults meant for
@@ -237,6 +241,20 @@ type Index struct {
 // Compactions returns the cumulative segment-merge count (diagnostics).
 // Safe only from the writer goroutine or on an immutable snapshot.
 func (i *Index) Compactions() int64 { return i.compactions }
+
+// Backend names the p-stable dense-vector backend.
+func (i *Index) Backend() string { return index.BackendLSH }
+
+// SigLen is the signature scratch length QueryInto and BucketKeys require:
+// µ, the concatenated hash values per table.
+func (i *Index) SigLen() int { return i.cfg.Projections }
+
+// Tables is the hash-table count (the BucketKeys scratch length).
+func (i *Index) Tables() int { return len(i.tables) }
+
+// PublishIndex is Publish behind the backend-neutral seam (Go has no
+// covariant returns, so the interface form returns index.Index).
+func (i *Index) PublishIndex() index.Index { return i.Publish() }
 
 // alive reports whether id has not been evicted.
 func (i *Index) alive(id int32) bool {
@@ -845,6 +863,34 @@ func (i *Index) DumpChunks() (Config, int, []TableChunks) {
 	return i.cfg, i.dim, out
 }
 
+// NewEmptyWithHashes constructs an empty index (N = 0) over caller-supplied
+// hash functions: proj[t] is table t's row-major Projections×dim projection
+// matrix and off[t] its Projections offsets, replacing the Gaussian draw of
+// BuildMatrix. This is the hook set-oriented backends use to inject
+// coordinate-selecting hash functions (internal/minhash's banded keys are
+// basis-vector projections with a rounding offset) while reusing the whole
+// share-and-seal bucket store — segments, tombstones, compaction and the
+// snapshot dump formats — unchanged. Populate with Append.
+func NewEmptyWithHashes(cfg Config, dim int, proj, off [][]float64) (*Index, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if dim <= 0 {
+		return nil, fmt.Errorf("lsh: dimension %d", dim)
+	}
+	if len(proj) != cfg.Tables || len(off) != cfg.Tables {
+		return nil, fmt.Errorf("lsh: %d projection sets and %d offset sets for %d tables", len(proj), len(off), cfg.Tables)
+	}
+	idx := &Index{cfg: cfg, dim: dim, tables: make([]table, cfg.Tables)}
+	for t := range idx.tables {
+		if err := validateTable(cfg, dim, t, proj[t], off[t]); err != nil {
+			return nil, err
+		}
+		idx.tables[t] = table{proj: proj[t], off: off[t], keys: newKeyvec(0)}
+	}
+	return idx, nil
+}
+
 // validateTable checks one restored table's hash parameters.
 func validateTable(cfg Config, dim, t int, proj, off []float64) error {
 	if len(proj) != cfg.Projections*dim {
@@ -1182,16 +1228,9 @@ func (i *Index) Buckets(minSize int) [][]int32 {
 	return out
 }
 
-// Stats summarizes the index for diagnostics.
-type Stats struct {
-	Tables         int
-	Buckets        int
-	MaxBucketSize  int
-	MeanBucketSize float64
-	// Segments is the total sealed-segment count across tables (tails
-	// included when non-empty) — the share-and-seal bookkeeping reads merge.
-	Segments int
-}
+// Stats is the backend-neutral index statistics type (aliased so every
+// backend's Stats method satisfies the index.Index seam with one type).
+type Stats = index.Stats
 
 // Stats computes bucket statistics across all tables, merging buckets that
 // span segments and skipping tombstoned ids so the numbers match a build

@@ -28,7 +28,7 @@ import (
 	"sync"
 
 	"alid/internal/core"
-	"alid/internal/lsh"
+	"alid/internal/index"
 	"alid/internal/mapreduce"
 	"alid/internal/matrix"
 )
@@ -257,7 +257,7 @@ func dedupeDetections(bySeed map[int]*core.Cluster) map[int]bool {
 // independently keeps the task list at ~SampleRate·|candidates| even with
 // many tables — per-bucket sampling would re-draw the same cluster from
 // every one of its l buckets and blow the task list up to nearly all of it.
-func sampleSeeds(index *lsh.Index, opts Options) []int {
+func sampleSeeds(index index.Index, opts Options) []int {
 	candSet := make(map[int32]bool)
 	var cands []int32
 	for _, bucket := range index.Buckets(opts.MinBucketSize) {

@@ -42,7 +42,8 @@ type ClustersResponse struct {
 }
 
 // AssignRequest is the body of POST /v1/assign. Exactly one of Point
-// (single-query form) or Points (batch form) must be set.
+// (single-query form), Points (batch form), Set (single set, minhash
+// backend) or Sets (batched sets) must be set.
 type AssignRequest struct {
 	Point []float64 `json:"point,omitempty"`
 	// Points requests a batched assign: the whole batch is classified
@@ -50,6 +51,12 @@ type AssignRequest struct {
 	// AssignBatchResponse with one result per point, in order. Batches
 	// larger than the server's configured maximum are rejected with 413.
 	Points [][]float64 `json:"points,omitempty"`
+	// Set is the set form of Point: the element set is MinHash-signed with
+	// the engine's parameters and the signature assigned. Requires the
+	// minhash backend (400 backend_mismatch on a dense engine).
+	Set []string `json:"set,omitempty"`
+	// Sets is the batched set form of Points.
+	Sets [][]string `json:"sets,omitempty"`
 }
 
 // AssignBatchResponse is the body of a successful batched assign.
@@ -71,9 +78,14 @@ type AssignResponse struct {
 	Candidates int `json:"candidates"`
 }
 
-// IngestRequest is the body of POST /v1/ingest.
+// IngestRequest is the body of POST /v1/ingest. Exactly one of Points
+// (dense form) or Sets (set form, minhash backend) must be set.
 type IngestRequest struct {
-	Points [][]float64 `json:"points"`
+	Points [][]float64 `json:"points,omitempty"`
+	// Sets is the set form: each element set is MinHash-signed with the
+	// engine's parameters and the signatures committed. Requires the
+	// minhash backend (400 backend_mismatch on a dense engine).
+	Sets [][]string `json:"sets,omitempty"`
 	// Wait requests a synchronous commit: the response is sent only after
 	// the points are detected and published (and reports any commit error).
 	Wait bool `json:"wait,omitempty"`
@@ -123,4 +135,13 @@ type StatsResponse struct {
 // ErrorResponse is the body of every non-2xx answer.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	// Code is a machine-readable error class for callers that dispatch on
+	// failure kind rather than message text. Currently only
+	// "backend_mismatch" (set form against a dense engine or vice versa);
+	// empty for everything else.
+	Code string `json:"code,omitempty"`
 }
+
+// CodeBackendMismatch is the ErrorResponse.Code of a request whose form
+// (set vs dense) does not match the engine's index backend.
+const CodeBackendMismatch = "backend_mismatch"

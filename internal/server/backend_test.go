@@ -1,0 +1,167 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"testing"
+
+	"alid/internal/affinity"
+	"alid/internal/core"
+	"alid/internal/engine"
+	"alid/internal/minhash"
+)
+
+var testMHCfg = minhash.Config{Bands: 8, Rows: 4, Seed: 3}
+
+// testSets builds near-duplicate element sets (see the engine's minhash
+// tests): community members share a 30-element base with one swapped element.
+func testSets(seed int64, community, n int) [][]string {
+	rng := rand.New(rand.NewSource(seed + int64(community)*1000))
+	base := make([]string, 30)
+	for i := range base {
+		base[i] = fmt.Sprintf("c%d-e%d", community, i)
+	}
+	sets := make([][]string, n)
+	for i := range sets {
+		s := append([]string(nil), base...)
+		s[rng.Intn(len(s))] = fmt.Sprintf("c%d-x%d", community, rng.Intn(10))
+		sets[i] = s
+	}
+	return sets
+}
+
+func minhashServer(t *testing.T) (*Server, *engine.Engine) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Backend = "minhash"
+	cfg.MinHash = testMHCfg
+	cfg.Kernel = affinity.Kernel{K: 2, Jaccard: true}
+	cfg.DensityThreshold = 0.5
+	cfg.Delta = 200
+	initial, err := minhash.Signatures(append(testSets(7, 0, 25), testSets(7, 1, 25)...), testMHCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(engine.Config{Core: cfg, BatchSize: 25}, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return New(eng, Options{}), eng
+}
+
+// errCode decodes the typed error body of a non-2xx response.
+func errCode(t *testing.T, res *http.Response) string {
+	t.Helper()
+	var e ErrorResponse
+	if err := json.NewDecoder(res.Body).Decode(&e); err != nil {
+		t.Fatalf("decode error body: %v", err)
+	}
+	return e.Code
+}
+
+// The set forms end-to-end on a minhash engine: single set, batched sets,
+// set ingest — and the answers match the in-process engine over the same
+// signatures.
+func TestAssignIngestSetForms(t *testing.T) {
+	s, eng := minhashServer(t)
+	h := s.Handler()
+
+	probe := testSets(99, 0, 1)[0]
+	var out AssignResponse
+	res := doJSON(t, h, http.MethodPost, "/v1/assign", AssignRequest{Set: probe}, &out)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("set assign: status %d", res.StatusCode)
+	}
+	if out.Cluster < 0 {
+		t.Fatalf("community probe unassigned: %+v", out)
+	}
+	sig, err := minhash.Signature(probe, testMHCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.Assign(sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Cluster != want.Cluster || out.Score != want.Score {
+		t.Fatalf("http %+v vs engine %+v", out, want)
+	}
+
+	batch := [][]string{testSets(99, 0, 1)[0], testSets(99, 1, 1)[0]}
+	var bout AssignBatchResponse
+	res = doJSON(t, h, http.MethodPost, "/v1/assign", AssignRequest{Sets: batch}, &bout)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("sets assign: status %d", res.StatusCode)
+	}
+	if len(bout.Results) != 2 || bout.Results[0].Cluster == bout.Results[1].Cluster {
+		t.Fatalf("batched set assign: %+v", bout.Results)
+	}
+
+	var iout IngestResponse
+	res = doJSON(t, h, http.MethodPost, "/v1/ingest", IngestRequest{Sets: testSets(7, 2, 25), Wait: true}, &iout)
+	if res.StatusCode != http.StatusAccepted {
+		t.Fatalf("set ingest: status %d", res.StatusCode)
+	}
+	if iout.Accepted != 25 {
+		t.Fatalf("accepted %d, want 25", iout.Accepted)
+	}
+	res = doJSON(t, h, http.MethodPost, "/v1/assign", AssignRequest{Set: testSets(99, 2, 1)[0]}, &out)
+	if res.StatusCode != http.StatusOK || out.Cluster < 0 {
+		t.Fatalf("third community after ingest: status %d, %+v", res.StatusCode, out)
+	}
+}
+
+// Form/backend mismatches are typed 400s naming backend_mismatch: dense
+// forms on a minhash engine and set forms on a dense engine, for both
+// endpoints.
+func TestBackendMismatchTyped400(t *testing.T) {
+	ms, _ := minhashServer(t)
+	ds, _ := testServer(t)
+
+	check := func(h http.Handler, path string, body any, label string) {
+		t.Helper()
+		res := doJSON(t, h, http.MethodPost, path, body, nil)
+		if res.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", label, res.StatusCode)
+		}
+		if code := errCode(t, res); code != CodeBackendMismatch {
+			t.Fatalf("%s: code %q, want %q", label, code, CodeBackendMismatch)
+		}
+	}
+	check(ms.Handler(), "/v1/assign", AssignRequest{Point: []float64{1, 2}}, "point on minhash")
+	check(ms.Handler(), "/v1/assign", AssignRequest{Points: [][]float64{{1, 2}}}, "points on minhash")
+	check(ms.Handler(), "/v1/ingest", IngestRequest{Points: [][]float64{{1, 2}}}, "ingest points on minhash")
+	check(ds.Handler(), "/v1/assign", AssignRequest{Set: []string{"a", "b"}}, "set on lsh")
+	check(ds.Handler(), "/v1/assign", AssignRequest{Sets: [][]string{{"a"}, {"b"}}}, "sets on lsh")
+	check(ds.Handler(), "/v1/ingest", IngestRequest{Sets: [][]string{{"a", "b"}}}, "ingest sets on lsh")
+
+	// Mixed and empty forms stay plain 400s without the mismatch code.
+	res := doJSON(t, ms.Handler(), http.MethodPost, "/v1/assign", AssignRequest{Set: []string{"a"}, Sets: [][]string{{"b"}}}, nil)
+	if res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mixed forms: status %d", res.StatusCode)
+	}
+	if code := errCode(t, res); code != "" {
+		t.Fatalf("mixed forms: code %q, want empty", code)
+	}
+	res = doJSON(t, ms.Handler(), http.MethodPost, "/v1/assign", AssignRequest{}, nil)
+	if res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty request: status %d", res.StatusCode)
+	}
+
+	// A malformed set inside a batch is a plain 400 naming the offending
+	// index, not a mismatch.
+	res = doJSON(t, ms.Handler(), http.MethodPost, "/v1/assign", AssignRequest{Sets: [][]string{{"a", "b"}, {}}}, nil)
+	if res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty set in batch: status %d", res.StatusCode)
+	}
+	var e ErrorResponse
+	if err := json.NewDecoder(res.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Code != "" || e.Error == "" {
+		t.Fatalf("empty set in batch: %+v", e)
+	}
+}

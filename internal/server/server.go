@@ -3,7 +3,9 @@
 //
 //	POST /v1/assign   {"point":[...]}            → cluster/score/infective
 //	POST /v1/assign   {"points":[[...],...]}     → batched: results per point
+//	POST /v1/assign   {"set":["a","b"]}          → set form (minhash backend)
 //	POST /v1/ingest   {"points":[[...]],"wait":b}→ accepted count
+//	POST /v1/ingest   {"sets":[["a","b"],...]}   → set form (minhash backend)
 //	POST /v1/evict    {"ids":[...]}              → evicted count
 //	GET  /v1/clusters[?members=false]            → maintained clusters
 //	GET  /v1/stats                               → engine counters
@@ -28,6 +30,8 @@ import (
 	"time"
 
 	"alid/internal/engine"
+	"alid/internal/index"
+	"alid/internal/minhash"
 	"alid/internal/obs"
 )
 
@@ -208,6 +212,44 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
+func writeErrCode(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...), Code: code})
+}
+
+// backend returns the engine's normalized index backend name.
+func (s *Server) backend() string {
+	return index.Normalize(s.eng.Config().Core.Backend)
+}
+
+// requireBackend enforces the request-form ↔ index-backend pairing at the
+// API boundary (the set-workload counterpart of the engine's dense
+// dimension check): a mismatch is a typed 400 naming the engine's index
+// backend, never a silent reinterpretation of signatures as coordinates.
+func (s *Server) requireBackend(w http.ResponseWriter, want, form string) bool {
+	if got := s.backend(); got != want {
+		writeErrCode(w, http.StatusBadRequest, CodeBackendMismatch,
+			"%s form requires the %q index backend; this engine serves %q", form, want, got)
+		return false
+	}
+	return true
+}
+
+// signSets converts the set form to MinHash signatures with the engine's
+// parameters, reporting the offending set's position on error.
+func (s *Server) signSets(w http.ResponseWriter, sets [][]string) ([][]float64, bool) {
+	cfg := s.eng.Config().Core.MinHash
+	sigs := make([][]float64, len(sets))
+	for i, set := range sets {
+		sig, err := minhash.Signature(set, cfg)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "sets[%d]: %v", i, err)
+			return nil, false
+		}
+		sigs[i] = sig
+	}
+	return sigs, true
+}
+
 // decodeBody strictly decodes one JSON object into dst.
 func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
@@ -229,11 +271,45 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	if len(req.Points) > 0 {
-		if len(req.Point) > 0 {
-			writeErr(w, http.StatusBadRequest, "set either point or points, not both")
+	forms := 0
+	for _, set := range []bool{len(req.Point) > 0, len(req.Points) > 0, len(req.Set) > 0, len(req.Sets) > 0} {
+		if set {
+			forms++
+		}
+	}
+	if forms > 1 {
+		writeErr(w, http.StatusBadRequest, "set exactly one of point, points, set or sets")
+		return
+	}
+	if len(req.Sets) > 0 {
+		if !s.requireBackend(w, index.BackendMinHash, "sets") {
 			return
 		}
+		sigs, ok := s.signSets(w, req.Sets)
+		if !ok {
+			return
+		}
+		s.assignBatch(w, sigs)
+		return
+	}
+	if len(req.Set) > 0 {
+		if !s.requireBackend(w, index.BackendMinHash, "set") {
+			return
+		}
+		sig, err := minhash.Signature(req.Set, s.eng.Config().Core.MinHash)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "set: %v", err)
+			return
+		}
+		req.Point = sig
+	} else if len(req.Point) > 0 || len(req.Points) > 0 {
+		// Dense forms are for dense engines: raw floats sent to a set
+		// engine would be misread as signatures.
+		if !s.requireBackend(w, index.BackendLSH, "point") {
+			return
+		}
+	}
+	if len(req.Points) > 0 {
 		s.assignBatch(w, req.Points)
 		return
 	}
@@ -289,6 +365,24 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	var req IngestRequest
 	if !s.decodeBody(w, r, &req) {
 		return
+	}
+	if len(req.Points) > 0 && len(req.Sets) > 0 {
+		writeErr(w, http.StatusBadRequest, "set either points or sets, not both")
+		return
+	}
+	if len(req.Sets) > 0 {
+		if !s.requireBackend(w, index.BackendMinHash, "sets") {
+			return
+		}
+		sigs, ok := s.signSets(w, req.Sets)
+		if !ok {
+			return
+		}
+		req.Points = sigs
+	} else if len(req.Points) > 0 {
+		if !s.requireBackend(w, index.BackendLSH, "points") {
+			return
+		}
 	}
 	if len(req.Points) == 0 {
 		writeErr(w, http.StatusBadRequest, "no points")

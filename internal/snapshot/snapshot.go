@@ -43,15 +43,27 @@
 // re-encoding a restored v3 snapshot reproduces the original bytes — the
 // codec remains a fixed point.
 //
-// Versions 1 (flat arrays) and 2 (segmented, no tombstones) are still read
-// via compatibility shims; WriteV1 and WriteV2 encode them for downgrade
-// interop and fixture generation, and refuse tombstoned state, which those
-// formats cannot represent.
+// Version 4 makes the payload backend-tagged: the config block grows the
+// Jaccard kernel flag, a backend tag (0 = lsh, 1 = minhash) and the MinHash
+// parameters, and the index section is written in the tagged backend's
+// format — the dense lsh section is byte-for-byte the v3 layout, while the
+// minhash section stores only its parameters and chunked inverted lists
+// (the basis hash tables are a pure function of the parameters and are
+// rebuilt on load). Restoring a snapshot into an engine configured with the
+// other backend fails with ErrBackendMismatch rather than silently
+// reinterpreting signatures as coordinates.
+//
+// Versions 1 (flat arrays), 2 (segmented, no tombstones) and 3 (untagged
+// dense) are still read via compatibility shims; WriteV1, WriteV2 and
+// WriteV3 encode them for downgrade interop and fixture generation, and
+// refuse state those formats cannot represent (tombstones for v1/v2, any
+// non-dense backend for all three).
 package snapshot
 
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash"
 	"hash/crc32"
@@ -61,23 +73,39 @@ import (
 
 	"alid/internal/affinity"
 	"alid/internal/core"
+	"alid/internal/index"
 	"alid/internal/lsh"
 	"alid/internal/matrix"
+	"alid/internal/minhash"
 	"alid/internal/stream"
 )
 
 // Magic identifies a snapshot stream.
 const Magic = "ALIDSNAP"
 
-// Version is the current format version (segmented payload + tombstones +
-// retention).
-const Version = 3
+// Version is the current format version (backend-tagged payload).
+const Version = 4
+
+// VersionV3 is the untagged dense format (segmented + tombstones +
+// retention), still readable.
+const VersionV3 = 3
 
 // VersionV2 is the segmented, tombstone-free format, still readable.
 const VersionV2 = 2
 
 // VersionV1 is the legacy flat-array format, still readable.
 const VersionV1 = 1
+
+// Backend tags of the v4 config block.
+const (
+	backendTagLSH     = 0
+	backendTagMinHash = 1
+)
+
+// ErrBackendMismatch is returned (wrapped, with both backend names) when a
+// snapshot's index backend differs from the one the caller expects — e.g.
+// restoring a minhash snapshot into an engine configured for dense vectors.
+var ErrBackendMismatch = errors.New("index backend mismatch")
 
 // maxSliceLen bounds every decoded length prefix. Decoders additionally
 // grow slices as bytes actually arrive (append, never make(n) up front), so
@@ -96,10 +124,12 @@ type Snapshot struct {
 	// the test clock is a runtime knob). Written since v3; zero when read
 	// from older snapshots.
 	Retention stream.Retention
-	// Mat holds the committed points and their cached norms.
+	// Mat holds the committed points (signatures, for set backends) and
+	// their cached norms.
 	Mat *matrix.Matrix
-	// Index is the LSH index over Mat.
-	Index *lsh.Index
+	// Index is the candidate index over Mat: *lsh.Index or *minhash.Index,
+	// matching Core.Backend.
+	Index index.Index
 	// Clusters are the maintained dominant clusters.
 	Clusters []*core.Cluster
 	// Labels is the per-point assignment (-1 noise), len Mat.N.
@@ -209,9 +239,21 @@ func (w *writer) config(s *Snapshot, version uint32) {
 	w.boolean(c.SingleQueryCIVS)
 	w.boolean(c.FixedROIGrowth)
 	w.i64(int64(s.BatchSize))
-	if version >= Version {
+	if version >= VersionV3 {
 		w.i64(int64(s.Retention.MaxPoints))
 		w.i64(int64(s.Retention.MaxAge))
+	}
+	if version >= Version {
+		w.boolean(c.Kernel.Jaccard)
+		switch index.Normalize(c.Backend) {
+		case index.BackendMinHash:
+			w.u32(backendTagMinHash)
+		default:
+			w.u32(backendTagLSH)
+		}
+		w.i64(int64(c.MinHash.Bands))
+		w.i64(int64(c.MinHash.Rows))
+		w.i64(c.MinHash.Seed)
 	}
 }
 
@@ -243,13 +285,21 @@ func finish(bw *bufio.Writer, w *writer) error {
 	return nil
 }
 
-// Write encodes s in the current (v3, segmented + tombstones) format:
-// matrix data, norms and liveness per canonical chunk, inverted lists per
-// canonical key chunk, released chunks as zero-length arrays — no flat
-// materialization. The stream is buffered internally; the caller owns any
-// underlying file and its sync/close.
+// Write encodes s in the current (v4, backend-tagged) format: matrix data,
+// norms and liveness per canonical chunk, inverted lists per canonical key
+// chunk, released chunks as zero-length arrays — no flat materialization.
+// The stream is buffered internally; the caller owns any underlying file
+// and its sync/close.
 func Write(out io.Writer, s *Snapshot) error {
 	return writeSegmented(out, s, Version)
+}
+
+// WriteV3 encodes s in the untagged dense v3 format. Retained for downgrade
+// interop with pre-multi-backend binaries and for compatibility-test
+// fixtures; it refuses non-dense backends, which v3 cannot represent. New
+// snapshots should use Write.
+func WriteV3(out io.Writer, s *Snapshot) error {
+	return writeSegmented(out, s, VersionV3)
 }
 
 // WriteV2 encodes s in the segmented, tombstone-free v2 format. Retained
@@ -266,6 +316,9 @@ func WriteV2(out io.Writer, s *Snapshot) error {
 func writeSegmented(out io.Writer, s *Snapshot, version uint32) error {
 	if err := validate(s); err != nil {
 		return err
+	}
+	if got, want := index.Normalize(s.Index.Backend()), index.Normalize(s.Core.Backend); got != want {
+		return fmt.Errorf("snapshot: config names backend %q but index is %q: %w", want, got, ErrBackendMismatch)
 	}
 	bw, w, err := header(out, version)
 	if err != nil {
@@ -286,7 +339,7 @@ func writeSegmented(out io.Writer, s *Snapshot, version uint32) error {
 	for c := range dataChunks {
 		w.f64s(dataChunks[c])
 		w.f64s(normChunks[c])
-		if version >= Version {
+		if version >= VersionV3 {
 			if liveChunks == nil {
 				w.u64(0)
 			} else {
@@ -295,24 +348,49 @@ func writeSegmented(out io.Writer, s *Snapshot, version uint32) error {
 		}
 	}
 
-	// LSH index: config again (the index may have been built under a config
-	// that has since changed), then per-table parameters + chunked inverted
-	// lists. Tombstones are not written here — they are the matrix's
-	// liveness, re-derived on load.
-	icfg, dim, tables := s.Index.DumpChunks()
-	w.i64(int64(icfg.Projections))
-	w.i64(int64(icfg.Tables))
-	w.f64(icfg.R)
-	w.i64(icfg.Seed)
-	w.u64(uint64(dim))
-	w.u64(uint64(len(tables)))
-	for _, tb := range tables {
-		w.f64s(tb.Proj)
-		w.f64s(tb.Off)
-		w.u64(uint64(len(tb.KeyChunks)))
-		for _, kc := range tb.KeyChunks {
-			w.u64s(kc)
+	// Index section, in the backend's format. Tombstones are not written in
+	// either — they are the matrix's liveness, re-derived on load.
+	switch idx := s.Index.(type) {
+	case *lsh.Index:
+		// Dense: config again (the index may have been built under a config
+		// that has since changed), then per-table parameters + chunked
+		// inverted lists. Byte-identical to the v3 layout.
+		icfg, dim, tables := idx.DumpChunks()
+		w.i64(int64(icfg.Projections))
+		w.i64(int64(icfg.Tables))
+		w.f64(icfg.R)
+		w.i64(icfg.Seed)
+		w.u64(uint64(dim))
+		w.u64(uint64(len(tables)))
+		for _, tb := range tables {
+			w.f64s(tb.Proj)
+			w.f64s(tb.Off)
+			w.u64(uint64(len(tb.KeyChunks)))
+			for _, kc := range tb.KeyChunks {
+				w.u64s(kc)
+			}
 		}
+	case *minhash.Index:
+		// MinHash: parameters + chunked inverted lists only. The basis hash
+		// tables are a pure function of the parameters; restore rebuilds
+		// them, so no projections or offsets are stored.
+		if version < Version {
+			return fmt.Errorf("snapshot: v%d cannot represent the %s backend", version, idx.Backend())
+		}
+		mcfg := idx.Config()
+		w.i64(int64(mcfg.Bands))
+		w.i64(int64(mcfg.Rows))
+		w.i64(mcfg.Seed)
+		chunks := idx.KeyChunks()
+		w.u64(uint64(len(chunks)))
+		for _, tb := range chunks {
+			w.u64(uint64(len(tb)))
+			for _, kc := range tb {
+				w.u64s(kc)
+			}
+		}
+	default:
+		return fmt.Errorf("snapshot: unsupported index type %T", s.Index)
 	}
 
 	w.clusters(s)
@@ -333,6 +411,10 @@ func WriteV1(out io.Writer, s *Snapshot) error {
 	if err := validate(s); err != nil {
 		return err
 	}
+	lidx, ok := s.Index.(*lsh.Index)
+	if !ok {
+		return fmt.Errorf("snapshot: v1 cannot represent the %s backend", s.Index.Backend())
+	}
 	bw, w, err := header(out, VersionV1)
 	if err != nil {
 		return err
@@ -344,7 +426,7 @@ func WriteV1(out io.Writer, s *Snapshot) error {
 	w.f64s(s.Mat.Flat())
 	w.f64s(s.Mat.NormsSq())
 
-	icfg, dim, tables := s.Index.Dump()
+	icfg, dim, tables := lidx.Dump()
 	w.i64(int64(icfg.Projections))
 	w.i64(int64(icfg.Tables))
 	w.f64(icfg.R)
@@ -475,9 +557,29 @@ func (r *reader) config(s *Snapshot, version uint32) {
 	s.Core.SingleQueryCIVS = r.boolean()
 	s.Core.FixedROIGrowth = r.boolean()
 	s.BatchSize = int(r.i64())
-	if version >= Version {
+	if version >= VersionV3 {
 		s.Retention.MaxPoints = int(r.i64())
 		s.Retention.MaxAge = time.Duration(r.i64())
+	}
+	if version >= Version {
+		s.Core.Kernel.Jaccard = r.boolean()
+		switch tag := r.u32(); tag {
+		case backendTagMinHash:
+			s.Core.Backend = index.BackendMinHash
+		case backendTagLSH:
+			// Decoded as the zero value, which Normalize maps to the dense
+			// backend: a config that never named a backend round-trips equal.
+			s.Core.Backend = ""
+		default:
+			if r.err == nil {
+				r.err = fmt.Errorf("unknown index backend tag %d", tag)
+			}
+		}
+		s.Core.MinHash = minhash.Config{
+			Bands: int(r.i64()),
+			Rows:  int(r.i64()),
+			Seed:  r.i64(),
+		}
 	}
 }
 
@@ -529,7 +631,7 @@ func (r *reader) readSegmented(s *Snapshot, version uint32) error {
 	for c := 0; r.err == nil && c < nChunks; c++ {
 		dataChunks = append(dataChunks, r.f64s("matrix data chunk"))
 		normChunks = append(normChunks, r.f64s("matrix norm chunk"))
-		if version >= Version {
+		if version >= VersionV3 {
 			lw := r.u64s("matrix live chunk")
 			if len(lw) > 0 {
 				tombstoned = true
@@ -551,35 +653,66 @@ func (r *reader) readSegmented(s *Snapshot, version uint32) error {
 		s.Mat = m
 	}
 
-	icfg, idim := r.indexConfig()
-	nTables := r.length("table list")
-	var tables []lsh.TableChunks
-	for t := 0; r.err == nil && t < nTables; t++ {
-		tb := lsh.TableChunks{
-			Proj: r.f64s("projections"),
-			Off:  r.f64s("offsets"),
+	if version >= Version && index.Normalize(s.Core.Backend) == index.BackendMinHash {
+		mcfg := minhash.Config{
+			Bands: int(r.i64()),
+			Rows:  int(r.i64()),
+			Seed:  r.i64(),
 		}
-		nKeyChunks := r.length("key chunk list")
-		for c := 0; r.err == nil && c < nKeyChunks; c++ {
-			tb.KeyChunks = append(tb.KeyChunks, r.u64s("key chunk"))
+		nTables := r.length("table list")
+		var chunks [][][]uint64
+		for t := 0; r.err == nil && t < nTables; t++ {
+			nKeyChunks := r.length("key chunk list")
+			var tb [][]uint64
+			for c := 0; r.err == nil && c < nKeyChunks; c++ {
+				tb = append(tb, r.u64s("key chunk"))
+			}
+			chunks = append(chunks, tb)
 		}
-		tables = append(tables, tb)
-	}
-	if r.err == nil {
-		var idx *lsh.Index
-		var err error
-		if tombstoned {
-			// The index's tombstones are the matrix's liveness (the stream
-			// keeps them in lockstep); dead ids are physically dropped while
-			// rebuilding buckets.
-			idx, err = lsh.FromDumpChunksLive(icfg, idim, s.Mat.N, tables, s.Mat.Live)
-		} else {
-			idx, err = lsh.FromDumpChunks(icfg, idim, tables)
+		if r.err == nil {
+			var idx *minhash.Index
+			var err error
+			if tombstoned {
+				idx, err = minhash.FromKeyChunksLive(mcfg, s.Mat.N, chunks, s.Mat.Live)
+			} else {
+				idx, err = minhash.FromKeyChunks(mcfg, chunks)
+			}
+			if err != nil {
+				return fmt.Errorf("snapshot: %w", err)
+			}
+			s.Index = idx
 		}
-		if err != nil {
-			return fmt.Errorf("snapshot: %w", err)
+	} else {
+		icfg, idim := r.indexConfig()
+		nTables := r.length("table list")
+		var tables []lsh.TableChunks
+		for t := 0; r.err == nil && t < nTables; t++ {
+			tb := lsh.TableChunks{
+				Proj: r.f64s("projections"),
+				Off:  r.f64s("offsets"),
+			}
+			nKeyChunks := r.length("key chunk list")
+			for c := 0; r.err == nil && c < nKeyChunks; c++ {
+				tb.KeyChunks = append(tb.KeyChunks, r.u64s("key chunk"))
+			}
+			tables = append(tables, tb)
 		}
-		s.Index = idx
+		if r.err == nil {
+			var idx *lsh.Index
+			var err error
+			if tombstoned {
+				// The index's tombstones are the matrix's liveness (the stream
+				// keeps them in lockstep); dead ids are physically dropped while
+				// rebuilding buckets.
+				idx, err = lsh.FromDumpChunksLive(icfg, idim, s.Mat.N, tables, s.Mat.Live)
+			} else {
+				idx, err = lsh.FromDumpChunks(icfg, idim, tables)
+			}
+			if err != nil {
+				return fmt.Errorf("snapshot: %w", err)
+			}
+			s.Index = idx
+		}
 	}
 
 	if err := r.clusters(s); err != nil {
@@ -635,9 +768,10 @@ func (r *reader) readV1(s *Snapshot) error {
 }
 
 // Read decodes and validates a snapshot, verifying magic, version and CRC.
-// The current tombstone-aware format (v3), the segmented format (v2) and
-// the legacy flat format (v1) are all accepted; either way the restored
-// state answers every query bit-identically to the state that was written.
+// The current backend-tagged format (v4), the untagged dense format (v3),
+// the segmented format (v2) and the legacy flat format (v1) are all
+// accepted; either way the restored state answers every query
+// bit-identically to the state that was written.
 func Read(in io.Reader) (*Snapshot, error) {
 	br := bufio.NewReaderSize(in, 1<<20)
 	magic := make([]byte, len(Magic))
@@ -649,7 +783,7 @@ func Read(in io.Reader) (*Snapshot, error) {
 	}
 	r := &reader{r: br, crc: crc32.NewIEEE()}
 	version := r.u32()
-	if r.err == nil && version != Version && version != VersionV2 && version != VersionV1 {
+	if r.err == nil && version != Version && version != VersionV3 && version != VersionV2 && version != VersionV1 {
 		return nil, fmt.Errorf("snapshot: unsupported version %d (have %d)", version, Version)
 	}
 

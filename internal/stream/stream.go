@@ -53,7 +53,7 @@ import (
 
 	"alid/internal/affinity"
 	"alid/internal/core"
-	"alid/internal/lsh"
+	"alid/internal/index"
 	"alid/internal/matrix"
 	"alid/internal/obs"
 )
@@ -127,7 +127,7 @@ type Clusterer struct {
 	cfg    Config
 	mat    *matrix.Matrix
 	buffer [][]float64
-	index  *lsh.Index
+	index  index.Index
 
 	clusters []*core.Cluster
 	assigned *Labels // point -> cluster ordinal, -1 noise (chunked, COW-shared)
@@ -188,7 +188,7 @@ func New(initial [][]float64, cfg Config) (*Clusterer, error) {
 // matrix, the LSH index built over it, the maintained clusters and the
 // per-point labels. It validates cross-component consistency so a corrupt or
 // mismatched snapshot fails here rather than on a later commit.
-func Restore(cfg Config, mat *matrix.Matrix, index *lsh.Index, clusters []*core.Cluster, labels []int, commits int) (*Clusterer, error) {
+func Restore(cfg Config, mat *matrix.Matrix, index index.Index, clusters []*core.Cluster, labels []int, commits int) (*Clusterer, error) {
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 256
 	}
@@ -298,7 +298,7 @@ func (c *Clusterer) View() View {
 		v.Mat = c.mat.Snapshot()
 	}
 	if c.index != nil {
-		v.Index = c.index.Publish()
+		v.Index = c.index.PublishIndex()
 		// Credit the merges this publish (and any before it) performed;
 		// Compactions is writer-side state, and View runs on the writer.
 		if n := c.index.Compactions(); n > c.met.lastCompactions {
@@ -316,7 +316,7 @@ func (c *Clusterer) View() View {
 // rewrites (the share-and-seal contract of Clusterer.View).
 type View struct {
 	Mat      *matrix.Matrix
-	Index    *lsh.Index
+	Index    index.Index
 	Clusters []*core.Cluster
 	Labels   *Labels
 	Commits  int
@@ -411,11 +411,11 @@ func (c *Clusterer) Commit(ctx context.Context) error {
 	}
 	c.commits++
 
-	// (Re)build or extend the LSH index from the committed matrix rows.
+	// (Re)build or extend the candidate index from the committed matrix rows.
 	// Append touches only each table's mutable tail, never the sealed
 	// segments outstanding views share.
 	if c.index == nil {
-		idx, err := lsh.BuildMatrix(c.mat, c.cfg.Core.LSH)
+		idx, err := core.BuildIndex(c.mat, c.cfg.Core)
 		if err != nil {
 			return err
 		}

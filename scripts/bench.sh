@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Records the perf-trajectory benchmarks into BENCH_PR8.json.
+# Records the perf-trajectory benchmarks into BENCH_PR9.json.
 #
 # Usage: scripts/bench.sh [output.json]
 #
@@ -68,10 +68,21 @@
 #     economics mean shards=4 typically wins even single-core: each shard's
 #     index covers a quarter of the live set, so per-commit detection cost
 #     shrinks superlinearly — the DALID partition argument, paper §5.)
+#
+# PR 9 adds the set-backend serving series:
+#   BenchmarkMinHashQuery (internal/minhash) — allocation-free candidate
+#     query against a 10k-signature banded MinHash index (200 near-duplicate
+#     communities of 50).
+#   BenchmarkAssignSet (internal/engine) — BenchmarkAssign's counterpart on
+#     the minhash backend: parallel lock-free signature assigns under the
+#     Jaccard kernel on the same 10k/200-community workload, probes
+#     pre-signed. Gate: 0 allocs/assign, same as the dense path; the dense
+#     BenchmarkAssign numbers must be unaffected by the backend seam (the
+#     ≥ 50k/s gate continues to apply to them).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR8.json}"
+out="${1:-BENCH_PR9.json}"
 
 run_bench() { # pkg, pattern, benchtime
 	go test -run='^$' -bench="^$2\$" -benchtime="$3" "$1" 2>/dev/null |
@@ -155,6 +166,10 @@ evict100k=$(run_subbench_med ./internal/stream/ 'BenchmarkEvict/ever=100000' 30x
 echo "benchmarking BenchmarkIngestSharded/shards={1,4} (internal/engine, count=3, medians)..." >&2
 shard1=$(run_subbench_med ./internal/engine/ 'BenchmarkIngestSharded/shards=1' 30x 3)
 shard4=$(run_subbench_med ./internal/engine/ 'BenchmarkIngestSharded/shards=4' 30x 3)
+echo "benchmarking BenchmarkMinHashQuery (internal/minhash)..." >&2
+minhashquery=$(run_bench ./internal/minhash/ BenchmarkMinHashQuery 2s)
+echo "benchmarking BenchmarkAssignSet (internal/engine)..." >&2
+assignset=$(run_bench ./internal/engine/ BenchmarkAssignSet 2s)
 
 host="$(uname -sm) / $(nproc) cpu / $(go version | awk '{print $3}')"
 date="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
@@ -173,7 +188,7 @@ persec() { awk -v ns="$1" 'BEGIN {printf "%.0f", 1e9 / ns}'; }
 
 cat > "$out" <<JSON
 {
-  "pr": 8,
+  "pr": 9,
   "recorded_at": "$date",
   "host": "$host",
   "cpus": $(nproc),
@@ -200,7 +215,9 @@ cat > "$out" <<JSON
     "BenchmarkEvict/ever=20000": $evict20k,
     "BenchmarkEvict/ever=100000": $evict100k,
     "BenchmarkIngestSharded/shards=1": $shard1,
-    "BenchmarkIngestSharded/shards=4": $shard4
+    "BenchmarkIngestSharded/shards=4": $shard4,
+    "BenchmarkMinHashQuery": $minhashquery,
+    "BenchmarkAssignSet": $assignset
   },
   "speedup_vs_seed": {
     "BenchmarkColumn": $(ratio "$seed_column" "$column"),
@@ -258,6 +275,13 @@ cat > "$out" <<JSON
     "speedup_shards4_vs_shards1": $(ratio "$shard1" "$shard4"),
     "target_speedup_at_4_cores": 1.5,
     "note": "the 1.5x gate applies on hosts with >= 4 hardware cores (see cpus); partition economics (quarter-size per-shard indexes) typically carry it even single-core"
+  },
+  "set_backend": {
+    "workload": "10k MinHash signatures (200 near-duplicate communities of 50), bands=16 rows=4; query is one allocation-free QueryInto, assign is a parallel lock-free Assign under the Jaccard kernel with pre-signed probes",
+    "ns_minhash_query": $minhashquery,
+    "ns_assign_set": $assignset,
+    "set_assigns_per_sec": $(persec "$assignset"),
+    "gate": "0 allocs/assign on the set path; dense BenchmarkAssign unaffected by the backend seam (>= 50k/s gate still applies)"
   },
   "steady_state_eviction": {
     "workload": "d=16, 64-point batches, Retention.MaxPoints=2000, one batch ingested+committed (retention evicts one expired batch) per op",

@@ -20,7 +20,14 @@
 #     Sharded(1) field-for-field identical to a plain Engine, the sharded
 #     manifest save/load a byte-identical fixed point with every failure
 #     sentinel (count mismatch, missing file, corrupt file) distinguished,
-#     and Scatter slot-indexing identical at every width.
+#     and Scatter slot-indexing identical at every width;
+#   - PR 9: the backend crosschecks — the index conformance suite (both
+#     backends against a brute-force co-bucketing oracle, publish isolation,
+#     tombstones, dump/restore, GOMAXPROCS determinism), the v4 snapshot
+#     byte fixed point with backend tags and the cross-backend restore
+#     refusals, and the minhash engine end-to-end (set ingest → commit →
+#     cluster → assign → evict → snapshot) deterministic at any
+#     Parallelism/GOMAXPROCS.
 #
 # Usage: scripts/crosscheck.sh
 #
@@ -54,6 +61,11 @@ go test -race -count=1 \
 go test -race -count=1 \
 	-run 'TestSharded|TestNewShardedRejectsRaggedInitial|TestManifest|TestScatter' \
 	./internal/engine/ ./internal/snapshot/ ./internal/mapreduce/ \
+	2>&1
+
+go test -race -count=1 \
+	-run 'TestConformance|TestV4|TestMinHash|TestDenseSnapshotRefusesMinHashRestore|TestSignature|TestAssignIngestSetForms|TestBackendMismatchTyped400' \
+	./internal/index/ ./internal/minhash/ ./internal/snapshot/ ./internal/engine/ ./internal/server/ \
 	2>&1
 
 echo "crosscheck (with -race): OK" >&2
