@@ -33,6 +33,20 @@
 // resumes serving without re-detection (-in and the tuning flags are
 // ignored). A final snapshot is written on graceful shutdown.
 //
+// With -snapshot-delta-every K (single engine only) periodic saves become a
+// delta chain: a full snapshot, then up to K small deltas carrying only the
+// points/evictions/cluster changes since the previous save, bound together
+// by a CRC-guarded manifest at <snapshot>.chain. Restart restores the full
+// base and replays the deltas — byte-identically to a full save. A damaged
+// chain tail falls back to the longest complete prefix.
+//
+// With -compact-share S the engine renumbers its id space whenever the
+// evicted share of committed ids exceeds S: live points get fresh dense ids
+// in a new generation (old ids remain translatable one generation back via
+// the published id map), and all bookkeeping scaled by ids-ever-seen is
+// released — steady-state memory tracks the LIVE set however long the
+// daemon runs. /v1/stats reports the generation and ever-seen id count.
+//
 // With -backend minhash the daemon serves string-element sets instead of
 // dense points: -in lines are comma-separated element sets, each set is
 // MinHash-signed (-bands x -rows hashes, -seed) and the signatures flow
@@ -51,7 +65,6 @@
 package main
 
 import (
-	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -61,7 +74,6 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
 
@@ -86,6 +98,8 @@ func main() {
 	snap := flag.String("snapshot", "", "snapshot file: restored at startup if present, written on shutdown (with -shards > 1: the manifest path; shard files live beside it)")
 	shards := flag.Int("shards", 1, "independent serving shards behind one scatter-gather router (1 = single engine; the count is baked into saved snapshots and point ids)")
 	snapEvery := flag.Duration("snapshot-interval", 0, "also snapshot periodically (0 = only on shutdown)")
+	snapDeltaEvery := flag.Int("snapshot-delta-every", 0, "write delta snapshots between full ones: a full snapshot every K saves, small CRC-guarded deltas in between (0 = every save is full; requires -shards 1)")
+	compactShare := flag.Float64("compact-share", 0, "renumber ids into a fresh generation when the evicted share of committed ids exceeds this (0 = never; e.g. 0.5 compacts once half the id space is dead)")
 	batch := flag.Int("batch", 256, "stream commit batch size")
 	queue := flag.Int("queue", 1024, "ingest queue capacity")
 	kScale := flag.Float64("k", 0, "kernel scale (0 = auto from -in data)")
@@ -125,13 +139,19 @@ func main() {
 		logger.Error(msg, "err", err)
 		os.Exit(1)
 	}
+	if *snapDeltaEvery > 0 && *shards > 1 {
+		fatal("startup", fmt.Errorf("-snapshot-delta-every requires -shards 1 (shard files already amortize save cost)"))
+	}
+	if *compactShare < 0 || *compactShare >= 1 {
+		fatal("startup", fmt.Errorf("-compact-share %g: want 0 (off) or a fraction in (0,1)", *compactShare))
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	retention := stream.Retention{MaxPoints: *retPoints, MaxAge: *retAge}
 	idxCfg := indexConfig{Backend: *backend, Mu: *mu, Tables: *tables, Bands: *bands, Rows: *rows, Seed: *seed}
-	eng, err := buildServing(logger, *shards, *in, *labeled, *snap, *batch, *queue, *kScale, *rSeg, idxCfg, *threshold, par.New(*parallelism), retention, retentionSet)
+	eng, err := buildServing(logger, *shards, *in, *labeled, *snap, *batch, *queue, *kScale, *rSeg, idxCfg, *threshold, par.New(*parallelism), retention, retentionSet, *compactShare)
 	if err != nil {
 		fatal("startup", err)
 	}
@@ -149,15 +169,27 @@ func main() {
 	if *pprofAddr != "" {
 		go servePprof(ctx, logger, *pprofAddr)
 	}
+	// Delta chains are a plain-engine feature (sharded + delta-every is
+	// rejected above, so the assertion here can only succeed when allowed).
+	var chain *engine.ChainWriter
+	if *snap != "" && *snapDeltaEvery > 0 {
+		if plain, ok := eng.(*engine.Engine); ok {
+			chain = engine.NewChainWriter(plain, *snap, *snapDeltaEvery)
+		}
+	}
 	if *snap != "" && *snapEvery > 0 {
-		go snapshotLoop(ctx, logger, eng, *snap, *snapEvery)
+		go snapshotLoop(ctx, logger, eng, chain, *snap, *snapEvery)
 	}
 
-	srv := server.New(eng, server.Options{
+	opts := server.Options{
 		AssignBatchMax: *assignBatchMax,
 		Logger:         logger,
 		LogEvery:       *logEvery,
-	})
+	}
+	if chain != nil {
+		opts.DeltaChainLen = chain.Len
+	}
+	srv := server.New(eng, opts)
 	if err := srv.Serve(ctx, *addr); err != nil {
 		fatal("serve", err)
 	}
@@ -174,7 +206,7 @@ func main() {
 			logger.Info("nothing committed; skipping final snapshot")
 			return
 		}
-		saveSnapshot(logger, eng, *snap, "final")
+		saveSnapshot(logger, eng, chain, *snap, "final")
 	}
 }
 
@@ -246,7 +278,7 @@ type indexConfig struct {
 // (exactly the pre-sharding daemon, single-file snapshots included) or a
 // sharded router above N engines, restoring whichever snapshot layout is
 // present — provided it matches the requested shard count and index backend.
-func buildServing(logger *slog.Logger, shards int, in string, labeled bool, snap string, batch, queue int, k, r float64, idx indexConfig, threshold float64, pool *par.Pool, retention stream.Retention, retentionSet bool) (engine.Serving, error) {
+func buildServing(logger *slog.Logger, shards int, in string, labeled bool, snap string, batch, queue int, k, r float64, idx indexConfig, threshold float64, pool *par.Pool, retention stream.Retention, retentionSet bool, compactShare float64) (engine.Serving, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("-shards %d: want >= 1", shards)
 	}
@@ -261,7 +293,7 @@ func buildServing(logger *slog.Logger, shards int, in string, labeled bool, snap
 				return nil, fmt.Errorf("snapshot %s is a sharded-save manifest; pass the -shards it was saved with", snap)
 			}
 		}
-		return buildEngine(logger, in, labeled, snap, batch, queue, k, r, idx, threshold, pool, retention, retentionSet)
+		return buildEngine(logger, in, labeled, snap, batch, queue, k, r, idx, threshold, pool, retention, retentionSet, compactShare)
 	}
 
 	var override *stream.Retention
@@ -269,13 +301,17 @@ func buildServing(logger *slog.Logger, shards int, in string, labeled bool, snap
 		override = &retention
 	}
 	if snap != "" {
+		if _, err := os.Stat(engine.ChainManifestPath(snap)); err == nil {
+			return nil, fmt.Errorf("snapshot %s has a delta chain at %s; restore it with -shards 1 (delta chains are single-engine saves)", snap, engine.ChainManifestPath(snap))
+		}
 		switch snapshotKind(snap) {
 		case snapshot.ManifestMagic:
 			start := time.Now()
 			sh, err := engine.LoadSharded(snap, engine.ShardedLoadOptions{
 				Shards: shards, QueueSize: queue, Pool: pool,
 				Retention: override, Logger: logger,
-				Backend: idx.Backend,
+				Backend:             idx.Backend,
+				CompactEvictedShare: compactShare,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("restore %s: %w", snap, err)
@@ -292,27 +328,45 @@ func buildServing(logger *slog.Logger, shards int, in string, labeled bool, snap
 		return nil, err
 	}
 	return engine.NewSharded(engine.ShardedConfig{
-		Engine: engine.Config{Core: cfg, BatchSize: batch, QueueSize: queue, Retention: retention, Logger: logger},
+		Engine: engine.Config{
+			Core: cfg, BatchSize: batch, QueueSize: queue, Retention: retention, Logger: logger,
+			CompactEvictedShare: compactShare,
+		},
 		Shards: shards,
 	}, pts)
 }
 
-// buildEngine restores from the snapshot when one exists, otherwise detects
-// from the CSV (or starts empty).
-func buildEngine(logger *slog.Logger, in string, labeled bool, snap string, batch, queue int, k, r float64, idx indexConfig, threshold float64, pool *par.Pool, retention stream.Retention, retentionSet bool) (*engine.Engine, error) {
+// buildEngine restores from the snapshot when one exists — via its delta
+// chain when a chain manifest is present, plain single file otherwise —
+// and detects from the CSV (or starts empty) when it doesn't.
+func buildEngine(logger *slog.Logger, in string, labeled bool, snap string, batch, queue int, k, r float64, idx indexConfig, threshold float64, pool *par.Pool, retention stream.Retention, retentionSet bool, compactShare float64) (*engine.Engine, error) {
 	if snap != "" {
-		if _, err := os.Stat(snap); err == nil {
-			// The snapshot carries the previous process's retention policy;
-			// explicitly passed -retention-* flags replace it wholesale
-			// (operational knob — explicit zeros disable retention).
-			var override *stream.Retention
-			if retentionSet {
-				override = &retention
-			}
+		// The snapshot carries the previous process's retention policy;
+		// explicitly passed -retention-* flags replace it wholesale
+		// (operational knob — explicit zeros disable retention).
+		var override *stream.Retention
+		if retentionSet {
+			override = &retention
+		}
+		opts := engine.LoadOptions{
+			QueueSize: queue, Pool: pool, Retention: override, Backend: idx.Backend,
+			CompactEvictedShare: compactShare,
+		}
+		// A chain manifest wins over the bare base file: the base alone is
+		// the state as of the last FULL save, the chain carries every delta
+		// since.
+		if _, err := os.Stat(engine.ChainManifestPath(snap)); err == nil {
 			start := time.Now()
-			eng, err := engine.LoadFileOpts(snap, engine.LoadOptions{
-				QueueSize: queue, Pool: pool, Retention: override, Backend: idx.Backend,
-			})
+			eng, err := engine.LoadChainFile(snap, opts)
+			if err != nil {
+				return nil, fmt.Errorf("restore %s: %w", snap, err)
+			}
+			logger.Info("restored delta chain", "path", snap, "elapsed", time.Since(start))
+			return eng, nil
+		}
+		if _, err := os.Stat(snap); err == nil {
+			start := time.Now()
+			eng, err := engine.LoadFileOpts(snap, opts)
 			if err != nil {
 				return nil, fmt.Errorf("restore %s: %w", snap, err)
 			}
@@ -325,7 +379,10 @@ func buildEngine(logger *slog.Logger, in string, labeled bool, snap string, batc
 	if err != nil {
 		return nil, err
 	}
-	return engine.New(engine.Config{Core: cfg, BatchSize: batch, QueueSize: queue, Retention: retention, Logger: logger}, pts)
+	return engine.New(engine.Config{
+		Core: cfg, BatchSize: batch, QueueSize: queue, Retention: retention, Logger: logger,
+		CompactEvictedShare: compactShare,
+	}, pts)
 }
 
 // detectConfig reads the initial CSV (if any) and resolves the detection
@@ -408,16 +465,32 @@ func detectConfigMinHash(logger *slog.Logger, in string, labeled bool, k float64
 }
 
 // saveSnapshot persists and logs one snapshot (shared by the periodic loop
-// and the shutdown path): a single file for a plain engine, manifest plus
-// shard files for a sharded one.
-func saveSnapshot(logger *slog.Logger, eng engine.Serving, path, kind string) {
+// and the shutdown path): a delta-chain save when a chain writer is active,
+// otherwise a single file for a plain engine or manifest plus shard files
+// for a sharded one.
+func saveSnapshot(logger *slog.Logger, eng engine.Serving, chain *engine.ChainWriter, path, kind string) {
 	start := time.Now()
+	if chain != nil {
+		if err := chain.Save(); err != nil {
+			logger.Warn("snapshot failed", "kind", kind, "path", path, "err", err)
+			return
+		}
+		logger.Info("snapshot saved", "kind", kind, "path", path,
+			"chain_len", chain.Len(), "elapsed", time.Since(start))
+		return
+	}
 	var err error
 	switch e := eng.(type) {
 	case *engine.Sharded:
 		err = e.SaveFiles(path)
 	case *engine.Engine:
 		err = e.SaveFile(path)
+		if err == nil {
+			// A plain full save supersedes any delta chain a previous
+			// -snapshot-delta-every run left behind; drop the stale manifest
+			// so the next chain-aware restore doesn't reject the fresh base.
+			os.Remove(engine.ChainManifestPath(path))
+		}
 	default:
 		err = fmt.Errorf("unsupported serving engine %T", eng)
 	}
@@ -433,7 +506,7 @@ func saveSnapshot(logger *slog.Logger, eng engine.Serving, path, kind string) {
 }
 
 // snapshotLoop periodically persists the published state until ctx ends.
-func snapshotLoop(ctx context.Context, logger *slog.Logger, eng engine.Serving, path string, every time.Duration) {
+func snapshotLoop(ctx context.Context, logger *slog.Logger, eng engine.Serving, chain *engine.ChainWriter, path string, every time.Duration) {
 	t := time.NewTicker(every)
 	defer t.Stop()
 	for {
@@ -444,7 +517,7 @@ func snapshotLoop(ctx context.Context, logger *slog.Logger, eng engine.Serving, 
 			if eng.Stats().N == 0 {
 				continue
 			}
-			saveSnapshot(logger, eng, path, "periodic")
+			saveSnapshot(logger, eng, chain, path, "periodic")
 		}
 	}
 }
@@ -464,37 +537,13 @@ func readCSV(path string, labeled bool) ([][]float64, error) {
 
 // readSetCSV parses one element set per line, comma-separated strings; with
 // labeled the last column is dropped (mirroring readCSV so the same dataset
-// layout works for both backends). Blank lines and #-comments are skipped.
+// layout works for both backends, shared with cmd/alid via
+// dataset.ReadSetsCSV).
 func readSetCSV(path string, labeled bool) ([][]string, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	var sets [][]string
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
-			continue
-		}
-		elems := strings.Split(text, ",")
-		for i := range elems {
-			elems[i] = strings.TrimSpace(elems[i])
-		}
-		if labeled {
-			elems = elems[:len(elems)-1]
-		}
-		if len(elems) == 0 || (len(elems) == 1 && elems[0] == "") {
-			return nil, fmt.Errorf("%s:%d: empty element set", path, line)
-		}
-		sets = append(sets, elems)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	return sets, nil
+	return dataset.ReadSetsCSV(f, path, labeled)
 }

@@ -72,7 +72,7 @@ func TestBuildEngineDetectSnapshotRestore(t *testing.T) {
 	snap := filepath.Join(t.TempDir(), "alid.snap")
 
 	idx := indexConfig{Backend: "lsh", Mu: 8, Tables: 10, Seed: 1}
-	eng, err := buildEngine(testLogger(), csv, false, snap, 64, 0, 0, 0, idx, 0.75, nil, stream.Retention{}, false)
+	eng, err := buildEngine(testLogger(), csv, false, snap, 64, 0, 0, 0, idx, 0.75, nil, stream.Retention{}, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestBuildEngineDetectSnapshotRestore(t *testing.T) {
 	}
 
 	// Restart: the snapshot wins over -in and tuning flags.
-	restored, err := buildEngine(testLogger(), "", false, snap, 64, 0, 0, 0, idx, 0.75, nil, stream.Retention{}, false)
+	restored, err := buildEngine(testLogger(), "", false, snap, 64, 0, 0, 0, idx, 0.75, nil, stream.Retention{}, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestBuildEngineDetectSnapshotRestore(t *testing.T) {
 }
 
 func TestBuildEngineEmptyStart(t *testing.T) {
-	eng, err := buildEngine(testLogger(), "", false, "", 64, 0, 0.5, 2, indexConfig{Backend: "lsh", Mu: 8, Tables: 10, Seed: 1}, 0.75, nil, stream.Retention{}, false)
+	eng, err := buildEngine(testLogger(), "", false, "", 64, 0, 0.5, 2, indexConfig{Backend: "lsh", Mu: 8, Tables: 10, Seed: 1}, 0.75, nil, stream.Retention{}, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -86,6 +86,43 @@ func ReadPointsCSV(r io.Reader, name string, labeled bool) ([][]float64, []int, 
 	return pts, labels, nil
 }
 
+// ReadSetsCSV parses the set-input CSV of the minhash backend: one element
+// set per line, comma-separated strings, blank lines and #-comments skipped.
+// With labeled the last column is dropped (mirroring ReadPointsCSV so the
+// same dataset layout works for both backends). This is the single parser
+// behind cmd/alid -backend minhash and cmd/alidd.
+func ReadSetsCSV(r io.Reader, name string, labeled bool) ([][]string, error) {
+	var sets [][]string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		elems := strings.Split(line, ",")
+		for i := range elems {
+			elems[i] = strings.TrimSpace(elems[i])
+		}
+		if labeled {
+			elems = elems[:len(elems)-1]
+		}
+		if len(elems) == 0 || (len(elems) == 1 && elems[0] == "") {
+			return nil, fmt.Errorf("%s:%d: empty element set", name, lineNo)
+		}
+		sets = append(sets, elems)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	if len(sets) == 0 {
+		return nil, fmt.Errorf("%s: no sets", name)
+	}
+	return sets, nil
+}
+
 // ReadCSV parses the WriteCSV format. Cluster count and tuned scales are
 // reconstructed from the labels.
 func ReadCSV(r io.Reader) (*Dataset, error) {

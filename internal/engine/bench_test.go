@@ -264,3 +264,62 @@ func BenchmarkAssignSequential(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkChainDeltaSave is the acceptance gate of delta snapshots: the
+// bytes written per delta save must scale with the WINDOW of change (one
+// batch of appends plus bookkeeping), not with the committed point count n.
+// Each op ingests and commits one fresh 64-point batch, then saves a delta
+// through the ChainWriter; the reported delta-bytes/op comes from the chain
+// manifest's own size accounting. A full v5 snapshot of the same state
+// scales with n — the recorded n=50000 / n=10000 delta-bytes ratio in
+// BENCH_PR10.json must stay near 1.
+func BenchmarkChainDeltaSave(b *testing.B) {
+	for _, n := range []int{10000, 50000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			pts := benchData(n, 16)
+			cfg := benchConfig()
+			cfg.BatchSize = 256
+			e, err := New(cfg, pts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			ctx := context.Background()
+			c := NewChainWriter(e, b.TempDir()+"/alid.snap", 1<<30)
+			if err := c.Save(); err != nil { // full base, outside the timer
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(95))
+			const batch = 64
+			var deltaBytes int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				base := 1000 + float64(i)*100
+				bs := make([][]float64, batch)
+				for k := range bs {
+					p := make([]float64, 16)
+					for j := range p {
+						p[j] = base + rng.NormFloat64()*0.3
+					}
+					bs[k] = p
+				}
+				if err := e.Ingest(ctx, bs); err != nil {
+					b.Fatal(err)
+				}
+				if err := e.Flush(ctx); err != nil {
+					b.Fatal(err)
+				}
+				if err := c.Save(); err != nil {
+					b.Fatal(err)
+				}
+				deltaBytes += int64(c.chain.Deltas[len(c.chain.Deltas)-1].Size)
+			}
+			b.StopTimer()
+			if c.Len() != b.N {
+				b.Fatalf("chain length %d, want %d (every save a delta)", c.Len(), b.N)
+			}
+			b.ReportMetric(float64(deltaBytes)/float64(b.N), "delta-bytes/op")
+		})
+	}
+}

@@ -1,0 +1,329 @@
+// This file is delta-chain persistence: periodic full snapshots plus small
+// CRC-guarded deltas, bound by a chain manifest (snapshot/chain.go) with the
+// same rename-last crash ordering as the sharded save. A ChainWriter tracks
+// the view of its last save and diffs the next published view against it, so
+// each delta costs O(window), not O(n); a generation compaction renumbers
+// ids, which no diff can express, so it ends the chain and the next save is
+// full again. LoadChainFile replays base + ordered deltas all-or-nothing: a
+// damaged TAIL falls back to the longest valid prefix (each prefix is a
+// consistent earlier save), while a damaged MIDDLE refuses with
+// snapshot.ErrDeltaChainBroken — skipping a window would silently lose data.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync/atomic"
+
+	"alid/internal/matrix"
+	"alid/internal/snapshot"
+	"alid/internal/stream"
+)
+
+// buildDelta diffs two published views of the SAME generation (prev saved
+// earlier than cur) into a delta snapshot. Ids are stable within a
+// generation, so the diff is positional: appended rows, liveness
+// transitions, label changes, and cluster patches (published cluster values
+// are immutable — the writer builds fresh values on every change — so
+// pointer inequality is exactly "changed").
+func buildDelta(prev, cur stream.View) *snapshot.Delta {
+	fromN, toN := prev.Mat.N, cur.Mat.N
+	dim := cur.Mat.D
+	d := &snapshot.Delta{
+		Generation:   cur.Generation,
+		FromN:        fromN,
+		ToN:          toN,
+		D:            dim,
+		ClusterCount: len(cur.Clusters),
+		Commits:      cur.Commits,
+	}
+	if toN > fromN {
+		d.Rows = make([]float64, (toN-fromN)*dim)
+		d.NewLabels = make([]int, toN-fromN)
+		for i := fromN; i < toN; i++ {
+			// An appended id whose chunk was already released has no row
+			// bytes left; encode zeros — replay appends them, the evict pass
+			// below kills them, and the chunk re-releases to the same
+			// zero-length encoding (see snapshot/delta.go).
+			if !cur.Mat.ChunkReleased(i >> matrix.ChunkShift) {
+				copy(d.Rows[(i-fromN)*dim:(i-fromN+1)*dim], cur.Mat.Row(i))
+			}
+			d.NewLabels[i-fromN] = cur.Labels.At(i)
+		}
+	}
+	for i := 0; i < fromN; i++ {
+		if !cur.Mat.Live(i) {
+			if prev.Mat.Live(i) {
+				d.Evicts = append(d.Evicts, i)
+			}
+			continue
+		}
+		if was, is := prev.Labels.At(i), cur.Labels.At(i); was != is {
+			d.LabelChanges = append(d.LabelChanges, snapshot.LabelChange{ID: i, Label: is})
+		}
+	}
+	for i := fromN; i < toN; i++ {
+		if !cur.Mat.Live(i) {
+			d.Evicts = append(d.Evicts, i)
+		}
+	}
+	for i, cl := range cur.Clusters {
+		if i >= len(prev.Clusters) || prev.Clusters[i] != cl {
+			d.Patches = append(d.Patches, snapshot.ClusterPatch{Index: i, Cluster: cl})
+		}
+	}
+	return d
+}
+
+// ChainWriter persists an engine as a delta chain rooted at path: a full
+// snapshot at path, deltas at path.delta<k>, and the chain manifest at
+// path.chain (ChainManifestPath). Not safe for concurrent use — it is owned
+// by whoever drives periodic saves (the daemon's snapshot loop).
+type ChainWriter struct {
+	e     *Engine
+	path  string
+	every int // deltas per full snapshot; a full is forced every `every` deltas
+
+	chain    *snapshot.Chain
+	prev     stream.View // the view the NEXT delta diffs against
+	haveBase bool
+	length   atomic.Int64 // len(chain.Deltas), readable off the save goroutine
+}
+
+// ChainManifestPath returns the chain-manifest path for a snapshot rooted at
+// path (the daemon probes it at startup to pick the chain restore path).
+func ChainManifestPath(path string) string { return path + ".chain" }
+
+func chainDeltaName(path string, k int) string {
+	return filepath.Base(path) + ".delta" + strconv.Itoa(k)
+}
+
+// NewChainWriter builds a chain writer for e rooted at path. every is the
+// number of deltas between full snapshots (≤ 0 writes only full snapshots,
+// still committing each save through the chain manifest).
+func NewChainWriter(e *Engine, path string, every int) *ChainWriter {
+	return &ChainWriter{e: e, path: path, every: every}
+}
+
+// Len returns the current chain's delta count (0 right after a full save).
+// Unlike Save, Len is safe to call from any goroutine (the /v1/stats path).
+func (c *ChainWriter) Len() int { return int(c.length.Load()) }
+
+// Save persists the current published view: a full snapshot when the chain
+// needs (re)rooting — first save, generation changed, or `every` deltas
+// accumulated — and a delta otherwise. Either way the chain manifest is
+// renamed into place LAST, so a crash at any point leaves the previous
+// manifest describing a complete, restorable chain.
+func (c *ChainWriter) Save() error {
+	v := c.e.View()
+	if v.Mat == nil {
+		return fmt.Errorf("engine: nothing committed to snapshot")
+	}
+	full := !c.haveBase || c.chain == nil || v.Generation != c.chain.Generation ||
+		c.every <= 0 || len(c.chain.Deltas) >= c.every
+	if full {
+		return c.saveFull(v)
+	}
+	return c.saveDelta(v)
+}
+
+// writeEntry stages content into a temp file, fsyncs, renames it to name
+// (joined with the chain root's directory) and returns the manifest entry.
+func (c *ChainWriter) writeEntry(name string, toN int, write func(io.Writer) error) (snapshot.ChainEntry, error) {
+	dir := filepath.Dir(c.path)
+	tmp, err := os.CreateTemp(dir, name+".tmp*")
+	if err != nil {
+		return snapshot.ChainEntry{}, fmt.Errorf("engine: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	cw := &crcWriter{w: tmp, crc: crc32.NewIEEE()}
+	if err := write(cw); err != nil {
+		tmp.Close()
+		return snapshot.ChainEntry{}, err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return snapshot.ChainEntry{}, fmt.Errorf("engine: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return snapshot.ChainEntry{}, fmt.Errorf("engine: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		return snapshot.ChainEntry{}, fmt.Errorf("engine: %w", err)
+	}
+	return snapshot.ChainEntry{Name: name, CRC: cw.crc.Sum32(), Size: cw.n, ToN: uint64(toN)}, nil
+}
+
+// writeManifest commits the chain: temp + fsync + rename over path.chain.
+func (c *ChainWriter) writeManifest(chain *snapshot.Chain) error {
+	dir := filepath.Dir(c.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(c.path)+".chain.tmp*")
+	if err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := snapshot.WriteChain(tmp, chain); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("engine: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), ChainManifestPath(c.path)); err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	return nil
+}
+
+func (c *ChainWriter) saveFull(v stream.View) error {
+	base, err := c.writeEntry(filepath.Base(c.path), v.Mat.N, func(w io.Writer) error {
+		return c.e.writeSnapshotView(w, v)
+	})
+	if err != nil {
+		return err
+	}
+	chain := &snapshot.Chain{Generation: v.Generation, Base: base}
+	if err := c.writeManifest(chain); err != nil {
+		return err
+	}
+	c.chain, c.prev, c.haveBase = chain, v, true
+	c.length.Store(0)
+	return nil
+}
+
+func (c *ChainWriter) saveDelta(v stream.View) error {
+	d := buildDelta(c.prev, v)
+	var bytes uint64
+	entry, err := c.writeEntry(chainDeltaName(c.path, len(c.chain.Deltas)), v.Mat.N, func(w io.Writer) error {
+		cw := &countingWriter{w: w}
+		err := snapshot.WriteDelta(cw, d)
+		bytes = uint64(cw.n)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	chain := &snapshot.Chain{
+		Generation: c.chain.Generation,
+		Base:       c.chain.Base,
+		Deltas:     append(append([]snapshot.ChainEntry(nil), c.chain.Deltas...), entry),
+	}
+	if err := c.writeManifest(chain); err != nil {
+		return err
+	}
+	c.e.met.deltaBytes.Add(int64(bytes))
+	c.chain, c.prev = chain, v
+	c.length.Store(int64(len(chain.Deltas)))
+	return nil
+}
+
+// LoadChainFile restores an engine from a chain manifest at
+// ChainManifestPath(path): the base full snapshot plus every valid delta, in
+// order. Entry files are verified against the manifest's whole-file CRC and
+// size BEFORE any decoding; an invalid suffix of the delta list is dropped
+// (the prefix is the last complete save), while an invalid entry FOLLOWED by
+// a valid one — or an invalid base — refuses the restore with
+// snapshot.ErrDeltaChainBroken. Continuity violations (a delta that does not
+// extend the state it is applied to) refuse with snapshot.ErrDeltaMismatch.
+func LoadChainFile(path string, o LoadOptions) (*Engine, error) {
+	mf, err := os.Open(ChainManifestPath(path))
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	chain, err := snapshot.ReadChain(mf)
+	mf.Close()
+	if err != nil {
+		return nil, err
+	}
+
+	dir := filepath.Dir(path)
+	valid := make([]bool, len(chain.Deltas))
+	for i, e := range chain.Deltas {
+		valid[i] = verifyChainFile(filepath.Join(dir, e.Name), e) == nil
+	}
+	// Longest valid prefix; anything valid after the first invalid entry
+	// means the chain is broken in the middle, not merely truncated.
+	keep := len(chain.Deltas)
+	for i, ok := range valid {
+		if !ok {
+			keep = i
+			break
+		}
+	}
+	for i := keep; i < len(valid); i++ {
+		if valid[i] {
+			return nil, fmt.Errorf("engine: delta %d of chain %s is damaged but delta %d is intact: %w",
+				keep, path, i, snapshot.ErrDeltaChainBroken)
+		}
+	}
+
+	basePath := filepath.Join(dir, chain.Base.Name)
+	if err := verifyChainFile(basePath, chain.Base); err != nil {
+		return nil, fmt.Errorf("engine: chain base %s: %w: %w", basePath, err, snapshot.ErrDeltaChainBroken)
+	}
+	bf, err := os.Open(basePath)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	s, err := snapshot.Read(bf)
+	bf.Close()
+	if err != nil {
+		return nil, err
+	}
+	if s.Generation != chain.Generation {
+		return nil, fmt.Errorf("%w: chain is generation %d, base snapshot is %d",
+			snapshot.ErrDeltaMismatch, chain.Generation, s.Generation)
+	}
+	for i := 0; i < keep; i++ {
+		e := chain.Deltas[i]
+		df, err := os.Open(filepath.Join(dir, e.Name))
+		if err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+		d, err := snapshot.ReadDelta(df)
+		df.Close()
+		if err != nil {
+			return nil, err
+		}
+		if uint64(d.ToN) != e.ToN {
+			return nil, fmt.Errorf("%w: delta %d advances to %d points, manifest records %d",
+				snapshot.ErrDeltaMismatch, i, d.ToN, e.ToN)
+		}
+		if err := snapshot.ApplyDelta(s, d); err != nil {
+			return nil, fmt.Errorf("engine: delta %d: %w", i, err)
+		}
+	}
+	return restoreSnapshot(s, o)
+}
+
+// verifyChainFile checks one chain entry's file against its recorded size
+// and whole-file CRC.
+func verifyChainFile(path string, e snapshot.ChainEntry) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("missing: %w", err)
+		}
+		return err
+	}
+	defer f.Close()
+	crc := crc32.NewIEEE()
+	size, err := io.Copy(crc, f)
+	if err != nil {
+		return err
+	}
+	if uint64(size) != e.Size || crc.Sum32() != e.CRC {
+		return fmt.Errorf("%d bytes crc %08x, manifest records %d bytes crc %08x",
+			size, crc.Sum32(), e.Size, e.CRC)
+	}
+	return nil
+}

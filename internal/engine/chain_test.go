@@ -1,0 +1,263 @@
+// Acceptance-gate crosschecks for delta-chain persistence: a chain restore
+// must be BYTE-identical to restoring an equivalent full v5 snapshot of the
+// same state; a damaged chain tail falls back to the longest complete
+// prefix; mixed damage or a damaged base refuses all-or-nothing with the
+// typed sentinels.
+package engine
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"alid/internal/snapshot"
+	"alid/internal/testutil"
+)
+
+// chainedEngine runs the canonical chain traffic script: initial detection,
+// a full save, then three windows of ingest/evict each followed by a delta
+// save. Returns the engine (still open) and the chain root path.
+func chainedEngine(t *testing.T) (*Engine, *ChainWriter, string) {
+	t.Helper()
+	ctx := context.Background()
+	e, _ := blobEngine(t)
+	t.Cleanup(func() { e.Close() })
+	path := filepath.Join(t.TempDir(), "alid.snap")
+	c := NewChainWriter(e, path, 8)
+	if err := c.Save(); err != nil { // full base
+		t.Fatal(err)
+	}
+
+	blobs := func(seed int64, centers [][]float64, n, noise int) [][]float64 {
+		pts, _ := testutil.Blobs(seed, centers, n, 0.3, noise, 0, 15)
+		return pts
+	}
+	for wi, wave := range [][][]float64{
+		blobs(91, [][]float64{{-12, 8}}, 25, 5),
+		blobs(92, [][]float64{{0, 0}, {15, 15}}, 10, 4),
+		blobs(93, [][]float64{{30, -5}}, 20, 0),
+	} {
+		if err := e.Ingest(ctx, wave); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Flush(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Evict(ctx, []int{wi * 7, wi*7 + 2, 80 + wi}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Save(); err != nil { // delta
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 3 {
+		t.Fatalf("chain length %d, want 3", c.Len())
+	}
+	return e, c, path
+}
+
+// The tentpole restore invariant: base + deltas replays to the EXACT bytes a
+// full v5 snapshot of the final state would restore from — the restored
+// engine re-snapshots byte-identically to the live one and serves
+// bit-identically.
+func TestChainRestoreByteIdenticalToFull(t *testing.T) {
+	e, _, path := chainedEngine(t)
+
+	restored, err := LoadChainFile(path, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	sameClusters(t, e, restored)
+	sameAssigns(t, e, restored, append(crossQueries(120), []float64{-12, 8}, []float64{30, -5}))
+
+	var full, replayed bytes.Buffer
+	if err := e.WriteSnapshot(&full); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.WriteSnapshot(&replayed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(full.Bytes(), replayed.Bytes()) {
+		t.Fatalf("chain restore differs from full snapshot: %d vs %d bytes", full.Len(), replayed.Len())
+	}
+	if es, rs := e.Stats(), restored.Stats(); rs.N != es.N || rs.LiveN != es.LiveN || rs.Commits != es.Commits {
+		t.Fatalf("restored stats %+v vs live %+v", rs, es)
+	}
+}
+
+// A damaged TAIL — the last delta truncated or deleted — falls back to the
+// longest complete prefix: the state as of the previous save, not a refusal
+// and not a corrupted restore.
+func TestChainRestoreTruncatedTailFallsBackToPrefix(t *testing.T) {
+	for name, damage := range map[string]func(t *testing.T, p string){
+		"truncated": func(t *testing.T, p string) {
+			raw, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(p, raw[:len(raw)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"deleted": func(t *testing.T, p string) {
+			if err := os.Remove(p); err != nil {
+				t.Fatal(err)
+			}
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			e, c, path := chainedEngine(t)
+
+			// Reference: the state at delta 2 is the chain restored BEFORE the
+			// last save existed — i.e. re-read the current manifest but drop
+			// its tail by damaging delta2.
+			mf, err := os.Open(ChainManifestPath(path))
+			if err != nil {
+				t.Fatal(err)
+			}
+			chain, err := snapshot.ReadChain(mf)
+			mf.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			damage(t, filepath.Join(filepath.Dir(path), chain.Deltas[2].Name))
+
+			restored, err := LoadChainFile(path, LoadOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer restored.Close()
+			// The prefix state is delta 1's ToN, strictly less than the live
+			// engine's final count.
+			if got, want := restored.Stats().N, int(chain.Deltas[1].ToN); got != want {
+				t.Fatalf("prefix restore N=%d, want %d (delta 1)", got, want)
+			}
+			if live := e.Stats().N; restored.Stats().N >= live {
+				t.Fatalf("prefix restore N=%d not behind live %d", restored.Stats().N, live)
+			}
+			_ = c
+		})
+	}
+}
+
+// Damage BEFORE an intact later delta is a broken middle: replaying around
+// it would silently skip a window, so the restore refuses with
+// ErrDeltaChainBroken. Same for a damaged base.
+func TestChainRestoreRefusesBrokenMiddleAndBase(t *testing.T) {
+	_, _, path := chainedEngine(t)
+	dir := filepath.Dir(path)
+	mf, err := os.Open(ChainManifestPath(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := snapshot.ReadChain(mf)
+	mf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt delta 0 (deltas 1 and 2 remain intact).
+	d0 := filepath.Join(dir, chain.Deltas[0].Name)
+	raw, err := os.ReadFile(d0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)/2] ^= 0x10
+	if err := os.WriteFile(d0, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadChainFile(path, LoadOptions{}); !errors.Is(err, snapshot.ErrDeltaChainBroken) {
+		t.Fatalf("broken middle: err %v, want ErrDeltaChainBroken", err)
+	}
+	if err := os.WriteFile(d0, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the base: nothing can replay, all-or-nothing refusal.
+	base := filepath.Join(dir, chain.Base.Name)
+	braw, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bbad := append([]byte(nil), braw...)
+	bbad[len(bbad)/3] ^= 0x01
+	if err := os.WriteFile(base, bbad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadChainFile(path, LoadOptions{}); !errors.Is(err, snapshot.ErrDeltaChainBroken) {
+		t.Fatalf("damaged base: err %v, want ErrDeltaChainBroken", err)
+	}
+}
+
+// A generation compaction ends the chain: the next save re-roots with a
+// fresh full snapshot (delta count resets), and the restored engine carries
+// the new generation.
+func TestChainGenerationCompactionRerootsChain(t *testing.T) {
+	ctx := context.Background()
+	e, c, path := chainedEngine(t)
+	if _, err := e.Evict(ctx, []int{30, 31, 32, 33}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.CompactGeneration(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("chain length %d after compaction save, want 0 (re-rooted)", c.Len())
+	}
+
+	restored, err := LoadChainFile(path, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if got, want := restored.Stats().Generation, e.Stats().Generation; got != want || got == 0 {
+		t.Fatalf("restored generation %d, want %d (nonzero)", got, want)
+	}
+	// Ever-seen accounting is monotone ACROSS the restart: the retired-id
+	// count rides the v5 snapshot, so the restored engine reports the same
+	// ever-seen total as the live one — not just its post-compaction N.
+	if got, want := restored.Stats().EverSeenIDs, e.Stats().EverSeenIDs; got != want || got == restored.Stats().N {
+		t.Fatalf("restored ever-seen ids %d, want %d (> restored n %d)", got, want, restored.Stats().N)
+	}
+	sameClusters(t, e, restored)
+	sameAssigns(t, e, restored, crossQueries(90))
+}
+
+// every <= 0 degrades to full-snapshot-only saves, still manifest-committed.
+func TestChainWriterFullOnly(t *testing.T) {
+	ctx := context.Background()
+	e, _ := blobEngine(t)
+	defer e.Close()
+	path := filepath.Join(t.TempDir(), "alid.snap")
+	c := NewChainWriter(e, path, 0)
+	for i := 0; i < 3; i++ {
+		extra, _ := testutil.Blobs(int64(60+i), [][]float64{{5, 5}}, 10, 0.3, 0, 0, 15)
+		if err := e.Ingest(ctx, extra); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Flush(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Save(); err != nil {
+			t.Fatal(err)
+		}
+		if c.Len() != 0 {
+			t.Fatalf("save %d: chain length %d, want 0", i, c.Len())
+		}
+	}
+	restored, err := LoadChainFile(path, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	sameClusters(t, e, restored)
+	sameAssigns(t, e, restored, crossQueries(90))
+}

@@ -38,8 +38,8 @@ import (
 	"alid/internal/index"
 	"alid/internal/lid"
 	"alid/internal/lsh"
-	"alid/internal/minhash"
 	"alid/internal/matrix"
+	"alid/internal/minhash"
 	"alid/internal/obs"
 	"alid/internal/stream"
 	"alid/internal/vec"
@@ -58,6 +58,15 @@ type Config struct {
 	// with a retention policy a forever-running daemon's memory stays
 	// proportional to the window, not to the points ever ingested.
 	Retention stream.Retention
+	// CompactEvictedShare, when > 0, auto-triggers a generation compaction
+	// through the writer queue whenever a commit or eviction leaves more
+	// than this share of committed ids tombstoned (e.g. 0.5 compacts once
+	// half the id space is dead). Compaction renumbers the live points into
+	// a fresh dense generation, releasing all bookkeeping that scaled with
+	// points ever seen — what keeps a retention-bounded stream's memory flat
+	// over unbounded uptime. 0 disables auto-compaction (manual
+	// CompactGeneration still works).
+	CompactEvictedShare float64
 	// Obs is the metrics registry the engine (and its clusterer) register
 	// into; nil makes the engine create a private one, retrievable via
 	// Obs() — the daemon serves it at GET /metrics either way. Metrics are
@@ -160,6 +169,15 @@ type Stats struct {
 	// (upper-bound interpolation within a bucket; zero until the first
 	// assign, and always zero under the noobs build tag).
 	AssignP50, AssignP95, AssignP99 float64
+	// Generation is the published id-renumbering epoch: CompactGeneration
+	// bumps it and reassigns every id densely over the survivors (a sharded
+	// engine reports the max across shards).
+	Generation int
+	// EverSeenIDs counts ids ever minted across all generations — the
+	// quantity resident bookkeeping NO LONGER scales with once compaction
+	// runs (watch alid_ever_seen_ids grow while alid_points{state="committed"}
+	// stays flat).
+	EverSeenIDs int
 }
 
 // assignTopK is the truncation width of the assign-path scorer: only the
@@ -231,6 +249,7 @@ const (
 	reqIngest reqKind = iota
 	reqFlush
 	reqEvict
+	reqCompact
 )
 
 type request struct {
@@ -238,7 +257,7 @@ type request struct {
 	pts    [][]float64
 	ids    []int          // evict only
 	reply  chan error     // flush only
-	ereply chan evictDone // evict only
+	ereply chan evictDone // evict and compact: n = points evicted / ids released
 }
 
 type evictDone struct {
@@ -332,11 +351,19 @@ func New(cfg Config, initial [][]float64) (*Engine, error) {
 // the matrix, index and clusters come back exactly as published, with no
 // re-detection. Ownership of all arguments transfers to the engine.
 func Restore(cfg Config, mat *matrix.Matrix, idx index.Index, clusters []*core.Cluster, labels []int, commits int) (*Engine, error) {
+	return RestoreGeneration(cfg, mat, idx, clusters, labels, commits, 0, 0)
+}
+
+// RestoreGeneration is Restore with the persisted id-lifecycle counters:
+// the generation number and the count of ids retired by past compactions
+// (v5 snapshots carry both; older formats restore at generation 0 with no
+// retired ids).
+func RestoreGeneration(cfg Config, mat *matrix.Matrix, idx index.Index, clusters []*core.Cluster, labels []int, commits, generation, retired int) (*Engine, error) {
 	reg := cfg.Obs // see New: defaulted locally, never stored back
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	c, err := stream.Restore(stream.Config{Core: cfg.Core, BatchSize: cfg.BatchSize, Retention: cfg.Retention, Quantize: true, Obs: reg, ObsLabels: shardFrag(cfg.ShardLabel)}, mat, idx, clusters, labels, commits)
+	c, err := stream.RestoreGeneration(stream.Config{Core: cfg.Core, BatchSize: cfg.BatchSize, Retention: cfg.Retention, Quantize: true, Obs: reg, ObsLabels: shardFrag(cfg.ShardLabel)}, mat, idx, clusters, labels, commits, generation, retired)
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
@@ -513,6 +540,9 @@ func (e *Engine) run() {
 			}
 		}
 		e.settle(ctx)
+		// Retention expiry inside the commit can push the evicted share past
+		// the compaction threshold without an explicit Evict call.
+		e.maybeCompact()
 	}
 }
 
@@ -554,7 +584,45 @@ func (e *Engine) handle(ctx context.Context, req request) {
 		if n > 0 {
 			e.publish()
 		}
+		// Compact BEFORE replying: an eviction that crosses the share
+		// threshold is renumbered by the time Evict returns, so callers see
+		// the new generation deterministically.
+		e.maybeCompact()
 		req.ereply <- evictDone{n: n, err: err}
+	case reqCompact:
+		// Settle first for the same reason as eviction: compaction renumbers
+		// the committed state, so buffered points must land before the scan.
+		e.settle(ctx)
+		n, err := e.clusterer.CompactGeneration()
+		if n > 0 {
+			e.publish()
+		}
+		req.ereply <- evictDone{n: n, err: err}
+	}
+}
+
+// maybeCompact triggers a generation compaction from the writer goroutine
+// when the configured evicted share is exceeded. Errors are surfaced through
+// the usual writer-error channel; a failed compaction leaves the clusterer
+// untouched, so the next trigger simply retries.
+func (e *Engine) maybeCompact() {
+	if e.cfg.CompactEvictedShare <= 0 {
+		return
+	}
+	n := e.clusterer.N()
+	if n == 0 {
+		return
+	}
+	if share := float64(n-e.clusterer.Live()) / float64(n); share <= e.cfg.CompactEvictedShare {
+		return
+	}
+	released, err := e.clusterer.CompactGeneration()
+	if err != nil {
+		e.recordErr(err)
+		return
+	}
+	if released > 0 {
+		e.publish()
 	}
 }
 
@@ -852,6 +920,61 @@ func (e *Engine) Evict(ctx context.Context, ids []int) (int, error) {
 	}
 }
 
+// CompactGeneration renumbers the live ids into a fresh dense generation,
+// releasing every ever-seen-scaled structure (chunk headers, liveness
+// bitmaps, tombstone bitmaps, label chunks). It routes through the
+// single-writer queue like Evict, waits for completion, and returns the
+// number of dead ids released (0 when nothing was tombstoned). After it
+// returns, old ids are only resolvable through MapID — and only until the
+// next compaction.
+func (e *Engine) CompactGeneration(ctx context.Context) (int, error) {
+	reply := make(chan evictDone, 1)
+	e.closeMu.RLock()
+	if e.closed {
+		e.closeMu.RUnlock()
+		return 0, fmt.Errorf("engine: closed")
+	}
+	var sendErr error
+	select {
+	case e.reqs <- request{kind: reqCompact, ereply: reply}:
+	case <-ctx.Done():
+		sendErr = ctx.Err()
+	}
+	e.closeMu.RUnlock()
+	if sendErr != nil {
+		return 0, sendErr
+	}
+	select {
+	case done := <-reply:
+		return done.n, done.err
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// MapID translates an id from the previous generation to the current one.
+// Before any compaction it is the identity on committed ids; after one it
+// consults the published old→new map (-1 entries — dead ids with no
+// successor — report ok=false, as do out-of-range ids). The map covers
+// exactly one generation back: ids from two compactions ago are gone.
+func (e *Engine) MapID(old int) (int, bool) {
+	st := e.state.Load()
+	if st == nil || old < 0 {
+		return 0, false
+	}
+	m := st.view.IDMap
+	if m == nil {
+		if st.view.Mat == nil || old >= st.view.Mat.N {
+			return 0, false
+		}
+		return old, true
+	}
+	if old >= len(m) || m[old] < 0 {
+		return 0, false
+	}
+	return m[old], true
+}
+
 // Close stops the writer after draining the queue and committing buffered
 // points. Further Ingest/Flush calls fail; reads keep serving the final
 // published state.
@@ -946,6 +1069,8 @@ func (e *Engine) Stats() Stats {
 		s.Clusters = len(st.view.Clusters)
 		s.Commits = st.view.Commits
 		s.AffinityComputed += st.view.KernelEvals
+		s.Generation = st.view.Generation
+		s.EverSeenIDs = st.view.EverSeenIDs
 		if st.view.Mat != nil {
 			s.N = st.view.Mat.N
 			s.LiveN = st.view.Mat.LiveCount()

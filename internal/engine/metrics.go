@@ -42,10 +42,11 @@ type engineMetrics struct {
 
 	ingestWait *obs.Histogram // time Ingest spent blocked on a full queue
 
-	snapSave  *obs.Histogram // snapshot encode+write duration
-	snapLoad  *obs.Histogram // snapshot read+restore duration
-	saveBytes *obs.Counter   // snapshot bytes written
-	loadBytes *obs.Counter   // snapshot bytes read
+	snapSave   *obs.Histogram // snapshot encode+write duration
+	snapLoad   *obs.Histogram // snapshot read+restore duration
+	saveBytes  *obs.Counter   // snapshot bytes written
+	loadBytes  *obs.Counter   // snapshot bytes read
+	deltaBytes *obs.Counter   // delta-snapshot bytes written (subset of saves)
 }
 
 // newEngineMetrics builds the engine's serve-path metrics; extra is the
@@ -71,10 +72,11 @@ func newEngineMetrics(reg *obs.Registry, extra string) *engineMetrics {
 
 		ingestWait: obs.NewHistogram("alid_ingest_wait_seconds", "Time Ingest spent enqueueing (non-trivial only when the queue is full).", l(""), 1e-9),
 
-		snapSave:  obs.NewHistogram("alid_snapshot_duration_seconds", "Snapshot persistence duration by operation.", l(`op="save"`), 1e-9),
-		snapLoad:  obs.NewHistogram("alid_snapshot_duration_seconds", "Snapshot persistence duration by operation.", l(`op="load"`), 1e-9),
-		saveBytes: obs.NewCounter("alid_snapshot_bytes_total", "Snapshot bytes moved by operation.", l(`op="save"`)),
-		loadBytes: obs.NewCounter("alid_snapshot_bytes_total", "Snapshot bytes moved by operation.", l(`op="load"`)),
+		snapSave:   obs.NewHistogram("alid_snapshot_duration_seconds", "Snapshot persistence duration by operation.", l(`op="save"`), 1e-9),
+		snapLoad:   obs.NewHistogram("alid_snapshot_duration_seconds", "Snapshot persistence duration by operation.", l(`op="load"`), 1e-9),
+		saveBytes:  obs.NewCounter("alid_snapshot_bytes_total", "Snapshot bytes moved by operation.", l(`op="save"`)),
+		loadBytes:  obs.NewCounter("alid_snapshot_bytes_total", "Snapshot bytes moved by operation.", l(`op="load"`)),
+		deltaBytes: obs.NewCounter("alid_snapshot_delta_bytes", "Delta snapshot bytes written (each delta covers one batch window, so this grows with the batch rate, not n).", l("")),
 	}
 	if reg != nil {
 		reg.MustRegister(
@@ -82,7 +84,7 @@ func newEngineMetrics(reg *obs.Registry, extra string) *engineMetrics {
 			m.candPoints, m.candClusters,
 			m.scanTrunc, m.scanAnchor, m.scanQuant, m.scanExact,
 			m.noise, m.ingestWait,
-			m.snapSave, m.snapLoad, m.saveBytes, m.loadBytes,
+			m.snapSave, m.snapLoad, m.saveBytes, m.loadBytes, m.deltaBytes,
 		)
 	}
 	return m
@@ -120,6 +122,10 @@ func (e *Engine) registerEngineFuncs(reg *obs.Registry, extra string) {
 			})),
 		obs.NewGaugeFunc("alid_clusters", "Maintained dominant clusters in the published view.", l(""),
 			view(func(st *state) int64 { return int64(len(st.view.Clusters)) })),
+		obs.NewGaugeFunc("alid_generation", "Id generation of the published view (bumps on every generation compaction).", l(""),
+			view(func(st *state) int64 { return int64(st.view.Generation) })),
+		obs.NewGaugeFunc("alid_ever_seen_ids", "Ids ever minted across all generations (committed ids plus those retired by past compactions).", l(""),
+			view(func(st *state) int64 { return int64(st.view.EverSeenIDs) })),
 		obs.NewGaugeFunc("alid_ingest_queue_points", "Ingested-but-uncommitted points (queue plus writer buffer).", l(""),
 			e.queued.Load),
 		obs.NewCounterFunc("alid_assigns_total", "Queries served by Assign and AssignBatch.", l(""),

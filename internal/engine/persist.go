@@ -58,14 +58,16 @@ func (e *Engine) writeSnapshotView(w io.Writer, v stream.View) error {
 	start := obs.Now()
 	cw := &countingWriter{w: w}
 	err := snapshot.Write(cw, &snapshot.Snapshot{
-		Core:      e.cfg.Core,
-		BatchSize: e.cfg.BatchSize,
-		Retention: e.cfg.Retention,
-		Mat:       v.Mat,
-		Index:     v.Index,
-		Clusters:  v.Clusters,
-		Labels:    v.Labels.Flat(),
-		Commits:   v.Commits,
+		Core:       e.cfg.Core,
+		BatchSize:  e.cfg.BatchSize,
+		Retention:  e.cfg.Retention,
+		Mat:        v.Mat,
+		Index:      v.Index,
+		Clusters:   v.Clusters,
+		Labels:     v.Labels.Flat(),
+		Commits:    v.Commits,
+		Generation: v.Generation,
+		RetiredIDs: v.RetiredIDs,
 	})
 	e.met.saveBytes.Add(cw.n)
 	e.met.snapSave.ObserveSince(start)
@@ -147,6 +149,10 @@ type LoadOptions struct {
 	// with snapshot.ErrBackendMismatch instead of silently reinterpreting
 	// set signatures as dense coordinates (or vice versa).
 	Backend string
+	// CompactEvictedShare is the restored engine's auto-compaction trigger
+	// (see Config.CompactEvictedShare; 0 disables). Operational, like the
+	// retention override: it is not persisted.
+	CompactEvictedShare float64
 }
 
 // LoadSnapshotOpts restores an engine from a snapshot stream with the full
@@ -159,6 +165,20 @@ func LoadSnapshotOpts(r io.Reader, o LoadOptions) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	eng, err := restoreSnapshot(s, o)
+	if err == nil {
+		// The engine's metrics exist only now, so load cost is credited to
+		// the registry of the engine the load produced.
+		eng.met.loadBytes.Add(cr.n)
+		eng.met.snapLoad.ObserveSince(start)
+	}
+	return eng, err
+}
+
+// restoreSnapshot builds an engine from an already-decoded snapshot (shared
+// by the single-file load and the delta-chain load, which decodes the base
+// and replays deltas before restoring).
+func restoreSnapshot(s *snapshot.Snapshot, o LoadOptions) (*Engine, error) {
 	if o.Backend != "" {
 		if got, want := index.Normalize(s.Core.Backend), index.Normalize(o.Backend); got != want {
 			return nil, fmt.Errorf("engine: snapshot index backend is %q, engine configured for %q: %w", got, want, snapshot.ErrBackendMismatch)
@@ -171,15 +191,9 @@ func LoadSnapshotOpts(r io.Reader, o LoadOptions) (*Engine, error) {
 	cfg := Config{
 		Core: s.Core, BatchSize: s.BatchSize, QueueSize: o.QueueSize, Retention: s.Retention,
 		Obs: o.Obs, Logger: o.Logger, ShardLabel: o.ShardLabel,
+		CompactEvictedShare: o.CompactEvictedShare,
 	}
-	eng, err := Restore(cfg, s.Mat, s.Index, s.Clusters, s.Labels, s.Commits)
-	if err == nil {
-		// The engine's metrics exist only now, so load cost is credited to
-		// the registry of the engine the load produced.
-		eng.met.loadBytes.Add(cr.n)
-		eng.met.snapLoad.ObserveSince(start)
-	}
-	return eng, err
+	return RestoreGeneration(cfg, s.Mat, s.Index, s.Clusters, s.Labels, s.Commits, s.Generation, s.RetiredIDs)
 }
 
 // LoadFile restores an engine from a snapshot file.

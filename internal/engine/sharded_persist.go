@@ -175,6 +175,10 @@ type ShardedLoadOptions struct {
 	// fails the restore with snapshot.ErrBackendMismatch (see
 	// LoadOptions.Backend).
 	Backend string
+	// CompactEvictedShare is each restored shard's auto-compaction trigger
+	// (see Config.CompactEvictedShare; 0 disables). Operational, not
+	// persisted; shards compact their LOCAL id space independently.
+	CompactEvictedShare float64
 }
 
 // LoadSharded restores a sharded engine from a manifest written by
@@ -254,7 +258,8 @@ func LoadSharded(path string, o ShardedLoadOptions) (*Sharded, error) {
 		lo := LoadOptions{
 			QueueSize: o.QueueSize, Pool: o.Pool, Retention: perShard,
 			Obs: reg, Logger: o.Logger, ShardLabel: strconv.Itoa(i),
-			Backend: o.Backend,
+			Backend:             o.Backend,
+			CompactEvictedShare: o.CompactEvictedShare,
 		}
 		if lo.Logger != nil {
 			lo.Logger = lo.Logger.With("shard", i)

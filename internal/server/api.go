@@ -107,6 +107,11 @@ type EvictRequest struct {
 type EvictResponse struct {
 	// Evicted is the number of points newly tombstoned.
 	Evicted int `json:"evicted"`
+	// AlreadyDead is the number of distinct requested ids that were NOT
+	// newly tombstoned — already evicted before this call (retries are
+	// idempotent, so a full retry reports evicted=0, already_dead=all).
+	// Out-of-range ids fail the whole request instead.
+	AlreadyDead int `json:"already_dead"`
 }
 
 // StatsResponse is the body of GET /v1/stats.
@@ -123,6 +128,16 @@ type StatsResponse struct {
 	AffinityComputed int64 `json:"affinity_computed"`
 	WriterErrors     int64 `json:"writer_errors"`
 	UptimeSeconds    int64 `json:"uptime_seconds"`
+	// Generation is the id generation of the published state (bumped by
+	// every generation compaction; the max across shards when sharded).
+	Generation int `json:"generation"`
+	// EverSeenIDs counts ids ever minted across all generations — committed
+	// ids plus those retired by past compactions. The gap to N is the
+	// bookkeeping that renumbering has reclaimed.
+	EverSeenIDs int `json:"ever_seen_ids"`
+	// DeltaChainLen is the current delta-snapshot chain length (0 right
+	// after a full snapshot, or always 0 when delta snapshots are off).
+	DeltaChainLen int `json:"delta_chain_len"`
 	// AssignP50/95/99Seconds are single-point assign latency quantiles
 	// derived from the engine's power-of-two histogram (upper-bound
 	// interpolated; 0 until the first assign or when metrics are compiled

@@ -11,30 +11,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
-
-	"alid/internal/affinity"
-	"alid/internal/core"
-	"alid/internal/engine"
-	"alid/internal/lsh"
-	"alid/internal/testutil"
 )
-
-// testServerOpts is testServer with custom Options on a fresh engine (one
-// server per engine: HTTP metrics register into the engine's registry).
-func testServerOpts(t *testing.T, opts Options) *Server {
-	t.Helper()
-	cfg := core.DefaultConfig()
-	cfg.Kernel = affinity.Kernel{K: 0.3, P: 2}
-	cfg.LSH = lsh.Config{Projections: 6, Tables: 10, R: 4, Seed: 1}
-	cfg.Delta = 200
-	pts, _ := testutil.Blobs(3, [][]float64{{0, 0}, {15, 15}}, 30, 0.3, 10, 0, 15)
-	eng, err := engine.New(engine.Config{Core: cfg, BatchSize: 50}, pts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { eng.Close() })
-	return New(eng, opts)
-}
 
 // GET /metrics serves Prometheus text exposition covering the engine AND
 // the HTTP layer, and the scrape endpoint itself stays unmetered.
@@ -86,7 +63,7 @@ func TestMetricsEndpoint(t *testing.T) {
 // Request logging: errors always log, successes are sampled.
 func TestRequestLogSampling(t *testing.T) {
 	var buf bytes.Buffer
-	logged := testServerOpts(t, Options{
+	logged, _ := testServerOpts(t, Options{
 		Logger:   slog.New(slog.NewJSONHandler(&buf, nil)),
 		LogEvery: 2,
 	})

@@ -51,6 +51,10 @@ type Options struct {
 	// LogEvery samples successful request logs: 1 logs every request, n
 	// logs every nth (default 100). Errors bypass sampling.
 	LogEvery int
+	// DeltaChainLen, when non-nil, reports the delta-snapshot chain length
+	// for /v1/stats (wired by the daemon when -snapshot-delta-every is on;
+	// must be safe to call from any goroutine).
+	DeltaChainLen func() int
 }
 
 func (o Options) withDefaults() Options {
@@ -414,12 +418,18 @@ func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "no ids")
 		return
 	}
+	// Distinct ids, so already_dead is exact even for requests that repeat
+	// an id (the engine newly-tombstones each id at most once).
+	unique := make(map[int]struct{}, len(req.IDs))
+	for _, id := range req.IDs {
+		unique[id] = struct{}{}
+	}
 	n, err := s.eng.Evict(r.Context(), req.IDs)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, EvictResponse{Evicted: n})
+	writeJSON(w, http.StatusOK, EvictResponse{Evicted: n, AlreadyDead: len(unique) - n})
 }
 
 func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
@@ -453,6 +463,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := s.eng.Stats()
+	chainLen := 0
+	if s.opts.DeltaChainLen != nil {
+		chainLen = s.opts.DeltaChainLen()
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		N:                st.N,
 		LiveN:            st.LiveN,
@@ -466,6 +480,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		AffinityComputed: st.AffinityComputed,
 		WriterErrors:     st.WriterErrors,
 		UptimeSeconds:    int64(time.Since(s.start).Seconds()),
+		Generation:       st.Generation,
+		EverSeenIDs:      st.EverSeenIDs,
+		DeltaChainLen:    chainLen,
 		AssignP50Seconds: st.AssignP50,
 		AssignP95Seconds: st.AssignP95,
 		AssignP99Seconds: st.AssignP99,

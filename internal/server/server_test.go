@@ -19,6 +19,12 @@ import (
 )
 
 func testServer(t *testing.T) (*Server, *engine.Engine) {
+	return testServerOpts(t, Options{})
+}
+
+// testServerOpts builds a fresh engine per call (a Server registers its HTTP
+// metrics into the engine's registry, so servers and engines pair 1:1).
+func testServerOpts(t *testing.T, opts Options) (*Server, *engine.Engine) {
 	t.Helper()
 	cfg := core.DefaultConfig()
 	cfg.Kernel = affinity.Kernel{K: 0.3, P: 2}
@@ -30,7 +36,7 @@ func testServer(t *testing.T) (*Server, *engine.Engine) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { eng.Close() })
-	return New(eng, Options{}), eng
+	return New(eng, opts), eng
 }
 
 func doJSON(t *testing.T, h http.Handler, method, path string, body, out any) *http.Response {
@@ -343,4 +349,71 @@ func TestEvictEndpoint(t *testing.T) {
 		t.Fatalf("GET → %d", res.StatusCode)
 	}
 	_ = eng
+}
+
+// EvictResponse.already_dead reports how many DISTINCT requested ids were
+// already tombstoned, so clients can tell a no-op retry from a partial one.
+func TestEvictAlreadyDead(t *testing.T) {
+	s, _ := testServer(t)
+	h := s.Handler()
+
+	ids := []int{10, 11, 12, 13}
+	var ev EvictResponse
+	doJSON(t, h, http.MethodPost, "/v1/evict", EvictRequest{IDs: ids}, &ev)
+	if ev.Evicted != len(ids) || ev.AlreadyDead != 0 {
+		t.Fatalf("fresh evict %+v, want evicted=%d already_dead=0", ev, len(ids))
+	}
+
+	// Full retry: nothing newly evicted, everything already dead.
+	doJSON(t, h, http.MethodPost, "/v1/evict", EvictRequest{IDs: ids}, &ev)
+	if ev.Evicted != 0 || ev.AlreadyDead != len(ids) {
+		t.Fatalf("retry %+v, want evicted=0 already_dead=%d", ev, len(ids))
+	}
+
+	// Mixed request with duplicates: dead ids and dupes each count ONCE.
+	doJSON(t, h, http.MethodPost, "/v1/evict",
+		EvictRequest{IDs: []int{10, 10, 11, 20, 20, 21}}, &ev)
+	if ev.Evicted != 2 || ev.AlreadyDead != 2 {
+		t.Fatalf("mixed %+v, want evicted=2 already_dead=2", ev)
+	}
+}
+
+// GET /v1/stats surfaces the generation counters and, when the operator
+// wired a delta chain, its current length.
+func TestStatsGenerationFields(t *testing.T) {
+	s, eng := testServer(t)
+	h := s.Handler()
+
+	var st StatsResponse
+	doJSON(t, h, http.MethodGet, "/v1/stats", nil, &st)
+	if st.Generation != 0 || st.DeltaChainLen != 0 {
+		t.Fatalf("fresh stats %+v, want generation=0 delta_chain_len=0", st)
+	}
+	if st.EverSeenIDs != st.N {
+		t.Fatalf("ever_seen_ids=%d, want %d (no compaction yet)", st.EverSeenIDs, st.N)
+	}
+
+	// Evict and compact: the generation bumps, ever-seen keeps counting the
+	// released ids, live N shrinks to the survivors.
+	before := st.N
+	ids := []int{0, 1, 2, 3, 4}
+	doJSON(t, h, http.MethodPost, "/v1/evict", EvictRequest{IDs: ids}, nil)
+	if _, err := eng.CompactGeneration(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	doJSON(t, h, http.MethodGet, "/v1/stats", nil, &st)
+	if st.Generation != 1 {
+		t.Fatalf("generation=%d after compaction, want 1", st.Generation)
+	}
+	if st.EverSeenIDs != before || st.N != before-len(ids) {
+		t.Fatalf("stats after compaction %+v, want ever_seen_ids=%d n=%d",
+			st, before, before-len(ids))
+	}
+
+	// With a chain length source wired, stats report it verbatim.
+	chained, _ := testServerOpts(t, Options{DeltaChainLen: func() int { return 2 }})
+	doJSON(t, chained.Handler(), http.MethodGet, "/v1/stats", nil, &st)
+	if st.DeltaChainLen != 2 {
+		t.Fatalf("delta_chain_len=%d, want 2", st.DeltaChainLen)
+	}
 }

@@ -53,11 +53,19 @@
 // other backend fails with ErrBackendMismatch rather than silently
 // reinterpreting signatures as coordinates.
 //
-// Versions 1 (flat arrays), 2 (segmented, no tombstones) and 3 (untagged
-// dense) are still read via compatibility shims; WriteV1, WriteV2 and
-// WriteV3 encode them for downgrade interop and fixture generation, and
-// refuse state those formats cannot represent (tombstones for v1/v2, any
-// non-dense backend for all three).
+// Version 5 adds the generation tag: the config block grows the stream's
+// generation counter, so an engine whose ids were renumbered by a generation
+// compaction restores with its id-lifecycle intact (MapID validity, the
+// ever-seen accounting). The rest of the payload is byte-for-byte the v4
+// layout — a generation-0 v5 snapshot differs from its v4 encoding only in
+// the version word and those eight bytes.
+//
+// Versions 1 (flat arrays), 2 (segmented, no tombstones), 3 (untagged
+// dense) and 4 (backend-tagged, generation-free) are still read via
+// compatibility shims; WriteV1..WriteV4 encode them for downgrade interop
+// and fixture generation, and refuse state those formats cannot represent
+// (tombstones for v1/v2, non-dense backends for v1–v3, a non-zero
+// generation for all four).
 package snapshot
 
 import (
@@ -83,8 +91,12 @@ import (
 // Magic identifies a snapshot stream.
 const Magic = "ALIDSNAP"
 
-// Version is the current format version (backend-tagged payload).
-const Version = 4
+// Version is the current format version (backend-tagged payload + the
+// generation tag).
+const Version = 5
+
+// VersionV4 is the backend-tagged, generation-free format, still readable.
+const VersionV4 = 4
 
 // VersionV3 is the untagged dense format (segmented + tombstones +
 // retention), still readable.
@@ -136,6 +148,16 @@ type Snapshot struct {
 	Labels []int
 	// Commits is the stream's batch-commit counter.
 	Commits int
+	// Generation is the stream's id-generation counter (bumped by every
+	// generation compaction). Written since v5; zero when read from older
+	// snapshots, which predate renumbering.
+	Generation int
+	// RetiredIDs counts ids released by past compactions: RetiredIDs + Mat.N
+	// is the number of ids ever minted, so the ever-seen accounting stays
+	// monotone across restarts. Written since v5; zero when read from older
+	// snapshots (nonzero requires Generation > 0, so older formats could
+	// never have held it anyway).
+	RetiredIDs int
 }
 
 type writer struct {
@@ -243,7 +265,7 @@ func (w *writer) config(s *Snapshot, version uint32) {
 		w.i64(int64(s.Retention.MaxPoints))
 		w.i64(int64(s.Retention.MaxAge))
 	}
-	if version >= Version {
+	if version >= VersionV4 {
 		w.boolean(c.Kernel.Jaccard)
 		switch index.Normalize(c.Backend) {
 		case index.BackendMinHash:
@@ -254,6 +276,10 @@ func (w *writer) config(s *Snapshot, version uint32) {
 		w.i64(int64(c.MinHash.Bands))
 		w.i64(int64(c.MinHash.Rows))
 		w.i64(c.MinHash.Seed)
+	}
+	if version >= Version {
+		w.i64(int64(s.Generation))
+		w.i64(int64(s.RetiredIDs))
 	}
 }
 
@@ -285,30 +311,61 @@ func finish(bw *bufio.Writer, w *writer) error {
 	return nil
 }
 
-// Write encodes s in the current (v4, backend-tagged) format: matrix data,
-// norms and liveness per canonical chunk, inverted lists per canonical key
-// chunk, released chunks as zero-length arrays — no flat materialization.
-// The stream is buffered internally; the caller owns any underlying file
-// and its sync/close.
+// Write encodes s in the current (v5, backend-tagged + generation) format:
+// matrix data, norms and liveness per canonical chunk, inverted lists per
+// canonical key chunk, released chunks as zero-length arrays — no flat
+// materialization. The stream is buffered internally; the caller owns any
+// underlying file and its sync/close.
 func Write(out io.Writer, s *Snapshot) error {
 	return writeSegmented(out, s, Version)
 }
 
+// generationErr rejects downgrade encodes of renumbered state: formats
+// before v5 have no generation field, and silently dropping it would make a
+// restored engine reuse ids the saved one had already recycled.
+func generationErr(s *Snapshot, version uint32) error {
+	if s.Generation != 0 {
+		return fmt.Errorf("snapshot: v%d cannot represent generation %d (renumbered ids)", version, s.Generation)
+	}
+	if s.RetiredIDs != 0 {
+		return fmt.Errorf("snapshot: v%d cannot represent %d retired ids (renumbered ids)", version, s.RetiredIDs)
+	}
+	return nil
+}
+
+// WriteV4 encodes s in the backend-tagged, generation-free v4 format.
+// Retained for downgrade interop with pre-generation binaries and for
+// compatibility-test fixtures; it refuses renumbered state, which v4 cannot
+// represent. New snapshots should use Write.
+func WriteV4(out io.Writer, s *Snapshot) error {
+	if err := generationErr(s, VersionV4); err != nil {
+		return err
+	}
+	return writeSegmented(out, s, VersionV4)
+}
+
 // WriteV3 encodes s in the untagged dense v3 format. Retained for downgrade
 // interop with pre-multi-backend binaries and for compatibility-test
-// fixtures; it refuses non-dense backends, which v3 cannot represent. New
-// snapshots should use Write.
+// fixtures; it refuses non-dense backends and renumbered state, which v3
+// cannot represent. New snapshots should use Write.
 func WriteV3(out io.Writer, s *Snapshot) error {
+	if err := generationErr(s, VersionV3); err != nil {
+		return err
+	}
 	return writeSegmented(out, s, VersionV3)
 }
 
 // WriteV2 encodes s in the segmented, tombstone-free v2 format. Retained
 // for downgrade interop with pre-eviction binaries and for compatibility-
-// test fixtures; it refuses tombstoned state (and drops the retention
-// policy), which v2 cannot represent. New snapshots should use Write.
+// test fixtures; it refuses tombstoned or renumbered state (and drops the
+// retention policy), which v2 cannot represent. New snapshots should use
+// Write.
 func WriteV2(out io.Writer, s *Snapshot) error {
 	if s.Mat != nil && s.Mat.Tombstoned() {
 		return fmt.Errorf("snapshot: v2 cannot represent tombstones (matrix has %d evicted rows)", s.Mat.N-s.Mat.LiveCount())
+	}
+	if err := generationErr(s, VersionV2); err != nil {
+		return err
 	}
 	return writeSegmented(out, s, VersionV2)
 }
@@ -374,7 +431,7 @@ func writeSegmented(out io.Writer, s *Snapshot, version uint32) error {
 		// MinHash: parameters + chunked inverted lists only. The basis hash
 		// tables are a pure function of the parameters; restore rebuilds
 		// them, so no projections or offsets are stored.
-		if version < Version {
+		if version < VersionV4 {
 			return fmt.Errorf("snapshot: v%d cannot represent the %s backend", version, idx.Backend())
 		}
 		mcfg := idx.Config()
@@ -407,6 +464,9 @@ func writeSegmented(out io.Writer, s *Snapshot, version uint32) error {
 func WriteV1(out io.Writer, s *Snapshot) error {
 	if s.Mat != nil && s.Mat.Tombstoned() {
 		return fmt.Errorf("snapshot: v1 cannot represent tombstones (matrix has %d evicted rows)", s.Mat.N-s.Mat.LiveCount())
+	}
+	if err := generationErr(s, VersionV1); err != nil {
+		return err
 	}
 	if err := validate(s); err != nil {
 		return err
@@ -561,7 +621,7 @@ func (r *reader) config(s *Snapshot, version uint32) {
 		s.Retention.MaxPoints = int(r.i64())
 		s.Retention.MaxAge = time.Duration(r.i64())
 	}
-	if version >= Version {
+	if version >= VersionV4 {
 		s.Core.Kernel.Jaccard = r.boolean()
 		switch tag := r.u32(); tag {
 		case backendTagMinHash:
@@ -579,6 +639,19 @@ func (r *reader) config(s *Snapshot, version uint32) {
 			Bands: int(r.i64()),
 			Rows:  int(r.i64()),
 			Seed:  r.i64(),
+		}
+	}
+	if version >= Version {
+		s.Generation = int(r.i64())
+		if r.err == nil && s.Generation < 0 {
+			r.err = fmt.Errorf("negative generation %d", s.Generation)
+		}
+		s.RetiredIDs = int(r.i64())
+		if r.err == nil && s.RetiredIDs < 0 {
+			r.err = fmt.Errorf("negative retired-id count %d", s.RetiredIDs)
+		}
+		if r.err == nil && s.RetiredIDs > 0 && s.Generation == 0 {
+			r.err = fmt.Errorf("retired-id count %d at generation 0 (ids are only retired by compactions)", s.RetiredIDs)
 		}
 	}
 }
@@ -653,7 +726,7 @@ func (r *reader) readSegmented(s *Snapshot, version uint32) error {
 		s.Mat = m
 	}
 
-	if version >= Version && index.Normalize(s.Core.Backend) == index.BackendMinHash {
+	if version >= VersionV4 && index.Normalize(s.Core.Backend) == index.BackendMinHash {
 		mcfg := minhash.Config{
 			Bands: int(r.i64()),
 			Rows:  int(r.i64()),
@@ -768,10 +841,10 @@ func (r *reader) readV1(s *Snapshot) error {
 }
 
 // Read decodes and validates a snapshot, verifying magic, version and CRC.
-// The current backend-tagged format (v4), the untagged dense format (v3),
-// the segmented format (v2) and the legacy flat format (v1) are all
-// accepted; either way the restored state answers every query
-// bit-identically to the state that was written.
+// The current generation-tagged format (v5), the backend-tagged format
+// (v4), the untagged dense format (v3), the segmented format (v2) and the
+// legacy flat format (v1) are all accepted; either way the restored state
+// answers every query bit-identically to the state that was written.
 func Read(in io.Reader) (*Snapshot, error) {
 	br := bufio.NewReaderSize(in, 1<<20)
 	magic := make([]byte, len(Magic))
@@ -783,7 +856,7 @@ func Read(in io.Reader) (*Snapshot, error) {
 	}
 	r := &reader{r: br, crc: crc32.NewIEEE()}
 	version := r.u32()
-	if r.err == nil && version != Version && version != VersionV3 && version != VersionV2 && version != VersionV1 {
+	if r.err == nil && version != Version && version != VersionV4 && version != VersionV3 && version != VersionV2 && version != VersionV1 {
 		return nil, fmt.Errorf("snapshot: unsupported version %d (have %d)", version, Version)
 	}
 

@@ -108,6 +108,83 @@ func BenchmarkEvict(b *testing.B) {
 	}
 }
 
+// BenchmarkGenerationSteadyState is the acceptance gate of generation
+// compaction: the BenchmarkEvict loop (fixed retention window, continuous
+// ingest) plus the auto-compaction policy — renumber whenever the evicted
+// share of committed ids exceeds 0.5. BenchmarkEvict proves the per-commit
+// COST stays flat in points ever seen; this benchmark proves the committed
+// id space ITSELF stays bounded (N ≤ 2×window + one settling batch, live
+// pinned at the window) while the amortized cost of one batch commit — now
+// including its share of the periodic renumbering — stays flat too.
+// scripts/bench.sh records the ever=100000 / ever=20000 ratio into
+// BENCH_PR10.json (gate: ≤ 1.3); a growing ratio means some per-commit or
+// per-compaction path still scales with dead history.
+func BenchmarkGenerationSteadyState(b *testing.B) {
+	const window = 2000
+	const batch = 64
+	const d = 16
+	const share = 0.5
+	for _, ever := range []int{20000, 100000} {
+		b.Run(fmt.Sprintf("ever=%d", ever), func(b *testing.B) {
+			ctx := context.Background()
+			cfg := commitBenchConfig()
+			cfg.Retention = Retention{MaxPoints: window}
+			c, err := New(nil, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(94))
+			commitBatch := func(i int) {
+				base := 1000 + float64(i)*100
+				for k := 0; k < batch; k++ {
+					p := make([]float64, d)
+					for j := range p {
+						p[j] = base + rng.NormFloat64()*0.3
+					}
+					if err := c.Add(ctx, p); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := c.Commit(ctx); err != nil {
+					b.Fatal(err)
+				}
+				// The engine's maybeCompact policy, inlined: renumber once
+				// the evicted share crosses the threshold.
+				if n := c.N(); n > 0 && float64(n-c.Live())/float64(n) > share {
+					if _, err := c.CompactGeneration(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if c.Live() > window {
+					b.Fatalf("live %d exceeds window %d", c.Live(), window)
+				}
+				if c.N() > 2*window+batch {
+					b.Fatalf("committed id space %d not bounded (want ≤ %d)", c.N(), 2*window+batch)
+				}
+			}
+			i := 0
+			for ; c.EverSeenIDs() < ever; i++ {
+				commitBatch(i)
+			}
+			if c.Live() != window {
+				b.Fatalf("steady state not reached: live %d, want %d", c.Live(), window)
+			}
+			if c.Generation() == 0 {
+				b.Fatal("no compaction happened during warmup — gate is vacuous")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				commitBatch(i)
+				i++
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(c.N()), "committed-ids")
+			b.ReportMetric(float64(c.Generation()), "generation")
+		})
+	}
+}
+
 // BenchmarkCommitAfterPublish is the acceptance gate of the segmented-
 // storage refactor: the cost of a batch commit that immediately follows a
 // published View must NOT scale with the number of committed points n. The

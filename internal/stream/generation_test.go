@@ -1,0 +1,152 @@
+package stream
+
+import (
+	"context"
+	"testing"
+
+	"alid/internal/testutil"
+)
+
+// CompactGeneration's id-map contract: the published map covers every id of
+// the PREVIOUS generation, sends dead ids to -1 and live ids to a dense
+// renumbering that preserves order, and the ever-seen counter keeps counting
+// released ids across generations.
+func TestCompactGenerationIDMapContract(t *testing.T) {
+	ctx := context.Background()
+	pts, _ := testutil.Blobs(9, [][]float64{{0, 0}, {15, 15}}, 15, 0.3, 0, 0, 15)
+	c, err := New(pts, streamConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	oldLabels := c.Labels()
+
+	dead := []int{1, 3, 5}
+	if _, err := c.Evict(ctx, dead); err != nil {
+		t.Fatal(err)
+	}
+	released, err := c.CompactGeneration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if released != len(dead) {
+		t.Fatalf("released %d, want %d", released, len(dead))
+	}
+	if c.Generation() != 1 || c.N() != len(pts)-len(dead) || c.EverSeenIDs() != len(pts) {
+		t.Fatalf("generation=%d n=%d ever=%d, want 1/%d/%d",
+			c.Generation(), c.N(), c.EverSeenIDs(), len(pts)-len(dead), len(pts))
+	}
+
+	m := c.IDMap()
+	if len(m) != len(pts) {
+		t.Fatalf("id map covers %d ids, want %d (previous generation)", len(m), len(pts))
+	}
+	isDead := map[int]bool{1: true, 3: true, 5: true}
+	next := 0
+	newLabels := c.Labels()
+	for old, nu := range m {
+		if isDead[old] {
+			if nu != -1 {
+				t.Fatalf("dead id %d maps to %d, want -1", old, nu)
+			}
+			continue
+		}
+		if nu != next {
+			t.Fatalf("live id %d maps to %d, want dense order-preserving %d", old, nu, next)
+		}
+		if newLabels[nu] != oldLabels[old] {
+			t.Fatalf("id %d→%d label %d, want %d", old, nu, newLabels[nu], oldLabels[old])
+		}
+		next++
+	}
+
+	// A second generation: the map is rewritten for generation 1's ids and
+	// ever-seen keeps the full history.
+	if _, err := c.Evict(ctx, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CompactGeneration(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Generation() != 2 || c.EverSeenIDs() != len(pts) || len(c.IDMap()) != len(pts)-len(dead) {
+		t.Fatalf("second compaction: generation=%d ever=%d map=%d",
+			c.Generation(), c.EverSeenIDs(), len(c.IDMap()))
+	}
+	if got := c.IDMap()[0]; got != -1 {
+		t.Fatalf("generation-1 id 0 maps to %d, want -1", got)
+	}
+}
+
+// Compacting with nothing tombstoned is a no-op: no renumbering, no
+// generation bump, no id map.
+func TestCompactGenerationNoOpWithoutTombstones(t *testing.T) {
+	ctx := context.Background()
+	pts, _ := testutil.Blobs(10, [][]float64{{0, 0}}, 20, 0.3, 0, 0, 1)
+	c, err := New(pts, streamConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	released, err := c.CompactGeneration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if released != 0 || c.Generation() != 0 || c.IDMap() != nil {
+		t.Fatalf("no-op compaction: released=%d generation=%d map=%v",
+			released, c.Generation(), c.IDMap())
+	}
+}
+
+// Evicting EVERYTHING and compacting resets to the empty pre-first-commit
+// state — and the stream must come back: new points get fresh dense ids and
+// detection works again in the new generation.
+func TestCompactGenerationAllDeadResets(t *testing.T) {
+	ctx := context.Background()
+	pts, _ := testutil.Blobs(11, [][]float64{{0, 0}}, 12, 0.3, 0, 0, 1)
+	c, err := New(pts, streamConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	commits := c.Commits()
+	all := make([]int, len(pts))
+	for i := range all {
+		all[i] = i
+	}
+	if _, err := c.Evict(ctx, all); err != nil {
+		t.Fatal(err)
+	}
+	released, err := c.CompactGeneration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if released != len(pts) || c.N() != 0 || c.Generation() != 1 || c.EverSeenIDs() != len(pts) {
+		t.Fatalf("all-dead compaction: released=%d n=%d generation=%d ever=%d",
+			released, c.N(), c.Generation(), c.EverSeenIDs())
+	}
+	if c.Commits() != commits {
+		t.Fatalf("commit count reset: %d, want %d", c.Commits(), commits)
+	}
+
+	fresh, _ := testutil.Blobs(12, [][]float64{{5, 5}}, 25, 0.3, 0, 0, 1)
+	for _, p := range fresh {
+		if err := c.Add(ctx, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != len(fresh) || len(c.Clusters()) == 0 {
+		t.Fatalf("post-reset stream: n=%d clusters=%d", c.N(), len(c.Clusters()))
+	}
+	if c.EverSeenIDs() != len(pts)+len(fresh) {
+		t.Fatalf("ever-seen after rebirth: %d, want %d", c.EverSeenIDs(), len(pts)+len(fresh))
+	}
+}

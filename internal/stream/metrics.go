@@ -28,6 +28,12 @@ type streamMetrics struct {
 	evictReconverged *obs.Counter
 	chunksReleased   *obs.Counter
 	lshCompactions   *obs.Counter
+
+	// Generation compaction: how often ids were renumbered, how many dead
+	// ids each pass released, and how long the rebuild took.
+	generationCompactions *obs.Counter
+	compactionReleased    *obs.Counter
+	compactionDur         *obs.Histogram
 	// lastCompactions is the index's compaction count already credited to
 	// lshCompactions (the counter takes deltas at publish time).
 	lastCompactions int64
@@ -54,12 +60,17 @@ func newStreamMetrics(reg *obs.Registry, extra string) *streamMetrics {
 		evictReconverged: obs.NewCounter("alid_evict_reconverged_total", "Clusters re-converged after losing weight mass to eviction.", l("")),
 		chunksReleased:   obs.NewCounter("alid_matrix_chunks_released_total", "Fully dead matrix chunks whose row storage was released.", l("")),
 		lshCompactions:   obs.NewCounter("alid_lsh_compactions_total", "LSH segment merges (geometric schedule plus full compactions).", l("")),
+
+		generationCompactions: obs.NewCounter("alid_generation_compactions_total", "Generation compactions: live ids renumbered into a fresh dense generation.", l("")),
+		compactionReleased:    obs.NewCounter("alid_generation_ids_released_total", "Dead ids released by generation compactions.", l("")),
+		compactionDur:         obs.NewHistogram("alid_generation_compaction_seconds", "Generation compaction (renumber + rebuild) duration.", l(""), 1e-9),
 	}
 	if reg != nil {
 		reg.MustRegister(
 			m.commitDur, m.dirtyCheckDur, m.detectDur, m.commitBatch,
 			m.dirtyReconverged, m.newClusters, m.publishes,
 			m.evictedPoints, m.evictReconverged, m.chunksReleased, m.lshCompactions,
+			m.generationCompactions, m.compactionReleased, m.compactionDur,
 		)
 	}
 	return m

@@ -153,6 +153,18 @@ type Clusterer struct {
 	// stamps are per-commit arrival times, kept only under a MaxAge policy.
 	stamps []commitStamp
 
+	// generation counts id renumberings: CompactGeneration rebuilds the
+	// committed state over only the live points, densely renumbered, and
+	// bumps this. Ids are stable WITHIN a generation (the PR-5 contract);
+	// idMap is the old→new translation of the most recent compaction, so
+	// external references survive exactly one generation back (-1 = the old
+	// id was dead and has no successor). baseIDs counts ids retired by past
+	// compactions: baseIDs + mat.N is the number of ids ever minted, however
+	// many generations have recycled the dense range.
+	generation int
+	idMap      []int
+	baseIDs    int
+
 	// scratch for the dirtiness check's candidate retrieval (marker-value
 	// dedup, same idiom as CIVS); mark grows with n, cmark with the cluster
 	// count, both reused across commits.
@@ -189,6 +201,25 @@ func New(initial [][]float64, cfg Config) (*Clusterer, error) {
 // per-point labels. It validates cross-component consistency so a corrupt or
 // mismatched snapshot fails here rather than on a later commit.
 func Restore(cfg Config, mat *matrix.Matrix, index index.Index, clusters []*core.Cluster, labels []int, commits int) (*Clusterer, error) {
+	return RestoreGeneration(cfg, mat, index, clusters, labels, commits, 0, 0)
+}
+
+// RestoreGeneration is Restore with the persisted id-lifecycle counters: a
+// clusterer restored from a v5 snapshot resumes numbering new generations
+// where the saved one stopped, and `retired` (ids released by the saved
+// stream's past compactions) keeps EverSeenIDs monotone across the restart.
+// The id map itself is not persisted — it only ever bridges one in-process
+// compaction.
+func RestoreGeneration(cfg Config, mat *matrix.Matrix, index index.Index, clusters []*core.Cluster, labels []int, commits, generation, retired int) (*Clusterer, error) {
+	if generation < 0 {
+		return nil, fmt.Errorf("stream: restore generation %d, want >= 0", generation)
+	}
+	if retired < 0 {
+		return nil, fmt.Errorf("stream: restore retired-id count %d, want >= 0", retired)
+	}
+	if retired > 0 && generation == 0 {
+		return nil, fmt.Errorf("stream: restore has %d retired ids at generation 0 (ids are only retired by compactions)", retired)
+	}
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 256
 	}
@@ -236,15 +267,17 @@ func Restore(cfg Config, mat *matrix.Matrix, index index.Index, clusters []*core
 		}
 	}
 	c := &Clusterer{
-		cfg:      cfg,
-		mat:      mat,
-		index:    index,
-		clusters: append([]*core.Cluster(nil), clusters...),
-		assigned: labelsFromFlat(labels),
-		avail:    avail,
-		commits:  commits,
-		evicted:  mat.N - mat.LiveCount(),
-		met:      newStreamMetrics(cfg.Obs, cfg.ObsLabels),
+		cfg:        cfg,
+		mat:        mat,
+		index:      index,
+		clusters:   append([]*core.Cluster(nil), clusters...),
+		assigned:   labelsFromFlat(labels),
+		avail:      avail,
+		commits:    commits,
+		evicted:    mat.N - mat.LiveCount(),
+		generation: generation,
+		baseIDs:    retired,
+		met:        newStreamMetrics(cfg.Obs, cfg.ObsLabels),
 	}
 	// The restored index may carry a lifetime compaction count; don't credit
 	// the previous process's merges to this one's counter.
@@ -290,6 +323,10 @@ func (c *Clusterer) View() View {
 		Labels:      c.assigned.snapshot(),
 		Commits:     c.commits,
 		KernelEvals: c.kernelEvals,
+		Generation:  c.generation,
+		IDMap:       c.idMap,
+		RetiredIDs:  c.baseIDs,
+		EverSeenIDs: c.baseIDs + c.N(),
 	}
 	if c.mat != nil {
 		if c.cfg.Quantize {
@@ -323,6 +360,21 @@ type View struct {
 	// KernelEvals is the cumulative commit-side kernel-evaluation count at
 	// publish time (diagnostic).
 	KernelEvals int64
+	// Generation is the id-renumbering epoch this view's ids belong to:
+	// CompactGeneration bumps it and every id is reassigned densely over the
+	// survivors. Ids are stable within a generation.
+	Generation int
+	// IDMap translates ids of generation Generation−1 to this generation
+	// (-1 = dead, no successor). Nil before the first compaction. Immutable;
+	// shared by every view of the same generation.
+	IDMap []int
+	// RetiredIDs counts ids released by past compactions; persisted (v5) so
+	// ever-seen accounting survives restarts.
+	RetiredIDs int
+	// EverSeenIDs counts ids ever minted across all generations (the
+	// quantity the pre-compaction engine's bookkeeping scaled with):
+	// RetiredIDs + Mat.N.
+	EverSeenIDs int
 }
 
 // N returns the number of committed points, evicted ones included (point
@@ -342,8 +394,20 @@ func (c *Clusterer) Live() int {
 	return c.mat.LiveCount()
 }
 
-// Evicted returns the number of committed points tombstoned so far.
+// Evicted returns the number of committed points tombstoned so far
+// (cumulative across generations — compaction does not reset it).
 func (c *Clusterer) Evicted() int { return c.evicted }
+
+// Generation returns the current id-renumbering epoch (0 until the first
+// CompactGeneration).
+func (c *Clusterer) Generation() int { return c.generation }
+
+// EverSeenIDs returns the number of ids ever minted across all generations.
+func (c *Clusterer) EverSeenIDs() int { return c.baseIDs + c.N() }
+
+// IDMap returns the old→new id translation of the most recent compaction
+// (nil before the first one). The slice is immutable.
+func (c *Clusterer) IDMap() []int { return c.idMap }
 
 // Pending returns the number of buffered, uncommitted points.
 func (c *Clusterer) Pending() int { return len(c.buffer) }
@@ -724,6 +788,130 @@ func (c *Clusterer) evictIDs(ctx context.Context, ids []int) error {
 	c.compact(cfg.DensityThreshold, cfg.MinClusterSize)
 	c.kernelEvals += c.det.Oracle().ResetComputed()
 	return nil
+}
+
+// CompactGeneration renumbers the live points into a fresh dense generation
+// and releases every piece of state that scaled with points EVER seen rather
+// than points live: matrix chunk headers and liveness bitmaps, index key
+// chunks and tombstone bitmaps, label chunks, the dirtiness-check scratch
+// and the eviction cursor. The rebuild takes exactly the first-commit path —
+// matrix.FromRows over the survivor rows plus core.BuildIndex under the same
+// configuration — so the compacted state is bit-identical to a fresh
+// clusterer restored from only the survivors: every maintained cluster,
+// weight, density and label survives with its ids remapped through the
+// monotone old→new map (retrievable via IDMap for one generation back).
+// A dead cluster seed is remapped to the cluster's heaviest surviving
+// member, the same point re-convergence would seed from.
+//
+// It returns the number of ids released (old N − live N); a clusterer with
+// no tombstones returns 0 without touching anything. All fallible work runs
+// before any mutation, so a failed compaction leaves the clusterer intact.
+// When every point is dead the clusterer resets to the empty pre-first-
+// commit state (the next commit starts generation's id 0 afresh).
+func (c *Clusterer) CompactGeneration() (int, error) {
+	if c.mat == nil || !c.mat.Tombstoned() {
+		return 0, nil
+	}
+	start := obs.Now()
+	oldN := c.mat.N
+	oldToNew := make([]int, oldN)
+	liveRows := make([][]float64, 0, c.mat.LiveCount())
+	newStamps := make([]commitStamp, len(c.stamps))
+	si := 0
+	for i := 0; i < oldN; i++ {
+		for si < len(c.stamps) && c.stamps[si].firstID == i {
+			newStamps[si] = commitStamp{firstID: len(liveRows), at: c.stamps[si].at}
+			si++
+		}
+		if !c.mat.Live(i) {
+			oldToNew[i] = -1
+			continue
+		}
+		oldToNew[i] = len(liveRows)
+		liveRows = append(liveRows, c.mat.Row(i))
+	}
+	for ; si < len(c.stamps); si++ { // defensive: firstID past the scan
+		newStamps[si] = commitStamp{firstID: len(liveRows), at: c.stamps[si].at}
+	}
+	newN := len(liveRows)
+	released := oldN - newN
+
+	if newN == 0 {
+		// Everything was dead: reset to the empty pre-first-commit state.
+		c.mat, c.index, c.clusters, c.assigned, c.avail = nil, nil, nil, &Labels{}, nil
+		c.det, c.mark, c.cmark, c.markGen, c.cand = nil, nil, nil, 0, nil
+		c.stamps, c.evictCursor = nil, 0
+		c.generation++
+		c.idMap = oldToNew
+		c.baseIDs += oldN
+		c.met.generationCompactions.Inc()
+		c.met.compactionReleased.Add(int64(released))
+		c.met.compactionDur.ObserveSince(start)
+		return released, nil
+	}
+
+	newMat, err := matrix.FromRows(liveRows)
+	if err != nil {
+		return 0, fmt.Errorf("stream: compact: %w", err)
+	}
+	newIdx, err := core.BuildIndex(newMat, c.cfg.Core)
+	if err != nil {
+		return 0, fmt.Errorf("stream: compact: %w", err)
+	}
+	newClusters := make([]*core.Cluster, len(c.clusters))
+	for ci, cl := range c.clusters {
+		nc := &core.Cluster{
+			Members:         make([]int, len(cl.Members)),
+			Weights:         append([]float64(nil), cl.Weights...),
+			Density:         cl.Density,
+			OuterIterations: cl.OuterIterations,
+			LIDIterations:   cl.LIDIterations,
+			PeakEntries:     cl.PeakEntries,
+		}
+		for t, m := range cl.Members {
+			if m < 0 || m >= oldN || oldToNew[m] < 0 {
+				return 0, fmt.Errorf("stream: compact: cluster %d references dead member %d", ci, m)
+			}
+			nc.Members[t] = oldToNew[m]
+		}
+		if cl.Seed >= 0 && cl.Seed < oldN && oldToNew[cl.Seed] >= 0 {
+			nc.Seed = oldToNew[cl.Seed]
+		} else {
+			nc.Seed = oldToNew[heaviestMember(cl)]
+		}
+		newClusters[ci] = nc
+	}
+	newLabels := make([]int, newN)
+	newAvail := make([]bool, newN)
+	for i := 0; i < oldN; i++ {
+		if ni := oldToNew[i]; ni >= 0 {
+			newLabels[ni] = c.assigned.At(i)
+			newAvail[ni] = newLabels[ni] == -1
+		}
+	}
+
+	// Point of no return: swap in the compacted state and drop every
+	// ever-seen-scaled structure. The long-lived detector aliases the old
+	// matrix and index by reference, so it must be rebuilt lazily against
+	// the new ones; the marker scratch is id-indexed and dies with the ids.
+	c.mat = newMat
+	c.index = newIdx
+	c.clusters = newClusters
+	c.assigned = labelsFromFlat(newLabels)
+	c.avail = newAvail
+	c.stamps = newStamps
+	c.det, c.mark, c.cmark, c.markGen, c.cand = nil, nil, nil, 0, nil
+	c.evictCursor = 0
+	c.generation++
+	c.idMap = oldToNew
+	c.baseIDs += released
+	// Don't credit the rebuild's segment merges as stream-lifetime LSH
+	// compactions: the counter tracks the live index's publish-time merges.
+	c.met.lastCompactions = newIdx.Compactions()
+	c.met.generationCompactions.Inc()
+	c.met.compactionReleased.Add(int64(released))
+	c.met.compactionDur.ObserveSince(start)
+	return released, nil
 }
 
 // clusterDensity recomputes π(x) = Σ_i Σ_j w_i·w_j·a_ij over the given

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Records the perf-trajectory benchmarks into BENCH_PR9.json.
+# Records the perf-trajectory benchmarks into BENCH_PR10.json.
 #
 # Usage: scripts/bench.sh [output.json]
 #
@@ -79,10 +79,22 @@
 #     pre-signed. Gate: 0 allocs/assign, same as the dense path; the dense
 #     BenchmarkAssign numbers must be unaffected by the backend seam (the
 #     ≥ 50k/s gate continues to apply to them).
+# PR 10 adds the generational steady-state gates:
+#   BenchmarkGenerationSteadyState/ever={20000,100000} (internal/stream) —
+#     BenchmarkEvict's ingest+evict loop plus the auto-compaction policy
+#     (renumber once the evicted share of committed ids crosses 0.5). The
+#     benchmark asserts live == window AND committed ids ≤ 2×window+batch
+#     throughout; the recorded ever=100000 / ever=20000 ns ratio must stay
+#     ≤ 1.3 — amortized commit+compaction cost flat in points EVER seen,
+#     with the id space itself bounded (the unbounded-uptime invariant).
+#   BenchmarkChainDeltaSave/n={10000,50000} (internal/engine) — one fresh
+#     64-point batch committed and saved as a chain delta per op. The
+#     delta-bytes/op must scale with the batch, not with n: the recorded
+#     n=50000 / n=10000 bytes ratio must stay near 1 (gate: ≤ 1.2).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR9.json}"
+out="${1:-BENCH_PR10.json}"
 
 run_bench() { # pkg, pattern, benchtime
 	go test -run='^$' -bench="^$2\$" -benchtime="$3" "$1" 2>/dev/null |
@@ -170,6 +182,16 @@ echo "benchmarking BenchmarkMinHashQuery (internal/minhash)..." >&2
 minhashquery=$(run_bench ./internal/minhash/ BenchmarkMinHashQuery 2s)
 echo "benchmarking BenchmarkAssignSet (internal/engine)..." >&2
 assignset=$(run_bench ./internal/engine/ BenchmarkAssignSet 2s)
+echo "benchmarking BenchmarkGenerationSteadyState/ever=20000 (internal/stream, count=3, median)..." >&2
+gen20k=$(run_subbench_med ./internal/stream/ 'BenchmarkGenerationSteadyState/ever=20000' 30x 3)
+echo "benchmarking BenchmarkGenerationSteadyState/ever=100000 (internal/stream, count=3, median)..." >&2
+gen100k=$(run_subbench_med ./internal/stream/ 'BenchmarkGenerationSteadyState/ever=100000' 30x 3)
+echo "benchmarking BenchmarkChainDeltaSave/n={10000,50000} (internal/engine)..." >&2
+delta_out=$(go test -run='^$' -bench='^BenchmarkChainDeltaSave$' -benchtime=30x ./internal/engine/ 2>/dev/null)
+deltans10k=$(echo "$delta_out" | awk '/n=10000/ {print $3; exit}')
+deltans50k=$(echo "$delta_out" | awk '/n=50000/ {print $3; exit}')
+deltabytes10k=$(echo "$delta_out" | awk '/n=10000/ {for (i=1; i<NF; i++) if ($(i+1) == "delta-bytes/op") {print $i; exit}}')
+deltabytes50k=$(echo "$delta_out" | awk '/n=50000/ {for (i=1; i<NF; i++) if ($(i+1) == "delta-bytes/op") {print $i; exit}}')
 
 host="$(uname -sm) / $(nproc) cpu / $(go version | awk '{print $3}')"
 date="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
@@ -188,7 +210,7 @@ persec() { awk -v ns="$1" 'BEGIN {printf "%.0f", 1e9 / ns}'; }
 
 cat > "$out" <<JSON
 {
-  "pr": 9,
+  "pr": 10,
   "recorded_at": "$date",
   "host": "$host",
   "cpus": $(nproc),
@@ -217,7 +239,11 @@ cat > "$out" <<JSON
     "BenchmarkIngestSharded/shards=1": $shard1,
     "BenchmarkIngestSharded/shards=4": $shard4,
     "BenchmarkMinHashQuery": $minhashquery,
-    "BenchmarkAssignSet": $assignset
+    "BenchmarkAssignSet": $assignset,
+    "BenchmarkGenerationSteadyState/ever=20000": $gen20k,
+    "BenchmarkGenerationSteadyState/ever=100000": $gen100k,
+    "BenchmarkChainDeltaSave/n=10000": $deltans10k,
+    "BenchmarkChainDeltaSave/n=50000": $deltans50k
   },
   "speedup_vs_seed": {
     "BenchmarkColumn": $(ratio "$seed_column" "$column"),
@@ -290,6 +316,24 @@ cat > "$out" <<JSON
     "ratio_100k_vs_20k": $(ratio "$evict100k" "$evict20k"),
     "gate_max_ratio": 1.3,
     "note": "benchmark asserts live points == window throughout; flat ratio means commit cost independent of points ever seen"
+  },
+  "generation_steady_state": {
+    "workload": "d=16, 64-point batches, Retention.MaxPoints=2000, auto-compaction at evicted share > 0.5; one batch ingested+committed (plus its amortized share of renumbering) per op",
+    "ns_per_commit_ever20k": $gen20k,
+    "ns_per_commit_ever100k": $gen100k,
+    "ratio_100k_vs_20k": $(ratio "$gen100k" "$gen20k"),
+    "gate_max_ratio": 1.3,
+    "note": "benchmark asserts live == window AND committed ids <= 2x window + batch throughout: with generation compaction the id space itself stays bounded, not just the live set"
+  },
+  "delta_snapshot": {
+    "workload": "one fresh 64-point batch committed then chain-saved as a delta per op, at n=10000 and n=50000 committed points",
+    "ns_per_save_n10k": $deltans10k,
+    "ns_per_save_n50k": $deltans50k,
+    "delta_bytes_n10k": $deltabytes10k,
+    "delta_bytes_n50k": $deltabytes50k,
+    "bytes_ratio_50k_vs_10k": $(ratio "$deltabytes50k" "$deltabytes10k"),
+    "gate_max_bytes_ratio": 1.2,
+    "note": "delta size scales with the change window (the batch), not the committed point count; a full v5 snapshot of the same state scales with n"
   }
 }
 JSON

@@ -27,7 +27,13 @@
 #     byte fixed point with backend tags and the cross-backend restore
 #     refusals, and the minhash engine end-to-end (set ingest → commit →
 #     cluster → assign → evict → snapshot) deterministic at any
-#     Parallelism/GOMAXPROCS.
+#     Parallelism/GOMAXPROCS;
+#   - PR 10: the generation crosschecks — after id renumbering, every
+#     answer (clusters, assigns, snapshot bytes) bit-identical to a fresh
+#     engine built from only the survivors (dense and minhash backends,
+#     auto-compaction, Sharded at N ∈ {1,4}), and a delta-chain restore
+#     byte-identical to restoring an equivalent full v5 snapshot, with the
+#     damaged-tail prefix fallback and broken-middle/base refusals.
 #
 # Usage: scripts/crosscheck.sh
 #
@@ -66,6 +72,11 @@ go test -race -count=1 \
 go test -race -count=1 \
 	-run 'TestConformance|TestV4|TestMinHash|TestDenseSnapshotRefusesMinHashRestore|TestSignature|TestAssignIngestSetForms|TestBackendMismatchTyped400' \
 	./internal/index/ ./internal/minhash/ ./internal/snapshot/ ./internal/engine/ ./internal/server/ \
+	2>&1
+
+go test -race -count=1 \
+	-run 'TestCompactGeneration|TestAutoCompaction|TestShardedCompactGeneration|TestChainRestore|TestChainGenerationCompactionRerootsChain|TestChainWriterFullOnly|TestVersionsWriteReadRewriteFixedPoint|TestGenerationPersistsOnlyInV5|TestDelta|TestApplyDelta|TestChainManifestRoundTrip|TestStatsGenerationFields|TestEvictAlreadyDead' \
+	./internal/stream/ ./internal/snapshot/ ./internal/engine/ ./internal/server/ \
 	2>&1
 
 echo "crosscheck (with -race): OK" >&2

@@ -143,4 +143,62 @@ echo "$stats" | grep -q '"n":2005\b' || fail "restored sharded stats n != 2005: 
 kill -TERM $alidd_pid
 wait $alidd_pid 2>/dev/null || true
 
+# ---------------------------------------------------------------------------
+# MinHash + delta-chain phase: boot the set backend with periodic delta
+# snapshots and auto-compaction, ingest sets, evict past the compaction
+# threshold (generation bumps, chain re-roots), SIGTERM mid-chain, then
+# restart from base + deltas and confirm the renumbered state survived.
+# ---------------------------------------------------------------------------
+echo "smoke: minhash delta-chain phase..." >&2
+: > "$tmp/sets.csv"
+for i in $(seq 1 15); do
+	echo "a,b,c,d,e,x$i" >> "$tmp/sets.csv"
+	echo "p,q,r,s,t,y$i" >> "$tmp/sets.csv"
+done
+"$tmp/alidd" -in "$tmp/sets.csv" -backend minhash -bands 8 -rows 4 -batch 8 \
+	-addr "$ADDR" -snapshot "$tmp/mh.snap" -snapshot-delta-every 1000 \
+	-snapshot-interval 300ms -compact-share 0.3 -log-json 2> "$tmp/alidd_mh.log" &
+alidd_pid=$!
+wait_up $alidd_pid "$tmp/alidd_mh.log"
+echo "smoke: minhash alidd is up on $ADDR" >&2
+
+# Committed set ingest and a served set assign (30 initial + 2 = 32 ids).
+curl -sf "http://$ADDR/v1/ingest" \
+	-d '{"sets":[["a","b","c","d","e","z1"],["p","q","r","s","t","z2"]],"wait":true}' >/dev/null ||
+	fail "minhash set ingest"
+assign=$(curl -sf "http://$ADDR/v1/assign" -d '{"set":["a","b","c","d","e"]}') || fail "minhash set assign"
+echo "$assign" | grep -q '"cluster"' || fail "minhash set assign response: $assign"
+
+# Evict 12 of 32 ids: the evicted share (0.375) crosses -compact-share 0.3,
+# so the writer renumbers into generation 1 and the chain re-roots.
+curl -sf "http://$ADDR/v1/evict" -d '{"ids":[0,1,2,3,4,5,6,7,8,9,10,11]}' >/dev/null || fail "minhash evict"
+sleep 2 # let the 300ms snapshot loop root the new generation and append deltas
+stats=$(curl -sf "http://$ADDR/v1/stats")
+echo "$stats" | grep -q '"n":20\b' || fail "minhash stats n != 20 after compaction: $stats"
+echo "$stats" | grep -q '"generation":1\b' || fail "minhash stats generation != 1: $stats"
+echo "$stats" | grep -q '"ever_seen_ids":32\b' || fail "minhash stats ever_seen_ids != 32: $stats"
+if echo "$stats" | grep -q '"delta_chain_len":0'; then
+	fail "no deltas accumulated mid-chain: $stats"
+fi
+
+# SIGTERM mid-chain: the final save is one more delta, manifest-committed.
+kill -TERM $alidd_pid
+wait $alidd_pid 2>/dev/null || true
+[ -s "$tmp/mh.snap" ] || fail "chain base snapshot missing"
+[ -s "$tmp/mh.snap.chain" ] || fail "chain manifest missing"
+[ -s "$tmp/mh.snap.delta0" ] || fail "first chain delta missing"
+
+# Restart from the chain: base + ordered deltas replay the renumbered state.
+"$tmp/alidd" -backend minhash -bands 8 -rows 4 -batch 8 -addr "$ADDR" \
+	-snapshot "$tmp/mh.snap" -snapshot-delta-every 1000 -compact-share 0.3 \
+	-log-json 2> "$tmp/alidd_mh2.log" &
+alidd_pid=$!
+wait_up $alidd_pid "$tmp/alidd_mh2.log"
+stats=$(curl -sf "http://$ADDR/v1/stats")
+echo "$stats" | grep -q '"n":20\b' || fail "chain-restored stats n != 20: $stats"
+echo "$stats" | grep -q '"generation":1\b' || fail "chain-restored generation != 1: $stats"
+echo "$stats" | grep -q '"ever_seen_ids":32\b' || fail "chain-restored ever_seen_ids != 32 (retired ids lost across restart): $stats"
+kill -TERM $alidd_pid
+wait $alidd_pid 2>/dev/null || true
+
 echo "smoke: OK" >&2
